@@ -1,0 +1,153 @@
+//! Fig. 6: standard popularity by introduction date.
+//!
+//! §5.6: no simple relationship exists between when a standard shipped and
+//! how popular it is — old standards can be ubiquitous (AJAX) or abandoned
+//! (HTML: Plugins), and new ones adopted overnight (Selectors) or ignored
+//! (Vibration). Points carry the paper's block-rate color buckets.
+
+use crate::popularity::StandardPopularity;
+use bfu_crawler::BrowserProfile;
+use bfu_webidl::{FeatureRegistry, StandardId};
+
+/// Block-rate bucket used for Fig. 6's point colors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockBucket {
+    /// Block rate < 33%.
+    Low,
+    /// 33% ≤ block rate ≤ 66%.
+    Mid,
+    /// Block rate > 66%.
+    High,
+}
+
+impl BlockBucket {
+    /// Bucket a rate.
+    pub fn of(rate: f64) -> BlockBucket {
+        if rate < 0.33 {
+            BlockBucket::Low
+        } else if rate <= 0.66 {
+            BlockBucket::Mid
+        } else {
+            BlockBucket::High
+        }
+    }
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockBucket::Low => "block rate < 33%",
+            BlockBucket::Mid => "33% < block rate < 66%",
+            BlockBucket::High => "66% < block rate",
+        }
+    }
+}
+
+/// One standard's point on Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Point {
+    /// Standard.
+    pub std: StandardId,
+    /// Abbreviation.
+    pub abbrev: &'static str,
+    /// Year the standard's flagship feature shipped in Firefox.
+    pub intro_year: u16,
+    /// Sites using the standard by default.
+    pub sites: u32,
+    /// Block-rate bucket.
+    pub bucket: BlockBucket,
+}
+
+/// Compute Fig. 6 points for every standard (unused ones plot at 0 sites).
+pub fn fig6_points(sp: &StandardPopularity, registry: &FeatureRegistry) -> Vec<Fig6Point> {
+    registry
+        .standard_ids()
+        .map(|std| {
+            let info = registry.standard(std);
+            let sites = sp.sites_using(std, BrowserProfile::Default);
+            let bucket = BlockBucket::of(sp.block_rate(std).unwrap_or(0.0));
+            Fig6Point {
+                std,
+                abbrev: info.abbrev,
+                intro_year: info.intro_year,
+                sites,
+                bucket,
+            }
+        })
+        .collect()
+}
+
+/// The §5.6 narrative quadrants, computed: correlation between age and
+/// popularity should be weak. Returns Pearson's r over (intro_year, sites).
+pub fn age_popularity_correlation(points: &[Fig6Point]) -> f64 {
+    let n = points.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mean_x = points.iter().map(|p| f64::from(p.intro_year)).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| f64::from(p.sites)).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for p in points {
+        let dx = f64::from(p.intro_year) - mean_x;
+        let dy = f64::from(p.sites) - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::StandardPopularity;
+    use crate::test_support::tiny_dataset;
+
+    #[test]
+    fn buckets() {
+        assert_eq!(BlockBucket::of(0.1), BlockBucket::Low);
+        assert_eq!(BlockBucket::of(0.5), BlockBucket::Mid);
+        assert_eq!(BlockBucket::of(0.9), BlockBucket::High);
+    }
+
+    #[test]
+    fn one_point_per_standard() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let points = fig6_points(&sp, &registry);
+        assert_eq!(points.len(), 75);
+    }
+
+    #[test]
+    fn exemplars_match_the_papers_story() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let points = fig6_points(&sp, &registry);
+        let by = |a: &str| points.iter().find(|p| p.abbrev == a).unwrap();
+        // AJAX: old and popular. SLC: newer and popular. H-P: old, unpopular.
+        let ajax = by("AJAX");
+        let slc = by("SLC");
+        let hp = by("H-P");
+        assert!(ajax.intro_year <= 2005);
+        assert!(ajax.sites > slc.sites / 2, "both are popular");
+        assert!(hp.sites < ajax.sites / 3, "H-P languishes");
+    }
+
+    #[test]
+    fn age_does_not_predict_popularity() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let points = fig6_points(&sp, &registry);
+        let r = age_popularity_correlation(&points);
+        assert!(r.abs() < 0.75, "Pearson r = {r:.2}; paper: no simple relationship");
+    }
+
+    #[test]
+    fn correlation_degenerate_inputs() {
+        assert_eq!(age_popularity_correlation(&[]), 0.0);
+    }
+}

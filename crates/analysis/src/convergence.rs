@@ -1,0 +1,80 @@
+//! Table 3: internal validation — new standards per measurement round.
+//!
+//! §6.1: the paper measured each site five times and checked that the number
+//! of *new* standards discovered per round fell to zero by round five
+//! (1.56, 0.40, 0.29, 0.00 for rounds 2-5), concluding five rounds suffice.
+
+use bfu_crawler::{BrowserProfile, Dataset};
+use bfu_webidl::FeatureRegistry;
+
+/// Average new standards discovered in each round after the first.
+///
+/// `result[i]` is the Table 3 row for round `i + 2` (rounds are 1-indexed in
+/// the paper and round 1 trivially discovers everything it sees).
+pub fn new_standards_per_round(
+    dataset: &Dataset,
+    registry: &FeatureRegistry,
+    profile: BrowserProfile,
+) -> Vec<f64> {
+    let rounds = dataset.rounds_per_profile;
+    if rounds < 2 {
+        return Vec::new();
+    }
+    let mut totals = vec![0f64; (rounds - 1) as usize];
+    let mut measured = 0usize;
+    for site in &dataset.sites {
+        if !site.measured(profile) {
+            continue;
+        }
+        measured += 1;
+        let mut prev = site.standards_through_round(profile, 0, registry);
+        for r in 1..rounds {
+            let through = site.standards_through_round(profile, r, registry);
+            totals[(r - 1) as usize] += (through.len() - prev.len()) as f64;
+            prev = through;
+        }
+    }
+    if measured == 0 {
+        return vec![0.0; (rounds - 1) as usize];
+    }
+    totals.iter().map(|t| t / measured as f64).collect()
+}
+
+/// Whether discovery has converged: the final round found (on average)
+/// fewer than `epsilon` new standards per site.
+pub fn converged(per_round: &[f64], epsilon: f64) -> bool {
+    per_round.last().is_some_and(|&last| last < epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_dataset;
+
+    #[test]
+    fn discovery_decreases_across_rounds() {
+        let (dataset, registry) = tiny_dataset();
+        let rounds = new_standards_per_round(&dataset, &registry, BrowserProfile::Default);
+        assert_eq!(rounds.len(), (dataset.rounds_per_profile - 1) as usize);
+        for &r in &rounds {
+            assert!(r >= 0.0);
+            // With only 2 rounds in the fixture there is one data point; it
+            // must be small relative to the ~16 standards seen in round one.
+            assert!(r < 8.0, "round discovered {r} new standards on average");
+        }
+    }
+
+    #[test]
+    fn convergence_predicate() {
+        assert!(converged(&[1.5, 0.4, 0.2, 0.0], 0.1));
+        assert!(!converged(&[1.5, 0.9], 0.1));
+        assert!(!converged(&[], 0.1));
+    }
+
+    #[test]
+    fn single_round_dataset_yields_empty() {
+        let (mut dataset, registry) = tiny_dataset();
+        dataset.rounds_per_profile = 1;
+        assert!(new_standards_per_round(&dataset, &registry, BrowserProfile::Default).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! CSV export of datasets and analyses.
+//!
+//! The paper's artifacts are tables and figures; downstream users often want
+//! the underlying rows for their own plotting. These writers emit plain
+//! RFC-4180-ish CSV (quoted only where needed) so output drops straight into
+//! R / pandas / gnuplot — the toolchain the original figures were drawn with.
+
+use crate::blocking::{Fig4Point, Fig7Point};
+use crate::tables::Table2Row;
+use crate::traffic::Fig5Point;
+use bfu_crawler::{BrowserProfile, Dataset};
+use bfu_webidl::FeatureRegistry;
+use std::fmt::Write as _;
+
+/// Quote a CSV field if it contains a comma or quote.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Per-feature usage: `feature,standard,kind,<one column per profile>`.
+pub fn features_csv(dataset: &Dataset, registry: &FeatureRegistry) -> String {
+    let fp = crate::popularity::FeaturePopularity::compute(dataset, registry);
+    let mut out = String::from("feature,standard,kind");
+    for p in &fp.profiles {
+        let _ = write!(out, ",sites_{}", p.label().replace('-', "_"));
+    }
+    out.push('\n');
+    for (ix, info) in registry.features().iter().enumerate() {
+        let fid = bfu_webidl::FeatureId::from_usize(ix);
+        let _ = write!(
+            out,
+            "{},{},{:?}",
+            field(&info.name),
+            registry.standard(info.standard).abbrev,
+            info.kind
+        );
+        for &p in &fp.profiles {
+            let _ = write!(out, ",{}", fp.sites_using(fid, p));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 2 rows as CSV.
+pub fn table2_csv(rows: &[Table2Row]) -> String {
+    let mut out = String::from("name,abbrev,features,sites,block_rate,cves\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            field(r.name),
+            r.abbrev,
+            r.features,
+            r.sites,
+            r.block_rate.map_or(String::new(), |b| format!("{b:.4}")),
+            r.cves
+        );
+    }
+    out
+}
+
+/// Fig. 4 points as CSV.
+pub fn fig4_csv(points: &[Fig4Point]) -> String {
+    let mut out = String::from("abbrev,sites,block_rate\n");
+    for p in points {
+        let _ = writeln!(out, "{},{},{:.4}", p.abbrev, p.sites, p.block_rate);
+    }
+    out
+}
+
+/// Fig. 5 points as CSV.
+pub fn fig5_csv(points: &[Fig5Point]) -> String {
+    let mut out = String::from("abbrev,site_fraction,visit_fraction\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6}",
+            p.abbrev, p.site_fraction, p.visit_fraction
+        );
+    }
+    out
+}
+
+/// Fig. 7 points as CSV.
+pub fn fig7_csv(points: &[Fig7Point]) -> String {
+    let mut out = String::from("abbrev,sites,ad_block_rate,tracker_block_rate\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{:.4}",
+            p.abbrev, p.sites, p.ad_block_rate, p.tracker_block_rate
+        );
+    }
+    out
+}
+
+/// Per-site measurements: `domain,traffic_weight,<features per profile>`.
+pub fn sites_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("site,domain,traffic_weight");
+    for p in &dataset.profiles {
+        let _ = write!(out, ",features_{}", p.label().replace('-', "_"));
+    }
+    out.push('\n');
+    for s in &dataset.sites {
+        let _ = write!(
+            out,
+            "{},{},{:.8}",
+            s.site.index(),
+            field(&s.domain),
+            s.traffic_weight
+        );
+        for &p in &dataset.profiles {
+            let _ = write!(out, ",{}", s.features_used(p).len());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Which profile columns a dataset carries (header helper for consumers).
+pub fn profile_columns(dataset: &Dataset) -> Vec<&'static str> {
+    dataset
+        .profiles
+        .iter()
+        .map(|p| match p {
+            BrowserProfile::Default => "default",
+            BrowserProfile::Blocking => "blocking",
+            BrowserProfile::AdblockOnly => "adblock-only",
+            BrowserProfile::GhosteryOnly => "ghostery-only",
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::StandardPopularity;
+    use crate::test_support::tiny_dataset;
+
+    #[test]
+    fn features_csv_has_header_and_all_rows() {
+        let (dataset, registry) = tiny_dataset();
+        let csv = features_csv(&dataset, &registry);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 1392);
+        assert!(lines[0].starts_with("feature,standard,kind"));
+        assert!(lines[0].contains("sites_default"));
+    }
+
+    #[test]
+    fn table2_csv_parses_back() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let rows = crate::tables::table2_full(&sp, &registry);
+        let csv = table2_csv(&rows);
+        assert_eq!(csv.lines().count(), 76);
+        // Every data line has exactly 6 columns (names with commas quoted).
+        for line in csv.lines().skip(1) {
+            let mut cols = 0;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => cols += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(cols, 5, "{line}");
+        }
+    }
+
+    #[test]
+    fn sites_csv_rows_match_dataset() {
+        let (dataset, _) = tiny_dataset();
+        let csv = sites_csv(&dataset);
+        assert_eq!(csv.lines().count(), 1 + dataset.sites.len());
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn profile_columns_match() {
+        let (dataset, _) = tiny_dataset();
+        assert_eq!(profile_columns(&dataset).len(), dataset.profiles.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! # bfu-analysis
+//!
+//! The analysis pipeline: every table and figure in the paper's evaluation,
+//! computed from a crawl [`Dataset`](bfu_crawler::Dataset).
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`popularity`] | §5.3 headline feature stats, Fig. 3 CDF, Table 2 site counts |
+//! | [`blocking`] | block rates (Fig. 4), ad-vs-tracker decomposition (Fig. 7) |
+//! | [`traffic`] | site-popularity weighting (Fig. 5) |
+//! | [`age`] | introduction-date analysis (Fig. 6) |
+//! | [`complexity`] | per-site standard counts (Fig. 8) |
+//! | [`convergence`] | new-standards-per-round (Table 3) |
+//! | [`validation`] | human-vs-monkey comparison (Fig. 9) |
+//! | [`tables`] | Table 1 aggregates and the full Table 2 |
+//! | [`report`] | text/CSV rendering and ASCII charts |
+
+#[cfg(test)]
+pub mod test_support;
+
+pub mod age;
+pub mod blocking;
+pub mod complexity;
+pub mod convergence;
+pub mod export;
+pub mod popularity;
+pub mod report;
+pub mod tables;
+pub mod traffic;
+pub mod validation;
+
+pub use popularity::{headline, FeaturePopularity, HeadlineStats, StandardPopularity};
+pub use tables::{table1, table2, table2_full, Table1, Table2Row};

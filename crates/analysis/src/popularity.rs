@@ -1,0 +1,320 @@
+//! Feature and standard popularity (§5.1-5.3, Fig. 3, Table 2 site counts).
+//!
+//! *Feature popularity*: the fraction of measured sites that used a feature
+//! at least once. *Standard popularity*: the fraction that used at least one
+//! of the standard's features. *Block rate*: 1 − (sites using under
+//! blocking ÷ sites using by default).
+
+use bfu_crawler::{BrowserProfile, Dataset};
+use bfu_webidl::{FeatureId, FeatureRegistry, StandardId};
+
+/// Per-feature site counts across crawled profiles.
+#[derive(Debug, Clone)]
+pub struct FeaturePopularity {
+    /// `counts[f][p]` = sites using feature `f` under profile column `p`.
+    counts: Vec<Vec<u32>>,
+    /// Profiles, in column order.
+    pub profiles: Vec<BrowserProfile>,
+    /// Sites measured in the default profile (the denominator).
+    pub measured_sites: usize,
+}
+
+impl FeaturePopularity {
+    /// Compute from a dataset in one pass over sites.
+    pub fn compute(dataset: &Dataset, registry: &FeatureRegistry) -> Self {
+        let profiles = dataset.profiles.clone();
+        let mut counts = vec![vec![0u32; profiles.len()]; registry.feature_count()];
+        for site in &dataset.sites {
+            for (pi, &profile) in profiles.iter().enumerate() {
+                for f in site.features_used(profile) {
+                    counts[f.index()][pi] += 1;
+                }
+            }
+        }
+        FeaturePopularity {
+            counts,
+            profiles,
+            measured_sites: dataset.measured_sites(),
+        }
+    }
+
+    fn col(&self, profile: BrowserProfile) -> Option<usize> {
+        self.profiles.iter().position(|&p| p == profile)
+    }
+
+    /// Sites using `feature` under `profile` (0 if profile not crawled).
+    pub fn sites_using(&self, feature: FeatureId, profile: BrowserProfile) -> u32 {
+        self.col(profile)
+            .map_or(0, |c| self.counts[feature.index()][c])
+    }
+
+    /// Popularity in `[0, 1]` under a profile.
+    pub fn popularity(&self, feature: FeatureId, profile: BrowserProfile) -> f64 {
+        if self.measured_sites == 0 {
+            return 0.0;
+        }
+        f64::from(self.sites_using(feature, profile)) / self.measured_sites as f64
+    }
+
+    /// Number of features never used under a profile (§5.3's 689).
+    pub fn never_used(&self, profile: BrowserProfile) -> usize {
+        let Some(c) = self.col(profile) else {
+            return self.counts.len();
+        };
+        self.counts.iter().filter(|row| row[c] == 0).count()
+    }
+
+    /// Features used at least once but on fewer than `frac` of measured
+    /// sites (§5.3's 416 at 1%).
+    pub fn used_below(&self, frac: f64, profile: BrowserProfile) -> usize {
+        let Some(c) = self.col(profile) else { return 0 };
+        let cutoff = frac * self.measured_sites as f64;
+        self.counts
+            .iter()
+            .filter(|row| row[c] > 0 && f64::from(row[c]) < cutoff)
+            .count()
+    }
+
+    /// Features whose blocking-profile usage is ≤ (1 − `rate`) of default —
+    /// §5.3's "10% of features blocked ≥ 90% of the time they are used".
+    pub fn blocked_at_least(&self, rate: f64) -> usize {
+        let (Some(d), Some(b)) = (
+            self.col(BrowserProfile::Default),
+            self.col(BrowserProfile::Blocking),
+        ) else {
+            return 0;
+        };
+        self.counts
+            .iter()
+            .filter(|row| row[d] > 0 && f64::from(row[b]) <= (1.0 - rate) * f64::from(row[d]))
+            .count()
+    }
+
+    /// Total features tracked (1,392).
+    pub fn feature_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Per-standard site counts and block rates.
+#[derive(Debug, Clone)]
+pub struct StandardPopularity {
+    counts: Vec<Vec<u32>>,
+    /// Profiles, in column order.
+    pub profiles: Vec<BrowserProfile>,
+    /// Default-profile measured-site denominator.
+    pub measured_sites: usize,
+}
+
+impl StandardPopularity {
+    /// Compute from a dataset.
+    pub fn compute(dataset: &Dataset, registry: &FeatureRegistry) -> Self {
+        let profiles = dataset.profiles.clone();
+        let mut counts = vec![vec![0u32; profiles.len()]; registry.standard_count()];
+        for site in &dataset.sites {
+            for (pi, &profile) in profiles.iter().enumerate() {
+                for s in site.standards_used(profile, registry) {
+                    counts[s.index()][pi] += 1;
+                }
+            }
+        }
+        StandardPopularity {
+            counts,
+            profiles,
+            measured_sites: dataset.measured_sites(),
+        }
+    }
+
+    fn col(&self, profile: BrowserProfile) -> Option<usize> {
+        self.profiles.iter().position(|&p| p == profile)
+    }
+
+    /// Sites using the standard under a profile.
+    pub fn sites_using(&self, std: StandardId, profile: BrowserProfile) -> u32 {
+        self.col(profile).map_or(0, |c| self.counts[std.index()][c])
+    }
+
+    /// Popularity in `[0, 1]`.
+    pub fn popularity(&self, std: StandardId, profile: BrowserProfile) -> f64 {
+        if self.measured_sites == 0 {
+            return 0.0;
+        }
+        f64::from(self.sites_using(std, profile)) / self.measured_sites as f64
+    }
+
+    /// Block rate against the combined blocking profile (Table 2 col. 5).
+    /// `None` when the standard is unused by default or the blocking profile
+    /// wasn't crawled.
+    pub fn block_rate(&self, std: StandardId) -> Option<f64> {
+        self.block_rate_against(std, BrowserProfile::Blocking)
+    }
+
+    /// Block rate against an arbitrary blocking-style profile (Fig. 7 uses
+    /// `AdblockOnly` and `GhosteryOnly`).
+    pub fn block_rate_against(&self, std: StandardId, profile: BrowserProfile) -> Option<f64> {
+        let d = self.sites_using(std, BrowserProfile::Default);
+        if d == 0 {
+            return None;
+        }
+        self.col(profile)?;
+        let b = self.sites_using(std, profile);
+        Some((1.0 - f64::from(b) / f64::from(d)).max(0.0))
+    }
+
+    /// Standards never used under a profile (paper: 11 by default, 15 under
+    /// blocking).
+    pub fn never_used(&self, profile: BrowserProfile) -> usize {
+        let Some(c) = self.col(profile) else {
+            return self.counts.len();
+        };
+        self.counts.iter().filter(|row| row[c] == 0).count()
+    }
+
+    /// Standards used on at most `frac` of measured sites (incl. unused;
+    /// paper: 28 of 75 at 1%).
+    pub fn at_or_below(&self, frac: f64, profile: BrowserProfile) -> usize {
+        let Some(c) = self.col(profile) else { return 0 };
+        let cutoff = frac * self.measured_sites as f64;
+        self.counts
+            .iter()
+            .filter(|row| f64::from(row[c]) <= cutoff)
+            .count()
+    }
+
+    /// The Fig. 3 CDF: `(sites_using, fraction_of_standards_at_or_below)`.
+    pub fn popularity_cdf(&self, profile: BrowserProfile) -> Vec<(f64, f64)> {
+        let Some(c) = self.col(profile) else {
+            return Vec::new();
+        };
+        let values: Vec<f64> = self.counts.iter().map(|row| f64::from(row[c])).collect();
+        bfu_util::cdf_points(&values)
+    }
+
+    /// Number of standards tracked (75).
+    pub fn standard_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// §5.3 headline statistics, in one struct for reports and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeadlineStats {
+    /// Features never used by default (paper: 689 of 1,392).
+    pub features_never_used: usize,
+    /// Features used on <1% of sites but ≥ once (paper: 416).
+    pub features_under_one_percent: usize,
+    /// Features blocked ≥ 90% of the time (paper: ~10% ≈ 139).
+    pub features_blocked_90: usize,
+    /// Features on <1% of sites under blocking, incl. never used
+    /// (paper: 1,159 = 83%).
+    pub features_under_one_percent_blocking: usize,
+    /// Standards never used (paper: 11).
+    pub standards_never_used: usize,
+    /// Standards at or below 1% of sites (paper: 28).
+    pub standards_at_or_below_one_percent: usize,
+    /// Total features (1,392).
+    pub total_features: usize,
+}
+
+/// Compute the §5.3 headline stats.
+pub fn headline(features: &FeaturePopularity, standards: &StandardPopularity) -> HeadlineStats {
+    let under_blocking = features.never_used(BrowserProfile::Blocking)
+        + features.used_below(0.01, BrowserProfile::Blocking);
+    HeadlineStats {
+        features_never_used: features.never_used(BrowserProfile::Default),
+        features_under_one_percent: features.used_below(0.01, BrowserProfile::Default),
+        features_blocked_90: features.blocked_at_least(0.9),
+        features_under_one_percent_blocking: under_blocking,
+        standards_never_used: standards.never_used(BrowserProfile::Default),
+        standards_at_or_below_one_percent: standards.at_or_below(0.01, BrowserProfile::Default),
+        total_features: features.feature_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_dataset;
+
+    #[test]
+    fn popularity_counts_from_crawled_dataset() {
+        let (dataset, registry) = tiny_dataset();
+        let fp = FeaturePopularity::compute(&dataset, &registry);
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        assert!(fp.measured_sites > 0);
+        assert_eq!(fp.feature_count(), 1392);
+        assert_eq!(sp.standard_count(), 75);
+        // Long tail: most features unused on a 30-site sample, but not all.
+        let never = fp.never_used(BrowserProfile::Default);
+        assert!(never > 500, "never = {never}");
+        assert!(never < 1392, "never = {never}");
+    }
+
+    #[test]
+    fn block_rates_bounded_and_blocking_shrinks_usage() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        for s in registry.standard_ids() {
+            if let Some(br) = sp.block_rate(s) {
+                assert!((0.0..=1.0).contains(&br));
+            }
+            assert!(
+                sp.sites_using(s, BrowserProfile::Blocking)
+                    <= sp.sites_using(s, BrowserProfile::Default) + 1,
+                "blocking shouldn't create usage: {}",
+                registry.standard(s).abbrev
+            );
+        }
+        let fp = FeaturePopularity::compute(&dataset, &registry);
+        assert!(
+            fp.never_used(BrowserProfile::Blocking) >= fp.never_used(BrowserProfile::Default)
+        );
+    }
+
+    #[test]
+    fn popular_standards_dominate() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let (dom1, _) = bfu_webidl::catalog::by_abbrev("DOM1").unwrap();
+        let (weba, _) = bfu_webidl::catalog::by_abbrev("WEBA").unwrap();
+        assert!(
+            sp.popularity(dom1, BrowserProfile::Default)
+                > sp.popularity(weba, BrowserProfile::Default),
+            "DOM1 must beat Web Audio"
+        );
+        assert!(sp.popularity(dom1, BrowserProfile::Default) > 0.8);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let cdf = sp.popularity_cdf(BrowserProfile::Default);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headline_is_internally_consistent() {
+        let (dataset, registry) = tiny_dataset();
+        let fp = FeaturePopularity::compute(&dataset, &registry);
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let h = headline(&fp, &sp);
+        assert_eq!(h.total_features, 1392);
+        assert!(h.standards_never_used <= h.standards_at_or_below_one_percent);
+        assert!(h.features_never_used + h.features_under_one_percent <= 1392);
+        assert!(h.features_under_one_percent_blocking >= h.features_never_used);
+    }
+
+    #[test]
+    fn uncrawled_profile_yields_zero() {
+        let (dataset, registry) = tiny_dataset();
+        let fp = FeaturePopularity::compute(&dataset, &registry);
+        // All four profiles are crawled in the fixture; sanity-check lookups.
+        let any = bfu_webidl::FeatureId::new(0);
+        let _ = fp.sites_using(any, BrowserProfile::GhosteryOnly);
+    }
+}

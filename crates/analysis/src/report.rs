@@ -1,0 +1,352 @@
+//! Text rendering: every table and figure as terminal-friendly output.
+//!
+//! The `repro` binary prints these; EXPERIMENTS.md embeds them. Figures are
+//! rendered as aligned data tables plus, where it helps, a small ASCII chart
+//! (CDFs and histograms).
+
+use crate::age::Fig6Point;
+use crate::blocking::{Fig4Point, Fig7Point};
+use crate::complexity::ComplexityDistribution;
+use crate::popularity::HeadlineStats;
+use crate::tables::{Table1, Table2Row};
+use crate::traffic::Fig5Point;
+use crate::validation::ValidationHistogram;
+use std::fmt::Write as _;
+
+/// Render Table 1.
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: crawl scale");
+    let _ = writeln!(out, "  Domains measured            {:>14}", t.domains_measured);
+    let _ = writeln!(out, "  Domains attempted           {:>14}", t.domains_attempted);
+    let _ = writeln!(out, "  Web pages visited           {:>14}", t.pages_visited);
+    let _ = writeln!(out, "  Feature invocations         {:>14}", t.invocations);
+    let _ = writeln!(out, "  Total interaction time      {:>11.1} d", t.interaction_days);
+    out
+}
+
+/// Render Table 2 rows.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<52} {:>8} {:>6} {:>6} {:>7} {:>5}",
+        "Standard", "Abbrev", "#Feat", "#Sites", "Block%", "CVEs"
+    );
+    for r in rows {
+        let block = r
+            .block_rate
+            .map_or("  --".to_owned(), |b| format!("{:.1}", 100.0 * b));
+        let _ = writeln!(
+            out,
+            "{:<52} {:>8} {:>6} {:>6} {:>7} {:>5}",
+            truncate(r.name, 52),
+            r.abbrev,
+            r.features,
+            r.sites,
+            block,
+            r.cves
+        );
+    }
+    out
+}
+
+/// Render Table 3 (new standards per round).
+pub fn render_table3(per_round: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: avg new standards per crawl round");
+    let _ = writeln!(out, "  Round   Avg. new standards");
+    for (i, v) in per_round.iter().enumerate() {
+        let _ = writeln!(out, "  {:>5}   {:>18.2}", i + 2, v);
+    }
+    out
+}
+
+/// Render the Fig. 1 historical series.
+pub fn render_fig1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig 1: standards available and browser MLoC by year"
+    );
+    let _ = writeln!(
+        out,
+        "  Year  Standards  Chrome  Firefox  Safari     IE"
+    );
+    for p in bfu_webidl::history::BROWSER_HISTORY {
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:>9}  {:>6.1}  {:>7.1}  {:>6.1}  {:>5.1}",
+            p.year, p.standards, p.chrome_mloc, p.firefox_mloc, p.safari_mloc, p.ie_mloc
+        );
+    }
+    out
+}
+
+/// Render the Fig. 3 CDF with an ASCII sparkline.
+pub fn render_fig3(cdf: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 3: CDF of standard popularity (sites using → fraction of standards)");
+    // Sample the CDF at decile fractions of the site-count axis.
+    let max_x = cdf.last().map_or(0.0, |p| p.0);
+    for decile in 0..=10 {
+        let x = max_x * f64::from(decile) / 10.0;
+        let y = cdf
+            .iter()
+            .take_while(|p| p.0 <= x)
+            .last()
+            .map_or(0.0, |p| p.1);
+        let bar = "#".repeat((y * 40.0).round() as usize);
+        let _ = writeln!(out, "  ≤{:>7.0} sites | {:<40} {:>5.1}%", x, bar, 100.0 * y);
+    }
+    out
+}
+
+/// Render the Fig. 4 scatter as a table sorted by block rate.
+pub fn render_fig4(points: &[Fig4Point]) -> String {
+    let mut rows = points.to_vec();
+    rows.sort_by(|a, b| b.block_rate.partial_cmp(&a.block_rate).expect("no NaN"));
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 4: standard popularity vs block rate");
+    let _ = writeln!(out, "  {:>8}  {:>6}  {:>7}", "Abbrev", "Sites", "Block%");
+    for p in rows {
+        let _ = writeln!(
+            out,
+            "  {:>8}  {:>6}  {:>7.1}",
+            p.abbrev,
+            p.sites,
+            100.0 * p.block_rate
+        );
+    }
+    out
+}
+
+/// Render Fig. 5 (site share vs visit share).
+pub fn render_fig5(points: &[Fig5Point]) -> String {
+    let mut rows = points.to_vec();
+    rows.sort_by(|a, b| b.site_fraction.partial_cmp(&a.site_fraction).expect("no NaN"));
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 5: % of sites vs % of traffic-weighted visits");
+    let _ = writeln!(out, "  {:>8}  {:>7}  {:>7}  {:>6}", "Abbrev", "Sites%", "Visit%", "Δ");
+    for p in rows {
+        let _ = writeln!(
+            out,
+            "  {:>8}  {:>7.1}  {:>7.1}  {:>+6.1}",
+            p.abbrev,
+            100.0 * p.site_fraction,
+            100.0 * p.visit_fraction,
+            100.0 * (p.visit_fraction - p.site_fraction)
+        );
+    }
+    out
+}
+
+/// Render Fig. 6 (intro year vs popularity, with block buckets).
+pub fn render_fig6(points: &[Fig6Point]) -> String {
+    let mut rows = points.to_vec();
+    rows.sort_by_key(|p| (p.intro_year, std::cmp::Reverse(p.sites)));
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 6: standard introduction date vs popularity");
+    let _ = writeln!(out, "  {:>4}  {:>8}  {:>6}  Block bucket", "Year", "Abbrev", "Sites");
+    for p in rows {
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:>8}  {:>6}  {}",
+            p.intro_year,
+            p.abbrev,
+            p.sites,
+            p.bucket.label()
+        );
+    }
+    out
+}
+
+/// Render Fig. 7 (ad-only vs tracker-only block rates).
+pub fn render_fig7(points: &[Fig7Point]) -> String {
+    let mut rows = points.to_vec();
+    rows.sort_by(|a, b| {
+        (b.tracker_block_rate - b.ad_block_rate)
+            .partial_cmp(&(a.tracker_block_rate - a.ad_block_rate))
+            .expect("no NaN")
+    });
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 7: ad-blocker vs tracker-blocker block rates");
+    let _ = writeln!(
+        out,
+        "  {:>8}  {:>6}  {:>7}  {:>9}  (positive Δ = tracker-leaning)",
+        "Abbrev", "Sites", "AdBlk%", "TrkBlk%"
+    );
+    for p in rows {
+        let _ = writeln!(
+            out,
+            "  {:>8}  {:>6}  {:>7.1}  {:>9.1}",
+            p.abbrev,
+            p.sites,
+            100.0 * p.ad_block_rate,
+            100.0 * p.tracker_block_rate
+        );
+    }
+    out
+}
+
+/// Render the Fig. 8 histogram.
+pub fn render_fig8(d: &ComplexityDistribution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 8: number of standards used per site");
+    let density = d.histogram.density();
+    let max_frac = density.iter().map(|(_, f)| *f).fold(0.0, f64::max);
+    for (center, frac) in density {
+        let n = center as u32;
+        if frac == 0.0 && !(0..=45).contains(&n) {
+            continue;
+        }
+        if n > 45 {
+            break;
+        }
+        let bar = if max_frac > 0.0 {
+            "#".repeat(((frac / max_frac) * 40.0).round() as usize)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "  {:>3} | {:<40} {:>5.1}%", n, bar, 100.0 * frac);
+    }
+    let _ = writeln!(out, "  median {:.0}, max {}", d.median(), d.max());
+    out
+}
+
+/// Render the Fig. 9 validation histogram.
+pub fn render_fig9(h: &ValidationHistogram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig 9: new standards seen by a human but missed by the crawl");
+    let _ = writeln!(out, "  New standards   Sites");
+    for (new, count) in &h.buckets {
+        let _ = writeln!(out, "  {:>13}   {:>5}", new, count);
+    }
+    let _ = writeln!(
+        out,
+        "  {:.1}% of sites: nothing new (paper: 83.7%)",
+        100.0 * h.zero_fraction()
+    );
+    out
+}
+
+/// Render the §5.3 headline statistics.
+pub fn render_headline(h: &HeadlineStats) -> String {
+    let mut out = String::new();
+    let pct = |n: usize| 100.0 * n as f64 / h.total_features as f64;
+    let _ = writeln!(out, "Headline statistics (§5.3)");
+    let _ = writeln!(
+        out,
+        "  Features never used:          {:>5} / {} ({:.1}%; paper 689 = 49.5%)",
+        h.features_never_used,
+        h.total_features,
+        pct(h.features_never_used)
+    );
+    let _ = writeln!(
+        out,
+        "  Features on <1% of sites:     {:>5} (paper 416)",
+        h.features_under_one_percent
+    );
+    let _ = writeln!(
+        out,
+        "  Cumulative <1% incl. unused:  {:>5} ({:.1}%; paper 1105 = 79%)",
+        h.features_never_used + h.features_under_one_percent,
+        pct(h.features_never_used + h.features_under_one_percent)
+    );
+    let _ = writeln!(
+        out,
+        "  Features blocked ≥90%:        {:>5} ({:.1}%; paper ~10%)",
+        h.features_blocked_90,
+        pct(h.features_blocked_90)
+    );
+    let _ = writeln!(
+        out,
+        "  <1% of sites under blocking:  {:>5} ({:.1}%; paper 1159 = 83%)",
+        h.features_under_one_percent_blocking,
+        pct(h.features_under_one_percent_blocking)
+    );
+    let _ = writeln!(
+        out,
+        "  Standards never used:         {:>5} / 75 (paper 11)",
+        h.standards_never_used
+    );
+    let _ = writeln!(
+        out,
+        "  Standards ≤1% of sites:       {:>5} / 75 (paper 28)",
+        h.standards_at_or_below_one_percent
+    );
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::{headline, FeaturePopularity, StandardPopularity};
+    use crate::test_support::tiny_dataset;
+    use bfu_crawler::BrowserProfile;
+
+    #[test]
+    fn all_renderers_produce_output() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let fp = FeaturePopularity::compute(&dataset, &registry);
+
+        let t1 = crate::tables::table1(&dataset);
+        assert!(render_table1(&t1).contains("Domains measured"));
+
+        let t2 = crate::tables::table2(&sp, &registry);
+        let rendered = render_table2(&t2);
+        assert!(rendered.contains("H-C"));
+        assert!(rendered.lines().count() > 10);
+
+        let t3 = crate::convergence::new_standards_per_round(
+            &dataset, &registry, BrowserProfile::Default,
+        );
+        assert!(render_table3(&t3).contains("Round"));
+
+        assert!(render_fig1().contains("2013"));
+
+        let cdf = sp.popularity_cdf(BrowserProfile::Default);
+        assert!(render_fig3(&cdf).contains("sites"));
+
+        let f4 = crate::blocking::fig4_points(&sp, &registry);
+        assert!(render_fig4(&f4).contains("Block%"));
+
+        let f5 = crate::traffic::fig5_points(&dataset, &registry);
+        assert!(render_fig5(&f5).contains("Visit%"));
+
+        let f6 = crate::age::fig6_points(&sp, &registry);
+        assert!(render_fig6(&f6).contains("2004"));
+
+        let f7 = crate::blocking::fig7_points(&sp, &registry);
+        assert!(render_fig7(&f7).contains("TrkBlk%"));
+
+        let cx = crate::complexity::complexity(&dataset, &registry);
+        assert!(render_fig8(&cx).contains("median"));
+
+        let v = crate::validation::histogram(&[(bfu_webgen::SiteId::new(0), 0)]);
+        assert!(render_fig9(&v).contains("nothing new"));
+
+        let h = headline(&fp, &sp);
+        let hr = render_headline(&h);
+        assert!(hr.contains("never used"));
+        assert!(hr.contains("1392") || hr.contains("/ 1392"));
+    }
+
+    #[test]
+    fn truncate_helper() {
+        assert_eq!(truncate("short", 10), "short");
+        assert_eq!(truncate("exactly-ten", 11), "exactly-ten");
+        let t = truncate("a very long standard name indeed", 10);
+        assert!(t.chars().count() <= 10);
+        assert!(t.ends_with('…'));
+    }
+}

@@ -1,0 +1,130 @@
+//! Tables 1 and 2 of the paper.
+
+use crate::popularity::StandardPopularity;
+use bfu_crawler::{BrowserProfile, Dataset};
+use bfu_webidl::{FeatureRegistry, StandardId};
+
+/// Table 1: the crawl's aggregate scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1 {
+    /// Domains successfully measured (paper: 9,733).
+    pub domains_measured: usize,
+    /// Domains attempted.
+    pub domains_attempted: usize,
+    /// Total pages visited (paper: 2,240,484).
+    pub pages_visited: u64,
+    /// Total feature invocations recorded (paper: 21,511,926,733).
+    pub invocations: u64,
+    /// Total virtual interaction time, in days (paper: ~480).
+    pub interaction_days: f64,
+}
+
+/// Compute Table 1.
+pub fn table1(dataset: &Dataset) -> Table1 {
+    Table1 {
+        domains_measured: dataset.measured_sites(),
+        domains_attempted: dataset.sites.len(),
+        pages_visited: dataset.total_pages(),
+        invocations: dataset.total_invocations(),
+        interaction_days: dataset.total_interaction_ms() as f64 / 86_400_000.0,
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Standard.
+    pub std: StandardId,
+    /// Full standard name.
+    pub name: &'static str,
+    /// Abbreviation.
+    pub abbrev: &'static str,
+    /// Instrumented features in the standard.
+    pub features: u32,
+    /// Sites using ≥1 feature by default.
+    pub sites: u32,
+    /// Block rate, if defined.
+    pub block_rate: Option<f64>,
+    /// CVEs against the standard's Firefox implementation (last 3 years).
+    pub cves: u32,
+}
+
+/// Compute the full 75-row table, in the paper's order (CVE count
+/// descending, then site count descending).
+pub fn table2_full(sp: &StandardPopularity, registry: &FeatureRegistry) -> Vec<Table2Row> {
+    let mut rows: Vec<Table2Row> = registry
+        .standard_ids()
+        .map(|std| {
+            let info = registry.standard(std);
+            Table2Row {
+                std,
+                name: info.name,
+                abbrev: info.abbrev,
+                features: info.features,
+                sites: sp.sites_using(std, BrowserProfile::Default),
+                block_rate: sp.block_rate(std),
+                cves: info.cves,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.cves.cmp(&a.cves).then(b.sites.cmp(&a.sites)));
+    rows
+}
+
+/// Table 2 as published: only standards used on ≥1% of sites or carrying at
+/// least one CVE.
+pub fn table2(sp: &StandardPopularity, registry: &FeatureRegistry) -> Vec<Table2Row> {
+    let cutoff = 0.01 * sp.measured_sites as f64;
+    table2_full(sp, registry)
+        .into_iter()
+        .filter(|r| f64::from(r.sites) >= cutoff || r.cves > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_dataset;
+
+    #[test]
+    fn table1_aggregates_consistent() {
+        let (dataset, _) = tiny_dataset();
+        let t1 = table1(&dataset);
+        assert!(t1.domains_measured <= t1.domains_attempted);
+        assert!(t1.pages_visited > 0);
+        assert!(t1.invocations > 0);
+        assert!(t1.interaction_days > 0.0);
+    }
+
+    #[test]
+    fn table2_full_has_75_rows_sorted_by_cves() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let rows = table2_full(&sp, &registry);
+        assert_eq!(rows.len(), 75);
+        for w in rows.windows(2) {
+            assert!(w[0].cves >= w[1].cves);
+        }
+        assert_eq!(rows[0].abbrev, "H-C", "Canvas leads with 15 CVEs");
+    }
+
+    #[test]
+    fn published_table2_filters_rare_cveless_standards() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let all = table2_full(&sp, &registry);
+        let published = table2(&sp, &registry);
+        assert!(published.len() <= all.len());
+        // Every CVE-carrying standard survives the filter.
+        let cve_rows = all.iter().filter(|r| r.cves > 0).count();
+        assert!(published.iter().filter(|r| r.cves > 0).count() == cve_rows);
+    }
+
+    #[test]
+    fn feature_counts_sum_to_registry_total() {
+        let (dataset, registry) = tiny_dataset();
+        let sp = StandardPopularity::compute(&dataset, &registry);
+        let total: u32 = table2_full(&sp, &registry).iter().map(|r| r.features).sum();
+        assert_eq!(total, 1392);
+    }
+}

@@ -1,0 +1,53 @@
+//! Shared test fixture: one small survey, crawled once and cached.
+//!
+//! Analysis unit tests all consume the same dataset; running the crawl once
+//! per process keeps the suite fast while still exercising the full
+//! pipeline (generation → crawl → measurement) rather than synthetic logs.
+
+use bfu_crawler::{BrowserProfile, CrawlConfig, Dataset, Survey};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use bfu_webidl::FeatureRegistry;
+use std::sync::OnceLock;
+
+static FIXTURE: OnceLock<(Dataset, FeatureRegistry)> = OnceLock::new();
+
+/// A cached 30-site crawl with all four browser profiles.
+pub fn tiny_dataset() -> (Dataset, FeatureRegistry) {
+    FIXTURE
+        .get_or_init(|| {
+            let web = SyntheticWeb::generate(WebConfig { sites: 30, seed: 1234 });
+            let config = CrawlConfig {
+                rounds_per_profile: 2,
+                pages_per_site: 4,
+                fanout: 3,
+                page_budget_ms: 6_000,
+                profiles: vec![
+                    BrowserProfile::Default,
+                    BrowserProfile::Blocking,
+                    BrowserProfile::AdblockOnly,
+                    BrowserProfile::GhosteryOnly,
+                ],
+                threads: 2,
+                seed: 99,
+            };
+            let dataset = Survey::new(web, config).run();
+            (dataset, FeatureRegistry::build())
+        })
+        .clone()
+}
+
+/// The survey behind the fixture (regenerated on demand — cheap relative to
+/// the crawl; used by validation tests).
+pub fn tiny_survey() -> Survey {
+    let web = SyntheticWeb::generate(WebConfig { sites: 30, seed: 1234 });
+    let config = CrawlConfig {
+        rounds_per_profile: 2,
+        pages_per_site: 4,
+        fanout: 3,
+        page_budget_ms: 6_000,
+        profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
+        threads: 2,
+        seed: 99,
+    };
+    Survey::new(web, config)
+}

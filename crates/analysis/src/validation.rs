@@ -1,0 +1,96 @@
+//! Fig. 9: external validation — human browsing vs the automated crawl.
+//!
+//! §6.2: 92 traffic-weighted sites were browsed manually; for 83.7% of them
+//! the human saw *no* standards the automated crawl had missed. The
+//! histogram buckets sites by how many new standards manual interaction
+//! surfaced.
+
+use std::collections::BTreeMap;
+
+/// The Fig. 9 histogram: `new standards observed → number of sites`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationHistogram {
+    /// Bucket → site count, sorted by bucket.
+    pub buckets: BTreeMap<usize, usize>,
+    /// Total sites validated.
+    pub total_sites: usize,
+}
+
+/// Build the histogram from `(site, new_standards)` pairs (the output of
+/// `Survey::external_validation`).
+pub fn histogram(results: &[(bfu_webgen::SiteId, usize)]) -> ValidationHistogram {
+    let mut buckets = BTreeMap::new();
+    for (_, new) in results {
+        *buckets.entry(*new).or_insert(0) += 1;
+    }
+    ValidationHistogram {
+        buckets,
+        total_sites: results.len(),
+    }
+}
+
+impl ValidationHistogram {
+    /// Fraction of sites where the human saw nothing new (paper: 83.7%).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.total_sites == 0 {
+            return 0.0;
+        }
+        *self.buckets.get(&0).unwrap_or(&0) as f64 / self.total_sites as f64
+    }
+
+    /// The worst outlier (max new standards on one site; paper: 17).
+    pub fn max_new(&self) -> usize {
+        self.buckets.keys().max().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_webgen::SiteId;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let results = vec![
+            (SiteId::new(0), 0),
+            (SiteId::new(1), 0),
+            (SiteId::new(2), 2),
+            (SiteId::new(3), 0),
+            (SiteId::new(4), 5),
+        ];
+        let h = histogram(&results);
+        assert_eq!(h.total_sites, 5);
+        assert_eq!(h.buckets[&0], 3);
+        assert_eq!(h.buckets[&2], 1);
+        assert!((h.zero_fraction() - 0.6).abs() < 1e-9);
+        assert_eq!(h.max_new(), 5);
+    }
+
+    #[test]
+    fn empty_results() {
+        let h = histogram(&[]);
+        assert_eq!(h.zero_fraction(), 0.0);
+        assert_eq!(h.max_new(), 0);
+    }
+
+    #[test]
+    fn end_to_end_validation_runs_and_is_bounded() {
+        // Run the real §6.2 machinery against the fixture web. The fixture
+        // crawl is deliberately shallow (2 rounds × 4 pages × 6 s), so the
+        // human *does* find things here; the paper-scale claim (83.7% of
+        // sites show nothing new under 5 × 13 × 30 s crawls) is checked by
+        // the full repro run recorded in EXPERIMENTS.md. Here we assert the
+        // machinery works and the counts stay small in absolute terms.
+        let (dataset, _) = crate::test_support::tiny_dataset();
+        let survey = crate::test_support::tiny_survey();
+        let results = survey.external_validation(&dataset, 8);
+        assert!(!results.is_empty());
+        let h = histogram(&results);
+        assert_eq!(h.total_sites, results.len());
+        assert!(
+            h.max_new() <= 10,
+            "human found implausibly many new standards: {:?}",
+            h.buckets
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. Filter matching: token index vs naive rule scan.
+//! 2. Monkey page selection: path-novelty BFS vs uniform random choice.
+//! 3. Instrumentation overhead: page load with vs without the extension.
+//! 4. Crawl rounds: standards discovered after 1-5 rounds.
+
+use bfu_blocker::FilterEngine;
+use bfu_browser::{AllowAll, Browser};
+use bfu_monkey::CrawlPlanner;
+use bfu_net::{HttpRequest, ResourceType, SimNet, Url};
+use bfu_util::{SimRng, VirtualClock};
+use bfu_webgen::{SiteId, SyntheticWeb, WebConfig};
+use bfu_webidl::FeatureRegistry;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn big_filter_list() -> String {
+    let mut list = String::new();
+    for i in 0..2_000 {
+        list.push_str(&format!("||adhost{i}.example.net^$third-party\n"));
+        if i % 5 == 0 {
+            list.push_str(&format!("/banner{i}/*/creative^\n"));
+        }
+    }
+    list.push_str("##.ad-slot\n");
+    list
+}
+
+fn bench_filter_index_vs_naive(c: &mut Criterion) {
+    let engine = FilterEngine::from_list(&big_filter_list());
+    let reqs: Vec<HttpRequest> = (0..50)
+        .map(|i| {
+            HttpRequest::get(
+                Url::parse(&format!("http://host{i}.example.org/page/{i}/asset.js")).unwrap(),
+                ResourceType::Script,
+            )
+            .with_initiator(Url::parse("http://site.org/").unwrap())
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_filter_matching");
+    group.bench_function("token_index", |b| {
+        b.iter(|| {
+            for r in &reqs {
+                black_box(engine.match_request(r));
+            }
+        })
+    });
+    group.bench_function("naive_scan", |b| {
+        b.iter(|| {
+            for r in &reqs {
+                black_box(engine.match_request_naive(r));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_planner_policies(c: &mut Criterion) {
+    let candidates: Vec<Url> = (0..40)
+        .map(|i| {
+            Url::parse(&format!(
+                "http://site.test/{}/item-{}",
+                ["news", "sports", "biz", "tech"][i % 4],
+                i
+            ))
+            .unwrap()
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_page_selection");
+    group.bench_function("path_novelty_bfs", |b| {
+        b.iter(|| {
+            let mut planner = CrawlPlanner::new("site.test");
+            let mut rng = SimRng::new(1);
+            for _ in 0..4 {
+                black_box(planner.select(&candidates, 3, &mut rng));
+            }
+        })
+    });
+    group.bench_function("uniform_random", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(1);
+            for _ in 0..4 {
+                let picks: Vec<&Url> = (0..3)
+                    .filter_map(|_| rng.choose(&candidates))
+                    .collect();
+                black_box(picks);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let web = SyntheticWeb::generate(WebConfig { sites: 10, seed: 21 });
+    let site = (0..10)
+        .map(SiteId::new)
+        .find(|&s| !web.plan(s).dead && !web.plan(s).no_js)
+        .expect("live site");
+    let domain = web.plan(site).site.domain.clone();
+    let registry = Rc::new((**web.registry()).clone());
+    let url = Url::parse(&format!("http://{domain}/")).unwrap();
+
+    let mut group = c.benchmark_group("ablation_instrumentation");
+    group.sample_size(20);
+    for (label, instrument) in [("instrumented", true), ("bare_engine", false)] {
+        let registry = registry.clone();
+        let web = web.clone();
+        let url = url.clone();
+        group.bench_function(label, move |b| {
+            let mut browser = Browser::new(registry.clone());
+            browser.config.instrument = instrument;
+            let mut net = SimNet::new(SimRng::new(4));
+            web.install_into(&mut net);
+            b.iter(|| {
+                let mut clock = VirtualClock::new();
+                black_box(browser.load(&mut net, &url, &AllowAll, &mut clock).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounds_coverage(c: &mut Criterion) {
+    // How much does each additional round cost? (Table 3's design question.)
+    let mut group = c.benchmark_group("ablation_rounds");
+    group.sample_size(10);
+    for rounds in [1u32, 3, 5] {
+        group.bench_function(format!("rounds_{rounds}"), move |b| {
+            b.iter(|| {
+                let s = bfu_core::Study::run(bfu_core::StudyConfig {
+                    sites: 5,
+                    seed: 9,
+                    rounds,
+                    pages_per_site: 3,
+                    page_budget_ms: 3_000,
+                    fig7_profiles: false,
+                    threads: 1,
+                });
+                black_box(s.dataset().total_pages())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_registry_build(c: &mut Criterion) {
+    c.bench_function("webidl/registry_build_from_corpus", |b| {
+        b.iter(|| black_box(FeatureRegistry::build()))
+    });
+}
+
+fn bench_webgen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("webgen");
+    group.sample_size(20);
+    group.bench_function("generate_1000_sites", |b| {
+        b.iter(|| {
+            black_box(SyntheticWeb::generate(WebConfig {
+                sites: 1000,
+                seed: 5,
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter_index_vs_naive,
+    bench_planner_policies,
+    bench_instrumentation_overhead,
+    bench_rounds_coverage,
+    bench_registry_build,
+    bench_webgen,
+);
+criterion_main!(benches);

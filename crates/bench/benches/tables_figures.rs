@@ -1,0 +1,161 @@
+//! One Criterion bench per table and figure: each benchmark regenerates the
+//! corresponding artifact (the analysis over a crawled dataset, plus the
+//! crawl workload itself for Table 1's scale numbers).
+
+use bfu_analysis::{age, blocking, complexity, convergence, tables, traffic, validation};
+use bfu_analysis::{headline, FeaturePopularity, StandardPopularity};
+use bfu_core::{Study, StudyConfig};
+use bfu_crawler::BrowserProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+static STUDY: OnceLock<Study> = OnceLock::new();
+
+fn study() -> &'static Study {
+    STUDY.get_or_init(|| Study::run(StudyConfig::quick(60, 11)))
+}
+
+fn bench_table1_crawl(c: &mut Criterion) {
+    // The workload behind Table 1: generating + crawling sites end to end.
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("crawl_10_sites_end_to_end", |b| {
+        b.iter(|| {
+            let s = Study::run(StudyConfig {
+                sites: 10,
+                seed: 3,
+                rounds: 1,
+                pages_per_site: 3,
+                page_budget_ms: 3_000,
+                fig7_profiles: false,
+                threads: 1,
+            });
+            black_box(s.dataset().total_invocations())
+        })
+    });
+    group.bench_function("aggregate", |b| {
+        let ds = study().dataset();
+        b.iter(|| black_box(tables::table1(ds)))
+    });
+    group.finish();
+}
+
+fn bench_table2_aggregation(c: &mut Criterion) {
+    let s = study();
+    c.bench_function("table2/per_standard_aggregation", |b| {
+        b.iter(|| {
+            let sp = StandardPopularity::compute(s.dataset(), s.registry());
+            black_box(tables::table2_full(&sp, s.registry()))
+        })
+    });
+}
+
+fn bench_table3_convergence(c: &mut Criterion) {
+    let s = study();
+    c.bench_function("table3/new_standards_per_round", |b| {
+        b.iter(|| {
+            black_box(convergence::new_standards_per_round(
+                s.dataset(),
+                s.registry(),
+                BrowserProfile::Default,
+            ))
+        })
+    });
+}
+
+fn bench_fig3_cdf(c: &mut Criterion) {
+    let s = study();
+    let sp = StandardPopularity::compute(s.dataset(), s.registry());
+    c.bench_function("fig3/popularity_cdf", |b| {
+        b.iter(|| black_box(sp.popularity_cdf(BrowserProfile::Default)))
+    });
+}
+
+fn bench_fig4_block_rates(c: &mut Criterion) {
+    let s = study();
+    let sp = StandardPopularity::compute(s.dataset(), s.registry());
+    c.bench_function("fig4/points", |b| {
+        b.iter(|| black_box(blocking::fig4_points(&sp, s.registry())))
+    });
+}
+
+fn bench_fig5_traffic_weighting(c: &mut Criterion) {
+    let s = study();
+    c.bench_function("fig5/traffic_weighted_points", |b| {
+        b.iter(|| black_box(traffic::fig5_points(s.dataset(), s.registry())))
+    });
+}
+
+fn bench_fig6_age(c: &mut Criterion) {
+    let s = study();
+    let sp = StandardPopularity::compute(s.dataset(), s.registry());
+    c.bench_function("fig6/points", |b| {
+        b.iter(|| black_box(age::fig6_points(&sp, s.registry())))
+    });
+}
+
+fn bench_fig7_dual_blocking(c: &mut Criterion) {
+    let s = study();
+    let sp = StandardPopularity::compute(s.dataset(), s.registry());
+    c.bench_function("fig7/dual_blocking_points", |b| {
+        b.iter(|| black_box(blocking::fig7_points(&sp, s.registry())))
+    });
+}
+
+fn bench_fig8_complexity(c: &mut Criterion) {
+    let s = study();
+    c.bench_function("fig8/complexity_distribution", |b| {
+        b.iter(|| black_box(complexity::complexity(s.dataset(), s.registry())))
+    });
+}
+
+fn bench_fig9_validation(c: &mut Criterion) {
+    let s = study();
+    let results: Vec<(bfu_webgen::SiteId, usize)> = (0..92)
+        .map(|i| (bfu_webgen::SiteId::new(i % 60), (i % 7) as usize / 3))
+        .collect();
+    c.bench_function("fig9/histogram", |b| {
+        b.iter(|| black_box(validation::histogram(&results)))
+    });
+    let mut group = c.benchmark_group("fig9_sessions");
+    group.sample_size(10);
+    group.bench_function("human_session_5_sites", |b| {
+        b.iter(|| black_box(s.external_validation(5)))
+    });
+    group.finish();
+}
+
+fn bench_fig1_history(c: &mut Criterion) {
+    c.bench_function("fig1/render_history", |b| {
+        b.iter(|| black_box(bfu_analysis::report::render_fig1()))
+    });
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let s = study();
+    c.bench_function("headline/feature_popularity_pass", |b| {
+        b.iter(|| {
+            let fp = FeaturePopularity::compute(s.dataset(), s.registry());
+            let sp = StandardPopularity::compute(s.dataset(), s.registry());
+            black_box(headline(&fp, &sp))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1_crawl,
+    bench_table2_aggregation,
+    bench_table3_convergence,
+    bench_fig1_history,
+    bench_fig3_cdf,
+    bench_fig4_block_rates,
+    bench_fig5_traffic_weighting,
+    bench_fig6_age,
+    bench_fig7_dual_blocking,
+    bench_fig8_complexity,
+    bench_fig9_validation,
+    bench_headline,
+);
+criterion_main!(benches);

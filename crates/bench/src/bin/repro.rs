@@ -1,0 +1,99 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro --all                         # everything at the default scale
+//! repro --experiment table2           # one table/figure
+//! repro --sites 2000 --seed 7 --all   # bigger ranking
+//! repro --full-depth --all            # paper-depth crawl (5 rounds × 13 pages × 30 s)
+//! ```
+//!
+//! Default scale is 600 sites at reduced depth — enough for every shape the
+//! paper reports while finishing in minutes on a laptop core. The numbers in
+//! EXPERIMENTS.md were produced with `--sites 2000 --full-depth`.
+
+use bfu_bench::{build_study, run_experiment, Experiment};
+use std::process::ExitCode;
+
+struct Args {
+    experiments: Vec<Experiment>,
+    sites: usize,
+    seed: u64,
+    full_depth: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = Vec::new();
+    let mut sites = 600usize;
+    let mut seed = 0x0B5E_55EDu64;
+    let mut full_depth = false;
+    let mut all = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--experiment" | "-e" => {
+                let v = argv.next().ok_or("--experiment needs a value")?;
+                experiments.push(v.parse::<Experiment>()?);
+            }
+            "--sites" => {
+                sites = argv
+                    .next()
+                    .ok_or("--sites needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sites: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--full-depth" => full_depth = true,
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: repro [--all] [--experiment <table1|table2|table3|fig1..fig9|headline>]... \
+                     [--sites N] [--seed N] [--full-depth]",
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if all || experiments.is_empty() {
+        experiments = Experiment::all().to_vec();
+    }
+    Ok(Args {
+        experiments,
+        sites,
+        seed,
+        full_depth,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# building study: {} sites, seed {}, {} depth…",
+        args.sites,
+        args.seed,
+        if args.full_depth { "paper" } else { "reduced" }
+    );
+    let t0 = std::time::Instant::now();
+    let study = build_study(args.sites, args.seed, args.full_depth);
+    eprintln!(
+        "# crawl finished in {:.1}s ({} sites measured)",
+        t0.elapsed().as_secs_f64(),
+        study.dataset().measured_sites()
+    );
+    for &e in &args.experiments {
+        println!("================ {e} ================");
+        println!("{}", run_experiment(&study, e));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,201 @@
+//! The experiment harness behind the `repro` binary.
+//!
+//! Each [`Experiment`] regenerates one table or figure of the paper from a
+//! fresh (or cached) study run, printing the same rows/series the paper
+//! reports, alongside the paper's published values where they exist.
+
+use bfu_analysis::report;
+use bfu_core::{Study, StudyConfig};
+use std::fmt;
+use std::str::FromStr;
+
+/// Every table/figure of the paper, plus the §5.3 headline block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Table 1: crawl scale.
+    Table1,
+    /// Table 2: per-standard popularity, block rate, CVEs.
+    Table2,
+    /// Table 3: new standards per round.
+    Table3,
+    /// Fig. 1: standards and browser LoC over time.
+    Fig1,
+    /// Fig. 2: the measurement pipeline (illustrated with real log lines).
+    Fig2,
+    /// Fig. 3: CDF of standard popularity.
+    Fig3,
+    /// Fig. 4: popularity vs block rate.
+    Fig4,
+    /// Fig. 5: site share vs visit share.
+    Fig5,
+    /// Fig. 6: introduction date vs popularity.
+    Fig6,
+    /// Fig. 7: ad-only vs tracker-only block rates.
+    Fig7,
+    /// Fig. 8: standards per site.
+    Fig8,
+    /// Fig. 9: external validation histogram.
+    Fig9,
+    /// §5.3 headline statistics.
+    Headline,
+}
+
+impl Experiment {
+    /// All experiments, in presentation order.
+    pub fn all() -> &'static [Experiment] {
+        &[
+            Experiment::Table1,
+            Experiment::Headline,
+            Experiment::Fig1,
+            Experiment::Fig2,
+            Experiment::Fig3,
+            Experiment::Fig4,
+            Experiment::Fig5,
+            Experiment::Fig6,
+            Experiment::Fig7,
+            Experiment::Fig8,
+            Experiment::Fig9,
+            Experiment::Table2,
+            Experiment::Table3,
+        ]
+    }
+}
+
+impl FromStr for Experiment {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "table1" => Experiment::Table1,
+            "table2" => Experiment::Table2,
+            "table3" => Experiment::Table3,
+            "fig1" => Experiment::Fig1,
+            "fig2" => Experiment::Fig2,
+            "fig3" => Experiment::Fig3,
+            "fig4" => Experiment::Fig4,
+            "fig5" => Experiment::Fig5,
+            "fig6" => Experiment::Fig6,
+            "fig7" => Experiment::Fig7,
+            "fig8" => Experiment::Fig8,
+            "fig9" => Experiment::Fig9,
+            "headline" => Experiment::Headline,
+            other => return Err(format!("unknown experiment {other:?}")),
+        })
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format!("{self:?}").to_ascii_lowercase())
+    }
+}
+
+/// Render one experiment from a completed study.
+pub fn run_experiment(study: &Study, experiment: Experiment) -> String {
+    let rep = study.report();
+    match experiment {
+        Experiment::Table1 => report::render_table1(&rep.table1),
+        Experiment::Table2 => report::render_table2(&rep.table2),
+        Experiment::Table3 => report::render_table3(&rep.table3),
+        Experiment::Fig1 => report::render_fig1(),
+        Experiment::Fig2 => render_fig2(study),
+        Experiment::Fig3 => report::render_fig3(&rep.fig3),
+        Experiment::Fig4 => report::render_fig4(&rep.fig4),
+        Experiment::Fig5 => report::render_fig5(&rep.fig5),
+        Experiment::Fig6 => report::render_fig6(&rep.fig6),
+        Experiment::Fig7 => report::render_fig7(&rep.fig7),
+        Experiment::Fig8 => report::render_fig8(&rep.fig8),
+        Experiment::Fig9 => {
+            let h = study.external_validation(92.min(study.config().sites));
+            report::render_fig9(&h)
+        }
+        Experiment::Headline => rep.headline_text(),
+    }
+}
+
+/// Fig. 2 is the measurement-pipeline diagram; we reproduce it by crawling
+/// one site in both configurations and printing the extension's log lines,
+/// exactly in the figure's `profile,domain,Feature(),count` format.
+fn render_fig2(study: &Study) -> String {
+    use bfu_crawler::BrowserProfile;
+    let mut out = String::from(
+        "Fig 2: one measurement iteration — extension log lines (profile,domain,feature,count)\n",
+    );
+    let dataset = study.dataset();
+    let registry = study.registry();
+    let site = dataset
+        .sites
+        .iter()
+        .find(|s| s.measured(BrowserProfile::Default))
+        .expect("some measured site");
+    for (profile, label) in [
+        (BrowserProfile::Blocking, "blocking"),
+        (BrowserProfile::Default, "default"),
+    ] {
+        if let Some(rounds) = site.rounds_for(profile) {
+            if let Some(round) = rounds.first() {
+                for line in round.log.render_lines(label, &site.domain, registry).iter().take(8)
+                {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the study used by `repro` at the requested scale.
+pub fn build_study(sites: usize, seed: u64, full_depth: bool) -> Study {
+    let config = if full_depth {
+        StudyConfig {
+            sites,
+            seed,
+            ..StudyConfig::default()
+        }
+    } else {
+        StudyConfig::quick(sites, seed)
+    };
+    Study::run(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    static STUDY: OnceLock<Study> = OnceLock::new();
+
+    fn study() -> &'static Study {
+        STUDY.get_or_init(|| build_study(20, 3, false))
+    }
+
+    #[test]
+    fn experiment_names_roundtrip() {
+        for &e in Experiment::all() {
+            let name = e.to_string();
+            assert_eq!(name.parse::<Experiment>().unwrap(), e, "{name}");
+        }
+        assert!("nope".parse::<Experiment>().is_err());
+    }
+
+    #[test]
+    fn every_experiment_renders() {
+        for &e in Experiment::all() {
+            let text = run_experiment(study(), e);
+            assert!(!text.trim().is_empty(), "{e} rendered nothing");
+        }
+    }
+
+    #[test]
+    fn fig2_lines_match_paper_format() {
+        let text = run_experiment(study(), Experiment::Fig2);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("default,") || l.starts_with("blocking,"))
+            .expect("log lines present");
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 4, "{line}");
+        assert!(fields[3].parse::<u64>().is_ok());
+    }
+}

@@ -1,0 +1,16 @@
+//! # bfu-bench
+//!
+//! Benchmark harness and the `repro` binary.
+//!
+//! `cargo bench -p bfu-bench` runs Criterion benches covering every table
+//! and figure plus the ablations called out in DESIGN.md. The `repro`
+//! binary regenerates each table/figure as text:
+//!
+//! ```text
+//! cargo run -p bfu-bench --release --bin repro -- --experiment table2
+//! cargo run -p bfu-bench --release --bin repro -- --all
+//! ```
+
+pub mod harness;
+
+pub use harness::{build_study, run_experiment, Experiment};

@@ -1,0 +1,295 @@
+//! The filter matching engine.
+//!
+//! Naively, every request checks every rule — EasyList has tens of thousands.
+//! Like production blockers, we index rules by an 8-byte token drawn from
+//! each rule's longest literal fragment; a request only tests rules whose
+//! token appears in its URL. Rules with no usable token fall into a small
+//! always-checked bucket. The `bench` crate ablates this index against the
+//! naive scan.
+
+use crate::filter::{FilterParseError, FilterRule, RuleKind};
+use bfu_net::HttpRequest;
+use std::collections::HashMap;
+
+/// Minimum token length for the index.
+const TOKEN_LEN: usize = 8;
+
+/// A compiled filter list.
+#[derive(Debug, Default)]
+pub struct FilterEngine {
+    block_rules: Vec<FilterRule>,
+    exception_rules: Vec<FilterRule>,
+    hide_rules: Vec<FilterRule>,
+    /// token -> indices into `block_rules`.
+    index: HashMap<u64, Vec<u32>>,
+    /// Block rules with no indexable token.
+    unindexed: Vec<u32>,
+    /// Lines that failed to parse (kept for diagnostics).
+    rejected: usize,
+}
+
+fn hash_token(t: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in t {
+        h ^= u64::from(b.to_ascii_lowercase());
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl FilterEngine {
+    /// Compile a filter list from its text. Comment/blank lines are skipped;
+    /// malformed rules are counted but don't fail the load (real blockers
+    /// tolerate junk lines in crowd-sourced lists).
+    pub fn from_list(text: &str) -> Self {
+        let mut engine = FilterEngine::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('!') || line.starts_with('[') {
+                continue;
+            }
+            match FilterRule::parse(line) {
+                Ok(rule) => engine.add_rule(rule),
+                Err(FilterParseError(_)) => engine.rejected += 1,
+            }
+        }
+        engine
+    }
+
+    /// Add one parsed rule.
+    pub fn add_rule(&mut self, rule: FilterRule) {
+        match (&rule.kind, rule.exception) {
+            (RuleKind::ElementHide { .. }, _) => self.hide_rules.push(rule),
+            (RuleKind::Network, true) => self.exception_rules.push(rule),
+            (RuleKind::Network, false) => {
+                let ix = u32::try_from(self.block_rules.len()).expect("too many rules");
+                let token = rule
+                    .literal_fragments()
+                    .into_iter()
+                    .flat_map(|frag| frag.as_bytes().windows(TOKEN_LEN))
+                    .next_back();
+                match token {
+                    Some(t) => self.index.entry(hash_token(t)).or_default().push(ix),
+                    None => self.unindexed.push(ix),
+                }
+                self.block_rules.push(rule);
+            }
+        }
+    }
+
+    /// Number of network blocking rules.
+    pub fn block_rule_count(&self) -> usize {
+        self.block_rules.len()
+    }
+
+    /// Number of exception rules.
+    pub fn exception_rule_count(&self) -> usize {
+        self.exception_rules.len()
+    }
+
+    /// Number of element hiding rules.
+    pub fn hide_rule_count(&self) -> usize {
+        self.hide_rules.len()
+    }
+
+    /// Lines that failed to parse during `from_list`.
+    pub fn rejected_lines(&self) -> usize {
+        self.rejected
+    }
+
+    /// Decide whether `req` should be blocked. Returns the matching rule's
+    /// text, or `None` to allow. Exceptions override blocks.
+    pub fn match_request(&self, req: &HttpRequest) -> Option<&str> {
+        let url = req.url.to_string();
+        let blocked = self.match_via_index(req, &url)?;
+        // An exception rule rescues the request.
+        for exc in &self.exception_rules {
+            if exc.options_allow(req) && exc.matches_url(&url) {
+                return None;
+            }
+        }
+        Some(blocked)
+    }
+
+    fn match_via_index(&self, req: &HttpRequest, url: &str) -> Option<&str> {
+        let bytes = url.as_bytes();
+        let mut seen: Vec<u32> = Vec::new();
+        for w in bytes.windows(TOKEN_LEN) {
+            if let Some(rules) = self.index.get(&hash_token(w)) {
+                seen.extend_from_slice(rules);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        for &ix in seen.iter().chain(&self.unindexed) {
+            let rule = &self.block_rules[ix as usize];
+            if rule.options_allow(req) && rule.matches_url(url) {
+                return Some(&rule.raw);
+            }
+        }
+        None
+    }
+
+    /// Same decision computed by scanning every rule (no token index).
+    /// Used by tests and the ablation bench to validate the index.
+    pub fn match_request_naive(&self, req: &HttpRequest) -> Option<&str> {
+        let url = req.url.to_string();
+        let mut hit = None;
+        for rule in &self.block_rules {
+            if rule.options_allow(req) && rule.matches_url(&url) {
+                hit = Some(rule.raw.as_str());
+                break;
+            }
+        }
+        hit?;
+        for exc in &self.exception_rules {
+            if exc.options_allow(req) && exc.matches_url(&url) {
+                return None;
+            }
+        }
+        hit
+    }
+
+    /// Element-hiding selectors applicable on a page whose registrable
+    /// domain is `domain`.
+    pub fn hiding_selectors(&self, domain: &str) -> Vec<&str> {
+        self.hide_rules
+            .iter()
+            .filter(|r| {
+                r.hide_domains.is_empty()
+                    || r.hide_domains.iter().any(|d| {
+                        domain == d || domain.ends_with(&format!(".{d}"))
+                    })
+            })
+            .filter_map(|r| match &r.kind {
+                RuleKind::ElementHide { selector } => Some(selector.as_str()),
+                RuleKind::Network => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_net::{ResourceType, Url};
+
+    fn req(url: &str, ty: ResourceType, initiator: Option<&str>) -> HttpRequest {
+        let mut r = HttpRequest::get(Url::parse(url).unwrap(), ty);
+        if let Some(i) = initiator {
+            r = r.with_initiator(Url::parse(i).unwrap());
+        }
+        r
+    }
+
+    const LIST: &str = r#"
+! Test list
+[Adblock Plus 2.0]
+||ads.example.com^
+||tracker.net^$script,third-party
+/banner/*/img^
+@@||ads.example.com/acceptable^
+##.ad-slot
+news.com##.sponsored
+this line is } not a valid rule ##
+"#;
+
+    #[test]
+    fn loads_list_counting_kinds() {
+        let e = FilterEngine::from_list(LIST);
+        assert_eq!(e.block_rule_count(), 3);
+        assert_eq!(e.exception_rule_count(), 1);
+        assert_eq!(e.hide_rule_count(), 2);
+    }
+
+    #[test]
+    fn blocks_and_excepts() {
+        let e = FilterEngine::from_list(LIST);
+        assert!(e
+            .match_request(&req("http://ads.example.com/b.png", ResourceType::Image, None))
+            .is_some());
+        assert!(
+            e.match_request(&req(
+                "http://ads.example.com/acceptable/x.png",
+                ResourceType::Image,
+                None
+            ))
+            .is_none(),
+            "exception rule rescues"
+        );
+        assert!(e
+            .match_request(&req("http://safe.org/", ResourceType::Document, None))
+            .is_none());
+    }
+
+    #[test]
+    fn options_respected_through_engine() {
+        let e = FilterEngine::from_list(LIST);
+        let third = req(
+            "http://tracker.net/t.js",
+            ResourceType::Script,
+            Some("http://news.com/"),
+        );
+        assert!(e.match_request(&third).is_some());
+        let first = req(
+            "http://tracker.net/t.js",
+            ResourceType::Script,
+            Some("http://tracker.net/"),
+        );
+        assert!(e.match_request(&first).is_none(), "third-party only");
+        let img = req(
+            "http://tracker.net/t.gif",
+            ResourceType::Image,
+            Some("http://news.com/"),
+        );
+        assert!(e.match_request(&img).is_none(), "script/xhr only");
+    }
+
+    #[test]
+    fn index_agrees_with_naive_scan() {
+        let e = FilterEngine::from_list(LIST);
+        let cases = [
+            req("http://ads.example.com/b.png", ResourceType::Image, None),
+            req("http://x.com/banner/2016/img?a=1", ResourceType::Image, None),
+            req("http://tracker.net/t.js", ResourceType::Script, Some("http://news.com/")),
+            req("http://clean.org/app.js", ResourceType::Script, None),
+            req("http://ads.example.com/acceptable/i.gif", ResourceType::Image, None),
+        ];
+        for c in &cases {
+            assert_eq!(
+                e.match_request(c).is_some(),
+                e.match_request_naive(c).is_some(),
+                "{}",
+                c.url
+            );
+        }
+    }
+
+    #[test]
+    fn short_pattern_rules_fall_back_to_unindexed() {
+        let mut e = FilterEngine::default();
+        e.add_rule(FilterRule::parse("/ad^").unwrap());
+        assert_eq!(e.block_rule_count(), 1);
+        assert!(e
+            .match_request(&req("http://x.com/ad?z=1", ResourceType::Image, None))
+            .is_some());
+    }
+
+    #[test]
+    fn hiding_selectors_scoped_by_domain() {
+        let e = FilterEngine::from_list(LIST);
+        assert_eq!(e.hiding_selectors("blog.org"), vec![".ad-slot"]);
+        let mut on_news = e.hiding_selectors("news.com");
+        on_news.sort_unstable();
+        assert_eq!(on_news, vec![".ad-slot", ".sponsored"]);
+        // Subdomain of a scoped domain also matches.
+        assert!(e.hiding_selectors("sub.news.com").contains(&".sponsored"));
+    }
+
+    #[test]
+    fn junk_lines_counted_not_fatal() {
+        let e = FilterEngine::from_list("!comment\n\n@@\n");
+        assert_eq!(e.block_rule_count(), 0);
+        assert_eq!(e.rejected_lines(), 1, "bare @@ is junk");
+    }
+}

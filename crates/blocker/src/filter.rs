@@ -1,0 +1,485 @@
+//! AdBlock Plus filter-rule syntax.
+//!
+//! Parses the rule dialect EasyList uses (the list AdBlock Plus draws from,
+//! §3.6 of the paper):
+//!
+//! ```text
+//! ! comment
+//! ||ads.example.com^            domain-anchored blocking rule
+//! |http://exact.start/path     start-anchored rule
+//! /banner/*/img^               substring rule with wildcard + separator
+//! ||tracker.net^$script,third-party   type / party options
+//! ||cdn.net^$domain=news.com|~sports.news.com   domain scoping
+//! @@||goodsite.com^$script     exception rule
+//! ##.ad-banner                 element hiding (global)
+//! news.com##.sponsored         element hiding (domain-scoped)
+//! ```
+
+use bfu_net::HttpRequest;
+use std::collections::HashSet;
+use std::fmt;
+
+/// How a rule's pattern is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Plain substring match anywhere in the URL.
+    None,
+    /// `||` — match at a hostname label boundary.
+    Domain,
+    /// `|` — match at the very start of the URL.
+    Start,
+}
+
+/// Kind of rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Network blocking rule (possibly an exception when `exception`).
+    Network,
+    /// Element hiding rule carrying a CSS selector.
+    ElementHide {
+        /// CSS selector to hide.
+        selector: String,
+    },
+}
+
+/// Parsed `$` options of a network rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterOptions {
+    /// Resource types the rule applies to (empty = all types).
+    pub types: HashSet<String>,
+    /// Resource types excluded via `~type`.
+    pub not_types: HashSet<String>,
+    /// `third-party` restriction: `Some(true)` = third-party only,
+    /// `Some(false)` = first-party only.
+    pub third_party: Option<bool>,
+    /// `domain=` inclusions (registrable domains of the *initiating* page).
+    pub include_domains: Vec<String>,
+    /// `domain=` exclusions (`~` prefixed).
+    pub exclude_domains: Vec<String>,
+}
+
+/// One parsed filter rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterRule {
+    /// Original rule text.
+    pub raw: String,
+    /// Network or element-hiding.
+    pub kind: RuleKind,
+    /// `@@` exception flag.
+    pub exception: bool,
+    /// Pattern anchor.
+    pub anchor: Anchor,
+    /// Whether the pattern requires the match to end at the URL end (`|`).
+    pub anchor_end: bool,
+    /// The pattern body (without anchors), still containing `*` and `^`.
+    pub pattern: String,
+    /// Domains scoping an element-hiding rule (empty = all domains).
+    pub hide_domains: Vec<String>,
+    /// Options for network rules.
+    pub options: FilterOptions,
+}
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterParseError(pub String);
+
+impl fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad filter rule: {}", self.0)
+    }
+}
+
+impl std::error::Error for FilterParseError {}
+
+impl FilterRule {
+    /// Parse one non-comment line of a filter list.
+    pub fn parse(line: &str) -> Result<FilterRule, FilterParseError> {
+        let raw = line.trim().to_owned();
+        if raw.is_empty() || raw.starts_with('!') {
+            return Err(FilterParseError("comment or empty line".into()));
+        }
+
+        // Element hiding: [domains]##selector
+        if let Some((domains, selector)) = raw.split_once("##") {
+            if selector.trim().is_empty() {
+                return Err(FilterParseError(format!("empty selector in {raw:?}")));
+            }
+            let hide_domains = domains
+                .split(',')
+                .map(str::trim)
+                .filter(|d| !d.is_empty())
+                .map(|d| d.to_ascii_lowercase())
+                .collect();
+            return Ok(FilterRule {
+                raw: raw.clone(),
+                kind: RuleKind::ElementHide {
+                    selector: selector.trim().to_owned(),
+                },
+                exception: false,
+                anchor: Anchor::None,
+                anchor_end: false,
+                pattern: String::new(),
+                hide_domains,
+                options: FilterOptions::default(),
+            });
+        }
+
+        let (exception, body) = match raw.strip_prefix("@@") {
+            Some(b) => (true, b),
+            None => (false, raw.as_str()),
+        };
+
+        let (body, options) = match body.rsplit_once('$') {
+            // A '$' inside a URL path is rare in practice; treat the last '$'
+            // as the options separator only if what follows parses as options.
+            Some((pat, opts)) if looks_like_options(opts) => {
+                (pat, parse_options(opts)?)
+            }
+            _ => (body, FilterOptions::default()),
+        };
+
+        let (anchor, body) = if let Some(b) = body.strip_prefix("||") {
+            (Anchor::Domain, b)
+        } else if let Some(b) = body.strip_prefix('|') {
+            (Anchor::Start, b)
+        } else {
+            (Anchor::None, body)
+        };
+        let (anchor_end, body) = match body.strip_suffix('|') {
+            Some(b) => (true, b),
+            None => (false, body),
+        };
+        if body.is_empty() {
+            return Err(FilterParseError(format!("empty pattern in {raw:?}")));
+        }
+        Ok(FilterRule {
+            raw: raw.clone(),
+            kind: RuleKind::Network,
+            exception,
+            anchor,
+            anchor_end,
+            pattern: body.to_owned(),
+            hide_domains: Vec::new(),
+            options,
+        })
+    }
+
+    /// Whether this network rule's pattern matches the URL string.
+    pub fn matches_url(&self, url: &str) -> bool {
+        debug_assert!(matches!(self.kind, RuleKind::Network));
+        let pat: Vec<char> = self.pattern.chars().collect();
+        let s: Vec<char> = url.chars().collect();
+        match self.anchor {
+            Anchor::Start => match_from(&pat, &s, 0, self.anchor_end),
+            Anchor::Domain => {
+                // Match at the start of the hostname or after any dot in it.
+                let Some(host_start) = url.find("://").map(|i| i + 3) else {
+                    return false;
+                };
+                let host_end = url[host_start..]
+                    .find(['/', ':', '?'])
+                    .map_or(url.len(), |i| host_start + i);
+                let mut starts = vec![host_start];
+                for (i, b) in url[host_start..host_end].bytes().enumerate() {
+                    if b == b'.' {
+                        starts.push(host_start + i + 1);
+                    }
+                }
+                starts
+                    .into_iter()
+                    .any(|at| match_from(&pat, &s, at, self.anchor_end))
+            }
+            Anchor::None => {
+                (0..=s.len()).any(|at| match_from(&pat, &s, at, self.anchor_end))
+            }
+        }
+    }
+
+    /// Whether the rule's options admit this request.
+    pub fn options_allow(&self, req: &HttpRequest) -> bool {
+        let opts = &self.options;
+        let ty = req.resource_type.abp_option();
+        if !opts.types.is_empty() && !opts.types.contains(ty) {
+            return false;
+        }
+        if opts.not_types.contains(ty) {
+            return false;
+        }
+        if let Some(wants_third) = opts.third_party {
+            if req.is_third_party() != wants_third {
+                return false;
+            }
+        }
+        if !opts.include_domains.is_empty() || !opts.exclude_domains.is_empty() {
+            let Some(init) = &req.initiator else {
+                return opts.include_domains.is_empty();
+            };
+            let dom = init.registrable_domain();
+            if opts.exclude_domains.iter().any(|d| d == dom) {
+                return false;
+            }
+            if !opts.include_domains.is_empty()
+                && !opts.include_domains.iter().any(|d| d == dom)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Full decision: pattern and options both match.
+    pub fn matches(&self, req: &HttpRequest) -> bool {
+        self.options_allow(req) && self.matches_url(&req.url.to_string())
+    }
+
+    /// Literal (wildcard-free, separator-free) fragments of the pattern,
+    /// used by the engine's token index.
+    pub fn literal_fragments(&self) -> Vec<&str> {
+        self.pattern
+            .split(['*', '^'])
+            .filter(|f| !f.is_empty())
+            .collect()
+    }
+}
+
+fn looks_like_options(s: &str) -> bool {
+    !s.is_empty()
+        && s.split(',').all(|o| {
+            let o = o.trim().trim_start_matches('~');
+            o.starts_with("domain=")
+                || matches!(
+                    o,
+                    "script"
+                        | "image"
+                        | "stylesheet"
+                        | "font"
+                        | "media"
+                        | "xmlhttprequest"
+                        | "subdocument"
+                        | "document"
+                        | "ping"
+                        | "websocket"
+                        | "other"
+                        | "third-party"
+                )
+        })
+}
+
+fn parse_options(s: &str) -> Result<FilterOptions, FilterParseError> {
+    let mut opts = FilterOptions::default();
+    for item in s.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if let Some(domains) = item.strip_prefix("domain=") {
+            for d in domains.split('|') {
+                let d = d.trim().to_ascii_lowercase();
+                if let Some(excl) = d.strip_prefix('~') {
+                    opts.exclude_domains.push(excl.to_owned());
+                } else if !d.is_empty() {
+                    opts.include_domains.push(d);
+                }
+            }
+        } else if item == "third-party" {
+            opts.third_party = Some(true);
+        } else if item == "~third-party" {
+            opts.third_party = Some(false);
+        } else if let Some(t) = item.strip_prefix('~') {
+            opts.not_types.insert(t.to_owned());
+        } else {
+            opts.types.insert(item.to_owned());
+        }
+    }
+    Ok(opts)
+}
+
+/// Is `c` an ABP "separator" character (matched by `^`)?
+fn is_separator(c: char) -> bool {
+    !(c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '%')
+}
+
+/// Match pattern `pat` against `s` starting at `at`. `^` matches a separator
+/// or the end of the string; `*` matches any span.
+fn match_from(pat: &[char], s: &[char], at: usize, anchor_end: bool) -> bool {
+    fn go(pat: &[char], s: &[char], mut si: usize, anchor_end: bool) -> bool {
+        let mut pi = 0;
+        while pi < pat.len() {
+            match pat[pi] {
+                '*' => {
+                    // Greedy with backtracking: try every suffix.
+                    let rest = &pat[pi + 1..];
+                    if rest.is_empty() {
+                        return true; // trailing '*' absorbs everything, even to the end anchor
+                    }
+                    for start in si..=s.len() {
+                        if go(rest, s, start, anchor_end) {
+                            return true;
+                        }
+                    }
+                    return false;
+                }
+                '^' => {
+                    if si == s.len() {
+                        // `^` may match the end of the URL only if it's the
+                        // final pattern char.
+                        return pi == pat.len() - 1;
+                    }
+                    if !is_separator(s[si]) {
+                        return false;
+                    }
+                    si += 1;
+                    pi += 1;
+                }
+                c => {
+                    if si >= s.len() || s[si] != c {
+                        return false;
+                    }
+                    si += 1;
+                    pi += 1;
+                }
+            }
+        }
+        !anchor_end || si == s.len()
+    }
+    if at > s.len() {
+        return false;
+    }
+    go(pat, s, at, anchor_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_net::{ResourceType, Url};
+
+    fn rule(s: &str) -> FilterRule {
+        FilterRule::parse(s).unwrap()
+    }
+
+    fn req(url: &str, ty: ResourceType, initiator: Option<&str>) -> HttpRequest {
+        let mut r = HttpRequest::get(Url::parse(url).unwrap(), ty);
+        if let Some(i) = initiator {
+            r = r.with_initiator(Url::parse(i).unwrap());
+        }
+        r
+    }
+
+    #[test]
+    fn comments_rejected() {
+        assert!(FilterRule::parse("! a comment").is_err());
+        assert!(FilterRule::parse("").is_err());
+    }
+
+    #[test]
+    fn domain_anchor_matches_label_boundaries() {
+        let r = rule("||ads.example.com^");
+        assert!(r.matches_url("http://ads.example.com/banner.png"));
+        assert!(r.matches_url("https://sub.ads.example.com/x")); // after a dot
+        assert!(!r.matches_url("http://notads.example.com/x"), "no label boundary");
+        assert!(!r.matches_url("http://example.com/ads.example.com"));
+    }
+
+    #[test]
+    fn separator_semantics() {
+        let r = rule("||example.com^");
+        assert!(r.matches_url("http://example.com/"));
+        assert!(r.matches_url("http://example.com:8080/"));
+        assert!(r.matches_url("http://example.com")); // ^ at end of URL
+        assert!(!r.matches_url("http://example.company.net/"), "'c' is not a separator");
+    }
+
+    #[test]
+    fn start_anchor_and_end_anchor() {
+        let r = rule("|http://exact.com/path|");
+        assert!(r.matches_url("http://exact.com/path"));
+        assert!(!r.matches_url("http://exact.com/path/more"));
+        assert!(!r.matches_url("https://pre.fix/http://exact.com/path"));
+    }
+
+    #[test]
+    fn substring_and_wildcards() {
+        let r = rule("/banner/*/ad^");
+        assert!(r.matches_url("http://x.com/banner/2016/ad?x=1"));
+        assert!(r.matches_url("http://x.com/banner/a/b/ad/"));
+        assert!(!r.matches_url("http://x.com/banner/ad"));
+    }
+
+    #[test]
+    fn options_types() {
+        let r = rule("||tracker.net^$script,xmlhttprequest");
+        assert!(r.matches(&req("http://tracker.net/t.js", ResourceType::Script, None)));
+        assert!(!r.matches(&req("http://tracker.net/p.gif", ResourceType::Image, None)));
+        let neg = rule("||tracker.net^$~image");
+        assert!(neg.matches(&req("http://tracker.net/t.js", ResourceType::Script, None)));
+        assert!(!neg.matches(&req("http://tracker.net/p.gif", ResourceType::Image, None)));
+    }
+
+    #[test]
+    fn options_third_party() {
+        let r = rule("||wide.net^$third-party");
+        assert!(r.matches(&req(
+            "http://wide.net/x.js",
+            ResourceType::Script,
+            Some("http://news.com/")
+        )));
+        assert!(!r.matches(&req(
+            "http://wide.net/x.js",
+            ResourceType::Script,
+            Some("http://wide.net/")
+        )));
+    }
+
+    #[test]
+    fn options_domain_scoping() {
+        let r = rule("||cdn.net^$domain=news.com|~sports.news.com");
+        assert!(r.matches(&req(
+            "http://cdn.net/a.js",
+            ResourceType::Script,
+            Some("http://www.news.com/")
+        )));
+        assert!(!r.matches(&req(
+            "http://cdn.net/a.js",
+            ResourceType::Script,
+            Some("http://blog.org/")
+        )));
+    }
+
+    #[test]
+    fn exception_rules() {
+        let r = rule("@@||goodsite.com^$script");
+        assert!(r.exception);
+        assert!(r.matches(&req("http://goodsite.com/app.js", ResourceType::Script, None)));
+    }
+
+    #[test]
+    fn element_hiding_rules() {
+        let global = rule("##.ad-banner");
+        assert!(matches!(&global.kind, RuleKind::ElementHide { selector } if selector == ".ad-banner"));
+        assert!(global.hide_domains.is_empty());
+        let scoped = rule("news.com,blog.org##.sponsored");
+        assert_eq!(scoped.hide_domains, vec!["news.com", "blog.org"]);
+        assert!(FilterRule::parse("news.com##").is_err());
+    }
+
+    #[test]
+    fn dollar_in_path_not_treated_as_options() {
+        let r = rule("/cgi$foo/");
+        assert!(matches!(r.kind, RuleKind::Network));
+        assert_eq!(r.pattern, "/cgi$foo/");
+        assert!(r.matches_url("http://x.com/cgi$foo/run"));
+    }
+
+    #[test]
+    fn literal_fragments_for_tokenization() {
+        let r = rule("||ads.example.com^/banner/*");
+        assert_eq!(r.literal_fragments(), vec!["ads.example.com", "/banner/"]);
+    }
+
+    #[test]
+    fn plain_substring_rule() {
+        let r = rule("doubleclick");
+        assert!(r.matches_url("http://ad.doubleclick.net/pixel"));
+        assert!(!r.matches_url("http://example.com/"));
+    }
+}

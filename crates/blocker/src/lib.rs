@@ -1,0 +1,28 @@
+//! # bfu-blocker
+//!
+//! Advertising and tracking blockers, reproduced as real request-filtering
+//! engines rather than hard-coded outcomes.
+//!
+//! The paper installs AdBlock Plus (crowd-sourced URL filter rules plus
+//! element hiding) and Ghostery (a curated tracker database). Block rates in
+//! its results *emerge* from requests those extensions stop; ours do too:
+//!
+//! - [`filter`] — ABP filter-rule parser: `||` and `|` anchors, `^`
+//!   separator, `*` wildcards, and `$` options (`script`, `image`,
+//!   `third-party`, `domain=`, ...), plus `##` element-hiding rules and
+//!   `@@` exceptions.
+//! - [`engine`] — the matching engine with a token index so rule lookup is
+//!   sublinear in list size (ablated in the benches).
+//! - [`tracker`] — Ghostery-style tracker database keyed by registrable
+//!   domain with categories.
+//! - [`policy`] — composition into the `RequestPolicy` the browser consults.
+
+pub mod engine;
+pub mod filter;
+pub mod policy;
+pub mod tracker;
+
+pub use engine::FilterEngine;
+pub use filter::{FilterRule, FilterOptions, RuleKind};
+pub use policy::{BlockDecision, BlockerStack};
+pub use tracker::{TrackerCategory, TrackerDb};

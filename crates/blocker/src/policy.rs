@@ -1,0 +1,174 @@
+//! Composition of blockers into the request policy the browser consults.
+//!
+//! The paper crawls with four browser configurations: default (no blockers),
+//! AdBlock Plus only, Ghostery only (both for Fig. 7), and ABP + Ghostery
+//! together (the main "blocking" condition). [`BlockerStack`] models any of
+//! those, plus element-hiding selector collection.
+
+use crate::engine::FilterEngine;
+use crate::tracker::TrackerDb;
+use bfu_net::HttpRequest;
+use std::sync::Arc;
+
+/// Which extension blocked a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockDecision {
+    /// Allowed through.
+    Allow,
+    /// Blocked by the ad-blocking filter list; carries the rule text.
+    BlockedByAdblock(String),
+    /// Blocked by the tracker database; carries the category label.
+    BlockedByTracker(&'static str),
+}
+
+impl BlockDecision {
+    /// Whether the request is blocked.
+    pub fn is_blocked(&self) -> bool {
+        !matches!(self, BlockDecision::Allow)
+    }
+}
+
+/// An installed set of blocking extensions.
+#[derive(Debug, Clone, Default)]
+pub struct BlockerStack {
+    adblock: Option<Arc<FilterEngine>>,
+    ghostery: Option<Arc<TrackerDb>>,
+}
+
+impl BlockerStack {
+    /// No blockers installed (the paper's default configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Install an ABP-style filter engine.
+    pub fn with_adblock(mut self, engine: Arc<FilterEngine>) -> Self {
+        self.adblock = Some(engine);
+        self
+    }
+
+    /// Install a Ghostery-style tracker database.
+    pub fn with_ghostery(mut self, db: Arc<TrackerDb>) -> Self {
+        self.ghostery = Some(db);
+        self
+    }
+
+    /// Whether any blocker is installed.
+    pub fn any_installed(&self) -> bool {
+        self.adblock.is_some() || self.ghostery.is_some()
+    }
+
+    /// Decide a request. The ad blocker is consulted first (matching the
+    /// paper's extension ordering); the tracker blocker second.
+    pub fn decide(&self, req: &HttpRequest) -> BlockDecision {
+        if let Some(abp) = &self.adblock {
+            if let Some(rule) = abp.match_request(req) {
+                return BlockDecision::BlockedByAdblock(rule.to_owned());
+            }
+        }
+        if let Some(gh) = &self.ghostery {
+            if let Some(cat) = gh.match_request(req) {
+                return BlockDecision::BlockedByTracker(cat.label());
+            }
+        }
+        BlockDecision::Allow
+    }
+
+    /// Element-hiding selectors for a page on `domain` (ad blocker only;
+    /// Ghostery does not hide elements).
+    pub fn hiding_selectors(&self, domain: &str) -> Vec<String> {
+        self.adblock
+            .as_ref()
+            .map(|abp| {
+                abp.hiding_selectors(domain)
+                    .into_iter()
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::TrackerCategory;
+    use bfu_net::{ResourceType, Url};
+
+    fn req(url: &str, initiator: &str) -> HttpRequest {
+        HttpRequest::get(Url::parse(url).unwrap(), ResourceType::Script)
+            .with_initiator(Url::parse(initiator).unwrap())
+    }
+
+    fn stack() -> BlockerStack {
+        let abp = FilterEngine::from_list("||adnet.com^\n##.ad\n");
+        let mut db = TrackerDb::new();
+        db.add("spyglass.io", TrackerCategory::Tracking);
+        BlockerStack::none()
+            .with_adblock(Arc::new(abp))
+            .with_ghostery(Arc::new(db))
+    }
+
+    #[test]
+    fn empty_stack_allows_everything() {
+        let s = BlockerStack::none();
+        assert!(!s.any_installed());
+        assert_eq!(
+            s.decide(&req("http://adnet.com/a.js", "http://x.com/")),
+            BlockDecision::Allow
+        );
+        assert!(s.hiding_selectors("x.com").is_empty());
+    }
+
+    #[test]
+    fn adblock_takes_priority() {
+        let s = stack();
+        let d = s.decide(&req("http://adnet.com/a.js", "http://x.com/"));
+        assert!(matches!(d, BlockDecision::BlockedByAdblock(_)));
+        assert!(d.is_blocked());
+    }
+
+    #[test]
+    fn tracker_blocked_when_adblock_misses() {
+        let s = stack();
+        let d = s.decide(&req("http://spyglass.io/t.js", "http://x.com/"));
+        assert_eq!(d, BlockDecision::BlockedByTracker("tracking"));
+    }
+
+    #[test]
+    fn clean_request_allowed() {
+        let s = stack();
+        assert_eq!(
+            s.decide(&req("http://x.com/app.js", "http://x.com/")),
+            BlockDecision::Allow
+        );
+    }
+
+    #[test]
+    fn hiding_selectors_come_from_adblock() {
+        let s = stack();
+        assert_eq!(s.hiding_selectors("anything.com"), vec![".ad"]);
+    }
+
+    #[test]
+    fn single_extension_configurations() {
+        let abp_only =
+            BlockerStack::none().with_adblock(Arc::new(FilterEngine::from_list("||adnet.com^")));
+        assert!(abp_only
+            .decide(&req("http://adnet.com/x.js", "http://a.com/"))
+            .is_blocked());
+        assert!(!abp_only
+            .decide(&req("http://spyglass.io/t.js", "http://a.com/"))
+            .is_blocked());
+
+        let mut db = TrackerDb::new();
+        db.add("spyglass.io", TrackerCategory::Tracking);
+        let gh_only = BlockerStack::none().with_ghostery(Arc::new(db));
+        assert!(gh_only
+            .decide(&req("http://spyglass.io/t.js", "http://a.com/"))
+            .is_blocked());
+        assert!(!gh_only
+            .decide(&req("http://adnet.com/x.js", "http://a.com/"))
+            .is_blocked());
+    }
+}

@@ -1,0 +1,170 @@
+//! Ghostery-style tracker database.
+//!
+//! Ghostery (§3.6) blocks resources and cookies associated with cross-domain
+//! passive tracking, as curated by its maintainer. We model that as a
+//! database of registrable domains tagged with a category; third-party
+//! requests to a listed domain are blocked unless the category is exempt.
+
+use bfu_net::HttpRequest;
+use std::collections::HashMap;
+
+/// Why a domain is in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackerCategory {
+    /// Cross-site audience tracking / fingerprinting.
+    Tracking,
+    /// Analytics beacons (page-view counting et al.).
+    Analytics,
+    /// Advertising exchanges that also track.
+    AdTracking,
+    /// Social-media widgets with embedded tracking.
+    Social,
+    /// Listed but exempt (e.g. essential CDNs users whitelist by default).
+    Exempt,
+}
+
+impl TrackerCategory {
+    /// Whether Ghostery blocks this category by default.
+    pub fn blocked_by_default(self) -> bool {
+        !matches!(self, TrackerCategory::Exempt)
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrackerCategory::Tracking => "tracking",
+            TrackerCategory::Analytics => "analytics",
+            TrackerCategory::AdTracking => "ad-tracking",
+            TrackerCategory::Social => "social",
+            TrackerCategory::Exempt => "exempt",
+        }
+    }
+}
+
+/// The tracker database.
+#[derive(Debug, Clone, Default)]
+pub struct TrackerDb {
+    domains: HashMap<String, TrackerCategory>,
+}
+
+impl TrackerDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a registrable domain with its category.
+    pub fn add(&mut self, domain: &str, category: TrackerCategory) {
+        self.domains
+            .insert(domain.to_ascii_lowercase(), category);
+    }
+
+    /// Number of listed domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Look up the category for a host (by its registrable domain).
+    pub fn category_of(&self, host: &str) -> Option<TrackerCategory> {
+        let host = host.to_ascii_lowercase();
+        // Exact, then registrable-domain lookup.
+        if let Some(&c) = self.domains.get(&host) {
+            return Some(c);
+        }
+        let reg = bfu_net::url::registrable_domain_of(&host);
+        self.domains.get(reg).copied()
+    }
+
+    /// Decide whether a request should be blocked: it must be third-party
+    /// and target a domain listed in a blocked-by-default category.
+    ///
+    /// Returns the category on block.
+    pub fn match_request(&self, req: &HttpRequest) -> Option<TrackerCategory> {
+        if !req.is_third_party() {
+            return None;
+        }
+        let cat = self.category_of(req.url.host())?;
+        cat.blocked_by_default().then_some(cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_net::{ResourceType, Url};
+
+    fn req(url: &str, initiator: &str) -> HttpRequest {
+        HttpRequest::get(Url::parse(url).unwrap(), ResourceType::Script)
+            .with_initiator(Url::parse(initiator).unwrap())
+    }
+
+    fn db() -> TrackerDb {
+        let mut db = TrackerDb::new();
+        db.add("trackmax.net", TrackerCategory::Tracking);
+        db.add("metrics.io", TrackerCategory::Analytics);
+        db.add("bigcdn.com", TrackerCategory::Exempt);
+        db
+    }
+
+    #[test]
+    fn blocks_third_party_trackers() {
+        let db = db();
+        assert_eq!(
+            db.match_request(&req("http://px.trackmax.net/t.js", "http://news.com/")),
+            Some(TrackerCategory::Tracking)
+        );
+        assert_eq!(
+            db.match_request(&req("http://metrics.io/m.js", "http://news.com/")),
+            Some(TrackerCategory::Analytics)
+        );
+    }
+
+    #[test]
+    fn first_party_never_blocked() {
+        let db = db();
+        assert_eq!(
+            db.match_request(&req("http://trackmax.net/self.js", "http://trackmax.net/")),
+            None
+        );
+    }
+
+    #[test]
+    fn exempt_categories_allowed() {
+        let db = db();
+        assert_eq!(
+            db.match_request(&req("http://bigcdn.com/lib.js", "http://news.com/")),
+            None
+        );
+    }
+
+    #[test]
+    fn unlisted_domains_allowed() {
+        let db = db();
+        assert_eq!(
+            db.match_request(&req("http://innocent.org/x.js", "http://news.com/")),
+            None
+        );
+    }
+
+    #[test]
+    fn subdomain_lookup_via_registrable_domain() {
+        let db = db();
+        assert_eq!(
+            db.category_of("deep.sub.trackmax.net"),
+            Some(TrackerCategory::Tracking)
+        );
+        assert_eq!(db.category_of("unrelated.org"), None);
+    }
+
+    #[test]
+    fn category_labels() {
+        assert_eq!(TrackerCategory::AdTracking.label(), "ad-tracking");
+        assert!(TrackerCategory::Tracking.blocked_by_default());
+        assert!(!TrackerCategory::Exempt.blocked_by_default());
+    }
+}

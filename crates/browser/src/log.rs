@@ -1,0 +1,169 @@
+//! Feature invocation logging — the output of the measuring extension.
+//!
+//! The paper's extension emits lines like (Fig. 2):
+//!
+//! ```text
+//! blocking,example.com,Crypto.getRandomValues(),1
+//! default,example.com,Node.cloneNode(),10
+//! ```
+//!
+//! [`FeatureLog`] is the in-memory form: a count per [`FeatureId`], merged
+//! across pages/rounds by the crawler; [`LogRecord`] with
+//! [`FeatureLog::render_lines`] reproduces the textual form.
+
+use bfu_webidl::{FeatureId, FeatureKind, FeatureRegistry};
+use std::collections::HashMap;
+
+/// One rendered log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Feature that executed.
+    pub feature: FeatureId,
+    /// Number of invocations observed.
+    pub count: u64,
+}
+
+/// Counts of feature invocations observed on one page (or merged across a
+/// site's pages).
+#[derive(Debug, Clone, Default)]
+pub struct FeatureLog {
+    counts: HashMap<FeatureId, u64>,
+}
+
+impl FeatureLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one invocation of `feature`.
+    pub fn record(&mut self, feature: FeatureId) {
+        *self.counts.entry(feature).or_insert(0) += 1;
+    }
+
+    /// Record `n` invocations.
+    pub fn record_n(&mut self, feature: FeatureId, n: u64) {
+        *self.counts.entry(feature).or_insert(0) += n;
+    }
+
+    /// Merge another log into this one.
+    pub fn merge(&mut self, other: &FeatureLog) {
+        for (&f, &n) in &other.counts {
+            self.record_n(f, n);
+        }
+    }
+
+    /// Number of distinct features observed.
+    pub fn distinct_features(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total invocations observed.
+    pub fn total_invocations(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Count for one feature.
+    pub fn count(&self, feature: FeatureId) -> u64 {
+        self.counts.get(&feature).copied().unwrap_or(0)
+    }
+
+    /// Whether a feature was seen at least once.
+    pub fn saw(&self, feature: FeatureId) -> bool {
+        self.count(feature) > 0
+    }
+
+    /// Features observed, sorted by id for determinism.
+    pub fn features(&self) -> Vec<FeatureId> {
+        let mut v: Vec<FeatureId> = self.counts.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sorted records.
+    pub fn records(&self) -> Vec<LogRecord> {
+        self.features()
+            .into_iter()
+            .map(|f| LogRecord {
+                feature: f,
+                count: self.counts[&f],
+            })
+            .collect()
+    }
+
+    /// Render the Fig. 2 log lines: `profile,domain,Feature(),count`.
+    pub fn render_lines(
+        &self,
+        profile: &str,
+        domain: &str,
+        registry: &FeatureRegistry,
+    ) -> Vec<String> {
+        self.records()
+            .iter()
+            .map(|r| {
+                let info = registry.feature(r.feature);
+                let suffix = match info.kind {
+                    FeatureKind::Method => "()",
+                    FeatureKind::Property => "",
+                };
+                format!(
+                    "{profile},{domain},{}.{}{suffix},{}",
+                    info.interface, info.member, r.count
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut log = FeatureLog::new();
+        let f = FeatureId::new(3);
+        log.record(f);
+        log.record(f);
+        log.record(FeatureId::new(5));
+        assert_eq!(log.count(f), 2);
+        assert_eq!(log.distinct_features(), 2);
+        assert_eq!(log.total_invocations(), 3);
+        assert!(log.saw(f));
+        assert!(!log.saw(FeatureId::new(9)));
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = FeatureLog::new();
+        a.record(FeatureId::new(1));
+        let mut b = FeatureLog::new();
+        b.record(FeatureId::new(1));
+        b.record(FeatureId::new(2));
+        a.merge(&b);
+        assert_eq!(a.count(FeatureId::new(1)), 2);
+        assert_eq!(a.count(FeatureId::new(2)), 1);
+    }
+
+    #[test]
+    fn records_sorted() {
+        let mut log = FeatureLog::new();
+        log.record(FeatureId::new(9));
+        log.record(FeatureId::new(2));
+        let recs = log.records();
+        assert_eq!(recs[0].feature, FeatureId::new(2));
+        assert_eq!(recs[1].feature, FeatureId::new(9));
+    }
+
+    #[test]
+    fn render_lines_match_fig2_format() {
+        let registry = FeatureRegistry::build();
+        let fid = registry
+            .by_name("Crypto.prototype.getRandomValues")
+            .expect("WCR flagship");
+        let mut log = FeatureLog::new();
+        log.record(fid);
+        let lines = log.render_lines("blocking", "example.com", &registry);
+        assert_eq!(lines, vec!["blocking,example.com,Crypto.getRandomValues(),1"]);
+    }
+}

@@ -1,0 +1,571 @@
+//! Page loading and interaction: the browser engine proper.
+//!
+//! [`Browser::load`] runs the full pipeline — fetch the document, parse it,
+//! install the API surface, inject the instrumentation *before page scripts
+//! run* (the paper's extension injects at the start of `<head>`), apply the
+//! blockers' element-hiding rules, then fetch and execute subresources in
+//! document order, consulting the [`RequestPolicy`] for every request the
+//! way AdBlock Plus and Ghostery intercept loads.
+//!
+//! The resulting [`Page`] exposes the interaction surface the monkey
+//! ([`bfu-monkey`]) drives: event dispatch, virtual timers, link extraction,
+//! and script-issued network traffic.
+
+use crate::api::{self, ApiSurface, HostEnv};
+use crate::instrument::Instrumentation;
+use crate::log::FeatureLog;
+use bfu_dom::{html, NodeId, Selector};
+use bfu_net::{HttpRequest, NetError, ResourceType, SimNet, Url};
+use bfu_script::interp::Interpreter;
+use bfu_script::Value;
+use bfu_util::{Instant, VirtualClock};
+use bfu_webidl::FeatureRegistry;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Decides whether requests load — the hook blockers install.
+pub trait RequestPolicy {
+    /// `Some(reason)` blocks the request; `None` allows it.
+    fn decide(&self, req: &HttpRequest) -> Option<String>;
+
+    /// Element-hiding selectors for pages on `domain`.
+    fn hiding_selectors(&self, _domain: &str) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// The default configuration: everything loads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl RequestPolicy for AllowAll {
+    fn decide(&self, _req: &HttpRequest) -> Option<String> {
+        None
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct BrowserConfig {
+    /// Step budget per executed script.
+    pub script_fuel: u64,
+    /// Whether to install the measuring extension.
+    pub instrument: bool,
+    /// Cap on subresource fetches per page (defense against generator bugs).
+    pub max_subresources: usize,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        BrowserConfig {
+            script_fuel: 400_000,
+            instrument: true,
+            max_subresources: 256,
+        }
+    }
+}
+
+/// The browser: a registry plus configuration; `load` produces pages.
+#[derive(Debug, Clone)]
+pub struct Browser {
+    /// The instrumented feature universe.
+    pub registry: Rc<FeatureRegistry>,
+    /// Engine configuration.
+    pub config: BrowserConfig,
+}
+
+/// Counters from one page load + interaction session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Requests attempted (including the document and blocked ones).
+    pub requests_attempted: u32,
+    /// Requests blocked by the policy.
+    pub requests_blocked: u32,
+    /// Requests that failed at the network layer.
+    pub requests_failed: u32,
+    /// Scripts that aborted with a runtime/parse error.
+    pub script_errors: u32,
+    /// Scripts executed (at least partially).
+    pub scripts_run: u32,
+}
+
+/// Why a page failed to load at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Network-level failure fetching the document.
+    Network(NetError),
+    /// Non-success HTTP status for the document.
+    Http(u16),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Network(e) => write!(f, "document fetch failed: {e}"),
+            LoadError::Http(s) => write!(f, "document returned HTTP {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Result of a click interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClickOutcome {
+    /// Navigation the click would have caused (intercepted, per §4.3.1).
+    pub navigation: Option<Url>,
+    /// Listener invocations performed.
+    pub listeners_fired: u32,
+}
+
+/// A loaded page.
+pub struct Page {
+    /// Final page URL.
+    pub url: Url,
+    /// The script engine with the API surface installed.
+    pub interp: Interpreter,
+    /// The installed API surface (prototypes, singletons, host state).
+    pub api: ApiSurface,
+    /// The instrumentation log (empty log if instrumentation disabled).
+    pub log: Rc<RefCell<FeatureLog>>,
+    /// Load/interaction counters.
+    pub stats: LoadStats,
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Page")
+            .field("url", &self.url.to_string())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Browser {
+    /// A browser over the given feature registry with default config.
+    pub fn new(registry: Rc<FeatureRegistry>) -> Self {
+        Browser {
+            registry,
+            config: BrowserConfig::default(),
+        }
+    }
+
+    /// Load `url`, execute its resources, and return the interactive page.
+    pub fn load(
+        &self,
+        net: &mut SimNet,
+        url: &Url,
+        policy: &dyn RequestPolicy,
+        clock: &mut VirtualClock,
+    ) -> Result<Page, LoadError> {
+        let mut stats = LoadStats::default();
+
+        // 1. Fetch the document.
+        stats.requests_attempted += 1;
+        let doc_req = HttpRequest::get(url.clone(), ResourceType::Document);
+        let resp = net.fetch(&doc_req, clock).map_err(LoadError::Network)?;
+        if !resp.status.is_success() {
+            return Err(LoadError::Http(resp.status.0));
+        }
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+
+        // 2. Parse.
+        let doc = html::parse(&body);
+        let host = Rc::new(RefCell::new(HostEnv::new(doc, url.clone())));
+        host.borrow_mut().now = clock.now();
+
+        // 3. Engine + API + instrumentation (before page scripts, like the
+        //    paper's <head> injection).
+        let mut interp = Interpreter::new();
+        let api = api::install(&mut interp, &self.registry, host.clone());
+        let log = Rc::new(RefCell::new(FeatureLog::new()));
+        if self.config.instrument {
+            Instrumentation::install(&mut interp, &api, &self.registry, log.clone());
+        }
+        Self::bind_document_tree_globals(&mut interp, &api);
+
+        // 4. Element hiding.
+        let domain = url.registrable_domain().to_owned();
+        for sel_src in policy.hiding_selectors(&domain) {
+            if let Ok(sel) = Selector::parse(&sel_src) {
+                let targets = sel.query_all(&api.host.borrow().doc);
+                let mut h = api.host.borrow_mut();
+                for t in targets {
+                    h.doc.set_attr(t, "data-bfu-hidden", "1");
+                }
+            }
+        }
+
+        // 5. Subresources in document order.
+        let resources = Self::collect_resources(&api);
+        for res in resources.into_iter().take(self.config.max_subresources) {
+            match res {
+                Resource::InlineScript(src) => {
+                    stats.scripts_run += 1;
+                    interp.set_fuel(self.config.script_fuel);
+                    host.borrow_mut().now = clock.now();
+                    if interp.run_source(&src).is_err() {
+                        stats.script_errors += 1;
+                    }
+                }
+                Resource::External(target, rtype) => {
+                    let Ok(res_url) = url.join(&target) else { continue };
+                    stats.requests_attempted += 1;
+                    let req = HttpRequest::get(res_url.clone(), rtype)
+                        .with_initiator(url.clone());
+                    if policy.decide(&req).is_some() {
+                        stats.requests_blocked += 1;
+                        continue;
+                    }
+                    match net.fetch(&req, clock) {
+                        Err(_) => stats.requests_failed += 1,
+                        Ok(resp) if !resp.status.is_success() => {
+                            stats.requests_failed += 1;
+                        }
+                        Ok(resp) => match rtype {
+                            ResourceType::Script => {
+                                let src = String::from_utf8_lossy(&resp.body).into_owned();
+                                stats.scripts_run += 1;
+                                interp.set_fuel(self.config.script_fuel);
+                                host.borrow_mut().now = clock.now();
+                                if interp.run_source(&src).is_err() {
+                                    stats.script_errors += 1;
+                                }
+                            }
+                            ResourceType::SubDocument => {
+                                let frame_body =
+                                    String::from_utf8_lossy(&resp.body).into_owned();
+                                self.load_subdocument(
+                                    net, &res_url, &frame_body, policy, clock,
+                                    &mut interp, &host, &mut stats,
+                                );
+                            }
+                            _ => {}
+                        },
+                    }
+                }
+            }
+        }
+
+        Ok(Page {
+            url: url.clone(),
+            interp,
+            api,
+            log,
+            stats,
+        })
+    }
+
+    /// Fetch an iframe's document and execute its scripts (one level deep).
+    /// Requests from inside the frame are attributed to the frame's URL, so
+    /// third-party logic matches real browsers.
+    #[allow(clippy::too_many_arguments)]
+    fn load_subdocument(
+        &self,
+        net: &mut SimNet,
+        frame_url: &Url,
+        frame_body: &str,
+        policy: &dyn RequestPolicy,
+        clock: &mut VirtualClock,
+        interp: &mut Interpreter,
+        host: &Rc<RefCell<HostEnv>>,
+        stats: &mut LoadStats,
+    ) {
+        let subdoc = html::parse(frame_body);
+        // Execute the frame's scripts in the same engine (features from ads
+        // in frames count toward the page, as in the paper's measurements).
+        let mut scripts: Vec<Resource> = Vec::new();
+        for node in subdoc.elements() {
+            if subdoc.tag(node) == Some("script") {
+                match subdoc.attr(node, "src") {
+                    Some(src) => scripts.push(Resource::External(
+                        src.to_owned(),
+                        ResourceType::Script,
+                    )),
+                    None => scripts.push(Resource::InlineScript(subdoc.text_content(node))),
+                }
+            }
+        }
+        for s in scripts {
+            match s {
+                Resource::InlineScript(src) => {
+                    stats.scripts_run += 1;
+                    interp.set_fuel(self.config.script_fuel);
+                    if interp.run_source(&src).is_err() {
+                        stats.script_errors += 1;
+                    }
+                }
+                Resource::External(target, _) => {
+                    let Ok(u) = frame_url.join(&target) else { continue };
+                    stats.requests_attempted += 1;
+                    let req = HttpRequest::get(u, ResourceType::Script)
+                        .with_initiator(frame_url.clone());
+                    if policy.decide(&req).is_some() {
+                        stats.requests_blocked += 1;
+                        continue;
+                    }
+                    match net.fetch(&req, clock) {
+                        Ok(r) if r.status.is_success() => {
+                            let src = String::from_utf8_lossy(&r.body).into_owned();
+                            stats.scripts_run += 1;
+                            interp.set_fuel(self.config.script_fuel);
+                            host.borrow_mut().now = clock.now();
+                            if interp.run_source(&src).is_err() {
+                                stats.script_errors += 1;
+                            }
+                        }
+                        _ => stats.requests_failed += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    fn bind_document_tree_globals(interp: &mut Interpreter, api: &ApiSurface) {
+        let doc_obj = api
+            .singletons
+            .iter()
+            .find(|(n, _)| n == "document")
+            .map(|(_, o)| *o)
+            .expect("document singleton");
+        let (body, head, html_el) = {
+            let h = api.host.borrow();
+            (
+                h.doc.first_by_tag("body"),
+                h.doc.first_by_tag("head"),
+                h.doc.first_by_tag("html"),
+            )
+        };
+        for (prop, node) in [("body", body), ("head", head), ("documentElement", html_el)] {
+            if let Some(n) = node {
+                let v = api::wrap_node(interp, &api.host, &api.prototypes, n);
+                interp.heap.set_prop_raw(doc_obj, prop, v);
+            }
+        }
+    }
+
+    fn collect_resources(api: &ApiSurface) -> Vec<Resource> {
+        let h = api.host.borrow();
+        let mut out = Vec::new();
+        for node in h.doc.elements() {
+            match h.doc.tag(node) {
+                Some("script") => match h.doc.attr(node, "src") {
+                    Some(src) => {
+                        out.push(Resource::External(src.to_owned(), ResourceType::Script))
+                    }
+                    None => out.push(Resource::InlineScript(h.doc.text_content(node))),
+                },
+                Some("img") => {
+                    if let Some(src) = h.doc.attr(node, "src") {
+                        out.push(Resource::External(src.to_owned(), ResourceType::Image));
+                    }
+                }
+                Some("iframe") => {
+                    if let Some(src) = h.doc.attr(node, "src") {
+                        out.push(Resource::External(
+                            src.to_owned(),
+                            ResourceType::SubDocument,
+                        ));
+                    }
+                }
+                Some("link") if h.doc.attr(node, "rel") == Some("stylesheet") => {
+                    if let Some(href) = h.doc.attr(node, "href") {
+                        out.push(Resource::External(
+                            href.to_owned(),
+                            ResourceType::Stylesheet,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+enum Resource {
+    InlineScript(String),
+    External(String, ResourceType),
+}
+
+impl Page {
+    /// Dispatch a DOM event at `target`, invoking listeners in spec order.
+    /// Returns the number of listeners fired.
+    pub fn dispatch_event(&mut self, target: NodeId, event_type: &str) -> u32 {
+        let order = {
+            let h = self.api.host.borrow();
+            h.events.dispatch_order(&h.doc, target, event_type)
+        };
+        let mut fired = 0;
+        for inv in order {
+            let (cb, this) = {
+                let cb = self.api.host.borrow().listeners[inv.handle as usize].clone();
+                let this = api::wrap_node(
+                    &mut self.interp,
+                    &self.api.host,
+                    &self.api.prototypes,
+                    inv.node,
+                );
+                (cb, this)
+            };
+            let event = self.make_event_object(event_type, target);
+            self.interp.set_fuel(400_000);
+            if self.interp.call_value(&cb, this, &[event]).is_err() {
+                self.stats.script_errors += 1;
+            }
+            fired += 1;
+        }
+        fired
+    }
+
+    fn make_event_object(&mut self, event_type: &str, target: NodeId) -> Value {
+        let target_v = api::wrap_node(
+            &mut self.interp,
+            &self.api.host,
+            &self.api.prototypes,
+            target,
+        );
+        let ev = self.interp.heap.alloc(None);
+        self.interp
+            .heap
+            .set_prop_raw(ev, "type", Value::str(event_type));
+        self.interp.heap.set_prop_raw(ev, "target", target_v);
+        Value::Obj(ev)
+    }
+
+    /// Click an element: dispatch `click`, and if the element (or an
+    /// ancestor) is a link, report the navigation it would have caused —
+    /// intercepted rather than followed, exactly like the paper's crawler.
+    pub fn click(&mut self, target: NodeId) -> ClickOutcome {
+        let listeners_fired = self.dispatch_event(target, "click");
+        let navigation = {
+            let h = self.api.host.borrow();
+            let mut cur = Some(target);
+            let mut nav = None;
+            while let Some(n) = cur {
+                if h.doc.tag(n) == Some("a") {
+                    if let Some(href) = h.doc.attr(n, "href") {
+                        nav = self.url.join(href).ok();
+                    }
+                    break;
+                }
+                cur = h.doc.parent(n);
+            }
+            nav
+        };
+        ClickOutcome {
+            navigation,
+            listeners_fired,
+        }
+    }
+
+    /// Dispatch a scroll event at the document root.
+    pub fn scroll(&mut self) -> u32 {
+        let root = self.api.host.borrow().doc.root();
+        self.dispatch_event(root, "scroll")
+    }
+
+    /// Type into an element: dispatch `input` at it.
+    pub fn type_into(&mut self, target: NodeId) -> u32 {
+        self.dispatch_event(target, "input")
+    }
+
+    /// Run all timers due up to `until`, advancing the shared clock to each
+    /// timer's fire time. Returns the number of callbacks run.
+    pub fn run_timers(&mut self, clock: &mut VirtualClock, until: Instant) -> u32 {
+        let mut ran = 0;
+        loop {
+            let next = {
+                let mut h = self.api.host.borrow_mut();
+                h.timers.pop_due(until)
+            };
+            let Some((at, cb)) = next else { break };
+            clock.advance_to(at);
+            self.api.host.borrow_mut().now = at;
+            self.interp.set_fuel(400_000);
+            if self.interp.call_value(&cb, Value::Undefined, &[]).is_err() {
+                self.stats.script_errors += 1;
+            }
+            ran += 1;
+            if ran > 10_000 {
+                break; // runaway interval guard
+            }
+        }
+        ran
+    }
+
+    /// Issue the network requests scripts queued (XHR, beacons), subject to
+    /// the policy. Returns `(allowed, blocked)` counts.
+    pub fn pump_network(
+        &mut self,
+        net: &mut SimNet,
+        policy: &dyn RequestPolicy,
+        clock: &mut VirtualClock,
+    ) -> (u32, u32) {
+        let pending: Vec<(Url, ResourceType)> =
+            std::mem::take(&mut self.api.host.borrow_mut().pending_requests);
+        let (mut allowed, mut blocked) = (0, 0);
+        for (url, rtype) in pending {
+            self.stats.requests_attempted += 1;
+            let req = HttpRequest::get(url, rtype).with_initiator(self.url.clone());
+            if policy.decide(&req).is_some() {
+                self.stats.requests_blocked += 1;
+                blocked += 1;
+                continue;
+            }
+            if net.fetch(&req, clock).is_err() {
+                self.stats.requests_failed += 1;
+            }
+            allowed += 1;
+        }
+        (allowed, blocked)
+    }
+
+    /// Same-document links, resolved absolute.
+    pub fn links(&self) -> Vec<Url> {
+        let h = self.api.host.borrow();
+        h.doc
+            .elements()
+            .into_iter()
+            .filter(|&n| h.doc.tag(n) == Some("a"))
+            .filter_map(|n| h.doc.attr(n, "href").map(str::to_owned))
+            .filter_map(|href| self.url.join(&href).ok())
+            .collect()
+    }
+
+    /// Visible elements a user could plausibly interact with, in document
+    /// order — the monkey's click/type candidates.
+    pub fn interactive_elements(&self) -> Vec<NodeId> {
+        let h = self.api.host.borrow();
+        h.doc
+            .elements()
+            .into_iter()
+            .filter(|&n| h.doc.is_visible(n))
+            .filter(|&n| {
+                matches!(
+                    h.doc.tag(n),
+                    Some(
+                        "a" | "button"
+                            | "input"
+                            | "select"
+                            | "textarea"
+                            | "div"
+                            | "span"
+                            | "li"
+                            | "img"
+                            | "p"
+                            | "h1"
+                            | "h2"
+                            | "h3"
+                    )
+                )
+            })
+            .collect()
+    }
+
+    /// Elements that currently have listeners for `event_type`.
+    pub fn listening_elements(&self, event_type: &str) -> Vec<NodeId> {
+        self.api.host.borrow().events.nodes_listening(event_type)
+    }
+}

@@ -1,0 +1,206 @@
+//! Virtual timer queue (`setTimeout` / `setInterval`).
+//!
+//! Timers fire on the page's virtual clock during the 30-second interaction
+//! window — ad and analytics scripts in the wild commonly defer work behind
+//! timeouts, and the synthetic web does the same, so timer semantics matter
+//! for which features the crawl elicits.
+
+use bfu_script::Value;
+use bfu_util::Instant;
+use std::collections::BinaryHeap;
+
+/// A scheduled callback.
+#[derive(Debug)]
+struct Timer {
+    due: Instant,
+    seq: u64,
+    callback: Value,
+    /// Repeat interval for `setInterval`-style timers.
+    every_ms: Option<u64>,
+    id: u32,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest timer pops first;
+        // ties break by insertion order.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The timer queue.
+#[derive(Debug, Default)]
+pub struct TimerQueue {
+    heap: BinaryHeap<Timer>,
+    next_seq: u64,
+    next_id: u32,
+    cancelled: Vec<u32>,
+}
+
+impl TimerQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `callback` to fire `delay_ms` after `now`. Returns a timer id
+    /// (for `clearTimeout`).
+    pub fn schedule(&mut self, callback: Value, now: Instant, delay_ms: u64) -> u32 {
+        self.schedule_inner(callback, now, delay_ms, None)
+    }
+
+    /// Schedule a repeating timer.
+    pub fn schedule_repeating(
+        &mut self,
+        callback: Value,
+        now: Instant,
+        every_ms: u64,
+    ) -> u32 {
+        self.schedule_inner(callback, now, every_ms, Some(every_ms.max(1)))
+    }
+
+    fn schedule_inner(
+        &mut self,
+        callback: Value,
+        now: Instant,
+        delay_ms: u64,
+        every_ms: Option<u64>,
+    ) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Timer {
+            due: now.plus(delay_ms),
+            seq,
+            callback,
+            every_ms,
+            id,
+        });
+        id
+    }
+
+    /// Cancel a timer by id (`clearTimeout` / `clearInterval`).
+    pub fn cancel(&mut self, id: u32) {
+        self.cancelled.push(id);
+    }
+
+    /// Pop the next timer due at or before `now`. Repeating timers
+    /// reschedule themselves. Returns `(fire_time, callback)`.
+    pub fn pop_due(&mut self, now: Instant) -> Option<(Instant, Value)> {
+        while let Some(top) = self.heap.peek() {
+            if top.due > now {
+                return None;
+            }
+            let timer = self.heap.pop().expect("peeked");
+            if self.cancelled.contains(&timer.id) {
+                continue;
+            }
+            let cb = timer.callback.clone();
+            let due = timer.due;
+            if let Some(every) = timer.every_ms {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap.push(Timer {
+                    due: due.plus(every),
+                    seq,
+                    callback: timer.callback,
+                    every_ms: Some(every),
+                    id: timer.id,
+                });
+            }
+            return Some((due, cb));
+        }
+        None
+    }
+
+    /// The due time of the next pending timer.
+    pub fn next_due(&self) -> Option<Instant> {
+        self.heap.peek().map(|t| t.due)
+    }
+
+    /// Number of pending timers (including cancelled-but-not-reaped).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: f64) -> Value {
+        Value::Num(n)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = TimerQueue::new();
+        q.schedule(v(2.0), Instant::ZERO, 200);
+        q.schedule(v(1.0), Instant::ZERO, 100);
+        q.schedule(v(3.0), Instant::ZERO, 300);
+        let now = Instant(250);
+        let (t1, c1) = q.pop_due(now).unwrap();
+        let (t2, c2) = q.pop_due(now).unwrap();
+        assert_eq!((t1, c1.to_number()), (Instant(100), 1.0));
+        assert_eq!((t2, c2.to_number()), (Instant(200), 2.0));
+        assert!(q.pop_due(now).is_none(), "300ms timer not yet due");
+        assert_eq!(q.next_due(), Some(Instant(300)));
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = TimerQueue::new();
+        q.schedule(v(1.0), Instant::ZERO, 50);
+        q.schedule(v(2.0), Instant::ZERO, 50);
+        assert_eq!(q.pop_due(Instant(50)).unwrap().1.to_number(), 1.0);
+        assert_eq!(q.pop_due(Instant(50)).unwrap().1.to_number(), 2.0);
+    }
+
+    #[test]
+    fn cancelled_timers_skipped() {
+        let mut q = TimerQueue::new();
+        let id = q.schedule(v(1.0), Instant::ZERO, 10);
+        q.schedule(v(2.0), Instant::ZERO, 20);
+        q.cancel(id);
+        assert_eq!(q.pop_due(Instant(100)).unwrap().1.to_number(), 2.0);
+        assert!(q.pop_due(Instant(100)).is_none());
+    }
+
+    #[test]
+    fn repeating_reschedules() {
+        let mut q = TimerQueue::new();
+        let id = q.schedule_repeating(v(9.0), Instant::ZERO, 100);
+        assert_eq!(q.pop_due(Instant(100)).unwrap().0, Instant(100));
+        assert_eq!(q.pop_due(Instant(250)).unwrap().0, Instant(200));
+        q.cancel(id);
+        assert!(q.pop_due(Instant(1000)).is_none());
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = TimerQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop_due(Instant(1_000_000)).is_none());
+        assert_eq!(q.next_due(), None);
+    }
+}

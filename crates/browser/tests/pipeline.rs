@@ -1,0 +1,200 @@
+//! Full-pipeline tests: HTML over the simulated network → parse → API →
+//! instrumentation → script execution → interaction → feature log.
+
+use bfu_browser::{AllowAll, Browser, RequestPolicy};
+use bfu_net::{HttpRequest, HttpResponse, SimNet, Url};
+use bfu_util::{Instant, SimRng, VirtualClock};
+use bfu_webidl::FeatureRegistry;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const PAGE: &str = r#"
+<html><head>
+<script src="/app.js"></script>
+</head><body>
+<div id="content"><a id="next" href="/news/story1">Story</a></div>
+<div class="ad-slot"><img src="http://ads.adnet.test/banner.png"></div>
+<script>
+  var el = document.createElement('section');
+  document.body.appendChild(el);
+  var btn = document.querySelector('#next');
+  btn.addEventListener('click', function(ev) {
+    var x = new XMLHttpRequest();
+    x.open('GET', '/api/click');
+  });
+  setTimeout(function() { navigator.sendBeacon('http://metrics.test/b'); }, 2000);
+</script>
+</body></html>
+"#;
+
+const APP_JS: &str = r#"
+var boxes = document.querySelectorAll('div');
+var i = 0;
+while (i < boxes.length) { i = i + 1; }
+"#;
+
+fn build_net() -> SimNet {
+    let mut net = SimNet::new(SimRng::new(11));
+    net.register(
+        "site.test",
+        Arc::new(|req: &HttpRequest| match req.url.path() {
+            "/" => HttpResponse::html(PAGE),
+            "/app.js" => HttpResponse::javascript(APP_JS),
+            _ => HttpResponse::html("<html><body>inner</body></html>"),
+        }),
+    );
+    net.register(
+        "ads.adnet.test",
+        Arc::new(|_: &HttpRequest| HttpResponse::ok("image/png", "PNGDATA")),
+    );
+    net.register(
+        "metrics.test",
+        Arc::new(|_: &HttpRequest| HttpResponse::ok("text/plain", "ok")),
+    );
+    net
+}
+
+fn load_default() -> (bfu_browser::Page, SimNet, VirtualClock) {
+    let registry = Rc::new(FeatureRegistry::build());
+    let browser = Browser::new(registry);
+    let mut net = build_net();
+    let mut clock = VirtualClock::new();
+    let url = Url::parse("http://site.test/").unwrap();
+    let page = browser.load(&mut net, &url, &AllowAll, &mut clock).unwrap();
+    (page, net, clock)
+}
+
+#[test]
+fn load_executes_scripts_and_counts_features() {
+    let (page, _, _) = load_default();
+    assert_eq!(page.stats.script_errors, 0, "{:?}", page.stats);
+    assert_eq!(page.stats.scripts_run, 2);
+    let registry = FeatureRegistry::build();
+    let log = page.log.borrow();
+    for name in [
+        "Document.prototype.createElement",
+        "Node.prototype.appendChild",
+        "Document.prototype.querySelector",
+        "Document.prototype.querySelectorAll",
+        "EventTarget.prototype.addEventListener",
+    ] {
+        let fid = registry.by_name(name).unwrap();
+        assert!(log.saw(fid), "{name} not logged");
+    }
+}
+
+#[test]
+fn click_fires_listener_and_reports_navigation() {
+    let (mut page, mut net, mut clock) = load_default();
+    let link = page
+        .interactive_elements()
+        .into_iter()
+        .find(|&n| page.api.host.borrow().doc.tag(n) == Some("a"))
+        .unwrap();
+    let outcome = page.click(link);
+    assert_eq!(outcome.listeners_fired, 1);
+    assert_eq!(
+        outcome.navigation.unwrap().to_string(),
+        "http://site.test/news/story1"
+    );
+    // The listener queued an XHR; pump it.
+    let (allowed, blocked) = page.pump_network(&mut net, &AllowAll, &mut clock);
+    assert_eq!((allowed, blocked), (1, 0));
+    let registry = FeatureRegistry::build();
+    assert!(page
+        .log
+        .borrow()
+        .saw(registry.by_name("XMLHttpRequest.prototype.open").unwrap()));
+}
+
+#[test]
+fn timers_fire_on_virtual_clock() {
+    let (mut page, mut net, mut clock) = load_default();
+    let start = clock.now();
+    let ran = page.run_timers(&mut clock, start.plus(30_000));
+    assert_eq!(ran, 1, "the 2s beacon timer fires within the 30s budget");
+    let (allowed, _) = page.pump_network(&mut net, &AllowAll, &mut clock);
+    assert_eq!(allowed, 1, "beacon request issued");
+    let registry = FeatureRegistry::build();
+    assert!(page
+        .log
+        .borrow()
+        .saw(registry.by_name("Navigator.prototype.sendBeacon").unwrap()));
+}
+
+#[test]
+fn timers_do_not_fire_before_due() {
+    let (mut page, _, mut clock) = load_default();
+    let start = clock.now();
+    assert_eq!(page.run_timers(&mut clock, start.plus(100)), 0);
+}
+
+/// A policy blocking the ad host and hiding `.ad-slot`.
+struct TestBlocker;
+
+impl RequestPolicy for TestBlocker {
+    fn decide(&self, req: &HttpRequest) -> Option<String> {
+        (req.url.host() == "ads.adnet.test").then(|| "||adnet.test^".to_owned())
+    }
+
+    fn hiding_selectors(&self, _domain: &str) -> Vec<String> {
+        vec![".ad-slot".to_owned()]
+    }
+}
+
+#[test]
+fn blocking_policy_stops_requests_and_hides_elements() {
+    let registry = Rc::new(FeatureRegistry::build());
+    let browser = Browser::new(registry);
+    let mut net = build_net();
+    let mut clock = VirtualClock::new();
+    let url = Url::parse("http://site.test/").unwrap();
+    let page = browser.load(&mut net, &url, &TestBlocker, &mut clock).unwrap();
+    assert_eq!(page.stats.requests_blocked, 1, "ad image blocked");
+    // The hidden ad container is no longer an interaction candidate.
+    let host = page.api.host.borrow();
+    let hidden = bfu_dom::Selector::parse(".ad-slot")
+        .unwrap()
+        .query_first(&host.doc)
+        .unwrap();
+    assert!(!host.doc.is_visible(hidden));
+}
+
+#[test]
+fn dead_document_host_is_a_load_error() {
+    let registry = Rc::new(FeatureRegistry::build());
+    let browser = Browser::new(registry);
+    let mut net = build_net();
+    let mut clock = VirtualClock::new();
+    let url = Url::parse("http://gone.test/").unwrap();
+    assert!(browser.load(&mut net, &url, &AllowAll, &mut clock).is_err());
+}
+
+#[test]
+fn uninstrumented_load_logs_nothing_but_behaves_the_same() {
+    let registry = Rc::new(FeatureRegistry::build());
+    let mut browser = Browser::new(registry);
+    browser.config.instrument = false;
+    let mut net = build_net();
+    let mut clock = VirtualClock::new();
+    let url = Url::parse("http://site.test/").unwrap();
+    let page = browser.load(&mut net, &url, &AllowAll, &mut clock).unwrap();
+    assert_eq!(page.stats.script_errors, 0);
+    assert_eq!(page.log.borrow().total_invocations(), 0);
+}
+
+#[test]
+fn load_is_deterministic() {
+    let run = || {
+        let (page, net, clock) = load_default();
+        let invocations = page.log.borrow().total_invocations();
+        (invocations, page.stats, net.stats(), clock.now())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn clock_advances_during_load() {
+    let (_, _, clock) = load_default();
+    assert!(clock.now() > Instant::ZERO);
+}

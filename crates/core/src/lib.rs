@@ -1,0 +1,29 @@
+//! # bfu-core
+//!
+//! The study facade: configure → generate web → crawl → analyze, as one
+//! documented API. This is the crate downstream users depend on; everything
+//! else is re-exported through it.
+//!
+//! ```no_run
+//! use bfu_core::{Study, StudyConfig};
+//!
+//! let study = Study::run(StudyConfig::quick(200, 7));
+//! let report = study.report();
+//! println!("{}", report.headline_text());
+//! ```
+
+pub mod study;
+
+pub use study::{Study, StudyConfig, StudyReport};
+
+pub use bfu_analysis as analysis;
+pub use bfu_blocker as blocker;
+pub use bfu_browser as browser;
+pub use bfu_crawler as crawler;
+pub use bfu_dom as dom;
+pub use bfu_monkey as monkey;
+pub use bfu_net as net;
+pub use bfu_script as script;
+pub use bfu_util as util;
+pub use bfu_webgen as webgen;
+pub use bfu_webidl as webidl;

@@ -1,0 +1,279 @@
+//! The study facade: the whole paper as one API call.
+//!
+//! [`Study::run`] generates the synthetic web, crawls it under the
+//! configured browser profiles, and exposes every analysis of the paper
+//! through [`Study::report`]. This is the entry point downstream users (and
+//! the `repro` binary, examples, and benches) build on.
+
+use bfu_analysis::blocking::{fig4_points, fig7_points, Fig4Point, Fig7Point};
+use bfu_analysis::complexity::{complexity, ComplexityDistribution};
+use bfu_analysis::convergence::new_standards_per_round;
+use bfu_analysis::traffic::{fig5_points, Fig5Point};
+use bfu_analysis::validation::{histogram, ValidationHistogram};
+use bfu_analysis::{age, report, tables};
+use bfu_analysis::{headline, FeaturePopularity, HeadlineStats, StandardPopularity};
+use bfu_crawler::{BrowserProfile, CrawlConfig, Dataset, Survey};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use bfu_webidl::FeatureRegistry;
+
+/// Configuration for one end-to-end study.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Number of ranked sites to generate and crawl (paper: 10,000).
+    pub sites: usize,
+    /// Master seed for the web and the crawl.
+    pub seed: u64,
+    /// Measurement rounds per profile (paper: 5).
+    pub rounds: u32,
+    /// Pages per site per round (paper: 13).
+    pub pages_per_site: usize,
+    /// Virtual interaction budget per page in ms (paper: 30,000).
+    pub page_budget_ms: u64,
+    /// Also crawl the ad-only / tracker-only profiles needed for Fig. 7.
+    pub fig7_profiles: bool,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            sites: 10_000,
+            seed: 0x0B5E_55ED,
+            rounds: 5,
+            pages_per_site: 13,
+            page_budget_ms: 30_000,
+            fig7_profiles: true,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A laptop-scale configuration preserving the paper's *shape*: fewer
+    /// sites and rounds, same structure. Good for examples and CI.
+    pub fn quick(sites: usize, seed: u64) -> Self {
+        StudyConfig {
+            sites,
+            seed,
+            rounds: 3,
+            pages_per_site: 6,
+            page_budget_ms: 10_000,
+            fig7_profiles: true,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// A completed study: the web, the dataset, and the registry.
+#[derive(Debug)]
+pub struct Study {
+    web: SyntheticWeb,
+    dataset: Dataset,
+    registry: FeatureRegistry,
+    config: StudyConfig,
+}
+
+impl Study {
+    /// Generate the web and run the full crawl.
+    pub fn run(config: StudyConfig) -> Study {
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: config.sites,
+            seed: config.seed,
+        });
+        let mut profiles = vec![BrowserProfile::Default, BrowserProfile::Blocking];
+        if config.fig7_profiles {
+            profiles.push(BrowserProfile::AdblockOnly);
+            profiles.push(BrowserProfile::GhosteryOnly);
+        }
+        let crawl = CrawlConfig {
+            rounds_per_profile: config.rounds,
+            pages_per_site: config.pages_per_site,
+            fanout: 3,
+            page_budget_ms: config.page_budget_ms,
+            profiles,
+            threads: config.threads,
+            seed: config.seed ^ 0xC4A31,
+        };
+        let dataset = Survey::new(web.clone(), crawl).run();
+        let registry = FeatureRegistry::build();
+        Study {
+            web,
+            dataset,
+            registry,
+            config,
+        }
+    }
+
+    /// The crawled dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The synthetic web under study.
+    pub fn web(&self) -> &SyntheticWeb {
+        &self.web
+    }
+
+    /// The feature registry.
+    pub fn registry(&self) -> &FeatureRegistry {
+        &self.registry
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Compute every analysis.
+    pub fn report(&self) -> StudyReport {
+        let features = FeaturePopularity::compute(&self.dataset, &self.registry);
+        let standards = StandardPopularity::compute(&self.dataset, &self.registry);
+        let headline_stats = headline(&features, &standards);
+        let table1 = tables::table1(&self.dataset);
+        let table2 = tables::table2_full(&standards, &self.registry);
+        let table3 =
+            new_standards_per_round(&self.dataset, &self.registry, BrowserProfile::Default);
+        let fig3 = standards.popularity_cdf(BrowserProfile::Default);
+        let fig4 = fig4_points(&standards, &self.registry);
+        let fig5 = fig5_points(&self.dataset, &self.registry);
+        let fig6 = age::fig6_points(&standards, &self.registry);
+        let fig7 = fig7_points(&standards, &self.registry);
+        let fig8 = complexity(&self.dataset, &self.registry);
+        StudyReport {
+            features,
+            standards,
+            headline: headline_stats,
+            table1,
+            table2,
+            table3,
+            fig3,
+            fig4,
+            fig5,
+            fig6,
+            fig7,
+            fig8,
+        }
+    }
+
+    /// Run the §6.2 external validation against `n` traffic-weighted sites.
+    pub fn external_validation(&self, n: usize) -> ValidationHistogram {
+        let crawl = CrawlConfig {
+            rounds_per_profile: self.config.rounds,
+            pages_per_site: self.config.pages_per_site,
+            fanout: 3,
+            page_budget_ms: self.config.page_budget_ms,
+            profiles: vec![BrowserProfile::Default],
+            threads: self.config.threads,
+            seed: self.config.seed ^ 0xC4A31,
+        };
+        let survey = Survey::new(self.web.clone(), crawl);
+        histogram(&survey.external_validation(&self.dataset, n))
+    }
+}
+
+/// Every computed analysis of one study.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// Per-feature popularity.
+    pub features: FeaturePopularity,
+    /// Per-standard popularity and block rates.
+    pub standards: StandardPopularity,
+    /// §5.3 headline statistics.
+    pub headline: HeadlineStats,
+    /// Table 1 aggregates.
+    pub table1: tables::Table1,
+    /// Full 75-row Table 2.
+    pub table2: Vec<tables::Table2Row>,
+    /// Table 3 (new standards per round).
+    pub table3: Vec<f64>,
+    /// Fig. 3 CDF points.
+    pub fig3: Vec<(f64, f64)>,
+    /// Fig. 4 points.
+    pub fig4: Vec<Fig4Point>,
+    /// Fig. 5 points.
+    pub fig5: Vec<Fig5Point>,
+    /// Fig. 6 points.
+    pub fig6: Vec<age::Fig6Point>,
+    /// Fig. 7 points (empty without the Fig. 7 profiles).
+    pub fig7: Vec<Fig7Point>,
+    /// Fig. 8 distribution.
+    pub fig8: ComplexityDistribution,
+}
+
+impl StudyReport {
+    /// The §5.3 headline, rendered.
+    pub fn headline_text(&self) -> String {
+        report::render_headline(&self.headline)
+    }
+
+    /// Every table and figure, rendered as one text document.
+    pub fn render_all(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&report::render_table1(&self.table1));
+        out.push('\n');
+        out.push_str(&self.headline_text());
+        out.push('\n');
+        out.push_str(&report::render_fig1());
+        out.push('\n');
+        out.push_str(&report::render_fig3(&self.fig3));
+        out.push('\n');
+        out.push_str(&report::render_fig4(&self.fig4));
+        out.push('\n');
+        out.push_str(&report::render_fig5(&self.fig5));
+        out.push('\n');
+        out.push_str(&report::render_fig6(&self.fig6));
+        out.push('\n');
+        out.push_str(&report::render_fig7(&self.fig7));
+        out.push('\n');
+        out.push_str(&report::render_fig8(&self.fig8));
+        out.push('\n');
+        out.push_str(&report::render_table2(&self.table2));
+        out.push('\n');
+        out.push_str(&report::render_table3(&self.table3));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    static STUDY: OnceLock<Study> = OnceLock::new();
+
+    fn study() -> &'static Study {
+        STUDY.get_or_init(|| Study::run(StudyConfig::quick(25, 7)))
+    }
+
+    #[test]
+    fn quick_study_produces_full_report() {
+        let report = study().report();
+        assert_eq!(report.table2.len(), 75);
+        assert!(report.table1.domains_measured > 15);
+        assert!(!report.fig4.is_empty());
+        assert!(!report.fig7.is_empty(), "fig7 profiles crawled");
+        assert!(report.headline.features_never_used > 0);
+        let text = report.render_all();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Fig 8"));
+        assert!(text.contains("Headline"));
+    }
+
+    #[test]
+    fn external_validation_runs() {
+        let h = study().external_validation(5);
+        assert!(h.total_sites > 0);
+    }
+
+    #[test]
+    fn studies_are_reproducible() {
+        let a = Study::run(StudyConfig::quick(8, 42));
+        let b = Study::run(StudyConfig::quick(8, 42));
+        assert_eq!(
+            a.dataset().total_invocations(),
+            b.dataset().total_invocations()
+        );
+        assert_eq!(a.dataset().total_pages(), b.dataset().total_pages());
+    }
+}

@@ -1,0 +1,105 @@
+//! Crawl configuration.
+
+/// A browser configuration the survey crawls with (§4.3 / §5.7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrowserProfile {
+    /// Unmodified browser.
+    Default,
+    /// AdBlock Plus + Ghostery installed (the paper's "blocking" case).
+    Blocking,
+    /// AdBlock Plus only (Fig. 7 x-axis).
+    AdblockOnly,
+    /// Ghostery only (Fig. 7 y-axis).
+    GhosteryOnly,
+}
+
+impl BrowserProfile {
+    /// Label used in logs and seed derivation.
+    pub fn label(self) -> &'static str {
+        match self {
+            BrowserProfile::Default => "default",
+            BrowserProfile::Blocking => "blocking",
+            BrowserProfile::AdblockOnly => "adblock-only",
+            BrowserProfile::GhosteryOnly => "ghostery-only",
+        }
+    }
+}
+
+/// Survey parameters; defaults mirror the paper's §4.3.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Measurement rounds per profile (paper: 5 + 5).
+    pub rounds_per_profile: u32,
+    /// Pages interacted with per site per round (paper: 13 = 1 + 3 + 9).
+    pub pages_per_site: usize,
+    /// Links followed per visited page (paper: 3, breadth-first).
+    pub fanout: usize,
+    /// Virtual interaction budget per page (paper: 30 s).
+    pub page_budget_ms: u64,
+    /// Which browser configurations to crawl.
+    pub profiles: Vec<BrowserProfile>,
+    /// Worker threads (sites crawl independently).
+    pub threads: usize,
+    /// Master crawl seed (independent of the web's generation seed).
+    pub seed: u64,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            rounds_per_profile: 5,
+            pages_per_site: 13,
+            fanout: 3,
+            page_budget_ms: 30_000,
+            profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            seed: 0xC4A11,
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// A scaled-down config for tests and examples: fewer rounds/pages and
+    /// shorter budgets, same structure.
+    pub fn quick(seed: u64) -> Self {
+        CrawlConfig {
+            rounds_per_profile: 2,
+            pages_per_site: 4,
+            fanout: 3,
+            page_budget_ms: 8_000,
+            profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
+            threads: 2,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CrawlConfig::default();
+        assert_eq!(c.rounds_per_profile, 5);
+        assert_eq!(c.pages_per_site, 13);
+        assert_eq!(c.fanout, 3);
+        assert_eq!(c.page_budget_ms, 30_000);
+        assert_eq!(c.profiles.len(), 2);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = [
+            BrowserProfile::Default,
+            BrowserProfile::Blocking,
+            BrowserProfile::AdblockOnly,
+            BrowserProfile::GhosteryOnly,
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,278 @@
+//! The measurement dataset every analysis consumes.
+//!
+//! Raw crawl output: per site, per browser profile, per round — the feature
+//! log the instrumented browser produced, plus enough metadata (traffic
+//! weights, failures, page counts) for Tables 1/3 and Figs. 3-9.
+
+use crate::config::BrowserProfile;
+use bfu_browser::FeatureLog;
+use bfu_webgen::SiteId;
+use bfu_webidl::{FeatureId, FeatureRegistry, StandardId};
+use std::collections::HashSet;
+
+/// One measurement round of one site under one profile.
+#[derive(Debug, Clone)]
+pub struct RoundMeasurement {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Merged feature log across the round's pages.
+    pub log: FeatureLog,
+    /// Pages successfully interacted with.
+    pub pages_visited: u32,
+    /// Virtual interaction time spent, in ms.
+    pub interaction_ms: u64,
+    /// Whether the home page failed to load this round.
+    pub failed: bool,
+}
+
+/// All measurements for one site.
+#[derive(Debug, Clone)]
+pub struct SiteMeasurement {
+    /// Site identity.
+    pub site: SiteId,
+    /// Registrable domain.
+    pub domain: String,
+    /// Normalized traffic share (for Fig. 5 weighting).
+    pub traffic_weight: f64,
+    /// Rounds per profile, in config order.
+    pub rounds: Vec<(BrowserProfile, Vec<RoundMeasurement>)>,
+}
+
+impl SiteMeasurement {
+    /// Rounds for one profile, if crawled.
+    pub fn rounds_for(&self, profile: BrowserProfile) -> Option<&[RoundMeasurement]> {
+        self.rounds
+            .iter()
+            .find(|(p, _)| *p == profile)
+            .map(|(_, r)| r.as_slice())
+    }
+
+    /// Whether the site was measurable under a profile (any round's home
+    /// page loaded).
+    pub fn measured(&self, profile: BrowserProfile) -> bool {
+        self.rounds_for(profile)
+            .is_some_and(|rs| rs.iter().any(|r| !r.failed))
+    }
+
+    /// Union of features observed across all rounds of a profile.
+    pub fn features_used(&self, profile: BrowserProfile) -> HashSet<FeatureId> {
+        let mut out = HashSet::new();
+        if let Some(rounds) = self.rounds_for(profile) {
+            for r in rounds {
+                out.extend(r.log.features());
+            }
+        }
+        out
+    }
+
+    /// Union of standards observed across all rounds of a profile.
+    pub fn standards_used(
+        &self,
+        profile: BrowserProfile,
+        registry: &FeatureRegistry,
+    ) -> HashSet<StandardId> {
+        self.features_used(profile)
+            .into_iter()
+            .map(|f| registry.standard_of(f))
+            .collect()
+    }
+
+    /// Standards observed in rounds `0..=round` of a profile (for Table 3's
+    /// convergence analysis).
+    pub fn standards_through_round(
+        &self,
+        profile: BrowserProfile,
+        round: u32,
+        registry: &FeatureRegistry,
+    ) -> HashSet<StandardId> {
+        let mut out = HashSet::new();
+        if let Some(rounds) = self.rounds_for(profile) {
+            for r in rounds.iter().filter(|r| r.round <= round) {
+                out.extend(r.log.features().into_iter().map(|f| registry.standard_of(f)));
+            }
+        }
+        out
+    }
+
+    /// Total invocations across all profiles and rounds.
+    pub fn total_invocations(&self) -> u64 {
+        self.rounds
+            .iter()
+            .flat_map(|(_, rs)| rs)
+            .map(|r| r.log.total_invocations())
+            .sum()
+    }
+}
+
+/// The whole survey's output.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Profiles crawled, in order.
+    pub profiles: Vec<BrowserProfile>,
+    /// Rounds per profile.
+    pub rounds_per_profile: u32,
+    /// One entry per ranked site.
+    pub sites: Vec<SiteMeasurement>,
+}
+
+impl Dataset {
+    /// Sites where the default-profile crawl succeeded (the paper's 9,733).
+    pub fn measured_sites(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.measured(BrowserProfile::Default))
+            .count()
+    }
+
+    /// Total pages visited across everything (Table 1).
+    pub fn total_pages(&self) -> u64 {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.rounds)
+            .flat_map(|(_, rs)| rs)
+            .map(|r| u64::from(r.pages_visited))
+            .sum()
+    }
+
+    /// Total feature invocations recorded (Table 1).
+    pub fn total_invocations(&self) -> u64 {
+        self.sites.iter().map(SiteMeasurement::total_invocations).sum()
+    }
+
+    /// Total virtual interaction time in ms (Table 1's "480 days").
+    pub fn total_interaction_ms(&self) -> u64 {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.rounds)
+            .flat_map(|(_, rs)| rs)
+            .map(|r| r.interaction_ms)
+            .sum()
+    }
+
+    /// Number of sites using `feature` under `profile`.
+    pub fn sites_using_feature(&self, feature: FeatureId, profile: BrowserProfile) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.features_used(profile).contains(&feature))
+            .count()
+    }
+
+    /// Number of sites using ≥1 feature of `standard` under `profile`.
+    pub fn sites_using_standard(
+        &self,
+        standard: StandardId,
+        profile: BrowserProfile,
+        registry: &FeatureRegistry,
+    ) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| s.standards_used(profile, registry).contains(&standard))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(features: &[u32]) -> FeatureLog {
+        let mut log = FeatureLog::new();
+        for &f in features {
+            log.record(FeatureId::new(f));
+        }
+        log
+    }
+
+    fn measurement() -> SiteMeasurement {
+        SiteMeasurement {
+            site: SiteId::new(0),
+            domain: "a.test".into(),
+            traffic_weight: 0.1,
+            rounds: vec![
+                (
+                    BrowserProfile::Default,
+                    vec![
+                        RoundMeasurement {
+                            round: 0,
+                            log: log_with(&[1, 2]),
+                            pages_visited: 13,
+                            interaction_ms: 390_000,
+                            failed: false,
+                        },
+                        RoundMeasurement {
+                            round: 1,
+                            log: log_with(&[2, 3]),
+                            pages_visited: 13,
+                            interaction_ms: 390_000,
+                            failed: false,
+                        },
+                    ],
+                ),
+                (
+                    BrowserProfile::Blocking,
+                    vec![RoundMeasurement {
+                        round: 0,
+                        log: log_with(&[2]),
+                        pages_visited: 13,
+                        interaction_ms: 390_000,
+                        failed: false,
+                    }],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn features_union_across_rounds() {
+        let m = measurement();
+        let used = m.features_used(BrowserProfile::Default);
+        assert_eq!(used.len(), 3);
+        assert!(used.contains(&FeatureId::new(3)));
+        assert_eq!(m.features_used(BrowserProfile::Blocking).len(), 1);
+        assert!(m.features_used(BrowserProfile::AdblockOnly).is_empty());
+    }
+
+    #[test]
+    fn dataset_aggregates() {
+        let ds = Dataset {
+            profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
+            rounds_per_profile: 2,
+            sites: vec![measurement()],
+        };
+        assert_eq!(ds.measured_sites(), 1);
+        assert_eq!(ds.total_pages(), 39);
+        assert_eq!(ds.total_invocations(), 5);
+        assert_eq!(ds.total_interaction_ms(), 3 * 390_000);
+        assert_eq!(ds.sites_using_feature(FeatureId::new(2), BrowserProfile::Default), 1);
+        assert_eq!(ds.sites_using_feature(FeatureId::new(9), BrowserProfile::Default), 0);
+    }
+
+    #[test]
+    fn failed_rounds_dont_count_as_measured() {
+        let m = SiteMeasurement {
+            site: SiteId::new(1),
+            domain: "dead.test".into(),
+            traffic_weight: 0.0,
+            rounds: vec![(
+                BrowserProfile::Default,
+                vec![RoundMeasurement {
+                    round: 0,
+                    log: FeatureLog::new(),
+                    pages_visited: 0,
+                    interaction_ms: 0,
+                    failed: true,
+                }],
+            )],
+        };
+        assert!(!m.measured(BrowserProfile::Default));
+    }
+
+    #[test]
+    fn standards_through_round_grows_monotonically() {
+        let registry = FeatureRegistry::build();
+        let m = measurement();
+        let r0 = m.standards_through_round(BrowserProfile::Default, 0, &registry);
+        let r1 = m.standards_through_round(BrowserProfile::Default, 1, &registry);
+        assert!(r0.is_subset(&r1));
+    }
+}

@@ -1,0 +1,24 @@
+//! # bfu-crawler
+//!
+//! Survey orchestration: the automated crawl of §4.3.3.
+//!
+//! For each site in the ranking: 5 measurement rounds in the default
+//! configuration and 5 with blocking extensions installed (plus optional
+//! ad-only / tracker-only configurations for Fig. 7), each round visiting 13
+//! pages for 30 virtual seconds of monkey testing. Sites crawl in parallel
+//! across OS threads (each site's virtual world is independent and seeded).
+//!
+//! - [`config`] — crawl parameters (rounds, pages, budgets, configurations).
+//! - [`visit`] — one page visit: load, instrument, interact, harvest logs.
+//! - [`survey`] — the full study driver producing a [`dataset::Dataset`].
+//! - [`dataset`] — the measurement records all analyses consume.
+
+pub mod config;
+pub mod dataset;
+pub mod survey;
+pub mod visit;
+
+pub use config::{BrowserProfile, CrawlConfig};
+pub use dataset::{Dataset, SiteMeasurement};
+pub use survey::Survey;
+pub use visit::{policy_for, visit_site_round, PolicyAdapter};

@@ -1,0 +1,196 @@
+//! The full survey: every site × every profile × every round, in parallel.
+//!
+//! Sites are independent virtual worlds, so the survey shards them across
+//! worker threads (crossbeam scoped threads + an atomic work counter). Each
+//! worker builds its own network, browser, and policies; per-site randomness
+//! is derived from `(crawl seed, site, profile, round)` so results are
+//! identical regardless of thread count or scheduling.
+
+use crate::config::{BrowserProfile, CrawlConfig};
+use crate::dataset::{Dataset, SiteMeasurement};
+use crate::visit::{policy_for, visit_site_round, PolicyAdapter};
+use bfu_browser::Browser;
+use bfu_monkey::{HumanProfile, Interactor};
+use bfu_net::{SimNet, Url};
+use bfu_util::SimRng;
+use bfu_webgen::{SiteId, SyntheticWeb};
+use bfu_webidl::StandardId;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The survey driver.
+#[derive(Debug, Clone)]
+pub struct Survey {
+    web: SyntheticWeb,
+    config: CrawlConfig,
+}
+
+impl Survey {
+    /// A survey over `web` with `config`.
+    pub fn new(web: SyntheticWeb, config: CrawlConfig) -> Self {
+        Survey { web, config }
+    }
+
+    /// The web under survey.
+    pub fn web(&self) -> &SyntheticWeb {
+        &self.web
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CrawlConfig {
+        &self.config
+    }
+
+    /// Run the whole crawl, returning the dataset.
+    pub fn run(&self) -> Dataset {
+        let n_sites = self.web.site_count();
+        let results: Mutex<Vec<Option<SiteMeasurement>>> = Mutex::new(vec![None; n_sites]);
+        let next = AtomicUsize::new(0);
+        let threads = self.config.threads.max(1).min(n_sites.max(1));
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    // Thread-local world: network with all servers, browser,
+                    // and one policy per profile.
+                    let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
+                    self.web.install_into(&mut net);
+                    let registry = Rc::new((**self.web.registry()).clone());
+                    let browser = Browser::new(registry);
+                    let policies: Vec<(BrowserProfile, PolicyAdapter)> = self
+                        .config
+                        .profiles
+                        .iter()
+                        .map(|&p| (p, policy_for(&self.web, p)))
+                        .collect();
+
+                    loop {
+                        let ix = next.fetch_add(1, Ordering::Relaxed);
+                        if ix >= n_sites {
+                            break;
+                        }
+                        let m = self.crawl_site(ix, &browser, &mut net, &policies);
+                        results.lock()[ix] = Some(m);
+                    }
+                });
+            }
+        })
+        .expect("crawler threads");
+
+        Dataset {
+            profiles: self.config.profiles.clone(),
+            rounds_per_profile: self.config.rounds_per_profile,
+            sites: results
+                .into_inner()
+                .into_iter()
+                .map(|m| m.expect("every site crawled"))
+                .collect(),
+        }
+    }
+
+    fn crawl_site(
+        &self,
+        site_ix: usize,
+        browser: &Browser,
+        net: &mut SimNet,
+        policies: &[(BrowserProfile, PolicyAdapter)],
+    ) -> SiteMeasurement {
+        let site = SiteId::from_usize(site_ix);
+        let plan = self.web.plan(site);
+        let base_rng = SimRng::new(self.config.seed).fork_idx(site_ix as u64);
+        let mut rounds = Vec::new();
+        for (profile, policy) in policies {
+            let mut per_round = Vec::new();
+            for round in 0..self.config.rounds_per_profile {
+                let mut rng = base_rng.fork(profile.label()).fork_idx(u64::from(round));
+                per_round.push(visit_site_round(
+                    &self.web,
+                    browser,
+                    net,
+                    policy,
+                    &plan.site.domain,
+                    &self.config,
+                    round,
+                    &mut rng,
+                ));
+            }
+            rounds.push((*profile, per_round));
+        }
+        SiteMeasurement {
+            site,
+            domain: plan.site.domain.clone(),
+            traffic_weight: plan.site.traffic_weight,
+            rounds,
+        }
+    }
+
+    /// §6.2 external validation: visit `n` traffic-weighted sites with the
+    /// human profile (3 pages × 30 s each) and report, per site, how many
+    /// standards the human saw that the automated dataset missed.
+    pub fn external_validation(&self, dataset: &Dataset, n: usize) -> Vec<(SiteId, usize)> {
+        let mut rng = SimRng::new(self.config.seed).fork("external-validation");
+        let registry_arc = self.web.registry().clone();
+        let registry = Rc::new((*registry_arc).clone());
+        let browser = Browser::new(registry.clone());
+        let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
+        self.web.install_into(&mut net);
+        let policy = policy_for(&self.web, BrowserProfile::Default);
+
+        // Traffic-weighted sample without replacement.
+        let weights: Vec<f64> = self
+            .web
+            .core()
+            .plans
+            .iter()
+            .map(|p| p.site.traffic_weight)
+            .collect();
+        let dist = bfu_util::WeightedIndex::new(&weights).expect("weights");
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < n.min(self.web.site_count()) && guard < n * 50 {
+            let pick = dist.sample(&mut rng);
+            if !chosen.contains(&pick) && !self.web.plan(SiteId::from_usize(pick)).dead {
+                chosen.push(pick);
+            }
+            guard += 1;
+        }
+
+        let mut out = Vec::new();
+        for site_ix in chosen {
+            let site = SiteId::from_usize(site_ix);
+            let domain = &self.web.plan(site).site.domain;
+            let mut human_standards: HashSet<StandardId> = HashSet::new();
+            let mut human = HumanProfile::new(rng.fork_idx(site_ix as u64));
+            let mut clock = bfu_util::VirtualClock::new();
+            // Home plus up to two prominently-linked pages, 30 s each.
+            let mut url = Url::parse(&format!("http://{domain}/")).expect("domain url");
+            for _ in 0..3 {
+                let Ok(mut page) = browser.load(&mut net, &url, &policy, &mut clock) else {
+                    break;
+                };
+                let report =
+                    human.interact(&mut page, &mut net, &policy, &mut clock, 30_000);
+                human_standards.extend(
+                    page.log
+                        .borrow()
+                        .features()
+                        .into_iter()
+                        .map(|f| registry.standard_of(f)),
+                );
+                match report.navigations.first() {
+                    Some(next) if next.registrable_domain() == url.registrable_domain() => {
+                        url = next.clone();
+                    }
+                    _ => break,
+                }
+            }
+            let automated = dataset.sites[site_ix]
+                .standards_used(BrowserProfile::Default, &registry);
+            let new = human_standards.difference(&automated).count();
+            out.push((site, new));
+        }
+        out
+    }
+}

@@ -1,0 +1,264 @@
+//! One site-round: the paper's 13-page, 390-second measurement procedure.
+//!
+//! Visit the home page, monkey-test it for 30 virtual seconds, intercept the
+//! navigations, BFS to 3 structurally novel same-site pages, repeat — up to
+//! 13 pages per round — merging every page's feature log.
+
+use crate::config::{BrowserProfile, CrawlConfig};
+use crate::dataset::RoundMeasurement;
+use bfu_blocker::{BlockDecision, BlockerStack, FilterEngine, TrackerCategory, TrackerDb};
+use bfu_browser::{Browser, FeatureLog, RequestPolicy};
+use bfu_monkey::{CrawlPlanner, GremlinHorde, Interactor};
+use bfu_net::{HttpRequest, SimNet, Url};
+use bfu_util::{SimRng, VirtualClock};
+use bfu_webgen::{PartyKind, SyntheticWeb};
+
+/// Adapter: a [`BlockerStack`] as the browser's [`RequestPolicy`].
+///
+/// Lives here (not in `bfu-blocker`) so the blocker crate stays independent
+/// of the browser engine.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyAdapter(pub BlockerStack);
+
+impl RequestPolicy for PolicyAdapter {
+    fn decide(&self, req: &HttpRequest) -> Option<String> {
+        match self.0.decide(req) {
+            BlockDecision::Allow => None,
+            BlockDecision::BlockedByAdblock(rule) => Some(format!("abp:{rule}")),
+            BlockDecision::BlockedByTracker(cat) => Some(format!("ghostery:{cat}")),
+        }
+    }
+
+    fn hiding_selectors(&self, domain: &str) -> Vec<String> {
+        self.0.hiding_selectors(domain)
+    }
+}
+
+/// Build the request policy for a browser profile from the synthetic web's
+/// generated blocklists.
+pub fn policy_for(web: &SyntheticWeb, profile: BrowserProfile) -> PolicyAdapter {
+    let abp = || std::sync::Arc::new(FilterEngine::from_list(&web.lists().easylist));
+    let ghostery = || {
+        let mut db = TrackerDb::new();
+        for (domain, kind) in &web.lists().tracker_entries {
+            let cat = match kind {
+                PartyKind::Tracker => TrackerCategory::Tracking,
+                PartyKind::Analytics => TrackerCategory::Analytics,
+                PartyKind::AdNetwork => TrackerCategory::AdTracking,
+                PartyKind::Cdn => TrackerCategory::Exempt,
+            };
+            db.add(domain, cat);
+        }
+        std::sync::Arc::new(db)
+    };
+    let stack = match profile {
+        BrowserProfile::Default => BlockerStack::none(),
+        BrowserProfile::Blocking => BlockerStack::none()
+            .with_adblock(abp())
+            .with_ghostery(ghostery()),
+        BrowserProfile::AdblockOnly => BlockerStack::none().with_adblock(abp()),
+        BrowserProfile::GhosteryOnly => BlockerStack::none().with_ghostery(ghostery()),
+    };
+    PolicyAdapter(stack)
+}
+
+/// Crawl one site for one round under one profile.
+///
+/// Never fails hard: an unreachable site produces a `failed` round with an
+/// empty log, mirroring how the paper simply lost 267 domains.
+#[allow(clippy::too_many_arguments)]
+pub fn visit_site_round(
+    _web: &SyntheticWeb,
+    browser: &Browser,
+    net: &mut SimNet,
+    policy: &PolicyAdapter,
+    domain: &str,
+    config: &CrawlConfig,
+    round: u32,
+    rng: &mut SimRng,
+) -> RoundMeasurement {
+    let mut clock = VirtualClock::new();
+    let start = clock.now();
+    let mut merged = FeatureLog::new();
+    let mut planner = CrawlPlanner::new(domain);
+    let mut pages_visited = 0u32;
+
+    let home = match Url::parse(&format!("http://{domain}/")) {
+        Ok(u) => u,
+        Err(_) => {
+            return RoundMeasurement {
+                round,
+                log: merged,
+                pages_visited: 0,
+                interaction_ms: 0,
+                failed: true,
+            }
+        }
+    };
+
+    // Breadth-first frontier, starting at the home page.
+    let mut frontier = vec![home];
+    let mut failed = false;
+    while let Some(url) = frontier.pop() {
+        if pages_visited as usize >= config.pages_per_site {
+            break;
+        }
+        planner.mark_visited(&url);
+        let mut page = match browser.load(net, &url, policy, &mut clock) {
+            Ok(p) => p,
+            Err(_) => {
+                if pages_visited == 0 {
+                    failed = true; // the home page itself was unreachable
+                }
+                continue;
+            }
+        };
+        pages_visited += 1;
+
+        let mut horde = GremlinHorde::new(rng.fork_idx(u64::from(pages_visited)));
+        let report = horde.interact(&mut page, net, policy, &mut clock, config.page_budget_ms);
+
+        merged.merge(&page.log.borrow());
+
+        // Candidates: intercepted navigations plus static links.
+        let mut candidates = report.navigations;
+        candidates.extend(page.links());
+        let next = planner.select(&candidates, config.fanout, rng);
+        // Depth-first order of a bounded frontier equals BFS here because
+        // every level fans out the same amount; keep insertion order stable.
+        for n in next {
+            frontier.insert(0, n);
+        }
+    }
+
+    RoundMeasurement {
+        round,
+        log: merged,
+        pages_visited,
+        interaction_ms: clock.now().since(start),
+        failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_webgen::{SiteId, WebConfig};
+    use bfu_webidl::FeatureRegistry;
+    use std::rc::Rc;
+
+    fn rig() -> (SyntheticWeb, Browser, SimNet) {
+        let web = SyntheticWeb::generate(WebConfig { sites: 30, seed: 5 });
+        let mut net = SimNet::new(SimRng::new(2));
+        web.install_into(&mut net);
+        let registry = Rc::new((**web.registry()).clone());
+        (web, Browser::new(registry), net)
+    }
+
+    fn live_site(web: &SyntheticWeb) -> SiteId {
+        (0..web.site_count())
+            .map(SiteId::from_usize)
+            .find(|&s| !web.plan(s).dead && !web.plan(s).no_js)
+            .expect("live site exists")
+    }
+
+    #[test]
+    fn default_round_measures_features() {
+        let (web, browser, mut net) = rig();
+        let site = live_site(&web);
+        let domain = web.plan(site).site.domain.clone();
+        let config = CrawlConfig::quick(1);
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(10);
+        let m = visit_site_round(&web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng);
+        assert!(!m.failed);
+        assert_eq!(m.pages_visited as usize, config.pages_per_site);
+        assert!(m.log.distinct_features() > 0, "features observed");
+        assert!(m.interaction_ms >= config.page_budget_ms * m.pages_visited as u64);
+    }
+
+    #[test]
+    fn blocking_round_sees_fewer_or_equal_features() {
+        let (web, browser, mut net) = rig();
+        let site = live_site(&web);
+        let domain = web.plan(site).site.domain.clone();
+        let config = CrawlConfig::quick(1);
+        let mut rng_a = SimRng::new(10);
+        let mut rng_b = SimRng::new(10);
+        let default = visit_site_round(
+            &web, &browser, &mut net,
+            &policy_for(&web, BrowserProfile::Default),
+            &domain, &config, 0, &mut rng_a,
+        );
+        let blocking = visit_site_round(
+            &web, &browser, &mut net,
+            &policy_for(&web, BrowserProfile::Blocking),
+            &domain, &config, 0, &mut rng_b,
+        );
+        assert!(
+            blocking.log.distinct_features() <= default.log.distinct_features(),
+            "blocking: {} vs default: {}",
+            blocking.log.distinct_features(),
+            default.log.distinct_features()
+        );
+    }
+
+    #[test]
+    fn dead_site_round_is_failed() {
+        let (web, browser, mut net) = rig();
+        let dead = (0..web.site_count())
+            .map(SiteId::from_usize)
+            .find(|&s| web.plan(s).dead);
+        let Some(dead) = dead else { return }; // none in this tiny web
+        let domain = web.plan(dead).site.domain.clone();
+        let config = CrawlConfig::quick(1);
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(3);
+        let m = visit_site_round(&web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng);
+        assert!(m.failed);
+        assert_eq!(m.pages_visited, 0);
+    }
+
+    #[test]
+    fn rounds_are_seed_deterministic() {
+        let run = || {
+            let (web, browser, mut net) = rig();
+            let site = live_site(&web);
+            let domain = web.plan(site).site.domain.clone();
+            let config = CrawlConfig::quick(1);
+            let policy = policy_for(&web, BrowserProfile::Default);
+            let mut rng = SimRng::new(42);
+            let m = visit_site_round(
+                &web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng,
+            );
+            (m.log.total_invocations(), m.pages_visited, m.interaction_ms)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn registry_features_match_planned_standards_roughly() {
+        // Features the crawl observes must be a subset of the site's planned
+        // features plus the documented createElement-style scaffolding.
+        let (web, browser, mut net) = rig();
+        let site = live_site(&web);
+        let plan = web.plan(site);
+        let domain = plan.site.domain.clone();
+        let config = CrawlConfig::quick(1);
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(7);
+        let m = visit_site_round(&web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng);
+        let registry = FeatureRegistry::build();
+        let planned: std::collections::HashSet<_> =
+            plan.placements.iter().map(|p| p.feature).collect();
+        let scaffolding = ["createElement", "appendChild"];
+        for f in m.log.features() {
+            let info = registry.feature(f);
+            assert!(
+                planned.contains(&f) || scaffolding.contains(&info.member.as_str()),
+                "unplanned feature observed: {}",
+                info.name
+            );
+        }
+    }
+}

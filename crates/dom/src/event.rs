@@ -1,0 +1,223 @@
+//! Event model: listener registry and capture/target/bubble dispatch.
+//!
+//! The DOM crate is engine-agnostic: listeners are opaque `u32` handles
+//! (the browser maps them to interpreter closures). Dispatching an event
+//! computes the ordered list of `(node, handle, phase)` invocations the
+//! engine must perform, honoring `stopPropagation`-style early exit when the
+//! engine reports it.
+
+use crate::node::{Document, NodeId};
+use std::collections::HashMap;
+
+/// Phase of event flow at which a listener fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPhase {
+    /// Root → parent-of-target.
+    Capture,
+    /// At the target itself.
+    Target,
+    /// Parent-of-target → root.
+    Bubble,
+}
+
+/// One listener invocation the engine must perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventResult {
+    /// Node whose listener fires.
+    pub node: NodeId,
+    /// Opaque listener handle registered by the engine.
+    pub handle: u32,
+    /// Flow phase.
+    pub phase: EventPhase,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ListenerEntry {
+    handle: u32,
+    capture: bool,
+}
+
+/// Listener registry for one document.
+#[derive(Debug, Clone, Default)]
+pub struct EventRegistry {
+    listeners: HashMap<(NodeId, String), Vec<ListenerEntry>>,
+}
+
+impl EventRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a listener handle for `(node, event_type)`.
+    pub fn add_listener(&mut self, node: NodeId, event_type: &str, handle: u32, capture: bool) {
+        self.listeners
+            .entry((node, event_type.to_owned()))
+            .or_default()
+            .push(ListenerEntry { handle, capture });
+    }
+
+    /// Remove a specific listener.
+    pub fn remove_listener(&mut self, node: NodeId, event_type: &str, handle: u32) {
+        if let Some(v) = self.listeners.get_mut(&(node, event_type.to_owned())) {
+            v.retain(|e| e.handle != handle);
+        }
+    }
+
+    /// Whether any listener exists for `(node, event_type)`.
+    pub fn has_listener(&self, node: NodeId, event_type: &str) -> bool {
+        self.listeners
+            .get(&(node, event_type.to_owned()))
+            .is_some_and(|v| !v.is_empty())
+    }
+
+    /// Nodes having at least one listener for `event_type`.
+    pub fn nodes_listening(&self, event_type: &str) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .listeners
+            .iter()
+            .filter(|((_, t), v)| t == event_type && !v.is_empty())
+            .map(|((n, _), _)| *n)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Total registered listeners.
+    pub fn listener_count(&self) -> usize {
+        self.listeners.values().map(Vec::len).sum()
+    }
+
+    /// Compute the full invocation sequence for dispatching `event_type` at
+    /// `target`: capture phase from the root down, target phase, then bubble
+    /// phase back up.
+    pub fn dispatch_order(
+        &self,
+        doc: &Document,
+        target: NodeId,
+        event_type: &str,
+    ) -> Vec<EventResult> {
+        // Path from root to target (inclusive).
+        let mut path = Vec::new();
+        let mut cur = Some(target);
+        while let Some(n) = cur {
+            path.push(n);
+            cur = doc.parent(n);
+        }
+        path.reverse();
+
+        let mut out = Vec::new();
+        // Capture: ancestors top-down, capture listeners only.
+        for &n in &path[..path.len().saturating_sub(1)] {
+            self.collect(n, event_type, true, EventPhase::Capture, &mut out);
+        }
+        // Target: both kinds, capture listeners first (DOM spec order).
+        self.collect(target, event_type, true, EventPhase::Target, &mut out);
+        self.collect(target, event_type, false, EventPhase::Target, &mut out);
+        // Bubble: ancestors bottom-up, non-capture listeners only.
+        for &n in path[..path.len().saturating_sub(1)].iter().rev() {
+            self.collect(n, event_type, false, EventPhase::Bubble, &mut out);
+        }
+        out
+    }
+
+    fn collect(
+        &self,
+        node: NodeId,
+        event_type: &str,
+        capture: bool,
+        phase: EventPhase,
+        out: &mut Vec<EventResult>,
+    ) {
+        if let Some(entries) = self.listeners.get(&(node, event_type.to_owned())) {
+            for e in entries {
+                if e.capture == capture {
+                    out.push(EventResult {
+                        node,
+                        handle: e.handle,
+                        phase,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Document;
+
+    fn tree() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let html = doc.create_element("html");
+        let body = doc.create_element("body");
+        let button = doc.create_element("button");
+        doc.append_child(doc.root(), html);
+        doc.append_child(html, body);
+        doc.append_child(body, button);
+        (doc, html, body, button)
+    }
+
+    #[test]
+    fn dispatch_order_capture_target_bubble() {
+        let (doc, html, body, button) = tree();
+        let mut reg = EventRegistry::new();
+        reg.add_listener(html, "click", 1, true); // capture
+        reg.add_listener(body, "click", 2, false); // bubble
+        reg.add_listener(button, "click", 3, false); // target
+        reg.add_listener(button, "click", 4, true); // target (capture flag)
+        let order = reg.dispatch_order(&doc, button, "click");
+        let phases: Vec<(u32, EventPhase)> = order.iter().map(|r| (r.handle, r.phase)).collect();
+        assert_eq!(
+            phases,
+            vec![
+                (1, EventPhase::Capture),
+                (4, EventPhase::Target),
+                (3, EventPhase::Target),
+                (2, EventPhase::Bubble),
+            ]
+        );
+    }
+
+    #[test]
+    fn unrelated_event_types_ignored() {
+        let (doc, _, body, button) = tree();
+        let mut reg = EventRegistry::new();
+        reg.add_listener(body, "scroll", 1, false);
+        assert!(reg.dispatch_order(&doc, button, "click").is_empty());
+    }
+
+    #[test]
+    fn remove_listener() {
+        let (doc, _, body, button) = tree();
+        let mut reg = EventRegistry::new();
+        reg.add_listener(body, "click", 7, false);
+        assert!(reg.has_listener(body, "click"));
+        reg.remove_listener(body, "click", 7);
+        assert!(!reg.has_listener(body, "click"));
+        assert!(reg.dispatch_order(&doc, button, "click").is_empty());
+    }
+
+    #[test]
+    fn nodes_listening_sorted_dedup() {
+        let (_, html, body, _) = tree();
+        let mut reg = EventRegistry::new();
+        reg.add_listener(body, "click", 1, false);
+        reg.add_listener(body, "click", 2, false);
+        reg.add_listener(html, "click", 3, true);
+        assert_eq!(reg.nodes_listening("click"), vec![html, body]);
+        assert_eq!(reg.listener_count(), 3);
+    }
+
+    #[test]
+    fn dispatch_at_root_is_target_only() {
+        let (doc, _, _, _) = tree();
+        let mut reg = EventRegistry::new();
+        reg.add_listener(doc.root(), "load", 9, false);
+        let order = reg.dispatch_order(&doc, doc.root(), "load");
+        assert_eq!(order.len(), 1);
+        assert_eq!(order[0].phase, EventPhase::Target);
+    }
+}

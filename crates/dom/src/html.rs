@@ -1,0 +1,319 @@
+//! HTML parser and serializer.
+//!
+//! A pragmatic tag-soup parser for the HTML the synthetic web generates:
+//! nested elements with attributes, text, comments, void elements, raw-text
+//! handling for `<script>` (content is captured verbatim until the closing
+//! tag), and recovery from mismatched close tags (close the nearest matching
+//! open element, ignore strays) — enough robustness that fault-injected
+//! truncated documents still parse into *something*, like real browsers.
+
+use crate::node::{Document, NodeData, NodeId};
+
+/// Elements that never have children or close tags.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
+];
+
+/// Parse an HTML string into a fresh [`Document`].
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document::new();
+    let root = doc.root();
+    let mut stack: Vec<NodeId> = vec![root];
+    let bytes = input;
+
+    let mut i = 0usize;
+    let len = bytes.len();
+    while i < len {
+        if bytes[i..].starts_with("<!--") {
+            let end = bytes[i + 4..].find("-->").map(|e| i + 4 + e);
+            let (text, next) = match end {
+                Some(e) => (&bytes[i + 4..e], e + 3),
+                None => (&bytes[i + 4..], len),
+            };
+            let c = doc.create_comment(text);
+            let parent = *stack.last().expect("stack never empty");
+            doc.append_child(parent, c);
+            i = next;
+        } else if bytes[i..].starts_with("<!") {
+            // DOCTYPE and friends: skip to '>'.
+            i = bytes[i..].find('>').map_or(len, |e| i + e + 1);
+        } else if bytes[i..].starts_with("</") {
+            let end = bytes[i..].find('>').map_or(len, |e| i + e);
+            let name = bytes[i + 2..end].trim().to_ascii_lowercase();
+            // Close the nearest matching open element; ignore strays.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&n| doc.tag(n) == Some(name.as_str()))
+            {
+                stack.truncate(pos);
+                if stack.is_empty() {
+                    stack.push(root);
+                }
+            }
+            i = (end + 1).min(len);
+        } else if bytes[i..].starts_with('<')
+            && bytes[i + 1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
+        {
+            let end = bytes[i..].find('>').map_or(len, |e| i + e);
+            let tag_body = &bytes[i + 1..end];
+            let self_closing = tag_body.ends_with('/');
+            let tag_body = tag_body.trim_end_matches('/');
+            let (name, attrs_str) = match tag_body.find(|c: char| c.is_ascii_whitespace()) {
+                Some(sp) => (&tag_body[..sp], &tag_body[sp..]),
+                None => (tag_body, ""),
+            };
+            let name = name.to_ascii_lowercase();
+            let el = doc.create_element(&name);
+            for (k, v) in parse_attrs(attrs_str) {
+                doc.set_attr(el, &k, &v);
+            }
+            let parent = *stack.last().expect("stack never empty");
+            doc.append_child(parent, el);
+            i = (end + 1).min(len);
+
+            if name == "script" || name == "style" {
+                // Raw text until the matching close tag.
+                let close = format!("</{name}");
+                let rel = bytes[i..].to_ascii_lowercase().find(&close);
+                let (raw, next) = match rel {
+                    Some(r) => (&bytes[i..i + r], i + r),
+                    None => (&bytes[i..], len),
+                };
+                if !raw.is_empty() {
+                    let t = doc.create_text(raw);
+                    doc.append_child(el, t);
+                }
+                // Consume the close tag itself.
+                i = bytes[next..].find('>').map_or(len, |e| next + e + 1);
+            } else if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
+                stack.push(el);
+            }
+        } else {
+            // Text run until the next '<'. A lone '<' that didn't open a
+            // comment/tag (e.g. `<3`) is literal text: search from the next
+            // character so the scan always advances.
+            let first = bytes[i..].chars().next().expect("i < len");
+            let from = i + first.len_utf8();
+            let end = if first == '<' {
+                bytes[from..].find('<').map_or(len, |e| from + e)
+            } else {
+                bytes[i..].find('<').map_or(len, |e| i + e)
+            };
+            let text = &bytes[i..end];
+            if !text.trim().is_empty() {
+                let t = doc.create_text(text);
+                let parent = *stack.last().expect("stack never empty");
+                doc.append_child(parent, t);
+            }
+            i = end;
+        }
+    }
+    doc
+}
+
+fn parse_attrs(s: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let name_end = rest
+            .find(|c: char| c == '=' || c.is_ascii_whitespace())
+            .unwrap_or(rest.len());
+        let name = rest[..name_end].to_ascii_lowercase();
+        rest = rest[name_end..].trim_start();
+        if name.is_empty() {
+            break;
+        }
+        if let Some(r) = rest.strip_prefix('=') {
+            let r = r.trim_start();
+            let (value, after) = if let Some(q) = r.strip_prefix('"') {
+                match q.find('"') {
+                    Some(e) => (q[..e].to_owned(), &q[e + 1..]),
+                    None => (q.to_owned(), ""),
+                }
+            } else if let Some(q) = r.strip_prefix('\'') {
+                match q.find('\'') {
+                    Some(e) => (q[..e].to_owned(), &q[e + 1..]),
+                    None => (q.to_owned(), ""),
+                }
+            } else {
+                let e = r
+                    .find(|c: char| c.is_ascii_whitespace())
+                    .unwrap_or(r.len());
+                (r[..e].to_owned(), &r[e..])
+            };
+            out.push((name, value));
+            rest = after.trim_start();
+        } else {
+            out.push((name, String::new()));
+        }
+    }
+    out
+}
+
+/// Serialize a subtree back to HTML.
+pub fn serialize(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    match doc.data(id) {
+        NodeData::Document => {
+            for &c in doc.children(id) {
+                write_node(doc, c, out);
+            }
+        }
+        NodeData::Text(t) => out.push_str(t),
+        NodeData::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        NodeData::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                if !v.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(v);
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if !VOID_ELEMENTS.contains(&tag.as_str()) {
+                for &c in doc.children(id) {
+                    write_node(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::Selector;
+
+    #[test]
+    fn parses_nested_structure() {
+        let doc = parse("<html><head></head><body><div id=\"a\"><p>hi</p></div></body></html>");
+        let div = Selector::parse("#a").unwrap().query_first(&doc).unwrap();
+        assert_eq!(doc.tag(div), Some("div"));
+        let p = doc.children(div)[0];
+        assert_eq!(doc.tag(p), Some("p"));
+        assert_eq!(doc.text_content(p), "hi");
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_bare() {
+        let doc = parse(r#"<input type=text name='q' disabled data-k="v w">"#);
+        let input = doc.first_by_tag("input").unwrap();
+        assert_eq!(doc.attr(input, "type"), Some("text"));
+        assert_eq!(doc.attr(input, "name"), Some("q"));
+        assert_eq!(doc.attr(input, "disabled"), Some(""));
+        assert_eq!(doc.attr(input, "data-k"), Some("v w"));
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let doc = parse("<body><img src=a.png><p>text</p></body>");
+        let body = doc.first_by_tag("body").unwrap();
+        assert_eq!(doc.children(body).len(), 2, "img and p are siblings");
+    }
+
+    #[test]
+    fn script_content_is_raw_text() {
+        let doc = parse("<script>if (a < b) { go(); }</script><p>after</p>");
+        let script = doc.first_by_tag("script").unwrap();
+        assert_eq!(doc.text_content(script), "if (a < b) { go(); }");
+        assert!(doc.first_by_tag("p").is_some(), "parsing continues after script");
+    }
+
+    #[test]
+    fn comments_preserved() {
+        let doc = parse("<body><!-- note --></body>");
+        let body = doc.first_by_tag("body").unwrap();
+        assert!(matches!(doc.data(doc.children(body)[0]), NodeData::Comment(c) if c.trim() == "note"));
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let doc = parse("<!DOCTYPE html><html></html>");
+        assert!(doc.first_by_tag("html").is_some());
+    }
+
+    #[test]
+    fn recovers_from_stray_close_tags() {
+        let doc = parse("<div></span><p>ok</p></div>");
+        assert!(doc.first_by_tag("p").is_some());
+        let div = doc.first_by_tag("div").unwrap();
+        let p = doc.first_by_tag("p").unwrap();
+        assert!(doc.is_ancestor(div, p), "stray </span> ignored");
+    }
+
+    #[test]
+    fn truncated_input_still_parses() {
+        let doc = parse("<html><body><div class=\"x\"><p>partial tex");
+        assert!(doc.first_by_tag("div").is_some());
+        let p = doc.first_by_tag("p").unwrap();
+        assert_eq!(doc.text_content(p), "partial tex");
+    }
+
+    #[test]
+    fn self_closing_syntax() {
+        let doc = parse("<div/><span>x</span>");
+        let div = doc.first_by_tag("div").unwrap();
+        assert!(doc.children(div).is_empty());
+        assert!(doc.first_by_tag("span").is_some());
+    }
+
+    #[test]
+    fn serialize_roundtrip_structure() {
+        let src = "<html><body><div id=\"a\" class=\"b\"><p>hi</p><img src=\"x\"></div></body></html>";
+        let doc = parse(src);
+        let out = serialize(&doc, doc.root());
+        let doc2 = parse(&out);
+        // Structural equivalence: same tags in same pre-order.
+        let tags = |d: &Document| -> Vec<String> {
+            d.elements()
+                .iter()
+                .map(|&n| d.tag(n).unwrap().to_owned())
+                .collect()
+        };
+        assert_eq!(tags(&doc), tags(&doc2));
+        assert!(out.contains("id=\"a\""));
+    }
+
+    #[test]
+    fn style_is_raw_text_too() {
+        let doc = parse("<style>a > b { color: red }</style>");
+        let style = doc.first_by_tag("style").unwrap();
+        assert_eq!(doc.text_content(style), "a > b { color: red }");
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::parse;
+
+    #[test]
+    fn lone_angle_brackets_are_text_and_terminate() {
+        // Regression: `<` not opening a tag must not hang the parser.
+        for src in ["<", "<3", "a < b", "<<", "x<", "< <div>hi</div>", "<\u{e9}tag>"] {
+            let doc = parse(src);
+            let _ = doc.iter_tree();
+        }
+        let doc = parse("i <3 <div>you</div>");
+        assert!(doc.first_by_tag("div").is_some());
+    }
+}

@@ -1,0 +1,24 @@
+//! # bfu-dom
+//!
+//! An arena-based Document Object Model for the simulated browser.
+//!
+//! The paper's instrumentation lives *inside* the DOM: its extension rewrites
+//! DOM prototypes before page scripts run. Our browser therefore needs a real
+//! document tree with mutation, a selector engine (for `querySelectorAll`
+//! features and for blockers' element-hiding rules), an event model with
+//! capture/target/bubble phases (for the monkey's synthetic clicks), and an
+//! HTML parser/serializer for documents fetched off the simulated network.
+//!
+//! - [`node`] — node arena, tree structure and mutation.
+//! - [`html`] — HTML parser and serializer.
+//! - [`selector`] — CSS selector engine.
+//! - [`event`] — event dispatch.
+
+pub mod event;
+pub mod html;
+pub mod node;
+pub mod selector;
+
+pub use event::{EventPhase, EventRegistry, EventResult};
+pub use node::{Document, NodeData, NodeId};
+pub use selector::Selector;

@@ -1,0 +1,407 @@
+//! Node arena and tree operations.
+//!
+//! Nodes live in a flat `Vec` owned by the [`Document`]; relationships are
+//! [`NodeId`] indices. Removal detaches subtrees rather than freeing slots
+//! (documents are short-lived — one per page visit — so slot reuse isn't
+//! worth the dangling-id risk).
+
+use bfu_util::define_id;
+use std::collections::BTreeMap;
+
+define_id!(
+    /// Index of a node within its document's arena.
+    NodeId,
+    "node"
+);
+
+/// Payload of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeData {
+    /// The document root (exactly one, id 0).
+    Document,
+    /// An element with a lowercase tag name and its attributes.
+    Element {
+        /// Lowercase tag name.
+        tag: String,
+        /// Attribute map (lowercase names).
+        attrs: BTreeMap<String, String>,
+    },
+    /// A text node.
+    Text(String),
+    /// A comment (preserved for fidelity; ignored by selectors).
+    Comment(String),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    data: NodeData,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Detached nodes are invisible to traversal/selectors.
+    attached: bool,
+}
+
+/// A document tree.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// An empty document containing only the root.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                data: NodeData::Document,
+                parent: None,
+                children: Vec::new(),
+                attached: true,
+            }],
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// Total nodes ever allocated (including detached ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Allocate a new detached element.
+    pub fn create_element(&mut self, tag: &str) -> NodeId {
+        self.alloc(NodeData::Element {
+            tag: tag.to_ascii_lowercase(),
+            attrs: BTreeMap::new(),
+        })
+    }
+
+    /// Allocate a new detached text node.
+    pub fn create_text(&mut self, text: &str) -> NodeId {
+        self.alloc(NodeData::Text(text.to_owned()))
+    }
+
+    /// Allocate a new detached comment node.
+    pub fn create_comment(&mut self, text: &str) -> NodeId {
+        self.alloc(NodeData::Comment(text.to_owned()))
+    }
+
+    fn alloc(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId::from_usize(self.nodes.len());
+        self.nodes.push(Node {
+            data,
+            parent: None,
+            children: Vec::new(),
+            attached: false,
+        });
+        id
+    }
+
+    /// The node's payload.
+    pub fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()].data
+    }
+
+    /// The node's parent, if attached to one.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// The node's children, in order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Element tag name, or `None` for non-elements.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.index()].data {
+            NodeData::Element { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Attribute value.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.nodes[id.index()].data {
+            NodeData::Element { attrs, .. } => attrs.get(name).map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// Set an attribute (no-op on non-elements).
+    pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        if let NodeData::Element { attrs, .. } = &mut self.nodes[id.index()].data {
+            attrs.insert(name.to_ascii_lowercase(), value.to_owned());
+        }
+    }
+
+    /// Remove an attribute.
+    pub fn remove_attr(&mut self, id: NodeId, name: &str) {
+        if let NodeData::Element { attrs, .. } = &mut self.nodes[id.index()].data {
+            attrs.remove(name);
+        }
+    }
+
+    /// Append `child` as the last child of `parent`.
+    ///
+    /// Panics if the edge would create a cycle.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        assert!(!self.is_ancestor(child, parent), "append would create a cycle");
+        self.detach(child);
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[child.index()].attached = self.nodes[parent.index()].attached;
+        self.propagate_attached(child);
+        self.nodes[parent.index()].children.push(child);
+    }
+
+    /// Insert `child` immediately before `reference` under `parent`.
+    ///
+    /// Panics if `reference` is not a child of `parent` or on a cycle.
+    pub fn insert_before(&mut self, parent: NodeId, child: NodeId, reference: NodeId) {
+        assert!(!self.is_ancestor(child, parent), "insert would create a cycle");
+        let pos = self.nodes[parent.index()]
+            .children
+            .iter()
+            .position(|&c| c == reference)
+            .expect("reference is not a child of parent");
+        self.detach(child);
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[child.index()].attached = self.nodes[parent.index()].attached;
+        self.propagate_attached(child);
+        self.nodes[parent.index()].children.insert(pos, child);
+    }
+
+    /// Detach a subtree from its parent (it becomes invisible to traversal).
+    pub fn detach(&mut self, id: NodeId) {
+        if let Some(p) = self.nodes[id.index()].parent.take() {
+            self.nodes[p.index()].children.retain(|&c| c != id);
+        }
+        self.nodes[id.index()].attached = false;
+        self.propagate_attached(id);
+    }
+
+    fn propagate_attached(&mut self, id: NodeId) {
+        let state = self.nodes[id.index()].attached;
+        let mut stack: Vec<NodeId> = self.nodes[id.index()].children.clone();
+        while let Some(n) = stack.pop() {
+            self.nodes[n.index()].attached = state;
+            stack.extend_from_slice(&self.nodes[n.index()].children);
+        }
+    }
+
+    /// Whether `a` is an ancestor of `b` (or `a == b`).
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = Some(b);
+        while let Some(n) = cur {
+            if n == a {
+                return true;
+            }
+            cur = self.nodes[n.index()].parent;
+        }
+        false
+    }
+
+    /// Deep-clone the subtree rooted at `id`; returns the new (detached) root.
+    pub fn clone_subtree(&mut self, id: NodeId) -> NodeId {
+        let data = self.nodes[id.index()].data.clone();
+        let new_root = self.alloc(data);
+        let children: Vec<NodeId> = self.nodes[id.index()].children.clone();
+        for child in children {
+            let new_child = self.clone_subtree(child);
+            self.nodes[new_child.index()].parent = Some(new_root);
+            self.nodes[new_root.index()].children.push(new_child);
+        }
+        new_root
+    }
+
+    /// All attached nodes in document (pre-)order, starting at the root.
+    pub fn iter_tree(&self) -> Vec<NodeId> {
+        self.descendants(self.root())
+    }
+
+    /// `root` plus all its descendants in pre-order (attached state follows
+    /// the subtree, so this also works on detached subtrees).
+    pub fn descendants(&self, root: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.nodes[n.index()].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All attached elements in document order.
+    pub fn elements(&self) -> Vec<NodeId> {
+        self.iter_tree()
+            .into_iter()
+            .filter(|&n| matches!(self.data(n), NodeData::Element { .. }))
+            .collect()
+    }
+
+    /// Concatenated text content of a subtree.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants(id) {
+            if let NodeData::Text(t) = self.data(n) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Whether the element is rendered: attached, and neither it nor an
+    /// ancestor carries `hidden` or the blocker's `data-bfu-hidden` marker.
+    pub fn is_visible(&self, id: NodeId) -> bool {
+        if !self.nodes[id.index()].attached {
+            return false;
+        }
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if let NodeData::Element { attrs, .. } = &self.nodes[n.index()].data {
+                if attrs.contains_key("hidden") || attrs.contains_key("data-bfu-hidden") {
+                    return false;
+                }
+            }
+            cur = self.nodes[n.index()].parent;
+        }
+        true
+    }
+
+    /// First attached element with the given tag, if any.
+    pub fn first_by_tag(&self, tag: &str) -> Option<NodeId> {
+        let tag = tag.to_ascii_lowercase();
+        self.elements()
+            .into_iter()
+            .find(|&n| self.tag(n) == Some(tag.as_str()))
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let html = doc.create_element("html");
+        let body = doc.create_element("body");
+        let p = doc.create_element("p");
+        doc.append_child(doc.root(), html);
+        doc.append_child(html, body);
+        doc.append_child(body, p);
+        (doc, html, body, p)
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let (doc, html, body, p) = sample();
+        assert_eq!(doc.parent(p), Some(body));
+        assert_eq!(doc.children(html), &[body]);
+        assert_eq!(doc.iter_tree(), vec![doc.root(), html, body, p]);
+        assert_eq!(doc.elements(), vec![html, body, p]);
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let (mut doc, _, body, p) = sample();
+        let t1 = doc.create_text("hello ");
+        let t2 = doc.create_text("world");
+        doc.append_child(p, t1);
+        doc.append_child(body, t2);
+        assert_eq!(doc.text_content(body), "hello world");
+    }
+
+    #[test]
+    fn insert_before_positions_correctly() {
+        let (mut doc, _, body, p) = sample();
+        let div = doc.create_element("div");
+        doc.insert_before(body, div, p);
+        assert_eq!(doc.children(body), &[div, p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference is not a child")]
+    fn insert_before_bad_reference_panics() {
+        let (mut doc, html, _, p) = sample();
+        let div = doc.create_element("div");
+        doc.insert_before(html, div, p); // p is body's child, not html's
+    }
+
+    #[test]
+    fn detach_hides_subtree() {
+        let (mut doc, _, body, p) = sample();
+        assert!(doc.is_visible(p));
+        doc.detach(body);
+        assert!(!doc.is_visible(p));
+        assert!(!doc.iter_tree().contains(&p));
+    }
+
+    #[test]
+    fn reattach_restores_visibility() {
+        let (mut doc, html, body, p) = sample();
+        doc.detach(body);
+        doc.append_child(html, body);
+        assert!(doc.is_visible(p));
+    }
+
+    #[test]
+    fn hidden_attribute_cascades() {
+        let (mut doc, _, body, p) = sample();
+        doc.set_attr(body, "hidden", "");
+        assert!(!doc.is_visible(p), "hidden on ancestor hides descendants");
+        doc.remove_attr(body, "hidden");
+        assert!(doc.is_visible(p));
+        doc.set_attr(p, "data-bfu-hidden", "1");
+        assert!(!doc.is_visible(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let (mut doc, html, body, _) = sample();
+        doc.append_child(body, html);
+    }
+
+    #[test]
+    fn clone_subtree_is_deep_and_detached() {
+        let (mut doc, _, body, p) = sample();
+        doc.set_attr(p, "class", "x");
+        let copy = doc.clone_subtree(body);
+        assert_eq!(doc.parent(copy), None);
+        let kids = doc.children(copy).to_vec();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(doc.attr(kids[0], "class"), Some("x"));
+        // Mutating the copy leaves the original alone.
+        doc.set_attr(kids[0], "class", "y");
+        assert_eq!(doc.attr(p, "class"), Some("x"));
+    }
+
+    #[test]
+    fn attrs_case_insensitive_names() {
+        let (mut doc, _, _, p) = sample();
+        doc.set_attr(p, "ID", "main");
+        assert_eq!(doc.attr(p, "id"), Some("main"));
+    }
+
+    #[test]
+    fn first_by_tag() {
+        let (doc, _, body, _) = sample();
+        assert_eq!(doc.first_by_tag("BODY"), Some(body));
+        assert_eq!(doc.first_by_tag("table"), None);
+    }
+}

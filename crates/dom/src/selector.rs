@@ -1,0 +1,354 @@
+//! CSS selector engine.
+//!
+//! Supports the grammar blockers' element-hiding rules and the Selectors API
+//! features need: compound selectors of tag / `#id` / `.class` /
+//! `[attr]` / `[attr=value]` parts, descendant (whitespace) and child (`>`)
+//! combinators, `*`, and comma-separated groups.
+
+use crate::node::{Document, NodeData, NodeId};
+use std::fmt;
+
+/// One simple component of a compound selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Part {
+    Universal,
+    Tag(String),
+    Id(String),
+    Class(String),
+    AttrExists(String),
+    AttrEquals(String, String),
+}
+
+/// A compound selector: all parts must match one element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Compound {
+    parts: Vec<Part>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combinator {
+    Descendant,
+    Child,
+}
+
+/// One complex selector: compounds joined by combinators, e.g. `div > p.x`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Complex {
+    /// Rightmost compound first? No — stored left-to-right.
+    compounds: Vec<Compound>,
+    /// `combinators[i]` joins `compounds[i]` and `compounds[i+1]`.
+    combinators: Vec<Combinator>,
+}
+
+/// A parsed selector group (comma-separated complex selectors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    complexes: Vec<Complex>,
+    source: String,
+}
+
+/// Selector parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorError(pub String);
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid selector: {}", self.0)
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+impl Selector {
+    /// Parse a selector group.
+    pub fn parse(input: &str) -> Result<Selector, SelectorError> {
+        let source = input.trim().to_owned();
+        if source.is_empty() {
+            return Err(SelectorError("empty selector".into()));
+        }
+        let mut complexes = Vec::new();
+        for part in source.split(',') {
+            complexes.push(parse_complex(part.trim())?);
+        }
+        Ok(Selector { complexes, source })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether `node` matches this selector.
+    pub fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        self.complexes.iter().any(|c| matches_complex(c, doc, node))
+    }
+
+    /// All attached elements matching, in document order.
+    pub fn query_all(&self, doc: &Document) -> Vec<NodeId> {
+        doc.elements()
+            .into_iter()
+            .filter(|&n| self.matches(doc, n))
+            .collect()
+    }
+
+    /// First match in document order.
+    pub fn query_first(&self, doc: &Document) -> Option<NodeId> {
+        doc.elements().into_iter().find(|&n| self.matches(doc, n))
+    }
+}
+
+fn parse_complex(input: &str) -> Result<Complex, SelectorError> {
+    if input.is_empty() {
+        return Err(SelectorError("empty complex selector".into()));
+    }
+    let mut compounds = Vec::new();
+    let mut combinators = Vec::new();
+    // Tokenize into compounds and combinators.
+    let mut rest = input;
+    loop {
+        let (compound, after) = take_compound(rest)?;
+        compounds.push(compound);
+        rest = after.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        if let Some(r) = rest.strip_prefix('>') {
+            combinators.push(Combinator::Child);
+            rest = r.trim_start();
+        } else {
+            combinators.push(Combinator::Descendant);
+        }
+        if rest.is_empty() {
+            return Err(SelectorError(format!("dangling combinator in {input:?}")));
+        }
+    }
+    Ok(Complex {
+        compounds,
+        combinators,
+    })
+}
+
+fn take_compound(input: &str) -> Result<(Compound, &str), SelectorError> {
+    let mut parts = Vec::new();
+    let mut rest = input;
+    while let Some(c) = rest.chars().next() {
+        match c {
+            '*' => {
+                parts.push(Part::Universal);
+                rest = &rest[1..];
+            }
+            '#' => {
+                let (name, r) = take_ident(&rest[1..]);
+                if name.is_empty() {
+                    return Err(SelectorError("empty id".into()));
+                }
+                parts.push(Part::Id(name.to_owned()));
+                rest = r;
+            }
+            '.' => {
+                let (name, r) = take_ident(&rest[1..]);
+                if name.is_empty() {
+                    return Err(SelectorError("empty class".into()));
+                }
+                parts.push(Part::Class(name.to_owned()));
+                rest = r;
+            }
+            '[' => {
+                let end = rest
+                    .find(']')
+                    .ok_or_else(|| SelectorError("unclosed attribute selector".into()))?;
+                let inner = &rest[1..end];
+                match inner.split_once('=') {
+                    Some((k, v)) => {
+                        let v = v.trim_matches(|q| q == '"' || q == '\'');
+                        parts.push(Part::AttrEquals(
+                            k.trim().to_ascii_lowercase(),
+                            v.to_owned(),
+                        ));
+                    }
+                    None => parts.push(Part::AttrExists(inner.trim().to_ascii_lowercase())),
+                }
+                rest = &rest[end + 1..];
+            }
+            c if c.is_ascii_alphanumeric() || c == '-' || c == '_' => {
+                let (name, r) = take_ident(rest);
+                parts.push(Part::Tag(name.to_ascii_lowercase()));
+                rest = r;
+            }
+            ' ' | '>' => break,
+            other => return Err(SelectorError(format!("unexpected {other:?}"))),
+        }
+    }
+    if parts.is_empty() {
+        return Err(SelectorError(format!("no simple selector in {input:?}")));
+    }
+    Ok((Compound { parts }, rest))
+}
+
+fn take_ident(input: &str) -> (&str, &str) {
+    let end = input
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+        .unwrap_or(input.len());
+    (&input[..end], &input[end..])
+}
+
+fn matches_compound(compound: &Compound, doc: &Document, node: NodeId) -> bool {
+    let NodeData::Element { tag, attrs } = doc.data(node) else {
+        return false;
+    };
+    compound.parts.iter().all(|p| match p {
+        Part::Universal => true,
+        Part::Tag(t) => tag == t,
+        Part::Id(id) => attrs.get("id").map(String::as_str) == Some(id.as_str()),
+        Part::Class(c) => attrs
+            .get("class")
+            .is_some_and(|cl| cl.split_ascii_whitespace().any(|x| x == c)),
+        Part::AttrExists(a) => attrs.contains_key(a),
+        Part::AttrEquals(a, v) => attrs.get(a).map(String::as_str) == Some(v.as_str()),
+    })
+}
+
+fn matches_complex(complex: &Complex, doc: &Document, node: NodeId) -> bool {
+    // Match right-to-left: the last compound must match `node`, then walk up.
+    let last = complex.compounds.len() - 1;
+    if !matches_compound(&complex.compounds[last], doc, node) {
+        return false;
+    }
+    match_rest(complex, last, doc, node)
+}
+
+fn match_rest(complex: &Complex, idx: usize, doc: &Document, node: NodeId) -> bool {
+    if idx == 0 {
+        return true;
+    }
+    let combinator = complex.combinators[idx - 1];
+    let target = &complex.compounds[idx - 1];
+    match combinator {
+        Combinator::Child => match doc.parent(node) {
+            Some(p) => matches_compound(target, doc, p) && match_rest(complex, idx - 1, doc, p),
+            None => false,
+        },
+        Combinator::Descendant => {
+            let mut cur = doc.parent(node);
+            while let Some(p) = cur {
+                if matches_compound(target, doc, p) && match_rest(complex, idx - 1, doc, p) {
+                    return true;
+                }
+                cur = doc.parent(p);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Document;
+
+    /// <html><body><div id=main class="box outer"><p class=msg data-x=1>
+    /// </p></div><span class=msg></span></body></html>
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let html = doc.create_element("html");
+        let body = doc.create_element("body");
+        let div = doc.create_element("div");
+        let p = doc.create_element("p");
+        let span = doc.create_element("span");
+        doc.set_attr(div, "id", "main");
+        doc.set_attr(div, "class", "box outer");
+        doc.set_attr(p, "class", "msg");
+        doc.set_attr(p, "data-x", "1");
+        doc.set_attr(span, "class", "msg");
+        doc.append_child(doc.root(), html);
+        doc.append_child(html, body);
+        doc.append_child(body, div);
+        doc.append_child(div, p);
+        doc.append_child(body, span);
+        (doc, div, p, span)
+    }
+
+    fn sel(s: &str) -> Selector {
+        Selector::parse(s).unwrap()
+    }
+
+    #[test]
+    fn simple_parts() {
+        let (doc, div, p, span) = sample();
+        assert!(sel("div").matches(&doc, div));
+        assert!(sel("#main").matches(&doc, div));
+        assert!(sel(".box").matches(&doc, div));
+        assert!(sel(".outer").matches(&doc, div));
+        assert!(!sel(".box").matches(&doc, p));
+        assert!(sel("[data-x]").matches(&doc, p));
+        assert!(sel("[data-x=1]").matches(&doc, p));
+        assert!(!sel("[data-x=2]").matches(&doc, p));
+        assert!(sel("*").matches(&doc, span));
+    }
+
+    #[test]
+    fn compound_conjunction() {
+        let (doc, div, p, span) = sample();
+        assert!(sel("div#main.box").matches(&doc, div));
+        assert!(!sel("div#other.box").matches(&doc, div));
+        assert!(sel("p.msg").matches(&doc, p));
+        assert!(!sel("p.msg").matches(&doc, span));
+    }
+
+    #[test]
+    fn descendant_and_child() {
+        let (doc, _, p, span) = sample();
+        assert!(sel("body p").matches(&doc, p));
+        assert!(sel("html p").matches(&doc, p));
+        assert!(sel("div > p").matches(&doc, p));
+        assert!(!sel("body > p").matches(&doc, p), "p is a grandchild of body");
+        assert!(sel("body > span").matches(&doc, span));
+        assert!(sel("#main > .msg").matches(&doc, p));
+    }
+
+    #[test]
+    fn groups() {
+        let (doc, div, p, span) = sample();
+        let s = sel("span, div");
+        assert!(s.matches(&doc, div));
+        assert!(s.matches(&doc, span));
+        assert!(!s.matches(&doc, p));
+    }
+
+    #[test]
+    fn query_all_document_order() {
+        let (doc, _, p, span) = sample();
+        assert_eq!(sel(".msg").query_all(&doc), vec![p, span]);
+        assert_eq!(sel(".msg").query_first(&doc), Some(p));
+        assert!(sel("table").query_all(&doc).is_empty());
+    }
+
+    #[test]
+    fn quoted_attribute_values() {
+        let (doc, _, p, _) = sample();
+        assert!(sel("[data-x=\"1\"]").matches(&doc, p));
+        assert!(sel("[data-x='1']").matches(&doc, p));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Selector::parse("").is_err());
+        assert!(Selector::parse("div >").is_err());
+        assert!(Selector::parse("[unclosed").is_err());
+        assert!(Selector::parse("#").is_err());
+        assert!(Selector::parse(".").is_err());
+        assert!(Selector::parse("!bang").is_err());
+    }
+
+    #[test]
+    fn detached_elements_not_queried() {
+        let (mut doc, div, p, _) = sample();
+        doc.detach(div);
+        assert!(!sel(".msg").query_all(&doc).contains(&p));
+    }
+
+    #[test]
+    fn source_preserved() {
+        assert_eq!(sel("div > p").source(), "div > p");
+    }
+}

@@ -1,0 +1,233 @@
+//! Gremlins: randomized page interaction (the paper's adapted gremlins.js).
+//!
+//! §4.3.1: "instrumenting a page to click, touch, scroll, and enter text on
+//! random elements or locations on the page", for 30 seconds per page, with
+//! navigation interception. The horde performs a randomized action sequence
+//! against a [`Page`], advancing the virtual clock between actions, running
+//! due timers, and pumping script-issued network requests — recording every
+//! navigation a click *would* have caused instead of following it.
+
+use bfu_browser::{Page, RequestPolicy};
+use bfu_net::{SimNet, Url};
+use bfu_util::SimRng;
+
+/// One interaction the horde can perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interaction {
+    /// Click a random visible element.
+    Click,
+    /// Scroll the page.
+    Scroll,
+    /// Type into a random input.
+    Type,
+    /// Idle (reading pause) — lets timers fire.
+    Pause,
+}
+
+/// What an interaction session observed.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionReport {
+    /// Navigations intercepted (would-be page loads from clicks).
+    pub navigations: Vec<Url>,
+    /// Total actions performed.
+    pub actions: u32,
+    /// Listener invocations triggered.
+    pub listeners_fired: u32,
+    /// Timer callbacks that ran during the session.
+    pub timers_fired: u32,
+}
+
+/// Something that can drive a page for a time budget.
+pub trait Interactor {
+    /// Interact with `page` for `budget_ms` of virtual time.
+    fn interact(
+        &mut self,
+        page: &mut Page,
+        net: &mut SimNet,
+        policy: &dyn RequestPolicy,
+        clock: &mut bfu_util::VirtualClock,
+        budget_ms: u64,
+    ) -> InteractionReport;
+}
+
+/// The monkey-testing horde.
+#[derive(Debug)]
+pub struct GremlinHorde {
+    rng: SimRng,
+}
+
+impl GremlinHorde {
+    /// A horde with its own random stream.
+    pub fn new(rng: SimRng) -> Self {
+        GremlinHorde { rng }
+    }
+
+    fn pick_action(&mut self) -> Interaction {
+        let u = self.rng.f64();
+        if u < 0.55 {
+            Interaction::Click
+        } else if u < 0.75 {
+            Interaction::Scroll
+        } else if u < 0.90 {
+            Interaction::Type
+        } else {
+            Interaction::Pause
+        }
+    }
+}
+
+impl Interactor for GremlinHorde {
+    fn interact(
+        &mut self,
+        page: &mut Page,
+        net: &mut SimNet,
+        policy: &dyn RequestPolicy,
+        clock: &mut bfu_util::VirtualClock,
+        budget_ms: u64,
+    ) -> InteractionReport {
+        let deadline = clock.now().plus(budget_ms);
+        let mut report = InteractionReport::default();
+        while clock.now() < deadline {
+            match self.pick_action() {
+                Interaction::Click => {
+                    let candidates = page.interactive_elements();
+                    if let Some(&el) = self.rng.choose(&candidates) {
+                        let outcome = page.click(el);
+                        report.listeners_fired += outcome.listeners_fired;
+                        if let Some(nav) = outcome.navigation {
+                            // Intercept: record, never follow (§4.3.1).
+                            report.navigations.push(nav);
+                        }
+                    }
+                }
+                Interaction::Scroll => {
+                    report.listeners_fired += page.scroll();
+                }
+                Interaction::Type => {
+                    let inputs: Vec<_> = {
+                        let h = page.api.host.borrow();
+                        h.doc
+                            .elements()
+                            .into_iter()
+                            .filter(|&n| {
+                                matches!(h.doc.tag(n), Some("input" | "textarea"))
+                                    && h.doc.is_visible(n)
+                            })
+                            .collect()
+                    };
+                    if let Some(&el) = self.rng.choose(&inputs) {
+                        report.listeners_fired += page.type_into(el);
+                    }
+                }
+                Interaction::Pause => {}
+            }
+            report.actions += 1;
+            // Human-speed pacing: 200-1200 ms between actions.
+            clock.advance(200 + self.rng.below(1000));
+            report.timers_fired += page.run_timers(clock, clock.now());
+            page.pump_network(net, policy, clock);
+        }
+        // Budget end: let any remaining due work finish.
+        report.timers_fired += page.run_timers(clock, deadline);
+        page.pump_network(net, policy, clock);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_browser::{AllowAll, Browser};
+    use bfu_net::{HttpRequest, HttpResponse};
+    use bfu_util::VirtualClock;
+    use bfu_webidl::FeatureRegistry;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    const PAGE: &str = r#"
+    <html><body>
+      <a href="/sub/one">one</a>
+      <div id="hot">hot</div>
+      <input type="text">
+      <script>
+        __listen('#hot', 'click', function() { document.createElement('div'); });
+        __listen('', 'scroll', function() { performance.now(); });
+        __listen('input', 'input', function() { window.getSelection(); });
+        setTimeout(function() { navigator.sendBeacon('/b'); }, 3000);
+      </script>
+    </body></html>"#;
+
+    fn page() -> (Page, SimNet, VirtualClock) {
+        let mut net = SimNet::new(SimRng::new(5));
+        net.register(
+            "m.test",
+            Arc::new(|req: &HttpRequest| {
+                if req.url.path() == "/" {
+                    HttpResponse::html(PAGE)
+                } else {
+                    HttpResponse::ok("text/plain", "ok")
+                }
+            }),
+        );
+        let browser = Browser::new(Rc::new(FeatureRegistry::build()));
+        let mut clock = VirtualClock::new();
+        let url = Url::parse("http://m.test/").unwrap();
+        let page = browser.load(&mut net, &url, &AllowAll, &mut clock).unwrap();
+        (page, net, clock)
+    }
+
+    #[test]
+    fn horde_interacts_within_budget() {
+        let (mut page, mut net, mut clock) = page();
+        let start = clock.now();
+        let mut horde = GremlinHorde::new(SimRng::new(1));
+        let report = horde.interact(&mut page, &mut net, &AllowAll, &mut clock, 30_000);
+        assert!(report.actions >= 20, "30s at ≤1.2s per action");
+        assert!(clock.now().since(start) >= 30_000);
+        assert!(report.listeners_fired > 0, "handlers elicited");
+        assert_eq!(report.timers_fired, 1, "the 3s beacon timer");
+    }
+
+    #[test]
+    fn navigations_intercepted_not_followed() {
+        let (mut page, mut net, mut clock) = page();
+        let mut horde = GremlinHorde::new(SimRng::new(2));
+        let report = horde.interact(&mut page, &mut net, &AllowAll, &mut clock, 30_000);
+        assert!(
+            report
+                .navigations
+                .iter()
+                .all(|u| u.to_string() == "http://m.test/sub/one"),
+            "{:?}",
+            report.navigations
+        );
+        assert!(!report.navigations.is_empty(), "the link gets clicked in 30s");
+        // Page is still the original one.
+        assert_eq!(page.url.to_string(), "http://m.test/");
+    }
+
+    #[test]
+    fn sessions_are_seed_deterministic() {
+        let run = |seed| {
+            let (mut page, mut net, mut clock) = page();
+            let mut horde = GremlinHorde::new(SimRng::new(seed));
+            let r = horde.interact(&mut page, &mut net, &AllowAll, &mut clock, 30_000);
+            (r.actions, r.listeners_fired, r.navigations.len())
+        };
+        assert_eq!(run(9), run(9));
+        // Different seeds generally behave differently.
+        assert_ne!(run(1).0, 0);
+    }
+
+    #[test]
+    fn interaction_features_recorded_in_log() {
+        let (mut page, mut net, mut clock) = page();
+        let mut horde = GremlinHorde::new(SimRng::new(3));
+        horde.interact(&mut page, &mut net, &AllowAll, &mut clock, 30_000);
+        let registry = FeatureRegistry::build();
+        let log = page.log.borrow();
+        // The scroll handler calls performance.now — the horde scrolls a lot
+        // in 30s, so this must be present.
+        assert!(log.saw(registry.by_name("Performance.prototype.now").unwrap()));
+    }
+}

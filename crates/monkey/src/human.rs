@@ -1,0 +1,173 @@
+//! The "casual human" interaction profile used for external validation.
+//!
+//! §6.2 of the paper: a human interacted with 92 traffic-weighted sites for
+//! 90 seconds each — reading, scrolling, clicking one *prominent* link per
+//! page. [`HumanProfile`] reproduces that style: deliberate pacing, scrolls
+//! and reads, one purposeful click on the first prominent content link
+//! (rather than random elements), occasional form focus.
+
+use crate::gremlins::{InteractionReport, Interactor};
+use bfu_browser::{Page, RequestPolicy};
+use bfu_net::SimNet;
+use bfu_util::SimRng;
+
+/// Deliberate, content-seeking interaction.
+#[derive(Debug)]
+pub struct HumanProfile {
+    rng: SimRng,
+}
+
+impl HumanProfile {
+    /// A profile with its own random stream (humans vary a little too).
+    pub fn new(rng: SimRng) -> Self {
+        HumanProfile { rng }
+    }
+
+    /// The "prominent" link: the first visible link inside main content
+    /// (falling back to the first visible link anywhere).
+    fn prominent_link(&self, page: &Page) -> Option<bfu_dom::NodeId> {
+        let h = page.api.host.borrow();
+        let links: Vec<_> = h
+            .doc
+            .elements()
+            .into_iter()
+            .filter(|&n| h.doc.tag(n) == Some("a") && h.doc.is_visible(n))
+            .collect();
+        // Prefer a link under <main>; else the first.
+        let main = h.doc.first_by_tag("main");
+        links
+            .iter()
+            .find(|&&l| main.is_some_and(|m| h.doc.is_ancestor(m, l)))
+            .or(links.first())
+            .copied()
+    }
+}
+
+impl Interactor for HumanProfile {
+    fn interact(
+        &mut self,
+        page: &mut Page,
+        net: &mut SimNet,
+        policy: &dyn RequestPolicy,
+        clock: &mut bfu_util::VirtualClock,
+        budget_ms: u64,
+    ) -> InteractionReport {
+        let deadline = clock.now().plus(budget_ms);
+        let mut report = InteractionReport::default();
+
+        // Read the page first.
+        clock.advance(3_000 + self.rng.below(3_000));
+        report.timers_fired += page.run_timers(clock, clock.now());
+
+        // Scroll through the content a few times.
+        for _ in 0..3 {
+            report.listeners_fired += page.scroll();
+            report.actions += 1;
+            clock.advance(2_000 + self.rng.below(2_000));
+            report.timers_fired += page.run_timers(clock, clock.now());
+            page.pump_network(net, policy, clock);
+        }
+
+        // Maybe interact with a form (search boxes are common human stops).
+        if self.rng.chance(0.4) {
+            let input = {
+                let h = page.api.host.borrow();
+                h.doc
+                    .elements()
+                    .into_iter()
+                    .find(|&n| matches!(h.doc.tag(n), Some("input")) && h.doc.is_visible(n))
+            };
+            if let Some(el) = input {
+                report.listeners_fired += page.type_into(el);
+                report.actions += 1;
+                clock.advance(1_500);
+            }
+        }
+
+        // Click the prominent link (the navigation is intercepted; the
+        // caller decides whether to follow it, as §6.2's protocol did).
+        if let Some(link) = self.prominent_link(page) {
+            let outcome = page.click(link);
+            report.listeners_fired += outcome.listeners_fired;
+            if let Some(nav) = outcome.navigation {
+                report.navigations.push(nav);
+            }
+            report.actions += 1;
+        }
+
+        // Idle out the rest of the budget so long timers can fire.
+        report.timers_fired += page.run_timers(clock, deadline);
+        clock.advance_to(deadline);
+        page.pump_network(net, policy, clock);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_browser::{AllowAll, Browser};
+    use bfu_net::{HttpRequest, HttpResponse, Url};
+    use bfu_util::VirtualClock;
+    use bfu_webidl::FeatureRegistry;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    const PAGE: &str = r#"
+    <html><body>
+      <nav><a href="/other">elsewhere</a></nav>
+      <main><h1>Story</h1><a href="/story/full">Read more</a>
+      <input type="text"></main>
+      <script>
+        __listen('', 'scroll', function() { performance.now(); });
+      </script>
+    </body></html>"#;
+
+    fn page() -> (Page, SimNet, VirtualClock) {
+        let mut net = SimNet::new(SimRng::new(5));
+        net.register(
+            "h.test",
+            Arc::new(|_: &HttpRequest| HttpResponse::html(PAGE)),
+        );
+        let browser = Browser::new(Rc::new(FeatureRegistry::build()));
+        let mut clock = VirtualClock::new();
+        let url = Url::parse("http://h.test/").unwrap();
+        let page = browser.load(&mut net, &url, &AllowAll, &mut clock).unwrap();
+        (page, net, clock)
+    }
+
+    #[test]
+    fn human_clicks_the_prominent_content_link() {
+        let (mut page, mut net, mut clock) = page();
+        let mut human = HumanProfile::new(SimRng::new(1));
+        let report = human.interact(&mut page, &mut net, &AllowAll, &mut clock, 30_000);
+        assert_eq!(report.navigations.len(), 1);
+        assert_eq!(
+            report.navigations[0].to_string(),
+            "http://h.test/story/full",
+            "prefers the in-content link over the nav link"
+        );
+    }
+
+    #[test]
+    fn human_spends_the_whole_budget() {
+        let (mut page, mut net, mut clock) = page();
+        let start = clock.now();
+        let mut human = HumanProfile::new(SimRng::new(2));
+        human.interact(&mut page, &mut net, &AllowAll, &mut clock, 30_000);
+        assert!(clock.now().since(start) >= 30_000);
+    }
+
+    #[test]
+    fn human_scrolling_triggers_handlers() {
+        let (mut page, mut net, mut clock) = page();
+        let mut human = HumanProfile::new(SimRng::new(3));
+        let report = human.interact(&mut page, &mut net, &AllowAll, &mut clock, 30_000);
+        assert!(report.listeners_fired >= 3, "three scrolls with a handler");
+        let registry = FeatureRegistry::build();
+        assert!(page
+            .log
+            .borrow()
+            .saw(registry.by_name("Performance.prototype.now").unwrap()));
+    }
+}

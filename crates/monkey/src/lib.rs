@@ -1,0 +1,21 @@
+//! # bfu-monkey
+//!
+//! Monkey testing (the paper's adapted gremlins.js) and the crawl planner.
+//!
+//! §4.3 of the paper: visit the home page, unleash gremlins for 30 seconds
+//! (random clicks, scrolls, text entry), intercept navigations, then BFS
+//! through the site choosing URLs whose path structure hasn't been seen —
+//! 13 pages per site, 30 s each. §6.2 validates against a human browsing
+//! profile; [`human`] reproduces that profile.
+//!
+//! - [`gremlins`] — interaction species and the seeded interaction loop.
+//! - [`planner`] — navigation interception + path-novelty BFS.
+//! - [`human`] — the §6.2 "casual human" interactor for Fig. 9.
+
+pub mod gremlins;
+pub mod human;
+pub mod planner;
+
+pub use gremlins::{GremlinHorde, Interaction, InteractionReport, Interactor};
+pub use human::HumanProfile;
+pub use planner::CrawlPlanner;

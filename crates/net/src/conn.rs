@@ -1,0 +1,254 @@
+//! Connection state machine.
+//!
+//! Models the lifecycle of one client connection to a virtual host as an
+//! explicit state machine (the sans-IO idiom): every transition is a method
+//! that either succeeds, returning timing information, or fails with a typed
+//! error. The simulator drives it; tests exercise it directly.
+//!
+//! ```text
+//! Idle ──connect()──▶ Connecting ──established()──▶ Established
+//!                         │                             │  ▲
+//!                      (refused)        request_sent()  │  │ response_received()
+//!                         ▼                             ▼  │
+//!                       Failed ◀──(reset)──────────── AwaitingResponse
+//!                                                       │
+//! Established ──close()──▶ Closed                       ▼ (timeout) Failed
+//! ```
+
+use std::fmt;
+
+/// Connection lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Created, no handshake yet.
+    Idle,
+    /// SYN sent, awaiting handshake completion.
+    Connecting,
+    /// Handshake done; ready to send a request.
+    Established,
+    /// Request sent; awaiting the response.
+    AwaitingResponse,
+    /// Cleanly closed.
+    Closed,
+    /// Refused, reset, or timed out.
+    Failed,
+}
+
+/// Error from an invalid transition or a simulated network failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// Operation invalid in the current state.
+    InvalidTransition {
+        /// State the connection was in.
+        from: ConnState,
+        /// Operation attempted.
+        op: &'static str,
+    },
+    /// The remote host refused the connection (dead host).
+    Refused,
+    /// The connection was reset mid-exchange (packet loss burst).
+    Reset,
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnError::InvalidTransition { from, op } => {
+                write!(f, "cannot {op} while {from:?}")
+            }
+            ConnError::Refused => write!(f, "connection refused"),
+            ConnError::Reset => write!(f, "connection reset"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+/// One client connection with RTT bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    state: ConnState,
+    /// Round-trip time to the host in milliseconds.
+    rtt_ms: u64,
+    /// Requests completed on this connection (keep-alive reuse).
+    requests_served: u32,
+}
+
+impl Connection {
+    /// A fresh idle connection with the given round-trip time.
+    pub fn new(rtt_ms: u64) -> Self {
+        Connection {
+            state: ConnState::Idle,
+            rtt_ms,
+            requests_served: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Round-trip time in milliseconds.
+    pub fn rtt_ms(&self) -> u64 {
+        self.rtt_ms
+    }
+
+    /// Requests completed over this connection.
+    pub fn requests_served(&self) -> u32 {
+        self.requests_served
+    }
+
+    /// Begin the handshake. Returns the handshake duration in ms (one RTT).
+    pub fn connect(&mut self) -> Result<u64, ConnError> {
+        match self.state {
+            ConnState::Idle => {
+                self.state = ConnState::Connecting;
+                Ok(self.rtt_ms)
+            }
+            from => Err(ConnError::InvalidTransition { from, op: "connect" }),
+        }
+    }
+
+    /// Handshake completed.
+    pub fn established(&mut self) -> Result<(), ConnError> {
+        match self.state {
+            ConnState::Connecting => {
+                self.state = ConnState::Established;
+                Ok(())
+            }
+            from => Err(ConnError::InvalidTransition {
+                from,
+                op: "complete handshake",
+            }),
+        }
+    }
+
+    /// The host refused the handshake; terminal.
+    pub fn refused(&mut self) -> ConnError {
+        self.state = ConnState::Failed;
+        ConnError::Refused
+    }
+
+    /// Send a request of `bytes` length. Returns transfer time in ms.
+    pub fn request_sent(&mut self, bytes: usize) -> Result<u64, ConnError> {
+        match self.state {
+            ConnState::Established => {
+                self.state = ConnState::AwaitingResponse;
+                Ok(transfer_ms(bytes, self.rtt_ms))
+            }
+            from => Err(ConnError::InvalidTransition {
+                from,
+                op: "send request",
+            }),
+        }
+    }
+
+    /// Response of `bytes` length received. Returns transfer time in ms and
+    /// returns the connection to `Established` (keep-alive).
+    pub fn response_received(&mut self, bytes: usize) -> Result<u64, ConnError> {
+        match self.state {
+            ConnState::AwaitingResponse => {
+                self.state = ConnState::Established;
+                self.requests_served += 1;
+                Ok(transfer_ms(bytes, self.rtt_ms))
+            }
+            from => Err(ConnError::InvalidTransition {
+                from,
+                op: "receive response",
+            }),
+        }
+    }
+
+    /// The connection was reset mid-exchange; terminal.
+    pub fn reset(&mut self) -> ConnError {
+        self.state = ConnState::Failed;
+        ConnError::Reset
+    }
+
+    /// Close cleanly. Valid from `Established` or `Idle`.
+    pub fn close(&mut self) -> Result<(), ConnError> {
+        match self.state {
+            ConnState::Established | ConnState::Idle => {
+                self.state = ConnState::Closed;
+                Ok(())
+            }
+            from => Err(ConnError::InvalidTransition { from, op: "close" }),
+        }
+    }
+}
+
+/// Transfer time: half an RTT of propagation plus serialization at a nominal
+/// 1 MB/s virtual link (1 ms per KiB), floor of 1 ms.
+fn transfer_ms(bytes: usize, rtt_ms: u64) -> u64 {
+    (rtt_ms / 2) + (bytes as u64 / 1024).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_with_keepalive() {
+        let mut c = Connection::new(40);
+        assert_eq!(c.state(), ConnState::Idle);
+        assert_eq!(c.connect().unwrap(), 40);
+        c.established().unwrap();
+        let t1 = c.request_sent(512).unwrap();
+        assert!(t1 >= 20);
+        c.response_received(4096).unwrap();
+        assert_eq!(c.state(), ConnState::Established);
+        // Keep-alive: second request on the same connection.
+        c.request_sent(256).unwrap();
+        c.response_received(100).unwrap();
+        assert_eq!(c.requests_served(), 2);
+        c.close().unwrap();
+        assert_eq!(c.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn invalid_transitions_are_errors() {
+        let mut c = Connection::new(10);
+        assert!(matches!(
+            c.request_sent(1).unwrap_err(),
+            ConnError::InvalidTransition { from: ConnState::Idle, .. }
+        ));
+        c.connect().unwrap();
+        assert!(c.connect().is_err(), "double connect");
+        assert!(c.response_received(1).is_err());
+        c.established().unwrap();
+        assert!(c.established().is_err(), "double establish");
+    }
+
+    #[test]
+    fn refused_and_reset_are_terminal() {
+        let mut c = Connection::new(10);
+        c.connect().unwrap();
+        assert_eq!(c.refused(), ConnError::Refused);
+        assert_eq!(c.state(), ConnState::Failed);
+        assert!(c.established().is_err());
+        assert!(c.close().is_err());
+
+        let mut c2 = Connection::new(10);
+        c2.connect().unwrap();
+        c2.established().unwrap();
+        c2.request_sent(10).unwrap();
+        assert_eq!(c2.reset(), ConnError::Reset);
+        assert_eq!(c2.state(), ConnState::Failed);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let small = transfer_ms(100, 20);
+        let big = transfer_ms(1024 * 1024, 20);
+        assert!(big > small);
+        assert_eq!(transfer_ms(0, 0), 1, "floor of 1ms");
+    }
+
+    #[test]
+    fn close_from_idle_ok() {
+        let mut c = Connection::new(5);
+        c.close().unwrap();
+        assert_eq!(c.state(), ConnState::Closed);
+    }
+}

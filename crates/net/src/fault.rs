@@ -1,0 +1,76 @@
+//! Fault injection for the simulated network.
+//!
+//! The paper could not measure 267 of the Alexa 10k domains ("non-responsive
+//! domains and sites that contained syntax errors in their JavaScript", §4.3.3).
+//! We reproduce both failure classes: dead hosts (connection refused) and a
+//! small random reset probability, plus optional per-host latency inflation
+//! for tail-latency realism.
+
+use std::collections::HashSet;
+
+/// Plan describing which faults the simulator should inject.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Hosts that refuse every connection.
+    dead_hosts: HashSet<String>,
+    /// Probability that any single exchange is reset mid-flight.
+    pub reset_chance: f64,
+    /// Extra milliseconds of RTT added to all hosts (network congestion).
+    pub extra_rtt_ms: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Mark a host as dead (refuses all connections).
+    pub fn kill_host(&mut self, host: &str) {
+        self.dead_hosts.insert(host.to_ascii_lowercase());
+    }
+
+    /// Whether a host is dead.
+    pub fn is_dead(&self, host: &str) -> bool {
+        self.dead_hosts.contains(&host.to_ascii_lowercase())
+    }
+
+    /// Number of dead hosts.
+    pub fn dead_host_count(&self) -> usize {
+        self.dead_hosts.len()
+    }
+
+    /// Builder: set the reset probability.
+    pub fn with_reset_chance(mut self, p: f64) -> Self {
+        self.reset_chance = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: add RTT inflation.
+    pub fn with_extra_rtt(mut self, ms: u64) -> Self {
+        self.extra_rtt_ms = ms;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_hosts_case_insensitive() {
+        let mut plan = FaultPlan::none();
+        plan.kill_host("WWW.Dead.com");
+        assert!(plan.is_dead("www.dead.com"));
+        assert!(plan.is_dead("WWW.DEAD.COM"));
+        assert!(!plan.is_dead("www.alive.com"));
+        assert_eq!(plan.dead_host_count(), 1);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let plan = FaultPlan::none().with_reset_chance(7.0).with_extra_rtt(5);
+        assert_eq!(plan.reset_chance, 1.0);
+        assert_eq!(plan.extra_rtt_ms, 5);
+    }
+}

@@ -1,0 +1,488 @@
+//! HTTP/1.1 message types and wire codec.
+//!
+//! Requests and responses travel between the simulated browser and the
+//! virtual servers as real HTTP/1.1 bytes: the client serializes each
+//! request, the server side parses it, and vice versa for responses. This
+//! keeps the substrate honest — blockers and the proxy-injection step (the
+//! paper's Fig. 2) operate on genuine messages, and codec bugs surface in
+//! tests rather than being defined away.
+
+use crate::url::Url;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// HTTP request method (the subset a crawler needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET — document, script, image, stylesheet fetches.
+    Get,
+    /// POST — form submissions, beacons, XHR uploads.
+    Post,
+    /// HEAD — probes.
+    Head,
+}
+
+impl Method {
+    /// The method token as written on the request line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Parse a method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+}
+
+/// Response status code (newtype over the numeric code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK
+    pub const OK: StatusCode = StatusCode(200);
+    /// 404 Not Found
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 500 Internal Server Error
+    pub const SERVER_ERROR: StatusCode = StatusCode(500);
+
+    /// Whether this is a 2xx code.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            304 => "Not Modified",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// What kind of resource a request is for — the classification blockers use
+/// (`$script`, `$image`, `$subdocument`, ... options in ABP filter syntax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceType {
+    /// Top-level HTML document.
+    Document,
+    /// Embedded frame document.
+    SubDocument,
+    /// JavaScript.
+    Script,
+    /// Image or tracking pixel.
+    Image,
+    /// CSS.
+    Stylesheet,
+    /// Web font.
+    Font,
+    /// Audio/video media.
+    Media,
+    /// XMLHttpRequest / fetch.
+    Xhr,
+    /// `navigator.sendBeacon` / ping.
+    Beacon,
+    /// WebSocket handshake.
+    WebSocket,
+    /// Anything else.
+    Other,
+}
+
+impl ResourceType {
+    /// The ABP option name for this type.
+    pub fn abp_option(self) -> &'static str {
+        match self {
+            ResourceType::Document => "document",
+            ResourceType::SubDocument => "subdocument",
+            ResourceType::Script => "script",
+            ResourceType::Image => "image",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Font => "font",
+            ResourceType::Media => "media",
+            ResourceType::Xhr => "xmlhttprequest",
+            ResourceType::Beacon => "ping",
+            ResourceType::WebSocket => "websocket",
+            ResourceType::Other => "other",
+        }
+    }
+}
+
+/// An HTTP request bound for a virtual server.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Absolute target URL.
+    pub url: Url,
+    /// Header map (lowercased names, insertion-stable via BTreeMap).
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes (empty for GET/HEAD).
+    pub body: Bytes,
+    /// Resource classification for blockers.
+    pub resource_type: ResourceType,
+    /// URL of the document that initiated the request (None for the
+    /// top-level navigation itself). Drives third-party determination.
+    pub initiator: Option<Url>,
+}
+
+impl HttpRequest {
+    /// A GET request for `url` of the given resource type.
+    pub fn get(url: Url, resource_type: ResourceType) -> Self {
+        HttpRequest {
+            method: Method::Get,
+            url,
+            headers: BTreeMap::new(),
+            body: Bytes::new(),
+            resource_type,
+            initiator: None,
+        }
+    }
+
+    /// Set the initiating document (builder style).
+    pub fn with_initiator(mut self, initiator: Url) -> Self {
+        self.initiator = Some(initiator);
+        self
+    }
+
+    /// Add a header (builder style). Names are lowercased.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name.to_ascii_lowercase(), value.to_owned());
+        self
+    }
+
+    /// Whether this request is third-party relative to its initiator.
+    pub fn is_third_party(&self) -> bool {
+        match &self.initiator {
+            Some(init) => init.is_third_party_to(&self.url),
+            None => false,
+        }
+    }
+
+    /// Serialize to HTTP/1.1 wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(256 + self.body.len());
+        buf.put_slice(self.method.as_str().as_bytes());
+        buf.put_u8(b' ');
+        buf.put_slice(self.url.request_target().as_bytes());
+        buf.put_slice(b" HTTP/1.1\r\n");
+        buf.put_slice(b"host: ");
+        buf.put_slice(self.url.host().as_bytes());
+        buf.put_slice(b"\r\n");
+        for (k, v) in &self.headers {
+            if k == "host" {
+                continue;
+            }
+            buf.put_slice(k.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        buf.put_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        buf.put_slice(b"\r\n");
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+
+    /// Parse a request from wire bytes (as a virtual server receives it).
+    ///
+    /// `scheme` is supplied by the connection (plaintext vs TLS port).
+    pub fn decode(bytes: &[u8], scheme: &str) -> Result<HttpRequest, CodecError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(CodecError::Truncated)?;
+        let mut parts = request_line.split(' ');
+        let method = Method::parse(parts.next().unwrap_or(""))
+            .ok_or_else(|| CodecError::Malformed("bad method".into()))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| CodecError::Malformed("missing target".into()))?;
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(CodecError::Malformed("bad version".into()));
+        }
+        let headers = parse_headers(lines)?;
+        let host = headers
+            .get("host")
+            .ok_or_else(|| CodecError::Malformed("missing host header".into()))?;
+        let url = Url::parse(&format!("{scheme}://{host}{target}"))
+            .map_err(|e| CodecError::Malformed(e.to_string()))?;
+        let expected = content_length(&headers)?;
+        if body.len() < expected {
+            return Err(CodecError::Truncated);
+        }
+        Ok(HttpRequest {
+            method,
+            url,
+            headers,
+            body: Bytes::copy_from_slice(&body[..expected]),
+            resource_type: ResourceType::Other,
+            initiator: None,
+        })
+    }
+}
+
+/// An HTTP response from a virtual server.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: StatusCode,
+    /// Header map (lowercased names).
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl HttpResponse {
+    /// A 200 response with a content type and body.
+    pub fn ok(content_type: &str, body: impl Into<Bytes>) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-type".to_owned(), content_type.to_owned());
+        HttpResponse {
+            status: StatusCode::OK,
+            headers,
+            body: body.into(),
+        }
+    }
+
+    /// An HTML document response.
+    pub fn html(body: impl Into<Bytes>) -> Self {
+        Self::ok("text/html; charset=utf-8", body)
+    }
+
+    /// A JavaScript response.
+    pub fn javascript(body: impl Into<Bytes>) -> Self {
+        Self::ok("application/javascript", body)
+    }
+
+    /// An empty response with the given status.
+    pub fn status(status: StatusCode) -> Self {
+        HttpResponse {
+            status,
+            headers: BTreeMap::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// The `content-type` header value, if any.
+    pub fn content_type(&self) -> Option<&str> {
+        self.headers.get("content-type").map(String::as_str)
+    }
+
+    /// Serialize to HTTP/1.1 wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(128 + self.body.len());
+        buf.put_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason()).as_bytes(),
+        );
+        for (k, v) in &self.headers {
+            buf.put_slice(k.as_bytes());
+            buf.put_slice(b": ");
+            buf.put_slice(v.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        buf.put_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        buf.put_slice(b"\r\n");
+        buf.put_slice(&self.body);
+        buf.freeze()
+    }
+
+    /// Parse a response from wire bytes (as the browser receives it).
+    pub fn decode(bytes: &[u8]) -> Result<HttpResponse, CodecError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or(CodecError::Truncated)?;
+        let mut parts = status_line.splitn(3, ' ');
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(CodecError::Malformed("bad version".into()));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| CodecError::Malformed("bad status code".into()))?;
+        let headers = parse_headers(lines)?;
+        let expected = content_length(&headers)?;
+        if body.len() < expected {
+            return Err(CodecError::Truncated);
+        }
+        Ok(HttpResponse {
+            status: StatusCode(code),
+            headers,
+            body: Bytes::copy_from_slice(&body[..expected]),
+        })
+    }
+}
+
+/// Error from the HTTP codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Message ended before head/body was complete.
+    Truncated,
+    /// Structurally invalid message.
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated HTTP message"),
+            CodecError::Malformed(m) => write!(f, "malformed HTTP message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn split_head(bytes: &[u8]) -> Result<(&str, &[u8]), CodecError> {
+    let sep = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(CodecError::Truncated)?;
+    let head = std::str::from_utf8(&bytes[..sep])
+        .map_err(|_| CodecError::Malformed("non-UTF8 head".into()))?;
+    Ok((head, &bytes[sep + 4..]))
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<BTreeMap<String, String>, CodecError> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| CodecError::Malformed(format!("bad header line {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+    }
+    Ok(headers)
+}
+
+fn content_length(headers: &BTreeMap<String, String>) -> Result<usize, CodecError> {
+    match headers.get("content-length") {
+        None => Ok(0),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CodecError::Malformed(format!("bad content-length {v:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = HttpRequest::get(url("http://example.com/a?b=1"), ResourceType::Script)
+            .with_header("User-Agent", "bfu-crawler/1.0")
+            .with_header("Accept", "*/*");
+        let wire = req.encode();
+        let parsed = HttpRequest::decode(&wire, "http").unwrap();
+        assert_eq!(parsed.method, Method::Get);
+        assert_eq!(parsed.url, req.url);
+        assert_eq!(parsed.headers["user-agent"], "bfu-crawler/1.0");
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn request_with_body_roundtrip() {
+        let mut req = HttpRequest::get(url("http://example.com/submit"), ResourceType::Xhr);
+        req.method = Method::Post;
+        req.body = Bytes::from_static(b"k=v&x=y");
+        let parsed = HttpRequest::decode(&req.encode(), "http").unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(&parsed.body[..], b"k=v&x=y");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::html("<html><body>hi</body></html>");
+        let parsed = HttpResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.content_type(), Some("text/html; charset=utf-8"));
+        assert_eq!(&parsed.body[..], b"<html><body>hi</body></html>");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            HttpResponse::decode(b"not http").unwrap_err(),
+            CodecError::Truncated
+        );
+        assert!(matches!(
+            HttpResponse::decode(b"SPDY/1 200 OK\r\n\r\n"),
+            Err(CodecError::Malformed(_))
+        ));
+        assert!(matches!(
+            HttpRequest::decode(b"YEET / HTTP/1.1\r\nhost: a.com\r\n\r\n", "http"),
+            Err(CodecError::Malformed(_))
+        ));
+        // Missing host header.
+        assert!(matches!(
+            HttpRequest::decode(b"GET / HTTP/1.1\r\n\r\n", "http"),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let resp = HttpResponse::ok("text/plain", "hello world");
+        let wire = resp.encode();
+        let cut = &wire[..wire.len() - 3];
+        assert_eq!(HttpResponse::decode(cut).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn third_party_detection() {
+        let req = HttpRequest::get(url("http://ads.net/pixel.gif"), ResourceType::Image)
+            .with_initiator(url("http://news.com/"));
+        assert!(req.is_third_party());
+        let own = HttpRequest::get(url("http://cdn.news.com/app.js"), ResourceType::Script)
+            .with_initiator(url("http://news.com/"));
+        assert!(!own.is_third_party());
+        let nav = HttpRequest::get(url("http://news.com/"), ResourceType::Document);
+        assert!(!nav.is_third_party());
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::NOT_FOUND.is_success());
+        assert_eq!(StatusCode(503).reason(), "Service Unavailable");
+    }
+
+    #[test]
+    fn resource_type_abp_names() {
+        assert_eq!(ResourceType::Script.abp_option(), "script");
+        assert_eq!(ResourceType::Xhr.abp_option(), "xmlhttprequest");
+        assert_eq!(ResourceType::Beacon.abp_option(), "ping");
+    }
+
+    #[test]
+    fn https_scheme_preserved_through_decode() {
+        let req = HttpRequest::get(url("https://secure.com/x"), ResourceType::Document);
+        let parsed = HttpRequest::decode(&req.encode(), "https").unwrap();
+        assert_eq!(parsed.url.scheme(), "https");
+    }
+}

@@ -1,0 +1,35 @@
+//! # bfu-net
+//!
+//! A deterministic, in-memory network substrate for the crawler.
+//!
+//! The paper's measurement rig sits between a browser and the live web; ours
+//! sits between the simulated browser (`bfu-browser`) and the synthetic web
+//! (`bfu-webgen`). Following the sans-IO style of embedded TCP/IP stacks,
+//! everything here is event-driven over *virtual* time — no sockets, no
+//! threads, no wall clock — which makes every crawl reproducible bit-for-bit
+//! from a seed.
+//!
+//! Layers, bottom up:
+//!
+//! - [`url`] — a from-scratch URL parser/resolver (absolute + relative),
+//!   with origin and registrable-domain logic used by the blockers'
+//!   `third-party` rules.
+//! - [`http`] — HTTP/1.1 request/response types and a byte-level codec
+//!   (serializer + incremental parser over [`bytes`]).
+//! - [`conn`] — a connection state machine (handshake, request/response
+//!   exchange, close) with explicit states and transition errors.
+//! - [`fault`] — fault injection: dead hosts, packet-drop probability,
+//!   per-host extra latency.
+//! - [`sim`] — [`sim::SimNet`]: DNS, registered virtual servers, a latency
+//!   model, statistics, and the `fetch` entry point the browser uses.
+
+pub mod conn;
+pub mod fault;
+pub mod http;
+pub mod sim;
+pub mod url;
+
+pub use fault::FaultPlan;
+pub use http::{HttpRequest, HttpResponse, Method, ResourceType, StatusCode};
+pub use sim::{NetError, NetStats, Server, SimNet};
+pub use url::Url;

@@ -1,0 +1,315 @@
+//! The network simulator: DNS, virtual servers, latency, and `fetch`.
+//!
+//! [`SimNet`] owns a table of virtual hosts, each backed by a [`Server`]
+//! implementation (the synthetic web registers one server per origin). A
+//! fetch drives a full [`Connection`](crate::conn::Connection) exchange:
+//! handshake, request serialization to wire bytes, server-side decode,
+//! handler dispatch, response encode, client-side decode — advancing the
+//! caller's virtual clock by the modeled time at every step.
+
+use crate::conn::Connection;
+use crate::fault::FaultPlan;
+use crate::http::{HttpRequest, HttpResponse};
+use bfu_util::{SimRng, VirtualClock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A virtual origin server: receives decoded requests, returns responses.
+///
+/// Implementations must be pure functions of the request (plus their own
+/// immutable state) so crawls stay deterministic and can run in parallel.
+pub trait Server: Send + Sync {
+    /// Handle one request.
+    fn handle(&self, req: &HttpRequest) -> HttpResponse;
+}
+
+impl<F> Server for F
+where
+    F: Fn(&HttpRequest) -> HttpResponse + Send + Sync,
+{
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        self(req)
+    }
+}
+
+/// Network-level failure of a fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No DNS entry for the host.
+    NameNotResolved(String),
+    /// Host refused the connection (dead host).
+    ConnectionRefused(String),
+    /// Exchange reset mid-flight.
+    ConnectionReset(String),
+    /// The peer sent bytes that failed to parse.
+    ProtocolError(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NameNotResolved(h) => write!(f, "could not resolve {h}"),
+            NetError::ConnectionRefused(h) => write!(f, "{h} refused the connection"),
+            NetError::ConnectionReset(h) => write!(f, "connection to {h} reset"),
+            NetError::ProtocolError(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Aggregate transfer statistics (feeds the paper's Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Successful request/response exchanges.
+    pub requests: u64,
+    /// Failed fetches (refused / reset / unresolvable).
+    pub failures: u64,
+    /// Total request bytes on the wire.
+    pub bytes_sent: u64,
+    /// Total response bytes on the wire.
+    pub bytes_received: u64,
+}
+
+impl NetStats {
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.requests += other.requests;
+        self.failures += other.failures;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
+/// The deterministic in-memory network.
+pub struct SimNet {
+    hosts: HashMap<String, Arc<dyn Server>>,
+    /// Base RTT per host, assigned at registration from the latency model.
+    rtt: HashMap<String, u64>,
+    faults: FaultPlan,
+    rng: SimRng,
+    stats: NetStats,
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("hosts", &self.hosts.len())
+            .field("faults", &self.faults)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// An empty network with the given RNG stream (drives latency jitter and
+    /// fault sampling).
+    pub fn new(rng: SimRng) -> Self {
+        SimNet {
+            hosts: HashMap::new(),
+            rtt: HashMap::new(),
+            faults: FaultPlan::none(),
+            rng,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Install a fault plan.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The current fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Register a server for `host`. The host gets a base RTT sampled from
+    /// an exponential distribution with a 40 ms mean, clamped to 5-400 ms —
+    /// a rough model of real-world origin diversity.
+    pub fn register(&mut self, host: &str, server: Arc<dyn Server>) {
+        let host = host.to_ascii_lowercase();
+        let rtt = (self.rng.exp(40.0) as u64).clamp(5, 400);
+        self.rtt.insert(host.clone(), rtt);
+        self.hosts.insert(host, server);
+    }
+
+    /// Whether `host` resolves.
+    pub fn resolves(&self, host: &str) -> bool {
+        self.hosts.contains_key(&host.to_ascii_lowercase())
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Transfer statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Perform one fetch, advancing `clock` by handshake + transfer time.
+    ///
+    /// The request is serialized to wire bytes, decoded server-side, handled,
+    /// and the response is serialized and decoded client-side — a full codec
+    /// round trip per exchange.
+    pub fn fetch(
+        &mut self,
+        req: &HttpRequest,
+        clock: &mut VirtualClock,
+    ) -> Result<HttpResponse, NetError> {
+        let host = req.url.host().to_owned();
+        let Some(server) = self.hosts.get(&host).cloned() else {
+            self.stats.failures += 1;
+            clock.advance(30); // failed DNS lookup still costs time
+            return Err(NetError::NameNotResolved(host));
+        };
+        let rtt = self.rtt[&host] + self.faults.extra_rtt_ms;
+        let mut conn = Connection::new(rtt);
+
+        let handshake = conn.connect().expect("fresh connection");
+        clock.advance(handshake);
+        if self.faults.is_dead(&host) {
+            conn.refused();
+            self.stats.failures += 1;
+            return Err(NetError::ConnectionRefused(host));
+        }
+        conn.established().expect("post-handshake");
+
+        let wire_req = req.encode();
+        let send_ms = conn.request_sent(wire_req.len()).expect("established");
+        clock.advance(send_ms);
+        self.stats.bytes_sent += wire_req.len() as u64;
+
+        if self.faults.reset_chance > 0.0 && self.rng.chance(self.faults.reset_chance) {
+            conn.reset();
+            self.stats.failures += 1;
+            return Err(NetError::ConnectionReset(host));
+        }
+
+        // Server side: decode the wire bytes, preserving classification
+        // metadata that doesn't travel on the wire.
+        let mut server_req = HttpRequest::decode(&wire_req, req.url.scheme())
+            .map_err(|e| NetError::ProtocolError(e.to_string()))?;
+        server_req.resource_type = req.resource_type;
+        server_req.initiator = req.initiator.clone();
+        let response = server.handle(&server_req);
+
+        let wire_resp = response.encode();
+        let recv_ms = conn.response_received(wire_resp.len()).expect("awaiting");
+        clock.advance(recv_ms);
+        self.stats.bytes_received += wire_resp.len() as u64;
+        self.stats.requests += 1;
+
+        HttpResponse::decode(&wire_resp).map_err(|e| NetError::ProtocolError(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{ResourceType, StatusCode};
+    use crate::url::Url;
+
+    fn simple_net() -> SimNet {
+        let mut net = SimNet::new(SimRng::new(7));
+        net.register(
+            "example.com",
+            Arc::new(|req: &HttpRequest| {
+                if req.url.path() == "/hello" {
+                    HttpResponse::html("<html>hi</html>")
+                } else {
+                    HttpResponse::status(StatusCode::NOT_FOUND)
+                }
+            }),
+        );
+        net
+    }
+
+    fn get(url: &str) -> HttpRequest {
+        HttpRequest::get(Url::parse(url).unwrap(), ResourceType::Document)
+    }
+
+    #[test]
+    fn fetch_roundtrip_advances_clock() {
+        let mut net = simple_net();
+        let mut clock = VirtualClock::new();
+        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"<html>hi</html>");
+        assert!(clock.now().millis() > 0, "time must pass");
+        assert_eq!(net.stats().requests, 1);
+        assert!(net.stats().bytes_received > 0);
+    }
+
+    #[test]
+    fn server_routing_by_path() {
+        let mut net = simple_net();
+        let mut clock = VirtualClock::new();
+        let resp = net.fetch(&get("http://example.com/missing"), &mut clock).unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn unresolvable_host_fails() {
+        let mut net = simple_net();
+        let mut clock = VirtualClock::new();
+        let err = net.fetch(&get("http://nowhere.test/"), &mut clock).unwrap_err();
+        assert!(matches!(err, NetError::NameNotResolved(_)));
+        assert_eq!(net.stats().failures, 1);
+    }
+
+    #[test]
+    fn dead_host_refuses() {
+        let mut net = simple_net();
+        let mut faults = FaultPlan::none();
+        faults.kill_host("example.com");
+        net.set_faults(faults);
+        let mut clock = VirtualClock::new();
+        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        assert!(matches!(err, NetError::ConnectionRefused(_)));
+    }
+
+    #[test]
+    fn reset_chance_one_always_resets() {
+        let mut net = simple_net();
+        net.set_faults(FaultPlan::none().with_reset_chance(1.0));
+        let mut clock = VirtualClock::new();
+        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        assert!(matches!(err, NetError::ConnectionReset(_)));
+    }
+
+    #[test]
+    fn deterministic_latency_per_seed() {
+        let run = |seed| {
+            let mut net = SimNet::new(SimRng::new(seed));
+            net.register("a.com", Arc::new(|_: &HttpRequest| HttpResponse::html("x")));
+            let mut clock = VirtualClock::new();
+            net.fetch(&get("http://a.com/"), &mut clock).unwrap();
+            clock.now().millis()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn initiator_metadata_reaches_server() {
+        let mut net = SimNet::new(SimRng::new(1));
+        net.register(
+            "srv.com",
+            Arc::new(|req: &HttpRequest| {
+                assert_eq!(req.resource_type, ResourceType::Script);
+                assert!(req.initiator.is_some());
+                HttpResponse::javascript("1")
+            }),
+        );
+        let mut clock = VirtualClock::new();
+        let req = HttpRequest::get(
+            Url::parse("http://srv.com/app.js").unwrap(),
+            ResourceType::Script,
+        )
+        .with_initiator(Url::parse("http://page.com/").unwrap());
+        net.fetch(&req, &mut clock).unwrap();
+    }
+}

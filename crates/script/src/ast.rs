@@ -1,0 +1,225 @@
+//! Syntax tree for the mini-JS language.
+
+use std::rc::Rc;
+
+/// Binary arithmetic/comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (number addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==` (loose: `null == undefined`)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNe,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Short-circuiting logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicalOp {
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `typeof`
+    Typeof,
+}
+
+/// Assignment target: a variable, member, or index place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Place {
+    /// `x = ...`
+    Var(String),
+    /// `obj.prop = ...`
+    Member(Box<Expr>, String),
+    /// `obj[key] = ...`
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`
+    Null,
+    /// `undefined`
+    Undefined,
+    /// Variable reference.
+    Ident(String),
+    /// `this`
+    This,
+    /// `obj.prop`
+    Member(Box<Expr>, String),
+    /// `obj[key]`
+    Index(Box<Expr>, Box<Expr>),
+    /// Call. When the callee is a `Member`, the receiver becomes `this`.
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new Ctor(args)`
+    New {
+        /// Constructor expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Assignment, optionally compound (`+=` carries `Some(BinOp::Add)`).
+    Assign {
+        /// Where to store.
+        place: Place,
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Prefix/postfix `++`/`--` desugared: `is_inc`, returns the *old* value
+    /// when `postfix`.
+    IncDec {
+        /// The place mutated.
+        place: Place,
+        /// `true` for `++`.
+        is_inc: bool,
+        /// `true` for postfix position.
+        postfix: bool,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Short-circuit logical operation.
+    Logical {
+        /// Operator.
+        op: LogicalOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Ternary conditional.
+    Cond {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        otherwise: Box<Expr>,
+    },
+    /// Function expression (closure).
+    Function(Rc<FunctionDef>),
+    /// Object literal.
+    ObjectLit(Vec<(String, Expr)>),
+    /// Array literal.
+    ArrayLit(Vec<Expr>),
+}
+
+/// A function definition (shared between declaration and expression forms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Optional name (for declarations and recursion).
+    pub name: Option<String>,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// `var name = init;`
+    Var(String, Option<Expr>),
+    /// `function name(...) { ... }`
+    FunctionDecl(Rc<FunctionDef>),
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (cond) { ... }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; update) { ... }`
+    For {
+        /// Initializer (a statement: `var` or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition (default true).
+        cond: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Bare block.
+    Block(Vec<Stmt>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,31 @@
+//! # bfu-script
+//!
+//! A miniature JavaScript-like language: the substrate that makes the
+//! paper's instrumentation technique *real* rather than simulated.
+//!
+//! The paper's extension works by (a) overwriting methods on DOM prototypes
+//! with logging wrappers that close over the originals, and (b) watching
+//! property writes on singleton objects via `Object.watch`. Reproducing that
+//! requires an object model with genuine prototype chains, closures, and
+//! interceptable property access — so this crate implements one, with a
+//! lexer, recursive-descent parser, and step-budgeted tree-walking
+//! interpreter. Synthetic sites' scripts are authored in this language by
+//! `bfu-webgen`.
+//!
+//! - [`token`] — lexer.
+//! - [`ast`] — syntax tree.
+//! - [`parser`] — recursive-descent parser.
+//! - [`value`] — runtime values.
+//! - [`object`] — heap, objects, prototype chains, watchpoints.
+//! - [`interp`] — the interpreter and host-function registry.
+
+pub mod ast;
+pub mod interp;
+pub mod object;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use interp::{Interpreter, NativeFn, RuntimeError};
+pub use object::{Heap, ObjId, PropKey};
+pub use value::Value;

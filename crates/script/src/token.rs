@@ -1,0 +1,332 @@
+//! Lexer for the mini-JS language.
+
+use std::fmt;
+
+/// Keywords of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `var`
+    Var,
+    /// `function`
+    Function,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `undefined`
+    Undefined,
+    /// `new`
+    New,
+    /// `this`
+    This,
+    /// `typeof`
+    Typeof,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "var" => Keyword::Var,
+            "function" => Keyword::Function,
+            "return" => Keyword::Return,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "null" => Keyword::Null,
+            "undefined" => Keyword::Undefined,
+            "new" => Keyword::New,
+            "this" => Keyword::This,
+            "typeof" => Keyword::Typeof,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Keyword),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (content, unescaped).
+    Str(String),
+    /// Operator or punctuation, as a short string (`"=="`, `"{"`, ...).
+    Op(&'static str),
+}
+
+/// Token with line info.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const OPS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--", "+",
+    "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ",", ";", ".", ":",
+    "?",
+];
+
+/// Tokenize mini-JS source.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if src[i..].starts_with("//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if src[i..].starts_with("/*") {
+            let start = line;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated comment".into(),
+                        line: start,
+                    });
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    continue 'outer;
+                }
+                i += 1;
+            }
+        }
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let start_line = line;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string".into(),
+                        line: start_line,
+                    });
+                }
+                let ch = bytes[i] as char;
+                if ch == quote {
+                    i += 1;
+                    break;
+                }
+                if ch == '\n' {
+                    return Err(LexError {
+                        message: "newline in string".into(),
+                        line: start_line,
+                    });
+                }
+                if ch == '\\' && i + 1 < bytes.len() {
+                    let esc = bytes[i + 1] as char;
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        '\\' => '\\',
+                        '\'' => '\'',
+                        '"' => '"',
+                        other => other,
+                    });
+                    i += 2;
+                    continue;
+                }
+                s.push(ch);
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Str(s),
+                line: start_line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let n: f64 = text.parse().map_err(|_| LexError {
+                message: format!("bad number {text:?}"),
+                line,
+            })?;
+            out.push(SpannedTok {
+                tok: Tok::Num(n),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match Keyword::from_str(word) {
+                Some(kw) => Tok::Kw(kw),
+                None => Tok::Ident(word.to_owned()),
+            };
+            out.push(SpannedTok { tok, line });
+            continue;
+        }
+        for op in OPS {
+            if src[i..].starts_with(op) {
+                out.push(SpannedTok {
+                    tok: Tok::Op(op),
+                    line,
+                });
+                i += op.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            line,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("var x = 1.5;"),
+            vec![
+                Tok::Kw(Keyword::Var),
+                Tok::Ident("x".into()),
+                Tok::Op("="),
+                Tok::Num(1.5),
+                Tok::Op(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            toks("a === b == c = d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Op("==="),
+                Tok::Ident("b".into()),
+                Tok::Op("=="),
+                Tok::Ident("c".into()),
+                Tok::Op("="),
+                Tok::Ident("d".into()),
+            ]
+        );
+        assert_eq!(toks("i++"), vec![Tok::Ident("i".into()), Tok::Op("++")]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#"'a\'b' "c\nd""#),
+            vec![Tok::Str("a'b".into()), Tok::Str("c\nd".into())]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // comment\n/* block */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        assert_eq!(
+            toks("function typeof new"),
+            vec![
+                Tok::Kw(Keyword::Function),
+                Tok::Kw(Keyword::Typeof),
+                Tok::Kw(Keyword::New),
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_identifiers() {
+        assert_eq!(toks("$x _y"), vec![Tok::Ident("$x".into()), Tok::Ident("_y".into())]);
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let err = lex("ok\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Runtime values.
+
+use crate::object::ObjId;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime value. Strings are refcounted; objects live in the heap.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// `undefined`
+    #[default]
+    Undefined,
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// IEEE-754 double.
+    Num(f64),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// Heap object reference.
+    Obj(ObjId),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// JavaScript truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Undefined | Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::Obj(_) => true,
+        }
+    }
+
+    /// Coerce to a number (`NaN` for non-numeric strings and objects).
+    pub fn to_number(&self) -> f64 {
+        match self {
+            Value::Undefined => f64::NAN,
+            Value::Null => 0.0,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Num(n) => *n,
+            Value::Str(s) => s.trim().parse().unwrap_or(f64::NAN),
+            Value::Obj(_) => f64::NAN,
+        }
+    }
+
+    /// Display coercion (`String(v)`).
+    pub fn to_display(&self) -> String {
+        match self {
+            Value::Undefined => "undefined".into(),
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => format_num(*n),
+            Value::Str(s) => s.to_string(),
+            Value::Obj(_) => "[object Object]".into(),
+        }
+    }
+
+    /// `typeof` result.
+    pub fn type_of(&self, is_callable: impl Fn(ObjId) -> bool) -> &'static str {
+        match self {
+            Value::Undefined => "undefined",
+            Value::Null => "object",
+            Value::Bool(_) => "boolean",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Obj(id) => {
+                if is_callable(*id) {
+                    "function"
+                } else {
+                    "object"
+                }
+            }
+        }
+    }
+
+    /// Strict equality (`===`).
+    pub fn strict_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Undefined, Value::Undefined) | (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Obj(a), Value::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Loose equality (`==`): strict equality plus `null == undefined` and
+    /// number/string coercion.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null | Value::Undefined, Value::Null | Value::Undefined) => true,
+            (Value::Num(a), Value::Str(_)) => *a == other.to_number(),
+            (Value::Str(_), Value::Num(b)) => self.to_number() == *b,
+            (Value::Bool(_), _) => Value::Num(self.to_number()).loose_eq(other),
+            (_, Value::Bool(_)) => self.loose_eq(&Value::Num(other.to_number())),
+            _ => self.strict_eq(other),
+        }
+    }
+
+    /// The object id, if this is an object.
+    pub fn as_obj(&self) -> Option<ObjId> {
+        match self {
+            Value::Obj(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// Integer-valued doubles print without a decimal point (like JS).
+fn format_num(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".into()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity".into() } else { "-Infinity".into() }
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Undefined.truthy());
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(!Value::Num(f64::NAN).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::Num(2.0).truthy());
+        assert!(Value::str("x").truthy());
+        assert!(Value::Obj(ObjId::new(0)).truthy());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::str(" 42 ").to_number(), 42.0);
+        assert!(Value::str("nope").to_number().is_nan());
+        assert_eq!(Value::Null.to_number(), 0.0);
+        assert_eq!(Value::Bool(true).to_number(), 1.0);
+        assert!(Value::Undefined.to_number().is_nan());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Num(3.0).to_display(), "3");
+        assert_eq!(Value::Num(3.5).to_display(), "3.5");
+        assert_eq!(Value::Num(f64::NAN).to_display(), "NaN");
+        assert_eq!(Value::str("hi").to_display(), "hi");
+        assert_eq!(Value::Undefined.to_display(), "undefined");
+    }
+
+    #[test]
+    fn equality() {
+        assert!(Value::Null.loose_eq(&Value::Undefined));
+        assert!(!Value::Null.strict_eq(&Value::Undefined));
+        assert!(Value::Num(1.0).loose_eq(&Value::str("1")));
+        assert!(!Value::Num(1.0).strict_eq(&Value::str("1")));
+        assert!(Value::Bool(true).loose_eq(&Value::Num(1.0)));
+        assert!(Value::Obj(ObjId::new(3)).strict_eq(&Value::Obj(ObjId::new(3))));
+        assert!(!Value::Obj(ObjId::new(3)).strict_eq(&Value::Obj(ObjId::new(4))));
+    }
+
+    #[test]
+    fn typeof_names() {
+        let not_callable = |_| false;
+        assert_eq!(Value::Undefined.type_of(not_callable), "undefined");
+        assert_eq!(Value::Null.type_of(not_callable), "object");
+        assert_eq!(Value::Num(1.0).type_of(not_callable), "number");
+        assert_eq!(Value::Obj(ObjId::new(0)).type_of(|_| true), "function");
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulated time.
+//!
+//! The entire study runs on virtual time: page interaction budgets (the
+//! paper's 30 s per page), network latency, and `setTimeout` timers all
+//! advance a [`VirtualClock`], never the wall clock. This keeps crawls
+//! deterministic and lets a "480 days of interaction" survey complete in
+//! seconds.
+
+use std::fmt;
+
+/// A point in virtual time, in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(pub u64);
+
+impl Instant {
+    /// The simulation epoch.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Milliseconds since the epoch.
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// This instant plus `ms` milliseconds.
+    pub fn plus(self, ms: u64) -> Instant {
+        Instant(self.0.saturating_add(ms))
+    }
+
+    /// Milliseconds elapsed from `earlier` to `self` (saturating at zero).
+    pub fn since(self, earlier: Instant) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use bfu_util::VirtualClock;
+/// let mut clock = VirtualClock::new();
+/// clock.advance(30_000);
+/// assert_eq!(clock.now().millis(), 30_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Instant,
+}
+
+impl VirtualClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        VirtualClock { now: Instant::ZERO }
+    }
+
+    /// A clock starting at an arbitrary instant.
+    pub fn starting_at(now: Instant) -> Self {
+        VirtualClock { now }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Advance the clock by `ms` milliseconds.
+    pub fn advance(&mut self, ms: u64) {
+        self.now = self.now.plus(ms);
+    }
+
+    /// Advance the clock to `t` if `t` is in the future; never goes backward.
+    pub fn advance_to(&mut self, t: Instant) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), Instant(15));
+        c.advance_to(Instant(12)); // in the past: ignored
+        assert_eq!(c.now(), Instant(15));
+        c.advance_to(Instant(40));
+        assert_eq!(c.now(), Instant(40));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Instant(5).since(Instant(10)), 0);
+        assert_eq!(Instant(10).since(Instant(4)), 6);
+    }
+
+    #[test]
+    fn plus_saturates() {
+        assert_eq!(Instant(u64::MAX).plus(10), Instant(u64::MAX));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Instant(30_000).to_string(), "30000ms");
+    }
+}

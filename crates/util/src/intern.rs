@@ -1,0 +1,108 @@
+//! String interning.
+//!
+//! Feature names, standard abbreviations, URL components, and DOM tag/attr
+//! names are repeated millions of times across a crawl; interning them turns
+//! comparisons into integer equality and slashes memory.
+
+use std::collections::HashMap;
+
+/// Handle to an interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deduplicating string table.
+///
+/// # Examples
+///
+/// ```
+/// use bfu_util::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("createElement");
+/// let b = i.intern("createElement");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "createElement");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Look up a symbol without interning. `None` if never interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// The string for a symbol. Panics on a symbol from another interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let c = i.intern("x");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let syms: Vec<_> = ["foo", "bar", "baz"].iter().map(|s| i.intern(s)).collect();
+        assert_eq!(i.resolve(syms[0]), "foo");
+        assert_eq!(i.resolve(syms[1]), "bar");
+        assert_eq!(i.resolve(syms[2]), "baz");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("nope").is_none());
+        i.intern("yes");
+        assert!(i.get("yes").is_some());
+        assert_eq!(i.len(), 1);
+    }
+}

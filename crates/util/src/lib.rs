@@ -1,0 +1,23 @@
+//! # bfu-util
+//!
+//! Foundation utilities shared by every crate in the Browser Feature Usage
+//! reproduction: a deterministic, forkable random number generator, discrete
+//! samplers (Zipf, geometric, weighted), a virtual clock for simulated time,
+//! descriptive statistics (histograms, CDFs, percentiles), and a string
+//! interner.
+//!
+//! Everything in this crate is deterministic: the same seed always produces
+//! the same sequence, on every platform. No wall-clock time, no OS entropy.
+
+pub mod clock;
+pub mod ids;
+pub mod intern;
+pub mod rng;
+pub mod sample;
+pub mod stats;
+
+pub use clock::{Instant, VirtualClock};
+pub use intern::{Interner, Symbol};
+pub use rng::SimRng;
+pub use sample::{GeometricWeights, WeightedIndex, Zipf};
+pub use stats::{cdf_points, mean, percentile, Histogram};

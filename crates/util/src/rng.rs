@@ -1,0 +1,328 @@
+//! Deterministic, forkable pseudo-random number generation.
+//!
+//! The whole study must be reproducible from a single seed, across runs and
+//! platforms, and independent of any external crate's stream layout. We use a
+//! self-contained PCG-XSH-RR 64/32 generator seeded through SplitMix64, with
+//! hierarchical *forking*: any component can derive an independent stream from
+//! a parent RNG plus a label, so adding randomness to one subsystem never
+//! perturbs another.
+
+/// A deterministic pseudo-random number generator (PCG-XSH-RR 64/32).
+///
+/// `SimRng` is intentionally not cryptographic. It is small, fast, and has
+/// well-understood statistical quality, which is all a simulation needs.
+///
+/// # Examples
+///
+/// ```
+/// use bfu_util::SimRng;
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// SplitMix64 step, used for seeding and label hashing.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Hash an arbitrary byte string to a 64-bit value (FNV-1a, then mixed).
+///
+/// Used to derive fork labels from strings; stable across platforms.
+pub fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let mut s = h;
+    splitmix64(&mut s)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = splitmix64(&mut sm);
+        let inc = splitmix64(&mut sm) | 1;
+        let mut rng = SimRng { state: 0, inc };
+        rng.state = state.wrapping_add(inc);
+        rng.next_u32();
+        rng
+    }
+
+    /// Derive an independent child generator from this one and a label.
+    ///
+    /// Forking does **not** advance the parent's stream, so the set of forks
+    /// taken by one subsystem cannot perturb another subsystem's randomness.
+    pub fn fork(&self, label: &str) -> SimRng {
+        SimRng::new(
+            self.state
+                .wrapping_mul(PCG_MULT)
+                .wrapping_add(hash_label(label)),
+        )
+    }
+
+    /// Derive an independent child generator from this one and an index.
+    pub fn fork_idx(&self, idx: u64) -> SimRng {
+        SimRng::new(
+            self.state
+                .wrapping_mul(PCG_MULT)
+                ^ idx.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17),
+        )
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let m = u128::from(x) * u128::from(bound);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)` (half-open). Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Pick a uniformly random element of a slice, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below_usize(items.len())])
+        }
+    }
+
+    /// Fisher-Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (reservoir when k < n).
+    ///
+    /// Result order is deterministic but unspecified. If `k >= n`, returns
+    /// `0..n` shuffled.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        if k >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            return all;
+        }
+        // Floyd's algorithm for distinct samples.
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.below_usize(j + 1);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        self.shuffle(&mut chosen);
+        chosen
+    }
+
+    /// Exponentially distributed sample with the given mean (for latency).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent_consumption() {
+        let parent = SimRng::new(99);
+        let mut f1 = parent.fork("sites");
+        let mut parent2 = parent.clone();
+        parent2.next_u64();
+        // fork taken before vs after parent consumption is the same, because
+        // forking reads state without advancing.
+        let mut f2 = parent.fork("sites");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let _ = parent2;
+    }
+
+    #[test]
+    fn forks_with_different_labels_differ() {
+        let parent = SimRng::new(5);
+        let mut a = parent.fork("a");
+        let mut b = parent.fork("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.below(10) as usize;
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_mean_approximates_p() {
+        let mut rng = SimRng::new(21);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        let p = hits as f64 / 10_000.0;
+        assert!((p - 0.3).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50! odds say no");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SimRng::new(13);
+        for _ in 0..50 {
+            let s = rng.sample_indices(20, 5);
+            assert_eq!(s.len(), 5);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 5);
+            assert!(s.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn sample_indices_k_ge_n() {
+        let mut rng = SimRng::new(13);
+        let mut s = rng.sample_indices(4, 10);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut rng = SimRng::new(17);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp(5.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SimRng::new(1);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+    }
+}

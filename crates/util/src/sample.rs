@@ -1,0 +1,264 @@
+//! Discrete probability samplers used by the synthetic-web generator.
+//!
+//! - [`Zipf`]: rank-frequency sampling for Alexa-style traffic (the paper
+//!   weighs standards by site *visits* in Fig. 5, which follow a power law).
+//! - [`GeometricWeights`]: decaying per-feature popularity within a standard
+//!   (the paper observes a standard's popularity equals its most popular
+//!   feature's popularity, with a long in-standard tail).
+//! - [`WeightedIndex`]: general categorical sampling via cumulative sums.
+
+use crate::rng::SimRng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// `weight(rank) ∝ 1 / rank^s`. Provides both exact weights (for analysis)
+/// and sampling (for traffic generation).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: usize,
+    s: f64,
+    /// Cumulative normalized weights, cum[i] = P(rank <= i+1).
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Construct a Zipf distribution with `n` ranks and exponent `s > 0`.
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += (rank as f64).powf(-s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { n, s, cum }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Normalized weight of `rank` (1-based).
+    pub fn weight(&self, rank: usize) -> f64 {
+        assert!((1..=self.n).contains(&rank));
+        if rank == 1 {
+            self.cum[0]
+        } else {
+            self.cum[rank - 1] - self.cum[rank - 2]
+        }
+    }
+
+    /// Sample a rank (1-based) via binary search on the CDF.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => i + 2.min(self.n), // exact hit: next rank (clamped)
+            Err(i) => i + 1,
+        }
+        .min(self.n)
+    }
+}
+
+/// Geometrically decaying weights: `w_i = r^i` for `i` in `0..n`.
+///
+/// Used for feature popularity *within* a standard: the first feature is the
+/// standard's flagship (e.g. `Document.prototype.createElement` within DOM),
+/// later features decay by ratio `r`.
+#[derive(Debug, Clone)]
+pub struct GeometricWeights {
+    weights: Vec<f64>,
+}
+
+impl GeometricWeights {
+    /// `n` weights with decay ratio `r` in `(0, 1]`.
+    pub fn new(n: usize, r: f64) -> Self {
+        assert!(r > 0.0 && r <= 1.0, "decay ratio must be in (0,1]");
+        let mut weights = Vec::with_capacity(n);
+        let mut w = 1.0;
+        for _ in 0..n {
+            weights.push(w);
+            w *= r;
+        }
+        GeometricWeights { weights }
+    }
+
+    /// The raw (unnormalized) weight of index `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// All raw weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of weights.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no weights.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Categorical sampler over arbitrary non-negative weights.
+///
+/// # Examples
+///
+/// ```
+/// use bfu_util::{SimRng, WeightedIndex};
+/// let w = WeightedIndex::new(&[0.0, 1.0, 3.0]).unwrap();
+/// let mut rng = SimRng::new(1);
+/// let i = w.sample(&mut rng);
+/// assert!(i == 1 || i == 2); // index 0 has zero weight
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from a slice of non-negative weights. Returns `None` if the
+    /// slice is empty, contains a negative/NaN weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return None;
+            }
+            total += w;
+            cum.push(total);
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        Some(WeightedIndex { cum, total })
+    }
+
+    /// Sample an index proportionally to its weight.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64() * self.total;
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) | Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether there are no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_weights_normalize_and_decay() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (1..=100).map(|r| z.weight(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.weight(1) > z.weight(2));
+        assert!(z.weight(2) > z.weight(50));
+    }
+
+    #[test]
+    fn zipf_sampling_matches_weights() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = SimRng::new(42);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for rank in 1..=10 {
+            let expected = z.weight(rank);
+            let got = counts[rank - 1] as f64 / n as f64;
+            assert!(
+                (expected - got).abs() < 0.01,
+                "rank {rank}: expected {expected:.4}, got {got:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SimRng::new(1);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert!((z.weight(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_decays() {
+        let g = GeometricWeights::new(5, 0.5);
+        assert_eq!(g.len(), 5);
+        assert!((g.weight(0) - 1.0).abs() < 1e-12);
+        assert!((g.weight(1) - 0.5).abs() < 1e-12);
+        assert!((g.weight(4) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_flat_at_one() {
+        let g = GeometricWeights::new(3, 1.0);
+        assert!(g.weights().iter().all(|&w| (w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        assert!(WeightedIndex::new(&[]).is_none());
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_none());
+        assert!(WeightedIndex::new(&[1.0, -1.0]).is_none());
+        assert!(WeightedIndex::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn weighted_index_never_picks_zero_weight() {
+        let w = WeightedIndex::new(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = SimRng::new(9);
+        for _ in 0..5000 {
+            let i = w.sample(&mut rng);
+            assert!(i == 1 || i == 3, "picked zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let w = WeightedIndex::new(&[1.0, 3.0]).unwrap();
+        let mut rng = SimRng::new(4);
+        let n = 40_000;
+        let ones = (0..n).filter(|_| w.sample(&mut rng) == 1).count();
+        let p = ones as f64 / n as f64;
+        assert!((p - 0.75).abs() < 0.02, "p = {p}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Descriptive statistics for the analysis pipeline.
+//!
+//! The paper's figures are CDFs (Fig. 3), PDFs/histograms (Figs. 8, 9), and
+//! scatter summaries; this module provides the numeric building blocks.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `p`-th percentile (0-100) using nearest-rank on a sorted copy.
+///
+/// Returns `None` for an empty slice; panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in data"));
+    if p == 0.0 {
+        return Some(sorted[0]);
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// Empirical CDF: returns `(value, fraction ≤ value)` at each distinct value.
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in data"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, &v) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == v => last.1 = frac,
+            _ => out.push((v, frac)),
+        }
+    }
+    out
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Samples below `lo` or at/above `hi`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// `bins` equal-width bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo);
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            outliers: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo || x >= self.hi || !x.is_finite() {
+            self.outliers += 1;
+            return;
+        }
+        let nbins = self.counts.len();
+        let i = (((x - self.lo) / (self.hi - self.lo)) * nbins as f64) as usize;
+        self.counts[i.min(nbins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Record many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that fell outside `[lo, hi)`.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// `(bin_center, fraction_of_total)` per bin; fractions are 0 when empty.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * width;
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
+                (center, frac)
+            })
+            .collect()
+    }
+
+    /// Index of the fullest bin (first on ties), or `None` if empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [3.0, 1.0, 2.0, 2.0];
+        let cdf = cdf_points(&xs);
+        assert_eq!(cdf.len(), 3); // distinct values
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // duplicate value 2.0 gets cumulative fraction 3/4
+        assert!((cdf[1].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.5, 1.5, 2.5, 2.6, 11.0, -1.0]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.counts(), &[2, 2, 0, 0, 0]);
+        assert_eq!(h.mode_bin(), Some(0));
+    }
+
+    #[test]
+    fn histogram_density_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        let sum: f64 = h.density().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_mode() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.mode_bin(), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! Alexa-style site ranking: domains, categories, and traffic weights.
+//!
+//! The paper uses the Alexa top 10k (≈⅓ of all web visits) and, for Fig. 5,
+//! weighs standards by *visits* rather than sites. We reproduce the ranking
+//! as a Zipf traffic distribution over generated domains with a category mix
+//! that shapes each site's template and feature appetite.
+
+use bfu_util::{define_id, SimRng, Zipf};
+
+define_id!(
+    /// A site's index in the ranking (0 = most popular).
+    SiteId,
+    "site"
+);
+
+/// Editorial category of a site; shapes templates and feature usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteCategory {
+    /// News / publishing — ad heavy.
+    News,
+    /// E-commerce — analytics heavy, forms.
+    Shopping,
+    /// Video / media — media APIs, heavy pages.
+    Video,
+    /// Social / community.
+    Social,
+    /// Personal blogs — light.
+    Blog,
+    /// Technology / SaaS.
+    Tech,
+    /// Reference / documentation — often script-light.
+    Reference,
+    /// Portal / search.
+    Portal,
+}
+
+impl SiteCategory {
+    /// All categories with their share of the ranking.
+    pub fn mix() -> &'static [(SiteCategory, f64)] {
+        &[
+            (SiteCategory::News, 0.22),
+            (SiteCategory::Shopping, 0.18),
+            (SiteCategory::Video, 0.10),
+            (SiteCategory::Social, 0.08),
+            (SiteCategory::Blog, 0.12),
+            (SiteCategory::Tech, 0.12),
+            (SiteCategory::Reference, 0.10),
+            (SiteCategory::Portal, 0.08),
+        ]
+    }
+
+    /// Multiplier on a site's appetite for advertising parties.
+    pub fn ad_appetite(self) -> f64 {
+        match self {
+            SiteCategory::News => 1.5,
+            SiteCategory::Video => 1.3,
+            SiteCategory::Portal => 1.1,
+            SiteCategory::Shopping => 1.0,
+            SiteCategory::Social => 0.9,
+            SiteCategory::Blog => 0.8,
+            SiteCategory::Tech => 0.6,
+            SiteCategory::Reference => 0.4,
+        }
+    }
+
+    /// URL path sections characteristic of the category (the paper's crawl
+    /// prefers unseen path segments; sections give sites real structure).
+    pub fn sections(self) -> &'static [&'static str] {
+        match self {
+            SiteCategory::News => &["world", "politics", "sports", "business", "opinion", "tech"],
+            SiteCategory::Shopping => &["products", "deals", "cart", "categories", "reviews"],
+            SiteCategory::Video => &["watch", "channels", "trending", "live"],
+            SiteCategory::Social => &["feed", "groups", "events", "profiles"],
+            SiteCategory::Blog => &["posts", "archive", "about", "tags"],
+            SiteCategory::Tech => &["docs", "blog", "pricing", "features"],
+            SiteCategory::Reference => &["wiki", "articles", "topics", "search"],
+            SiteCategory::Portal => &["mail", "news", "weather", "finance"],
+        }
+    }
+}
+
+/// One ranked site.
+#[derive(Debug, Clone)]
+pub struct RankedSite {
+    /// Rank index (0 = most popular).
+    pub id: SiteId,
+    /// Registrable domain, e.g. `worldnews3.test`.
+    pub domain: String,
+    /// Category.
+    pub category: SiteCategory,
+    /// Normalized traffic share (Zipf over ranks).
+    pub traffic_weight: f64,
+}
+
+/// The ranking.
+#[derive(Debug, Clone)]
+pub struct AlexaRanking {
+    sites: Vec<RankedSite>,
+}
+
+const DOMAIN_STEMS: &[&str] = &[
+    "worldnews", "dailybeat", "shopsphere", "megamart", "streamly", "vidhub", "friendbase",
+    "chatterbox", "inkwell", "quillpost", "devforge", "stacklab", "wikidepth", "factbook",
+    "portalone", "homebase", "brightfeed", "cartquick", "playreel", "newsroom",
+];
+
+impl AlexaRanking {
+    /// Generate a ranking of `n` sites.
+    pub fn generate(n: usize, rng: &SimRng) -> AlexaRanking {
+        let mut rng = rng.fork("alexa");
+        let zipf = Zipf::new(n.max(1), 0.9);
+        let mix = SiteCategory::mix();
+        let sites = (0..n)
+            .map(|rank| {
+                let stem = DOMAIN_STEMS[rng.below_usize(DOMAIN_STEMS.len())];
+                let domain = format!("{stem}{rank}.test");
+                // Category by mix shares.
+                let mut u = rng.f64();
+                let mut category = mix[0].0;
+                for &(c, share) in mix {
+                    if u < share {
+                        category = c;
+                        break;
+                    }
+                    u -= share;
+                }
+                RankedSite {
+                    id: SiteId::from_usize(rank),
+                    domain,
+                    category,
+                    traffic_weight: zipf.weight(rank + 1),
+                }
+            })
+            .collect();
+        AlexaRanking { sites }
+    }
+
+    /// Number of ranked sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// All sites in rank order.
+    pub fn sites(&self) -> &[RankedSite] {
+        &self.sites
+    }
+
+    /// One site.
+    pub fn site(&self, id: SiteId) -> &RankedSite {
+        &self.sites[id.index()]
+    }
+
+    /// Rank-based usage boost: top sites use slightly more standards
+    /// (the Fig. 5 effect). ~1.15 at rank 0 decaying to ~0.95 at the tail.
+    pub fn usage_boost(&self, id: SiteId) -> f64 {
+        let n = self.sites.len().max(2) as f64;
+        let frac = id.index() as f64 / (n - 1.0);
+        1.15 - 0.20 * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_n_sites_with_unique_domains() {
+        let r = AlexaRanking::generate(500, &SimRng::new(2));
+        assert_eq!(r.len(), 500);
+        let mut d: Vec<&str> = r.sites().iter().map(|s| s.domain.as_str()).collect();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 500);
+    }
+
+    #[test]
+    fn traffic_weights_zipf_normalized() {
+        let r = AlexaRanking::generate(100, &SimRng::new(2));
+        let total: f64 = r.sites().iter().map(|s| s.traffic_weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r.sites()[0].traffic_weight > r.sites()[50].traffic_weight);
+    }
+
+    #[test]
+    fn category_mix_roughly_respected() {
+        let r = AlexaRanking::generate(5000, &SimRng::new(9));
+        let news = r
+            .sites()
+            .iter()
+            .filter(|s| s.category == SiteCategory::News)
+            .count() as f64
+            / 5000.0;
+        assert!((news - 0.22).abs() < 0.05, "news share {news}");
+    }
+
+    #[test]
+    fn usage_boost_decays_with_rank() {
+        let r = AlexaRanking::generate(100, &SimRng::new(2));
+        assert!(r.usage_boost(SiteId::new(0)) > r.usage_boost(SiteId::new(99)));
+        assert!((r.usage_boost(SiteId::new(0)) - 1.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = AlexaRanking::generate(50, &SimRng::new(4));
+        let b = AlexaRanking::generate(50, &SimRng::new(4));
+        for (x, y) in a.sites().iter().zip(b.sites()) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.category, y.category);
+        }
+    }
+
+    #[test]
+    fn category_shares_sum_to_one() {
+        let total: f64 = SiteCategory::mix().iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! The third-party ecosystem: ad networks, trackers, analytics, CDNs.
+//!
+//! Sites embed third-party resources from these parties; blockers' filter
+//! lists and tracker databases are generated *against* this ecosystem (with
+//! imperfect coverage, like real crowd-sourced lists — see
+//! [`crate::filters`]). Party popularity is Zipf-distributed: a few giant ad
+//! networks serve most sites, mirroring the concentration Krishnamurthy &
+//! Wills observed and the paper cites.
+
+use bfu_util::{SimRng, WeightedIndex};
+
+/// What a third party does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartyKind {
+    /// Serves ads (scripts, frames, banners).
+    AdNetwork,
+    /// Cross-site tracking (pixels, fingerprinting scripts).
+    Tracker,
+    /// First-party-friendly analytics beacons.
+    Analytics,
+    /// Content delivery (never ad/tracking related; rarely blocked).
+    Cdn,
+}
+
+impl PartyKind {
+    /// Short label used in generated domains.
+    pub fn label(self) -> &'static str {
+        match self {
+            PartyKind::AdNetwork => "ads",
+            PartyKind::Tracker => "trk",
+            PartyKind::Analytics => "stats",
+            PartyKind::Cdn => "cdn",
+        }
+    }
+}
+
+/// One third party.
+#[derive(Debug, Clone)]
+pub struct ThirdParty {
+    /// What it does.
+    pub kind: PartyKind,
+    /// Registrable domain, e.g. `adserve3.test`.
+    pub domain: String,
+    /// Host serving its resources, e.g. `static.adserve3.test`.
+    pub host: String,
+    /// Relative popularity (sites pick parties ∝ this weight).
+    pub weight: f64,
+}
+
+/// The full third-party world.
+#[derive(Debug, Clone)]
+pub struct Ecosystem {
+    /// All parties; indices into this vec identify parties in site plans.
+    pub parties: Vec<ThirdParty>,
+}
+
+const AD_NAME_STEMS: &[&str] = &[
+    "adserve", "clickbid", "bannerx", "adreach", "pubmax", "dsplink", "admesh", "yieldly",
+    "spotad", "promogrid",
+];
+const TRACKER_STEMS: &[&str] = &[
+    "trackmax", "pixelsense", "audiencelab", "idgraph", "spyglass", "fingerling", "cohortic",
+    "tagbridge",
+];
+const ANALYTICS_STEMS: &[&str] = &["metricsly", "pageviewer", "statshub", "countwise", "webgauge"];
+const CDN_STEMS: &[&str] = &["fastedge", "cachewave", "bigcdn", "staticnet", "mirrorly"];
+
+impl Ecosystem {
+    /// Generate the ecosystem: 40 ad networks, 30 trackers, 15 analytics
+    /// providers, and 20 CDNs, with Zipf popularity inside each kind.
+    pub fn generate(rng: &SimRng) -> Ecosystem {
+        let mut rng = rng.fork("ecosystem");
+        let mut parties = Vec::new();
+        let mut spawn = |kind: PartyKind, stems: &[&str], count: usize, rng: &mut SimRng| {
+            for i in 0..count {
+                let stem = stems[i % stems.len()];
+                let n = i / stems.len();
+                let domain = if n == 0 {
+                    format!("{stem}.test")
+                } else {
+                    format!("{stem}{n}.test")
+                };
+                let host = format!("{}.{domain}", kind.label());
+                // Zipf-ish weight by intra-kind rank with some jitter.
+                let weight = 1.0 / ((i + 1) as f64).powf(0.9) * (0.8 + 0.4 * rng.f64());
+                parties.push(ThirdParty {
+                    kind,
+                    domain,
+                    host,
+                    weight,
+                });
+            }
+        };
+        spawn(PartyKind::AdNetwork, AD_NAME_STEMS, 40, &mut rng);
+        spawn(PartyKind::Tracker, TRACKER_STEMS, 30, &mut rng);
+        spawn(PartyKind::Analytics, ANALYTICS_STEMS, 15, &mut rng);
+        spawn(PartyKind::Cdn, CDN_STEMS, 20, &mut rng);
+        Ecosystem { parties }
+    }
+
+    /// Indices of parties of a kind.
+    pub fn of_kind(&self, kind: PartyKind) -> Vec<usize> {
+        self.parties
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.kind == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick `count` distinct parties of `kind`, popularity-weighted.
+    pub fn pick(&self, kind: PartyKind, count: usize, rng: &mut SimRng) -> Vec<usize> {
+        let candidates = self.of_kind(kind);
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&i| self.parties[i].weight)
+            .collect();
+        let Some(dist) = WeightedIndex::new(&weights) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while out.len() < count.min(candidates.len()) && guard < 200 {
+            let pick = candidates[dist.sample(rng)];
+            if !out.contains(&pick) {
+                out.push(pick);
+            }
+            guard += 1;
+        }
+        out
+    }
+
+    /// Party by index.
+    pub fn party(&self, ix: usize) -> &ThirdParty {
+        &self.parties[ix]
+    }
+
+    /// All distinct hosts (for network registration).
+    pub fn hosts(&self) -> Vec<&str> {
+        self.parties.iter().map(|p| p.host.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(&SimRng::new(1))
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let e = eco();
+        assert_eq!(e.of_kind(PartyKind::AdNetwork).len(), 40);
+        assert_eq!(e.of_kind(PartyKind::Tracker).len(), 30);
+        assert_eq!(e.of_kind(PartyKind::Analytics).len(), 15);
+        assert_eq!(e.of_kind(PartyKind::Cdn).len(), 20);
+        assert_eq!(e.parties.len(), 105);
+    }
+
+    #[test]
+    fn domains_unique_and_host_under_domain() {
+        let e = eco();
+        let mut domains: Vec<&str> = e.parties.iter().map(|p| p.domain.as_str()).collect();
+        domains.sort_unstable();
+        domains.dedup();
+        assert_eq!(domains.len(), e.parties.len());
+        for p in &e.parties {
+            assert!(p.host.ends_with(&p.domain), "{} / {}", p.host, p.domain);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Ecosystem::generate(&SimRng::new(7));
+        let b = Ecosystem::generate(&SimRng::new(7));
+        for (x, y) in a.parties.iter().zip(&b.parties) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+
+    #[test]
+    fn pick_returns_distinct_weighted_parties() {
+        let e = eco();
+        let mut rng = SimRng::new(3);
+        let picks = e.pick(PartyKind::AdNetwork, 3, &mut rng);
+        assert_eq!(picks.len(), 3);
+        let mut d = picks.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+        for &i in &picks {
+            assert_eq!(e.party(i).kind, PartyKind::AdNetwork);
+        }
+    }
+
+    #[test]
+    fn popular_parties_picked_more_often() {
+        let e = eco();
+        let mut rng = SimRng::new(5);
+        let first_ad = e.of_kind(PartyKind::AdNetwork)[0];
+        let last_ad = *e.of_kind(PartyKind::AdNetwork).last().unwrap();
+        let (mut hits_first, mut hits_last) = (0, 0);
+        for _ in 0..2000 {
+            let picks = e.pick(PartyKind::AdNetwork, 1, &mut rng);
+            if picks[0] == first_ad {
+                hits_first += 1;
+            }
+            if picks[0] == last_ad {
+                hits_last += 1;
+            }
+        }
+        assert!(hits_first > hits_last * 3, "{hits_first} vs {hits_last}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # bfu-webgen
+//!
+//! The synthetic web: a deterministic stand-in for the Alexa 10k.
+//!
+//! The study's analyses consume which features execute on which sites under
+//! which browser configuration. This crate generates a 10,000-site web whose
+//! *per-standard usage marginals* are calibrated from the paper's published
+//! Table 2 — then everything downstream (instrumentation, blocking,
+//! analysis) measures it honestly, end to end.
+//!
+//! - [`calibrate`] — per-standard priors derived from the catalog.
+//! - [`ecosystem`] — the third-party world: ad networks, trackers,
+//!   analytics, CDNs, each with hosts and script inventories.
+//! - [`alexa`] — ranking, Zipf traffic weights, site categories.
+//! - [`site`] — per-site plans: page graphs, scripts, feature placements.
+//! - [`script_gen`] — emits mini-JS source for every planned script.
+//! - [`filters`] — generates the ABP filter list and tracker DB against the
+//!   ecosystem (with imperfect coverage, like real lists).
+//! - [`web`] — materializes everything into `bfu-net` servers.
+
+pub mod alexa;
+pub mod calibrate;
+pub mod ecosystem;
+pub mod filters;
+pub mod script_gen;
+pub mod site;
+pub mod web;
+
+pub use alexa::{AlexaRanking, SiteCategory, SiteId};
+pub use ecosystem::{Ecosystem, PartyKind, ThirdParty};
+pub use web::{SyntheticWeb, WebConfig};

@@ -1,0 +1,140 @@
+//! Abstract syntax tree for the WebIDL subset we parse.
+//!
+//! The paper's tooling only needs the JavaScript-reachable surface: interface
+//! names, operations (methods), and attributes (properties). We additionally
+//! carry constants, inheritance, extended attributes, and `partial`
+//! interfaces so the corpus can look like real Firefox WebIDL.
+
+/// A parsed `.webidl` file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdlFile {
+    /// All definitions, in source order.
+    pub interfaces: Vec<Interface>,
+}
+
+/// An `interface` (or `partial interface`) definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name, e.g. `Document`.
+    pub name: String,
+    /// Parent interface from `interface X : Y`, if any.
+    pub inherits: Option<String>,
+    /// Whether this is a `partial interface` (merged by the registry).
+    pub partial: bool,
+    /// Extended attributes, e.g. `Exposed=Window`, `NoInterfaceObject`.
+    pub ext_attrs: Vec<String>,
+    /// Members in source order.
+    pub members: Vec<Member>,
+}
+
+/// A member of an interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Member {
+    /// An operation (a callable method).
+    Operation(Operation),
+    /// An attribute (a property).
+    Attribute(Attribute),
+    /// A constant (not counted as a feature; JS-visible but not callable
+    /// behaviour).
+    Const(Const),
+}
+
+/// A WebIDL operation: `ReturnType name(args);`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Method name.
+    pub name: String,
+    /// Return type, canonicalized to a string (e.g. `sequence<DOMString>?`).
+    pub return_type: String,
+    /// Arguments.
+    pub args: Vec<Argument>,
+    /// Whether declared `static`.
+    pub is_static: bool,
+}
+
+/// A WebIDL attribute: `[readonly] attribute Type name;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Property name.
+    pub name: String,
+    /// Type, canonicalized to a string.
+    pub ty: String,
+    /// Whether declared `readonly`. The paper only counts property *writes*,
+    /// so readonly attributes are excluded from the feature registry.
+    pub readonly: bool,
+}
+
+/// A WebIDL constant: `const Type NAME = value;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Const {
+    /// Constant name.
+    pub name: String,
+    /// Type.
+    pub ty: String,
+    /// Literal value as written.
+    pub value: String,
+}
+
+/// One operation argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Argument {
+    /// Argument name.
+    pub name: String,
+    /// Type, canonicalized to a string.
+    pub ty: String,
+    /// Whether declared `optional`.
+    pub optional: bool,
+}
+
+impl Interface {
+    /// Iterate over operation members.
+    pub fn operations(&self) -> impl Iterator<Item = &Operation> {
+        self.members.iter().filter_map(|m| match m {
+            Member::Operation(op) => Some(op),
+            _ => None,
+        })
+    }
+
+    /// Iterate over attribute members.
+    pub fn attributes(&self) -> impl Iterator<Item = &Attribute> {
+        self.members.iter().filter_map(|m| match m {
+            Member::Attribute(a) => Some(a),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_iterators_filter_by_kind() {
+        let iface = Interface {
+            name: "X".into(),
+            inherits: None,
+            partial: false,
+            ext_attrs: vec![],
+            members: vec![
+                Member::Operation(Operation {
+                    name: "go".into(),
+                    return_type: "void".into(),
+                    args: vec![],
+                    is_static: false,
+                }),
+                Member::Attribute(Attribute {
+                    name: "title".into(),
+                    ty: "DOMString".into(),
+                    readonly: false,
+                }),
+                Member::Const(Const {
+                    name: "K".into(),
+                    ty: "unsigned short".into(),
+                    value: "2".into(),
+                }),
+            ],
+        };
+        assert_eq!(iface.operations().count(), 1);
+        assert_eq!(iface.attributes().count(), 1);
+    }
+}

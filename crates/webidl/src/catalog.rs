@@ -1,0 +1,1114 @@
+//! The standards catalog: every web standard the paper measured, with its
+//! published metadata.
+//!
+//! Rows marked with a nonzero `paper_sites` reproduce Table 2 of the paper
+//! verbatim (name, abbreviation, feature count, sites using the standard out
+//! of the Alexa 10k, block rate, CVE count). The paper's Table 2 only lists
+//! standards used on ≥ 1% of sites or carrying ≥ 1 CVE; the remaining 22
+//! standards (11 used on fewer than 1% of sites, 11 never observed) are
+//! reconstructed from the paper's aggregate claims (§5.2: "28 of the 75
+//! standards measured were used on 1% or fewer sites, with eleven not used at
+//! all") and Fig. 4's point labels.
+//!
+//! `ad_affinity` encodes, for calibration of Fig. 7, what share of a
+//! standard's *blocked* usage is attributable to advertising scripts (the
+//! remainder being tracking scripts): WRTC / WCR / PT2 are tracker-leaning,
+//! UIE ad-leaning, per §5.7.2.
+//!
+//! Feature counts across all 75 rows sum to exactly **1,392**, the paper's
+//! feature universe.
+
+use bfu_util::define_id;
+
+define_id!(
+    /// Index of a standard in [`CATALOG`].
+    StandardId,
+    "std"
+);
+
+/// The abbreviation used for the catch-all bucket of WebIDL endpoints found
+/// in no standards document (65 features in Firefox 46).
+pub const NON_STANDARD_ABBREV: &str = "NS";
+
+/// Kind of flagship member, used when the corpus generator pins a standard's
+/// most popular feature to a real-world name from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagshipKind {
+    /// A method, e.g. `Document.prototype.createElement`.
+    Method,
+    /// A writable property, e.g. `Document.prototype.title`.
+    Property,
+}
+
+/// Static description of one web standard.
+#[derive(Debug, Clone)]
+pub struct StandardInfo {
+    /// Abbreviation used in the paper's figures (e.g. `"AJAX"`).
+    pub abbrev: &'static str,
+    /// Full standard name as in Table 2.
+    pub name: &'static str,
+    /// Number of JavaScript-exposed features (methods + properties) the
+    /// paper instrumented for this standard.
+    pub features: u32,
+    /// Sites (of the Alexa 10k) the paper observed using ≥ 1 feature.
+    pub paper_sites: u32,
+    /// The paper's measured block rate for the standard (0-1).
+    pub paper_block_rate: f64,
+    /// CVEs associated with the standard's Firefox implementation, last 3 yrs.
+    pub cves: u32,
+    /// Year the standard's most popular feature first shipped in Firefox.
+    pub intro_year: u16,
+    /// Share of blocked usage attributable to *advertising* third parties
+    /// (vs tracking third parties), 0-1. Drives Fig. 7 calibration.
+    pub ad_affinity: f64,
+    /// Interface names the corpus generator spreads the features across.
+    pub interfaces: &'static [&'static str],
+    /// Optionally pin the most popular feature to a real name from the paper:
+    /// `(interface, member, kind)`.
+    pub flagship: Option<(&'static str, &'static str, FlagshipKind)>,
+}
+
+use FlagshipKind::{Method, Property};
+
+/// All 75 standards (74 + Non-Standard), Table 2 rows first.
+pub static CATALOG: &[StandardInfo] = &[
+    // ---- Table 2 of the paper (52 standards + Non-Standard) ----
+    StandardInfo {
+        abbrev: "H-C",
+        name: "HTML: Canvas",
+        features: 54,
+        paper_sites: 7061,
+        paper_block_rate: 0.331,
+        cves: 15,
+        intro_year: 2006,
+        ad_affinity: 0.55,
+        interfaces: &["HTMLCanvasElement", "CanvasRenderingContext2D", "CanvasGradient"],
+        flagship: Some(("HTMLCanvasElement", "getContext", Method)),
+    },
+    StandardInfo {
+        abbrev: "SVG",
+        name: "Scalable Vector Graphics 1.1 (2nd Edition)",
+        features: 138,
+        paper_sites: 1554,
+        paper_block_rate: 0.868,
+        cves: 14,
+        intro_year: 2006,
+        ad_affinity: 0.45,
+        interfaces: &[
+            "SVGElement",
+            "SVGSVGElement",
+            "SVGTextContentElement",
+            "SVGPathElement",
+            "SVGAnimationElement",
+            "SVGTransform",
+        ],
+        flagship: Some(("SVGTextContentElement", "getComputedTextLength", Method)),
+    },
+    StandardInfo {
+        abbrev: "WEBGL",
+        name: "WebGL",
+        features: 136,
+        paper_sites: 913,
+        paper_block_rate: 0.607,
+        cves: 13,
+        intro_year: 2011,
+        ad_affinity: 0.5,
+        interfaces: &[
+            "WebGLRenderingContext",
+            "WebGLShader",
+            "WebGLProgram",
+            "WebGLBuffer",
+            "WebGLTexture",
+        ],
+        flagship: Some(("WebGLRenderingContext", "getParameter", Method)),
+    },
+    StandardInfo {
+        abbrev: "H-WW",
+        name: "HTML: Web Workers",
+        features: 2,
+        paper_sites: 952,
+        paper_block_rate: 0.599,
+        cves: 11,
+        intro_year: 2009,
+        ad_affinity: 0.5,
+        interfaces: &["Worker"],
+        flagship: Some(("Worker", "postMessage", Method)),
+    },
+    StandardInfo {
+        abbrev: "HTML5",
+        name: "HTML 5",
+        features: 69,
+        paper_sites: 7077,
+        paper_block_rate: 0.262,
+        cves: 10,
+        intro_year: 2008,
+        ad_affinity: 0.55,
+        interfaces: &["HTMLMediaElement", "HTMLVideoElement", "HTMLAudioElement", "DataTransfer"],
+        flagship: Some(("HTMLMediaElement", "play", Method)),
+    },
+    StandardInfo {
+        abbrev: "WEBA",
+        name: "Web Audio API",
+        features: 52,
+        paper_sites: 157,
+        paper_block_rate: 0.811,
+        cves: 10,
+        intro_year: 2013,
+        ad_affinity: 0.35,
+        interfaces: &["AudioContext", "AudioNode", "OscillatorNode", "GainNode"],
+        flagship: Some(("AudioContext", "createOscillator", Method)),
+    },
+    StandardInfo {
+        abbrev: "WRTC",
+        name: "WebRTC 1.0",
+        features: 28,
+        paper_sites: 30,
+        paper_block_rate: 0.292,
+        cves: 8,
+        intro_year: 2013,
+        ad_affinity: 0.15,
+        interfaces: &["RTCPeerConnection", "RTCDataChannel", "RTCIceCandidate"],
+        flagship: Some(("RTCPeerConnection", "createOffer", Method)),
+    },
+    StandardInfo {
+        abbrev: "AJAX",
+        name: "XMLHttpRequest",
+        features: 13,
+        paper_sites: 7957,
+        paper_block_rate: 0.139,
+        cves: 8,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["XMLHttpRequest"],
+        flagship: Some(("XMLHttpRequest", "open", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM",
+        name: "DOM",
+        features: 36,
+        paper_sites: 9088,
+        paper_block_rate: 0.020,
+        cves: 4,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["Node", "EventTarget", "MutationObserver"],
+        flagship: Some(("Node", "appendChild", Method)),
+    },
+    StandardInfo {
+        abbrev: "IDB",
+        name: "Indexed Database API",
+        features: 48,
+        paper_sites: 302,
+        paper_block_rate: 0.563,
+        cves: 3,
+        intro_year: 2011,
+        ad_affinity: 0.35,
+        interfaces: &["IDBFactory", "IDBDatabase", "IDBObjectStore", "IDBTransaction"],
+        flagship: Some(("IDBFactory", "open", Method)),
+    },
+    StandardInfo {
+        abbrev: "BE",
+        name: "Beacon",
+        features: 1,
+        paper_sites: 2373,
+        paper_block_rate: 0.836,
+        cves: 2,
+        intro_year: 2014,
+        ad_affinity: 0.5,
+        interfaces: &["Navigator"],
+        flagship: Some(("Navigator", "sendBeacon", Method)),
+    },
+    StandardInfo {
+        abbrev: "MCS",
+        name: "Media Capture and Streams",
+        features: 4,
+        paper_sites: 54,
+        paper_block_rate: 0.490,
+        cves: 2,
+        intro_year: 2013,
+        ad_affinity: 0.4,
+        interfaces: &["MediaDevices", "MediaStream"],
+        flagship: Some(("MediaDevices", "getUserMedia", Method)),
+    },
+    StandardInfo {
+        abbrev: "WCR",
+        name: "Web Cryptography API",
+        features: 14,
+        paper_sites: 7113,
+        paper_block_rate: 0.678,
+        cves: 2,
+        intro_year: 2014,
+        ad_affinity: 0.2,
+        interfaces: &["Crypto", "SubtleCrypto"],
+        flagship: Some(("Crypto", "getRandomValues", Method)),
+    },
+    StandardInfo {
+        abbrev: "CSS-VM",
+        name: "CSSOM View Module",
+        features: 28,
+        paper_sites: 4833,
+        paper_block_rate: 0.190,
+        cves: 1,
+        intro_year: 2009,
+        ad_affinity: 0.55,
+        interfaces: &["Window", "Element", "Screen"],
+        flagship: Some(("Element", "getBoundingClientRect", Method)),
+    },
+    StandardInfo {
+        abbrev: "F",
+        name: "Fetch",
+        features: 21,
+        paper_sites: 77,
+        paper_block_rate: 0.333,
+        cves: 1,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["Request", "Response", "Headers"],
+        flagship: Some(("Window", "fetch", Method)),
+    },
+    StandardInfo {
+        abbrev: "GP",
+        name: "Gamepad",
+        features: 1,
+        paper_sites: 3,
+        paper_block_rate: 0.0,
+        cves: 1,
+        intro_year: 2014,
+        ad_affinity: 0.5,
+        interfaces: &["Navigator"],
+        flagship: Some(("Navigator", "getGamepads", Method)),
+    },
+    StandardInfo {
+        abbrev: "HRT",
+        name: "High Resolution Time, Level 2",
+        features: 1,
+        paper_sites: 5769,
+        paper_block_rate: 0.502,
+        cves: 1,
+        intro_year: 2015,
+        ad_affinity: 0.4,
+        interfaces: &["Performance"],
+        flagship: Some(("Performance", "now", Method)),
+    },
+    StandardInfo {
+        abbrev: "H-SOCK",
+        name: "HTML: Web Sockets",
+        features: 2,
+        paper_sites: 544,
+        paper_block_rate: 0.646,
+        cves: 1,
+        intro_year: 2010,
+        ad_affinity: 0.45,
+        interfaces: &["WebSocket"],
+        flagship: Some(("WebSocket", "send", Method)),
+    },
+    StandardInfo {
+        abbrev: "H-P",
+        name: "HTML: Plugins",
+        features: 10,
+        paper_sites: 129,
+        paper_block_rate: 0.293,
+        cves: 1,
+        intro_year: 2005,
+        ad_affinity: 0.5,
+        interfaces: &["PluginArray", "Plugin", "MimeTypeArray"],
+        flagship: Some(("PluginArray", "refresh", Method)),
+    },
+    StandardInfo {
+        abbrev: "WN",
+        name: "Web Notifications",
+        features: 5,
+        paper_sites: 16,
+        paper_block_rate: 0.0,
+        cves: 1,
+        intro_year: 2013,
+        ad_affinity: 0.5,
+        interfaces: &["Notification"],
+        flagship: Some(("Notification", "requestPermission", Method)),
+    },
+    StandardInfo {
+        abbrev: "RT",
+        name: "Resource Timing",
+        features: 3,
+        paper_sites: 786,
+        paper_block_rate: 0.575,
+        cves: 1,
+        intro_year: 2014,
+        ad_affinity: 0.4,
+        interfaces: &["Performance"],
+        flagship: Some(("Performance", "getEntriesByType", Method)),
+    },
+    StandardInfo {
+        abbrev: "V",
+        name: "Vibration API",
+        features: 1,
+        paper_sites: 1,
+        paper_block_rate: 0.0,
+        cves: 1,
+        intro_year: 2013,
+        ad_affinity: 0.5,
+        interfaces: &["Navigator"],
+        flagship: Some(("Navigator", "vibrate", Method)),
+    },
+    StandardInfo {
+        abbrev: "BA",
+        name: "Battery Status API",
+        features: 2,
+        paper_sites: 2579,
+        paper_block_rate: 0.373,
+        cves: 0,
+        intro_year: 2012,
+        ad_affinity: 0.35,
+        interfaces: &["Navigator", "BatteryManager"],
+        flagship: Some(("Navigator", "getBattery", Method)),
+    },
+    StandardInfo {
+        abbrev: "CSS-CR",
+        name: "CSS Conditional Rules Module, Level 3",
+        features: 1,
+        paper_sites: 449,
+        paper_block_rate: 0.365,
+        cves: 0,
+        intro_year: 2013,
+        ad_affinity: 0.55,
+        interfaces: &["CSS"],
+        flagship: Some(("CSS", "supports", Method)),
+    },
+    StandardInfo {
+        abbrev: "CSS-FO",
+        name: "CSS Font Loading Module, Level 3",
+        features: 12,
+        paper_sites: 2560,
+        paper_block_rate: 0.335,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.5,
+        interfaces: &["FontFace", "FontFaceSet"],
+        flagship: Some(("FontFaceSet", "load", Method)),
+    },
+    StandardInfo {
+        abbrev: "CSS-OM",
+        name: "CSS Object Model (CSSOM)",
+        features: 15,
+        paper_sites: 8193,
+        paper_block_rate: 0.126,
+        cves: 0,
+        intro_year: 2006,
+        ad_affinity: 0.55,
+        interfaces: &["CSSStyleSheet", "CSSStyleDeclaration", "CSSRule"],
+        flagship: Some(("CSSStyleDeclaration", "setProperty", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM1",
+        name: "DOM, Level 1 - Specification",
+        features: 47,
+        paper_sites: 9139,
+        paper_block_rate: 0.018,
+        cves: 0,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["Document", "Element", "Attr", "CharacterData"],
+        flagship: Some(("Document", "createElement", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM2-C",
+        name: "DOM, Level 2 - Core Specification",
+        features: 31,
+        paper_sites: 8951,
+        paper_block_rate: 0.030,
+        cves: 0,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["Document", "Node", "DOMImplementation"],
+        flagship: Some(("Document", "importNode", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM2-E",
+        name: "DOM, Level 2 - Events Specification",
+        features: 7,
+        paper_sites: 9077,
+        paper_block_rate: 0.027,
+        cves: 0,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["EventTarget", "Event"],
+        flagship: Some(("EventTarget", "addEventListener", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM2-H",
+        name: "DOM, Level 2 - HTML Specification",
+        features: 11,
+        paper_sites: 9003,
+        paper_block_rate: 0.045,
+        cves: 0,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["HTMLElement", "HTMLCollection"],
+        flagship: Some(("HTMLElement", "innerHTML", Property)),
+    },
+    StandardInfo {
+        abbrev: "DOM2-S",
+        name: "DOM, Level 2 - Style Specification",
+        features: 19,
+        paper_sites: 8835,
+        paper_block_rate: 0.043,
+        cves: 0,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["HTMLElement", "CSSStyleDeclaration"],
+        flagship: Some(("HTMLElement", "style", Property)),
+    },
+    StandardInfo {
+        abbrev: "DOM2-T",
+        name: "DOM, Level 2 - Traversal and Range Specification",
+        features: 36,
+        paper_sites: 4590,
+        paper_block_rate: 0.334,
+        cves: 0,
+        intro_year: 2006,
+        ad_affinity: 0.55,
+        interfaces: &["Range", "NodeIterator", "TreeWalker"],
+        flagship: Some(("Document", "createRange", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM3-C",
+        name: "DOM, Level 3 - Core Specification",
+        features: 10,
+        paper_sites: 8495,
+        paper_block_rate: 0.039,
+        cves: 0,
+        intro_year: 2005,
+        ad_affinity: 0.55,
+        interfaces: &["Node", "Document"],
+        flagship: Some(("Node", "textContent", Property)),
+    },
+    StandardInfo {
+        abbrev: "DOM3-X",
+        name: "DOM, Level 3 - XPath Specification",
+        features: 9,
+        paper_sites: 381,
+        paper_block_rate: 0.791,
+        cves: 0,
+        intro_year: 2005,
+        ad_affinity: 0.5,
+        interfaces: &["XPathEvaluator", "XPathResult"],
+        flagship: Some(("Document", "evaluate", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM-PS",
+        name: "DOM Parsing and Serialization",
+        features: 3,
+        paper_sites: 2922,
+        paper_block_rate: 0.607,
+        cves: 0,
+        intro_year: 2013,
+        ad_affinity: 0.5,
+        interfaces: &["DOMParser", "XMLSerializer"],
+        flagship: Some(("DOMParser", "parseFromString", Method)),
+    },
+    StandardInfo {
+        abbrev: "EC",
+        name: "execCommand",
+        features: 12,
+        paper_sites: 2730,
+        paper_block_rate: 0.240,
+        cves: 0,
+        intro_year: 2006,
+        ad_affinity: 0.55,
+        interfaces: &["Document"],
+        flagship: Some(("Document", "execCommand", Method)),
+    },
+    StandardInfo {
+        abbrev: "FA",
+        name: "File API",
+        features: 9,
+        paper_sites: 1991,
+        paper_block_rate: 0.580,
+        cves: 0,
+        intro_year: 2010,
+        ad_affinity: 0.45,
+        interfaces: &["FileReader", "Blob", "File"],
+        flagship: Some(("FileReader", "readAsDataURL", Method)),
+    },
+    StandardInfo {
+        abbrev: "FULL",
+        name: "Fullscreen API",
+        features: 9,
+        paper_sites: 383,
+        paper_block_rate: 0.799,
+        cves: 0,
+        intro_year: 2012,
+        ad_affinity: 0.6,
+        interfaces: &["Element", "Document"],
+        flagship: Some(("Element", "requestFullscreen", Method)),
+    },
+    StandardInfo {
+        abbrev: "GEO",
+        name: "Geolocation API",
+        features: 4,
+        paper_sites: 174,
+        paper_block_rate: 0.131,
+        cves: 0,
+        intro_year: 2009,
+        ad_affinity: 0.45,
+        interfaces: &["Geolocation"],
+        flagship: Some(("Geolocation", "getCurrentPosition", Method)),
+    },
+    StandardInfo {
+        abbrev: "H-CM",
+        name: "HTML: Channel Messaging",
+        features: 4,
+        paper_sites: 5018,
+        paper_block_rate: 0.774,
+        cves: 0,
+        intro_year: 2011,
+        ad_affinity: 0.6,
+        interfaces: &["MessageChannel", "MessagePort", "Window"],
+        flagship: Some(("Window", "postMessage", Method)),
+    },
+    StandardInfo {
+        abbrev: "H-WS",
+        name: "HTML: Web Storage",
+        features: 8,
+        paper_sites: 7875,
+        paper_block_rate: 0.292,
+        cves: 0,
+        intro_year: 2009,
+        ad_affinity: 0.5,
+        interfaces: &["Storage"],
+        flagship: Some(("Storage", "setItem", Method)),
+    },
+    StandardInfo {
+        abbrev: "HTML",
+        name: "HTML",
+        features: 195,
+        paper_sites: 8980,
+        paper_block_rate: 0.043,
+        cves: 0,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &[
+            "HTMLDocument",
+            "HTMLFormElement",
+            "HTMLInputElement",
+            "HTMLAnchorElement",
+            "HTMLImageElement",
+            "HTMLIFrameElement",
+            "HTMLSelectElement",
+            "HTMLScriptElement",
+        ],
+        flagship: Some(("HTMLFormElement", "submit", Method)),
+    },
+    StandardInfo {
+        abbrev: "H-HI",
+        name: "HTML: History Interface",
+        features: 6,
+        paper_sites: 1729,
+        paper_block_rate: 0.187,
+        cves: 0,
+        intro_year: 2011,
+        ad_affinity: 0.55,
+        interfaces: &["History"],
+        flagship: Some(("History", "pushState", Method)),
+    },
+    StandardInfo {
+        abbrev: "MSE",
+        name: "Media Source Extensions",
+        features: 8,
+        paper_sites: 1616,
+        paper_block_rate: 0.375,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["MediaSource", "SourceBuffer"],
+        flagship: Some(("MediaSource", "addSourceBuffer", Method)),
+    },
+    StandardInfo {
+        abbrev: "PT",
+        name: "Performance Timeline",
+        features: 2,
+        paper_sites: 4690,
+        paper_block_rate: 0.758,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.4,
+        interfaces: &["Performance"],
+        flagship: Some(("Performance", "getEntries", Method)),
+    },
+    StandardInfo {
+        abbrev: "PT2",
+        name: "Performance Timeline, Level 2",
+        features: 1,
+        paper_sites: 1728,
+        paper_block_rate: 0.937,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["PerformanceObserver"],
+        flagship: Some(("PerformanceObserver", "observe", Method)),
+    },
+    StandardInfo {
+        abbrev: "SEL",
+        name: "Selection API",
+        features: 14,
+        paper_sites: 2575,
+        paper_block_rate: 0.366,
+        cves: 0,
+        intro_year: 2009,
+        ad_affinity: 0.55,
+        interfaces: &["Selection"],
+        flagship: Some(("Window", "getSelection", Method)),
+    },
+    StandardInfo {
+        abbrev: "SLC",
+        name: "Selectors API, Level 1",
+        features: 6,
+        paper_sites: 8674,
+        paper_block_rate: 0.077,
+        cves: 0,
+        intro_year: 2013,
+        ad_affinity: 0.55,
+        interfaces: &["Document", "Element"],
+        flagship: Some(("Document", "querySelectorAll", Method)),
+    },
+    StandardInfo {
+        abbrev: "TC",
+        name: "Timing control for script-based animations",
+        features: 1,
+        paper_sites: 3568,
+        paper_block_rate: 0.769,
+        cves: 0,
+        intro_year: 2012,
+        ad_affinity: 0.6,
+        interfaces: &["Window"],
+        flagship: Some(("Window", "requestAnimationFrame", Method)),
+    },
+    StandardInfo {
+        abbrev: "UIE",
+        name: "UI Events Specification",
+        features: 8,
+        paper_sites: 1137,
+        paper_block_rate: 0.568,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.8,
+        interfaces: &["UIEvent", "MouseEvent", "KeyboardEvent"],
+        flagship: Some(("MouseEvent", "initMouseEvent", Method)),
+    },
+    StandardInfo {
+        abbrev: "UTL",
+        name: "User Timing, Level 2",
+        features: 4,
+        paper_sites: 3325,
+        paper_block_rate: 0.337,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.45,
+        interfaces: &["Performance"],
+        flagship: Some(("Performance", "mark", Method)),
+    },
+    StandardInfo {
+        abbrev: "DOM4",
+        name: "DOM4",
+        features: 3,
+        paper_sites: 5747,
+        paper_block_rate: 0.376,
+        cves: 0,
+        intro_year: 2012,
+        ad_affinity: 0.55,
+        interfaces: &["Element", "ParentNode"],
+        flagship: Some(("Element", "remove", Method)),
+    },
+    StandardInfo {
+        abbrev: "NS",
+        name: "Non-Standard",
+        features: 65,
+        paper_sites: 8669,
+        paper_block_rate: 0.245,
+        cves: 0,
+        intro_year: 2004,
+        ad_affinity: 0.55,
+        interfaces: &["Window", "Navigator", "Document", "InstallTrigger"],
+        flagship: Some(("Window", "dump", Method)),
+    },
+    // ---- Standards below 1% with no CVEs (reconstructed; see module docs) ----
+    StandardInfo {
+        abbrev: "ALS",
+        name: "Ambient Light Events",
+        features: 2,
+        paper_sites: 14,
+        paper_block_rate: 1.0,
+        cves: 0,
+        intro_year: 2013,
+        ad_affinity: 0.4,
+        interfaces: &["DeviceLightEvent"],
+        flagship: Some(("DeviceLightEvent", "initDeviceLightEvent", Method)),
+    },
+    StandardInfo {
+        abbrev: "CO",
+        name: "Console API",
+        features: 14,
+        paper_sites: 88,
+        paper_block_rate: 0.22,
+        cves: 0,
+        intro_year: 2010,
+        ad_affinity: 0.55,
+        interfaces: &["Console"],
+        flagship: Some(("Console", "log", Method)),
+    },
+    StandardInfo {
+        abbrev: "DO",
+        name: "DeviceOrientation Event Specification",
+        features: 6,
+        paper_sites: 20,
+        paper_block_rate: 0.52,
+        cves: 0,
+        intro_year: 2012,
+        ad_affinity: 0.4,
+        interfaces: &["DeviceOrientationEvent", "DeviceMotionEvent"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "E",
+        name: "Encoding",
+        features: 5,
+        paper_sites: 1,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.5,
+        interfaces: &["TextEncoder", "TextDecoder"],
+        flagship: Some(("TextDecoder", "decode", Method)),
+    },
+    StandardInfo {
+        abbrev: "EME",
+        name: "Encrypted Media Extensions",
+        features: 18,
+        paper_sites: 35,
+        paper_block_rate: 0.31,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.4,
+        interfaces: &["MediaKeys", "MediaKeySession", "MediaKeySystemAccess"],
+        flagship: Some(("Navigator", "requestMediaKeySystemAccess", Method)),
+    },
+    StandardInfo {
+        abbrev: "NT",
+        name: "Navigation Timing, Level 2",
+        features: 3,
+        paper_sites: 90,
+        paper_block_rate: 0.55,
+        cves: 0,
+        intro_year: 2012,
+        ad_affinity: 0.4,
+        interfaces: &["PerformanceNavigationTiming"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "PE",
+        name: "Pointer Events",
+        features: 14,
+        paper_sites: 70,
+        paper_block_rate: 0.30,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.6,
+        interfaces: &["PointerEvent", "Element"],
+        flagship: Some(("Element", "setPointerCapture", Method)),
+    },
+    StandardInfo {
+        abbrev: "SO",
+        name: "Screen Orientation",
+        features: 5,
+        paper_sites: 38,
+        paper_block_rate: 0.25,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.45,
+        interfaces: &["ScreenOrientation"],
+        flagship: Some(("ScreenOrientation", "lock", Method)),
+    },
+    StandardInfo {
+        abbrev: "SW",
+        name: "Service Workers",
+        features: 20,
+        paper_sites: 40,
+        paper_block_rate: 0.42,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.45,
+        interfaces: &["ServiceWorkerContainer", "ServiceWorkerRegistration", "Cache"],
+        flagship: Some(("ServiceWorkerContainer", "register", Method)),
+    },
+    StandardInfo {
+        abbrev: "TPE",
+        name: "Touch Events",
+        features: 8,
+        paper_sites: 85,
+        paper_block_rate: 0.33,
+        cves: 0,
+        intro_year: 2013,
+        ad_affinity: 0.6,
+        interfaces: &["Touch", "TouchEvent", "TouchList"],
+        flagship: Some(("Document", "createTouch", Method)),
+    },
+    StandardInfo {
+        abbrev: "URL",
+        name: "URL",
+        features: 4,
+        paper_sites: 60,
+        paper_block_rate: 0.35,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.5,
+        interfaces: &["URL"],
+        flagship: Some(("URL", "createObjectURL", Method)),
+    },
+    // ---- Standards never observed in the Alexa 10k (11 of them, §5.2) ----
+    StandardInfo {
+        abbrev: "DU",
+        name: "Device Storage API",
+        features: 6,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2013,
+        ad_affinity: 0.5,
+        interfaces: &["DeviceStorage"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "GIM",
+        name: "HTML: Image Maps",
+        features: 3,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2006,
+        ad_affinity: 0.5,
+        interfaces: &["HTMLMapElement", "HTMLAreaElement"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "H-B",
+        name: "HTML: Broadcasting (BroadcastChannel)",
+        features: 4,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["BroadcastChannel"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "HTML51",
+        name: "HTML 5.1",
+        features: 12,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["HTMLDialogElement", "HTMLPictureElement"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "MCD",
+        name: "Media Capture Depth Stream Extensions",
+        features: 4,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["DepthStreamTrack"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "MSR",
+        name: "MediaStream Recording",
+        features: 10,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.5,
+        interfaces: &["MediaRecorder"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "PL",
+        name: "Pointer Lock",
+        features: 6,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2012,
+        ad_affinity: 0.5,
+        interfaces: &["Element", "Document"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "PV",
+        name: "Page Visibility, Level 2",
+        features: 2,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2013,
+        ad_affinity: 0.5,
+        interfaces: &["Document"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "SD",
+        name: "Web Speech API: Synthesis",
+        features: 8,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["SpeechSynthesis", "SpeechSynthesisUtterance"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "WEBVTT",
+        name: "WebVTT: The Web Video Text Tracks Format",
+        features: 6,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2014,
+        ad_affinity: 0.5,
+        interfaces: &["VTTCue", "VTTRegion"],
+        flagship: None,
+    },
+    StandardInfo {
+        abbrev: "H-WB",
+        name: "HTML: Web Background Sync (draft)",
+        features: 3,
+        paper_sites: 0,
+        paper_block_rate: 0.0,
+        cves: 0,
+        intro_year: 2015,
+        ad_affinity: 0.5,
+        interfaces: &["SyncManager"],
+        flagship: None,
+    },
+];
+
+/// Total number of standards (including Non-Standard). The paper's 75.
+pub fn standard_count() -> usize {
+    CATALOG.len()
+}
+
+/// Total number of features across all standards. The paper's 1,392.
+pub fn feature_count() -> u32 {
+    CATALOG.iter().map(|s| s.features).sum()
+}
+
+/// Look up a standard by its abbreviation.
+pub fn by_abbrev(abbrev: &str) -> Option<(StandardId, &'static StandardInfo)> {
+    CATALOG
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.abbrev == abbrev)
+        .map(|(i, s)| (StandardId::from_usize(i), s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seventy_five_standards() {
+        assert_eq!(standard_count(), 75);
+    }
+
+    #[test]
+    fn features_sum_to_1392() {
+        assert_eq!(feature_count(), 1392);
+    }
+
+    #[test]
+    fn abbreviations_unique() {
+        let set: HashSet<_> = CATALOG.iter().map(|s| s.abbrev).collect();
+        assert_eq!(set.len(), CATALOG.len());
+    }
+
+    #[test]
+    fn eleven_standards_never_used() {
+        let unused = CATALOG.iter().filter(|s| s.paper_sites == 0).count();
+        assert_eq!(unused, 11, "paper §5.2: eleven standards not used at all");
+    }
+
+    #[test]
+    fn twenty_eight_standards_at_or_below_one_percent() {
+        // 1% of the Alexa 10k = 100 sites.
+        let rare = CATALOG.iter().filter(|s| s.paper_sites <= 100).count();
+        assert_eq!(rare, 28, "paper §5.2: 28 of 75 used on 1% or fewer sites");
+    }
+
+    #[test]
+    fn six_standards_above_ninety_percent() {
+        // "over 90% of all websites measured": the paper's six are the DOM
+        // core specs + HTML; the implied cutoff sits between DOM2-C (8,951)
+        // and DOM2-S (8,835).
+        let hot = CATALOG.iter().filter(|s| s.paper_sites >= 8900).count();
+        assert_eq!(hot, 6, "paper §5.2: six standards on over 90% of sites");
+    }
+
+    #[test]
+    fn block_rates_in_unit_interval() {
+        for s in CATALOG {
+            assert!(
+                (0.0..=1.0).contains(&s.paper_block_rate),
+                "{}: block rate {}",
+                s.abbrev,
+                s.paper_block_rate
+            );
+            assert!((0.0..=1.0).contains(&s.ad_affinity), "{}", s.abbrev);
+        }
+    }
+
+    #[test]
+    fn flagships_reference_listed_or_singleton_interfaces() {
+        // A flagship interface must either be in the standard's own interface
+        // list or be one of the global singletons that many standards extend.
+        let singletons = ["Window", "Navigator", "Document", "Performance"];
+        for s in CATALOG {
+            if let Some((iface, _, _)) = s.flagship {
+                assert!(
+                    s.interfaces.contains(&iface) || singletons.contains(&iface),
+                    "{}: flagship interface {iface} not declared",
+                    s.abbrev
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_abbrev_finds_table_rows() {
+        let (_, svg) = by_abbrev("SVG").expect("SVG present");
+        assert_eq!(svg.paper_sites, 1554);
+        assert_eq!(svg.features, 138);
+        assert!(by_abbrev("NOPE").is_none());
+    }
+
+    #[test]
+    fn intro_years_sane() {
+        for s in CATALOG {
+            assert!((2004..=2016).contains(&s.intro_year), "{}", s.abbrev);
+        }
+    }
+
+    #[test]
+    fn cve_totals_match_paper_examples() {
+        assert_eq!(by_abbrev("WEBA").unwrap().1.cves, 10, "Web Audio: 10 CVEs");
+        assert_eq!(by_abbrev("WRTC").unwrap().1.cves, 8, "WebRTC: 8 CVEs");
+        assert_eq!(by_abbrev("SVG").unwrap().1.cves, 14, "SVG: 14 CVEs");
+    }
+}

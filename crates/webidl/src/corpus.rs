@@ -1,0 +1,385 @@
+//! Deterministic WebIDL corpus generator.
+//!
+//! The paper extracted its 1,392 features from the 757 WebIDL files in the
+//! Firefox 46.0.1 source tree. That corpus is Firefox's; we stand in for it
+//! with a generated corpus of one `.webidl` file per standard whose member
+//! counts match the catalog exactly. Flagship features (the per-standard
+//! most-popular features the paper names, e.g.
+//! `Document.prototype.createElement`) are pinned to their real names; the
+//! rest get plausible generated names.
+//!
+//! Generation is fully deterministic: the same catalog always yields the
+//! same corpus, so feature ids are stable across runs and machines.
+
+use crate::catalog::{FlagshipKind, StandardInfo, CATALOG};
+use bfu_util::SimRng;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// One generated file of the corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusFile {
+    /// Standard abbreviation this file belongs to.
+    pub abbrev: &'static str,
+    /// Suggested file name, e.g. `dom_level_1.webidl`.
+    pub file_name: String,
+    /// WebIDL source text.
+    pub source: String,
+}
+
+const VERBS: &[&str] = &[
+    "get", "set", "create", "update", "remove", "query", "observe", "request", "cancel", "init",
+    "dispatch", "register", "resolve", "compute", "enumerate", "clone", "normalize", "measure",
+    "encode", "decode", "begin", "end", "suspend", "resume", "attach", "detach", "sync", "report",
+    "lookup", "merge", "split", "apply", "restore", "capture", "release", "validate",
+];
+
+const NOUNS: &[&str] = &[
+    "State", "Value", "Buffer", "Node", "Frame", "Context", "Channel", "Stream", "Key", "Entry",
+    "Range", "Rect", "Timing", "Metric", "Token", "Handle", "Layer", "Shape", "Path", "Source",
+    "Target", "Filter", "Sample", "Track", "Region", "Segment", "Profile", "Quota", "Status",
+    "Info", "Descriptor", "Snapshot", "Anchor", "Gradient", "Matrix", "Vector", "Cursor",
+];
+
+const PROP_ADJECTIVES: &[&str] = &[
+    "current", "default", "pending", "active", "max", "min", "total", "last", "next", "initial",
+    "preferred", "effective", "raw", "cached", "visible",
+];
+
+const ARG_TYPES: &[&str] = &[
+    "DOMString",
+    "long",
+    "unsigned long",
+    "double",
+    "boolean",
+    "object",
+    "Node",
+    "Element",
+];
+
+const RETURN_TYPES: &[&str] = &[
+    "void",
+    "DOMString",
+    "long",
+    "boolean",
+    "double",
+    "object",
+    "Element",
+    "Promise<void>",
+    "sequence<DOMString>",
+];
+
+const PROP_TYPES: &[&str] = &["DOMString", "long", "unsigned long", "double", "boolean", "object"];
+
+/// Global singleton interfaces that many standards extend via
+/// `partial interface` (matching how real WebIDL spreads `Navigator` and
+/// `Window` members across specs).
+pub const SINGLETON_INTERFACES: &[&str] = &["Window", "Navigator", "Document", "Performance"];
+
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() && i > 0 {
+            out.push('_');
+        }
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Generate the full corpus: one file per catalog standard, with exactly
+/// `StandardInfo::features` operation/writable-attribute members per file,
+/// and globally unique `(interface, member)` pairs.
+pub fn generate() -> Vec<CorpusFile> {
+    let rng = SimRng::new(CORPUS_SEED);
+    let mut taken: HashSet<(String, String)> = HashSet::new();
+    CATALOG
+        .iter()
+        .map(|std| generate_file(std, &rng.fork(std.abbrev), &mut taken))
+        .collect()
+}
+
+/// Fixed seed for corpus generation; arbitrary but must never change, or
+/// feature ids would shift between releases.
+const CORPUS_SEED: u64 = 0x0001_D1C0_8085;
+
+/// Additional real-world member names pinned into the corpus beyond each
+/// standard's flagship: `(standard abbrev, interface, member, kind)`.
+///
+/// These are APIs the paper names, or that realistic page scripts need
+/// (`querySelector`, `cloneNode`, `insertBefore`, ...). Pinned members take
+/// the ranks immediately after the flagship and count toward the standard's
+/// feature budget like any other member.
+const EXTRA_PINNED: &[(&str, &str, &str, FlagshipKind)] = &[
+    ("DOM", "Node", "cloneNode", FlagshipKind::Method),
+    ("DOM", "EventTarget", "removeEventListener", FlagshipKind::Method),
+    ("DOM1", "Node", "insertBefore", FlagshipKind::Method),
+    ("DOM1", "Document", "createTextNode", FlagshipKind::Method),
+    ("DOM1", "Element", "setAttribute", FlagshipKind::Method),
+    ("DOM1", "Element", "getAttribute", FlagshipKind::Method),
+    ("SLC", "Document", "querySelector", FlagshipKind::Method),
+    ("DOM2-E", "EventTarget", "dispatchEvent", FlagshipKind::Method),
+    ("AJAX", "XMLHttpRequest", "send", FlagshipKind::Method),
+    ("H-WS", "Storage", "getItem", FlagshipKind::Method),
+    ("HTML", "HTMLElement", "focus", FlagshipKind::Method),
+    ("HTML", "HTMLElement", "blur", FlagshipKind::Method),
+    ("DOM4", "Element", "closest", FlagshipKind::Method),
+];
+
+fn generate_file(
+    std: &'static StandardInfo,
+    rng: &SimRng,
+    taken: &mut HashSet<(String, String)>,
+) -> CorpusFile {
+    let mut rng = rng.clone();
+    let mut src = String::new();
+    let _ = writeln!(src, "// Standard: {} ({})", std.name, std.abbrev);
+    let _ = writeln!(src, "// Generated corpus file; member counts match the catalog.");
+    let _ = writeln!(src);
+
+    // Plan: which interface hosts each of the `features` members.
+    // The flagship goes first on its interface; remaining members round-robin
+    // across the standard's interfaces.
+    let mut per_iface: Vec<(String, Vec<MemberPlan>)> = Vec::new();
+    let find_or_insert = |per_iface: &mut Vec<(String, Vec<MemberPlan>)>, name: &str| {
+        if let Some(i) = per_iface.iter().position(|(n, _)| n == name) {
+            i
+        } else {
+            per_iface.push((name.to_owned(), Vec::new()));
+            per_iface.len() - 1
+        }
+    };
+
+    let mut remaining = std.features as usize;
+    let mut pin = |per_iface: &mut Vec<(String, Vec<MemberPlan>)>,
+                   remaining: &mut usize,
+                   iface: &str,
+                   member: &str,
+                   kind: FlagshipKind| {
+        if *remaining == 0 {
+            return;
+        }
+        let i = find_or_insert(per_iface, iface);
+        per_iface[i].1.push(MemberPlan {
+            name: member.to_owned(),
+            kind,
+        });
+        taken.insert((iface.to_owned(), member.to_owned()));
+        *remaining -= 1;
+    };
+    if let Some((iface, member, kind)) = std.flagship {
+        pin(&mut per_iface, &mut remaining, iface, member, kind);
+    }
+    for &(abbrev, iface, member, kind) in EXTRA_PINNED {
+        if abbrev == std.abbrev {
+            pin(&mut per_iface, &mut remaining, iface, member, kind);
+        }
+    }
+
+    let ifaces: Vec<&str> = std.interfaces.to_vec();
+    let mut slot = 0usize;
+    while remaining > 0 {
+        let iface = ifaces[slot % ifaces.len()];
+        slot += 1;
+        let kind = if rng.chance(0.62) {
+            FlagshipKind::Method
+        } else {
+            FlagshipKind::Property
+        };
+        let name = fresh_member_name(&mut rng, iface, kind, taken);
+        let i = find_or_insert(&mut per_iface, iface);
+        per_iface[i].1.push(MemberPlan { name, kind });
+        remaining -= 1;
+    }
+
+    // Emit. Singletons become `partial interface` (they are defined by many
+    // standards); a standard's own interfaces get full definitions, the first
+    // of which carries an Exposed extended attribute like real Firefox IDL.
+    for (iface, members) in &per_iface {
+        let is_singleton = SINGLETON_INTERFACES.contains(&iface.as_str());
+        if is_singleton {
+            let _ = writeln!(src, "partial interface {iface} {{");
+        } else {
+            let _ = writeln!(src, "[Exposed=Window]");
+            let _ = writeln!(src, "interface {iface} {{");
+        }
+        for m in members {
+            match m.kind {
+                FlagshipKind::Method => {
+                    let ret = RETURN_TYPES[rng.below_usize(RETURN_TYPES.len())];
+                    let n_args = rng.below_usize(3);
+                    let args: Vec<String> = (0..n_args)
+                        .map(|k| {
+                            let ty = ARG_TYPES[rng.below_usize(ARG_TYPES.len())];
+                            let opt = if k == n_args - 1 && rng.chance(0.3) {
+                                "optional "
+                            } else {
+                                ""
+                            };
+                            format!("{opt}{ty} arg{k}")
+                        })
+                        .collect();
+                    let _ = writeln!(src, "  {ret} {}({});", m.name, args.join(", "));
+                }
+                FlagshipKind::Property => {
+                    let ty = PROP_TYPES[rng.below_usize(PROP_TYPES.len())];
+                    let _ = writeln!(src, "  attribute {ty} {};", m.name);
+                }
+            }
+        }
+        // Sprinkle a readonly attribute and a const in some interfaces so the
+        // registry's "only count callable/writable members" rule is exercised
+        // by the real corpus, not just unit tests.
+        if rng.chance(0.4) {
+            let _ = writeln!(src, "  readonly attribute DOMString interfaceName;");
+        }
+        if rng.chance(0.25) {
+            let _ = writeln!(src, "  const unsigned short VERSION = 1;");
+        }
+        let _ = writeln!(src, "}};");
+        let _ = writeln!(src);
+    }
+
+    CorpusFile {
+        abbrev: std.abbrev,
+        file_name: format!("{}.webidl", snake(std.name)),
+        source: src,
+    }
+}
+
+#[derive(Debug)]
+struct MemberPlan {
+    name: String,
+    kind: FlagshipKind,
+}
+
+fn fresh_member_name(
+    rng: &mut SimRng,
+    iface: &str,
+    kind: FlagshipKind,
+    taken: &mut HashSet<(String, String)>,
+) -> String {
+    for attempt in 0u32.. {
+        let base = match kind {
+            FlagshipKind::Method => {
+                let v = VERBS[rng.below_usize(VERBS.len())];
+                let n = NOUNS[rng.below_usize(NOUNS.len())];
+                format!("{v}{n}")
+            }
+            FlagshipKind::Property => {
+                let a = PROP_ADJECTIVES[rng.below_usize(PROP_ADJECTIVES.len())];
+                let n = NOUNS[rng.below_usize(NOUNS.len())];
+                format!("{a}{n}")
+            }
+        };
+        let name = if attempt < 3 {
+            base
+        } else {
+            format!("{base}{}", attempt - 2)
+        };
+        let key = (iface.to_owned(), name.clone());
+        if !taken.contains(&key) {
+            taken.insert(key);
+            return name;
+        }
+    }
+    unreachable!("name space exhausted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn corpus_has_one_file_per_standard() {
+        let corpus = generate();
+        assert_eq!(corpus.len(), CATALOG.len());
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = generate();
+        let b = generate();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn every_file_parses() {
+        for f in generate() {
+            parse(&f.source).unwrap_or_else(|e| panic!("{}: {e}", f.file_name));
+        }
+    }
+
+    #[test]
+    fn member_counts_match_catalog() {
+        for (f, std) in generate().iter().zip(CATALOG.iter()) {
+            let idl = parse(&f.source).unwrap();
+            let count: usize = idl
+                .interfaces
+                .iter()
+                .map(|i| {
+                    i.operations().count()
+                        + i.attributes().filter(|a| !a.readonly).count()
+                })
+                .sum();
+            assert_eq!(
+                count as u32, std.features,
+                "{}: corpus members != catalog features",
+                std.abbrev
+            );
+        }
+    }
+
+    #[test]
+    fn flagships_appear_verbatim() {
+        let corpus = generate();
+        let dom1 = corpus.iter().find(|f| f.abbrev == "DOM1").unwrap();
+        assert!(dom1.source.contains("createElement"));
+        let v = corpus.iter().find(|f| f.abbrev == "V").unwrap();
+        assert!(v.source.contains("vibrate"));
+        let svg = corpus.iter().find(|f| f.abbrev == "SVG").unwrap();
+        assert!(svg.source.contains("getComputedTextLength"));
+    }
+
+    #[test]
+    fn no_duplicate_interface_member_pairs_across_corpus() {
+        let mut seen = std::collections::HashSet::new();
+        for f in generate() {
+            let idl = parse(&f.source).unwrap();
+            for iface in &idl.interfaces {
+                for op in iface.operations() {
+                    assert!(
+                        seen.insert((iface.name.clone(), op.name.clone())),
+                        "duplicate {}.{} in {}",
+                        iface.name,
+                        op.name,
+                        f.file_name
+                    );
+                }
+                for at in iface.attributes().filter(|a| !a.readonly) {
+                    assert!(
+                        seen.insert((iface.name.clone(), at.name.clone())),
+                        "duplicate {}.{} in {}",
+                        iface.name,
+                        at.name,
+                        f.file_name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singletons_are_partial_interfaces() {
+        let corpus = generate();
+        let be = corpus.iter().find(|f| f.abbrev == "BE").unwrap();
+        assert!(be.source.contains("partial interface Navigator"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Historical browser-complexity dataset behind Figure 1 of the paper.
+//!
+//! Figure 1 plots, per year, the number of web-standard families available in
+//! modern browsers (from W3C documents and caniuse.com) and the total lines
+//! of code of popular browsers (from OpenHub). The mid-2013 dip in Chrome
+//! reflects Google's move to Blink, removing ~8.8 M lines of WebKit code.
+//!
+//! These values are digitized from the figure; they are metadata, not
+//! simulation output, so they live here as a static table.
+
+/// One year's point on Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YearPoint {
+    /// Calendar year.
+    pub year: u16,
+    /// Web standard families available in modern browsers.
+    pub standards: u32,
+    /// Chrome, millions of lines of code.
+    pub chrome_mloc: f64,
+    /// Firefox, millions of lines of code.
+    pub firefox_mloc: f64,
+    /// Safari (WebKit), millions of lines of code.
+    pub safari_mloc: f64,
+    /// Internet Explorer (Trident), millions of lines of code (estimated).
+    pub ie_mloc: f64,
+}
+
+/// The Figure 1 series, 2009-2015.
+pub static BROWSER_HISTORY: &[YearPoint] = &[
+    YearPoint { year: 2009, standards: 12, chrome_mloc: 2.5, firefox_mloc: 4.8, safari_mloc: 2.1, ie_mloc: 3.0 },
+    YearPoint { year: 2010, standards: 16, chrome_mloc: 4.0, firefox_mloc: 5.6, safari_mloc: 2.4, ie_mloc: 3.2 },
+    YearPoint { year: 2011, standards: 21, chrome_mloc: 5.8, firefox_mloc: 6.9, safari_mloc: 2.8, ie_mloc: 3.5 },
+    YearPoint { year: 2012, standards: 26, chrome_mloc: 7.9, firefox_mloc: 8.4, safari_mloc: 3.1, ie_mloc: 3.8 },
+    YearPoint { year: 2013, standards: 30, chrome_mloc: 10.2, firefox_mloc: 9.9, safari_mloc: 3.3, ie_mloc: 4.0 },
+    // Blink split: ~8.8M lines of WebKit removed from Chrome mid-2013.
+    YearPoint { year: 2014, standards: 35, chrome_mloc: 7.6, firefox_mloc: 11.3, safari_mloc: 3.6, ie_mloc: 4.1 },
+    YearPoint { year: 2015, standards: 39, chrome_mloc: 9.4, firefox_mloc: 12.6, safari_mloc: 3.9, ie_mloc: 4.2 },
+];
+
+/// Number of standards available in the measured browser (Firefox 46, 2016):
+/// the 74 standards + Non-Standard bucket of the catalog.
+pub fn standards_in_measured_browser() -> usize {
+    crate::catalog::CATALOG.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn years_are_ordered_and_contiguous() {
+        for w in BROWSER_HISTORY.windows(2) {
+            assert_eq!(w[1].year, w[0].year + 1);
+        }
+    }
+
+    #[test]
+    fn standards_grow_monotonically() {
+        for w in BROWSER_HISTORY.windows(2) {
+            assert!(w[1].standards > w[0].standards);
+        }
+    }
+
+    #[test]
+    fn blink_split_visible_in_chrome_series() {
+        let y2013 = BROWSER_HISTORY.iter().find(|p| p.year == 2013).unwrap();
+        let y2014 = BROWSER_HISTORY.iter().find(|p| p.year == 2014).unwrap();
+        assert!(
+            y2014.chrome_mloc < y2013.chrome_mloc,
+            "Chrome LoC must dip after the Blink split"
+        );
+    }
+
+    #[test]
+    fn firefox_grows_every_year() {
+        for w in BROWSER_HISTORY.windows(2) {
+            assert!(w[1].firefox_mloc > w[0].firefox_mloc);
+        }
+    }
+}

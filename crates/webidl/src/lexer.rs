@@ -1,0 +1,245 @@
+//! Tokenizer for the WebIDL subset.
+//!
+//! Handles identifiers/keywords, integer and float literals, string literals,
+//! punctuation, and both comment styles. Tracks line numbers for error
+//! reporting.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`interface`, `Document`, `attribute`, ...).
+    Ident(String),
+    /// Integer literal (decimal or 0x hex), kept as written.
+    Number(String),
+    /// Double-quoted string literal, unescaped content.
+    Str(String),
+    /// Single punctuation character: `{}();:,=?<>[]`.
+    Punct(char),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Punct(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a WebIDL source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            line: start_line,
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\n' {
+                        return Err(LexError {
+                            message: "newline in string literal".into(),
+                            line: start_line,
+                        });
+                    }
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line: start_line,
+                    });
+                }
+                out.push(Spanned {
+                    token: Token::Str(src[start..i].to_owned()),
+                    line: start_line,
+                });
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(src[start..i].to_owned()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Number(src[start..i].to_owned()),
+                    line,
+                });
+            }
+            '{' | '}' | '(' | ')' | ';' | ':' | ',' | '=' | '?' | '<' | '>' | '[' | ']' => {
+                out.push(Spanned {
+                    token: Token::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            toks("interface Foo {};"),
+            vec![
+                Token::Ident("interface".into()),
+                Token::Ident("Foo".into()),
+                Token::Punct('{'),
+                Token::Punct('}'),
+                Token::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let spanned = lex("// line comment\n/* block\ncomment */ x").unwrap();
+        assert_eq!(spanned.len(), 1);
+        assert_eq!(spanned[0].token, Token::Ident("x".into()));
+        assert_eq!(spanned[0].line, 3);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("const unsigned short K = 0x10;"),
+            vec![
+                Token::Ident("const".into()),
+                Token::Ident("unsigned".into()),
+                Token::Ident("short".into()),
+                Token::Ident("K".into()),
+                Token::Punct('='),
+                Token::Number("0x10".into()),
+                Token::Punct(';'),
+            ]
+        );
+        assert_eq!(toks("-3"), vec![Token::Number("-3".into())]);
+        assert_eq!(toks("1.5"), vec![Token::Number("1.5".into())]);
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(toks(r#""hello""#), vec![Token::Str("hello".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("@").is_err());
+        let err = lex("x\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn generic_types_tokenize() {
+        assert_eq!(
+            toks("sequence<DOMString>?"),
+            vec![
+                Token::Ident("sequence".into()),
+                Token::Punct('<'),
+                Token::Ident("DOMString".into()),
+                Token::Punct('>'),
+                Token::Punct('?'),
+            ]
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # bfu-webidl
+//!
+//! The feature registry underlying the whole study.
+//!
+//! The paper derives its universe of measurable browser features by parsing
+//! the 757 WebIDL files shipped in the Firefox 46.0.1 source tree, extracting
+//! 1,392 JavaScript-reachable methods and properties, and attributing each to
+//! one of 74 web standards (plus a catch-all *Non-Standard* bucket).
+//!
+//! This crate reproduces that pipeline:
+//!
+//! 1. [`catalog`] — a static table of all 75 standards with the paper's
+//!    published metadata: abbreviation, feature count, observed site count,
+//!    block rate, CVE count, and implementation year (Table 2 / Figs. 4-7).
+//! 2. [`corpus`] — a deterministic generator that emits a WebIDL interface
+//!    file per standard whose member count matches the catalog, standing in
+//!    for the 757-file Firefox corpus.
+//! 3. [`lexer`] / [`parser`] / [`ast`] — a WebIDL-subset parser that consumes
+//!    the corpus exactly as the paper's tooling consumed Firefox's files.
+//! 4. [`registry`] — the resulting [`FeatureRegistry`]: 1,392 features with
+//!    stable ids, name lookup, and per-standard grouping.
+//! 5. [`history`] — the Fig. 1 dataset (standards available and browser MLoC
+//!    per year).
+
+pub mod ast;
+pub mod catalog;
+pub mod corpus;
+pub mod history;
+pub mod lexer;
+pub mod parser;
+pub mod registry;
+
+pub use catalog::{StandardId, StandardInfo, CATALOG, NON_STANDARD_ABBREV};
+pub use registry::{FeatureId, FeatureInfo, FeatureKind, FeatureRegistry};

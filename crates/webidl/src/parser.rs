@@ -1,0 +1,404 @@
+//! Recursive-descent parser for the WebIDL subset.
+//!
+//! Grammar (subset of the real WebIDL grammar, sufficient for the corpus and
+//! for realistic Firefox-style files):
+//!
+//! ```text
+//! file       := definition*
+//! definition := ext_attrs? "partial"? "interface" IDENT inherits? "{" member* "}" ";"
+//! inherits   := ":" IDENT
+//! member     := ext_attrs? ( const | attribute | operation )
+//! const      := "const" type IDENT "=" literal ";"
+//! attribute  := "readonly"? "attribute" type IDENT ";"
+//! operation  := "static"? type IDENT "(" args? ")" ";"
+//! args       := arg ("," arg)*
+//! arg        := "optional"? type IDENT
+//! type       := ("unsigned" | "unrestricted")? IDENT ("<" type ">")? "?"?
+//! ext_attrs  := "[" ... balanced ... "]"
+//! ```
+
+use crate::ast::{Argument, Attribute, Const, IdlFile, Interface, Member, Operation};
+use crate::lexer::{lex, Spanned, Token};
+use std::fmt;
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number (0 if end of input).
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a WebIDL source string into an [`IdlFile`].
+pub fn parse(src: &str) -> Result<IdlFile, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    Parser { tokens, pos: 0 }.file()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens.get(self.pos).map_or(0, |s| s.line)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Token::Punct(p)) if p == c => Ok(()),
+            other => Err(ParseError {
+                message: format!("expected `{c}`, found {other:?}"),
+                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |s| s.line),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                message: format!("expected identifier, found {other:?}"),
+                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |s| s.line),
+            }),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn file(&mut self) -> Result<IdlFile, ParseError> {
+        let mut interfaces = Vec::new();
+        while self.peek().is_some() {
+            interfaces.push(self.definition()?);
+        }
+        Ok(IdlFile { interfaces })
+    }
+
+    /// Parse a bracketed extended-attribute list into raw strings.
+    fn ext_attrs(&mut self) -> Result<Vec<String>, ParseError> {
+        if !self.eat_punct('[') {
+            return Ok(Vec::new());
+        }
+        let mut attrs = Vec::new();
+        let mut current = String::new();
+        let mut depth = 1usize;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated extended attribute list")),
+                Some(Token::Punct('[')) => {
+                    depth += 1;
+                    current.push('[');
+                }
+                Some(Token::Punct(']')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            attrs.push(current);
+                        }
+                        return Ok(attrs);
+                    }
+                    current.push(']');
+                }
+                Some(Token::Punct(',')) if depth == 1 => {
+                    attrs.push(std::mem::take(&mut current));
+                }
+                Some(tok) => {
+                    if !current.is_empty()
+                        && matches!(tok, Token::Ident(_) | Token::Number(_))
+                        && current.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        current.push(' ');
+                    }
+                    current.push_str(&tok.to_string());
+                }
+            }
+        }
+    }
+
+    fn definition(&mut self) -> Result<Interface, ParseError> {
+        let ext_attrs = self.ext_attrs()?;
+        let partial = self.eat_keyword("partial");
+        if !self.eat_keyword("interface") {
+            return Err(self.err(format!("expected `interface`, found {:?}", self.peek())));
+        }
+        let name = self.expect_ident()?;
+        let inherits = if self.eat_punct(':') {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        self.expect_punct('{')?;
+        let mut members = Vec::new();
+        while !self.eat_punct('}') {
+            if self.peek().is_none() {
+                return Err(self.err(format!("unterminated interface `{name}`")));
+            }
+            members.push(self.member()?);
+        }
+        self.expect_punct(';')?;
+        Ok(Interface {
+            name,
+            inherits,
+            partial,
+            ext_attrs,
+            members,
+        })
+    }
+
+    fn member(&mut self) -> Result<Member, ParseError> {
+        let _attrs = self.ext_attrs()?;
+        if self.eat_keyword("const") {
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            self.expect_punct('=')?;
+            let value = match self.bump() {
+                Some(Token::Number(n)) => n,
+                Some(Token::Ident(s)) => s, // true/false/null
+                other => return Err(self.err(format!("expected literal, found {other:?}"))),
+            };
+            self.expect_punct(';')?;
+            return Ok(Member::Const(Const { name, ty, value }));
+        }
+        let readonly = self.eat_keyword("readonly");
+        if self.eat_keyword("attribute") {
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            self.expect_punct(';')?;
+            return Ok(Member::Attribute(Attribute { name, ty, readonly }));
+        }
+        if readonly {
+            return Err(self.err("`readonly` must be followed by `attribute`"));
+        }
+        let is_static = self.eat_keyword("static");
+        let return_type = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect_punct('(')?;
+        let mut args = Vec::new();
+        if !self.eat_punct(')') {
+            loop {
+                let optional = self.eat_keyword("optional");
+                let ty = self.parse_type()?;
+                let arg_name = self.expect_ident()?;
+                args.push(Argument {
+                    name: arg_name,
+                    ty,
+                    optional,
+                });
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
+            }
+        }
+        self.expect_punct(';')?;
+        Ok(Member::Operation(Operation {
+            name,
+            return_type,
+            args,
+            is_static,
+        }))
+    }
+
+    /// Parse a type and canonicalize it to a display string.
+    fn parse_type(&mut self) -> Result<String, ParseError> {
+        let mut ty = String::new();
+        // `unsigned long long`, `unrestricted double`
+        while matches!(self.peek(), Some(Token::Ident(s)) if s == "unsigned" || s == "unrestricted")
+        {
+            ty.push_str(&self.expect_ident()?);
+            ty.push(' ');
+        }
+        ty.push_str(&self.expect_ident()?);
+        // `long long`
+        if ty.ends_with("long") && matches!(self.peek(), Some(Token::Ident(s)) if s == "long") {
+            ty.push(' ');
+            ty.push_str(&self.expect_ident()?);
+        }
+        if self.eat_punct('<') {
+            ty.push('<');
+            ty.push_str(&self.parse_type()?);
+            self.expect_punct('>')?;
+            ty.push('>');
+        }
+        if self.eat_punct('?') {
+            ty.push('?');
+        }
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Member;
+
+    #[test]
+    fn parses_simple_interface() {
+        let file = parse(
+            r#"
+            [Exposed=Window]
+            interface Document : Node {
+              Element createElement(DOMString localName);
+              attribute DOMString title;
+              readonly attribute DOMString URL;
+              const unsigned short ELEMENT_NODE = 1;
+            };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(file.interfaces.len(), 1);
+        let doc = &file.interfaces[0];
+        assert_eq!(doc.name, "Document");
+        assert_eq!(doc.inherits.as_deref(), Some("Node"));
+        assert!(!doc.partial);
+        assert_eq!(doc.ext_attrs, vec!["Exposed=Window"]);
+        assert_eq!(doc.members.len(), 4);
+        assert_eq!(doc.operations().count(), 1);
+        assert_eq!(doc.attributes().count(), 2);
+        let op = doc.operations().next().unwrap();
+        assert_eq!(op.name, "createElement");
+        assert_eq!(op.return_type, "Element");
+        assert_eq!(op.args.len(), 1);
+        assert_eq!(op.args[0].ty, "DOMString");
+    }
+
+    #[test]
+    fn parses_partial_and_static_and_optional() {
+        let file = parse(
+            r#"
+            partial interface Navigator {
+              static boolean isSupported();
+              Promise<MediaStream> getUserMedia(optional MediaStreamConstraints constraints);
+            };
+            "#,
+        )
+        .unwrap();
+        let nav = &file.interfaces[0];
+        assert!(nav.partial);
+        let ops: Vec<_> = nav.operations().collect();
+        assert!(ops[0].is_static);
+        assert_eq!(ops[1].return_type, "Promise<MediaStream>");
+        assert!(ops[1].args[0].optional);
+    }
+
+    #[test]
+    fn parses_complex_types() {
+        let file = parse(
+            r#"
+            interface X {
+              attribute unsigned long long count;
+              sequence<DOMString>? names();
+              attribute double? ratio;
+            };
+            "#,
+        )
+        .unwrap();
+        let x = &file.interfaces[0];
+        let attrs: Vec<_> = x.attributes().collect();
+        assert_eq!(attrs[0].ty, "unsigned long long");
+        assert_eq!(attrs[1].ty, "double?");
+        let op = x.operations().next().unwrap();
+        assert_eq!(op.return_type, "sequence<DOMString>?");
+    }
+
+    #[test]
+    fn readonly_must_precede_attribute() {
+        assert!(parse("interface X { readonly DOMString y(); };").is_err());
+    }
+
+    #[test]
+    fn unterminated_interface_errors() {
+        let err = parse("interface X { void f();").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn missing_semicolon_errors() {
+        assert!(parse("interface X { } ").is_err());
+    }
+
+    #[test]
+    fn multiple_interfaces() {
+        let file = parse(
+            "interface A { void a(); }; interface B : A { void b(); };",
+        )
+        .unwrap();
+        assert_eq!(file.interfaces.len(), 2);
+        assert_eq!(file.interfaces[1].inherits.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn ext_attrs_on_members_skipped() {
+        let file = parse(
+            r#"
+            interface X {
+              [Throws, Pref="dom.enable"] void f();
+            };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(file.interfaces[0].operations().count(), 1);
+    }
+
+    #[test]
+    fn const_values() {
+        let file = parse("interface X { const unsigned short K = 0x20; const boolean B = true; };")
+            .unwrap();
+        let consts: Vec<_> = file.interfaces[0]
+            .members
+            .iter()
+            .filter_map(|m| match m {
+                Member::Const(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts[0].value, "0x20");
+        assert_eq!(consts[1].value, "true");
+    }
+}

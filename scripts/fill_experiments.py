@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's MEASURED_* placeholders from repro_full_output.txt.
+
+Usage: python3 scripts/fill_experiments.py
+Reads repro_full_output.txt next to EXPERIMENTS.md and substitutes measured
+values in place. Idempotent only on a fresh template; keep the template in
+version control.
+"""
+import re
+import sys
+from pathlib import Path
+
+root = Path(__file__).resolve().parent.parent
+out = (root / "repro_full_output.txt").read_text()
+exp_path = root / "EXPERIMENTS.md"
+exp = exp_path.read_text()
+
+
+def section(name: str) -> str:
+    m = re.search(rf"^================ {name} ================\n(.*?)(?=^================|\Z)",
+                  out, re.S | re.M)
+    if not m:
+        sys.exit(f"missing section {name}")
+    return m.group(1)
+
+
+subs = {}
+
+t1 = section("table1")
+subs["MEASURED_T1_DOMAINS"] = re.search(r"Domains measured\s+(\d+)", t1).group(1)
+subs["MEASURED_T1_PAGES"] = re.search(r"Web pages visited\s+(\d+)", t1).group(1)
+subs["MEASURED_T1_INVOCATIONS"] = re.search(r"Feature invocations\s+(\d+)", t1).group(1)
+subs["MEASURED_T1_DAYS"] = re.search(r"interaction time\s+([\d.]+)", t1).group(1)
+
+h = section("headline")
+subs["MEASURED_H_NEVER"] = re.search(r"never used:\s+(\d+) / 1392 \(([\d.]+)%", h).expand(r"\1 (\2%)")
+subs["MEASURED_H_UNDER1"] = re.search(r"on <1% of sites:\s+(\d+)", h).group(1)
+subs["MEASURED_H_CUM"] = re.search(r"incl\. unused:\s+(\d+) \(([\d.]+)%", h).expand(r"\1 (\2%)")
+subs["MEASURED_H_BLOCKED90"] = re.search(r"blocked ≥90%:\s+(\d+) \(([\d.]+)%", h).expand(r"\1 (\2%)")
+subs["MEASURED_H_UNDER1_BLOCK"] = re.search(r"under blocking:\s+(\d+) \(([\d.]+)%", h).expand(r"\1 (\2%)")
+subs["MEASURED_H_STD_NEVER"] = re.search(r"Standards never used:\s+(\d+)", h).group(1)
+subs["MEASURED_H_STD_UNDER1"] = re.search(r"Standards ≤1% of sites:\s+(\d+)", h).group(1)
+
+t2 = section("table2")
+measured_domains = int(subs["MEASURED_T1_DOMAINS"])
+for abbrev, key in [("DOM1", "MEASURED_DOM1"), ("HTML", "MEASURED_HTML"),
+                    ("CSS-OM", "MEASURED_CSSOM"), ("AJAX", "MEASURED_AJAX"),
+                    ("WCR", "MEASURED_WCR"), ("H-C", "MEASURED_HC"),
+                    ("H-CM", "MEASURED_HCM"), ("TC", "MEASURED_TC"),
+                    ("BE", "MEASURED_BE"), ("PT2", "MEASURED_PT2"),
+                    ("SVG", "MEASURED_SVG"), ("WEBGL", "MEASURED_WEBGL"),
+                    ("WEBA", "MEASURED_WEBA")]:
+    m = re.search(rf"\s{re.escape(abbrev)}\s+\d+\s+(\d+)\s+([\d.]+|--)\s+\d+\s*$", t2, re.M)
+    if not m:
+        sys.exit(f"missing table2 row {abbrev}")
+    sites, block = int(m.group(1)), m.group(2)
+    pct = 100.0 * sites / measured_domains
+    block_txt = "—" if block == "--" else f"{block}%"
+    subs[key] = f"{pct:.1f}% | {block_txt}"
+
+t3 = section("table3")
+rows = re.findall(r"^\s+(\d)\s+([\d.]+)$", t3, re.M)
+for rnd, val in rows:
+    subs[f"MEASURED_T3_R{rnd}"] = val
+
+f4 = section("fig4")
+m = re.search(r"H-CM\s+\d+\s+([\d.]+)", f4)
+subs["MEASURED_FIG4_HCM"] = f"{m.group(1)}%"
+
+f5 = section("fig5")
+deltas = [abs(float(d)) for d in re.findall(r"([+-][\d.]+)$", f5, re.M)]
+subs["MEASURED_FIG5_DEV"] = f"{sum(deltas)/len(deltas)/100:.3f}" if deltas else "n/a"
+
+f6 = section("fig6")
+pts = re.findall(r"^\s+(\d{4})\s+\S+\s+(\d+)\s", f6, re.M)
+xs = [float(a) for a, _ in pts]
+ys = [float(b) for _, b in pts]
+n = len(xs)
+mx, my = sum(xs) / n, sum(ys) / n
+cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+vx = sum((x - mx) ** 2 for x in xs) ** 0.5
+vy = sum((y - my) ** 2 for y in ys) ** 0.5
+subs["MEASURED_FIG6_R"] = f"{cov / (vx * vy):.2f}" if vx and vy else "0"
+
+f8 = section("fig8")
+m = re.search(r"median (\d+), max (\d+)", f8)
+subs["MEASURED_FIG8_MEDIAN"] = m.group(1)
+subs["MEASURED_FIG8_MAX"] = m.group(2)
+
+f9 = section("fig9")
+m = re.search(r"([\d.]+)% of sites: nothing new", f9)
+subs["MEASURED_FIG9_ZERO"] = f"{m.group(1)}%"
+
+for key, val in sorted(subs.items(), key=lambda kv: -len(kv[0])):
+    exp = exp.replace(key, val)
+
+leftover = re.findall(r"MEASURED_\w+", exp)
+exp_path.write_text(exp)
+print("filled", len(subs), "placeholders;", "leftover:", leftover)

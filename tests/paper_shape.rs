@@ -1,0 +1,176 @@
+//! Cross-crate integration: does a small end-to-end study reproduce the
+//! qualitative shape of the paper's results?
+//!
+//! These tests crawl a ~120-site web once (shared fixture) and assert the
+//! directional claims of §5: which standards win, which get blocked, how
+//! complex sites are, and that discovery converges across rounds. Exact
+//! magnitudes are checked at full scale in EXPERIMENTS.md.
+
+use browser_feature_usage::{Study, StudyConfig, StudyReport};
+use bfu_crawler::BrowserProfile;
+use std::sync::OnceLock;
+
+static STUDY: OnceLock<Study> = OnceLock::new();
+
+fn study() -> &'static Study {
+    STUDY.get_or_init(|| {
+        Study::run(StudyConfig {
+            sites: 120,
+            seed: 1606,
+            rounds: 3,
+            pages_per_site: 6,
+            page_budget_ms: 10_000,
+            fig7_profiles: true,
+            threads: 2,
+        })
+    })
+}
+
+fn report() -> StudyReport {
+    study().report()
+}
+
+#[test]
+fn most_sites_are_measured() {
+    // Paper: 9,733 of 10,000 (a few percent lost to dead/broken sites).
+    let ds = study().dataset();
+    let measured = ds.measured_sites();
+    assert!(measured >= 110, "measured {measured}/120");
+    assert!(measured < 120, "some sites must fail, as in the paper");
+}
+
+#[test]
+fn dom_core_dominates_and_is_never_blocked_away() {
+    let rep = report();
+    let sp = &rep.standards;
+    for abbrev in ["DOM1", "DOM", "DOM2-E"] {
+        let (id, _) = bfu_webidl::catalog::by_abbrev(abbrev).unwrap();
+        assert!(
+            sp.popularity(id, BrowserProfile::Default) > 0.85,
+            "{abbrev} should be near-universal"
+        );
+        assert!(
+            sp.block_rate(id).unwrap() < 0.10,
+            "{abbrev} should be essentially unblocked"
+        );
+    }
+}
+
+#[test]
+fn channel_messaging_is_popular_but_heavily_blocked() {
+    // §5.4's upper-right quadrant exemplar.
+    let rep = report();
+    let (hcm, _) = bfu_webidl::catalog::by_abbrev("H-CM").unwrap();
+    let pop = rep.standards.popularity(hcm, BrowserProfile::Default);
+    let br = rep.standards.block_rate(hcm).unwrap();
+    assert!(pop > 0.3, "H-CM popularity {pop}");
+    assert!(br > 0.5, "H-CM block rate {br} (paper: 77%)");
+}
+
+#[test]
+fn svg_and_beacon_mostly_blocked() {
+    let rep = report();
+    for (abbrev, paper_rate) in [("SVG", 0.868), ("BE", 0.836), ("PT2", 0.937)] {
+        let (id, _) = bfu_webidl::catalog::by_abbrev(abbrev).unwrap();
+        if let Some(br) = rep.standards.block_rate(id) {
+            assert!(
+                br > paper_rate - 0.30,
+                "{abbrev} block rate {br:.2} too far below paper {paper_rate}"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocking_strictly_shrinks_the_feature_universe() {
+    let rep = report();
+    let fp = &rep.features;
+    let never_default = fp.never_used(BrowserProfile::Default);
+    let never_blocking = fp.never_used(BrowserProfile::Blocking);
+    assert!(never_blocking > never_default, "{never_blocking} vs {never_default}");
+    // About half the registry goes unused even before blocking.
+    assert!(never_default > 1392 / 3);
+}
+
+#[test]
+fn fig7_shows_tracker_leaning_and_ad_leaning_standards() {
+    let rep = report();
+    assert!(!rep.fig7.is_empty());
+    // WCR (WebCrypto) is tracker-leaning in the paper; UIE ad-leaning.
+    if let Some(wcr) = rep.fig7.iter().find(|p| p.abbrev == "WCR") {
+        assert!(
+            wcr.tracker_block_rate > wcr.ad_block_rate - 0.05,
+            "WCR: ad {:.2} vs tracker {:.2}",
+            wcr.ad_block_rate,
+            wcr.tracker_block_rate
+        );
+    }
+    // And combined blocking is at least as strong as each single blocker.
+    let (svg, _) = bfu_webidl::catalog::by_abbrev("SVG").unwrap();
+    let combined = rep.standards.block_rate(svg).unwrap_or(0.0);
+    let ad = rep
+        .standards
+        .block_rate_against(svg, BrowserProfile::AdblockOnly)
+        .unwrap_or(0.0);
+    assert!(combined + 1e-9 >= ad, "combined {combined} vs ad-only {ad}");
+}
+
+#[test]
+fn site_complexity_sits_in_the_fig8_window() {
+    let rep = report();
+    let median = rep.fig8.median();
+    assert!(
+        (8.0..=36.0).contains(&median),
+        "median standards/site = {median} (paper mode: 14-32)"
+    );
+    assert!(rep.fig8.max() <= 55, "max = {} (paper: ≤41)", rep.fig8.max());
+}
+
+#[test]
+fn discovery_converges_across_rounds() {
+    let rep = report();
+    assert!(!rep.table3.is_empty());
+    let first = rep.table3[0];
+    let last = *rep.table3.last().unwrap();
+    assert!(
+        last <= first + 0.2,
+        "new standards per round should not grow: {:?}",
+        rep.table3
+    );
+    assert!(last < 2.0, "round discovery should be small by the last round");
+}
+
+#[test]
+fn traffic_weighting_does_not_change_the_story() {
+    // §5.5's conclusion, quantified.
+    let rep = report();
+    let dev = bfu_analysis::traffic::mean_deviation_from_diagonal(&rep.fig5);
+    assert!(dev < 0.15, "mean |visit% − site%| = {dev:.3}");
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let a = Study::run(StudyConfig {
+        sites: 12,
+        seed: 5,
+        rounds: 1,
+        pages_per_site: 3,
+        page_budget_ms: 4_000,
+        fig7_profiles: false,
+        threads: 3,
+    });
+    let b = Study::run(StudyConfig {
+        sites: 12,
+        seed: 5,
+        rounds: 1,
+        pages_per_site: 3,
+        page_budget_ms: 4_000,
+        fig7_profiles: false,
+        threads: 1, // thread count must not matter
+    });
+    assert_eq!(
+        a.dataset().total_invocations(),
+        b.dataset().total_invocations()
+    );
+    assert_eq!(a.dataset().total_pages(), b.dataset().total_pages());
+}

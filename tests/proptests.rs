@@ -1,0 +1,249 @@
+//! Property-based tests over the core data structures: URL parsing and
+//! resolution, the HTTP codec, the filter engine (token index vs naive
+//! scan), the selector engine and HTML parser (total on arbitrary input),
+//! the mini-JS lexer, and the statistics utilities.
+
+use bfu_blocker::FilterEngine;
+use bfu_net::{HttpRequest, HttpResponse, Method, ResourceType, Url};
+use bfu_util::{cdf_points, Histogram, SimRng};
+use proptest::prelude::*;
+
+// ---------- URL ----------
+
+fn host_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z][a-z0-9]{0,6}", 1..4).prop_map(|labels| labels.join("."))
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9_-]{1,8}", 0..5)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+proptest! {
+    #[test]
+    fn url_display_reparses_identically(
+        host in host_strategy(),
+        path in path_strategy(),
+        port in proptest::option::of(1u16..65535),
+        query in proptest::option::of("[a-z]=[a-z0-9]{1,5}"),
+    ) {
+        let mut s = format!("http://{host}");
+        if let Some(p) = port {
+            s.push_str(&format!(":{p}"));
+        }
+        s.push_str(&path);
+        if let Some(q) = &query {
+            s.push('?');
+            s.push_str(q);
+        }
+        let u = Url::parse(&s).unwrap();
+        let reparsed = Url::parse(&u.to_string()).unwrap();
+        prop_assert_eq!(u, reparsed);
+    }
+
+    #[test]
+    fn url_join_always_yields_same_scheme_family(
+        host in host_strategy(),
+        base_path in path_strategy(),
+        reference in "[a-zA-Z0-9_/.?=-]{0,24}",
+    ) {
+        let base = Url::parse(&format!("http://{host}{base_path}")).unwrap();
+        if let Ok(joined) = base.join(&reference) {
+            prop_assert!(joined.scheme() == "http" || joined.scheme() == "https");
+            prop_assert!(joined.path().starts_with('/'));
+        }
+    }
+
+    #[test]
+    fn url_parse_never_panics(input in ".{0,60}") {
+        let _ = Url::parse(&input);
+    }
+
+    #[test]
+    fn normalized_paths_contain_no_dot_segments(
+        host in host_strategy(),
+        segs in proptest::collection::vec(prop_oneof![Just(".".to_owned()), Just("..".to_owned()), "[a-z]{1,5}".prop_map(String::from)], 0..6),
+    ) {
+        let path = format!("/{}", segs.join("/"));
+        let u = Url::parse(&format!("http://{host}{path}")).unwrap();
+        for seg in u.path_segments() {
+            prop_assert!(seg != "." && seg != "..", "{}", u.path());
+        }
+    }
+}
+
+// ---------- HTTP codec ----------
+
+proptest! {
+    #[test]
+    fn request_roundtrip(
+        host in host_strategy(),
+        path in path_strategy(),
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+        header_val in "[a-zA-Z0-9 _-]{0,16}",
+    ) {
+        let url = Url::parse(&format!("http://{host}{path}")).unwrap();
+        let mut req = HttpRequest::get(url, ResourceType::Xhr)
+            .with_header("x-test", header_val.trim());
+        req.method = Method::Post;
+        req.body = body.clone().into();
+        let decoded = HttpRequest::decode(&req.encode(), "http").unwrap();
+        prop_assert_eq!(decoded.url, req.url);
+        prop_assert_eq!(decoded.body.as_ref(), &body[..]);
+    }
+
+    #[test]
+    fn response_roundtrip(
+        status in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut resp = HttpResponse::ok("application/octet-stream", body.clone());
+        resp.status = bfu_net::StatusCode(status);
+        let decoded = HttpResponse::decode(&resp.encode()).unwrap();
+        prop_assert_eq!(decoded.status.0, status);
+        prop_assert_eq!(decoded.body.as_ref(), &body[..]);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = HttpResponse::decode(&bytes);
+        let _ = HttpRequest::decode(&bytes, "http");
+    }
+}
+
+// ---------- Filter engine: index must agree with the naive scan ----------
+
+fn rule_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        host_strategy().prop_map(|h| format!("||{h}^")),
+        host_strategy().prop_map(|h| format!("||{h}^$script,third-party")),
+        "[a-z]{3,8}".prop_map(|s| format!("/{s}/*/unit^")),
+        "[a-z]{4,10}".prop_map(|s| s),
+        host_strategy().prop_map(|h| format!("@@||{h}/ok^")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn token_index_matches_naive_scan(
+        rules in proptest::collection::vec(rule_strategy(), 1..40),
+        req_host in host_strategy(),
+        req_path in path_strategy(),
+        init_host in host_strategy(),
+    ) {
+        let engine = FilterEngine::from_list(&rules.join("\n"));
+        let req = HttpRequest::get(
+            Url::parse(&format!("http://{req_host}{req_path}")).unwrap(),
+            ResourceType::Script,
+        )
+        .with_initiator(Url::parse(&format!("http://{init_host}/")).unwrap());
+        prop_assert_eq!(
+            engine.match_request(&req).is_some(),
+            engine.match_request_naive(&req).is_some(),
+            "index and naive scan disagree on {}", req.url
+        );
+    }
+}
+
+// ---------- DOM: selector + HTML parser totality ----------
+
+proptest! {
+    #[test]
+    fn selector_parse_never_panics(input in ".{0,40}") {
+        let _ = bfu_dom::Selector::parse(&input);
+    }
+
+    #[test]
+    fn html_parse_total_and_visible_subset(input in ".{0,300}") {
+        let doc = bfu_dom::html::parse(&input);
+        // Tree invariants hold on arbitrary soup.
+        for node in doc.iter_tree() {
+            for &child in doc.children(node) {
+                prop_assert_eq!(doc.parent(child), Some(node));
+            }
+        }
+    }
+
+    #[test]
+    fn html_serialize_reparse_preserves_tags(
+        tags in proptest::collection::vec("[a-z]{1,6}", 1..6),
+        text in "[a-zA-Z ]{0,12}",
+    ) {
+        let mut src = String::new();
+        for t in &tags {
+            src.push_str(&format!("<{t}>"));
+        }
+        src.push_str(&text);
+        for t in tags.iter().rev() {
+            src.push_str(&format!("</{t}>"));
+        }
+        let doc = bfu_dom::html::parse(&src);
+        let out = bfu_dom::html::serialize(&doc, doc.root());
+        let doc2 = bfu_dom::html::parse(&out);
+        let names = |d: &bfu_dom::Document| -> Vec<String> {
+            d.elements().iter().map(|&n| d.tag(n).unwrap().to_owned()).collect()
+        };
+        prop_assert_eq!(names(&doc), names(&doc2));
+    }
+}
+
+// ---------- mini-JS lexer/parser totality ----------
+
+proptest! {
+    #[test]
+    fn script_lexer_never_panics(input in ".{0,120}") {
+        let _ = bfu_script::token::lex(&input);
+    }
+
+    #[test]
+    fn script_parser_never_panics(input in "[a-z0-9 +\\-*/(){};=.,'\"<>!&|]{0,120}") {
+        let _ = bfu_script::parser::parse(&input);
+    }
+
+    #[test]
+    fn numeric_expressions_evaluate(a in -1000i32..1000, b in 1i32..1000) {
+        let mut interp = bfu_script::Interpreter::new();
+        let v = interp
+            .run_source(&format!("({a}) + ({b});"))
+            .unwrap()
+            .to_number();
+        prop_assert_eq!(v, f64::from(a) + f64::from(b));
+        let m = interp
+            .run_source(&format!("({a}) % ({b});"))
+            .unwrap()
+            .to_number();
+        prop_assert_eq!(m, f64::from(a) % f64::from(b));
+    }
+}
+
+// ---------- statistics ----------
+
+proptest! {
+    #[test]
+    fn cdf_monotone_on_arbitrary_data(xs in proptest::collection::vec(-1e6f64..1e6, 0..80)) {
+        let cdf = cdf_points(&xs);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        if !xs.is_empty() {
+            prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_samples(xs in proptest::collection::vec(-10f64..70.0, 0..200)) {
+        let mut h = Histogram::new(0.0, 60.0, 30);
+        h.extend(xs.iter().copied());
+        prop_assert_eq!(h.total() + h.outliers(), xs.len() as u64);
+    }
+
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}

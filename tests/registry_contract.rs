@@ -1,0 +1,131 @@
+//! Cross-crate contract: the WebIDL registry, the browser API surface, and
+//! the instrumentation must agree on the full 1,392-feature universe.
+
+use bfu_browser::api::{self, HostEnv, IFACE_MARKER};
+use bfu_browser::instrument::Instrumentation;
+use bfu_browser::FeatureLog;
+use bfu_net::Url;
+use bfu_script::Interpreter;
+use bfu_webidl::{catalog, FeatureKind, FeatureRegistry};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn rig() -> (Interpreter, bfu_browser::ApiSurface, Rc<FeatureRegistry>) {
+    let registry = Rc::new(FeatureRegistry::build());
+    let mut interp = Interpreter::new();
+    let doc = bfu_dom::html::parse("<html><head></head><body></body></html>");
+    let host = Rc::new(RefCell::new(HostEnv::new(
+        doc,
+        Url::parse("http://contract.test/").unwrap(),
+    )));
+    let api = api::install(&mut interp, &registry, host);
+    (interp, api, registry)
+}
+
+#[test]
+fn every_method_feature_is_callable_through_its_prototype() {
+    let (interp, api, registry) = rig();
+    let mut missing = Vec::new();
+    for f in registry.features() {
+        if f.kind != FeatureKind::Method {
+            continue;
+        }
+        let proto = api.prototypes[&f.interface];
+        let v = interp.heap.get_prop(proto, &f.member);
+        match v.as_obj() {
+            Some(o) if interp.heap.is_callable(o) => {}
+            _ => missing.push(f.name.clone()),
+        }
+    }
+    assert!(missing.is_empty(), "uncallable features: {missing:?}");
+}
+
+#[test]
+fn every_interface_has_a_marked_prototype() {
+    let (interp, api, registry) = rig();
+    for f in registry.features() {
+        let proto = api.prototypes[&f.interface];
+        let marker = interp.heap.get_prop(proto, IFACE_MARKER).to_display();
+        assert_eq!(marker, f.interface);
+    }
+}
+
+#[test]
+fn every_property_feature_is_attributable_after_instrumentation() {
+    // Write every property feature through a realistic receiver and check
+    // the instrumentation attributes each write to the right FeatureId.
+    let registry = Rc::new(FeatureRegistry::build());
+    let mut interp = Interpreter::new();
+    let doc = bfu_dom::html::parse("<html><head></head><body></body></html>");
+    let host = Rc::new(RefCell::new(HostEnv::new(
+        doc,
+        Url::parse("http://contract.test/").unwrap(),
+    )));
+    let api = api::install(&mut interp, &registry, host);
+    let log = Rc::new(RefCell::new(FeatureLog::new()));
+    Instrumentation::install(&mut interp, &api, &registry, log.clone());
+
+    let singleton = |iface: &str| match iface {
+        "Window" => Some("window"),
+        "Navigator" => Some("navigator"),
+        "Document" => Some("document"),
+        "Performance" => Some("performance"),
+        _ => None,
+    };
+    let mut checked = 0;
+    for (ix, f) in registry.features().iter().enumerate() {
+        if f.kind != FeatureKind::Property {
+            continue;
+        }
+        // Sample every third property to keep the test quick; the sample
+        // rotates across interfaces because features interleave.
+        if ix % 3 != 0 {
+            continue;
+        }
+        let src = match singleton(&f.interface) {
+            Some(g) => format!("{g}.{} = 1;", f.member),
+            None => format!("var o = new {}(); o.{} = 1;", f.interface, f.member),
+        };
+        interp
+            .run_source(&src)
+            .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        let fid = bfu_webidl::FeatureId::from_usize(ix);
+        assert!(
+            log.borrow().saw(fid),
+            "property write not attributed: {}",
+            f.name
+        );
+        checked += 1;
+    }
+    assert!(checked > 100, "sampled {checked} property features");
+}
+
+#[test]
+fn catalog_and_registry_feature_counts_agree() {
+    let registry = FeatureRegistry::build();
+    assert_eq!(registry.feature_count() as u32, catalog::feature_count());
+    for std_id in registry.standard_ids() {
+        assert_eq!(
+            registry.features_of(std_id).len() as u32,
+            registry.standard(std_id).features
+        );
+    }
+}
+
+#[test]
+fn flagships_resolve_and_rank_zero() {
+    let registry = FeatureRegistry::build();
+    for info in catalog::CATALOG {
+        let Some((iface, member, _)) = info.flagship else {
+            continue;
+        };
+        let fid = registry
+            .by_interface_member(iface, member)
+            .unwrap_or_else(|| panic!("{}: flagship missing", info.abbrev));
+        assert_eq!(registry.feature(fid).rank_in_standard, 0, "{}", info.abbrev);
+        assert_eq!(
+            registry.standard(registry.standard_of(fid)).abbrev,
+            info.abbrev
+        );
+    }
+}
