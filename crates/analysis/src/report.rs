@@ -13,7 +13,8 @@ use crate::traffic::Fig5Point;
 use crate::validation::ValidationHistogram;
 use std::fmt::Write as _;
 
-/// Render Table 1.
+/// Render Table 1, including the failed-domain breakdown (the paper says
+/// only "267 domains were unreachable"; our supervision layer says why).
 pub fn render_table1(t: &Table1) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 1: crawl scale");
@@ -22,6 +23,25 @@ pub fn render_table1(t: &Table1) -> String {
     let _ = writeln!(out, "  Web pages visited           {:>14}", t.pages_visited);
     let _ = writeln!(out, "  Feature invocations         {:>14}", t.invocations);
     let _ = writeln!(out, "  Total interaction time      {:>11.1} d", t.interaction_days);
+    let h = &t.health;
+    let _ = writeln!(
+        out,
+        "  Domains lost                {:>14}  (paper: 267 unreachable)",
+        h.sites_failed + h.sites_panicked
+    );
+    for (class, count) in h.breakdown() {
+        if count > 0 {
+            let _ = writeln!(out, "    {:<26} {:>14}", class, count);
+        }
+    }
+    if h.sites_panicked > 0 {
+        let _ = writeln!(out, "    {:<26} {:>14}", "worker panic", h.sites_panicked);
+    }
+    let _ = writeln!(
+        out,
+        "  Page-load retries           {:>14}  ({} ms backoff)",
+        h.total_retries, h.total_backoff_ms
+    );
     out
 }
 

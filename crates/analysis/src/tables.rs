@@ -1,7 +1,7 @@
 //! Tables 1 and 2 of the paper.
 
 use crate::popularity::StandardPopularity;
-use bfu_crawler::{BrowserProfile, Dataset};
+use bfu_crawler::{BrowserProfile, CrawlHealth, Dataset};
 use bfu_webidl::{FeatureRegistry, StandardId};
 
 /// Table 1: the crawl's aggregate scale.
@@ -17,6 +17,9 @@ pub struct Table1 {
     pub invocations: u64,
     /// Total virtual interaction time, in days (paper: ~480).
     pub interaction_days: f64,
+    /// Supervision summary: where the lost domains went (the paper's 267
+    /// unreachable domains, classified).
+    pub health: CrawlHealth,
 }
 
 /// Compute Table 1.
@@ -27,6 +30,7 @@ pub fn table1(dataset: &Dataset) -> Table1 {
         pages_visited: dataset.total_pages(),
         invocations: dataset.total_invocations(),
         interaction_days: dataset.total_interaction_ms() as f64 / 86_400_000.0,
+        health: dataset.health(),
     }
 }
 

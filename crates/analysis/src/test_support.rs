@@ -29,6 +29,7 @@ pub fn tiny_dataset() -> (Dataset, FeatureRegistry) {
                 ],
                 threads: 2,
                 seed: 99,
+                retry: bfu_crawler::RetryPolicy::default(),
             };
             let dataset = Survey::new(web, config).run();
             (dataset, FeatureRegistry::build())
@@ -48,6 +49,7 @@ pub fn tiny_survey() -> Survey {
         profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
         threads: 2,
         seed: 99,
+        retry: bfu_crawler::RetryPolicy::default(),
     };
     Survey::new(web, config)
 }

@@ -83,10 +83,12 @@ mod tests {
         // machinery works and the counts stay small in absolute terms.
         let (dataset, _) = crate::test_support::tiny_dataset();
         let survey = crate::test_support::tiny_survey();
-        let results = survey.external_validation(&dataset, 8);
-        assert!(!results.is_empty());
-        let h = histogram(&results);
-        assert_eq!(h.total_sites, results.len());
+        let run = survey.external_validation(&dataset, 8);
+        assert!(!run.sites.is_empty());
+        assert_eq!(run.requested, 8);
+        assert_eq!(run.shortfall, run.requested - run.sites.len());
+        let h = histogram(&run.sites);
+        assert_eq!(h.total_sites, run.sites.len());
         assert!(
             h.max_new() <= 10,
             "human found implausibly many new standards: {:?}",

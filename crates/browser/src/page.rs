@@ -17,7 +17,7 @@ use crate::log::FeatureLog;
 use bfu_dom::{html, NodeId, Selector};
 use bfu_net::{HttpRequest, NetError, ResourceType, SimNet, Url};
 use bfu_script::interp::Interpreter;
-use bfu_script::Value;
+use bfu_script::{RuntimeError, ScriptError, Value};
 use bfu_util::{Instant, VirtualClock};
 use bfu_webidl::FeatureRegistry;
 use std::cell::RefCell;
@@ -86,6 +86,11 @@ pub struct LoadStats {
     pub requests_failed: u32,
     /// Scripts that aborted with a runtime/parse error.
     pub script_errors: u32,
+    /// Subset of `script_errors` that failed to parse at all (the paper's
+    /// "syntax errors in their JavaScript" class).
+    pub script_parse_errors: u32,
+    /// Subset of `script_errors` that exhausted their step budget.
+    pub script_budget_errors: u32,
     /// Scripts executed (at least partially).
     pub scripts_run: u32,
 }
@@ -202,12 +207,8 @@ impl Browser {
         for res in resources.into_iter().take(self.config.max_subresources) {
             match res {
                 Resource::InlineScript(src) => {
-                    stats.scripts_run += 1;
-                    interp.set_fuel(self.config.script_fuel);
                     host.borrow_mut().now = clock.now();
-                    if interp.run_source(&src).is_err() {
-                        stats.script_errors += 1;
-                    }
+                    run_page_script(&mut interp, &src, self.config.script_fuel, &mut stats);
                 }
                 Resource::External(target, rtype) => {
                     let Ok(res_url) = url.join(&target) else { continue };
@@ -226,12 +227,13 @@ impl Browser {
                         Ok(resp) => match rtype {
                             ResourceType::Script => {
                                 let src = String::from_utf8_lossy(&resp.body).into_owned();
-                                stats.scripts_run += 1;
-                                interp.set_fuel(self.config.script_fuel);
                                 host.borrow_mut().now = clock.now();
-                                if interp.run_source(&src).is_err() {
-                                    stats.script_errors += 1;
-                                }
+                                run_page_script(
+                                    &mut interp,
+                                    &src,
+                                    self.config.script_fuel,
+                                    &mut stats,
+                                );
                             }
                             ResourceType::SubDocument => {
                                 let frame_body =
@@ -290,11 +292,7 @@ impl Browser {
         for s in scripts {
             match s {
                 Resource::InlineScript(src) => {
-                    stats.scripts_run += 1;
-                    interp.set_fuel(self.config.script_fuel);
-                    if interp.run_source(&src).is_err() {
-                        stats.script_errors += 1;
-                    }
+                    run_page_script(interp, &src, self.config.script_fuel, stats);
                 }
                 Resource::External(target, _) => {
                     let Ok(u) = frame_url.join(&target) else { continue };
@@ -308,12 +306,8 @@ impl Browser {
                     match net.fetch(&req, clock) {
                         Ok(r) if r.status.is_success() => {
                             let src = String::from_utf8_lossy(&r.body).into_owned();
-                            stats.scripts_run += 1;
-                            interp.set_fuel(self.config.script_fuel);
                             host.borrow_mut().now = clock.now();
-                            if interp.run_source(&src).is_err() {
-                                stats.script_errors += 1;
-                            }
+                            run_page_script(interp, &src, self.config.script_fuel, stats);
                         }
                         _ => stats.requests_failed += 1,
                     }
@@ -387,6 +381,22 @@ impl Browser {
 enum Resource {
     InlineScript(String),
     External(String, ResourceType),
+}
+
+/// Execute one page script, classifying any failure into the stats counters
+/// (parse failures and budget exhaustion get their own tallies so the
+/// crawler can attribute a site loss to the right fault class).
+fn run_page_script(interp: &mut Interpreter, src: &str, fuel: u64, stats: &mut LoadStats) {
+    stats.scripts_run += 1;
+    interp.set_fuel(fuel);
+    if let Err(e) = interp.run_source(src) {
+        stats.script_errors += 1;
+        match e {
+            ScriptError::Parse(_) => stats.script_parse_errors += 1,
+            ScriptError::Runtime(RuntimeError::OutOfFuel) => stats.script_budget_errors += 1,
+            ScriptError::Runtime(_) => {}
+        }
+    }
 }
 
 impl Page {

@@ -94,6 +94,7 @@ impl Study {
             profiles,
             threads: config.threads,
             seed: config.seed ^ 0xC4A31,
+            retry: bfu_crawler::RetryPolicy::default(),
         };
         let dataset = Survey::new(web.clone(), crawl).run();
         let registry = FeatureRegistry::build();
@@ -166,9 +167,10 @@ impl Study {
             profiles: vec![BrowserProfile::Default],
             threads: self.config.threads,
             seed: self.config.seed ^ 0xC4A31,
+            retry: bfu_crawler::RetryPolicy::default(),
         };
         let survey = Survey::new(self.web.clone(), crawl);
-        histogram(&survey.external_validation(&self.dataset, n))
+        histogram(&survey.external_validation(&self.dataset, n).sites)
     }
 }
 

@@ -1,5 +1,7 @@
 //! Crawl configuration.
 
+use crate::retry::RetryPolicy;
+
 /// A browser configuration the survey crawls with (§4.3 / §5.7.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BrowserProfile {
@@ -42,6 +44,8 @@ pub struct CrawlConfig {
     pub threads: usize,
     /// Master crawl seed (independent of the web's generation seed).
     pub seed: u64,
+    /// Retry policy for transient page-load failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CrawlConfig {
@@ -54,6 +58,7 @@ impl Default for CrawlConfig {
             profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             seed: 0xC4A11,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -70,6 +75,7 @@ impl CrawlConfig {
             profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
             threads: 2,
             seed,
+            retry: RetryPolicy::default(),
         }
     }
 }

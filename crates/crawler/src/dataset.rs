@@ -5,6 +5,7 @@
 //! weights, failures, page counts) for Tables 1/3 and Figs. 3-9.
 
 use crate::config::BrowserProfile;
+use crate::error::CrawlError;
 use bfu_browser::FeatureLog;
 use bfu_webgen::SiteId;
 use bfu_webidl::{FeatureId, FeatureRegistry, StandardId};
@@ -21,8 +22,88 @@ pub struct RoundMeasurement {
     pub pages_visited: u32,
     /// Virtual interaction time spent, in ms.
     pub interaction_ms: u64,
-    /// Whether the home page failed to load this round.
-    pub failed: bool,
+    /// Why the round measured nothing, or `None` if it did.
+    pub error: Option<CrawlError>,
+    /// Page-load attempts made across the round.
+    pub attempts: u32,
+    /// Retries among those attempts.
+    pub retries: u32,
+    /// Virtual ms paid in retry backoff.
+    pub backoff_ms: u64,
+}
+
+impl RoundMeasurement {
+    /// Whether the round failed to measure the site at all.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// An empty, healthy round — test/builder convenience.
+    pub fn empty(round: u32) -> Self {
+        RoundMeasurement {
+            round,
+            log: FeatureLog::new(),
+            pages_visited: 0,
+            interaction_ms: 0,
+            error: None,
+            attempts: 0,
+            retries: 0,
+            backoff_ms: 0,
+        }
+    }
+
+    /// A round lost to `error`, with nothing measured.
+    pub fn failed_with(round: u32, error: CrawlError) -> Self {
+        RoundMeasurement {
+            error: Some(error),
+            ..RoundMeasurement::empty(round)
+        }
+    }
+}
+
+/// How one site fared across the whole crawl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteOutcome {
+    /// At least one round measured the site.
+    Completed,
+    /// Every round failed; the dominant failure class.
+    Failed(CrawlError),
+    /// The crawl worker panicked on this site; nothing was measured.
+    Panicked,
+}
+
+impl SiteOutcome {
+    /// Derive the outcome from a site's rounds: completed if any round
+    /// measured, otherwise the most frequent failure class (ties break
+    /// toward the lower class index). Sites with no rounds at all count as
+    /// completed vacuously — panics are recorded explicitly by the survey.
+    pub fn from_rounds(rounds: &[(BrowserProfile, Vec<RoundMeasurement>)]) -> SiteOutcome {
+        let mut counts = [0usize; CrawlError::CLASS_COUNT];
+        let mut first: [Option<CrawlError>; CrawlError::CLASS_COUNT] =
+            [None; CrawlError::CLASS_COUNT];
+        let mut any_round = false;
+        for r in rounds.iter().flat_map(|(_, rs)| rs) {
+            any_round = true;
+            match r.error {
+                None => return SiteOutcome::Completed,
+                Some(e) => {
+                    let ix = e.class_ix();
+                    counts[ix] += 1;
+                    first[ix].get_or_insert(e);
+                }
+            }
+        }
+        if !any_round {
+            return SiteOutcome::Completed;
+        }
+        let mut best = 0;
+        for ix in 1..CrawlError::CLASS_COUNT {
+            if counts[ix] > counts[best] {
+                best = ix;
+            }
+        }
+        SiteOutcome::Failed(first[best].unwrap_or(CrawlError::DeadHost))
+    }
 }
 
 /// All measurements for one site.
@@ -34,6 +115,8 @@ pub struct SiteMeasurement {
     pub domain: String,
     /// Normalized traffic share (for Fig. 5 weighting).
     pub traffic_weight: f64,
+    /// How the site fared overall (completed / failed / panicked).
+    pub outcome: SiteOutcome,
     /// Rounds per profile, in config order.
     pub rounds: Vec<(BrowserProfile, Vec<RoundMeasurement>)>,
 }
@@ -51,7 +134,7 @@ impl SiteMeasurement {
     /// page loaded).
     pub fn measured(&self, profile: BrowserProfile) -> bool {
         self.rounds_for(profile)
-            .is_some_and(|rs| rs.iter().any(|r| !r.failed))
+            .is_some_and(|rs| rs.iter().any(|r| !r.failed()))
     }
 
     /// Union of features observed across all rounds of a profile.
@@ -169,6 +252,123 @@ impl Dataset {
             .filter(|s| s.standards_used(profile, registry).contains(&standard))
             .count()
     }
+
+    /// Supervision summary: per-class loss counts and retry effort — the
+    /// paper's "267 unreachable domains", classified.
+    pub fn health(&self) -> CrawlHealth {
+        let mut health = CrawlHealth {
+            sites_total: self.sites.len(),
+            ..CrawlHealth::default()
+        };
+        for s in &self.sites {
+            match s.outcome {
+                SiteOutcome::Completed => health.sites_completed += 1,
+                SiteOutcome::Failed(e) => {
+                    health.sites_failed += 1;
+                    health.failures_by_class[e.class_ix()] += 1;
+                }
+                SiteOutcome::Panicked => health.sites_panicked += 1,
+            }
+            for r in s.rounds.iter().flat_map(|(_, rs)| rs) {
+                health.total_attempts += u64::from(r.attempts);
+                health.total_retries += u64::from(r.retries);
+                health.total_backoff_ms += r.backoff_ms;
+            }
+        }
+        health
+    }
+
+    /// Order-sensitive digest of every measurement in the dataset. Two
+    /// crawls that measured the same things — same outcomes, same failure
+    /// classes, same logs, same retry effort — fingerprint identically,
+    /// which is how the determinism tests compare thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fnv::new();
+        f.write_u64(self.rounds_per_profile.into());
+        f.write_u64(self.sites.len() as u64);
+        for s in &self.sites {
+            f.write(s.domain.as_bytes());
+            f.write_u64(s.traffic_weight.to_bits());
+            f.write_u64(match s.outcome {
+                SiteOutcome::Completed => 0,
+                SiteOutcome::Failed(e) => 1 + e.class_ix() as u64,
+                SiteOutcome::Panicked => 0xFF,
+            });
+            for (profile, rounds) in &s.rounds {
+                f.write(profile.label().as_bytes());
+                for r in rounds {
+                    f.write_u64(r.round.into());
+                    f.write_u64(r.pages_visited.into());
+                    f.write_u64(r.interaction_ms);
+                    f.write_u64(r.error.map_or(0xFFFF, |e| e.class_ix() as u64));
+                    f.write_u64(r.attempts.into());
+                    f.write_u64(r.retries.into());
+                    f.write_u64(r.backoff_ms);
+                    for rec in r.log.records() {
+                        f.write_u64(u64::from(rec.feature.raw()));
+                        f.write_u64(rec.count);
+                    }
+                }
+            }
+        }
+        f.finish()
+    }
+}
+
+/// Aggregate crawl-supervision statistics over a [`Dataset`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrawlHealth {
+    /// Sites attempted.
+    pub sites_total: usize,
+    /// Sites with at least one measured round.
+    pub sites_completed: usize,
+    /// Sites lost, every round failed.
+    pub sites_failed: usize,
+    /// Sites lost to worker panics.
+    pub sites_panicked: usize,
+    /// Lost sites per failure class, indexed by [`CrawlError::class_ix`].
+    pub failures_by_class: [usize; CrawlError::CLASS_COUNT],
+    /// Page-load attempts across the crawl.
+    pub total_attempts: u64,
+    /// Retries among those attempts.
+    pub total_retries: u64,
+    /// Virtual ms paid in retry backoff.
+    pub total_backoff_ms: u64,
+}
+
+impl CrawlHealth {
+    /// `(class name, lost sites)` pairs for every failure class, in
+    /// `class_ix` order.
+    pub fn breakdown(&self) -> Vec<(&'static str, usize)> {
+        CrawlError::class_names()
+            .into_iter()
+            .zip(self.failures_by_class)
+            .collect()
+    }
+}
+
+/// Incremental FNV-1a, for dataset fingerprinting.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -183,41 +383,28 @@ mod tests {
         log
     }
 
+    fn round_with(round: u32, features: &[u32]) -> RoundMeasurement {
+        RoundMeasurement {
+            log: log_with(features),
+            pages_visited: 13,
+            interaction_ms: 390_000,
+            attempts: 13,
+            ..RoundMeasurement::empty(round)
+        }
+    }
+
     fn measurement() -> SiteMeasurement {
         SiteMeasurement {
             site: SiteId::new(0),
             domain: "a.test".into(),
             traffic_weight: 0.1,
+            outcome: SiteOutcome::Completed,
             rounds: vec![
                 (
                     BrowserProfile::Default,
-                    vec![
-                        RoundMeasurement {
-                            round: 0,
-                            log: log_with(&[1, 2]),
-                            pages_visited: 13,
-                            interaction_ms: 390_000,
-                            failed: false,
-                        },
-                        RoundMeasurement {
-                            round: 1,
-                            log: log_with(&[2, 3]),
-                            pages_visited: 13,
-                            interaction_ms: 390_000,
-                            failed: false,
-                        },
-                    ],
+                    vec![round_with(0, &[1, 2]), round_with(1, &[2, 3])],
                 ),
-                (
-                    BrowserProfile::Blocking,
-                    vec![RoundMeasurement {
-                        round: 0,
-                        log: log_with(&[2]),
-                        pages_visited: 13,
-                        interaction_ms: 390_000,
-                        failed: false,
-                    }],
-                ),
+                (BrowserProfile::Blocking, vec![round_with(0, &[2])]),
             ],
         }
     }
@@ -249,22 +436,102 @@ mod tests {
 
     #[test]
     fn failed_rounds_dont_count_as_measured() {
+        let rounds = vec![(
+            BrowserProfile::Default,
+            vec![RoundMeasurement::failed_with(0, CrawlError::DeadHost)],
+        )];
         let m = SiteMeasurement {
             site: SiteId::new(1),
             domain: "dead.test".into(),
             traffic_weight: 0.0,
-            rounds: vec![(
-                BrowserProfile::Default,
-                vec![RoundMeasurement {
-                    round: 0,
-                    log: FeatureLog::new(),
-                    pages_visited: 0,
-                    interaction_ms: 0,
-                    failed: true,
-                }],
-            )],
+            outcome: SiteOutcome::from_rounds(&rounds),
+            rounds,
         };
         assert!(!m.measured(BrowserProfile::Default));
+        assert_eq!(m.outcome, SiteOutcome::Failed(CrawlError::DeadHost));
+    }
+
+    #[test]
+    fn outcome_prefers_dominant_class() {
+        let rounds = vec![(
+            BrowserProfile::Default,
+            vec![
+                RoundMeasurement::failed_with(0, CrawlError::Stall),
+                RoundMeasurement::failed_with(1, CrawlError::DeadHost),
+                RoundMeasurement::failed_with(2, CrawlError::Stall),
+            ],
+        )];
+        assert_eq!(
+            SiteOutcome::from_rounds(&rounds),
+            SiteOutcome::Failed(CrawlError::Stall)
+        );
+        let mixed = vec![(
+            BrowserProfile::Default,
+            vec![
+                RoundMeasurement::failed_with(0, CrawlError::Stall),
+                RoundMeasurement::empty(1),
+            ],
+        )];
+        assert_eq!(SiteOutcome::from_rounds(&mixed), SiteOutcome::Completed);
+    }
+
+    #[test]
+    fn health_classifies_every_lost_site() {
+        let lost = |site: u32, domain: &str, error| {
+            let rounds = vec![(
+                BrowserProfile::Default,
+                vec![RoundMeasurement {
+                    retries: 2,
+                    attempts: 3,
+                    backoff_ms: 750,
+                    ..RoundMeasurement::failed_with(0, error)
+                }],
+            )];
+            SiteMeasurement {
+                site: SiteId::new(site),
+                domain: domain.into(),
+                traffic_weight: 0.0,
+                outcome: SiteOutcome::from_rounds(&rounds),
+                rounds,
+            }
+        };
+        let ds = Dataset {
+            profiles: vec![BrowserProfile::Default],
+            rounds_per_profile: 1,
+            sites: vec![
+                measurement(),
+                lost(1, "dead.test", CrawlError::DeadHost),
+                lost(2, "slow.test", CrawlError::Stall),
+            ],
+        };
+        let health = ds.health();
+        assert_eq!(health.sites_total, 3);
+        assert_eq!(health.sites_completed, 1);
+        assert_eq!(health.sites_failed, 2);
+        assert_eq!(health.sites_panicked, 0);
+        assert_eq!(health.failures_by_class.iter().sum::<usize>(), 2);
+        assert_eq!(health.failures_by_class[CrawlError::DeadHost.class_ix()], 1);
+        assert_eq!(health.failures_by_class[CrawlError::Stall.class_ix()], 1);
+        assert_eq!(health.total_retries, 4);
+        assert_eq!(health.total_backoff_ms, 1_500);
+        let named: Vec<_> = health.breakdown().into_iter().filter(|(_, n)| *n > 0).collect();
+        assert_eq!(named, vec![("dead host", 1), ("stall", 1)]);
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_outcome_and_log() {
+        let base = Dataset {
+            profiles: vec![BrowserProfile::Default],
+            rounds_per_profile: 1,
+            sites: vec![measurement()],
+        };
+        let mut other = base.clone();
+        assert_eq!(base.fingerprint(), other.fingerprint());
+        other.sites[0].outcome = SiteOutcome::Panicked;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut third = base.clone();
+        third.sites[0].rounds[0].1[0].log.record(FeatureId::new(40));
+        assert_ne!(base.fingerprint(), third.fingerprint());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! # bfu-crawler
 //!
-//! Survey orchestration: the automated crawl of §4.3.3.
+//! Survey orchestration: the automated crawl of §4.3.3, with a supervision
+//! layer the paper's own rig implicitly had (its crawl *lost* 267 domains;
+//! ours classifies every loss).
 //!
 //! For each site in the ranking: 5 measurement rounds in the default
 //! configuration and 5 with blocking extensions installed (plus optional
@@ -9,16 +11,29 @@
 //! across OS threads (each site's virtual world is independent and seeded).
 //!
 //! - [`config`] — crawl parameters (rounds, pages, budgets, configurations).
-//! - [`visit`] — one page visit: load, instrument, interact, harvest logs.
-//! - [`survey`] — the full study driver producing a [`dataset::Dataset`].
-//! - [`dataset`] — the measurement records all analyses consume.
+//! - [`error`] — the [`error::CrawlError`] fault taxonomy.
+//! - [`retry`] — deterministic bounded retry with virtual-clock backoff.
+//! - [`visit`] — one page visit: load (with retries + watchdog), instrument,
+//!   interact, harvest logs.
+//! - [`survey`] — the full study driver producing a partial-tolerant
+//!   [`dataset::Dataset`].
+//! - [`dataset`] — the measurement records all analyses consume, plus the
+//!   [`dataset::CrawlHealth`] supervision summary.
+
+// The crawl must degrade, not die: every unwrap/expect outside tests is a
+// latent panic that would take a whole survey down with one bad site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod dataset;
+pub mod error;
+pub mod retry;
 pub mod survey;
 pub mod visit;
 
 pub use config::{BrowserProfile, CrawlConfig};
-pub use dataset::{Dataset, SiteMeasurement};
-pub use survey::Survey;
+pub use dataset::{CrawlHealth, Dataset, RoundMeasurement, SiteMeasurement, SiteOutcome};
+pub use error::CrawlError;
+pub use retry::{load_with_retry, AttemptTrace, RetryPolicy};
+pub use survey::{Survey, ValidationRun};
 pub use visit::{policy_for, visit_site_round, PolicyAdapter};

@@ -1,0 +1,142 @@
+//! Deterministic retry with exponential backoff, paid in virtual time.
+//!
+//! A real crawler retries flaky fetches; ours does too, but the backoff is
+//! deducted from the same virtual clock that pays for page interaction, so
+//! retrying is never free — a site that needs three attempts has genuinely
+//! less of its 30-second budget left. Only transient classes
+//! ([`CrawlError::is_transient`]) are retried; a dead host or a syntax error
+//! fails immediately with its true class.
+
+use crate::error::CrawlError;
+use bfu_browser::{Browser, Page, RequestPolicy};
+use bfu_net::{SimNet, Url};
+use bfu_util::{Instant, VirtualClock};
+
+/// Bounded-attempt exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per page load (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual ms.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff, in virtual ms.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 250,
+            max_backoff_ms: 4_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+        }
+    }
+
+    /// Backoff before retry number `retry_ix` (0-based): `base << retry_ix`,
+    /// capped at `max_backoff_ms`.
+    pub fn backoff_ms(&self, retry_ix: u32) -> u64 {
+        let factor = 1u64.checked_shl(retry_ix).unwrap_or(u64::MAX);
+        self.base_backoff_ms
+            .saturating_mul(factor)
+            .min(self.max_backoff_ms)
+    }
+
+    /// Whether to retry after `attempts_made` attempts ended in `error`.
+    pub fn should_retry(&self, error: CrawlError, attempts_made: u32) -> bool {
+        error.is_transient() && attempts_made < self.max_attempts
+    }
+}
+
+/// What one supervised page load did: how many attempts, how much backoff
+/// was paid, and the final error if every attempt failed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttemptTrace {
+    /// Load attempts made (≥ 1).
+    pub attempts: u32,
+    /// Retries among those attempts (`attempts - 1`).
+    pub retries: u32,
+    /// Total virtual ms spent backing off.
+    pub backoff_ms: u64,
+    /// Classified error of the last attempt, `None` on success.
+    pub error: Option<CrawlError>,
+}
+
+/// Load `url`, retrying transient failures with exponential backoff until
+/// the policy's attempt bound or `deadline` would be crossed. Backoff is
+/// paid on `clock` before each retry, so supervision consumes the same
+/// budget as measurement.
+#[allow(clippy::too_many_arguments)]
+pub fn load_with_retry(
+    browser: &Browser,
+    net: &mut SimNet,
+    url: &Url,
+    policy: &dyn RequestPolicy,
+    clock: &mut VirtualClock,
+    deadline: Instant,
+    retry: &RetryPolicy,
+) -> (Option<Page>, AttemptTrace) {
+    let mut trace = AttemptTrace::default();
+    loop {
+        trace.attempts += 1;
+        match browser.load(net, url, policy, clock) {
+            Ok(page) => {
+                trace.error = None;
+                return (Some(page), trace);
+            }
+            Err(e) => {
+                let error = CrawlError::from_load(&e);
+                trace.error = Some(error);
+                if !retry.should_retry(error, trace.attempts) {
+                    return (None, trace);
+                }
+                let backoff = retry.backoff_ms(trace.retries);
+                if clock.now().plus(backoff) > deadline {
+                    // Not enough budget left to wait out the backoff: give
+                    // up with the truthful underlying class.
+                    return (None, trace);
+                }
+                clock.advance(backoff);
+                trace.backoff_ms += backoff;
+                trace.retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(0), 250);
+        assert_eq!(p.backoff_ms(1), 500);
+        assert_eq!(p.backoff_ms(2), 1_000);
+        assert_eq!(p.backoff_ms(10), 4_000);
+        assert_eq!(p.backoff_ms(63), 4_000);
+        assert_eq!(p.backoff_ms(64), 4_000, "shift overflow must saturate");
+    }
+
+    #[test]
+    fn retry_matrix() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(CrawlError::ConnectionReset, 1));
+        assert!(p.should_retry(CrawlError::Stall, 2));
+        assert!(!p.should_retry(CrawlError::ConnectionReset, 3), "bound");
+        assert!(!p.should_retry(CrawlError::DeadHost, 1), "permanent");
+        assert!(!p.should_retry(CrawlError::ScriptSyntax, 1), "permanent");
+        assert!(!RetryPolicy::none().should_retry(CrawlError::Stall, 1));
+    }
+}

@@ -1,36 +1,70 @@
 //! The full survey: every site × every profile × every round, in parallel.
 //!
 //! Sites are independent virtual worlds, so the survey shards them across
-//! worker threads (crossbeam scoped threads + an atomic work counter). Each
+//! worker threads (std scoped threads + an atomic work counter). Each
 //! worker builds its own network, browser, and policies; per-site randomness
-//! is derived from `(crawl seed, site, profile, round)` so results are
+//! is derived from `(crawl seed, site, profile, round)` and fault sampling
+//! from `(fault seed, site context, host, exchange index)`, so results are
 //! identical regardless of thread count or scheduling.
+//!
+//! The survey never panics out from under the caller: each site crawl runs
+//! under `catch_unwind`, a panicking site is recorded as
+//! [`SiteOutcome::Panicked`] and the rest of the crawl proceeds. The
+//! returned [`Dataset`] is therefore *partial by construction* — consult
+//! [`Dataset::health`] for the loss breakdown.
 
 use crate::config::{BrowserProfile, CrawlConfig};
-use crate::dataset::{Dataset, SiteMeasurement};
+use crate::dataset::{Dataset, SiteMeasurement, SiteOutcome};
 use crate::visit::{policy_for, visit_site_round, PolicyAdapter};
 use bfu_browser::Browser;
 use bfu_monkey::{HumanProfile, Interactor};
-use bfu_net::{SimNet, Url};
-use bfu_util::SimRng;
+use bfu_net::{FaultPlan, SimNet, Url};
+use bfu_util::{hash_label, SimRng};
 use bfu_webgen::{SiteId, SyntheticWeb};
 use bfu_webidl::StandardId;
-use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The survey driver.
 #[derive(Debug, Clone)]
 pub struct Survey {
     web: SyntheticWeb,
     config: CrawlConfig,
+    fault_overlay: Option<FaultPlan>,
+}
+
+/// Outcome of [`Survey::external_validation`]: per-site standards the human
+/// profile saw that the automated crawl missed, plus how far short the
+/// weighted sample fell of the requested size.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationRun {
+    /// `(site, standards the human saw that automation missed)`.
+    pub sites: Vec<(SiteId, usize)>,
+    /// Sites requested.
+    pub requested: usize,
+    /// Requested minus delivered (dead sites, exhausted sampling, bad
+    /// weights) — surfaced instead of silently under-sampling.
+    pub shortfall: usize,
 }
 
 impl Survey {
     /// A survey over `web` with `config`.
     pub fn new(web: SyntheticWeb, config: CrawlConfig) -> Self {
-        Survey { web, config }
+        Survey {
+            web,
+            config,
+            fault_overlay: None,
+        }
+    }
+
+    /// Overlay extra faults on top of the web's own plan (dead hosts from
+    /// generation stay dead; the overlay adds programs, resets, latency).
+    pub fn with_faults(mut self, overlay: FaultPlan) -> Self {
+        self.fault_overlay = Some(overlay);
+        self
     }
 
     /// The web under survey.
@@ -43,50 +77,90 @@ impl Survey {
         &self.config
     }
 
-    /// Run the whole crawl, returning the dataset.
+    /// The effective fault plan a worker's network runs under.
+    fn effective_faults(&self, net: &SimNet) -> FaultPlan {
+        let mut plan = net.faults().clone();
+        if let Some(overlay) = &self.fault_overlay {
+            plan = plan.merge(overlay.clone());
+        }
+        if plan.seed == 0 {
+            plan.seed = self.config.seed;
+        }
+        plan
+    }
+
+    /// Build one worker's private world: network (with faults applied),
+    /// browser, and one policy per profile.
+    fn build_world(&self) -> (SimNet, Browser, Vec<(BrowserProfile, PolicyAdapter)>) {
+        let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
+        self.web.install_into(&mut net);
+        net.set_faults(self.effective_faults(&net));
+        let registry = Rc::new((**self.web.registry()).clone());
+        let browser = Browser::new(registry);
+        let policies: Vec<(BrowserProfile, PolicyAdapter)> = self
+            .config
+            .profiles
+            .iter()
+            .map(|&p| (p, policy_for(&self.web, p)))
+            .collect();
+        (net, browser, policies)
+    }
+
+    /// Run the whole crawl, returning the (possibly partial) dataset.
     pub fn run(&self) -> Dataset {
         let n_sites = self.web.site_count();
         let results: Mutex<Vec<Option<SiteMeasurement>>> = Mutex::new(vec![None; n_sites]);
         let next = AtomicUsize::new(0);
         let threads = self.config.threads.max(1).min(n_sites.max(1));
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
-                    // Thread-local world: network with all servers, browser,
-                    // and one policy per profile.
-                    let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
-                    self.web.install_into(&mut net);
-                    let registry = Rc::new((**self.web.registry()).clone());
-                    let browser = Browser::new(registry);
-                    let policies: Vec<(BrowserProfile, PolicyAdapter)> = self
-                        .config
-                        .profiles
-                        .iter()
-                        .map(|&p| (p, policy_for(&self.web, p)))
-                        .collect();
-
+                scope.spawn(|| {
+                    let (mut net, browser, policies) = self.build_world();
                     loop {
                         let ix = next.fetch_add(1, Ordering::Relaxed);
                         if ix >= n_sites {
                             break;
                         }
-                        let m = self.crawl_site(ix, &browser, &mut net, &policies);
-                        results.lock()[ix] = Some(m);
+                        // A panicking site must not take the worker (or the
+                        // survey) down with it; it becomes a Panicked entry.
+                        let m = catch_unwind(AssertUnwindSafe(|| {
+                            self.crawl_site(ix, &browser, &mut net, &policies)
+                        }))
+                        .unwrap_or_else(|_| self.panicked_site(ix));
+                        let mut slots =
+                            results.lock().unwrap_or_else(|poison| poison.into_inner());
+                        slots[ix] = Some(m);
                     }
                 });
             }
-        })
-        .expect("crawler threads");
+        });
 
+        let slots = results
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner());
         Dataset {
             profiles: self.config.profiles.clone(),
             rounds_per_profile: self.config.rounds_per_profile,
-            sites: results
-                .into_inner()
+            sites: slots
                 .into_iter()
-                .map(|m| m.expect("every site crawled"))
+                .enumerate()
+                .map(|(ix, m)| m.unwrap_or_else(|| self.panicked_site(ix)))
                 .collect(),
+        }
+    }
+
+    /// The record for a site whose crawl panicked (or was never filled in):
+    /// nothing measured, outcome marked so `health()` can count it.
+    fn panicked_site(&self, site_ix: usize) -> SiteMeasurement {
+        let site = SiteId::from_usize(site_ix);
+        let plan = self.web.plan(site);
+        SiteMeasurement {
+            site,
+            domain: plan.site.domain.clone(),
+            traffic_weight: plan.site.traffic_weight,
+            outcome: SiteOutcome::Panicked,
+            rounds: Vec::new(),
         }
     }
 
@@ -110,6 +184,7 @@ impl Survey {
                     browser,
                     net,
                     policy,
+                    *profile,
                     &plan.site.domain,
                     &self.config,
                     round,
@@ -118,24 +193,29 @@ impl Survey {
             }
             rounds.push((*profile, per_round));
         }
+        let outcome = SiteOutcome::from_rounds(&rounds);
         SiteMeasurement {
             site,
             domain: plan.site.domain.clone(),
             traffic_weight: plan.site.traffic_weight,
+            outcome,
             rounds,
         }
     }
 
     /// §6.2 external validation: visit `n` traffic-weighted sites with the
     /// human profile (3 pages × 30 s each) and report, per site, how many
-    /// standards the human saw that the automated dataset missed.
-    pub fn external_validation(&self, dataset: &Dataset, n: usize) -> Vec<(SiteId, usize)> {
+    /// standards the human saw that the automated dataset missed. A sample
+    /// that comes up short (dead sites, degenerate weights) reports its
+    /// shortfall rather than silently shrinking.
+    pub fn external_validation(&self, dataset: &Dataset, n: usize) -> ValidationRun {
         let mut rng = SimRng::new(self.config.seed).fork("external-validation");
         let registry_arc = self.web.registry().clone();
         let registry = Rc::new((*registry_arc).clone());
         let browser = Browser::new(registry.clone());
         let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
         self.web.install_into(&mut net);
+        net.set_faults(self.effective_faults(&net));
         let policy = policy_for(&self.web, BrowserProfile::Default);
 
         // Traffic-weighted sample without replacement.
@@ -146,26 +226,37 @@ impl Survey {
             .iter()
             .map(|p| p.site.traffic_weight)
             .collect();
-        let dist = bfu_util::WeightedIndex::new(&weights).expect("weights");
+        let Some(dist) = bfu_util::WeightedIndex::new(&weights) else {
+            return ValidationRun {
+                sites: Vec::new(),
+                requested: n,
+                shortfall: n,
+            };
+        };
+        let want = n.min(self.web.site_count());
         let mut chosen: Vec<usize> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
         let mut guard = 0;
-        while chosen.len() < n.min(self.web.site_count()) && guard < n * 50 {
+        while chosen.len() < want && guard < n.saturating_mul(50) {
             let pick = dist.sample(&mut rng);
-            if !chosen.contains(&pick) && !self.web.plan(SiteId::from_usize(pick)).dead {
+            if seen.insert(pick) && !self.web.plan(SiteId::from_usize(pick)).dead {
                 chosen.push(pick);
             }
             guard += 1;
         }
 
-        let mut out = Vec::new();
+        let mut sites = Vec::new();
         for site_ix in chosen {
             let site = SiteId::from_usize(site_ix);
             let domain = &self.web.plan(site).site.domain;
+            let Ok(mut url) = Url::parse(&format!("http://{domain}/")) else {
+                continue;
+            };
+            net.set_fault_context(hash_label(domain).rotate_left(7) ^ hash_label("external-validation"));
             let mut human_standards: HashSet<StandardId> = HashSet::new();
             let mut human = HumanProfile::new(rng.fork_idx(site_ix as u64));
             let mut clock = bfu_util::VirtualClock::new();
             // Home plus up to two prominently-linked pages, 30 s each.
-            let mut url = Url::parse(&format!("http://{domain}/")).expect("domain url");
             for _ in 0..3 {
                 let Ok(mut page) = browser.load(&mut net, &url, &policy, &mut clock) else {
                     break;
@@ -189,8 +280,13 @@ impl Survey {
             let automated = dataset.sites[site_ix]
                 .standards_used(BrowserProfile::Default, &registry);
             let new = human_standards.difference(&automated).count();
-            out.push((site, new));
+            sites.push((site, new));
         }
-        out
+        let shortfall = n.saturating_sub(sites.len());
+        ValidationRun {
+            sites,
+            requested: n,
+            shortfall,
+        }
     }
 }

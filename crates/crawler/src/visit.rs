@@ -6,11 +6,13 @@
 
 use crate::config::{BrowserProfile, CrawlConfig};
 use crate::dataset::RoundMeasurement;
+use crate::error::CrawlError;
+use crate::retry::load_with_retry;
 use bfu_blocker::{BlockDecision, BlockerStack, FilterEngine, TrackerCategory, TrackerDb};
-use bfu_browser::{Browser, FeatureLog, RequestPolicy};
+use bfu_browser::{Browser, FeatureLog, LoadStats, RequestPolicy};
 use bfu_monkey::{CrawlPlanner, GremlinHorde, Interactor};
 use bfu_net::{HttpRequest, SimNet, Url};
-use bfu_util::{SimRng, VirtualClock};
+use bfu_util::{hash_label, SimRng, VirtualClock};
 use bfu_webgen::{PartyKind, SyntheticWeb};
 
 /// Adapter: a [`BlockerStack`] as the browser's [`RequestPolicy`].
@@ -64,14 +66,24 @@ pub fn policy_for(web: &SyntheticWeb, profile: BrowserProfile) -> PolicyAdapter 
 
 /// Crawl one site for one round under one profile.
 ///
-/// Never fails hard: an unreachable site produces a `failed` round with an
-/// empty log, mirroring how the paper simply lost 267 domains.
+/// Never fails hard: a lost site produces a round carrying its classified
+/// [`CrawlError`], mirroring how the paper lost 267 domains — except here
+/// the loss itself is a measurement. Supervision per round:
+///
+/// - the fault context is derived from `(domain, profile, round)`, so the
+///   simulated network faults identically however sites are sharded across
+///   threads;
+/// - every page load goes through the retry policy, paying backoff from the
+///   same virtual clock that pays for interaction;
+/// - a watchdog bounds the round at twice its nominal interaction budget,
+///   so stalls can't hang a worker — the round keeps whatever it measured.
 #[allow(clippy::too_many_arguments)]
 pub fn visit_site_round(
     _web: &SyntheticWeb,
     browser: &Browser,
     net: &mut SimNet,
     policy: &PolicyAdapter,
+    profile: BrowserProfile,
     domain: &str,
     config: &CrawlConfig,
     round: u32,
@@ -82,37 +94,54 @@ pub fn visit_site_round(
     let mut merged = FeatureLog::new();
     let mut planner = CrawlPlanner::new(domain);
     let mut pages_visited = 0u32;
+    let mut measurement = RoundMeasurement::empty(round);
 
-    let home = match Url::parse(&format!("http://{domain}/")) {
-        Ok(u) => u,
-        Err(_) => {
-            return RoundMeasurement {
-                round,
-                log: merged,
-                pages_visited: 0,
-                interaction_ms: 0,
-                failed: true,
-            }
-        }
+    net.set_fault_context(
+        hash_label(domain) ^ hash_label(profile.label()).rotate_left(17) ^ u64::from(round),
+    );
+
+    let Ok(home) = Url::parse(&format!("http://{domain}/")) else {
+        return RoundMeasurement::failed_with(round, CrawlError::DeadHost);
     };
+
+    // Watchdog: the round's nominal budget with 2x headroom for page loads,
+    // retries, and stalls. Expiry keeps whatever was already measured.
+    let nominal = config.page_budget_ms.saturating_mul(config.pages_per_site as u64);
+    let watchdog = start.plus(nominal.saturating_mul(2).max(config.page_budget_ms));
 
     // Breadth-first frontier, starting at the home page.
     let mut frontier = vec![home];
-    let mut failed = false;
+    let mut error: Option<CrawlError> = None;
     while let Some(url) = frontier.pop() {
         if pages_visited as usize >= config.pages_per_site {
             break;
         }
-        planner.mark_visited(&url);
-        let mut page = match browser.load(net, &url, policy, &mut clock) {
-            Ok(p) => p,
-            Err(_) => {
-                if pages_visited == 0 {
-                    failed = true; // the home page itself was unreachable
-                }
-                continue;
+        if clock.now() > watchdog {
+            if pages_visited == 0 && error.is_none() {
+                error = Some(CrawlError::WatchdogExpired);
             }
+            break;
+        }
+        planner.mark_visited(&url);
+        let (page, trace) =
+            load_with_retry(browser, net, &url, policy, &mut clock, watchdog, &config.retry);
+        measurement.attempts += trace.attempts;
+        measurement.retries += trace.retries;
+        measurement.backoff_ms += trace.backoff_ms;
+        let Some(mut page) = page else {
+            if pages_visited == 0 {
+                error = trace.error; // the home page itself was lost
+            }
+            continue;
         };
+        if pages_visited == 0 {
+            if let Some(fatal) = fatal_script_class(&page.stats) {
+                // The home page "loaded" but its scripts are unusable — the
+                // paper dropped these sites alongside the unreachable ones.
+                error = Some(fatal);
+                break;
+            }
+        }
         pages_visited += 1;
 
         let mut horde = GremlinHorde::new(rng.fork_idx(u64::from(pages_visited)));
@@ -131,13 +160,26 @@ pub fn visit_site_round(
         }
     }
 
-    RoundMeasurement {
-        round,
-        log: merged,
-        pages_visited,
-        interaction_ms: clock.now().since(start),
-        failed,
+    measurement.log = merged;
+    measurement.pages_visited = pages_visited;
+    measurement.interaction_ms = clock.now().since(start);
+    measurement.error = error;
+    measurement
+}
+
+/// A script failure class that makes the whole page unusable: every script
+/// on it failed the same fatal way.
+fn fatal_script_class(stats: &LoadStats) -> Option<CrawlError> {
+    if stats.scripts_run == 0 {
+        return None;
     }
+    if stats.script_parse_errors == stats.scripts_run {
+        return Some(CrawlError::ScriptSyntax);
+    }
+    if stats.script_budget_errors == stats.scripts_run {
+        return Some(CrawlError::ScriptBudget);
+    }
+    None
 }
 
 #[cfg(test)]
@@ -170,8 +212,11 @@ mod tests {
         let config = CrawlConfig::quick(1);
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(10);
-        let m = visit_site_round(&web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng);
-        assert!(!m.failed);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+        );
+        assert!(!m.failed());
         assert_eq!(m.pages_visited as usize, config.pages_per_site);
         assert!(m.log.distinct_features() > 0, "features observed");
         assert!(m.interaction_ms >= config.page_budget_ms * m.pages_visited as u64);
@@ -188,12 +233,12 @@ mod tests {
         let default = visit_site_round(
             &web, &browser, &mut net,
             &policy_for(&web, BrowserProfile::Default),
-            &domain, &config, 0, &mut rng_a,
+            BrowserProfile::Default, &domain, &config, 0, &mut rng_a,
         );
         let blocking = visit_site_round(
             &web, &browser, &mut net,
             &policy_for(&web, BrowserProfile::Blocking),
-            &domain, &config, 0, &mut rng_b,
+            BrowserProfile::Blocking, &domain, &config, 0, &mut rng_b,
         );
         assert!(
             blocking.log.distinct_features() <= default.log.distinct_features(),
@@ -214,9 +259,14 @@ mod tests {
         let config = CrawlConfig::quick(1);
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(3);
-        let m = visit_site_round(&web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng);
-        assert!(m.failed);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+        );
+        assert!(m.failed());
+        assert_eq!(m.error, Some(CrawlError::DeadHost));
         assert_eq!(m.pages_visited, 0);
+        assert_eq!(m.retries, 0, "dead hosts are permanent, never retried");
     }
 
     #[test]
@@ -229,11 +279,134 @@ mod tests {
             let policy = policy_for(&web, BrowserProfile::Default);
             let mut rng = SimRng::new(42);
             let m = visit_site_round(
-                &web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng,
+                &web, &browser, &mut net, &policy,
+                BrowserProfile::Default, &domain, &config, 0, &mut rng,
             );
             (m.log.total_invocations(), m.pages_visited, m.interaction_ms)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flaky_host_recovers_via_retry() {
+        use bfu_net::{FaultKind, HostFault};
+        let (web, browser, mut net) = rig();
+        let site = live_site(&web);
+        let domain = web.plan(site).site.domain.clone();
+        let faults = net
+            .faults()
+            .clone()
+            .with_program(&domain, HostFault::flaky(FaultKind::Reset, 2));
+        net.set_faults(faults);
+        let config = CrawlConfig::quick(1);
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(10);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+        );
+        assert!(!m.failed(), "retry must beat a twice-flaky host: {:?}", m.error);
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.backoff_ms, 250 + 500, "exponential backoff paid in full");
+        assert_eq!(m.pages_visited as usize, config.pages_per_site);
+    }
+
+    #[test]
+    fn flaky_host_without_retries_is_lost() {
+        use crate::retry::RetryPolicy;
+        use bfu_net::{FaultKind, HostFault};
+        let (web, browser, mut net) = rig();
+        let site = live_site(&web);
+        let domain = web.plan(site).site.domain.clone();
+        let faults = net
+            .faults()
+            .clone()
+            .with_program(&domain, HostFault::flaky(FaultKind::Reset, 2));
+        net.set_faults(faults);
+        let mut config = CrawlConfig::quick(1);
+        config.retry = RetryPolicy::none();
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(10);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+        );
+        assert_eq!(m.error, Some(CrawlError::ConnectionReset));
+        assert_eq!(m.retries, 0);
+    }
+
+    #[test]
+    fn stalls_consume_budget_and_classify() {
+        use crate::retry::RetryPolicy;
+        use bfu_net::{FaultKind, HostFault};
+        let (web, browser, mut net) = rig();
+        let site = live_site(&web);
+        let domain = web.plan(site).site.domain.clone();
+        let faults = net.faults().clone().with_program(
+            &domain,
+            HostFault::flaky(FaultKind::Stall, 99).with_stall_ms(5_000),
+        );
+        net.set_faults(faults);
+        let mut config = CrawlConfig::quick(1);
+        config.retry = RetryPolicy::none();
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(10);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+        );
+        assert_eq!(m.error, Some(CrawlError::Stall));
+        assert!(m.interaction_ms >= 5_000, "the stall burned virtual time");
+        assert_eq!(m.pages_visited, 0);
+    }
+
+    #[test]
+    fn all_scripts_unparseable_classifies_as_script_syntax() {
+        use bfu_net::HttpResponse;
+        let (web, browser, _) = rig();
+        let mut net = SimNet::new(SimRng::new(1));
+        net.register(
+            "broken.test",
+            std::sync::Arc::new(|_: &HttpRequest| {
+                HttpResponse::html(
+                    "<html><head><script>)]]] this is not javascript</script></head>\
+                     <body><p>hi</p></body></html>",
+                )
+            }),
+        );
+        let config = CrawlConfig::quick(1);
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(4);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, "broken.test", &config, 0, &mut rng,
+        );
+        assert_eq!(m.error, Some(CrawlError::ScriptSyntax));
+        assert_eq!(m.pages_visited, 0, "syntax-error sites are dropped whole");
+    }
+
+    #[test]
+    fn runaway_scripts_classify_as_script_budget() {
+        use bfu_net::HttpResponse;
+        let (web, browser, _) = rig();
+        let mut net = SimNet::new(SimRng::new(1));
+        net.register(
+            "spin.test",
+            std::sync::Arc::new(|_: &HttpRequest| {
+                HttpResponse::html(
+                    "<html><head><script>while (true) { var x = 1; }</script></head>\
+                     <body></body></html>",
+                )
+            }),
+        );
+        let config = CrawlConfig::quick(1);
+        let policy = policy_for(&web, BrowserProfile::Default);
+        let mut rng = SimRng::new(4);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, "spin.test", &config, 0, &mut rng,
+        );
+        assert_eq!(m.error, Some(CrawlError::ScriptBudget));
     }
 
     #[test]
@@ -247,7 +420,10 @@ mod tests {
         let config = CrawlConfig::quick(1);
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(7);
-        let m = visit_site_round(&web, &browser, &mut net, &policy, &domain, &config, 0, &mut rng);
+        let m = visit_site_round(
+            &web, &browser, &mut net, &policy,
+            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+        );
         let registry = FeatureRegistry::build();
         let planned: std::collections::HashSet<_> =
             plan.placements.iter().map(|p| p.feature).collect();

@@ -1,0 +1,172 @@
+//! Property tests for the retry policy and the supervised page load.
+//!
+//! Checked for every generated case: attempt counts respect the policy
+//! bound, backoff is monotone/capped and fully paid from the virtual clock,
+//! permanent failure classes are never retried, and identical inputs yield
+//! identical attempt traces.
+
+use bfu_browser::{AllowAll, Browser};
+use bfu_crawler::{load_with_retry, AttemptTrace, CrawlError, RetryPolicy};
+use bfu_net::{FaultKind, FaultPlan, HostFault, HttpRequest, HttpResponse, SimNet, Url};
+use bfu_util::{SimRng, VirtualClock};
+use bfu_webidl::FeatureRegistry;
+use proptest::prelude::*;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+const HOST: &str = "prop.test";
+
+fn registry() -> Rc<FeatureRegistry> {
+    static REGISTRY: OnceLock<FeatureRegistry> = OnceLock::new();
+    Rc::new(REGISTRY.get_or_init(FeatureRegistry::build).clone())
+}
+
+/// A network with one host that fails its first `fail_first` exchanges with
+/// `kind`, then serves a plain scriptless page.
+fn flaky_net(kind: FaultKind, fail_first: u64, seed: u64) -> SimNet {
+    let mut net = SimNet::new(SimRng::new(seed));
+    net.register(
+        HOST,
+        std::sync::Arc::new(|_: &HttpRequest| {
+            HttpResponse::html("<html><body><p>steady</p></body></html>")
+        }),
+    );
+    let mut plan = FaultPlan::none().with_seed(7);
+    plan.set_program(HOST, HostFault::flaky(kind, fail_first).with_stall_ms(500));
+    net.set_faults(plan);
+    net.set_fault_context(99);
+    net
+}
+
+fn supervised_load(net: &mut SimNet, policy: &RetryPolicy) -> (bool, AttemptTrace, u64) {
+    let browser = Browser::new(registry());
+    let url = Url::parse(&format!("http://{HOST}/")).expect("static url parses");
+    let mut clock = VirtualClock::new();
+    let start = clock.now();
+    let deadline = start.plus(10_000_000);
+    let (page, trace) =
+        load_with_retry(&browser, net, &url, &AllowAll, &mut clock, deadline, policy);
+    (page.is_some(), trace, clock.now().since(start))
+}
+
+fn transient_kind(ix: u64) -> FaultKind {
+    match ix % 3 {
+        0 => FaultKind::Reset,
+        1 => FaultKind::Stall,
+        _ => FaultKind::Truncate,
+    }
+}
+
+proptest! {
+    #[test]
+    fn attempts_never_exceed_the_bound(
+        max_attempts in 1u32..6,
+        fail_first in 0u64..8,
+        kind_ix in 0u64..3,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1_000,
+        };
+        let mut net = flaky_net(transient_kind(kind_ix), fail_first, 5);
+        let (ok, trace, _) = supervised_load(&mut net, &policy);
+        prop_assert!(trace.attempts >= 1);
+        prop_assert!(trace.attempts <= max_attempts);
+        prop_assert_eq!(trace.retries, trace.attempts - 1);
+        // Recovery exactly when the flaky window fits inside the bound.
+        let expected_ok = fail_first < u64::from(max_attempts);
+        prop_assert_eq!(ok, expected_ok, "fail_first={} bound={}", fail_first, max_attempts);
+        prop_assert_eq!(trace.error.is_none(), ok);
+        if !ok {
+            prop_assert_eq!(trace.attempts, max_attempts, "transient failures exhaust the bound");
+        }
+    }
+
+    #[test]
+    fn backoff_is_monotone_capped_and_fully_paid(
+        base in 0u64..2_000,
+        cap in 0u64..10_000,
+        fail_first in 1u64..6,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ms: base,
+            max_backoff_ms: cap,
+        };
+        // Pure schedule: non-decreasing and never above the cap.
+        for ix in 0..16u32 {
+            prop_assert!(policy.backoff_ms(ix) <= cap);
+            if ix > 0 {
+                prop_assert!(policy.backoff_ms(ix) >= policy.backoff_ms(ix - 1));
+            }
+        }
+        // Paid schedule: the trace's total equals the sum of the per-retry
+        // backoffs, and the virtual clock advanced by at least that much.
+        let mut net = flaky_net(FaultKind::Reset, fail_first, 11);
+        let (ok, trace, elapsed) = supervised_load(&mut net, &policy);
+        prop_assert!(ok, "6 attempts beat a <=5-deep flaky window");
+        let expected: u64 = (0..trace.retries).map(|ix| policy.backoff_ms(ix)).sum();
+        prop_assert_eq!(trace.backoff_ms, expected);
+        prop_assert!(
+            elapsed >= trace.backoff_ms,
+            "clock advanced {} ms but {} ms of backoff was claimed",
+            elapsed,
+            trace.backoff_ms
+        );
+    }
+
+    #[test]
+    fn permanent_classes_are_never_retried(attempts_made in 1u32..10) {
+        let policy = RetryPolicy::default();
+        for error in [
+            CrawlError::DeadHost,
+            CrawlError::HttpError(500),
+            CrawlError::ScriptSyntax,
+            CrawlError::ScriptBudget,
+            CrawlError::WatchdogExpired,
+        ] {
+            prop_assert!(!error.is_transient());
+            prop_assert!(!policy.should_retry(error, attempts_made));
+        }
+        // And a dead host observed end-to-end fails on the first attempt.
+        let mut net = SimNet::new(SimRng::new(3));
+        net.register(
+            HOST,
+            std::sync::Arc::new(|_: &HttpRequest| HttpResponse::html("<html></html>")),
+        );
+        let mut plan = FaultPlan::none();
+        plan.kill_host(HOST);
+        net.set_faults(plan);
+        let (ok, trace, _) = supervised_load(&mut net, &policy);
+        prop_assert!(!ok);
+        prop_assert_eq!(trace.attempts, 1);
+        prop_assert_eq!(trace.retries, 0);
+        prop_assert_eq!(trace.error, Some(CrawlError::DeadHost));
+    }
+
+    #[test]
+    fn identical_inputs_yield_identical_traces(
+        fail_first in 0u64..8,
+        kind_ix in 0u64..3,
+        net_seed in 0u64..1_000,
+    ) {
+        let policy = RetryPolicy::default();
+        let kind = transient_kind(kind_ix);
+        // Different SimNet RNG seeds, same fault coordinates: the trace is a
+        // function of the fault plan, not of shared RNG state.
+        let (ok_a, trace_a, elapsed_a) =
+            supervised_load(&mut flaky_net(kind, fail_first, net_seed), &policy);
+        let (ok_b, trace_b, _) =
+            supervised_load(&mut flaky_net(kind, fail_first, net_seed ^ 0xDEAD), &policy);
+        prop_assert_eq!(ok_a, ok_b);
+        prop_assert_eq!(trace_a, trace_b);
+        // Simulated RTT jitter comes from the net's own RNG, so elapsed time
+        // may differ between seeds — but never by less than the backoff paid.
+        prop_assert!(elapsed_a >= trace_a.backoff_ms);
+        // A truly identical world reproduces the elapsed time too.
+        let (_, _, elapsed_c) =
+            supervised_load(&mut flaky_net(kind, fail_first, net_seed), &policy);
+        prop_assert_eq!(elapsed_a, elapsed_c);
+    }
+}

@@ -1,0 +1,188 @@
+//! Crawl supervision under an adversarial network: a 50-site survey with
+//! flaky hosts, stalls, truncation, and background resets must complete
+//! without panicking, classify every loss, recover transient sites via
+//! retry, and produce byte-identical results regardless of thread count.
+
+use bfu_crawler::{
+    BrowserProfile, CrawlConfig, CrawlError, Dataset, RetryPolicy, SiteOutcome, Survey,
+};
+use bfu_net::{FaultKind, FaultPlan, HostFault};
+use bfu_webgen::{SiteId, SyntheticWeb, WebConfig};
+
+const SITES: usize = 50;
+const WEB_SEED: u64 = 2024;
+
+fn web() -> SyntheticWeb {
+    SyntheticWeb::generate(WebConfig {
+        sites: SITES,
+        seed: WEB_SEED,
+    })
+}
+
+/// The first `n` living domains of the fixture web, in site order.
+fn living_domains(web: &SyntheticWeb, n: usize) -> Vec<String> {
+    (0..web.site_count())
+        .map(SiteId::from_usize)
+        .filter(|&s| !web.plan(s).dead)
+        .map(|s| web.plan(s).site.domain.clone())
+        .take(n)
+        .collect()
+}
+
+/// Fault overlay: two flaky-then-recovering hosts (beatable by the default
+/// 3-attempt retry), one permanent staller, one permanent truncator, one
+/// host killed outright, plus a background reset probability on everyone.
+fn overlay(targets: &[String]) -> FaultPlan {
+    let mut plan = FaultPlan::none()
+        .with_seed(77)
+        .with_reset_chance(0.002)
+        .with_program(&targets[0], HostFault::flaky(FaultKind::Reset, 2))
+        .with_program(
+            &targets[1],
+            HostFault::flaky(FaultKind::Truncate, 1),
+        )
+        .with_program(
+            &targets[2],
+            HostFault::random(FaultKind::Stall, 1.0).with_stall_ms(3_000),
+        )
+        .with_program(&targets[3], HostFault::random(FaultKind::Truncate, 1.0));
+    plan.kill_host(&targets[4]);
+    plan
+}
+
+fn config(threads: usize) -> CrawlConfig {
+    CrawlConfig {
+        rounds_per_profile: 2,
+        pages_per_site: 4,
+        fanout: 3,
+        page_budget_ms: 8_000,
+        profiles: vec![BrowserProfile::Default],
+        threads,
+        seed: 4242,
+        retry: RetryPolicy::default(),
+    }
+}
+
+fn run_survey(threads: usize) -> Dataset {
+    let web = web();
+    let targets = living_domains(&web, 5);
+    assert_eq!(targets.len(), 5, "fixture web needs 5 living sites");
+    let faults = overlay(&targets);
+    Survey::new(web, config(threads)).with_faults(faults).run()
+}
+
+fn site_by_domain<'a>(dataset: &'a Dataset, domain: &str) -> &'a bfu_crawler::SiteMeasurement {
+    dataset
+        .sites
+        .iter()
+        .find(|s| s.domain == domain)
+        .unwrap_or_else(|| panic!("{domain} missing from dataset"))
+}
+
+#[test]
+fn faulted_survey_completes_and_classifies_every_loss() {
+    let dataset = run_survey(4);
+    let health = dataset.health();
+
+    assert_eq!(health.sites_total, SITES);
+    assert_eq!(
+        health.sites_completed + health.sites_failed + health.sites_panicked,
+        health.sites_total,
+        "every site must land in exactly one bucket"
+    );
+    assert_eq!(health.sites_panicked, 0, "no site crawl may panic");
+    assert_eq!(
+        health.failures_by_class.iter().sum::<usize>(),
+        health.sites_failed,
+        "every failed site must carry a class"
+    );
+    assert!(health.sites_failed > 0, "the overlay must cost some sites");
+    assert!(
+        health.sites_completed > SITES / 2,
+        "most of the web should still be measurable: {health:?}"
+    );
+    // The survey retried something and paid for it in virtual time.
+    assert!(health.total_retries > 0);
+    assert!(health.total_backoff_ms > 0);
+}
+
+#[test]
+fn transient_hosts_recover_and_permanent_hosts_fail_with_their_class() {
+    let web = web();
+    let targets = living_domains(&web, 5);
+    let dataset = run_survey(4);
+
+    // Flaky hosts (fail-2-then-recover reset, fail-1 truncate) are beaten by
+    // the default 3-attempt retry: measured, with retries on the books.
+    for flaky in &targets[0..2] {
+        let site = site_by_domain(&dataset, flaky);
+        assert_eq!(
+            site.outcome,
+            SiteOutcome::Completed,
+            "{flaky} should recover via retry"
+        );
+        let retries: u32 = site
+            .rounds
+            .iter()
+            .flat_map(|(_, rounds)| rounds.iter())
+            .map(|r| r.retries)
+            .sum();
+        assert!(retries > 0, "{flaky} must have needed retries");
+    }
+
+    // The permanent staller burns clock on every attempt and stays lost.
+    let stalled = site_by_domain(&dataset, &targets[2]);
+    assert_eq!(stalled.outcome, SiteOutcome::Failed(CrawlError::Stall));
+    for (_, rounds) in &stalled.rounds {
+        for r in rounds {
+            assert!(
+                r.interaction_ms >= 3_000,
+                "stalls must consume virtual time, got {} ms",
+                r.interaction_ms
+            );
+        }
+    }
+
+    // The permanent truncator exhausts its retries and keeps its class.
+    let truncated = site_by_domain(&dataset, &targets[3]);
+    assert_eq!(truncated.outcome, SiteOutcome::Failed(CrawlError::Truncated));
+
+    // The killed host refuses every connection and is never retried.
+    let dead = site_by_domain(&dataset, &targets[4]);
+    assert_eq!(dead.outcome, SiteOutcome::Failed(CrawlError::DeadHost));
+    for (_, rounds) in &dead.rounds {
+        for r in rounds {
+            assert_eq!(r.retries, 0, "dead hosts are permanent: no retries");
+        }
+    }
+
+    // Generation-dead sites classify the same way as killed ones.
+    for (ix, site) in dataset.sites.iter().enumerate() {
+        if web.plan(SiteId::from_usize(ix)).dead {
+            assert_eq!(
+                site.outcome,
+                SiteOutcome::Failed(CrawlError::DeadHost),
+                "{} is dead by construction",
+                site.domain
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_survey_is_invariant_under_thread_count() {
+    let single = run_survey(1);
+    let eight = run_survey(8);
+    assert_eq!(
+        single.fingerprint(),
+        eight.fingerprint(),
+        "fault scheduling must not depend on thread layout"
+    );
+    // Spot-check beyond the fingerprint: identical outcome sequences.
+    let outcomes = |d: &Dataset| -> Vec<SiteOutcome> {
+        d.sites.iter().map(|s| s.outcome).collect()
+    };
+    assert_eq!(outcomes(&single), outcomes(&eight));
+    assert_eq!(single.total_invocations(), eight.total_invocations());
+    assert_eq!(single.total_pages(), eight.total_pages());
+}

@@ -1,0 +1,209 @@
+//! A self-contained benchmarking shim.
+//!
+//! Provides the subset of the [criterion](https://docs.rs/criterion) API the
+//! workspace benches use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! timed with `std::time::Instant`. The build environment has no network
+//! access, so the real crate cannot be fetched; this shim keeps
+//! `cargo bench` runnable and the bench files compiling.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over
+//! `sample_size` samples of an adaptive batch, reporting the per-iteration
+//! mean and min. No statistical analysis, plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// End the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive to prevent the
+    /// optimizer from deleting the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + batch sizing: aim for samples of at least ~1ms so very
+        // cheap routines are not dominated by timer resolution.
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm_start.elapsed();
+        self.iters_per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        eprintln!("  {id}: no samples (closure never called iter)");
+        return;
+    }
+    let per_iter = |d: &Duration| d.as_nanos() as f64 / bencher.iters_per_sample as f64;
+    let mean =
+        bencher.samples.iter().map(per_iter).sum::<f64>() / bencher.samples.len() as f64;
+    let min = bencher
+        .samples
+        .iter()
+        .map(per_iter)
+        .fold(f64::INFINITY, f64::min);
+    eprintln!(
+        "  {id}: mean {} min {} ({} samples x {} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        bencher.samples.len(),
+        bencher.iters_per_sample
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working if benches use it.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runner function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function(format!("fmt_{}", 1), |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.500ms");
+        assert_eq!(fmt_ns(3_200_000_000.0), "3.200s");
+    }
+}

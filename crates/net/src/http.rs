@@ -8,7 +8,6 @@
 //! tests rather than being defined away.
 
 use crate::url::Url;
-use bytes::{BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -135,7 +134,7 @@ pub struct HttpRequest {
     /// Header map (lowercased names, insertion-stable via BTreeMap).
     pub headers: BTreeMap<String, String>,
     /// Body bytes (empty for GET/HEAD).
-    pub body: Bytes,
+    pub body: Vec<u8>,
     /// Resource classification for blockers.
     pub resource_type: ResourceType,
     /// URL of the document that initiated the request (None for the
@@ -150,7 +149,7 @@ impl HttpRequest {
             method: Method::Get,
             url,
             headers: BTreeMap::new(),
-            body: Bytes::new(),
+            body: Vec::new(),
             resource_type,
             initiator: None,
         }
@@ -177,28 +176,28 @@ impl HttpRequest {
     }
 
     /// Serialize to HTTP/1.1 wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(256 + self.body.len());
-        buf.put_slice(self.method.as_str().as_bytes());
-        buf.put_u8(b' ');
-        buf.put_slice(self.url.request_target().as_bytes());
-        buf.put_slice(b" HTTP/1.1\r\n");
-        buf.put_slice(b"host: ");
-        buf.put_slice(self.url.host().as_bytes());
-        buf.put_slice(b"\r\n");
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256 + self.body.len());
+        buf.extend_from_slice(self.method.as_str().as_bytes());
+        buf.push(b' ');
+        buf.extend_from_slice(self.url.request_target().as_bytes());
+        buf.extend_from_slice(b" HTTP/1.1\r\n");
+        buf.extend_from_slice(b"host: ");
+        buf.extend_from_slice(self.url.host().as_bytes());
+        buf.extend_from_slice(b"\r\n");
         for (k, v) in &self.headers {
             if k == "host" {
                 continue;
             }
-            buf.put_slice(k.as_bytes());
-            buf.put_slice(b": ");
-            buf.put_slice(v.as_bytes());
-            buf.put_slice(b"\r\n");
+            buf.extend_from_slice(k.as_bytes());
+            buf.extend_from_slice(b": ");
+            buf.extend_from_slice(v.as_bytes());
+            buf.extend_from_slice(b"\r\n");
         }
-        buf.put_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
-        buf.put_slice(b"\r\n");
-        buf.put_slice(&self.body);
-        buf.freeze()
+        buf.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&self.body);
+        buf
     }
 
     /// Parse a request from wire bytes (as a virtual server receives it).
@@ -231,7 +230,7 @@ impl HttpRequest {
             method,
             url,
             headers,
-            body: Bytes::copy_from_slice(&body[..expected]),
+            body: body[..expected].to_vec(),
             resource_type: ResourceType::Other,
             initiator: None,
         })
@@ -246,12 +245,12 @@ pub struct HttpResponse {
     /// Header map (lowercased names).
     pub headers: BTreeMap<String, String>,
     /// Body bytes.
-    pub body: Bytes,
+    pub body: Vec<u8>,
 }
 
 impl HttpResponse {
     /// A 200 response with a content type and body.
-    pub fn ok(content_type: &str, body: impl Into<Bytes>) -> Self {
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
         let mut headers = BTreeMap::new();
         headers.insert("content-type".to_owned(), content_type.to_owned());
         HttpResponse {
@@ -262,12 +261,12 @@ impl HttpResponse {
     }
 
     /// An HTML document response.
-    pub fn html(body: impl Into<Bytes>) -> Self {
+    pub fn html(body: impl Into<Vec<u8>>) -> Self {
         Self::ok("text/html; charset=utf-8", body)
     }
 
     /// A JavaScript response.
-    pub fn javascript(body: impl Into<Bytes>) -> Self {
+    pub fn javascript(body: impl Into<Vec<u8>>) -> Self {
         Self::ok("application/javascript", body)
     }
 
@@ -276,7 +275,7 @@ impl HttpResponse {
         HttpResponse {
             status,
             headers: BTreeMap::new(),
-            body: Bytes::new(),
+            body: Vec::new(),
         }
     }
 
@@ -286,21 +285,21 @@ impl HttpResponse {
     }
 
     /// Serialize to HTTP/1.1 wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(128 + self.body.len());
-        buf.put_slice(
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(128 + self.body.len());
+        buf.extend_from_slice(
             format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason()).as_bytes(),
         );
         for (k, v) in &self.headers {
-            buf.put_slice(k.as_bytes());
-            buf.put_slice(b": ");
-            buf.put_slice(v.as_bytes());
-            buf.put_slice(b"\r\n");
+            buf.extend_from_slice(k.as_bytes());
+            buf.extend_from_slice(b": ");
+            buf.extend_from_slice(v.as_bytes());
+            buf.extend_from_slice(b"\r\n");
         }
-        buf.put_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
-        buf.put_slice(b"\r\n");
-        buf.put_slice(&self.body);
-        buf.freeze()
+        buf.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&self.body);
+        buf
     }
 
     /// Parse a response from wire bytes (as the browser receives it).
@@ -324,7 +323,7 @@ impl HttpResponse {
         Ok(HttpResponse {
             status: StatusCode(code),
             headers,
-            body: Bytes::copy_from_slice(&body[..expected]),
+            body: body[..expected].to_vec(),
         })
     }
 }
@@ -409,7 +408,7 @@ mod tests {
     fn request_with_body_roundtrip() {
         let mut req = HttpRequest::get(url("http://example.com/submit"), ResourceType::Xhr);
         req.method = Method::Post;
-        req.body = Bytes::from_static(b"k=v&x=y");
+        req.body = b"k=v&x=y".to_vec();
         let parsed = HttpRequest::decode(&req.encode(), "http").unwrap();
         assert_eq!(parsed.method, Method::Post);
         assert_eq!(&parsed.body[..], b"k=v&x=y");

@@ -29,7 +29,7 @@ pub mod http;
 pub mod sim;
 pub mod url;
 
-pub use fault::FaultPlan;
+pub use fault::{FaultKind, FaultOutcome, FaultPlan, HostFault};
 pub use http::{HttpRequest, HttpResponse, Method, ResourceType, StatusCode};
 pub use sim::{NetError, NetStats, Server, SimNet};
 pub use url::Url;

@@ -8,8 +8,8 @@
 //! caller's virtual clock by the modeled time at every step.
 
 use crate::conn::Connection;
-use crate::fault::FaultPlan;
-use crate::http::{HttpRequest, HttpResponse};
+use crate::fault::{FaultOutcome, FaultPlan};
+use crate::http::{CodecError, HttpRequest, HttpResponse};
 use bfu_util::{SimRng, VirtualClock};
 use std::collections::HashMap;
 use std::fmt;
@@ -42,6 +42,10 @@ pub enum NetError {
     ConnectionRefused(String),
     /// Exchange reset mid-flight.
     ConnectionReset(String),
+    /// Exchange stalled past the timeout without a response.
+    Stalled(String),
+    /// The response ended before the advertised body was complete.
+    Truncated(String),
     /// The peer sent bytes that failed to parse.
     ProtocolError(String),
 }
@@ -52,6 +56,8 @@ impl fmt::Display for NetError {
             NetError::NameNotResolved(h) => write!(f, "could not resolve {h}"),
             NetError::ConnectionRefused(h) => write!(f, "{h} refused the connection"),
             NetError::ConnectionReset(h) => write!(f, "connection to {h} reset"),
+            NetError::Stalled(h) => write!(f, "exchange with {h} stalled past the timeout"),
+            NetError::Truncated(h) => write!(f, "response from {h} was truncated"),
             NetError::ProtocolError(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -90,6 +96,11 @@ pub struct SimNet {
     faults: FaultPlan,
     rng: SimRng,
     stats: NetStats,
+    /// Fault context (reset per site-visit by the crawler) and per-host
+    /// exchange counters within it — the coordinates of hash-derived fault
+    /// sampling, so faults are identical regardless of thread layout.
+    fault_ctx: u64,
+    exchange_counts: HashMap<String, u64>,
 }
 
 impl fmt::Debug for SimNet {
@@ -112,12 +123,23 @@ impl SimNet {
             faults: FaultPlan::none(),
             rng,
             stats: NetStats::default(),
+            fault_ctx: 0,
+            exchange_counts: HashMap::new(),
         }
     }
 
     /// Install a fault plan.
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// Enter a new fault context (e.g. one `(site, profile, round)` visit),
+    /// clearing the per-host exchange counters. Fault sampling is a pure
+    /// function of `(plan seed, context, host, exchange index)`, so any two
+    /// nets replaying the same context see identical faults.
+    pub fn set_fault_context(&mut self, ctx: u64) {
+        self.fault_ctx = ctx;
+        self.exchange_counts.clear();
     }
 
     /// The current fault plan.
@@ -166,6 +188,12 @@ impl SimNet {
             clock.advance(30); // failed DNS lookup still costs time
             return Err(NetError::NameNotResolved(host));
         };
+        let exchange_ix = {
+            let c = self.exchange_counts.entry(host.clone()).or_insert(0);
+            let ix = *c;
+            *c += 1;
+            ix
+        };
         let rtt = self.rtt[&host] + self.faults.extra_rtt_ms;
         let mut conn = Connection::new(rtt);
 
@@ -183,27 +211,63 @@ impl SimNet {
         clock.advance(send_ms);
         self.stats.bytes_sent += wire_req.len() as u64;
 
-        if self.faults.reset_chance > 0.0 && self.rng.chance(self.faults.reset_chance) {
-            conn.reset();
-            self.stats.failures += 1;
-            return Err(NetError::ConnectionReset(host));
+        let fault = self.faults.decide(&host, exchange_ix, self.fault_ctx);
+        match fault {
+            FaultOutcome::Reset => {
+                conn.reset();
+                self.stats.failures += 1;
+                return Err(NetError::ConnectionReset(host));
+            }
+            FaultOutcome::Stall(ms) => {
+                clock.advance(ms);
+                conn.reset();
+                self.stats.failures += 1;
+                return Err(NetError::Stalled(host));
+            }
+            _ => {}
         }
 
         // Server side: decode the wire bytes, preserving classification
         // metadata that doesn't travel on the wire.
-        let mut server_req = HttpRequest::decode(&wire_req, req.url.scheme())
-            .map_err(|e| NetError::ProtocolError(e.to_string()))?;
-        server_req.resource_type = req.resource_type;
-        server_req.initiator = req.initiator.clone();
-        let response = server.handle(&server_req);
+        let response = if let FaultOutcome::ErrorStatus(code) = fault {
+            crate::http::HttpResponse::status(crate::http::StatusCode(code))
+        } else {
+            let mut server_req = HttpRequest::decode(&wire_req, req.url.scheme())
+                .map_err(|e| NetError::ProtocolError(e.to_string()))?;
+            server_req.resource_type = req.resource_type;
+            server_req.initiator = req.initiator.clone();
+            let mut response = server.handle(&server_req);
+            if fault == FaultOutcome::CorruptBody {
+                // Garble the body in place: valid HTTP, broken payload
+                // (scripts served this way no longer parse).
+                response.body = b")]}' bfu-corrupted {{{ ;;; <<<".to_vec();
+            }
+            response
+        };
 
-        let wire_resp = response.encode();
+        let mut wire_resp = response.encode();
         let recv_ms = conn.response_received(wire_resp.len()).expect("awaiting");
         clock.advance(recv_ms);
-        self.stats.bytes_received += wire_resp.len() as u64;
-        self.stats.requests += 1;
 
-        HttpResponse::decode(&wire_resp).map_err(|e| NetError::ProtocolError(e.to_string()))
+        if fault == FaultOutcome::Truncate {
+            wire_resp.truncate(wire_resp.len() * 2 / 3);
+        }
+        self.stats.bytes_received += wire_resp.len() as u64;
+
+        match HttpResponse::decode(&wire_resp) {
+            Ok(resp) => {
+                self.stats.requests += 1;
+                Ok(resp)
+            }
+            Err(CodecError::Truncated) => {
+                self.stats.failures += 1;
+                Err(NetError::Truncated(host))
+            }
+            Err(e) => {
+                self.stats.failures += 1;
+                Err(NetError::ProtocolError(e.to_string()))
+            }
+        }
     }
 }
 
@@ -291,6 +355,103 @@ mod tests {
             clock.now().millis()
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn stall_program_burns_clock_then_fails() {
+        use crate::fault::{FaultKind, HostFault};
+        let mut net = simple_net();
+        net.set_faults(FaultPlan::none().with_program(
+            "example.com",
+            HostFault::flaky(FaultKind::Stall, 1).with_stall_ms(4_000),
+        ));
+        let mut clock = VirtualClock::new();
+        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        assert!(matches!(err, NetError::Stalled(_)));
+        assert!(clock.now().millis() >= 4_000, "stall must consume its budget");
+        // Second exchange recovers (fail_first = 1).
+        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn truncate_program_yields_truncated_error() {
+        use crate::fault::{FaultKind, HostFault};
+        let mut net = simple_net();
+        net.set_faults(FaultPlan::none().with_program(
+            "example.com",
+            HostFault::flaky(FaultKind::Truncate, 1),
+        ));
+        let mut clock = VirtualClock::new();
+        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        assert!(matches!(err, NetError::Truncated(_)));
+        assert_eq!(net.stats().failures, 1);
+    }
+
+    #[test]
+    fn error_status_program_answers_without_server() {
+        use crate::fault::{FaultKind, HostFault};
+        let mut net = simple_net();
+        net.set_faults(FaultPlan::none().with_program(
+            "example.com",
+            HostFault::flaky(FaultKind::ErrorStatus(503), 1),
+        ));
+        let mut clock = VirtualClock::new();
+        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        assert_eq!(resp.status, StatusCode(503));
+        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn corrupt_body_program_garbles_payload() {
+        use crate::fault::{FaultKind, HostFault};
+        let mut net = simple_net();
+        net.set_faults(FaultPlan::none().with_program(
+            "example.com",
+            HostFault::flaky(FaultKind::CorruptBody, 1),
+        ));
+        let mut clock = VirtualClock::new();
+        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_ne!(&resp.body[..], b"<html>hi</html>");
+    }
+
+    #[test]
+    fn fault_context_resets_exchange_counters() {
+        use crate::fault::{FaultKind, HostFault};
+        let mut net = simple_net();
+        net.set_faults(FaultPlan::none().with_program(
+            "example.com",
+            HostFault::flaky(FaultKind::Reset, 1),
+        ));
+        let mut clock = VirtualClock::new();
+        // Context A: first exchange faults, second recovers.
+        net.set_fault_context(1);
+        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_err());
+        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_ok());
+        // New context: the schedule replays from exchange zero.
+        net.set_fault_context(2);
+        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_err());
+        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_ok());
+    }
+
+    #[test]
+    fn faults_identical_across_nets_given_same_context() {
+        let plan = FaultPlan::none().with_reset_chance(0.4).with_seed(0xFA117);
+        let run = |net_seed: u64| {
+            let mut net = SimNet::new(SimRng::new(net_seed));
+            net.register("a.com", Arc::new(|_: &HttpRequest| HttpResponse::html("x")));
+            net.set_faults(plan.clone());
+            net.set_fault_context(0xC0FFEE);
+            let mut clock = VirtualClock::new();
+            (0..32)
+                .map(|_| net.fetch(&get("http://a.com/"), &mut clock).is_ok())
+                .collect::<Vec<_>>()
+        };
+        // Different SimNet RNG seeds (different thread-local streams) must
+        // not change which exchanges fault.
+        assert_eq!(run(1), run(999));
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! A self-contained property-testing shim.
+//!
+//! This crate provides the subset of the [proptest](https://docs.rs/proptest)
+//! API this workspace actually uses — `proptest!`, `Strategy`, string
+//! regex-subset strategies, `collection::vec`, `option::of`, `prop_oneof!`,
+//! ranges, `Just`, `any`, and the `prop_assert*` macros — implemented over a
+//! deterministic SplitMix64 generator with zero external dependencies.
+//!
+//! The build environment for this repository has no network access, so the
+//! real proptest crate cannot be fetched; rather than delete the workspace's
+//! property tests (or gate them behind a feature nobody can enable), this
+//! shim keeps them running. Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its case index and the value
+//!   generation is fully deterministic per test name, so failures reproduce
+//!   exactly — rerun the test and the same case fails.
+//! - **Regex strategies** support the subset used here: literals, `.`,
+//!   character classes (ranges, escapes, trailing `-`), and the `{m,n}`,
+//!   `{m}`, `*`, `+`, `?` quantifiers.
+//! - Case count defaults to 96 (override with `ProptestConfig::with_cases`).
+
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------- rng
+
+/// Deterministic test-case generator state (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Stable string hash (FNV-1a) for deriving per-test seeds.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------- config
+
+/// Runner configuration (the `ProptestConfig` of real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Compatibility alias module (real proptest exposes `test_runner::Config`).
+pub mod test_runner {
+    pub use crate::ProptestConfig as Config;
+}
+
+/// A failed property check (produced by `prop_assert*`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// ---------------------------------------------------------------- runner
+
+/// Test-runner internals used by the `proptest!` macro expansion.
+pub mod runner {
+    use super::*;
+
+    /// Run `f` for every case in the config, panicking on the first failure.
+    pub fn run<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = hash_name(name);
+        for case in 0..cfg.cases {
+            let mut rng = TestRng::new(
+                base ^ u64::from(case).wrapping_mul(0xD1B54A32D192ED03),
+            );
+            if let Err(e) = f(&mut rng) {
+                panic!("property {name} failed at case {case}/{}: {e}", cfg.cases);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- strategy
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy combinators and helpers used by the macros.
+pub mod strategy {
+    use super::*;
+
+    /// Box a strategy for heterogeneous collections (`prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice between boxed strategies of a common value type.
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Build from a non-empty option list.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let ix = rng.below(self.options.len() as u64) as usize;
+            self.options[ix].generate(rng)
+        }
+    }
+}
+
+/// Always produce a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// Integer and float range strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Produce an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite spread around zero; NaN/inf corners are not useful for the
+        // statistics properties this workspace checks.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Produce any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------- regex
+
+/// One atom of the regex subset.
+enum Atom {
+    Lit(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    out.push((p, p));
+                }
+                if let Some(esc) = chars.next() {
+                    pending = Some(esc);
+                }
+            }
+            '-' => {
+                // Range if we hold a pending start and a class char follows;
+                // a trailing '-' is a literal.
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        let hi = if hi == '\\' { chars.next().unwrap_or(lo) } else { hi };
+                        out.push((lo.min(hi), lo.max(hi)));
+                    }
+                    (p, _) => {
+                        if let Some(p) = p {
+                            out.push((p, p));
+                        }
+                        pending = Some('-');
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    out.push((p, p));
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        out.push((p, p));
+    }
+    if out.is_empty() {
+        out.push(('a', 'a'));
+    }
+    out
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut out: Vec<Quantified> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Lit(chars.next().unwrap_or('\\')),
+            other => Atom::Lit(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+/// Characters `.` may produce: printable ASCII plus a few awkward extras so
+/// "never panics" properties see whitespace and multi-byte input.
+const ANY_EXTRAS: &[char] = &['\n', '\t', 'é', 'ß', '✓', '\u{0}'];
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::AnyChar => {
+            if rng.below(16) == 0 {
+                ANY_EXTRAS[rng.below(ANY_EXTRAS.len() as u64) as usize]
+            } else {
+                char::from(0x20 + rng.below(0x5f) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi) - u64::from(*lo) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+    }
+}
+
+/// `&str` values act as regex-subset string strategies, as in real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for q in &atoms {
+            let n = if q.max > q.min {
+                q.min + rng.below(u64::from(q.max - q.min + 1)) as u32
+            } else {
+                q.min
+            };
+            for _ in 0..n {
+                out.push(sample_atom(&q.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- modules
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// A strategy producing `Vec`s of `element` with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::*;
+
+    /// A strategy producing `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+/// The glob import real proptest users reach for.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Define property tests. See real proptest for the syntax; this shim
+/// supports the `#![proptest_config(..)]` header and `name in strategy`
+/// argument lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::runner::run(&__cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Choose uniformly between the given strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property, failing the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} == {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {:?} != {:?}",
+            __l,
+            __r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,6}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_and_escape() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-z0-9 +\\-*/(){};=.,'\"<>!&|]{1,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || " +-*/(){};=.,'\"<>!&|".contains(c),
+                    "unexpected char {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_and_any_are_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let v = (10u16..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let i = (-5i32..7).generate(&mut rng);
+            assert!((-5..7).contains(&i));
+            let f = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let _: u8 = any::<u8>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_and_vec() {
+        let strat = prop_oneof![
+            Just("x".to_owned()),
+            "[0-9]{2}".prop_map(|s: String| s),
+        ];
+        let mut rng = TestRng::new(4);
+        let mut saw_x = false;
+        let mut saw_num = false;
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            if v == "x" {
+                saw_x = true;
+            } else {
+                assert_eq!(v.len(), 2);
+                saw_num = true;
+            }
+        }
+        assert!(saw_x && saw_num);
+        let vecs = collection::vec(any::<u8>(), 1..4);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both() {
+        let strat = option::of(1u64..5);
+        let mut rng = TestRng::new(5);
+        let values: Vec<_> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn shim_macro_roundtrip(a in 0u64..100, b in 1u64..100) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(b, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        runner::run(&ProptestConfig::with_cases(8), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -26,6 +26,6 @@ pub mod parser;
 pub mod token;
 pub mod value;
 
-pub use interp::{Interpreter, NativeFn, RuntimeError};
+pub use interp::{Interpreter, NativeFn, RuntimeError, ScriptError};
 pub use object::{Heap, ObjId, PropKey};
 pub use value::Value;

@@ -18,6 +18,6 @@ pub mod stats;
 
 pub use clock::{Instant, VirtualClock};
 pub use intern::{Interner, Symbol};
-pub use rng::SimRng;
+pub use rng::{hash_label, SimRng};
 pub use sample::{GeometricWeights, WeightedIndex, Zipf};
 pub use stats::{cdf_points, mean, percentile, Histogram};

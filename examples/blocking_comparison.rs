@@ -28,6 +28,7 @@ fn main() {
         profiles: vec![],
         threads: 1,
         seed: 9,
+        retry: bfu_crawler::RetryPolicy::default(),
     };
 
     // Pick an ad-heavy site (a news site with third parties).
@@ -58,7 +59,7 @@ fn main() {
         let policy = policy_for(&web, profile);
         let mut rng = SimRng::new(777);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy, &plan.site.domain, &config, 0, &mut rng,
+            &web, &browser, &mut net, &policy, profile, &plan.site.domain, &config, 0, &mut rng,
         );
         let standards: HashSet<&str> = m
             .log

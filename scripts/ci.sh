@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, lint. Run from the workspace root.
+#
+#   ./scripts/ci.sh
+#
+# Mirrors the tier-1 verification the roadmap pins (release build + tests)
+# and adds the clippy wall the crawler's supervision code is held to
+# (unwrap/expect are denied outside tests there).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

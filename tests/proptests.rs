@@ -86,10 +86,10 @@ proptest! {
         let mut req = HttpRequest::get(url, ResourceType::Xhr)
             .with_header("x-test", header_val.trim());
         req.method = Method::Post;
-        req.body = body.clone().into();
+        req.body = body.clone();
         let decoded = HttpRequest::decode(&req.encode(), "http").unwrap();
         prop_assert_eq!(decoded.url, req.url);
-        prop_assert_eq!(decoded.body.as_ref(), &body[..]);
+        prop_assert_eq!(&decoded.body[..], &body[..]);
     }
 
     #[test]
@@ -101,7 +101,7 @@ proptest! {
         resp.status = bfu_net::StatusCode(status);
         let decoded = HttpResponse::decode(&resp.encode()).unwrap();
         prop_assert_eq!(decoded.status.0, status);
-        prop_assert_eq!(decoded.body.as_ref(), &body[..]);
+        prop_assert_eq!(&decoded.body[..], &body[..]);
     }
 
     #[test]
