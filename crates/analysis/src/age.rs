@@ -143,7 +143,10 @@ mod tests {
         let sp = StandardPopularity::compute(&dataset, &registry);
         let points = fig6_points(&sp, &registry);
         let r = age_popularity_correlation(&points);
-        assert!(r.abs() < 0.75, "Pearson r = {r:.2}; paper: no simple relationship");
+        assert!(
+            r.abs() < 0.75,
+            "Pearson r = {r:.2}; paper: no simple relationship"
+        );
     }
 
     #[test]

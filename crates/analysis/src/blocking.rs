@@ -135,7 +135,10 @@ mod tests {
         let measured = sp.measured_sites;
         // The DOM core must land popular-unblocked; a high-block-rate
         // standard like PT2 (93.7% in the paper) must land blocked.
-        let dom1 = points.iter().find(|p| p.abbrev == "DOM1").expect("DOM1 used");
+        let dom1 = points
+            .iter()
+            .find(|p| p.abbrev == "DOM1")
+            .expect("DOM1 used");
         assert_eq!(quadrant(dom1, measured), Quadrant::PopularUnblocked);
         if let Some(pt2) = points.iter().find(|p| p.abbrev == "PT2") {
             assert!(
@@ -151,7 +154,10 @@ mod tests {
         let (dataset, registry) = tiny_dataset();
         let sp = StandardPopularity::compute(&dataset, &registry);
         let points = fig7_points(&sp, &registry);
-        assert!(!points.is_empty(), "fixture crawls ad-only and ghostery-only");
+        assert!(
+            !points.is_empty(),
+            "fixture crawls ad-only and ghostery-only"
+        );
         for p in &points {
             assert!((0.0..=1.0).contains(&p.ad_block_rate));
             assert!((0.0..=1.0).contains(&p.tracker_block_rate));

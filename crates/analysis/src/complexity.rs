@@ -101,6 +101,9 @@ mod tests {
     fn histogram_totals_match() {
         let (dataset, registry) = tiny_dataset();
         let d = complexity(&dataset, &registry);
-        assert_eq!(d.histogram.total() as usize + d.histogram.outliers() as usize, d.per_site.len());
+        assert_eq!(
+            d.histogram.total() as usize + d.histogram.outliers() as usize,
+            d.per_site.len()
+        );
     }
 }

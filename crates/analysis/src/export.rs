@@ -8,7 +8,7 @@
 use crate::blocking::{Fig4Point, Fig7Point};
 use crate::tables::Table2Row;
 use crate::traffic::Fig5Point;
-use bfu_crawler::{BrowserProfile, Dataset};
+use bfu_crawler::{BrowserProfile, Dataset, Provenance};
 use bfu_webidl::FeatureRegistry;
 use std::fmt::Write as _;
 
@@ -122,6 +122,45 @@ pub fn sites_csv(dataset: &Dataset) -> String {
     out
 }
 
+/// Dataset provenance as JSON — the one place provenance is rendered.
+///
+/// Every artifact that records where a dataset came from (the store's
+/// `provenance.json` sidecar, bench reports) calls this, so the seed,
+/// configuration fingerprint, and crawl-health breakdown are serialized by
+/// exactly one piece of code and cannot drift between consumers.
+pub fn provenance_json(p: &Provenance) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"fingerprint\": \"{:016x}\",", p.fingerprint);
+    let _ = writeln!(out, "  \"crawl_seed\": {},", p.crawl_seed);
+    let _ = writeln!(out, "  \"web_seed\": {},", p.web_seed);
+    let _ = writeln!(out, "  \"sites\": {},", p.sites);
+    let _ = writeln!(out, "  \"rounds_per_profile\": {},", p.rounds_per_profile);
+    let labels: Vec<String> = p
+        .profiles
+        .iter()
+        .map(|prof| format!("\"{}\"", prof.label()))
+        .collect();
+    let _ = writeln!(out, "  \"profiles\": [{}],", labels.join(", "));
+    let h = &p.health;
+    out.push_str("  \"health\": {\n");
+    let _ = writeln!(out, "    \"sites_total\": {},", h.sites_total);
+    let _ = writeln!(out, "    \"sites_completed\": {},", h.sites_completed);
+    let _ = writeln!(out, "    \"sites_failed\": {},", h.sites_failed);
+    let _ = writeln!(out, "    \"sites_panicked\": {},", h.sites_panicked);
+    out.push_str("    \"failures_by_class\": {");
+    let classes: Vec<String> = h
+        .breakdown()
+        .into_iter()
+        .map(|(name, lost)| format!("\"{name}\": {lost}"))
+        .collect();
+    let _ = writeln!(out, "{}}},", classes.join(", "));
+    let _ = writeln!(out, "    \"total_attempts\": {},", h.total_attempts);
+    let _ = writeln!(out, "    \"total_retries\": {},", h.total_retries);
+    let _ = writeln!(out, "    \"total_backoff_ms\": {}", h.total_backoff_ms);
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// Which profile columns a dataset carries (header helper for consumers).
 pub fn profile_columns(dataset: &Dataset) -> Vec<&'static str> {
     dataset
@@ -192,5 +231,28 @@ mod tests {
     fn profile_columns_match() {
         let (dataset, _) = tiny_dataset();
         assert_eq!(profile_columns(&dataset).len(), dataset.profiles.len());
+    }
+
+    #[test]
+    fn provenance_json_is_well_formed() {
+        let (dataset, _) = tiny_dataset();
+        let p = Provenance {
+            fingerprint: 0xDEAD_BEEF,
+            crawl_seed: 7,
+            web_seed: 9,
+            sites: dataset.sites.len(),
+            rounds_per_profile: dataset.rounds_per_profile,
+            profiles: dataset.profiles.clone(),
+            health: dataset.health(),
+        };
+        let json = provenance_json(&p);
+        assert!(json.contains("\"fingerprint\": \"00000000deadbeef\""));
+        assert!(json.contains("\"crawl_seed\": 7"));
+        assert!(json.contains("\"profiles\": [\"default\""));
+        assert!(json.contains("\"failures_by_class\""));
+        // Balanced braces and brackets (cheap structural sanity check).
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

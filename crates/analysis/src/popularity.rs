@@ -266,9 +266,7 @@ mod tests {
             );
         }
         let fp = FeaturePopularity::compute(&dataset, &registry);
-        assert!(
-            fp.never_used(BrowserProfile::Blocking) >= fp.never_used(BrowserProfile::Default)
-        );
+        assert!(fp.never_used(BrowserProfile::Blocking) >= fp.never_used(BrowserProfile::Default));
     }
 
     #[test]

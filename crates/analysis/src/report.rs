@@ -18,11 +18,23 @@ use std::fmt::Write as _;
 pub fn render_table1(t: &Table1) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 1: crawl scale");
-    let _ = writeln!(out, "  Domains measured            {:>14}", t.domains_measured);
-    let _ = writeln!(out, "  Domains attempted           {:>14}", t.domains_attempted);
+    let _ = writeln!(
+        out,
+        "  Domains measured            {:>14}",
+        t.domains_measured
+    );
+    let _ = writeln!(
+        out,
+        "  Domains attempted           {:>14}",
+        t.domains_attempted
+    );
     let _ = writeln!(out, "  Web pages visited           {:>14}", t.pages_visited);
     let _ = writeln!(out, "  Feature invocations         {:>14}", t.invocations);
-    let _ = writeln!(out, "  Total interaction time      {:>11.1} d", t.interaction_days);
+    let _ = writeln!(
+        out,
+        "  Total interaction time      {:>11.1} d",
+        t.interaction_days
+    );
     let h = &t.health;
     let _ = writeln!(
         out,
@@ -85,14 +97,8 @@ pub fn render_table3(per_round: &[f64]) -> String {
 /// Render the Fig. 1 historical series.
 pub fn render_fig1() -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Fig 1: standards available and browser MLoC by year"
-    );
-    let _ = writeln!(
-        out,
-        "  Year  Standards  Chrome  Firefox  Safari     IE"
-    );
+    let _ = writeln!(out, "Fig 1: standards available and browser MLoC by year");
+    let _ = writeln!(out, "  Year  Standards  Chrome  Firefox  Safari     IE");
     for p in bfu_webidl::history::BROWSER_HISTORY {
         let _ = writeln!(
             out,
@@ -106,7 +112,10 @@ pub fn render_fig1() -> String {
 /// Render the Fig. 3 CDF with an ASCII sparkline.
 pub fn render_fig3(cdf: &[(f64, f64)]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 3: CDF of standard popularity (sites using → fraction of standards)");
+    let _ = writeln!(
+        out,
+        "Fig 3: CDF of standard popularity (sites using → fraction of standards)"
+    );
     // Sample the CDF at decile fractions of the site-count axis.
     let max_x = cdf.last().map_or(0.0, |p| p.0);
     for decile in 0..=10 {
@@ -144,10 +153,18 @@ pub fn render_fig4(points: &[Fig4Point]) -> String {
 /// Render Fig. 5 (site share vs visit share).
 pub fn render_fig5(points: &[Fig5Point]) -> String {
     let mut rows = points.to_vec();
-    rows.sort_by(|a, b| b.site_fraction.partial_cmp(&a.site_fraction).expect("no NaN"));
+    rows.sort_by(|a, b| {
+        b.site_fraction
+            .partial_cmp(&a.site_fraction)
+            .expect("no NaN")
+    });
     let mut out = String::new();
     let _ = writeln!(out, "Fig 5: % of sites vs % of traffic-weighted visits");
-    let _ = writeln!(out, "  {:>8}  {:>7}  {:>7}  {:>6}", "Abbrev", "Sites%", "Visit%", "Δ");
+    let _ = writeln!(
+        out,
+        "  {:>8}  {:>7}  {:>7}  {:>6}",
+        "Abbrev", "Sites%", "Visit%", "Δ"
+    );
     for p in rows {
         let _ = writeln!(
             out,
@@ -167,7 +184,11 @@ pub fn render_fig6(points: &[Fig6Point]) -> String {
     rows.sort_by_key(|p| (p.intro_year, std::cmp::Reverse(p.sites)));
     let mut out = String::new();
     let _ = writeln!(out, "Fig 6: standard introduction date vs popularity");
-    let _ = writeln!(out, "  {:>4}  {:>8}  {:>6}  Block bucket", "Year", "Abbrev", "Sites");
+    let _ = writeln!(
+        out,
+        "  {:>4}  {:>8}  {:>6}  Block bucket",
+        "Year", "Abbrev", "Sites"
+    );
     for p in rows {
         let _ = writeln!(
             out,
@@ -237,7 +258,10 @@ pub fn render_fig8(d: &ComplexityDistribution) -> String {
 /// Render the Fig. 9 validation histogram.
 pub fn render_fig9(h: &ValidationHistogram) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 9: new standards seen by a human but missed by the crawl");
+    let _ = writeln!(
+        out,
+        "Fig 9: new standards seen by a human but missed by the crawl"
+    );
     let _ = writeln!(out, "  New standards   Sites");
     for (new, count) in &h.buckets {
         let _ = writeln!(out, "  {:>13}   {:>5}", new, count);
@@ -328,7 +352,9 @@ mod tests {
         assert!(rendered.lines().count() > 10);
 
         let t3 = crate::convergence::new_standards_per_round(
-            &dataset, &registry, BrowserProfile::Default,
+            &dataset,
+            &registry,
+            BrowserProfile::Default,
         );
         assert!(render_table3(&t3).contains("Round"));
 

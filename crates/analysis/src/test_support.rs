@@ -15,7 +15,10 @@ static FIXTURE: OnceLock<(Dataset, FeatureRegistry)> = OnceLock::new();
 pub fn tiny_dataset() -> (Dataset, FeatureRegistry) {
     FIXTURE
         .get_or_init(|| {
-            let web = SyntheticWeb::generate(WebConfig { sites: 30, seed: 1234 });
+            let web = SyntheticWeb::generate(WebConfig {
+                sites: 30,
+                seed: 1234,
+            });
             let config = CrawlConfig {
                 rounds_per_profile: 2,
                 pages_per_site: 4,
@@ -40,7 +43,10 @@ pub fn tiny_dataset() -> (Dataset, FeatureRegistry) {
 /// The survey behind the fixture (regenerated on demand — cheap relative to
 /// the crawl; used by validation tests).
 pub fn tiny_survey() -> Survey {
-    let web = SyntheticWeb::generate(WebConfig { sites: 30, seed: 1234 });
+    let web = SyntheticWeb::generate(WebConfig {
+        sites: 30,
+        seed: 1234,
+    });
     let config = CrawlConfig {
         rounds_per_profile: 2,
         pages_per_site: 4,

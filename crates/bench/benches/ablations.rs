@@ -82,9 +82,7 @@ fn bench_planner_policies(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = SimRng::new(1);
             for _ in 0..4 {
-                let picks: Vec<&Url> = (0..3)
-                    .filter_map(|_| rng.choose(&candidates))
-                    .collect();
+                let picks: Vec<&Url> = (0..3).filter_map(|_| rng.choose(&candidates)).collect();
                 black_box(picks);
             }
         })
@@ -93,7 +91,10 @@ fn bench_planner_policies(c: &mut Criterion) {
 }
 
 fn bench_instrumentation_overhead(c: &mut Criterion) {
-    let web = SyntheticWeb::generate(WebConfig { sites: 10, seed: 21 });
+    let web = SyntheticWeb::generate(WebConfig {
+        sites: 10,
+        seed: 21,
+    });
     let site = (0..10)
         .map(SiteId::new)
         .find(|&s| !web.plan(s).dead && !web.plan(s).no_js)

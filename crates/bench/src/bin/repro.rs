@@ -5,13 +5,20 @@
 //! repro --experiment table2           # one table/figure
 //! repro --sites 2000 --seed 7 --all   # bigger ranking
 //! repro --full-depth --all            # paper-depth crawl (5 rounds × 13 pages × 30 s)
+//! repro --store results/ -e table2    # memoized: crawl once, re-render forever
 //! ```
+//!
+//! With `--store DIR`, survey results persist to crash-safe shards in `DIR`:
+//! the first run crawls and writes, a killed run resumes from where it died,
+//! and subsequent runs regenerate any table/figure from the stored dataset
+//! with zero crawl activity (reported by the `store:` cache line).
 //!
 //! Default scale is 600 sites at reduced depth — enough for every shape the
 //! paper reports while finishing in minutes on a laptop core. The numbers in
 //! EXPERIMENTS.md were produced with `--sites 2000 --full-depth`.
 
-use bfu_bench::{build_study, run_experiment, Experiment};
+use bfu_bench::{build_study, build_study_with_store, run_experiment, Experiment};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
@@ -19,6 +26,7 @@ struct Args {
     sites: usize,
     seed: u64,
     full_depth: bool,
+    store: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0x0B5E_55EDu64;
     let mut full_depth = false;
     let mut all = false;
+    let mut store = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -50,10 +59,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--full-depth" => full_depth = true,
+            "--store" => {
+                store = Some(PathBuf::from(argv.next().ok_or("--store needs a value")?));
+            }
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: repro [--all] [--experiment <table1|table2|table3|fig1..fig9|headline>]... \
-                     [--sites N] [--seed N] [--full-depth]",
+                     [--sites N] [--seed N] [--full-depth] [--store DIR]",
                 ));
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -67,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         sites,
         seed,
         full_depth,
+        store,
     })
 }
 
@@ -85,9 +98,33 @@ fn main() -> ExitCode {
         if args.full_depth { "paper" } else { "reduced" }
     );
     let t0 = std::time::Instant::now();
-    let study = build_study(args.sites, args.seed, args.full_depth);
+    let study = match &args.store {
+        Some(dir) => {
+            let stored = match build_study_with_store(args.sites, args.seed, args.full_depth, dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("# {}", stored.cache_line());
+            if stored.report.any_loss() {
+                eprintln!(
+                    "# store damage recovered around: {} corrupt records, \
+                     {} truncated shards, {} checksum-mismatched shards, \
+                     {} out-of-range records",
+                    stored.report.records_corrupt,
+                    stored.report.shards_truncated,
+                    stored.report.shards_checksum_mismatch,
+                    stored.report.records_out_of_range,
+                );
+            }
+            stored.study
+        }
+        None => build_study(args.sites, args.seed, args.full_depth),
+    };
     eprintln!(
-        "# crawl finished in {:.1}s ({} sites measured)",
+        "# study ready in {:.1}s ({} sites measured)",
         t0.elapsed().as_secs_f64(),
         study.dataset().measured_sites()
     );

@@ -1,0 +1,160 @@
+//! `store_bench` — wall-clock comparison of the three ways to obtain a
+//! study, written to `BENCH_store.json`:
+//!
+//! 1. **scratch** — full survey, nothing stored;
+//! 2. **resumed** — survey resumed from a store holding half the sites
+//!    (the crash-recovery path: only the missing half is crawled);
+//! 3. **analysis** — every analysis regenerated from the completed store
+//!    with zero crawl activity (the memoization path).
+//!
+//! ```text
+//! cargo run -p bfu-bench --release --bin store_bench -- [--sites N] [--seed N] [--out PATH]
+//! ```
+
+use bfu_core::store::{DatasetStore, StoreMeta, DEFAULT_SHARD_CAPACITY};
+use bfu_core::{Study, StudyConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    sites: usize,
+    seed: u64,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut sites = 48usize;
+    let mut seed = 0x0B5E_55EDu64;
+    let mut out = std::path::PathBuf::from("BENCH_store.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--sites" => {
+                sites = argv
+                    .next()
+                    .ok_or("--sites needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sites: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                out = std::path::PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: store_bench [--sites N] [--seed N] [--out PATH]",
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(Args { sites, seed, out })
+}
+
+fn meta_for(config: &StudyConfig) -> StoreMeta {
+    let crawl = config.crawl_config();
+    StoreMeta {
+        fingerprint: config.fingerprint(),
+        crawl_seed: crawl.seed,
+        web_seed: config.seed,
+        sites: config.sites,
+        rounds_per_profile: crawl.rounds_per_profile,
+        profiles: crawl.profiles,
+        shard_capacity: DEFAULT_SHARD_CAPACITY,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let config = StudyConfig::quick(args.sites, args.seed);
+    let store_dir = std::env::temp_dir().join(format!(
+        "bfu-store-bench-{}-{}",
+        std::process::id(),
+        args.seed
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // 1. Survey from scratch.
+    eprintln!("# scratch: surveying {} sites…", args.sites);
+    let t0 = Instant::now();
+    let scratch = Study::run(config.clone());
+    let scratch_s = t0.elapsed().as_secs_f64();
+    let fingerprint = scratch.dataset().fingerprint();
+
+    // 2. Survey resumed from a store holding the first half of the sites —
+    // what a crawl killed at the 50% mark leaves behind.
+    let store = DatasetStore::open(&store_dir, meta_for(&config)).map_err(|e| e.to_string())?;
+    let half = args.sites / 2;
+    for m in scratch.dataset().sites.iter().take(half) {
+        store.append(m).map_err(|e| e.to_string())?;
+    }
+    drop(store); // killed before sealing, like a real crash
+    eprintln!("# resumed: store holds {half} sites, crawling the rest…");
+    let t0 = Instant::now();
+    let resumed = Study::run_with_store(config.clone(), &store_dir).map_err(|e| e.to_string())?;
+    let resumed_s = t0.elapsed().as_secs_f64();
+    if resumed.study.dataset().fingerprint() != fingerprint {
+        return Err("resumed dataset fingerprint diverged from scratch run".into());
+    }
+
+    // 3. Analysis from the (now complete) store: load + full report, no crawl.
+    eprintln!("# analysis: regenerating the full report from the store…");
+    let t0 = Instant::now();
+    let loaded = Study::from_store(config, &store_dir).map_err(|e| e.to_string())?;
+    let report = loaded.study.report();
+    let rendered = report.render_all();
+    let analysis_s = t0.elapsed().as_secs_f64();
+    if loaded.crawled_sites != 0 {
+        return Err("analysis path crawled sites; memoization broken".into());
+    }
+    if loaded.study.dataset().fingerprint() != fingerprint {
+        return Err("stored dataset fingerprint diverged from scratch run".into());
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"sites\": {},", args.sites);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"fingerprint\": \"{fingerprint:016x}\",");
+    let _ = writeln!(json, "  \"survey_scratch_s\": {scratch_s:.3},");
+    let _ = writeln!(json, "  \"survey_resumed_half_s\": {resumed_s:.3},");
+    let _ = writeln!(json, "  \"analysis_from_store_s\": {analysis_s:.3},");
+    let _ = writeln!(
+        json,
+        "  \"resumed_speedup\": {:.2},",
+        scratch_s / resumed_s.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "  \"analysis_speedup\": {:.2},",
+        scratch_s / analysis_s.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"resumed_sites\": {},", resumed.resumed_sites);
+    let _ = writeln!(json, "  \"crawled_sites\": {},", resumed.crawled_sites);
+    let _ = writeln!(json, "  \"report_bytes\": {}", rendered.len());
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_dir_all(&store_dir);
+    eprintln!(
+        "# scratch {scratch_s:.2}s | resumed-from-half {resumed_s:.2}s | \
+         analysis-from-store {analysis_s:.2}s → {}",
+        args.out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -134,7 +134,11 @@ fn render_fig2(study: &Study) -> String {
     ] {
         if let Some(rounds) = site.rounds_for(profile) {
             if let Some(round) = rounds.first() {
-                for line in round.log.render_lines(label, &site.domain, registry).iter().take(8)
+                for line in round
+                    .log
+                    .render_lines(label, &site.domain, registry)
+                    .iter()
+                    .take(8)
                 {
                     out.push_str(line);
                     out.push('\n');
@@ -145,9 +149,9 @@ fn render_fig2(study: &Study) -> String {
     out
 }
 
-/// Build the study used by `repro` at the requested scale.
-pub fn build_study(sites: usize, seed: u64, full_depth: bool) -> Study {
-    let config = if full_depth {
+/// The configuration `repro` uses at the requested scale.
+pub fn study_config(sites: usize, seed: u64, full_depth: bool) -> StudyConfig {
+    if full_depth {
         StudyConfig {
             sites,
             seed,
@@ -155,8 +159,32 @@ pub fn build_study(sites: usize, seed: u64, full_depth: bool) -> Study {
         }
     } else {
         StudyConfig::quick(sites, seed)
-    };
-    Study::run(config)
+    }
+}
+
+/// Build the study used by `repro` at the requested scale.
+pub fn build_study(sites: usize, seed: u64, full_depth: bool) -> Study {
+    Study::run(study_config(sites, seed, full_depth))
+}
+
+/// Obtain the study through the dataset store at `dir`: load it outright if
+/// complete, otherwise resume the crawl into it. Only a fingerprint mismatch
+/// or I/O failure errors out.
+pub fn build_study_with_store(
+    sites: usize,
+    seed: u64,
+    full_depth: bool,
+    dir: &std::path::Path,
+) -> Result<bfu_core::StoredStudy, bfu_core::store::StoreError> {
+    use bfu_core::store::StoreError;
+    let config = study_config(sites, seed, full_depth);
+    match Study::from_store(config.clone(), dir) {
+        Ok(stored) => Ok(stored),
+        Err(StoreError::NoStore(_)) | Err(StoreError::Incomplete { .. }) => {
+            Study::run_with_store(config, dir)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

@@ -13,4 +13,4 @@
 
 pub mod harness;
 
-pub use harness::{build_study, run_experiment, Experiment};
+pub use harness::{build_study, build_study_with_store, run_experiment, study_config, Experiment};

@@ -157,9 +157,9 @@ impl FilterEngine {
             .iter()
             .filter(|r| {
                 r.hide_domains.is_empty()
-                    || r.hide_domains.iter().any(|d| {
-                        domain == d || domain.ends_with(&format!(".{d}"))
-                    })
+                    || r.hide_domains
+                        .iter()
+                        .any(|d| domain == d || domain.ends_with(&format!(".{d}")))
             })
             .filter_map(|r| match &r.kind {
                 RuleKind::ElementHide { selector } => Some(selector.as_str()),
@@ -206,7 +206,11 @@ this line is } not a valid rule ##
     fn blocks_and_excepts() {
         let e = FilterEngine::from_list(LIST);
         assert!(e
-            .match_request(&req("http://ads.example.com/b.png", ResourceType::Image, None))
+            .match_request(&req(
+                "http://ads.example.com/b.png",
+                ResourceType::Image,
+                None
+            ))
             .is_some());
         assert!(
             e.match_request(&req(
@@ -250,10 +254,22 @@ this line is } not a valid rule ##
         let e = FilterEngine::from_list(LIST);
         let cases = [
             req("http://ads.example.com/b.png", ResourceType::Image, None),
-            req("http://x.com/banner/2016/img?a=1", ResourceType::Image, None),
-            req("http://tracker.net/t.js", ResourceType::Script, Some("http://news.com/")),
+            req(
+                "http://x.com/banner/2016/img?a=1",
+                ResourceType::Image,
+                None,
+            ),
+            req(
+                "http://tracker.net/t.js",
+                ResourceType::Script,
+                Some("http://news.com/"),
+            ),
             req("http://clean.org/app.js", ResourceType::Script, None),
-            req("http://ads.example.com/acceptable/i.gif", ResourceType::Image, None),
+            req(
+                "http://ads.example.com/acceptable/i.gif",
+                ResourceType::Image,
+                None,
+            ),
         ];
         for c in &cases {
             assert_eq!(

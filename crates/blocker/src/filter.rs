@@ -132,9 +132,7 @@ impl FilterRule {
         let (body, options) = match body.rsplit_once('$') {
             // A '$' inside a URL path is rare in practice; treat the last '$'
             // as the options separator only if what follows parses as options.
-            Some((pat, opts)) if looks_like_options(opts) => {
-                (pat, parse_options(opts)?)
-            }
+            Some((pat, opts)) if looks_like_options(opts) => (pat, parse_options(opts)?),
             _ => (body, FilterOptions::default()),
         };
 
@@ -189,9 +187,7 @@ impl FilterRule {
                     .into_iter()
                     .any(|at| match_from(&pat, &s, at, self.anchor_end))
             }
-            Anchor::None => {
-                (0..=s.len()).any(|at| match_from(&pat, &s, at, self.anchor_end))
-            }
+            Anchor::None => (0..=s.len()).any(|at| match_from(&pat, &s, at, self.anchor_end)),
         }
     }
 
@@ -218,9 +214,7 @@ impl FilterRule {
             if opts.exclude_domains.iter().any(|d| d == dom) {
                 return false;
             }
-            if !opts.include_domains.is_empty()
-                && !opts.include_domains.iter().any(|d| d == dom)
-            {
+            if !opts.include_domains.is_empty() && !opts.include_domains.iter().any(|d| d == dom) {
                 return false;
             }
         }
@@ -376,7 +370,10 @@ mod tests {
         let r = rule("||ads.example.com^");
         assert!(r.matches_url("http://ads.example.com/banner.png"));
         assert!(r.matches_url("https://sub.ads.example.com/x")); // after a dot
-        assert!(!r.matches_url("http://notads.example.com/x"), "no label boundary");
+        assert!(
+            !r.matches_url("http://notads.example.com/x"),
+            "no label boundary"
+        );
         assert!(!r.matches_url("http://example.com/ads.example.com"));
     }
 
@@ -386,7 +383,10 @@ mod tests {
         assert!(r.matches_url("http://example.com/"));
         assert!(r.matches_url("http://example.com:8080/"));
         assert!(r.matches_url("http://example.com")); // ^ at end of URL
-        assert!(!r.matches_url("http://example.company.net/"), "'c' is not a separator");
+        assert!(
+            !r.matches_url("http://example.company.net/"),
+            "'c' is not a separator"
+        );
     }
 
     #[test]
@@ -449,13 +449,19 @@ mod tests {
     fn exception_rules() {
         let r = rule("@@||goodsite.com^$script");
         assert!(r.exception);
-        assert!(r.matches(&req("http://goodsite.com/app.js", ResourceType::Script, None)));
+        assert!(r.matches(&req(
+            "http://goodsite.com/app.js",
+            ResourceType::Script,
+            None
+        )));
     }
 
     #[test]
     fn element_hiding_rules() {
         let global = rule("##.ad-banner");
-        assert!(matches!(&global.kind, RuleKind::ElementHide { selector } if selector == ".ad-banner"));
+        assert!(
+            matches!(&global.kind, RuleKind::ElementHide { selector } if selector == ".ad-banner")
+        );
         assert!(global.hide_domains.is_empty());
         let scoped = rule("news.com,blog.org##.sponsored");
         assert_eq!(scoped.hide_domains, vec!["news.com", "blog.org"]);

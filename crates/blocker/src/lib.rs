@@ -23,6 +23,6 @@ pub mod policy;
 pub mod tracker;
 
 pub use engine::FilterEngine;
-pub use filter::{FilterRule, FilterOptions, RuleKind};
+pub use filter::{FilterOptions, FilterRule, RuleKind};
 pub use policy::{BlockDecision, BlockerStack};
 pub use tracker::{TrackerCategory, TrackerDb};

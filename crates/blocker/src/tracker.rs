@@ -55,8 +55,7 @@ impl TrackerDb {
 
     /// Add a registrable domain with its category.
     pub fn add(&mut self, domain: &str, category: TrackerCategory) {
-        self.domains
-            .insert(domain.to_ascii_lowercase(), category);
+        self.domains.insert(domain.to_ascii_lowercase(), category);
     }
 
     /// Number of listed domains.

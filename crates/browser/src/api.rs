@@ -189,11 +189,12 @@ pub fn install(
             .heap
             .set_prop_raw(obj, IFACE_MARKER, Value::str(name));
     }
-    let link = |interp: &mut Interpreter, protos: &HashMap<String, ObjId>, child: &str, parent: &str| {
-        if let (Some(&c), Some(&p)) = (protos.get(child), protos.get(parent)) {
-            interp.heap.get_mut(c).proto = Some(p);
-        }
-    };
+    let link =
+        |interp: &mut Interpreter, protos: &HashMap<String, ObjId>, child: &str, parent: &str| {
+            if let (Some(&c), Some(&p)) = (protos.get(child), protos.get(parent)) {
+                interp.heap.get_mut(c).proto = Some(p);
+            }
+        };
     link(interp, &protos, "Node", "EventTarget");
     link(interp, &protos, "Element", "Node");
     link(interp, &protos, "HTMLElement", "Element");
@@ -238,11 +239,11 @@ pub fn install(
     }
     let window = singletons[0].1;
     for (name, obj) in &singletons[1..] {
-        interp
-            .heap
-            .set_prop_raw(window, name, Value::Obj(*obj));
+        interp.heap.set_prop_raw(window, name, Value::Obj(*obj));
     }
-    interp.heap.set_prop_raw(window, "window", Value::Obj(window));
+    interp
+        .heap
+        .set_prop_raw(window, "window", Value::Obj(window));
     // document is backed by the DOM root.
     let doc_obj = singletons[1].1;
     {
@@ -253,7 +254,9 @@ pub fn install(
     // location: a plain object, not part of the registry surface here.
     let location = interp.heap.alloc(None);
     let href = host.borrow().base_url.to_string();
-    interp.heap.set_prop_raw(location, "href", Value::str(&href));
+    interp
+        .heap
+        .set_prop_raw(location, "href", Value::str(&href));
     interp
         .heap
         .set_prop_raw(window, "location", Value::Obj(location));
@@ -290,7 +293,11 @@ fn install_plumbing(interp: &mut Interpreter, host: &Rc<RefCell<HostEnv>>) {
     let set_timeout = interp.register_native(Rc::new(move |_, _, args| {
         let cb = args.first().cloned().unwrap_or(Value::Undefined);
         let ms = args.get(1).map(|v| v.to_number()).unwrap_or(0.0);
-        let ms = if ms.is_finite() && ms >= 0.0 { ms as u64 } else { 0 };
+        let ms = if ms.is_finite() && ms >= 0.0 {
+            ms as u64
+        } else {
+            0
+        };
         let mut host = h.borrow_mut();
         let now = host.now;
         let id = host.timers.schedule(cb, now, ms);
@@ -302,7 +309,11 @@ fn install_plumbing(interp: &mut Interpreter, host: &Rc<RefCell<HostEnv>>) {
     let set_interval = interp.register_native(Rc::new(move |_, _, args| {
         let cb = args.first().cloned().unwrap_or(Value::Undefined);
         let ms = args.get(1).map(|v| v.to_number()).unwrap_or(0.0);
-        let ms = if ms.is_finite() && ms >= 1.0 { ms as u64 } else { 1 };
+        let ms = if ms.is_finite() && ms >= 1.0 {
+            ms as u64
+        } else {
+            1
+        };
         let mut host = h.borrow_mut();
         let now = host.now;
         let id = host.timers.schedule_repeating(cb, now, ms);
@@ -362,10 +373,9 @@ fn behavior_native(
             Ok(wrap_node(i, &host, &protos, node))
         })),
         ("Node", "appendChild") => interp.register_native(Rc::new(move |i, this, args| {
-            let (Some(parent), Some(child)) = (
-                node_of(i, &this),
-                args.first().and_then(|a| node_of(i, a)),
-            ) else {
+            let (Some(parent), Some(child)) =
+                (node_of(i, &this), args.first().and_then(|a| node_of(i, a)))
+            else {
                 return Err(RuntimeError::TypeError("appendChild needs nodes".into()));
             };
             if !host.borrow().doc.is_ancestor(child, parent) {
@@ -447,7 +457,8 @@ fn behavior_native(
             if let Ok(url) = h.base_url.join(&url_str) {
                 h.pending_requests.push((url.clone(), ResourceType::Xhr));
                 if let Some(obj) = this.as_obj() {
-                    i.heap.set_prop_raw(obj, "__url", Value::str(url.to_string()));
+                    i.heap
+                        .set_prop_raw(obj, "__url", Value::str(url.to_string()));
                 }
             }
             Ok(Value::Undefined)
@@ -499,15 +510,13 @@ fn behavior_native(
         ("Document", "execCommand") => {
             interp.register_native(Rc::new(move |_, _, _| Ok(Value::Bool(true))))
         }
-        ("Element", "getBoundingClientRect") => {
-            interp.register_native(Rc::new(move |i, _, _| {
-                let rect = i.heap.alloc(None);
-                for (k, v) in [("x", 0.0), ("y", 0.0), ("width", 100.0), ("height", 20.0)] {
-                    i.heap.set_prop_raw(rect, k, Value::Num(v));
-                }
-                Ok(Value::Obj(rect))
-            }))
-        }
+        ("Element", "getBoundingClientRect") => interp.register_native(Rc::new(move |i, _, _| {
+            let rect = i.heap.alloc(None);
+            for (k, v) in [("x", 0.0), ("y", 0.0), ("width", 100.0), ("height", 20.0)] {
+                i.heap.set_prop_raw(rect, k, Value::Num(v));
+            }
+            Ok(Value::Obj(rect))
+        })),
         // Constructor-style factory methods that should return an object of
         // a related interface.
         ("Document", "createRange") => factory(interp, &protos, "Range"),
@@ -528,11 +537,7 @@ fn behavior_native(
     }
 }
 
-fn factory(
-    interp: &mut Interpreter,
-    protos: &Rc<HashMap<String, ObjId>>,
-    iface: &str,
-) -> Value {
+fn factory(interp: &mut Interpreter, protos: &Rc<HashMap<String, ObjId>>, iface: &str) -> Value {
     let proto = protos.get(iface).copied();
     interp.register_native(Rc::new(move |i, _, _| Ok(Value::Obj(i.heap.alloc(proto)))))
 }
@@ -611,7 +616,10 @@ mod tests {
             .unwrap();
         let host = api.host.borrow();
         assert_eq!(host.pending_requests.len(), 1);
-        assert_eq!(host.pending_requests[0].0.to_string(), "http://site.com/api/data");
+        assert_eq!(
+            host.pending_requests[0].0.to_string(),
+            "http://site.com/api/data"
+        );
         assert_eq!(host.pending_requests[0].1, ResourceType::Xhr);
     }
 

@@ -116,8 +116,7 @@ impl Instrumentation {
                 // Attach the watch to any fresh object the API hands out, so
                 // subsequent property writes on it are attributable.
                 if let Some(out_obj) = result.as_obj() {
-                    if i.heap.get(out_obj).watch_all.is_none() && !i.heap.is_callable(out_obj)
-                    {
+                    if i.heap.get(out_obj).watch_all.is_none() && !i.heap.is_callable(out_obj) {
                         // handler id is threaded via a global (set below).
                         if let Some(h) = i.get_global("__bfu_watch").as_obj() {
                             i.heap.watch(out_obj, h);
@@ -135,7 +134,9 @@ impl Instrumentation {
         interp.set_global("__bfu_watch", Value::Obj(watch_handler));
         for (name, &_proto) in api.prototypes.iter() {
             let ctor = interp.get_global(name);
-            let Some(ctor_obj) = ctor.as_obj() else { continue };
+            let Some(ctor_obj) = ctor.as_obj() else {
+                continue;
+            };
             if !interp.heap.is_callable(ctor_obj) {
                 continue;
             }
@@ -151,7 +152,9 @@ impl Instrumentation {
             // The wrapped constructor must expose the same .prototype.
             let proto_val = interp.heap.get_prop(ctor_obj, "prototype");
             let wrapped_obj = wrapped.as_obj().expect("native");
-            interp.heap.set_prop_raw(wrapped_obj, "prototype", proto_val);
+            interp
+                .heap
+                .set_prop_raw(wrapped_obj, "prototype", proto_val);
             interp.set_global(name, wrapped);
         }
 
@@ -202,7 +205,10 @@ mod tests {
         r.interp
             .run_source("document.createElement('div'); document.createElement('p');")
             .unwrap();
-        let fid = r.registry.by_name("Document.prototype.createElement").unwrap();
+        let fid = r
+            .registry
+            .by_name("Document.prototype.createElement")
+            .unwrap();
         assert_eq!(r.log.borrow().count(fid), 2);
     }
 
@@ -223,7 +229,11 @@ mod tests {
             .unwrap()
             .query_first(&host.doc)
             .unwrap();
-        assert_eq!(host.doc.children(main).len(), 1, "behavior intact under shim");
+        assert_eq!(
+            host.doc.children(main).len(),
+            1,
+            "behavior intact under shim"
+        );
         drop(host);
         let append = r.registry.by_name("Node.prototype.appendChild").unwrap();
         assert!(r.log.borrow().saw(append));
@@ -315,11 +325,8 @@ mod tests {
         let mut r = rig();
         // getContext returns a fresh context object; writing a property
         // feature of CanvasRenderingContext2D on it must count.
-        let feat = r
-            .registry
-            .features()
-            .iter()
-            .find(|f| {
+        let feat =
+            r.registry.features().iter().find(|f| {
                 f.kind == FeatureKind::Property && f.interface == "CanvasRenderingContext2D"
             });
         let Some(feat) = feat else {

@@ -164,6 +164,9 @@ mod tests {
         let mut log = FeatureLog::new();
         log.record(fid);
         let lines = log.render_lines("blocking", "example.com", &registry);
-        assert_eq!(lines, vec!["blocking,example.com,Crypto.getRandomValues(),1"]);
+        assert_eq!(
+            lines,
+            vec!["blocking,example.com,Crypto.getRandomValues(),1"]
+        );
     }
 }

@@ -211,10 +211,11 @@ impl Browser {
                     run_page_script(&mut interp, &src, self.config.script_fuel, &mut stats);
                 }
                 Resource::External(target, rtype) => {
-                    let Ok(res_url) = url.join(&target) else { continue };
+                    let Ok(res_url) = url.join(&target) else {
+                        continue;
+                    };
                     stats.requests_attempted += 1;
-                    let req = HttpRequest::get(res_url.clone(), rtype)
-                        .with_initiator(url.clone());
+                    let req = HttpRequest::get(res_url.clone(), rtype).with_initiator(url.clone());
                     if policy.decide(&req).is_some() {
                         stats.requests_blocked += 1;
                         continue;
@@ -236,11 +237,16 @@ impl Browser {
                                 );
                             }
                             ResourceType::SubDocument => {
-                                let frame_body =
-                                    String::from_utf8_lossy(&resp.body).into_owned();
+                                let frame_body = String::from_utf8_lossy(&resp.body).into_owned();
                                 self.load_subdocument(
-                                    net, &res_url, &frame_body, policy, clock,
-                                    &mut interp, &host, &mut stats,
+                                    net,
+                                    &res_url,
+                                    &frame_body,
+                                    policy,
+                                    clock,
+                                    &mut interp,
+                                    &host,
+                                    &mut stats,
                                 );
                             }
                             _ => {}
@@ -281,10 +287,9 @@ impl Browser {
         for node in subdoc.elements() {
             if subdoc.tag(node) == Some("script") {
                 match subdoc.attr(node, "src") {
-                    Some(src) => scripts.push(Resource::External(
-                        src.to_owned(),
-                        ResourceType::Script,
-                    )),
+                    Some(src) => {
+                        scripts.push(Resource::External(src.to_owned(), ResourceType::Script))
+                    }
                     None => scripts.push(Resource::InlineScript(subdoc.text_content(node))),
                 }
             }
@@ -295,10 +300,12 @@ impl Browser {
                     run_page_script(interp, &src, self.config.script_fuel, stats);
                 }
                 Resource::External(target, _) => {
-                    let Ok(u) = frame_url.join(&target) else { continue };
+                    let Ok(u) = frame_url.join(&target) else {
+                        continue;
+                    };
                     stats.requests_attempted += 1;
-                    let req = HttpRequest::get(u, ResourceType::Script)
-                        .with_initiator(frame_url.clone());
+                    let req =
+                        HttpRequest::get(u, ResourceType::Script).with_initiator(frame_url.clone());
                     if policy.decide(&req).is_some() {
                         stats.requests_blocked += 1;
                         continue;
@@ -345,9 +352,7 @@ impl Browser {
         for node in h.doc.elements() {
             match h.doc.tag(node) {
                 Some("script") => match h.doc.attr(node, "src") {
-                    Some(src) => {
-                        out.push(Resource::External(src.to_owned(), ResourceType::Script))
-                    }
+                    Some(src) => out.push(Resource::External(src.to_owned(), ResourceType::Script)),
                     None => out.push(Resource::InlineScript(h.doc.text_content(node))),
                 },
                 Some("img") => {

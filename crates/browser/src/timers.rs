@@ -64,12 +64,7 @@ impl TimerQueue {
     }
 
     /// Schedule a repeating timer.
-    pub fn schedule_repeating(
-        &mut self,
-        callback: Value,
-        now: Instant,
-        every_ms: u64,
-    ) -> u32 {
+    pub fn schedule_repeating(&mut self, callback: Value, now: Instant, every_ms: u64) -> u32 {
         self.schedule_inner(callback, now, every_ms, Some(every_ms.max(1)))
     }
 

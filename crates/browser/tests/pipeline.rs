@@ -149,7 +149,9 @@ fn blocking_policy_stops_requests_and_hides_elements() {
     let mut net = build_net();
     let mut clock = VirtualClock::new();
     let url = Url::parse("http://site.test/").unwrap();
-    let page = browser.load(&mut net, &url, &TestBlocker, &mut clock).unwrap();
+    let page = browser
+        .load(&mut net, &url, &TestBlocker, &mut clock)
+        .unwrap();
     assert_eq!(page.stats.requests_blocked, 1, "ad image blocked");
     // The hidden ad container is no longer an interaction candidate.
     let host = page.api.host.borrow();

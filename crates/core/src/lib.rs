@@ -14,7 +14,7 @@
 
 pub mod study;
 
-pub use study::{Study, StudyConfig, StudyReport};
+pub use study::{StoredStudy, Study, StudyConfig, StudyReport};
 
 pub use bfu_analysis as analysis;
 pub use bfu_blocker as blocker;
@@ -24,6 +24,7 @@ pub use bfu_dom as dom;
 pub use bfu_monkey as monkey;
 pub use bfu_net as net;
 pub use bfu_script as script;
+pub use bfu_store as store;
 pub use bfu_util as util;
 pub use bfu_webgen as webgen;
 pub use bfu_webidl as webidl;

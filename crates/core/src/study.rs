@@ -63,6 +63,33 @@ impl StudyConfig {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         }
     }
+
+    /// The crawl configuration this study runs under.
+    pub fn crawl_config(&self) -> CrawlConfig {
+        let mut profiles = vec![BrowserProfile::Default, BrowserProfile::Blocking];
+        if self.fig7_profiles {
+            profiles.push(BrowserProfile::AdblockOnly);
+            profiles.push(BrowserProfile::GhosteryOnly);
+        }
+        CrawlConfig {
+            rounds_per_profile: self.rounds,
+            pages_per_site: self.pages_per_site,
+            fanout: 3,
+            page_budget_ms: self.page_budget_ms,
+            profiles,
+            threads: self.threads,
+            seed: self.seed ^ 0xC4A31,
+            retry: bfu_crawler::RetryPolicy::default(),
+        }
+    }
+
+    /// The survey fingerprint this configuration produces — the dataset
+    /// store's key — computed without generating the web. Thread count is
+    /// excluded (measurements are thread-invariant), so the same study
+    /// resumed on a different machine still matches its store.
+    pub fn fingerprint(&self) -> u64 {
+        bfu_crawler::survey_fingerprint(self.seed, self.sites, &self.crawl_config(), None)
+    }
 }
 
 /// A completed study: the web, the dataset, and the registry.
@@ -74,35 +101,106 @@ pub struct Study {
     config: StudyConfig,
 }
 
+/// A study obtained through the dataset store: the study itself plus how it
+/// was assembled (recovered vs freshly crawled) and the shard read report.
+#[derive(Debug)]
+pub struct StoredStudy {
+    /// The complete study.
+    pub study: Study,
+    /// Sites recovered from the store instead of being crawled.
+    pub resumed_sites: usize,
+    /// Sites crawled fresh (always 0 for [`Study::from_store`]).
+    pub crawled_sites: usize,
+    /// What reading the store's shards observed.
+    pub report: bfu_store::ReadReport,
+}
+
+impl StoredStudy {
+    /// One human-readable cache line: how much crawling the store saved.
+    pub fn cache_line(&self) -> String {
+        let total = self.resumed_sites + self.crawled_sites;
+        if self.crawled_sites == 0 {
+            format!(
+                "store: HIT ({}/{total} sites from shards, zero crawl activity)",
+                self.resumed_sites
+            )
+        } else if self.resumed_sites == 0 {
+            format!("store: MISS (crawled all {total} sites, shards written)")
+        } else {
+            format!(
+                "store: PARTIAL ({}/{total} sites from shards, {} crawled)",
+                self.resumed_sites, self.crawled_sites
+            )
+        }
+    }
+}
+
 impl Study {
-    /// Generate the web and run the full crawl.
-    pub fn run(config: StudyConfig) -> Study {
+    fn survey_for(config: &StudyConfig) -> (SyntheticWeb, Survey) {
         let web = SyntheticWeb::generate(WebConfig {
             sites: config.sites,
             seed: config.seed,
         });
-        let mut profiles = vec![BrowserProfile::Default, BrowserProfile::Blocking];
-        if config.fig7_profiles {
-            profiles.push(BrowserProfile::AdblockOnly);
-            profiles.push(BrowserProfile::GhosteryOnly);
-        }
-        let crawl = CrawlConfig {
-            rounds_per_profile: config.rounds,
-            pages_per_site: config.pages_per_site,
-            fanout: 3,
-            page_budget_ms: config.page_budget_ms,
-            profiles,
-            threads: config.threads,
-            seed: config.seed ^ 0xC4A31,
-            retry: bfu_crawler::RetryPolicy::default(),
-        };
-        let dataset = Survey::new(web.clone(), crawl).run();
-        let registry = FeatureRegistry::build();
+        let survey = Survey::new(web.clone(), config.crawl_config());
+        (web, survey)
+    }
+
+    /// Assemble a study from already-obtained parts (a stored dataset).
+    pub fn from_parts(web: SyntheticWeb, dataset: Dataset, config: StudyConfig) -> Study {
         Study {
             web,
             dataset,
-            registry,
+            registry: FeatureRegistry::build(),
             config,
+        }
+    }
+
+    /// Generate the web and run the full crawl.
+    pub fn run(config: StudyConfig) -> Study {
+        let (web, survey) = Study::survey_for(&config);
+        let dataset = survey.run();
+        Study::from_parts(web, dataset, config)
+    }
+
+    /// Run the study, persisting results to (and resuming from) the dataset
+    /// store at `dir`. Sites already in the store are not re-crawled; sites
+    /// crawled fresh stream into new shards as they complete, so a killed
+    /// run resumes on the next call.
+    pub fn run_with_store(
+        config: StudyConfig,
+        dir: &std::path::Path,
+    ) -> Result<StoredStudy, bfu_store::StoreError> {
+        let (web, survey) = Study::survey_for(&config);
+        let outcome = bfu_store::resume_survey(&survey, dir)?;
+        Ok(StoredStudy {
+            study: Study::from_parts(web, outcome.dataset, config),
+            resumed_sites: outcome.resumed_sites,
+            crawled_sites: outcome.crawled_sites,
+            report: outcome.report,
+        })
+    }
+
+    /// Load a completed study from the dataset store at `dir` with zero
+    /// crawl activity. Fails with [`bfu_store::StoreError::Incomplete`] when
+    /// the store is missing sites (resume with [`Study::run_with_store`]).
+    pub fn from_store(
+        config: StudyConfig,
+        dir: &std::path::Path,
+    ) -> Result<StoredStudy, bfu_store::StoreError> {
+        let (web, survey) = Study::survey_for(&config);
+        match bfu_store::load_survey_dataset(&survey, dir)? {
+            bfu_store::LoadOutcome::Complete { dataset, report } => {
+                let resumed_sites = dataset.sites.len();
+                Ok(StoredStudy {
+                    study: Study::from_parts(web, dataset, config),
+                    resumed_sites,
+                    crawled_sites: 0,
+                    report,
+                })
+            }
+            bfu_store::LoadOutcome::Incomplete {
+                present, missing, ..
+            } => Err(bfu_store::StoreError::Incomplete { present, missing }),
         }
     }
 
@@ -160,14 +258,8 @@ impl Study {
     /// Run the §6.2 external validation against `n` traffic-weighted sites.
     pub fn external_validation(&self, n: usize) -> ValidationHistogram {
         let crawl = CrawlConfig {
-            rounds_per_profile: self.config.rounds,
-            pages_per_site: self.config.pages_per_site,
-            fanout: 3,
-            page_budget_ms: self.config.page_budget_ms,
             profiles: vec![BrowserProfile::Default],
-            threads: self.config.threads,
-            seed: self.config.seed ^ 0xC4A31,
-            retry: bfu_crawler::RetryPolicy::default(),
+            ..self.config.crawl_config()
         };
         let survey = Survey::new(self.web.clone(), crawl);
         histogram(&survey.external_validation(&self.dataset, n).sites)
@@ -266,6 +358,41 @@ mod tests {
     fn external_validation_runs() {
         let h = study().external_validation(5);
         assert!(h.total_sites > 0);
+    }
+
+    #[test]
+    fn config_fingerprint_matches_survey_and_ignores_threads() {
+        let config = StudyConfig::quick(12, 5);
+        let (_, survey) = Study::survey_for(&config);
+        assert_eq!(config.fingerprint(), survey.fingerprint());
+        let mut other_threads = config.clone();
+        other_threads.threads = config.threads + 3;
+        assert_eq!(config.fingerprint(), other_threads.fingerprint());
+        let mut other_seed = config;
+        other_seed.seed ^= 1;
+        assert_ne!(other_seed.fingerprint(), other_threads.fingerprint());
+    }
+
+    #[test]
+    fn store_run_then_load_fingerprints_match() {
+        let dir = std::env::temp_dir().join(format!("bfu-core-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StudyConfig::quick(6, 31);
+        let fresh = Study::run(config.clone());
+        let written = Study::run_with_store(config.clone(), &dir).expect("run with store");
+        assert_eq!(written.crawled_sites, 6);
+        assert_eq!(
+            written.study.dataset().fingerprint(),
+            fresh.dataset().fingerprint()
+        );
+        let loaded = Study::from_store(config, &dir).expect("load from store");
+        assert_eq!(loaded.crawled_sites, 0, "load must not crawl");
+        assert_eq!(loaded.resumed_sites, 6);
+        assert!(loaded.cache_line().contains("HIT"));
+        assert_eq!(
+            loaded.study.dataset().fingerprint(),
+            fresh.dataset().fingerprint()
+        );
     }
 
     #[test]

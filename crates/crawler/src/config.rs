@@ -25,6 +25,38 @@ impl BrowserProfile {
             BrowserProfile::GhosteryOnly => "ghostery-only",
         }
     }
+
+    /// Stable one-byte tag used by the on-disk dataset encoding.
+    pub fn tag(self) -> u8 {
+        match self {
+            BrowserProfile::Default => 0,
+            BrowserProfile::Blocking => 1,
+            BrowserProfile::AdblockOnly => 2,
+            BrowserProfile::GhosteryOnly => 3,
+        }
+    }
+
+    /// Inverse of [`BrowserProfile::tag`].
+    pub fn from_tag(tag: u8) -> Option<BrowserProfile> {
+        Some(match tag {
+            0 => BrowserProfile::Default,
+            1 => BrowserProfile::Blocking,
+            2 => BrowserProfile::AdblockOnly,
+            3 => BrowserProfile::GhosteryOnly,
+            _ => return None,
+        })
+    }
+
+    /// Inverse of [`BrowserProfile::label`], for manifest parsing.
+    pub fn from_label(label: &str) -> Option<BrowserProfile> {
+        Some(match label {
+            "default" => BrowserProfile::Default,
+            "blocking" => BrowserProfile::Blocking,
+            "adblock-only" => BrowserProfile::AdblockOnly,
+            "ghostery-only" => BrowserProfile::GhosteryOnly,
+            _ => return None,
+        })
+    }
 }
 
 /// Survey parameters; defaults mirror the paper's §4.3.
@@ -64,6 +96,25 @@ impl Default for CrawlConfig {
 }
 
 impl CrawlConfig {
+    /// Absorb every measurement-relevant field into `f`. Thread count is
+    /// deliberately excluded: results are thread-invariant, so a dataset
+    /// crawled on 2 threads resumes cleanly on 16.
+    pub fn fingerprint_into(&self, f: &mut bfu_util::Fnv64) {
+        f.write(b"crawl-config-v1");
+        f.write_u64(u64::from(self.rounds_per_profile));
+        f.write_u64(self.pages_per_site as u64);
+        f.write_u64(self.fanout as u64);
+        f.write_u64(self.page_budget_ms);
+        f.write_u64(self.profiles.len() as u64);
+        for p in &self.profiles {
+            f.write_str(p.label());
+        }
+        f.write_u64(self.seed);
+        f.write_u64(u64::from(self.retry.max_attempts));
+        f.write_u64(self.retry.base_backoff_ms);
+        f.write_u64(self.retry.max_backoff_ms);
+    }
+
     /// A scaled-down config for tests and examples: fewer rounds/pages and
     /// shorter budgets, same structure.
     pub fn quick(seed: u64) -> Self {
@@ -92,6 +143,47 @@ mod tests {
         assert_eq!(c.fanout, 3);
         assert_eq!(c.page_budget_ms, 30_000);
         assert_eq!(c.profiles.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_measurement_fields() {
+        let digest = |c: &CrawlConfig| {
+            let mut f = bfu_util::Fnv64::new();
+            c.fingerprint_into(&mut f);
+            f.finish()
+        };
+        let base = CrawlConfig::quick(9);
+        let mut threads = base.clone();
+        threads.threads = base.threads + 6;
+        assert_eq!(
+            digest(&base),
+            digest(&threads),
+            "threads are layout, not data"
+        );
+        let mut rounds = base.clone();
+        rounds.rounds_per_profile += 1;
+        assert_ne!(digest(&base), digest(&rounds));
+        let mut seed = base.clone();
+        seed.seed ^= 1;
+        assert_ne!(digest(&base), digest(&seed));
+        let mut retry = base.clone();
+        retry.retry.max_attempts += 1;
+        assert_ne!(digest(&base), digest(&retry));
+    }
+
+    #[test]
+    fn profile_tags_and_labels_roundtrip() {
+        for p in [
+            BrowserProfile::Default,
+            BrowserProfile::Blocking,
+            BrowserProfile::AdblockOnly,
+            BrowserProfile::GhosteryOnly,
+        ] {
+            assert_eq!(BrowserProfile::from_tag(p.tag()), Some(p));
+            assert_eq!(BrowserProfile::from_label(p.label()), Some(p));
+        }
+        assert_eq!(BrowserProfile::from_tag(9), None);
+        assert_eq!(BrowserProfile::from_label("nope"), None);
     }
 
     #[test]

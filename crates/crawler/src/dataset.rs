@@ -7,6 +7,7 @@
 use crate::config::BrowserProfile;
 use crate::error::CrawlError;
 use bfu_browser::FeatureLog;
+use bfu_util::Fnv64;
 use bfu_webgen::SiteId;
 use bfu_webidl::{FeatureId, FeatureRegistry, StandardId};
 use std::collections::HashSet;
@@ -171,7 +172,12 @@ impl SiteMeasurement {
         let mut out = HashSet::new();
         if let Some(rounds) = self.rounds_for(profile) {
             for r in rounds.iter().filter(|r| r.round <= round) {
-                out.extend(r.log.features().into_iter().map(|f| registry.standard_of(f)));
+                out.extend(
+                    r.log
+                        .features()
+                        .into_iter()
+                        .map(|f| registry.standard_of(f)),
+                );
             }
         }
         out
@@ -219,7 +225,10 @@ impl Dataset {
 
     /// Total feature invocations recorded (Table 1).
     pub fn total_invocations(&self) -> u64 {
-        self.sites.iter().map(SiteMeasurement::total_invocations).sum()
+        self.sites
+            .iter()
+            .map(SiteMeasurement::total_invocations)
+            .sum()
     }
 
     /// Total virtual interaction time in ms (Table 1's "480 days").
@@ -283,7 +292,7 @@ impl Dataset {
     /// classes, same logs, same retry effort — fingerprint identically,
     /// which is how the determinism tests compare thread counts.
     pub fn fingerprint(&self) -> u64 {
-        let mut f = Fnv::new();
+        let mut f = Fnv64::new();
         f.write_u64(self.rounds_per_profile.into());
         f.write_u64(self.sites.len() as u64);
         for s in &self.sites {
@@ -347,30 +356,6 @@ impl CrawlHealth {
     }
 }
 
-/// Incremental FNV-1a, for dataset fingerprinting.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xCBF2_9CE4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,8 +415,14 @@ mod tests {
         assert_eq!(ds.total_pages(), 39);
         assert_eq!(ds.total_invocations(), 5);
         assert_eq!(ds.total_interaction_ms(), 3 * 390_000);
-        assert_eq!(ds.sites_using_feature(FeatureId::new(2), BrowserProfile::Default), 1);
-        assert_eq!(ds.sites_using_feature(FeatureId::new(9), BrowserProfile::Default), 0);
+        assert_eq!(
+            ds.sites_using_feature(FeatureId::new(2), BrowserProfile::Default),
+            1
+        );
+        assert_eq!(
+            ds.sites_using_feature(FeatureId::new(9), BrowserProfile::Default),
+            0
+        );
     }
 
     #[test]
@@ -514,7 +505,11 @@ mod tests {
         assert_eq!(health.failures_by_class[CrawlError::Stall.class_ix()], 1);
         assert_eq!(health.total_retries, 4);
         assert_eq!(health.total_backoff_ms, 1_500);
-        let named: Vec<_> = health.breakdown().into_iter().filter(|(_, n)| *n > 0).collect();
+        let named: Vec<_> = health
+            .breakdown()
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .collect();
         assert_eq!(named, vec![("dead host", 1), ("stall", 1)]);
     }
 

@@ -79,6 +79,32 @@ impl CrawlError {
         ]
     }
 
+    /// Wire encoding: `(class index, extra)` where `extra` carries the HTTP
+    /// status for [`CrawlError::HttpError`] and is zero elsewhere. Stable
+    /// across versions — the dataset store depends on it.
+    pub fn to_parts(self) -> (u8, u16) {
+        let extra = match self {
+            CrawlError::HttpError(status) => status,
+            _ => 0,
+        };
+        (self.class_ix() as u8, extra)
+    }
+
+    /// Inverse of [`CrawlError::to_parts`]; `None` for unknown classes.
+    pub fn from_parts(class: u8, extra: u16) -> Option<CrawlError> {
+        Some(match class {
+            0 => CrawlError::DeadHost,
+            1 => CrawlError::ConnectionReset,
+            2 => CrawlError::Stall,
+            3 => CrawlError::Truncated,
+            4 => CrawlError::HttpError(extra),
+            5 => CrawlError::ScriptSyntax,
+            6 => CrawlError::ScriptBudget,
+            7 => CrawlError::WatchdogExpired,
+            _ => return None,
+        })
+    }
+
     /// Whether a retry could plausibly succeed. Permanent classes (dead
     /// hosts, HTTP errors, script failures) are never retried.
     pub fn is_transient(self) -> bool {
@@ -140,6 +166,25 @@ mod tests {
     }
 
     #[test]
+    fn wire_parts_roundtrip_every_class() {
+        let all = [
+            CrawlError::DeadHost,
+            CrawlError::ConnectionReset,
+            CrawlError::Stall,
+            CrawlError::Truncated,
+            CrawlError::HttpError(418),
+            CrawlError::ScriptSyntax,
+            CrawlError::ScriptBudget,
+            CrawlError::WatchdogExpired,
+        ];
+        for e in all {
+            let (class, extra) = e.to_parts();
+            assert_eq!(CrawlError::from_parts(class, extra), Some(e), "{e}");
+        }
+        assert_eq!(CrawlError::from_parts(200, 0), None);
+    }
+
+    #[test]
     fn transience_matches_retry_matrix() {
         assert!(CrawlError::ConnectionReset.is_transient());
         assert!(CrawlError::Stall.is_transient());
@@ -157,7 +202,10 @@ mod tests {
         let net = |e| CrawlError::from_load(&LoadError::Network(e));
         assert_eq!(net(NameNotResolved("x".into())), CrawlError::DeadHost);
         assert_eq!(net(ConnectionRefused("x".into())), CrawlError::DeadHost);
-        assert_eq!(net(ConnectionReset("x".into())), CrawlError::ConnectionReset);
+        assert_eq!(
+            net(ConnectionReset("x".into())),
+            CrawlError::ConnectionReset
+        );
         assert_eq!(net(Stalled("x".into())), CrawlError::Stall);
         assert_eq!(net(Truncated("x".into())), CrawlError::Truncated);
         assert_eq!(net(ProtocolError("x".into())), CrawlError::Truncated);

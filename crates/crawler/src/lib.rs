@@ -19,6 +19,8 @@
 //!   [`dataset::Dataset`].
 //! - [`dataset`] — the measurement records all analyses consume, plus the
 //!   [`dataset::CrawlHealth`] supervision summary.
+//! - [`provenance`] — the single dataset-identity record (seed, config
+//!   fingerprint, health) every metadata writer derives from.
 
 // The crawl must degrade, not die: every unwrap/expect outside tests is a
 // latent panic that would take a whole survey down with one bad site.
@@ -27,6 +29,7 @@
 pub mod config;
 pub mod dataset;
 pub mod error;
+pub mod provenance;
 pub mod retry;
 pub mod survey;
 pub mod visit;
@@ -34,6 +37,7 @@ pub mod visit;
 pub use config::{BrowserProfile, CrawlConfig};
 pub use dataset::{CrawlHealth, Dataset, RoundMeasurement, SiteMeasurement, SiteOutcome};
 pub use error::CrawlError;
+pub use provenance::Provenance;
 pub use retry::{load_with_retry, AttemptTrace, RetryPolicy};
-pub use survey::{Survey, ValidationRun};
+pub use survey::{survey_fingerprint, Survey, ValidationRun};
 pub use visit::{policy_for, visit_site_round, PolicyAdapter};

@@ -1,0 +1,67 @@
+//! Dataset provenance: where a dataset came from, in one record.
+//!
+//! Every consumer that writes dataset metadata — the store's manifest
+//! sidecar, analysis exports, bench reports — derives it from this single
+//! struct, so the seed, configuration fingerprint, and crawl health are
+//! written once instead of being re-assembled (and drifting) per consumer.
+//! The JSON rendering lives in `bfu-analysis::export::provenance_json`.
+
+use crate::config::BrowserProfile;
+use crate::dataset::{CrawlHealth, Dataset};
+use crate::survey::Survey;
+
+/// Everything needed to identify and trust a stored dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// The survey fingerprint ([`Survey::fingerprint`]): web config + crawl
+    /// config + fault overlay. The store's resume key.
+    pub fingerprint: u64,
+    /// Crawl seed.
+    pub crawl_seed: u64,
+    /// Web generation seed.
+    pub web_seed: u64,
+    /// Ranked sites in the study.
+    pub sites: usize,
+    /// Measurement rounds per profile.
+    pub rounds_per_profile: u32,
+    /// Profiles crawled, in order.
+    pub profiles: Vec<BrowserProfile>,
+    /// Supervision summary of the dataset (loss breakdown, retry effort).
+    pub health: CrawlHealth,
+}
+
+impl Provenance {
+    /// The provenance of `dataset` as produced by `survey`.
+    pub fn of(survey: &Survey, dataset: &Dataset) -> Provenance {
+        Provenance {
+            fingerprint: survey.fingerprint(),
+            crawl_seed: survey.config().seed,
+            web_seed: survey.web().core().config.seed,
+            sites: survey.web().site_count(),
+            rounds_per_profile: dataset.rounds_per_profile,
+            profiles: dataset.profiles.clone(),
+            health: dataset.health(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrawlConfig;
+    use bfu_webgen::{SyntheticWeb, WebConfig};
+
+    #[test]
+    fn provenance_reflects_survey_and_dataset() {
+        let web = SyntheticWeb::generate(WebConfig { sites: 6, seed: 11 });
+        let survey = Survey::new(web, CrawlConfig::quick(3));
+        let dataset = survey.run();
+        let p = Provenance::of(&survey, &dataset);
+        assert_eq!(p.fingerprint, survey.fingerprint());
+        assert_eq!(p.web_seed, 11);
+        assert_eq!(p.crawl_seed, 3);
+        assert_eq!(p.sites, 6);
+        assert_eq!(p.health, dataset.health());
+        assert_eq!(p.profiles, dataset.profiles);
+    }
+}

@@ -50,6 +50,31 @@ pub struct ValidationRun {
     pub shortfall: usize,
 }
 
+/// [`Survey::fingerprint`] computed from raw parts, without generating the
+/// web. Lets configuration layers (e.g. `StudyConfig`) key a dataset store
+/// before paying for web generation; must stay in lockstep with what
+/// `Survey` would hash.
+pub fn survey_fingerprint(
+    web_seed: u64,
+    sites: usize,
+    config: &CrawlConfig,
+    overlay: Option<&FaultPlan>,
+) -> u64 {
+    let mut f = bfu_util::Fnv64::new();
+    f.write(b"bfu-survey-v1");
+    f.write_u64(web_seed);
+    f.write_u64(sites as u64);
+    config.fingerprint_into(&mut f);
+    match overlay {
+        None => f.write_u64(0),
+        Some(overlay) => {
+            f.write_u64(1);
+            f.write_u64(overlay.digest());
+        }
+    }
+    f.finish()
+}
+
 impl Survey {
     /// A survey over `web` with `config`.
     pub fn new(web: SyntheticWeb, config: CrawlConfig) -> Self {
@@ -75,6 +100,21 @@ impl Survey {
     /// The configuration.
     pub fn config(&self) -> &CrawlConfig {
         &self.config
+    }
+
+    /// Stable identity of everything that shapes this survey's
+    /// measurements: the web's generation config, every crawl parameter
+    /// except thread count, and the fault overlay. Two surveys with equal
+    /// fingerprints produce byte-identical datasets, which is what lets the
+    /// dataset store resume one survey's crawl from another run's shards.
+    pub fn fingerprint(&self) -> u64 {
+        let web_config = &self.web.core().config;
+        survey_fingerprint(
+            web_config.seed,
+            web_config.sites,
+            &self.config,
+            self.fault_overlay.as_ref(),
+        )
     }
 
     /// The effective fault plan a worker's network runs under.
@@ -108,28 +148,58 @@ impl Survey {
 
     /// Run the whole crawl, returning the (possibly partial) dataset.
     pub fn run(&self) -> Dataset {
+        self.run_partial(Vec::new(), &|_| {})
+    }
+
+    /// Run the crawl, skipping sites already measured and streaming each
+    /// fresh measurement to `observer` as it completes.
+    ///
+    /// `prefilled[ix] = Some(m)` means site `ix` was already measured (e.g.
+    /// recovered from a dataset store's shards) and must not be recrawled;
+    /// its measurement is carried into the returned [`Dataset`] verbatim.
+    /// A `prefilled` shorter than the site count is treated as `None`-padded.
+    /// `observer` is invoked from worker threads, once per *newly crawled*
+    /// site, in completion order — this is the dataset store's shard-writer
+    /// hook. Because per-site measurements depend only on
+    /// `(survey fingerprint, site)`, a resumed run and an uninterrupted run
+    /// fingerprint identically.
+    pub fn run_partial(
+        &self,
+        mut prefilled: Vec<Option<SiteMeasurement>>,
+        observer: &(dyn Fn(&SiteMeasurement) + Sync),
+    ) -> Dataset {
         let n_sites = self.web.site_count();
-        let results: Mutex<Vec<Option<SiteMeasurement>>> = Mutex::new(vec![None; n_sites]);
+        prefilled.truncate(n_sites);
+        prefilled.resize_with(n_sites, || None);
+        let done: Vec<bool> = prefilled.iter().map(Option::is_some).collect();
+        let results: Mutex<Vec<Option<SiteMeasurement>>> = Mutex::new(prefilled);
         let next = AtomicUsize::new(0);
         let threads = self.config.threads.max(1).min(n_sites.max(1));
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let (mut net, browser, policies) = self.build_world();
+                    let mut world = None;
                     loop {
                         let ix = next.fetch_add(1, Ordering::Relaxed);
                         if ix >= n_sites {
                             break;
                         }
+                        if done[ix] {
+                            continue;
+                        }
+                        // Worlds are expensive; build one only if this
+                        // worker actually has sites left to crawl.
+                        let (net, browser, policies) =
+                            world.get_or_insert_with(|| self.build_world());
                         // A panicking site must not take the worker (or the
                         // survey) down with it; it becomes a Panicked entry.
                         let m = catch_unwind(AssertUnwindSafe(|| {
-                            self.crawl_site(ix, &browser, &mut net, &policies)
+                            self.crawl_site(ix, browser, net, policies)
                         }))
                         .unwrap_or_else(|_| self.panicked_site(ix));
-                        let mut slots =
-                            results.lock().unwrap_or_else(|poison| poison.into_inner());
+                        observer(&m);
+                        let mut slots = results.lock().unwrap_or_else(|poison| poison.into_inner());
                         slots[ix] = Some(m);
                     }
                 });
@@ -252,7 +322,9 @@ impl Survey {
             let Ok(mut url) = Url::parse(&format!("http://{domain}/")) else {
                 continue;
             };
-            net.set_fault_context(hash_label(domain).rotate_left(7) ^ hash_label("external-validation"));
+            net.set_fault_context(
+                hash_label(domain).rotate_left(7) ^ hash_label("external-validation"),
+            );
             let mut human_standards: HashSet<StandardId> = HashSet::new();
             let mut human = HumanProfile::new(rng.fork_idx(site_ix as u64));
             let mut clock = bfu_util::VirtualClock::new();
@@ -261,8 +333,7 @@ impl Survey {
                 let Ok(mut page) = browser.load(&mut net, &url, &policy, &mut clock) else {
                     break;
                 };
-                let report =
-                    human.interact(&mut page, &mut net, &policy, &mut clock, 30_000);
+                let report = human.interact(&mut page, &mut net, &policy, &mut clock, 30_000);
                 human_standards.extend(
                     page.log
                         .borrow()
@@ -277,8 +348,8 @@ impl Survey {
                     _ => break,
                 }
             }
-            let automated = dataset.sites[site_ix]
-                .standards_used(BrowserProfile::Default, &registry);
+            let automated =
+                dataset.sites[site_ix].standards_used(BrowserProfile::Default, &registry);
             let new = human_standards.difference(&automated).count();
             sites.push((site, new));
         }

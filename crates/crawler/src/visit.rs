@@ -106,7 +106,9 @@ pub fn visit_site_round(
 
     // Watchdog: the round's nominal budget with 2x headroom for page loads,
     // retries, and stalls. Expiry keeps whatever was already measured.
-    let nominal = config.page_budget_ms.saturating_mul(config.pages_per_site as u64);
+    let nominal = config
+        .page_budget_ms
+        .saturating_mul(config.pages_per_site as u64);
     let watchdog = start.plus(nominal.saturating_mul(2).max(config.page_budget_ms));
 
     // Breadth-first frontier, starting at the home page.
@@ -123,8 +125,15 @@ pub fn visit_site_round(
             break;
         }
         planner.mark_visited(&url);
-        let (page, trace) =
-            load_with_retry(browser, net, &url, policy, &mut clock, watchdog, &config.retry);
+        let (page, trace) = load_with_retry(
+            browser,
+            net,
+            &url,
+            policy,
+            &mut clock,
+            watchdog,
+            &config.retry,
+        );
         measurement.attempts += trace.attempts;
         measurement.retries += trace.retries;
         measurement.backoff_ms += trace.backoff_ms;
@@ -213,8 +222,15 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(10);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            &domain,
+            &config,
+            0,
+            &mut rng,
         );
         assert!(!m.failed());
         assert_eq!(m.pages_visited as usize, config.pages_per_site);
@@ -231,14 +247,26 @@ mod tests {
         let mut rng_a = SimRng::new(10);
         let mut rng_b = SimRng::new(10);
         let default = visit_site_round(
-            &web, &browser, &mut net,
+            &web,
+            &browser,
+            &mut net,
             &policy_for(&web, BrowserProfile::Default),
-            BrowserProfile::Default, &domain, &config, 0, &mut rng_a,
+            BrowserProfile::Default,
+            &domain,
+            &config,
+            0,
+            &mut rng_a,
         );
         let blocking = visit_site_round(
-            &web, &browser, &mut net,
+            &web,
+            &browser,
+            &mut net,
             &policy_for(&web, BrowserProfile::Blocking),
-            BrowserProfile::Blocking, &domain, &config, 0, &mut rng_b,
+            BrowserProfile::Blocking,
+            &domain,
+            &config,
+            0,
+            &mut rng_b,
         );
         assert!(
             blocking.log.distinct_features() <= default.log.distinct_features(),
@@ -260,8 +288,15 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(3);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            &domain,
+            &config,
+            0,
+            &mut rng,
         );
         assert!(m.failed());
         assert_eq!(m.error, Some(CrawlError::DeadHost));
@@ -279,8 +314,15 @@ mod tests {
             let policy = policy_for(&web, BrowserProfile::Default);
             let mut rng = SimRng::new(42);
             let m = visit_site_round(
-                &web, &browser, &mut net, &policy,
-                BrowserProfile::Default, &domain, &config, 0, &mut rng,
+                &web,
+                &browser,
+                &mut net,
+                &policy,
+                BrowserProfile::Default,
+                &domain,
+                &config,
+                0,
+                &mut rng,
             );
             (m.log.total_invocations(), m.pages_visited, m.interaction_ms)
         };
@@ -302,10 +344,21 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(10);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            &domain,
+            &config,
+            0,
+            &mut rng,
         );
-        assert!(!m.failed(), "retry must beat a twice-flaky host: {:?}", m.error);
+        assert!(
+            !m.failed(),
+            "retry must beat a twice-flaky host: {:?}",
+            m.error
+        );
         assert_eq!(m.retries, 2);
         assert_eq!(m.backoff_ms, 250 + 500, "exponential backoff paid in full");
         assert_eq!(m.pages_visited as usize, config.pages_per_site);
@@ -328,8 +381,15 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(10);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            &domain,
+            &config,
+            0,
+            &mut rng,
         );
         assert_eq!(m.error, Some(CrawlError::ConnectionReset));
         assert_eq!(m.retries, 0);
@@ -352,8 +412,15 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(10);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            &domain,
+            &config,
+            0,
+            &mut rng,
         );
         assert_eq!(m.error, Some(CrawlError::Stall));
         assert!(m.interaction_ms >= 5_000, "the stall burned virtual time");
@@ -378,8 +445,15 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(4);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, "broken.test", &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            "broken.test",
+            &config,
+            0,
+            &mut rng,
         );
         assert_eq!(m.error, Some(CrawlError::ScriptSyntax));
         assert_eq!(m.pages_visited, 0, "syntax-error sites are dropped whole");
@@ -403,8 +477,15 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(4);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, "spin.test", &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            "spin.test",
+            &config,
+            0,
+            &mut rng,
         );
         assert_eq!(m.error, Some(CrawlError::ScriptBudget));
     }
@@ -421,8 +502,15 @@ mod tests {
         let policy = policy_for(&web, BrowserProfile::Default);
         let mut rng = SimRng::new(7);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy,
-            BrowserProfile::Default, &domain, &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            BrowserProfile::Default,
+            &domain,
+            &config,
+            0,
+            &mut rng,
         );
         let registry = FeatureRegistry::build();
         let planned: std::collections::HashSet<_> =

@@ -37,10 +37,7 @@ fn overlay(targets: &[String]) -> FaultPlan {
         .with_seed(77)
         .with_reset_chance(0.002)
         .with_program(&targets[0], HostFault::flaky(FaultKind::Reset, 2))
-        .with_program(
-            &targets[1],
-            HostFault::flaky(FaultKind::Truncate, 1),
-        )
+        .with_program(&targets[1], HostFault::flaky(FaultKind::Truncate, 1))
         .with_program(
             &targets[2],
             HostFault::random(FaultKind::Stall, 1.0).with_stall_ms(3_000),
@@ -145,7 +142,10 @@ fn transient_hosts_recover_and_permanent_hosts_fail_with_their_class() {
 
     // The permanent truncator exhausts its retries and keeps its class.
     let truncated = site_by_domain(&dataset, &targets[3]);
-    assert_eq!(truncated.outcome, SiteOutcome::Failed(CrawlError::Truncated));
+    assert_eq!(
+        truncated.outcome,
+        SiteOutcome::Failed(CrawlError::Truncated)
+    );
 
     // The killed host refuses every connection and is never retried.
     let dead = site_by_domain(&dataset, &targets[4]);
@@ -179,9 +179,8 @@ fn faulted_survey_is_invariant_under_thread_count() {
         "fault scheduling must not depend on thread layout"
     );
     // Spot-check beyond the fingerprint: identical outcome sequences.
-    let outcomes = |d: &Dataset| -> Vec<SiteOutcome> {
-        d.sites.iter().map(|s| s.outcome).collect()
-    };
+    let outcomes =
+        |d: &Dataset| -> Vec<SiteOutcome> { d.sites.iter().map(|s| s.outcome).collect() };
     assert_eq!(outcomes(&single), outcomes(&eight));
     assert_eq!(single.total_invocations(), eight.total_invocations());
     assert_eq!(single.total_pages(), eight.total_pages());

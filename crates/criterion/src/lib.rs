@@ -128,8 +128,7 @@ where
         return;
     }
     let per_iter = |d: &Duration| d.as_nanos() as f64 / bencher.iters_per_sample as f64;
-    let mean =
-        bencher.samples.iter().map(per_iter).sum::<f64>() / bencher.samples.len() as f64;
+    let mean = bencher.samples.iter().map(per_iter).sum::<f64>() / bencher.samples.len() as f64;
     let min = bencher
         .samples
         .iter()

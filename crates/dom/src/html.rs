@@ -140,9 +140,7 @@ fn parse_attrs(s: &str) -> Vec<(String, String)> {
                     None => (q.to_owned(), ""),
                 }
             } else {
-                let e = r
-                    .find(|c: char| c.is_ascii_whitespace())
-                    .unwrap_or(r.len());
+                let e = r.find(|c: char| c.is_ascii_whitespace()).unwrap_or(r.len());
                 (r[..e].to_owned(), &r[e..])
             };
             out.push((name, value));
@@ -236,14 +234,19 @@ mod tests {
         let doc = parse("<script>if (a < b) { go(); }</script><p>after</p>");
         let script = doc.first_by_tag("script").unwrap();
         assert_eq!(doc.text_content(script), "if (a < b) { go(); }");
-        assert!(doc.first_by_tag("p").is_some(), "parsing continues after script");
+        assert!(
+            doc.first_by_tag("p").is_some(),
+            "parsing continues after script"
+        );
     }
 
     #[test]
     fn comments_preserved() {
         let doc = parse("<body><!-- note --></body>");
         let body = doc.first_by_tag("body").unwrap();
-        assert!(matches!(doc.data(doc.children(body)[0]), NodeData::Comment(c) if c.trim() == "note"));
+        assert!(
+            matches!(doc.data(doc.children(body)[0]), NodeData::Comment(c) if c.trim() == "note")
+        );
     }
 
     #[test]
@@ -279,7 +282,8 @@ mod tests {
 
     #[test]
     fn serialize_roundtrip_structure() {
-        let src = "<html><body><div id=\"a\" class=\"b\"><p>hi</p><img src=\"x\"></div></body></html>";
+        let src =
+            "<html><body><div id=\"a\" class=\"b\"><p>hi</p><img src=\"x\"></div></body></html>";
         let doc = parse(src);
         let out = serialize(&doc, doc.root());
         let doc2 = parse(&out);
@@ -309,7 +313,15 @@ mod regression_tests {
     #[test]
     fn lone_angle_brackets_are_text_and_terminate() {
         // Regression: `<` not opening a tag must not hang the parser.
-        for src in ["<", "<3", "a < b", "<<", "x<", "< <div>hi</div>", "<\u{e9}tag>"] {
+        for src in [
+            "<",
+            "<3",
+            "a < b",
+            "<<",
+            "x<",
+            "< <div>hi</div>",
+            "<\u{e9}tag>",
+        ] {
             let doc = parse(src);
             let _ = doc.iter_tree();
         }

@@ -153,7 +153,10 @@ impl Document {
     ///
     /// Panics if the edge would create a cycle.
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
-        assert!(!self.is_ancestor(child, parent), "append would create a cycle");
+        assert!(
+            !self.is_ancestor(child, parent),
+            "append would create a cycle"
+        );
         self.detach(child);
         self.nodes[child.index()].parent = Some(parent);
         self.nodes[child.index()].attached = self.nodes[parent.index()].attached;
@@ -165,7 +168,10 @@ impl Document {
     ///
     /// Panics if `reference` is not a child of `parent` or on a cycle.
     pub fn insert_before(&mut self, parent: NodeId, child: NodeId, reference: NodeId) {
-        assert!(!self.is_ancestor(child, parent), "insert would create a cycle");
+        assert!(
+            !self.is_ancestor(child, parent),
+            "insert would create a cycle"
+        );
         let pos = self.nodes[parent.index()]
             .children
             .iter()

@@ -301,7 +301,10 @@ mod tests {
         assert!(sel("body p").matches(&doc, p));
         assert!(sel("html p").matches(&doc, p));
         assert!(sel("div > p").matches(&doc, p));
-        assert!(!sel("body > p").matches(&doc, p), "p is a grandchild of body");
+        assert!(
+            !sel("body > p").matches(&doc, p),
+            "p is a grandchild of body"
+        );
         assert!(sel("body > span").matches(&doc, span));
         assert!(sel("#main > .msg").matches(&doc, p));
     }

@@ -201,7 +201,10 @@ mod tests {
             "{:?}",
             report.navigations
         );
-        assert!(!report.navigations.is_empty(), "the link gets clicked in 30s");
+        assert!(
+            !report.navigations.is_empty(),
+            "the link gets clicked in 30s"
+        );
         // Page is still the original one.
         assert_eq!(page.url.to_string(), "http://m.test/");
     }

@@ -106,7 +106,10 @@ impl Connection {
                 self.state = ConnState::Connecting;
                 Ok(self.rtt_ms)
             }
-            from => Err(ConnError::InvalidTransition { from, op: "connect" }),
+            from => Err(ConnError::InvalidTransition {
+                from,
+                op: "connect",
+            }),
         }
     }
 
@@ -211,7 +214,10 @@ mod tests {
         let mut c = Connection::new(10);
         assert!(matches!(
             c.request_sent(1).unwrap_err(),
-            ConnError::InvalidTransition { from: ConnState::Idle, .. }
+            ConnError::InvalidTransition {
+                from: ConnState::Idle,
+                ..
+            }
         ));
         c.connect().unwrap();
         assert!(c.connect().is_err(), "double connect");

@@ -188,6 +188,45 @@ impl FaultPlan {
         self
     }
 
+    /// Stable digest of the whole plan, independent of hash-map iteration
+    /// order: two plans that inject the same faults digest identically on
+    /// every run. The dataset store keys resumable crawls on this, so a
+    /// crawl resumed under a *different* fault plan is refused instead of
+    /// silently mixing measurements.
+    pub fn digest(&self) -> u64 {
+        let mut f = bfu_util::Fnv64::new();
+        f.write(b"fault-plan-v1");
+        let mut dead: Vec<&str> = self.dead_hosts.iter().map(String::as_str).collect();
+        dead.sort_unstable();
+        f.write_u64(dead.len() as u64);
+        for host in dead {
+            f.write_str(host);
+        }
+        let mut programs: Vec<(&str, &HostFault)> =
+            self.programs.iter().map(|(h, p)| (h.as_str(), p)).collect();
+        programs.sort_unstable_by_key(|(h, _)| *h);
+        f.write_u64(programs.len() as u64);
+        for (host, p) in programs {
+            f.write_str(host);
+            let (kind_tag, kind_extra) = match p.kind {
+                FaultKind::Reset => (0u64, 0u64),
+                FaultKind::Stall => (1, 0),
+                FaultKind::Truncate => (2, 0),
+                FaultKind::ErrorStatus(code) => (3, u64::from(code)),
+                FaultKind::CorruptBody => (4, 0),
+            };
+            f.write_u64(kind_tag);
+            f.write_u64(kind_extra);
+            f.write_u64(p.fail_first);
+            f.write_u64(p.chance.to_bits());
+            f.write_u64(p.stall_ms);
+        }
+        f.write_u64(self.reset_chance.to_bits());
+        f.write_u64(self.extra_rtt_ms);
+        f.write_u64(self.seed);
+        f.finish()
+    }
+
     /// Decide the fault (if any) for exchange number `exchange_ix` to `host`
     /// within fault context `ctx`.
     ///
@@ -260,8 +299,8 @@ mod tests {
 
     #[test]
     fn flaky_program_fails_then_recovers() {
-        let plan = FaultPlan::none()
-            .with_program("flaky.com", HostFault::flaky(FaultKind::Reset, 2));
+        let plan =
+            FaultPlan::none().with_program("flaky.com", HostFault::flaky(FaultKind::Reset, 2));
         assert_eq!(plan.decide("flaky.com", 0, 1), FaultOutcome::Reset);
         assert_eq!(plan.decide("flaky.com", 1, 1), FaultOutcome::Reset);
         assert_eq!(plan.decide("flaky.com", 2, 1), FaultOutcome::None);
@@ -320,5 +359,25 @@ mod tests {
         assert_eq!(merged.program_count(), 2);
         assert_eq!(merged.reset_chance, 0.1);
         assert_eq!(merged.seed, 99);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_and_content_sensitive() {
+        let build = |order: &[&str]| {
+            let mut p = FaultPlan::none().with_reset_chance(0.2).with_seed(5);
+            for host in order {
+                p.kill_host(host);
+                p.set_program(host, HostFault::flaky(FaultKind::Reset, 2));
+            }
+            p
+        };
+        let a = build(&["a.com", "b.com", "c.com"]);
+        let b = build(&["c.com", "a.com", "b.com"]);
+        assert_eq!(a.digest(), b.digest(), "insertion order must not matter");
+        let mut c = build(&["a.com", "b.com", "c.com"]);
+        c.set_program("a.com", HostFault::flaky(FaultKind::Truncate, 2));
+        assert_ne!(a.digest(), c.digest(), "program kind must matter");
+        let d = build(&["a.com", "b.com"]);
+        assert_ne!(a.digest(), d.digest(), "host set must matter");
     }
 }

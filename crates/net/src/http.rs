@@ -163,7 +163,8 @@ impl HttpRequest {
 
     /// Add a header (builder style). Names are lowercased.
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
-        self.headers.insert(name.to_ascii_lowercase(), value.to_owned());
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_owned());
         self
     }
 
@@ -449,7 +450,10 @@ mod tests {
         let resp = HttpResponse::ok("text/plain", "hello world");
         let wire = resp.encode();
         let cut = &wire[..wire.len() - 3];
-        assert_eq!(HttpResponse::decode(cut).unwrap_err(), CodecError::Truncated);
+        assert_eq!(
+            HttpResponse::decode(cut).unwrap_err(),
+            CodecError::Truncated
+        );
     }
 
     #[test]

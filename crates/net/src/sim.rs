@@ -300,7 +300,9 @@ mod tests {
     fn fetch_roundtrip_advances_clock() {
         let mut net = simple_net();
         let mut clock = VirtualClock::new();
-        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        let resp = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap();
         assert_eq!(resp.status, StatusCode::OK);
         assert_eq!(&resp.body[..], b"<html>hi</html>");
         assert!(clock.now().millis() > 0, "time must pass");
@@ -312,7 +314,9 @@ mod tests {
     fn server_routing_by_path() {
         let mut net = simple_net();
         let mut clock = VirtualClock::new();
-        let resp = net.fetch(&get("http://example.com/missing"), &mut clock).unwrap();
+        let resp = net
+            .fetch(&get("http://example.com/missing"), &mut clock)
+            .unwrap();
         assert_eq!(resp.status, StatusCode::NOT_FOUND);
     }
 
@@ -320,7 +324,9 @@ mod tests {
     fn unresolvable_host_fails() {
         let mut net = simple_net();
         let mut clock = VirtualClock::new();
-        let err = net.fetch(&get("http://nowhere.test/"), &mut clock).unwrap_err();
+        let err = net
+            .fetch(&get("http://nowhere.test/"), &mut clock)
+            .unwrap_err();
         assert!(matches!(err, NetError::NameNotResolved(_)));
         assert_eq!(net.stats().failures, 1);
     }
@@ -332,7 +338,9 @@ mod tests {
         faults.kill_host("example.com");
         net.set_faults(faults);
         let mut clock = VirtualClock::new();
-        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        let err = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap_err();
         assert!(matches!(err, NetError::ConnectionRefused(_)));
     }
 
@@ -341,7 +349,9 @@ mod tests {
         let mut net = simple_net();
         net.set_faults(FaultPlan::none().with_reset_chance(1.0));
         let mut clock = VirtualClock::new();
-        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        let err = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap_err();
         assert!(matches!(err, NetError::ConnectionReset(_)));
     }
 
@@ -366,11 +376,18 @@ mod tests {
             HostFault::flaky(FaultKind::Stall, 1).with_stall_ms(4_000),
         ));
         let mut clock = VirtualClock::new();
-        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        let err = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap_err();
         assert!(matches!(err, NetError::Stalled(_)));
-        assert!(clock.now().millis() >= 4_000, "stall must consume its budget");
+        assert!(
+            clock.now().millis() >= 4_000,
+            "stall must consume its budget"
+        );
         // Second exchange recovers (fail_first = 1).
-        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        let resp = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap();
         assert_eq!(resp.status, StatusCode::OK);
     }
 
@@ -378,12 +395,13 @@ mod tests {
     fn truncate_program_yields_truncated_error() {
         use crate::fault::{FaultKind, HostFault};
         let mut net = simple_net();
-        net.set_faults(FaultPlan::none().with_program(
-            "example.com",
-            HostFault::flaky(FaultKind::Truncate, 1),
-        ));
+        net.set_faults(
+            FaultPlan::none().with_program("example.com", HostFault::flaky(FaultKind::Truncate, 1)),
+        );
         let mut clock = VirtualClock::new();
-        let err = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap_err();
+        let err = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap_err();
         assert!(matches!(err, NetError::Truncated(_)));
         assert_eq!(net.stats().failures, 1);
     }
@@ -397,9 +415,13 @@ mod tests {
             HostFault::flaky(FaultKind::ErrorStatus(503), 1),
         ));
         let mut clock = VirtualClock::new();
-        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        let resp = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap();
         assert_eq!(resp.status, StatusCode(503));
-        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        let resp = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap();
         assert_eq!(resp.status, StatusCode::OK);
     }
 
@@ -407,12 +429,14 @@ mod tests {
     fn corrupt_body_program_garbles_payload() {
         use crate::fault::{FaultKind, HostFault};
         let mut net = simple_net();
-        net.set_faults(FaultPlan::none().with_program(
-            "example.com",
-            HostFault::flaky(FaultKind::CorruptBody, 1),
-        ));
+        net.set_faults(
+            FaultPlan::none()
+                .with_program("example.com", HostFault::flaky(FaultKind::CorruptBody, 1)),
+        );
         let mut clock = VirtualClock::new();
-        let resp = net.fetch(&get("http://example.com/hello"), &mut clock).unwrap();
+        let resp = net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .unwrap();
         assert_eq!(resp.status, StatusCode::OK);
         assert_ne!(&resp.body[..], b"<html>hi</html>");
     }
@@ -421,19 +445,26 @@ mod tests {
     fn fault_context_resets_exchange_counters() {
         use crate::fault::{FaultKind, HostFault};
         let mut net = simple_net();
-        net.set_faults(FaultPlan::none().with_program(
-            "example.com",
-            HostFault::flaky(FaultKind::Reset, 1),
-        ));
+        net.set_faults(
+            FaultPlan::none().with_program("example.com", HostFault::flaky(FaultKind::Reset, 1)),
+        );
         let mut clock = VirtualClock::new();
         // Context A: first exchange faults, second recovers.
         net.set_fault_context(1);
-        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_err());
-        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_ok());
+        assert!(net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .is_err());
+        assert!(net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .is_ok());
         // New context: the schedule replays from exchange zero.
         net.set_fault_context(2);
-        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_err());
-        assert!(net.fetch(&get("http://example.com/hello"), &mut clock).is_ok());
+        assert!(net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .is_err());
+        assert!(net
+            .fetch(&get("http://example.com/hello"), &mut clock)
+            .is_ok());
     }
 
     #[test]

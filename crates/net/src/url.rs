@@ -59,15 +59,17 @@ impl Url {
         }
         let (host, port) = match authority.rsplit_once(':') {
             Some((h, p)) => {
-                let port: u16 = p
-                    .parse()
-                    .map_err(|_| UrlError(format!("bad port {p:?}")))?;
+                let port: u16 = p.parse().map_err(|_| UrlError(format!("bad port {p:?}")))?;
                 (h, Some(port))
             }
             None => (authority, None),
         };
         let host = host.to_ascii_lowercase();
-        if host.is_empty() || !host.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-') {
+        if host.is_empty()
+            || !host
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-')
+        {
             return Err(UrlError(format!("bad host {host:?}")));
         }
         let (path, query) = match path_query.split_once('?') {
@@ -271,7 +273,10 @@ mod tests {
     fn parses_port_and_https_default() {
         let u = Url::parse("https://example.com:8443/").unwrap();
         assert_eq!(u.port(), Some(8443));
-        assert_eq!(Url::parse("https://example.com/").unwrap().effective_port(), 443);
+        assert_eq!(
+            Url::parse("https://example.com/").unwrap().effective_port(),
+            443
+        );
     }
 
     #[test]

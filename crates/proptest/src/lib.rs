@@ -126,9 +126,7 @@ pub mod runner {
     {
         let base = hash_name(name);
         for case in 0..cfg.cases {
-            let mut rng = TestRng::new(
-                base ^ u64::from(case).wrapping_mul(0xD1B54A32D192ED03),
-            );
+            let mut rng = TestRng::new(base ^ u64::from(case).wrapping_mul(0xD1B54A32D192ED03));
             if let Err(e) = f(&mut rng) {
                 panic!("property {name} failed at case {case}/{}: {e}", cfg.cases);
             }
@@ -337,7 +335,11 @@ fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(cha
                 match (pending.take(), chars.peek().copied()) {
                     (Some(lo), Some(hi)) if hi != ']' => {
                         chars.next();
-                        let hi = if hi == '\\' { chars.next().unwrap_or(lo) } else { hi };
+                        let hi = if hi == '\\' {
+                            chars.next().unwrap_or(lo)
+                        } else {
+                            hi
+                        };
                         out.push((lo.min(hi), lo.max(hi)));
                     }
                     (p, _) => {
@@ -612,12 +614,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
-        $crate::prop_assert!(
-            *__l != *__r,
-            "assertion failed: {:?} != {:?}",
-            __l,
-            __r
-        );
+        $crate::prop_assert!(*__l != *__r, "assertion failed: {:?} != {:?}", __l, __r);
     }};
 }
 
@@ -632,7 +629,9 @@ mod tests {
             let s = "[a-z][a-z0-9]{0,6}".generate(&mut rng);
             assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 
@@ -669,10 +668,7 @@ mod tests {
 
     #[test]
     fn oneof_and_map_and_vec() {
-        let strat = prop_oneof![
-            Just("x".to_owned()),
-            "[0-9]{2}".prop_map(|s: String| s),
-        ];
+        let strat = prop_oneof![Just("x".to_owned()), "[0-9]{2}".prop_map(|s: String| s),];
         let mut rng = TestRng::new(4);
         let mut saw_x = false;
         let mut saw_num = false;

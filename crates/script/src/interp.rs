@@ -192,9 +192,12 @@ impl Interpreter {
                 callee.to_display()
             )));
         };
-        let callable = self.heap.get(obj).callable.clone().ok_or_else(|| {
-            RuntimeError::TypeError("called a non-callable object".into())
-        })?;
+        let callable = self
+            .heap
+            .get(obj)
+            .callable
+            .clone()
+            .ok_or_else(|| RuntimeError::TypeError("called a non-callable object".into()))?;
         if self.depth >= self.max_depth {
             return Err(RuntimeError::StackOverflow);
         }
@@ -428,7 +431,9 @@ impl Interpreter {
             Expr::New { callee, args } => {
                 let ctor = self.eval(callee, env)?;
                 let Some(ctor_obj) = ctor.as_obj() else {
-                    return Err(RuntimeError::TypeError("constructor is not an object".into()));
+                    return Err(RuntimeError::TypeError(
+                        "constructor is not an object".into(),
+                    ));
                 };
                 let proto = self.heap.get_prop(ctor_obj, "prototype").as_obj();
                 let instance = self.heap.alloc(proto);
@@ -493,9 +498,7 @@ impl Interpreter {
                     // typeof on an unresolved identifier yields "undefined"
                     // rather than throwing, per JS.
                     let v = match &**expr {
-                        Expr::Ident(name) => {
-                            self.lookup(name, env).unwrap_or(Value::Undefined)
-                        }
+                        Expr::Ident(name) => self.lookup(name, env).unwrap_or(Value::Undefined),
                         other => self.eval(other, env)?,
                     };
                     let heap = &self.heap;
@@ -581,12 +584,7 @@ impl Interpreter {
         }
     }
 
-    fn write_place(
-        &mut self,
-        place: &Place,
-        value: Value,
-        env: EnvId,
-    ) -> Result<(), RuntimeError> {
+    fn write_place(&mut self, place: &Place, value: Value, env: EnvId) -> Result<(), RuntimeError> {
         match place {
             Place::Var(name) => {
                 // Assign to the nearest scope that declares it, else create
@@ -675,7 +673,6 @@ impl Interpreter {
         }
         Ok(())
     }
-
 }
 
 /// Error from [`Interpreter::run_source`].

@@ -447,7 +447,8 @@ impl Parser {
     fn postfix(&mut self) -> Result<Expr, ParseError> {
         let mut expr = self.call_member()?;
         loop {
-            if matches!(self.peek(), Some(Tok::Op("++"))) || matches!(self.peek(), Some(Tok::Op("--")))
+            if matches!(self.peek(), Some(Tok::Op("++")))
+                || matches!(self.peek(), Some(Tok::Op("--")))
             {
                 let is_inc = matches!(self.peek(), Some(Tok::Op("++")));
                 self.bump();
@@ -556,9 +557,7 @@ impl Parser {
                             Some(Tok::Ident(s)) => s,
                             Some(Tok::Str(s)) => s,
                             Some(Tok::Num(n)) => format!("{n}"),
-                            other => {
-                                return Err(self.err(format!("bad object key {other:?}")))
-                            }
+                            other => return Err(self.err(format!("bad object key {other:?}"))),
                         };
                         self.expect_op(":")?;
                         props.push((key, self.expression()?));
@@ -595,7 +594,15 @@ mod tests {
     #[test]
     fn parses_var_and_arithmetic_precedence() {
         let prog = parse("var x = 1 + 2 * 3;").unwrap();
-        let Stmt::Var(name, Some(Expr::Binary { op: BinOp::Add, rhs, .. })) = &prog.body[0] else {
+        let Stmt::Var(
+            name,
+            Some(Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            }),
+        ) = &prog.body[0]
+        else {
             panic!("{:?}", prog.body[0]);
         };
         assert_eq!(name, "x");
@@ -627,12 +634,17 @@ mod tests {
 
     #[test]
     fn parses_function_decl_and_expr() {
-        let prog = parse("function f(a, b) { return a + b; } var g = function() { return 1; };")
-            .unwrap();
-        let Stmt::FunctionDecl(def) = &prog.body[0] else { panic!() };
+        let prog =
+            parse("function f(a, b) { return a + b; } var g = function() { return 1; };").unwrap();
+        let Stmt::FunctionDecl(def) = &prog.body[0] else {
+            panic!()
+        };
         assert_eq!(def.name.as_deref(), Some("f"));
         assert_eq!(def.params, vec!["a", "b"]);
-        assert!(matches!(&prog.body[1], Stmt::Var(_, Some(Expr::Function(_)))));
+        assert!(matches!(
+            &prog.body[1],
+            Stmt::Var(_, Some(Expr::Function(_)))
+        ));
     }
 
     #[test]
@@ -649,15 +661,26 @@ mod tests {
         let prog = parse("x += 2; y.count++; --z;").unwrap();
         assert!(matches!(
             &prog.body[0],
-            Stmt::Expr(Expr::Assign { op: Some(BinOp::Add), .. })
+            Stmt::Expr(Expr::Assign {
+                op: Some(BinOp::Add),
+                ..
+            })
         ));
         assert!(matches!(
             &prog.body[1],
-            Stmt::Expr(Expr::IncDec { postfix: true, is_inc: true, .. })
+            Stmt::Expr(Expr::IncDec {
+                postfix: true,
+                is_inc: true,
+                ..
+            })
         ));
         assert!(matches!(
             &prog.body[2],
-            Stmt::Expr(Expr::IncDec { postfix: false, is_inc: false, .. })
+            Stmt::Expr(Expr::IncDec {
+                postfix: false,
+                is_inc: false,
+                ..
+            })
         ));
     }
 
@@ -679,7 +702,10 @@ mod tests {
         assert_eq!(prog.body.len(), 3);
         assert!(matches!(
             &prog.body[0],
-            Stmt::Expr(Expr::Assign { place: Place::Index(..), .. })
+            Stmt::Expr(Expr::Assign {
+                place: Place::Index(..),
+                ..
+            })
         ));
     }
 

@@ -106,9 +106,8 @@ impl std::error::Error for LexError {}
 
 const OPS: &[&str] = &[
     // Longest first so maximal munch works.
-    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--", "+",
-    "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ",", ";", ".", ":",
-    "?",
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--", "+", "-",
+    "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ",", ";", ".", ":", "?",
 ];
 
 /// Tokenize mini-JS source.
@@ -319,7 +318,10 @@ mod tests {
 
     #[test]
     fn dollar_identifiers() {
-        assert_eq!(toks("$x _y"), vec![Tok::Ident("$x".into()), Tok::Ident("_y".into())]);
+        assert_eq!(
+            toks("$x _y"),
+            vec![Tok::Ident("$x".into()), Tok::Ident("_y".into())]
+        );
     }
 
     #[test]

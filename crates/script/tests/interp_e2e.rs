@@ -94,11 +94,14 @@ fn prototype_chain_method_lookup() {
     // A constructor whose .prototype is `proto`.
     let ctor = i.register_native(Rc::new(|_, _this, _| Ok(Value::Undefined)));
     let ctor_obj = ctor.as_obj().unwrap();
-    i.heap.set_prop_raw(ctor_obj, "prototype", Value::Obj(proto));
+    i.heap
+        .set_prop_raw(ctor_obj, "prototype", Value::Obj(proto));
     i.set_global("Widget", ctor);
 
     assert_eq!(
-        i.run_source("var w = new Widget(); w.probe();").unwrap().to_number(),
+        i.run_source("var w = new Widget(); w.probe();")
+            .unwrap()
+            .to_number(),
         1.0
     );
 
@@ -176,7 +179,9 @@ fn fuel_exhaustion_aborts_infinite_loop() {
 #[test]
 fn stack_overflow_detected() {
     let mut i = Interpreter::new();
-    let err = i.run_source("function f() { return f(); } f();").unwrap_err();
+    let err = i
+        .run_source("function f() { return f(); } f();")
+        .unwrap_err();
     assert!(matches!(
         err,
         ScriptError::Runtime(RuntimeError::StackOverflow)

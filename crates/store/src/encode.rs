@@ -1,0 +1,276 @@
+//! The per-record binary encoding of one [`SiteMeasurement`].
+//!
+//! Compact, fixed little-endian layout (format tag `v1`):
+//!
+//! ```text
+//! u32  site index
+//! str  domain                      (u32 length + UTF-8 bytes)
+//! f64  traffic weight              (IEEE-754 bits)
+//! u8   outcome tag                 0=Completed 1=Failed 2=Panicked
+//! [u8 class, u16 extra]            only when outcome == Failed
+//! u8   profile count
+//! per profile:
+//!   u8   profile tag               BrowserProfile::tag
+//!   u32  round count
+//!   per round:
+//!     u32 round | u32 pages | u64 interaction_ms
+//!     u8 error class (0xFF = none) | u16 error extra
+//!     u32 attempts | u32 retries | u64 backoff_ms
+//!     u32 log entries | per entry: u32 feature | u64 count
+//! ```
+//!
+//! Every field a [`bfu_crawler::Dataset::fingerprint`] hashes round-trips
+//! exactly, so `decode(encode(m))` is fingerprint-identical to `m`.
+
+use bfu_browser::FeatureLog;
+use bfu_crawler::{BrowserProfile, CrawlError, RoundMeasurement, SiteMeasurement, SiteOutcome};
+use bfu_util::{ByteReader, ByteWriter, CodecError};
+use bfu_webgen::SiteId;
+use bfu_webidl::FeatureId;
+
+const OUTCOME_COMPLETED: u8 = 0;
+const OUTCOME_FAILED: u8 = 1;
+const OUTCOME_PANICKED: u8 = 2;
+const ERROR_NONE: u8 = 0xFF;
+
+/// Encode one site measurement to bytes.
+pub fn encode_site(m: &SiteMeasurement) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(m.site.raw());
+    w.put_str(&m.domain);
+    w.put_f64(m.traffic_weight);
+    match m.outcome {
+        SiteOutcome::Completed => w.put_u8(OUTCOME_COMPLETED),
+        SiteOutcome::Failed(e) => {
+            w.put_u8(OUTCOME_FAILED);
+            let (class, extra) = e.to_parts();
+            w.put_u8(class);
+            w.put_u16(extra);
+        }
+        SiteOutcome::Panicked => w.put_u8(OUTCOME_PANICKED),
+    }
+    w.put_u8(m.rounds.len() as u8);
+    for (profile, rounds) in &m.rounds {
+        w.put_u8(profile.tag());
+        w.put_u32(rounds.len() as u32);
+        for r in rounds {
+            w.put_u32(r.round);
+            w.put_u32(r.pages_visited);
+            w.put_u64(r.interaction_ms);
+            match r.error {
+                None => {
+                    w.put_u8(ERROR_NONE);
+                    w.put_u16(0);
+                }
+                Some(e) => {
+                    let (class, extra) = e.to_parts();
+                    w.put_u8(class);
+                    w.put_u16(extra);
+                }
+            }
+            w.put_u32(r.attempts);
+            w.put_u32(r.retries);
+            w.put_u64(r.backoff_ms);
+            let records = r.log.records();
+            w.put_u32(records.len() as u32);
+            for rec in &records {
+                w.put_u32(rec.feature.raw());
+                w.put_u64(rec.count);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_error(class: u8, extra: u16) -> Result<CrawlError, CodecError> {
+    CrawlError::from_parts(class, extra).ok_or(CodecError::BadTag {
+        what: "crawl error class",
+        value: u64::from(class),
+    })
+}
+
+/// Decode one site measurement; any structural damage surfaces as an error.
+pub fn decode_site(bytes: &[u8]) -> Result<SiteMeasurement, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let site = SiteId::new(r.get_u32()?);
+    let domain = r.get_str()?.to_owned();
+    let traffic_weight = r.get_f64()?;
+    let outcome = match r.get_u8()? {
+        OUTCOME_COMPLETED => SiteOutcome::Completed,
+        OUTCOME_FAILED => {
+            let class = r.get_u8()?;
+            let extra = r.get_u16()?;
+            SiteOutcome::Failed(decode_error(class, extra)?)
+        }
+        OUTCOME_PANICKED => SiteOutcome::Panicked,
+        other => {
+            return Err(CodecError::BadTag {
+                what: "site outcome",
+                value: u64::from(other),
+            })
+        }
+    };
+    let n_profiles = r.get_u8()?;
+    let mut rounds = Vec::with_capacity(n_profiles as usize);
+    for _ in 0..n_profiles {
+        let tag = r.get_u8()?;
+        let profile = BrowserProfile::from_tag(tag).ok_or(CodecError::BadTag {
+            what: "browser profile",
+            value: u64::from(tag),
+        })?;
+        let n_rounds = r.get_u32()?;
+        if n_rounds as usize > bytes.len() {
+            return Err(CodecError::BadLength {
+                what: "round count",
+                len: u64::from(n_rounds),
+            });
+        }
+        let mut per_round = Vec::with_capacity(n_rounds as usize);
+        for _ in 0..n_rounds {
+            let round = r.get_u32()?;
+            let pages_visited = r.get_u32()?;
+            let interaction_ms = r.get_u64()?;
+            let class = r.get_u8()?;
+            let extra = r.get_u16()?;
+            let error = if class == ERROR_NONE {
+                None
+            } else {
+                Some(decode_error(class, extra)?)
+            };
+            let attempts = r.get_u32()?;
+            let retries = r.get_u32()?;
+            let backoff_ms = r.get_u64()?;
+            let n_log = r.get_u32()?;
+            if n_log as usize > bytes.len() {
+                return Err(CodecError::BadLength {
+                    what: "log entry count",
+                    len: u64::from(n_log),
+                });
+            }
+            let mut log = FeatureLog::new();
+            for _ in 0..n_log {
+                let feature = FeatureId::new(r.get_u32()?);
+                let count = r.get_u64()?;
+                log.record_n(feature, count);
+            }
+            per_round.push(RoundMeasurement {
+                round,
+                log,
+                pages_visited,
+                interaction_ms,
+                error,
+                attempts,
+                retries,
+                backoff_ms,
+            });
+        }
+        rounds.push((profile, per_round));
+    }
+    if !r.is_empty() {
+        return Err(CodecError::BadLength {
+            what: "trailing bytes",
+            len: r.remaining() as u64,
+        });
+    }
+    Ok(SiteMeasurement {
+        site,
+        domain,
+        traffic_weight,
+        outcome,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SiteMeasurement {
+        let mut log = FeatureLog::new();
+        log.record_n(FeatureId::new(3), 7);
+        log.record_n(FeatureId::new(900), 1);
+        let round = RoundMeasurement {
+            round: 1,
+            log,
+            pages_visited: 13,
+            interaction_ms: 390_000,
+            error: None,
+            attempts: 14,
+            retries: 1,
+            backoff_ms: 250,
+        };
+        let failed = RoundMeasurement {
+            error: Some(CrawlError::HttpError(503)),
+            attempts: 3,
+            retries: 2,
+            backoff_ms: 750,
+            ..RoundMeasurement::empty(0)
+        };
+        SiteMeasurement {
+            site: SiteId::new(42),
+            domain: "rank42.example.test".into(),
+            traffic_weight: 0.00123,
+            outcome: SiteOutcome::Completed,
+            rounds: vec![
+                (BrowserProfile::Default, vec![failed, round]),
+                (BrowserProfile::Blocking, vec![RoundMeasurement::empty(0)]),
+            ],
+        }
+    }
+
+    fn fingerprint_of(m: SiteMeasurement) -> u64 {
+        bfu_crawler::Dataset {
+            profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
+            rounds_per_profile: 2,
+            sites: vec![m],
+        }
+        .fingerprint()
+    }
+
+    #[test]
+    fn roundtrip_preserves_fingerprint() {
+        let m = sample();
+        let decoded = decode_site(&encode_site(&m)).expect("clean decode");
+        assert_eq!(decoded.site, m.site);
+        assert_eq!(decoded.domain, m.domain);
+        assert_eq!(decoded.outcome, m.outcome);
+        assert_eq!(fingerprint_of(decoded), fingerprint_of(m));
+    }
+
+    #[test]
+    fn failed_outcome_roundtrips_status() {
+        let mut m = sample();
+        m.outcome = SiteOutcome::Failed(CrawlError::HttpError(429));
+        let decoded = decode_site(&encode_site(&m)).expect("clean decode");
+        assert_eq!(
+            decoded.outcome,
+            SiteOutcome::Failed(CrawlError::HttpError(429))
+        );
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let bytes = encode_site(&sample());
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_site(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let mut bytes = encode_site(&sample());
+        bytes.extend_from_slice(&[0, 1, 2]);
+        assert!(decode_site(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_profile_tag_is_an_error() {
+        let m = sample();
+        let mut bytes = encode_site(&m);
+        // The profile tag byte follows site(4) + domain(4+len) + weight(8) +
+        // outcome(1) + profile count(1).
+        let tag_ix = 4 + 4 + m.domain.len() + 8 + 1 + 1;
+        bytes[tag_ix] = 0x7E;
+        assert!(decode_site(&bytes).is_err());
+    }
+}

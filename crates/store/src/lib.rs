@@ -1,0 +1,43 @@
+//! Crash-safe on-disk dataset shards for survey results.
+//!
+//! The paper's crawl is the expensive step: measuring feature usage across
+//! the Alexa 10k under multiple blocking profiles takes orders of magnitude
+//! longer than any analysis over the result. This crate makes that cost
+//! pay-once: survey results stream to an append-only, sharded on-disk format
+//! as the crawl progresses, so an interrupted crawl resumes from where it
+//! died, and every table and figure can be regenerated from a stored dataset
+//! with zero crawl activity.
+//!
+//! The format is deliberately boring:
+//!
+//! - [`shard`]: fixed-capacity shard files of length-prefixed, per-record
+//!   checksummed site measurements, sealed with a chained footer checksum.
+//!   Writers flush per record; readers recover every intact record from
+//!   damaged files and report (never fail on) the rest.
+//! - [`encode`]: the compact little-endian record encoding of one
+//!   [`bfu_crawler::SiteMeasurement`], fingerprint-exact on round-trip.
+//! - [`manifest`]: a small atomically-rewritten text file keyed by the
+//!   survey fingerprint — the identity check that stops two different
+//!   configurations from mixing in one directory.
+//! - [`store`]: the [`DatasetStore`] tying those together, plus the two
+//!   consumers the store exists for: [`resume_survey`] (crawl only the
+//!   sites missing from the store) and [`load_survey_dataset`] (memoized
+//!   analysis, no crawling).
+//!
+//! Determinism is what makes resumption sound: per-site measurements depend
+//! only on the survey fingerprint and the site — a tested invariant of the
+//! crawler — so a dataset assembled from stored and fresh halves is
+//! fingerprint-identical to an uninterrupted run's.
+
+pub mod encode;
+pub mod manifest;
+pub mod shard;
+pub mod store;
+
+pub use encode::{decode_site, encode_site};
+pub use manifest::{Manifest, MANIFEST_NAME};
+pub use shard::{read_shard, SealedShard, ShardContents, ShardWriter};
+pub use store::{
+    load_survey_dataset, resume_survey, DatasetStore, LoadOutcome, ReadReport, ResumeOutcome,
+    StoreError, StoreMeta, StoreScan, DEFAULT_SHARD_CAPACITY, PROVENANCE_NAME,
+};

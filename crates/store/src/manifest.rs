@@ -1,0 +1,267 @@
+//! The store manifest: one small text file naming what the shards hold.
+//!
+//! Line-oriented `key=value` format, rewritten atomically (temp file +
+//! rename) after every shard seal, so a reader never observes a torn
+//! manifest. The manifest is *advisory* for shard discovery — the reader
+//! globs `shard-*.bfu` itself, so a crash between sealing a shard and
+//! rewriting the manifest loses nothing — but it is *authoritative* for the
+//! dataset identity: the [`Manifest::fingerprint`] is the resume key, and a
+//! store whose fingerprint differs from the survey asking to resume is
+//! refused outright.
+
+use crate::shard::SealedShard;
+use crate::StoreError;
+use bfu_crawler::BrowserProfile;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Manifest file name inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+const HEADER: &str = "bfu-store-manifest v1";
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Survey fingerprint the shards were measured under (the resume key).
+    pub fingerprint: u64,
+    /// Crawl seed (informational; folded into the fingerprint).
+    pub crawl_seed: u64,
+    /// Web generation seed (informational; folded into the fingerprint).
+    pub web_seed: u64,
+    /// Ranked sites in the study — the record-count target.
+    pub sites: usize,
+    /// Measurement rounds per profile.
+    pub rounds_per_profile: u32,
+    /// Profiles crawled, in order.
+    pub profiles: Vec<BrowserProfile>,
+    /// Sites per shard before the writer seals and rolls over.
+    pub shard_capacity: u32,
+    /// Whether a finished survey sealed this store (every site recorded).
+    pub complete: bool,
+    /// Sealed shards, in seal order.
+    pub shards: Vec<SealedShard>,
+}
+
+impl Manifest {
+    /// Render to the on-disk text form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "fingerprint={:016x}", self.fingerprint);
+        let _ = writeln!(out, "crawl_seed={}", self.crawl_seed);
+        let _ = writeln!(out, "web_seed={}", self.web_seed);
+        let _ = writeln!(out, "sites={}", self.sites);
+        let _ = writeln!(out, "rounds_per_profile={}", self.rounds_per_profile);
+        let labels: Vec<&str> = self.profiles.iter().map(|p| p.label()).collect();
+        let _ = writeln!(out, "profiles={}", labels.join(","));
+        let _ = writeln!(out, "shard_capacity={}", self.shard_capacity);
+        let _ = writeln!(out, "complete={}", u8::from(self.complete));
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "shard={} records={} checksum={:016x}",
+                s.ix, s.records, s.checksum
+            );
+        }
+        out
+    }
+
+    /// Parse the on-disk text form. Unknown keys are ignored so older
+    /// readers survive newer writers.
+    pub fn parse(text: &str) -> Result<Manifest, StoreError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(StoreError::BadManifest("missing header line".into()));
+        }
+        let mut fingerprint = None;
+        let mut crawl_seed = 0u64;
+        let mut web_seed = 0u64;
+        let mut sites = None;
+        let mut rounds_per_profile = None;
+        let mut profiles = Vec::new();
+        let mut shard_capacity = 256u32;
+        let mut complete = false;
+        let mut shards = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key {
+                "fingerprint" => {
+                    fingerprint = Some(parse_hex(value, "fingerprint")?);
+                }
+                "crawl_seed" => crawl_seed = parse_int(value, "crawl_seed")?,
+                "web_seed" => web_seed = parse_int(value, "web_seed")?,
+                "sites" => sites = Some(parse_int(value, "sites")? as usize),
+                "rounds_per_profile" => {
+                    rounds_per_profile = Some(parse_int(value, "rounds_per_profile")? as u32);
+                }
+                "profiles" => {
+                    for label in value.split(',').filter(|s| !s.is_empty()) {
+                        let p = BrowserProfile::from_label(label).ok_or_else(|| {
+                            StoreError::BadManifest(format!("unknown profile {label:?}"))
+                        })?;
+                        profiles.push(p);
+                    }
+                }
+                "shard_capacity" => shard_capacity = parse_int(value, "shard_capacity")? as u32,
+                "complete" => complete = value == "1",
+                "shard" => {
+                    // shard=IX records=N checksum=HEX (value holds the rest).
+                    let mut ix = None;
+                    let mut records = None;
+                    let mut checksum = None;
+                    let rejoined = format!("shard={value}");
+                    for field in rejoined.split_whitespace() {
+                        let Some((k, v)) = field.split_once('=') else {
+                            continue;
+                        };
+                        match k {
+                            "shard" => ix = Some(parse_int(v, "shard ix")? as u32),
+                            "records" => records = Some(parse_int(v, "shard records")? as u32),
+                            "checksum" => checksum = Some(parse_hex(v, "shard checksum")?),
+                            _ => {}
+                        }
+                    }
+                    match (ix, records, checksum) {
+                        (Some(ix), Some(records), Some(checksum)) => {
+                            shards.push(SealedShard {
+                                ix,
+                                records,
+                                checksum,
+                            });
+                        }
+                        _ => {
+                            return Err(StoreError::BadManifest(format!(
+                                "incomplete shard line {line:?}"
+                            )))
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let fingerprint =
+            fingerprint.ok_or_else(|| StoreError::BadManifest("missing fingerprint".into()))?;
+        let sites = sites.ok_or_else(|| StoreError::BadManifest("missing sites".into()))?;
+        let rounds_per_profile = rounds_per_profile
+            .ok_or_else(|| StoreError::BadManifest("missing rounds_per_profile".into()))?;
+        Ok(Manifest {
+            fingerprint,
+            crawl_seed,
+            web_seed,
+            sites,
+            rounds_per_profile,
+            profiles,
+            shard_capacity,
+            complete,
+            shards,
+        })
+    }
+
+    /// Write atomically into `dir` (temp file + rename).
+    pub fn write_atomic(&self, dir: &Path) -> io::Result<()> {
+        write_atomic(dir, MANIFEST_NAME, &self.render())
+    }
+
+    /// Read the manifest from `dir`; `Ok(None)` when none exists yet.
+    pub fn read(dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        let path = dir.join(MANIFEST_NAME);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        Manifest::parse(&text).map(Some)
+    }
+}
+
+/// Atomically replace `dir/name` with `contents`.
+pub fn write_atomic(dir: &Path, name: &str, contents: &str) -> io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, dir.join(name))
+}
+
+fn parse_int(value: &str, what: &str) -> Result<u64, StoreError> {
+    value
+        .parse()
+        .map_err(|_| StoreError::BadManifest(format!("bad {what}: {value:?}")))
+}
+
+fn parse_hex(value: &str, what: &str) -> Result<u64, StoreError> {
+    u64::from_str_radix(value, 16)
+        .map_err(|_| StoreError::BadManifest(format!("bad {what}: {value:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            fingerprint: 0x0123_4567_89AB_CDEF,
+            crawl_seed: 11,
+            web_seed: 22,
+            sites: 600,
+            rounds_per_profile: 3,
+            profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
+            shard_capacity: 128,
+            complete: true,
+            shards: vec![
+                SealedShard {
+                    ix: 0,
+                    records: 128,
+                    checksum: 0xAA,
+                },
+                SealedShard {
+                    ix: 1,
+                    records: 40,
+                    checksum: 0xBB,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.render()).expect("parse"), m);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(Manifest::parse("fingerprint=00").is_err());
+    }
+
+    #[test]
+    fn missing_fingerprint_rejected() {
+        let text = "bfu-store-manifest v1\nsites=3\nrounds_per_profile=1\n";
+        assert!(Manifest::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_ignored() {
+        let mut text = sample().render();
+        text.push_str("future_key=whatever\n");
+        assert_eq!(Manifest::parse(&text).expect("parse"), sample());
+    }
+
+    #[test]
+    fn atomic_write_and_read() {
+        let dir = std::env::temp_dir().join(format!("bfu-manifest-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        assert!(Manifest::read(&dir).expect("read empty").is_none());
+        let m = sample();
+        m.write_atomic(&dir).expect("write");
+        assert_eq!(Manifest::read(&dir).expect("read"), Some(m));
+        assert!(!dir.join("MANIFEST.tmp").exists(), "temp renamed away");
+    }
+}

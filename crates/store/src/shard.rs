@@ -1,0 +1,375 @@
+//! Shard files: the append-only unit of dataset persistence.
+//!
+//! One shard holds up to `shard_capacity` site records. Layout:
+//!
+//! ```text
+//! header:  "BFUSHARD" (8) | u16 version | u16 reserved | u32 shard index
+//! record:  u32 payload length | payload | u64 FNV-64(payload)
+//! footer:  u32 0xFFFF_FFFF | u32 record count | u64 shard checksum
+//! ```
+//!
+//! The shard checksum chains the per-record checksums in write order. A
+//! writer flushes after every record, so a crash loses at most the record
+//! being written; the reader recovers every intact record from the tail and
+//! reports (rather than fails on) whatever was damaged:
+//!
+//! - payload checksum mismatch → that record is dropped, reading continues
+//!   (framing is intact);
+//! - length prefix pointing past EOF, or an implausible length → the tail
+//!   is untrusted from that point and dropped;
+//! - missing footer → the shard is *unsealed* (a crash artifact), its
+//!   intact records still count.
+
+use bfu_util::{fnv64, Fnv64};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"BFUSHARD";
+const VERSION: u16 = 1;
+const SEAL_MARKER: u32 = 0xFFFF_FFFF;
+/// Upper bound on a single record; anything larger is framing corruption.
+const MAX_RECORD_LEN: u32 = 1 << 28;
+
+/// File name of shard `ix`.
+pub fn shard_file_name(ix: u32) -> String {
+    format!("shard-{ix:05}.bfu")
+}
+
+/// Parse a shard index back out of a file name.
+pub fn parse_shard_name(name: &str) -> Option<u32> {
+    name.strip_prefix("shard-")?
+        .strip_suffix(".bfu")?
+        .parse()
+        .ok()
+}
+
+/// Summary of one sealed shard, recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealedShard {
+    /// Shard index.
+    pub ix: u32,
+    /// Records written.
+    pub records: u32,
+    /// Chained checksum over the per-record checksums.
+    pub checksum: u64,
+}
+
+/// Incremental writer for one shard file.
+#[derive(Debug)]
+pub struct ShardWriter {
+    file: File,
+    path: PathBuf,
+    ix: u32,
+    records: u32,
+    chain: Fnv64,
+}
+
+impl ShardWriter {
+    /// Create `shard-<ix>.bfu` in `dir` and write its header.
+    pub fn create(dir: &Path, ix: u32) -> io::Result<ShardWriter> {
+        let path = dir.join(shard_file_name(ix));
+        let mut file = File::create(&path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&0u16.to_le_bytes())?;
+        file.write_all(&ix.to_le_bytes())?;
+        file.flush()?;
+        Ok(ShardWriter {
+            file,
+            path,
+            ix,
+            records: 0,
+            chain: Fnv64::new(),
+        })
+    }
+
+    /// Shard index.
+    pub fn ix(&self) -> u32 {
+        self.ix
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u32 {
+        self.records
+    }
+
+    /// Path of the shard file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and flush it to the OS, so a crash after `append`
+    /// returns never loses the record.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let checksum = fnv64(payload);
+        let mut frame = Vec::with_capacity(payload.len() + 12);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&checksum.to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.records += 1;
+        self.chain.write_u64(checksum);
+        Ok(())
+    }
+
+    /// Write the footer, sync to disk, and return the seal summary.
+    pub fn seal(mut self) -> io::Result<SealedShard> {
+        let checksum = self.chain.finish();
+        let mut footer = Vec::with_capacity(16);
+        footer.extend_from_slice(&SEAL_MARKER.to_le_bytes());
+        footer.extend_from_slice(&self.records.to_le_bytes());
+        footer.extend_from_slice(&checksum.to_le_bytes());
+        self.file.write_all(&footer)?;
+        self.file.sync_all()?;
+        Ok(SealedShard {
+            ix: self.ix,
+            records: self.records,
+            checksum,
+        })
+    }
+}
+
+/// Everything recovered from one shard file.
+#[derive(Debug, Clone, Default)]
+pub struct ShardContents {
+    /// Shard index from the header.
+    pub ix: u32,
+    /// Intact record payloads, in file order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Records dropped to payload-checksum mismatches.
+    pub records_corrupt: usize,
+    /// Whether the tail was cut short (crash) or its framing was unusable.
+    /// The shard's intact prefix is still returned.
+    pub truncated: bool,
+    /// Footer contents, if the shard was sealed.
+    pub seal: Option<SealedShard>,
+    /// Whether the reader's re-chained checksum matched the footer's.
+    pub seal_valid: bool,
+}
+
+/// Read one shard file, recovering every intact record.
+///
+/// Only a damaged *header* is a hard error (the file is not a shard);
+/// damage past the header degrades to a partial, reported recovery.
+pub fn read_shard(path: &Path) -> io::Result<ShardContents> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 16 || &bytes[..8] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a bfu shard (bad magic)", path.display()),
+        ));
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: unsupported shard version {version}", path.display()),
+        ));
+    }
+    let ix = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let mut out = ShardContents {
+        ix,
+        ..ShardContents::default()
+    };
+    let mut chain = Fnv64::new();
+    let mut pos = 16usize;
+    loop {
+        let Some(len_bytes) = bytes.get(pos..pos + 4) else {
+            // EOF without a footer: the writer was killed before sealing.
+            out.truncated = true;
+            break;
+        };
+        let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]);
+        pos += 4;
+        if len == SEAL_MARKER {
+            let Some(footer) = bytes.get(pos..pos + 12) else {
+                out.truncated = true;
+                break;
+            };
+            let records = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+            let checksum = u64::from_le_bytes([
+                footer[4], footer[5], footer[6], footer[7], footer[8], footer[9], footer[10],
+                footer[11],
+            ]);
+            out.seal = Some(SealedShard {
+                ix,
+                records,
+                checksum,
+            });
+            out.seal_valid = checksum == chain.finish()
+                && records as usize == out.payloads.len() + out.records_corrupt;
+            break;
+        }
+        if len > MAX_RECORD_LEN {
+            // Framing is garbage; nothing after this offset can be trusted.
+            out.truncated = true;
+            break;
+        }
+        let len = len as usize;
+        let Some(payload) = bytes.get(pos..pos + len) else {
+            out.truncated = true; // record cut short by a crash
+            break;
+        };
+        let Some(sum_bytes) = bytes.get(pos + len..pos + len + 8) else {
+            out.truncated = true;
+            break;
+        };
+        let stored = u64::from_le_bytes([
+            sum_bytes[0],
+            sum_bytes[1],
+            sum_bytes[2],
+            sum_bytes[3],
+            sum_bytes[4],
+            sum_bytes[5],
+            sum_bytes[6],
+            sum_bytes[7],
+        ]);
+        chain.write_u64(stored);
+        if fnv64(payload) == stored {
+            out.payloads.push(payload.to_vec());
+        } else {
+            out.records_corrupt += 1;
+        }
+        pos += len + 8;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bfu-shard-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn write_shard(dir: &Path, payloads: &[&[u8]]) -> (PathBuf, SealedShard) {
+        let mut w = ShardWriter::create(dir, 3).expect("create");
+        for p in payloads {
+            w.append(p).expect("append");
+        }
+        let path = w.path().to_path_buf();
+        let seal = w.seal().expect("seal");
+        (path, seal)
+    }
+
+    #[test]
+    fn sealed_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let (path, seal) = write_shard(&dir, &[b"alpha", b"beta", b"gamma"]);
+        let c = read_shard(&path).expect("read");
+        assert_eq!(c.ix, 3);
+        assert_eq!(
+            c.payloads,
+            vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]
+        );
+        assert_eq!(c.records_corrupt, 0);
+        assert!(!c.truncated);
+        assert_eq!(c.seal, Some(seal));
+        assert!(c.seal_valid);
+    }
+
+    #[test]
+    fn flipped_payload_byte_drops_only_that_record() {
+        let dir = temp_dir("flip");
+        let (path, _) = write_shard(&dir, &[b"alpha", b"beta", b"gamma"]);
+        let mut bytes = std::fs::read(&path).expect("read file");
+        // Flip a byte inside "beta": header 16 + rec0 (4+5+8) = 33, then
+        // 4 length bytes → payload starts at 37.
+        bytes[38] ^= 0x40;
+        std::fs::write(&path, bytes).expect("rewrite");
+        let c = read_shard(&path).expect("read");
+        assert_eq!(c.payloads, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
+        assert_eq!(c.records_corrupt, 1);
+        assert!(!c.truncated, "framing stayed intact");
+        assert!(c.seal_valid, "record checksums (stored fields) still chain");
+    }
+
+    #[test]
+    fn truncation_keeps_intact_prefix() {
+        let dir = temp_dir("truncate");
+        let (path, _) = write_shard(&dir, &[b"alpha", b"beta", b"gamma"]);
+        let bytes = std::fs::read(&path).expect("read file");
+        // Cut mid-way through the second record's payload.
+        std::fs::write(&path, &bytes[..16 + 17 + 6]).expect("rewrite");
+        let c = read_shard(&path).expect("read");
+        assert_eq!(c.payloads, vec![b"alpha".to_vec()]);
+        assert!(c.truncated);
+        assert!(c.seal.is_none());
+    }
+
+    #[test]
+    fn unsealed_shard_recovers_all_records() {
+        let dir = temp_dir("unsealed");
+        let mut w = ShardWriter::create(&dir, 0).expect("create");
+        w.append(b"one").expect("append");
+        w.append(b"two").expect("append");
+        let path = w.path().to_path_buf();
+        drop(w); // simulated kill: no footer ever written
+        let c = read_shard(&path).expect("read");
+        assert_eq!(c.payloads.len(), 2);
+        assert!(c.truncated, "unsealed shard is a crash artifact");
+        assert!(c.seal.is_none());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_abandons_tail() {
+        let dir = temp_dir("badlen");
+        let (path, _) = write_shard(&dir, &[b"alpha", b"beta"]);
+        let mut bytes = std::fs::read(&path).expect("read file");
+        // Smash the second record's length prefix (offset 16 + 17 = 33).
+        bytes[33] = 0xEE;
+        bytes[36] = 0x7F; // huge length, > MAX_RECORD_LEN
+        std::fs::write(&path, bytes).expect("rewrite");
+        let c = read_shard(&path).expect("read");
+        assert_eq!(c.payloads, vec![b"alpha".to_vec()]);
+        assert!(c.truncated);
+    }
+
+    #[test]
+    fn partial_trailing_write_is_dropped() {
+        let dir = temp_dir("tail");
+        let (path, _) = write_shard(&dir, &[b"alpha"]);
+        // Simulate a kill mid-append *after* sealing was skipped: strip the
+        // footer, then add a half-written frame.
+        let bytes = std::fs::read(&path).expect("read file");
+        let without_footer = &bytes[..bytes.len() - 16];
+        let mut mangled = without_footer.to_vec();
+        mangled.extend_from_slice(&20u32.to_le_bytes());
+        mangled.extend_from_slice(b"only-six");
+        let mut f = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .expect("reopen");
+        f.write_all(&mangled).expect("rewrite");
+        drop(f);
+        let c = read_shard(&path).expect("read");
+        assert_eq!(c.payloads, vec![b"alpha".to_vec()]);
+        assert!(c.truncated);
+    }
+
+    #[test]
+    fn shard_names_roundtrip() {
+        assert_eq!(shard_file_name(7), "shard-00007.bfu");
+        assert_eq!(parse_shard_name("shard-00007.bfu"), Some(7));
+        assert_eq!(parse_shard_name("shard-junk.bfu"), None);
+        assert_eq!(parse_shard_name("MANIFEST"), None);
+    }
+
+    #[test]
+    fn non_shard_file_is_hard_error() {
+        let dir = temp_dir("magic");
+        let path = dir.join("shard-00000.bfu");
+        std::fs::write(&path, b"definitely not a shard").expect("write");
+        assert!(read_shard(&path).is_err());
+    }
+}

@@ -1,0 +1,588 @@
+//! The dataset store: a directory of shards plus a manifest, and the two
+//! consumers the store exists for — crawl resumption and memoized analysis.
+//!
+//! A [`DatasetStore`] is opened against a [`StoreMeta`] describing the survey
+//! that produces (or produced) the data. The survey fingerprint is the
+//! identity check: opening a directory written under a different
+//! configuration is refused with [`StoreError::FingerprintMismatch`] rather
+//! than silently mixing incompatible measurements.
+//!
+//! Writers are crash-safe by construction: every appended record is flushed,
+//! shards seal (with a footer checksum) at `shard_capacity` records, and the
+//! manifest is rewritten atomically after each seal. A new writer session
+//! always opens a *new* shard — it never appends to an unsealed shard left
+//! by a crash — so recovery never has to reason about a half-trusted tail it
+//! is also writing into.
+
+use crate::encode::{decode_site, encode_site};
+use crate::manifest::{write_atomic, Manifest};
+use crate::shard::{parse_shard_name, read_shard, ShardWriter};
+use bfu_crawler::{Dataset, Provenance, SiteMeasurement, Survey};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Default sites per shard before the writer seals and rolls over.
+pub const DEFAULT_SHARD_CAPACITY: u32 = 256;
+
+/// File name of the provenance sidecar written by [`DatasetStore::finish`].
+pub const PROVENANCE_NAME: &str = "provenance.json";
+
+/// Errors surfaced by store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The directory holds a dataset measured under a different survey
+    /// configuration; refusing to mix them.
+    FingerprintMismatch {
+        /// Fingerprint of the survey asking to open the store.
+        expected: u64,
+        /// Fingerprint recorded in the store's manifest.
+        found: u64,
+    },
+    /// The manifest file exists but cannot be understood.
+    BadManifest(String),
+    /// No store exists at the given directory.
+    NoStore(PathBuf),
+    /// The store holds only part of the dataset (interrupted survey or
+    /// damaged shards) and the caller required all of it.
+    Incomplete {
+        /// Sites recovered.
+        present: usize,
+        /// Sites missing.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "store fingerprint mismatch: survey is {expected:016x}, store holds {found:016x}"
+            ),
+            StoreError::BadManifest(msg) => write!(f, "bad store manifest: {msg}"),
+            StoreError::NoStore(dir) => write!(f, "no dataset store at {}", dir.display()),
+            StoreError::Incomplete { present, missing } => write!(
+                f,
+                "store is incomplete: {present} sites present, {missing} missing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Identity and shape of the dataset a store holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Survey fingerprint — the resume key.
+    pub fingerprint: u64,
+    /// Crawl seed (informational).
+    pub crawl_seed: u64,
+    /// Web generation seed (informational).
+    pub web_seed: u64,
+    /// Ranked sites in the study — the record-count target.
+    pub sites: usize,
+    /// Measurement rounds per profile.
+    pub rounds_per_profile: u32,
+    /// Profiles crawled, in order.
+    pub profiles: Vec<bfu_crawler::BrowserProfile>,
+    /// Sites per shard before the writer rolls over.
+    pub shard_capacity: u32,
+}
+
+impl StoreMeta {
+    /// The metadata a store for `survey` should carry.
+    pub fn for_survey(survey: &Survey) -> StoreMeta {
+        StoreMeta {
+            fingerprint: survey.fingerprint(),
+            crawl_seed: survey.config().seed,
+            web_seed: survey.web().core().config.seed,
+            sites: survey.web().site_count(),
+            rounds_per_profile: survey.config().rounds_per_profile,
+            profiles: survey.config().profiles.clone(),
+            shard_capacity: DEFAULT_SHARD_CAPACITY,
+        }
+    }
+}
+
+/// Counters from reading a store back: what was recovered, what was lost,
+/// and why. All damage is *reported*, never fatal — the reader's contract is
+/// "every intact record, plus an honest account of the rest".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadReport {
+    /// Shard files read.
+    pub shards_read: usize,
+    /// Shards with a valid footer.
+    pub shards_sealed: usize,
+    /// Shards whose tail was cut short or whose framing broke.
+    pub shards_truncated: usize,
+    /// Sealed shards whose footer checksum did not match the records.
+    pub shards_checksum_mismatch: usize,
+    /// Records recovered and decoded.
+    pub records_ok: usize,
+    /// Records dropped to checksum or decode failures.
+    pub records_corrupt: usize,
+    /// Records for a site already recovered from an earlier record
+    /// (first record wins; duplicates arise from resumed writer sessions).
+    pub records_duplicate: usize,
+    /// Records naming a site outside the study's range.
+    pub records_out_of_range: usize,
+}
+
+impl ReadReport {
+    /// Whether anything at all was damaged or discarded.
+    pub fn any_loss(&self) -> bool {
+        self.shards_truncated > 0
+            || self.shards_checksum_mismatch > 0
+            || self.records_corrupt > 0
+            || self.records_out_of_range > 0
+    }
+}
+
+/// Result of scanning a store directory: per-site slots (in site order) plus
+/// the recovery report.
+#[derive(Debug)]
+pub struct StoreScan {
+    /// One slot per ranked site; `Some` where a record was recovered.
+    pub sites: Vec<Option<SiteMeasurement>>,
+    /// Number of filled slots.
+    pub recovered: usize,
+    /// What reading the shards observed.
+    pub report: ReadReport,
+}
+
+#[derive(Debug)]
+struct Inner {
+    manifest: Manifest,
+    writer: Option<ShardWriter>,
+    next_shard_ix: u32,
+}
+
+/// An open dataset store: one directory, one survey fingerprint.
+#[derive(Debug)]
+pub struct DatasetStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl DatasetStore {
+    /// Open (creating if absent) the store at `dir` for the survey described
+    /// by `meta`. Refuses directories written under a different fingerprint.
+    pub fn open(dir: &Path, meta: StoreMeta) -> Result<DatasetStore, StoreError> {
+        fs::create_dir_all(dir)?;
+        let manifest = match Manifest::read(dir)? {
+            Some(existing) => {
+                if existing.fingerprint != meta.fingerprint {
+                    return Err(StoreError::FingerprintMismatch {
+                        expected: meta.fingerprint,
+                        found: existing.fingerprint,
+                    });
+                }
+                existing
+            }
+            None => {
+                let fresh = Manifest {
+                    fingerprint: meta.fingerprint,
+                    crawl_seed: meta.crawl_seed,
+                    web_seed: meta.web_seed,
+                    sites: meta.sites,
+                    rounds_per_profile: meta.rounds_per_profile,
+                    profiles: meta.profiles.clone(),
+                    shard_capacity: meta.shard_capacity,
+                    complete: false,
+                    shards: Vec::new(),
+                };
+                fresh.write_atomic(dir)?;
+                fresh
+            }
+        };
+        // A new session never appends to an existing (possibly unsealed)
+        // shard: it starts a fresh one past every index on disk.
+        let next_shard_ix = shard_indices(dir)?.into_iter().max().map_or(0, |ix| ix + 1);
+        Ok(DatasetStore {
+            dir: dir.to_owned(),
+            inner: Mutex::new(Inner {
+                manifest,
+                writer: None,
+                next_shard_ix,
+            }),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The fingerprint this store is keyed by.
+    pub fn fingerprint(&self) -> u64 {
+        self.lock().manifest.fingerprint
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Append one site measurement. Safe to call from multiple crawl worker
+    /// threads; records land in arrival order. The record is flushed before
+    /// this returns, so a crash afterwards cannot lose it.
+    pub fn append(&self, m: &SiteMeasurement) -> io::Result<()> {
+        let payload = encode_site(m);
+        let mut inner = self.lock();
+        if inner.writer.is_none() {
+            let ix = inner.next_shard_ix;
+            inner.writer = Some(ShardWriter::create(&self.dir, ix)?);
+            inner.next_shard_ix = ix + 1;
+        }
+        let capacity = inner.manifest.shard_capacity;
+        let full = {
+            // `writer` is always Some here: installed just above when absent.
+            let writer = inner.writer.as_mut().expect("writer installed above");
+            writer.append(&payload)?;
+            writer.records() >= capacity
+        };
+        if full {
+            self.seal_current(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Seal the open shard (if any), mark the store complete, and write the
+    /// provenance sidecar. Call once the survey's dataset is fully recorded.
+    pub fn finish(&self, provenance: &Provenance) -> io::Result<()> {
+        let mut inner = self.lock();
+        self.seal_current(&mut inner)?;
+        inner.manifest.complete = true;
+        inner.manifest.write_atomic(&self.dir)?;
+        let json = bfu_analysis::export::provenance_json(provenance);
+        write_atomic(&self.dir, PROVENANCE_NAME, &json)
+    }
+
+    fn seal_current(&self, inner: &mut Inner) -> io::Result<()> {
+        if let Some(writer) = inner.writer.take() {
+            let sealed = writer.seal()?;
+            inner.manifest.shards.push(sealed);
+            inner.manifest.write_atomic(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    /// Read every shard back, recovering one slot per site. Damage is
+    /// reported in the scan's [`ReadReport`], never fatal.
+    pub fn scan(&self) -> Result<StoreScan, StoreError> {
+        let (n_sites, manifest_seals) = {
+            let inner = self.lock();
+            (inner.manifest.sites, inner.manifest.shards.clone())
+        };
+        let mut sites: Vec<Option<SiteMeasurement>> = Vec::new();
+        sites.resize_with(n_sites, || None);
+        let mut report = ReadReport::default();
+        for ix in shard_indices(&self.dir)? {
+            let contents = read_shard(&self.dir.join(crate::shard::shard_file_name(ix)))?;
+            report.shards_read += 1;
+            report.records_corrupt += contents.records_corrupt;
+            if contents.truncated {
+                report.shards_truncated += 1;
+            }
+            if let Some(seal) = contents.seal {
+                report.shards_sealed += 1;
+                // Invalid either internally (re-chained checksum disagrees
+                // with the footer) or against the manifest's record of it.
+                let manifest_disagrees =
+                    manifest_seals.iter().any(|s| s.ix == seal.ix && *s != seal);
+                if !contents.seal_valid || manifest_disagrees {
+                    report.shards_checksum_mismatch += 1;
+                }
+            }
+            for payload in &contents.payloads {
+                let m = match decode_site(payload) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        report.records_corrupt += 1;
+                        continue;
+                    }
+                };
+                let slot_ix = m.site.index();
+                let Some(slot) = sites.get_mut(slot_ix) else {
+                    report.records_out_of_range += 1;
+                    continue;
+                };
+                if slot.is_some() {
+                    report.records_duplicate += 1;
+                } else {
+                    *slot = Some(m);
+                    report.records_ok += 1;
+                }
+            }
+        }
+        let recovered = sites.iter().filter(|s| s.is_some()).count();
+        Ok(StoreScan {
+            sites,
+            recovered,
+            report,
+        })
+    }
+}
+
+/// Sorted indices of every shard file in `dir`.
+fn shard_indices(dir: &Path) -> io::Result<Vec<u32>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(ix) = entry.file_name().to_str().and_then(parse_shard_name) {
+            out.push(ix);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Outcome of [`resume_survey`].
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// The complete dataset, identical to an uninterrupted run's.
+    pub dataset: Dataset,
+    /// Sites recovered from the store instead of being crawled.
+    pub resumed_sites: usize,
+    /// Sites crawled fresh this session.
+    pub crawled_sites: usize,
+    /// What reading the existing shards observed.
+    pub report: ReadReport,
+}
+
+/// Run `survey`, resuming from whatever the store at `dir` already holds.
+///
+/// Recovered sites are not re-crawled; freshly crawled sites stream into new
+/// shards as they complete, so killing *this* run part-way leaves a store
+/// the next call resumes from. Because per-site measurements depend only on
+/// the survey fingerprint and the site (thread-count invariance is a tested
+/// property of the crawler), the resumed dataset fingerprints identically to
+/// an uninterrupted run.
+pub fn resume_survey(survey: &Survey, dir: &Path) -> Result<ResumeOutcome, StoreError> {
+    let store = DatasetStore::open(dir, StoreMeta::for_survey(survey))?;
+    let scan = store.scan()?;
+    let resumed_sites = scan.recovered;
+    let crawled_sites = scan.sites.len().saturating_sub(resumed_sites);
+    let write_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let dataset = survey.run_partial(scan.sites, &|m| {
+        if let Err(e) = store.append(m) {
+            if let Ok(mut slot) = write_error.lock() {
+                slot.get_or_insert(e);
+            }
+        }
+    });
+    if let Some(e) = write_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(StoreError::Io(e));
+    }
+    store.finish(&Provenance::of(survey, &dataset))?;
+    Ok(ResumeOutcome {
+        dataset,
+        resumed_sites,
+        crawled_sites,
+        report: scan.report,
+    })
+}
+
+/// Outcome of [`load_survey_dataset`]: either the full dataset or an honest
+/// account of how much of one is present.
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// Every site was recovered; analysis can run with zero crawling.
+    Complete {
+        /// The stored dataset.
+        dataset: Dataset,
+        /// What reading the shards observed.
+        report: ReadReport,
+    },
+    /// The store is missing sites (interrupted survey or damaged shards).
+    Incomplete {
+        /// Sites recovered.
+        present: usize,
+        /// Sites missing.
+        missing: usize,
+        /// What reading the shards observed.
+        report: ReadReport,
+    },
+}
+
+/// Load the dataset for `survey` from the store at `dir` without crawling.
+///
+/// Fails with [`StoreError::NoStore`] when the directory holds no manifest,
+/// and [`StoreError::FingerprintMismatch`] when it holds someone else's
+/// dataset. An interrupted or damaged store loads as
+/// [`LoadOutcome::Incomplete`] rather than erroring, so callers can decide
+/// between resuming and reporting.
+pub fn load_survey_dataset(survey: &Survey, dir: &Path) -> Result<LoadOutcome, StoreError> {
+    if Manifest::read(dir)?.is_none() {
+        return Err(StoreError::NoStore(dir.to_owned()));
+    }
+    let store = DatasetStore::open(dir, StoreMeta::for_survey(survey))?;
+    let scan = store.scan()?;
+    if scan.recovered == scan.sites.len() {
+        let sites = scan.sites.into_iter().flatten().collect();
+        let dataset = Dataset {
+            profiles: survey.config().profiles.clone(),
+            rounds_per_profile: survey.config().rounds_per_profile,
+            sites,
+        };
+        Ok(LoadOutcome::Complete {
+            dataset,
+            report: scan.report,
+        })
+    } else {
+        Ok(LoadOutcome::Incomplete {
+            present: scan.recovered,
+            missing: scan.sites.len() - scan.recovered,
+            report: scan.report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_crawler::CrawlConfig;
+    use bfu_webgen::{SyntheticWeb, WebConfig};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bfu-store-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_survey() -> Survey {
+        let web = SyntheticWeb::generate(WebConfig { sites: 5, seed: 21 });
+        Survey::new(web, CrawlConfig::quick(4))
+    }
+
+    #[test]
+    fn fresh_store_writes_manifest_and_refuses_other_fingerprints() {
+        let dir = temp_dir("fingerprint");
+        let survey = tiny_survey();
+        let meta = StoreMeta::for_survey(&survey);
+        let store = DatasetStore::open(&dir, meta.clone()).expect("open");
+        assert_eq!(store.fingerprint(), survey.fingerprint());
+        drop(store);
+        let mut other = meta;
+        other.fingerprint ^= 1;
+        match DatasetStore::open(&dir, other) {
+            Err(StoreError::FingerprintMismatch { expected, found }) => {
+                assert_eq!(found, survey.fingerprint());
+                assert_eq!(expected, survey.fingerprint() ^ 1);
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip_first_record_wins() {
+        let dir = temp_dir("roundtrip");
+        let survey = tiny_survey();
+        let dataset = survey.run();
+        let store = DatasetStore::open(&dir, StoreMeta::for_survey(&survey)).expect("open");
+        for m in &dataset.sites {
+            store.append(m).expect("append");
+        }
+        // Duplicate one record: the first copy must win.
+        store.append(&dataset.sites[0]).expect("dup append");
+        store
+            .finish(&Provenance::of(&survey, &dataset))
+            .expect("finish");
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.recovered, dataset.sites.len());
+        assert_eq!(scan.report.records_duplicate, 1);
+        assert!(!scan.report.any_loss());
+        assert!(dir.join(PROVENANCE_NAME).exists());
+    }
+
+    #[test]
+    fn shards_roll_over_at_capacity() {
+        let dir = temp_dir("rollover");
+        let survey = tiny_survey();
+        let dataset = survey.run();
+        let mut meta = StoreMeta::for_survey(&survey);
+        meta.shard_capacity = 2;
+        let store = DatasetStore::open(&dir, meta).expect("open");
+        for m in &dataset.sites {
+            store.append(m).expect("append");
+        }
+        store
+            .finish(&Provenance::of(&survey, &dataset))
+            .expect("finish");
+        // 5 sites at capacity 2 → shards of 2, 2, 1.
+        let manifest = Manifest::read(&dir).expect("read").expect("present");
+        assert_eq!(manifest.shards.len(), 3);
+        assert!(manifest.complete);
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.recovered, dataset.sites.len());
+        assert_eq!(scan.report.shards_sealed, 3);
+    }
+
+    #[test]
+    fn new_session_starts_a_new_shard() {
+        let dir = temp_dir("new-session");
+        let survey = tiny_survey();
+        let dataset = survey.run();
+        let meta = StoreMeta::for_survey(&survey);
+        let store = DatasetStore::open(&dir, meta.clone()).expect("open");
+        store.append(&dataset.sites[0]).expect("append");
+        drop(store); // killed before sealing: shard-00000 left unsealed
+        let store = DatasetStore::open(&dir, meta).expect("reopen");
+        store.append(&dataset.sites[1]).expect("append");
+        drop(store);
+        assert!(dir.join("shard-00000.bfu").exists());
+        assert!(dir.join("shard-00001.bfu").exists());
+    }
+
+    #[test]
+    fn load_reports_incomplete_then_complete() {
+        let dir = temp_dir("load");
+        let survey = tiny_survey();
+        match load_survey_dataset(&survey, &dir) {
+            Err(StoreError::NoStore(_)) => {}
+            other => panic!("expected NoStore, got {other:?}"),
+        }
+        let dataset = survey.run();
+        let store = DatasetStore::open(&dir, StoreMeta::for_survey(&survey)).expect("open");
+        store.append(&dataset.sites[0]).expect("append");
+        drop(store);
+        match load_survey_dataset(&survey, &dir).expect("load") {
+            LoadOutcome::Incomplete {
+                present, missing, ..
+            } => {
+                assert_eq!(present, 1);
+                assert_eq!(missing, dataset.sites.len() - 1);
+            }
+            LoadOutcome::Complete { .. } => panic!("store should be incomplete"),
+        }
+        let outcome = resume_survey(&survey, &dir).expect("resume");
+        assert_eq!(outcome.resumed_sites, 1);
+        assert_eq!(outcome.crawled_sites, dataset.sites.len() - 1);
+        assert_eq!(outcome.dataset.fingerprint(), dataset.fingerprint());
+        match load_survey_dataset(&survey, &dir).expect("load complete") {
+            LoadOutcome::Complete {
+                dataset: stored, ..
+            } => {
+                assert_eq!(stored.fingerprint(), dataset.fingerprint());
+            }
+            LoadOutcome::Incomplete {
+                present, missing, ..
+            } => {
+                panic!("store should be complete, got {present}/{missing}")
+            }
+        }
+    }
+}

@@ -3,13 +3,15 @@
 //! Foundation utilities shared by every crate in the Browser Feature Usage
 //! reproduction: a deterministic, forkable random number generator, discrete
 //! samplers (Zipf, geometric, weighted), a virtual clock for simulated time,
-//! descriptive statistics (histograms, CDFs, percentiles), and a string
-//! interner.
+//! descriptive statistics (histograms, CDFs, percentiles), a string
+//! interner, and the binary codec + FNV-64 checksums backing the on-disk
+//! dataset store.
 //!
 //! Everything in this crate is deterministic: the same seed always produces
 //! the same sequence, on every platform. No wall-clock time, no OS entropy.
 
 pub mod clock;
+pub mod codec;
 pub mod ids;
 pub mod intern;
 pub mod rng;
@@ -17,6 +19,7 @@ pub mod sample;
 pub mod stats;
 
 pub use clock::{Instant, VirtualClock};
+pub use codec::{fnv64, ByteReader, ByteWriter, CodecError, Fnv64};
 pub use intern::{Interner, Symbol};
 pub use rng::{hash_label, SimRng};
 pub use sample::{GeometricWeights, WeightedIndex, Zipf};

@@ -78,8 +78,7 @@ impl SimRng {
     /// Derive an independent child generator from this one and an index.
     pub fn fork_idx(&self, idx: u64) -> SimRng {
         SimRng::new(
-            self.state
-                .wrapping_mul(PCG_MULT)
+            self.state.wrapping_mul(PCG_MULT)
                 ^ idx.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17),
         )
     }

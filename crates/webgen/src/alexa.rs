@@ -99,9 +99,26 @@ pub struct AlexaRanking {
 }
 
 const DOMAIN_STEMS: &[&str] = &[
-    "worldnews", "dailybeat", "shopsphere", "megamart", "streamly", "vidhub", "friendbase",
-    "chatterbox", "inkwell", "quillpost", "devforge", "stacklab", "wikidepth", "factbook",
-    "portalone", "homebase", "brightfeed", "cartquick", "playreel", "newsroom",
+    "worldnews",
+    "dailybeat",
+    "shopsphere",
+    "megamart",
+    "streamly",
+    "vidhub",
+    "friendbase",
+    "chatterbox",
+    "inkwell",
+    "quillpost",
+    "devforge",
+    "stacklab",
+    "wikidepth",
+    "factbook",
+    "portalone",
+    "homebase",
+    "brightfeed",
+    "cartquick",
+    "playreel",
+    "newsroom",
 ];
 
 impl AlexaRanking {

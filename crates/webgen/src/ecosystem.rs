@@ -55,14 +55,34 @@ pub struct Ecosystem {
 }
 
 const AD_NAME_STEMS: &[&str] = &[
-    "adserve", "clickbid", "bannerx", "adreach", "pubmax", "dsplink", "admesh", "yieldly",
-    "spotad", "promogrid",
+    "adserve",
+    "clickbid",
+    "bannerx",
+    "adreach",
+    "pubmax",
+    "dsplink",
+    "admesh",
+    "yieldly",
+    "spotad",
+    "promogrid",
 ];
 const TRACKER_STEMS: &[&str] = &[
-    "trackmax", "pixelsense", "audiencelab", "idgraph", "spyglass", "fingerling", "cohortic",
+    "trackmax",
+    "pixelsense",
+    "audiencelab",
+    "idgraph",
+    "spyglass",
+    "fingerling",
+    "cohortic",
     "tagbridge",
 ];
-const ANALYTICS_STEMS: &[&str] = &["metricsly", "pageviewer", "statshub", "countwise", "webgauge"];
+const ANALYTICS_STEMS: &[&str] = &[
+    "metricsly",
+    "pageviewer",
+    "statshub",
+    "countwise",
+    "webgauge",
+];
 const CDN_STEMS: &[&str] = &["fastedge", "cachewave", "bigcdn", "staticnet", "mirrorly"];
 
 impl Ecosystem {
@@ -111,10 +131,7 @@ impl Ecosystem {
     /// Pick `count` distinct parties of `kind`, popularity-weighted.
     pub fn pick(&self, kind: PartyKind, count: usize, rng: &mut SimRng) -> Vec<usize> {
         let candidates = self.of_kind(kind);
-        let weights: Vec<f64> = candidates
-            .iter()
-            .map(|&i| self.parties[i].weight)
-            .collect();
+        let weights: Vec<f64> = candidates.iter().map(|&i| self.parties[i].weight).collect();
         let Some(dist) = WeightedIndex::new(&weights) else {
             return Vec::new();
         };

@@ -68,7 +68,8 @@ pub fn generate_lists(eco: &Ecosystem, rng: &SimRng) -> BlocklistBundle {
 /// Generate the bundle with explicit coverage (for ablations).
 pub fn generate_lists_with(eco: &Ecosystem, rng: &SimRng, cov: Coverage) -> BlocklistBundle {
     let mut rng = rng.fork("blocklists");
-    let mut easylist = String::from("[Adblock Plus 2.0]\n! Generated against the synthetic ecosystem\n");
+    let mut easylist =
+        String::from("[Adblock Plus 2.0]\n! Generated against the synthetic ecosystem\n");
     let mut tracker_entries = Vec::new();
 
     for party in &eco.parties {
@@ -123,7 +124,11 @@ mod tests {
         let covered = eco
             .of_kind(PartyKind::AdNetwork)
             .iter()
-            .filter(|&&i| lists.easylist.contains(&format!("||{}^", eco.party(i).domain)))
+            .filter(|&&i| {
+                lists
+                    .easylist
+                    .contains(&format!("||{}^", eco.party(i).domain))
+            })
             .count();
         assert!(covered >= 34, "ABP covers {covered}/40 ad networks");
     }

@@ -78,7 +78,10 @@ impl<'a> Emitter<'a> {
         }
         let var = format!("obj{}", self.vars.len());
         if let Some(tag) = element_tag(interface) {
-            let _ = writeln!(self.out, "{indent}var {var} = document.createElement('{tag}');");
+            let _ = writeln!(
+                self.out,
+                "{indent}var {var} = document.createElement('{tag}');"
+            );
         } else {
             let _ = writeln!(self.out, "{indent}var {var} = new {interface}();");
         }
@@ -95,7 +98,12 @@ impl<'a> Emitter<'a> {
                 let _ = writeln!(self.out, "{indent}{recv}.{}({args});", info.member);
             }
             FeatureKind::Property => {
-                let _ = writeln!(self.out, "{indent}{recv}.{} = {};", info.member, literal_for(&info.member));
+                let _ = writeln!(
+                    self.out,
+                    "{indent}{recv}.{} = {};",
+                    info.member,
+                    literal_for(&info.member)
+                );
             }
         }
     }

@@ -104,7 +104,10 @@ pub struct SitePlan {
 impl SitePlan {
     /// Placements served by `party`.
     pub fn placements_of(&self, party: Party) -> Vec<&Placement> {
-        self.placements.iter().filter(|p| p.party == party).collect()
+        self.placements
+            .iter()
+            .filter(|p| p.party == party)
+            .collect()
     }
 
     /// Whether a placement applies on page `page_ix`.
@@ -189,7 +192,11 @@ pub fn generate_site(
             let blocked_only = rng.chance(prior.block_rate);
             let party = if blocked_only {
                 let use_ad = rng.chance(prior.ad_affinity);
-                let pool = if use_ad { &mut ad_parties } else { &mut tracker_parties };
+                let pool = if use_ad {
+                    &mut ad_parties
+                } else {
+                    &mut tracker_parties
+                };
                 if pool.is_empty() {
                     let kind = if use_ad {
                         PartyKind::AdNetwork
@@ -209,7 +216,11 @@ pub fn generate_site(
             // standards. Offer the emitter a blockable alternate host.
             let alt_party = {
                 let use_ad = rng.chance(prior.ad_affinity);
-                let pool = if use_ad { &ad_parties } else { &tracker_parties };
+                let pool = if use_ad {
+                    &ad_parties
+                } else {
+                    &tracker_parties
+                };
                 pool.first().map(|&ix| Party::Third(ix))
             };
             // Some standards live entirely in one corner of a site (a video
@@ -225,7 +236,13 @@ pub fn generate_site(
                 None
             };
             emit_standard_placements(
-                prior, party, alt_party, std_scope, &sections, registry, &mut rng,
+                prior,
+                party,
+                alt_party,
+                std_scope,
+                &sections,
+                registry,
+                &mut rng,
                 &mut placements,
             );
             // First-party users of a standard sometimes *also* load it from a
@@ -330,8 +347,8 @@ fn emit_standard_placements(
 /// Build the page graph: home → sections → stories, cross-linked.
 fn generate_pages(category: SiteCategory, rng: &mut SimRng) -> Vec<PagePlan> {
     let sections = category.sections();
-    let n_sections = (4 + rng.below_usize(sections.len().saturating_sub(3).max(1)))
-        .min(sections.len());
+    let n_sections =
+        (4 + rng.below_usize(sections.len().saturating_sub(3).max(1))).min(sections.len());
     let mut pages = vec![PagePlan {
         path: "/".to_owned(),
         section: String::new(),
@@ -384,7 +401,13 @@ mod tests {
     use super::*;
     use crate::calibrate;
 
-    fn fixture() -> (AlexaRanking, Vec<StandardPrior>, Ecosystem, FeatureRegistry, SimRng) {
+    fn fixture() -> (
+        AlexaRanking,
+        Vec<StandardPrior>,
+        Ecosystem,
+        FeatureRegistry,
+        SimRng,
+    ) {
         let rng = SimRng::new(42);
         (
             AlexaRanking::generate(100, &rng),
@@ -398,8 +421,22 @@ mod tests {
     #[test]
     fn site_plans_deterministic() {
         let (ranking, priors, eco, registry, rng) = fixture();
-        let a = generate_site(ranking.site(crate::SiteId::new(5)), &ranking, &priors, &eco, &registry, &rng);
-        let b = generate_site(ranking.site(crate::SiteId::new(5)), &ranking, &priors, &eco, &registry, &rng);
+        let a = generate_site(
+            ranking.site(crate::SiteId::new(5)),
+            &ranking,
+            &priors,
+            &eco,
+            &registry,
+            &rng,
+        );
+        let b = generate_site(
+            ranking.site(crate::SiteId::new(5)),
+            &ranking,
+            &priors,
+            &eco,
+            &registry,
+            &rng,
+        );
         assert_eq!(a.placements.len(), b.placements.len());
         assert_eq!(a.pages.len(), b.pages.len());
         assert_eq!(a.dead, b.dead);
@@ -417,7 +454,10 @@ mod tests {
                 &registry,
                 &rng,
             );
-            assert!(plan.pages.len() >= 7, "site graph big enough for a 13-page crawl");
+            assert!(
+                plan.pages.len() >= 7,
+                "site graph big enough for a 13-page crawl"
+            );
             // BFS from home reaches every page.
             let mut seen = vec![false; plan.pages.len()];
             let mut queue = vec![0usize];
@@ -430,14 +470,25 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&s| s), "unreachable pages in {}", plan.site.domain);
+            assert!(
+                seen.iter().all(|&s| s),
+                "unreachable pages in {}",
+                plan.site.domain
+            );
         }
     }
 
     #[test]
     fn flagship_always_placed_for_used_standards() {
         let (ranking, priors, eco, registry, rng) = fixture();
-        let plan = generate_site(ranking.site(crate::SiteId::new(0)), &ranking, &priors, &eco, &registry, &rng);
+        let plan = generate_site(
+            ranking.site(crate::SiteId::new(0)),
+            &ranking,
+            &priors,
+            &eco,
+            &registry,
+            &rng,
+        );
         // Every standard that appears in placements must include its rank-0
         // feature (the flagship defines standard popularity).
         use std::collections::HashSet;

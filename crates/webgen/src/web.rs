@@ -246,7 +246,11 @@ fn render_page(core: &WebCore, site_ix: usize, page_ix: usize) -> String {
          <div id=\"content\"><p>Lorem ipsum telemetry dolor sit.</p>\
          <button id=\"more\">more</button></div>\
          <form action=\"/search\"><input type=\"text\" name=\"q\"></form>",
-        if page.section.is_empty() { "Home" } else { &page.section },
+        if page.section.is_empty() {
+            "Home"
+        } else {
+            &page.section
+        },
         page.path,
         plan.site.domain
     );
@@ -258,16 +262,17 @@ fn render_page(core: &WebCore, site_ix: usize, page_ix: usize) -> String {
             .embedded_parties()
             .into_iter()
             .filter(|&ix| {
-                plan.placements.iter().any(|p| {
-                    p.party == Party::Third(ix) && plan.applies_on(p, page_ix)
-                })
+                plan.placements
+                    .iter()
+                    .any(|p| p.party == Party::Third(ix) && plan.applies_on(p, page_ix))
             })
             .collect();
         for &party_ix in &with_placements {
             let party = core.ecosystem.party(party_ix);
             // A third of ad placements arrive inside frames (the iframe ad
             // path the paper's H-CM discussion concerns).
-            let framed = party.kind == PartyKind::AdNetwork && (site_ix + party_ix).is_multiple_of(3);
+            let framed =
+                party.kind == PartyKind::AdNetwork && (site_ix + party_ix).is_multiple_of(3);
             if framed {
                 let _ = write!(
                     html,
@@ -337,12 +342,7 @@ mod tests {
         });
         let mut net = SimNet::new(SimRng::new(1));
         web.install_into(&mut net);
-        let dead_planned = web
-            .core()
-            .plans
-            .iter()
-            .filter(|p| p.dead)
-            .count();
+        let dead_planned = web.core().plans.iter().filter(|p| p.dead).count();
         assert_eq!(net.faults().dead_host_count(), dead_planned);
         // ~2.67% of sites: allow a generous band.
         assert!(

@@ -82,7 +82,11 @@ pub static CATALOG: &[StandardInfo] = &[
         cves: 15,
         intro_year: 2006,
         ad_affinity: 0.55,
-        interfaces: &["HTMLCanvasElement", "CanvasRenderingContext2D", "CanvasGradient"],
+        interfaces: &[
+            "HTMLCanvasElement",
+            "CanvasRenderingContext2D",
+            "CanvasGradient",
+        ],
         flagship: Some(("HTMLCanvasElement", "getContext", Method)),
     },
     StandardInfo {
@@ -143,7 +147,12 @@ pub static CATALOG: &[StandardInfo] = &[
         cves: 10,
         intro_year: 2008,
         ad_affinity: 0.55,
-        interfaces: &["HTMLMediaElement", "HTMLVideoElement", "HTMLAudioElement", "DataTransfer"],
+        interfaces: &[
+            "HTMLMediaElement",
+            "HTMLVideoElement",
+            "HTMLAudioElement",
+            "DataTransfer",
+        ],
         flagship: Some(("HTMLMediaElement", "play", Method)),
     },
     StandardInfo {
@@ -203,7 +212,12 @@ pub static CATALOG: &[StandardInfo] = &[
         cves: 3,
         intro_year: 2011,
         ad_affinity: 0.35,
-        interfaces: &["IDBFactory", "IDBDatabase", "IDBObjectStore", "IDBTransaction"],
+        interfaces: &[
+            "IDBFactory",
+            "IDBDatabase",
+            "IDBObjectStore",
+            "IDBTransaction",
+        ],
         flagship: Some(("IDBFactory", "open", Method)),
     },
     StandardInfo {
@@ -837,7 +851,11 @@ pub static CATALOG: &[StandardInfo] = &[
         cves: 0,
         intro_year: 2015,
         ad_affinity: 0.45,
-        interfaces: &["ServiceWorkerContainer", "ServiceWorkerRegistration", "Cache"],
+        interfaces: &[
+            "ServiceWorkerContainer",
+            "ServiceWorkerRegistration",
+            "Cache",
+        ],
         flagship: Some(("ServiceWorkerContainer", "register", Method)),
     },
     StandardInfo {

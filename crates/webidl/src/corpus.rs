@@ -28,22 +28,100 @@ pub struct CorpusFile {
 }
 
 const VERBS: &[&str] = &[
-    "get", "set", "create", "update", "remove", "query", "observe", "request", "cancel", "init",
-    "dispatch", "register", "resolve", "compute", "enumerate", "clone", "normalize", "measure",
-    "encode", "decode", "begin", "end", "suspend", "resume", "attach", "detach", "sync", "report",
-    "lookup", "merge", "split", "apply", "restore", "capture", "release", "validate",
+    "get",
+    "set",
+    "create",
+    "update",
+    "remove",
+    "query",
+    "observe",
+    "request",
+    "cancel",
+    "init",
+    "dispatch",
+    "register",
+    "resolve",
+    "compute",
+    "enumerate",
+    "clone",
+    "normalize",
+    "measure",
+    "encode",
+    "decode",
+    "begin",
+    "end",
+    "suspend",
+    "resume",
+    "attach",
+    "detach",
+    "sync",
+    "report",
+    "lookup",
+    "merge",
+    "split",
+    "apply",
+    "restore",
+    "capture",
+    "release",
+    "validate",
 ];
 
 const NOUNS: &[&str] = &[
-    "State", "Value", "Buffer", "Node", "Frame", "Context", "Channel", "Stream", "Key", "Entry",
-    "Range", "Rect", "Timing", "Metric", "Token", "Handle", "Layer", "Shape", "Path", "Source",
-    "Target", "Filter", "Sample", "Track", "Region", "Segment", "Profile", "Quota", "Status",
-    "Info", "Descriptor", "Snapshot", "Anchor", "Gradient", "Matrix", "Vector", "Cursor",
+    "State",
+    "Value",
+    "Buffer",
+    "Node",
+    "Frame",
+    "Context",
+    "Channel",
+    "Stream",
+    "Key",
+    "Entry",
+    "Range",
+    "Rect",
+    "Timing",
+    "Metric",
+    "Token",
+    "Handle",
+    "Layer",
+    "Shape",
+    "Path",
+    "Source",
+    "Target",
+    "Filter",
+    "Sample",
+    "Track",
+    "Region",
+    "Segment",
+    "Profile",
+    "Quota",
+    "Status",
+    "Info",
+    "Descriptor",
+    "Snapshot",
+    "Anchor",
+    "Gradient",
+    "Matrix",
+    "Vector",
+    "Cursor",
 ];
 
 const PROP_ADJECTIVES: &[&str] = &[
-    "current", "default", "pending", "active", "max", "min", "total", "last", "next", "initial",
-    "preferred", "effective", "raw", "cached", "visible",
+    "current",
+    "default",
+    "pending",
+    "active",
+    "max",
+    "min",
+    "total",
+    "last",
+    "next",
+    "initial",
+    "preferred",
+    "effective",
+    "raw",
+    "cached",
+    "visible",
 ];
 
 const ARG_TYPES: &[&str] = &[
@@ -69,7 +147,14 @@ const RETURN_TYPES: &[&str] = &[
     "sequence<DOMString>",
 ];
 
-const PROP_TYPES: &[&str] = &["DOMString", "long", "unsigned long", "double", "boolean", "object"];
+const PROP_TYPES: &[&str] = &[
+    "DOMString",
+    "long",
+    "unsigned long",
+    "double",
+    "boolean",
+    "object",
+];
 
 /// Global singleton interfaces that many standards extend via
 /// `partial interface` (matching how real WebIDL spreads `Navigator` and
@@ -116,13 +201,23 @@ const CORPUS_SEED: u64 = 0x0001_D1C0_8085;
 /// feature budget like any other member.
 const EXTRA_PINNED: &[(&str, &str, &str, FlagshipKind)] = &[
     ("DOM", "Node", "cloneNode", FlagshipKind::Method),
-    ("DOM", "EventTarget", "removeEventListener", FlagshipKind::Method),
+    (
+        "DOM",
+        "EventTarget",
+        "removeEventListener",
+        FlagshipKind::Method,
+    ),
     ("DOM1", "Node", "insertBefore", FlagshipKind::Method),
     ("DOM1", "Document", "createTextNode", FlagshipKind::Method),
     ("DOM1", "Element", "setAttribute", FlagshipKind::Method),
     ("DOM1", "Element", "getAttribute", FlagshipKind::Method),
     ("SLC", "Document", "querySelector", FlagshipKind::Method),
-    ("DOM2-E", "EventTarget", "dispatchEvent", FlagshipKind::Method),
+    (
+        "DOM2-E",
+        "EventTarget",
+        "dispatchEvent",
+        FlagshipKind::Method,
+    ),
     ("AJAX", "XMLHttpRequest", "send", FlagshipKind::Method),
     ("H-WS", "Storage", "getItem", FlagshipKind::Method),
     ("HTML", "HTMLElement", "focus", FlagshipKind::Method),
@@ -138,7 +233,10 @@ fn generate_file(
     let mut rng = rng.clone();
     let mut src = String::new();
     let _ = writeln!(src, "// Standard: {} ({})", std.name, std.abbrev);
-    let _ = writeln!(src, "// Generated corpus file; member counts match the catalog.");
+    let _ = writeln!(
+        src,
+        "// Generated corpus file; member counts match the catalog."
+    );
     let _ = writeln!(src);
 
     // Plan: which interface hosts each of the `features` members.
@@ -324,10 +422,7 @@ mod tests {
             let count: usize = idl
                 .interfaces
                 .iter()
-                .map(|i| {
-                    i.operations().count()
-                        + i.attributes().filter(|a| !a.readonly).count()
-                })
+                .map(|i| i.operations().count() + i.attributes().filter(|a| !a.readonly).count())
                 .sum();
             assert_eq!(
                 count as u32, std.features,

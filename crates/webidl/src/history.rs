@@ -27,14 +27,63 @@ pub struct YearPoint {
 
 /// The Figure 1 series, 2009-2015.
 pub static BROWSER_HISTORY: &[YearPoint] = &[
-    YearPoint { year: 2009, standards: 12, chrome_mloc: 2.5, firefox_mloc: 4.8, safari_mloc: 2.1, ie_mloc: 3.0 },
-    YearPoint { year: 2010, standards: 16, chrome_mloc: 4.0, firefox_mloc: 5.6, safari_mloc: 2.4, ie_mloc: 3.2 },
-    YearPoint { year: 2011, standards: 21, chrome_mloc: 5.8, firefox_mloc: 6.9, safari_mloc: 2.8, ie_mloc: 3.5 },
-    YearPoint { year: 2012, standards: 26, chrome_mloc: 7.9, firefox_mloc: 8.4, safari_mloc: 3.1, ie_mloc: 3.8 },
-    YearPoint { year: 2013, standards: 30, chrome_mloc: 10.2, firefox_mloc: 9.9, safari_mloc: 3.3, ie_mloc: 4.0 },
+    YearPoint {
+        year: 2009,
+        standards: 12,
+        chrome_mloc: 2.5,
+        firefox_mloc: 4.8,
+        safari_mloc: 2.1,
+        ie_mloc: 3.0,
+    },
+    YearPoint {
+        year: 2010,
+        standards: 16,
+        chrome_mloc: 4.0,
+        firefox_mloc: 5.6,
+        safari_mloc: 2.4,
+        ie_mloc: 3.2,
+    },
+    YearPoint {
+        year: 2011,
+        standards: 21,
+        chrome_mloc: 5.8,
+        firefox_mloc: 6.9,
+        safari_mloc: 2.8,
+        ie_mloc: 3.5,
+    },
+    YearPoint {
+        year: 2012,
+        standards: 26,
+        chrome_mloc: 7.9,
+        firefox_mloc: 8.4,
+        safari_mloc: 3.1,
+        ie_mloc: 3.8,
+    },
+    YearPoint {
+        year: 2013,
+        standards: 30,
+        chrome_mloc: 10.2,
+        firefox_mloc: 9.9,
+        safari_mloc: 3.3,
+        ie_mloc: 4.0,
+    },
     // Blink split: ~8.8M lines of WebKit removed from Chrome mid-2013.
-    YearPoint { year: 2014, standards: 35, chrome_mloc: 7.6, firefox_mloc: 11.3, safari_mloc: 3.6, ie_mloc: 4.1 },
-    YearPoint { year: 2015, standards: 39, chrome_mloc: 9.4, firefox_mloc: 12.6, safari_mloc: 3.9, ie_mloc: 4.2 },
+    YearPoint {
+        year: 2014,
+        standards: 35,
+        chrome_mloc: 7.6,
+        firefox_mloc: 11.3,
+        safari_mloc: 3.6,
+        ie_mloc: 4.1,
+    },
+    YearPoint {
+        year: 2015,
+        standards: 39,
+        chrome_mloc: 9.4,
+        firefox_mloc: 12.6,
+        safari_mloc: 3.9,
+        ie_mloc: 4.2,
+    },
 ];
 
 /// Number of standards available in the measured browser (Firefox 46, 2016):

@@ -79,7 +79,10 @@ impl Parser {
             Some(Token::Punct(p)) if p == c => Ok(()),
             other => Err(ParseError {
                 message: format!("expected `{c}`, found {other:?}"),
-                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |s| s.line),
+                line: self
+                    .tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |s| s.line),
             }),
         }
     }
@@ -89,7 +92,10 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(ParseError {
                 message: format!("expected identifier, found {other:?}"),
-                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |s| s.line),
+                line: self
+                    .tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |s| s.line),
             }),
         }
     }
@@ -365,10 +371,7 @@ mod tests {
 
     #[test]
     fn multiple_interfaces() {
-        let file = parse(
-            "interface A { void a(); }; interface B : A { void b(); };",
-        )
-        .unwrap();
+        let file = parse("interface A { void a(); }; interface B : A { void b(); };").unwrap();
         assert_eq!(file.interfaces.len(), 2);
         assert_eq!(file.interfaces[1].inherits.as_deref(), Some("A"));
     }

@@ -15,7 +15,10 @@ use std::collections::HashSet;
 use std::rc::Rc;
 
 fn main() {
-    let web = SyntheticWeb::generate(WebConfig { sites: 60, seed: 44 });
+    let web = SyntheticWeb::generate(WebConfig {
+        sites: 60,
+        seed: 44,
+    });
     let mut net = SimNet::new(SimRng::new(1));
     web.install_into(&mut net);
     let registry = Rc::new((**web.registry()).clone());
@@ -59,7 +62,15 @@ fn main() {
         let policy = policy_for(&web, profile);
         let mut rng = SimRng::new(777);
         let m = visit_site_round(
-            &web, &browser, &mut net, &policy, profile, &plan.site.domain, &config, 0, &mut rng,
+            &web,
+            &browser,
+            &mut net,
+            &policy,
+            profile,
+            &plan.site.domain,
+            &config,
+            0,
+            &mut rng,
         );
         let standards: HashSet<&str> = m
             .log

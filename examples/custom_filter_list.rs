@@ -28,8 +28,7 @@ news.example##.promo-box
 "#;
 
 fn req(url: &str, ty: ResourceType, from: &str) -> HttpRequest {
-    HttpRequest::get(Url::parse(url).unwrap(), ty)
-        .with_initiator(Url::parse(from).unwrap())
+    HttpRequest::get(Url::parse(url).unwrap(), ty).with_initiator(Url::parse(from).unwrap())
 }
 
 fn main() {
@@ -42,13 +41,41 @@ fn main() {
     );
 
     let cases = [
-        req("http://cdn.bannerly.net/unit.js", ResourceType::Script, "http://news.example/"),
-        req("http://bannerly.net/acceptable/ok.js", ResourceType::Script, "http://news.example/"),
-        req("http://pixelhub.io/px.gif", ResourceType::Image, "http://news.example/"),
-        req("http://pixelhub.io/px.gif", ResourceType::Image, "http://pixelhub.io/"),
-        req("http://pixelhub.io/app.js", ResourceType::Script, "http://news.example/"),
-        req("http://shop.example/sponsored/q3/unit?id=1", ResourceType::Xhr, "http://shop.example/"),
-        req("http://clean.example/app.js", ResourceType::Script, "http://news.example/"),
+        req(
+            "http://cdn.bannerly.net/unit.js",
+            ResourceType::Script,
+            "http://news.example/",
+        ),
+        req(
+            "http://bannerly.net/acceptable/ok.js",
+            ResourceType::Script,
+            "http://news.example/",
+        ),
+        req(
+            "http://pixelhub.io/px.gif",
+            ResourceType::Image,
+            "http://news.example/",
+        ),
+        req(
+            "http://pixelhub.io/px.gif",
+            ResourceType::Image,
+            "http://pixelhub.io/",
+        ),
+        req(
+            "http://pixelhub.io/app.js",
+            ResourceType::Script,
+            "http://news.example/",
+        ),
+        req(
+            "http://shop.example/sponsored/q3/unit?id=1",
+            ResourceType::Xhr,
+            "http://shop.example/",
+        ),
+        req(
+            "http://clean.example/app.js",
+            ResourceType::Script,
+            "http://news.example/",
+        ),
     ];
     for c in &cases {
         match engine.match_request(c) {
@@ -57,8 +84,14 @@ fn main() {
         }
     }
 
-    println!("\nelement hiding on news.example: {:?}", engine.hiding_selectors("news.example"));
-    println!("element hiding on shop.example: {:?}", engine.hiding_selectors("shop.example"));
+    println!(
+        "\nelement hiding on news.example: {:?}",
+        engine.hiding_selectors("news.example")
+    );
+    println!(
+        "element hiding on shop.example: {:?}",
+        engine.hiding_selectors("shop.example")
+    );
 
     // Compose with a Ghostery-style tracker database, as the crawler does.
     let mut db = TrackerDb::new();

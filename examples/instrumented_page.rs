@@ -64,15 +64,17 @@ impl RequestPolicy for AdBlockerStub {
 
 fn crawl_once(policy: &dyn RequestPolicy, profile: &str, registry: &Rc<FeatureRegistry>) {
     let mut net = SimNet::new(SimRng::new(7));
-    net.register("example.test", Arc::new(|req: &HttpRequest| {
-        match req.url.path() {
+    net.register(
+        "example.test",
+        Arc::new(|req: &HttpRequest| match req.url.path() {
             "/" => HttpResponse::html(PAGE),
             _ => HttpResponse::ok("text/plain", "ok"),
-        }
-    }));
-    net.register("ads.adnet.test", Arc::new(|_: &HttpRequest| {
-        HttpResponse::javascript(AD_JS)
-    }));
+        }),
+    );
+    net.register(
+        "ads.adnet.test",
+        Arc::new(|_: &HttpRequest| HttpResponse::javascript(AD_JS)),
+    );
 
     let browser = Browser::new(registry.clone());
     let mut clock = VirtualClock::new();
@@ -93,7 +95,11 @@ fn crawl_once(policy: &dyn RequestPolicy, profile: &str, registry: &Rc<FeatureRe
     page.run_timers(&mut clock, deadline);
     page.pump_network(&mut net, policy, &mut clock);
 
-    for line in page.log.borrow().render_lines(profile, "example.test", registry) {
+    for line in page
+        .log
+        .borrow()
+        .render_lines(profile, "example.test", registry)
+    {
         println!("{line}");
     }
     println!(

@@ -9,11 +9,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
+
+echo "==> store round-trip (integration)"
+cargo test -q --test store
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

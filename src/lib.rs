@@ -26,6 +26,7 @@
 //! | [`bfu_monkey`] | gremlins + path-novelty crawl planner + human profile |
 //! | [`bfu_crawler`] | parallel survey: profiles × rounds × pages |
 //! | [`bfu_analysis`] | every table and figure of the paper |
+//! | [`bfu_store`] | crash-safe dataset shards: crawl resumption, memoized analysis |
 
 pub use bfu_core::*;
 
@@ -37,6 +38,7 @@ pub use bfu_dom;
 pub use bfu_monkey;
 pub use bfu_net;
 pub use bfu_script;
+pub use bfu_store;
 pub use bfu_util;
 pub use bfu_webgen;
 pub use bfu_webidl;

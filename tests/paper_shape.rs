@@ -6,8 +6,8 @@
 //! complex sites are, and that discovery converges across rounds. Exact
 //! magnitudes are checked at full scale in EXPERIMENTS.md.
 
-use browser_feature_usage::{Study, StudyConfig, StudyReport};
 use bfu_crawler::BrowserProfile;
+use browser_feature_usage::{Study, StudyConfig, StudyReport};
 use std::sync::OnceLock;
 
 static STUDY: OnceLock<Study> = OnceLock::new();
@@ -87,7 +87,10 @@ fn blocking_strictly_shrinks_the_feature_universe() {
     let fp = &rep.features;
     let never_default = fp.never_used(BrowserProfile::Default);
     let never_blocking = fp.never_used(BrowserProfile::Blocking);
-    assert!(never_blocking > never_default, "{never_blocking} vs {never_default}");
+    assert!(
+        never_blocking > never_default,
+        "{never_blocking} vs {never_default}"
+    );
     // About half the registry goes unused even before blocking.
     assert!(never_default > 1392 / 3);
 }
@@ -123,7 +126,11 @@ fn site_complexity_sits_in_the_fig8_window() {
         (8.0..=36.0).contains(&median),
         "median standards/site = {median} (paper mode: 14-32)"
     );
-    assert!(rep.fig8.max() <= 55, "max = {} (paper: ≤41)", rep.fig8.max());
+    assert!(
+        rep.fig8.max() <= 55,
+        "max = {} (paper: ≤41)",
+        rep.fig8.max()
+    );
 }
 
 #[test]
@@ -137,7 +144,10 @@ fn discovery_converges_across_rounds() {
         "new standards per round should not grow: {:?}",
         rep.table3
     );
-    assert!(last < 2.0, "round discovery should be small by the last round");
+    assert!(
+        last < 2.0,
+        "round discovery should be small by the last round"
+    );
 }
 
 #[test]
