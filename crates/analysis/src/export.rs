@@ -156,7 +156,27 @@ pub fn provenance_json(p: &Provenance) -> String {
     let _ = writeln!(out, "{}}},", classes.join(", "));
     let _ = writeln!(out, "    \"total_attempts\": {},", h.total_attempts);
     let _ = writeln!(out, "    \"total_retries\": {},", h.total_retries);
-    let _ = writeln!(out, "    \"total_backoff_ms\": {}", h.total_backoff_ms);
+    let _ = writeln!(out, "    \"total_backoff_ms\": {},", h.total_backoff_ms);
+    let _ = writeln!(
+        out,
+        "    \"script_budget_trips\": {},",
+        h.total_script_budget_errors
+    );
+    let _ = writeln!(
+        out,
+        "    \"script_heap_trips\": {},",
+        h.total_script_heap_errors
+    );
+    let _ = writeln!(
+        out,
+        "    \"script_depth_trips\": {},",
+        h.total_script_depth_errors
+    );
+    let _ = writeln!(
+        out,
+        "    \"rounds_circuit_skipped\": {}",
+        h.rounds_circuit_skipped
+    );
     out.push_str("  }\n}\n");
     out
 }

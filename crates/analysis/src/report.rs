@@ -54,6 +54,33 @@ pub fn render_table1(t: &Table1) -> String {
         "  Page-load retries           {:>14}  ({} ms backoff)",
         h.total_retries, h.total_backoff_ms
     );
+    let budget_trips =
+        h.total_script_budget_errors + h.total_script_heap_errors + h.total_script_depth_errors;
+    if budget_trips > 0 {
+        let _ = writeln!(out, "  Script budget trips         {:>14}", budget_trips);
+        let _ = writeln!(
+            out,
+            "    steps/size                {:>14}",
+            h.total_script_budget_errors
+        );
+        let _ = writeln!(
+            out,
+            "    heap/string               {:>14}",
+            h.total_script_heap_errors
+        );
+        let _ = writeln!(
+            out,
+            "    call depth                {:>14}",
+            h.total_script_depth_errors
+        );
+    }
+    if h.rounds_circuit_skipped > 0 {
+        let _ = writeln!(
+            out,
+            "  Rounds breaker-skipped      {:>14}",
+            h.rounds_circuit_skipped
+        );
+    }
     out
 }
 

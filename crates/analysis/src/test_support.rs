@@ -33,6 +33,8 @@ pub fn tiny_dataset() -> (Dataset, FeatureRegistry) {
                 threads: 2,
                 seed: 99,
                 retry: bfu_crawler::RetryPolicy::default(),
+                breaker: bfu_crawler::BreakerPolicy::default(),
+                browser: bfu_crawler::BrowserConfig::default(),
             };
             let dataset = Survey::new(web, config).run();
             (dataset, FeatureRegistry::build())
@@ -56,6 +58,8 @@ pub fn tiny_survey() -> Survey {
         threads: 2,
         seed: 99,
         retry: bfu_crawler::RetryPolicy::default(),
+        breaker: bfu_crawler::BreakerPolicy::default(),
+        browser: bfu_crawler::BrowserConfig::default(),
     };
     Survey::new(web, config)
 }

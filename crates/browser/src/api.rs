@@ -73,7 +73,7 @@ impl HostEnv {
 
     /// Register a script callback as a listener handle.
     pub fn add_listener_value(&mut self, callback: Value) -> u32 {
-        let h = u32::try_from(self.listeners.len()).expect("listener overflow");
+        let h = u32::try_from(self.listeners.len()).unwrap_or(u32::MAX);
         self.listeners.push(callback);
         h
     }
@@ -149,7 +149,8 @@ pub fn node_of(interp: &Interpreter, v: &Value) -> Option<NodeId> {
         .heap
         .get(obj)
         .host_tag
-        .map(|t| NodeId::new(u32::try_from(t).expect("node tag fits")))
+        .and_then(|t| u32::try_from(t).ok())
+        .map(NodeId::new)
 }
 
 /// Build a script array object from values.
@@ -271,7 +272,9 @@ pub fn install(
             continue;
         }
         let ctor = interp.register_native(Rc::new(|_, _, _| Ok(Value::Undefined)));
-        let ctor_obj = ctor.as_obj().expect("native is an object");
+        let Some(ctor_obj) = ctor.as_obj() else {
+            continue;
+        };
         interp
             .heap
             .set_prop_raw(ctor_obj, "prototype", Value::Obj(proto));

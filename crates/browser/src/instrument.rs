@@ -65,7 +65,7 @@ impl Instrumentation {
                 .collect(),
         );
         let watch_log = log.clone();
-        let watch = interp.register_native(Rc::new(move |i, this, args| {
+        let watch_handler = interp.register_native_obj(Rc::new(move |i, this, args| {
             let prop = args.first().map(|v| v.to_display()).unwrap_or_default();
             if prop.starts_with("__") {
                 return Ok(Value::Undefined);
@@ -94,7 +94,6 @@ impl Instrumentation {
             }
             Ok(Value::Undefined)
         }));
-        let watch_handler = watch.as_obj().expect("native is an object");
 
         // Watch the singletons (the paper's Object.watch on window etc.).
         for (_, obj) in &api.singletons {
@@ -141,7 +140,7 @@ impl Instrumentation {
                 continue;
             }
             let inner = ctor.clone();
-            let wrapped = interp.register_native(Rc::new(move |i, this, args| {
+            let wrapped_obj = interp.register_native_obj(Rc::new(move |i, this, args| {
                 if let Some(instance) = this.as_obj() {
                     if let Some(h) = i.get_global("__bfu_watch").as_obj() {
                         i.heap.watch(instance, h);
@@ -151,11 +150,10 @@ impl Instrumentation {
             }));
             // The wrapped constructor must expose the same .prototype.
             let proto_val = interp.heap.get_prop(ctor_obj, "prototype");
-            let wrapped_obj = wrapped.as_obj().expect("native");
             interp
                 .heap
                 .set_prop_raw(wrapped_obj, "prototype", proto_val);
-            interp.set_global(name, wrapped);
+            interp.set_global(name, Value::Obj(wrapped_obj));
         }
 
         Instrumentation { log, watch_handler }

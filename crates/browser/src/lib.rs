@@ -20,6 +20,8 @@
 //! - [`timers`] — `setTimeout`-style virtual timer queue.
 //! - [`log`] — invocation records (the paper's Fig. 2 log lines).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod api;
 pub mod instrument;
 pub mod log;

@@ -17,7 +17,7 @@ use crate::log::FeatureLog;
 use bfu_dom::{html, NodeId, Selector};
 use bfu_net::{HttpRequest, NetError, ResourceType, SimNet, Url};
 use bfu_script::interp::Interpreter;
-use bfu_script::{RuntimeError, ScriptError, Value};
+use bfu_script::{ResourceBudget, RuntimeError, ScriptError, Value};
 use bfu_util::{Instant, VirtualClock};
 use bfu_webidl::FeatureRegistry;
 use std::cell::RefCell;
@@ -46,10 +46,29 @@ impl RequestPolicy for AllowAll {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+///
+/// Script execution is governed per *phase*: the initial run of each page
+/// script, each event-listener dispatch, and each timer callback all get a
+/// fresh [`ResourceBudget`], so one hostile phase cannot starve the others
+/// and every page degrades to partial feature logs instead of a lost visit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BrowserConfig {
-    /// Step budget per executed script.
+    /// Step budget per executed script (initial-run phase).
     pub script_fuel: u64,
+    /// Step budget per event-listener or timer callback.
+    pub callback_fuel: u64,
+    /// Parse-phase budget: scripts larger than this many bytes are rejected
+    /// before the parser sees them.
+    pub max_script_bytes: usize,
+    /// Heap cells a single execution phase may allocate.
+    pub max_heap_cells: usize,
+    /// String bytes a single execution phase may concatenate.
+    pub max_string_bytes: u64,
+    /// Interpreter call-depth cap.
+    pub max_call_depth: u32,
+    /// Timer-drain budget: callbacks per [`Page::run_timers`] drain (guards
+    /// against interval storms that reschedule themselves forever).
+    pub max_timer_callbacks: u32,
     /// Whether to install the measuring extension.
     pub instrument: bool,
     /// Cap on subresource fetches per page (defense against generator bugs).
@@ -60,8 +79,34 @@ impl Default for BrowserConfig {
     fn default() -> Self {
         BrowserConfig {
             script_fuel: 400_000,
+            callback_fuel: 400_000,
+            max_script_bytes: 1 << 20,
+            max_heap_cells: 1 << 20,
+            max_string_bytes: 16 << 20,
+            max_call_depth: 64,
+            max_timer_callbacks: 10_000,
             instrument: true,
             max_subresources: 256,
+        }
+    }
+}
+
+impl BrowserConfig {
+    /// The budget installed before each page script's initial run.
+    pub fn run_budget(&self) -> ResourceBudget {
+        ResourceBudget {
+            max_steps: self.script_fuel,
+            max_heap_cells: self.max_heap_cells,
+            max_string_bytes: self.max_string_bytes,
+            max_call_depth: self.max_call_depth,
+        }
+    }
+
+    /// The budget installed before each event or timer callback.
+    pub fn callback_budget(&self) -> ResourceBudget {
+        ResourceBudget {
+            max_steps: self.callback_fuel,
+            ..self.run_budget()
         }
     }
 }
@@ -91,8 +136,28 @@ pub struct LoadStats {
     pub script_parse_errors: u32,
     /// Subset of `script_errors` that exhausted their step budget.
     pub script_budget_errors: u32,
+    /// Subset of `script_errors` that exceeded the heap-cell or string-byte
+    /// allocation budget (allocation/string bombs).
+    pub script_heap_errors: u32,
+    /// Subset of `script_errors` that exceeded the call-depth budget
+    /// (unbounded recursion).
+    pub script_depth_errors: u32,
+    /// Scripts rejected before parsing for exceeding the size budget.
+    pub script_oversize_errors: u32,
     /// Scripts executed (at least partially).
     pub scripts_run: u32,
+}
+
+impl LoadStats {
+    /// Scripts stopped by any resource-governor axis (steps, heap, string,
+    /// depth, or source size) — the trap-class total the crawler uses to
+    /// attribute a site loss to the `ScriptBudget` class.
+    pub fn budget_trips(&self) -> u32 {
+        self.script_budget_errors
+            + self.script_heap_errors
+            + self.script_depth_errors
+            + self.script_oversize_errors
+    }
 }
 
 /// Why a page failed to load at all.
@@ -128,6 +193,9 @@ pub struct ClickOutcome {
 pub struct Page {
     /// Final page URL.
     pub url: Url,
+    /// The engine configuration this page was loaded under; event dispatch
+    /// and timer drains draw their budgets from here.
+    pub config: BrowserConfig,
     /// The script engine with the API surface installed.
     pub interp: Interpreter,
     /// The installed API surface (prototypes, singletons, host state).
@@ -154,6 +222,12 @@ impl Browser {
             registry,
             config: BrowserConfig::default(),
         }
+    }
+
+    /// A browser with an explicit engine configuration (crawlers route
+    /// their `CrawlConfig.browser` budgets through here).
+    pub fn with_config(registry: Rc<FeatureRegistry>, config: BrowserConfig) -> Self {
+        Browser { registry, config }
     }
 
     /// Load `url`, execute its resources, and return the interactive page.
@@ -208,7 +282,7 @@ impl Browser {
             match res {
                 Resource::InlineScript(src) => {
                     host.borrow_mut().now = clock.now();
-                    run_page_script(&mut interp, &src, self.config.script_fuel, &mut stats);
+                    run_page_script(&mut interp, &src, &self.config, &mut stats);
                 }
                 Resource::External(target, rtype) => {
                     let Ok(res_url) = url.join(&target) else {
@@ -229,12 +303,7 @@ impl Browser {
                             ResourceType::Script => {
                                 let src = String::from_utf8_lossy(&resp.body).into_owned();
                                 host.borrow_mut().now = clock.now();
-                                run_page_script(
-                                    &mut interp,
-                                    &src,
-                                    self.config.script_fuel,
-                                    &mut stats,
-                                );
+                                run_page_script(&mut interp, &src, &self.config, &mut stats);
                             }
                             ResourceType::SubDocument => {
                                 let frame_body = String::from_utf8_lossy(&resp.body).into_owned();
@@ -258,6 +327,7 @@ impl Browser {
 
         Ok(Page {
             url: url.clone(),
+            config: self.config.clone(),
             interp,
             api,
             log,
@@ -297,7 +367,7 @@ impl Browser {
         for s in scripts {
             match s {
                 Resource::InlineScript(src) => {
-                    run_page_script(interp, &src, self.config.script_fuel, stats);
+                    run_page_script(interp, &src, &self.config, stats);
                 }
                 Resource::External(target, _) => {
                     let Ok(u) = frame_url.join(&target) else {
@@ -314,7 +384,7 @@ impl Browser {
                         Ok(r) if r.status.is_success() => {
                             let src = String::from_utf8_lossy(&r.body).into_owned();
                             host.borrow_mut().now = clock.now();
-                            run_page_script(interp, &src, self.config.script_fuel, stats);
+                            run_page_script(interp, &src, &self.config, stats);
                         }
                         _ => stats.requests_failed += 1,
                     }
@@ -324,12 +394,16 @@ impl Browser {
     }
 
     fn bind_document_tree_globals(interp: &mut Interpreter, api: &ApiSurface) {
-        let doc_obj = api
+        // `api::install` always registers the document singleton; without it
+        // there is simply nothing to bind.
+        let Some(doc_obj) = api
             .singletons
             .iter()
             .find(|(n, _)| n == "document")
             .map(|(_, o)| *o)
-            .expect("document singleton");
+        else {
+            return;
+        };
         let (body, head, html_el) = {
             let h = api.host.borrow();
             (
@@ -388,18 +462,41 @@ enum Resource {
     External(String, ResourceType),
 }
 
+/// Tally a runtime failure into the per-axis governor counters (plain
+/// language errors like `TypeError` only count toward `script_errors`).
+fn classify_runtime(stats: &mut LoadStats, e: &RuntimeError) {
+    match e {
+        RuntimeError::OutOfFuel => stats.script_budget_errors += 1,
+        RuntimeError::HeapExhausted | RuntimeError::StringOverflow => {
+            stats.script_heap_errors += 1;
+        }
+        RuntimeError::StackOverflow => stats.script_depth_errors += 1,
+        RuntimeError::TypeError(_) | RuntimeError::ReferenceError(_) => {}
+    }
+}
+
 /// Execute one page script, classifying any failure into the stats counters
-/// (parse failures and budget exhaustion get their own tallies so the
+/// (parse failures and each budget axis get their own tallies so the
 /// crawler can attribute a site loss to the right fault class).
-fn run_page_script(interp: &mut Interpreter, src: &str, fuel: u64, stats: &mut LoadStats) {
+fn run_page_script(
+    interp: &mut Interpreter,
+    src: &str,
+    config: &BrowserConfig,
+    stats: &mut LoadStats,
+) {
     stats.scripts_run += 1;
-    interp.set_fuel(fuel);
+    if src.len() > config.max_script_bytes {
+        // Parse-phase budget: don't even lex a source bomb.
+        stats.script_errors += 1;
+        stats.script_oversize_errors += 1;
+        return;
+    }
+    interp.set_budget(&config.run_budget());
     if let Err(e) = interp.run_source(src) {
         stats.script_errors += 1;
         match e {
             ScriptError::Parse(_) => stats.script_parse_errors += 1,
-            ScriptError::Runtime(RuntimeError::OutOfFuel) => stats.script_budget_errors += 1,
-            ScriptError::Runtime(_) => {}
+            ScriptError::Runtime(e) => classify_runtime(stats, &e),
         }
     }
 }
@@ -425,9 +522,10 @@ impl Page {
                 (cb, this)
             };
             let event = self.make_event_object(event_type, target);
-            self.interp.set_fuel(400_000);
-            if self.interp.call_value(&cb, this, &[event]).is_err() {
+            self.interp.set_budget(&self.config.callback_budget());
+            if let Err(e) = self.interp.call_value(&cb, this, &[event]) {
                 self.stats.script_errors += 1;
+                classify_runtime(&mut self.stats, &e);
             }
             fired += 1;
         }
@@ -498,13 +596,14 @@ impl Page {
             let Some((at, cb)) = next else { break };
             clock.advance_to(at);
             self.api.host.borrow_mut().now = at;
-            self.interp.set_fuel(400_000);
-            if self.interp.call_value(&cb, Value::Undefined, &[]).is_err() {
+            self.interp.set_budget(&self.config.callback_budget());
+            if let Err(e) = self.interp.call_value(&cb, Value::Undefined, &[]) {
                 self.stats.script_errors += 1;
+                classify_runtime(&mut self.stats, &e);
             }
             ran += 1;
-            if ran > 10_000 {
-                break; // runaway interval guard
+            if ran >= self.config.max_timer_callbacks {
+                break; // timer-drain budget: runaway interval guard
             }
         }
         ran

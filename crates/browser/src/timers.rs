@@ -97,11 +97,12 @@ impl TimerQueue {
     /// Pop the next timer due at or before `now`. Repeating timers
     /// reschedule themselves. Returns `(fire_time, callback)`.
     pub fn pop_due(&mut self, now: Instant) -> Option<(Instant, Value)> {
-        while let Some(top) = self.heap.peek() {
-            if top.due > now {
-                return None;
+        loop {
+            match self.heap.peek() {
+                Some(top) if top.due <= now => {}
+                _ => return None,
             }
-            let timer = self.heap.pop().expect("peeked");
+            let timer = self.heap.pop()?;
             if self.cancelled.contains(&timer.id) {
                 continue;
             }
@@ -120,7 +121,6 @@ impl TimerQueue {
             }
             return Some((due, cb));
         }
-        None
     }
 
     /// The due time of the next pending timer.

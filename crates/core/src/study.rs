@@ -80,6 +80,8 @@ impl StudyConfig {
             threads: self.threads,
             seed: self.seed ^ 0xC4A31,
             retry: bfu_crawler::RetryPolicy::default(),
+            breaker: bfu_crawler::BreakerPolicy::default(),
+            browser: bfu_crawler::BrowserConfig::default(),
         }
     }
 

@@ -1,0 +1,374 @@
+//! Per-host circuit breakers.
+//!
+//! A host that repeatedly traps the script governor (infinite loops,
+//! allocation bombs — the `ScriptBudget` fault class) costs the crawl its
+//! full page budget on every visit while yielding no measurements. The
+//! breaker contains that: after [`BreakerPolicy::trip_threshold`]
+//! *consecutive* trap-class rounds the breaker **opens** and the host's
+//! remaining rounds are skipped (each recorded as a
+//! [`CrawlError::CircuitOpen`] loss, so the skip is itself a measurement).
+//!
+//! Cool-downs are paid from the virtual clock, never the wall clock: a
+//! skipped round forfeits its time slot (the round watchdog budget), and
+//! once the remaining cool-down fits inside one slot the breaker goes
+//! **half-open** — the next round waits out the remainder on the virtual
+//! clock and probes the host. A clean probe closes the breaker; another
+//! trap re-opens it with an escalated cool-down (capped at
+//! [`BreakerPolicy::max_cooldown_ms`]).
+//!
+//! Breakers are scoped to one site's crawl (created per [`crawl_site`]
+//! call and shared across its profiles and rounds), so the state machine is
+//! driven by a deterministic, single-threaded sequence of rounds — the
+//! skip/probe pattern is invariant across crawl thread counts like the rest
+//! of the supervision layer.
+//!
+//! [`crawl_site`]: crate::Survey
+//! [`CrawlError::CircuitOpen`]: crate::CrawlError::CircuitOpen
+
+use crate::error::CrawlError;
+
+/// Tuning for the per-host breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive trap-class rounds that open the breaker.
+    pub trip_threshold: u32,
+    /// Initial cool-down, in virtual milliseconds.
+    pub cooldown_ms: u64,
+    /// Cool-down multiplier applied on each re-open from half-open.
+    pub cooldown_factor: u32,
+    /// Ceiling on the escalated cool-down.
+    pub max_cooldown_ms: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            trip_threshold: 3,
+            cooldown_ms: 30_000,
+            cooldown_factor: 4,
+            max_cooldown_ms: 600_000,
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// A breaker that never trips (supervision without containment).
+    pub fn disabled() -> Self {
+        BreakerPolicy {
+            trip_threshold: u32::MAX,
+            ..BreakerPolicy::default()
+        }
+    }
+}
+
+/// Breaker state, exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; counting consecutive trap-class failures.
+    Closed {
+        /// Consecutive trap-class rounds seen so far.
+        consecutive_traps: u32,
+    },
+    /// Tripped: rounds are skipped until the cool-down is paid down.
+    Open {
+        /// Virtual milliseconds of cool-down still unpaid.
+        remaining_ms: u64,
+        /// The full cool-down this open period started with (basis for
+        /// escalation if the eventual probe fails).
+        cooldown_ms: u64,
+    },
+    /// Cool-down paid: the next round is a probe.
+    HalfOpen {
+        /// The cool-down that was just paid (escalation basis).
+        cooldown_ms: u64,
+    },
+}
+
+/// What the breaker allows for the next round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the round. `wait_ms` of residual cool-down must first be paid by
+    /// advancing the round's virtual clock; `probe` marks a half-open trial.
+    Proceed {
+        /// Residual cool-down to pay before touching the host.
+        wait_ms: u64,
+        /// Whether this round is a half-open probe.
+        probe: bool,
+    },
+    /// Skip the round entirely and record a [`CrawlError::CircuitOpen`]
+    /// loss. The round's time slot is forfeited against the cool-down.
+    Skip,
+}
+
+/// The deterministic closed → open → half-open breaker for one host.
+#[derive(Debug, Clone)]
+pub struct HostBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+}
+
+impl HostBreaker {
+    /// A fresh (closed) breaker.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        HostBreaker {
+            policy,
+            state: BreakerState::Closed {
+                consecutive_traps: 0,
+            },
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decide the next round. `slot_ms` is the round's full time budget (the
+    /// watchdog allowance): an open breaker whose remaining cool-down fits
+    /// in the slot goes half-open and the round proceeds as a probe after
+    /// waiting out the remainder; otherwise the round is skipped and the
+    /// slot is paid against the cool-down.
+    pub fn admit(&mut self, slot_ms: u64) -> Admission {
+        match self.state {
+            BreakerState::Closed { .. } => Admission::Proceed {
+                wait_ms: 0,
+                probe: false,
+            },
+            BreakerState::HalfOpen { .. } => Admission::Proceed {
+                wait_ms: 0,
+                probe: true,
+            },
+            BreakerState::Open {
+                remaining_ms,
+                cooldown_ms,
+            } => {
+                if remaining_ms <= slot_ms {
+                    self.state = BreakerState::HalfOpen { cooldown_ms };
+                    Admission::Proceed {
+                        wait_ms: remaining_ms,
+                        probe: true,
+                    }
+                } else {
+                    self.state = BreakerState::Open {
+                        remaining_ms: remaining_ms - slot_ms,
+                        cooldown_ms,
+                    };
+                    Admission::Skip
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of an admitted (non-skipped) round.
+    pub fn observe(&mut self, error: Option<CrawlError>) {
+        let trap = matches!(error, Some(CrawlError::ScriptBudget));
+        match self.state {
+            BreakerState::Closed { consecutive_traps } => {
+                if !trap {
+                    self.state = BreakerState::Closed {
+                        consecutive_traps: 0,
+                    };
+                } else if consecutive_traps + 1 >= self.policy.trip_threshold {
+                    self.state = BreakerState::Open {
+                        remaining_ms: self.policy.cooldown_ms,
+                        cooldown_ms: self.policy.cooldown_ms,
+                    };
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_traps: consecutive_traps + 1,
+                    };
+                }
+            }
+            BreakerState::HalfOpen { cooldown_ms } => {
+                if trap {
+                    let next = cooldown_ms
+                        .saturating_mul(u64::from(self.policy.cooldown_factor))
+                        .min(self.policy.max_cooldown_ms);
+                    self.state = BreakerState::Open {
+                        remaining_ms: next,
+                        cooldown_ms: next,
+                    };
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_traps: 0,
+                    };
+                }
+            }
+            // Skipped rounds are never observed; nothing ran while open.
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BreakerPolicy {
+        BreakerPolicy {
+            trip_threshold: 2,
+            cooldown_ms: 30_000,
+            cooldown_factor: 4,
+            max_cooldown_ms: 100_000,
+        }
+    }
+
+    const SLOT: u64 = 36_000;
+
+    fn trap() -> Option<CrawlError> {
+        Some(CrawlError::ScriptBudget)
+    }
+
+    #[test]
+    fn opens_after_consecutive_traps() {
+        let mut b = HostBreaker::new(policy());
+        assert_eq!(
+            b.admit(SLOT),
+            Admission::Proceed {
+                wait_ms: 0,
+                probe: false
+            }
+        );
+        b.observe(trap());
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_traps: 1
+            }
+        );
+        b.admit(SLOT);
+        b.observe(trap());
+        assert_eq!(
+            b.state(),
+            BreakerState::Open {
+                remaining_ms: 30_000,
+                cooldown_ms: 30_000
+            }
+        );
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = HostBreaker::new(policy());
+        b.admit(SLOT);
+        b.observe(trap());
+        b.admit(SLOT);
+        b.observe(None);
+        b.admit(SLOT);
+        b.observe(trap());
+        // One success between two traps: still closed.
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_traps: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_trap_faults_do_not_trip() {
+        let mut b = HostBreaker::new(policy());
+        for _ in 0..5 {
+            b.admit(SLOT);
+            b.observe(Some(CrawlError::Stall));
+        }
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_traps: 0
+            }
+        );
+    }
+
+    #[test]
+    fn affordable_cooldown_goes_half_open_with_a_wait() {
+        let mut b = HostBreaker::new(policy());
+        b.admit(SLOT);
+        b.observe(trap());
+        b.admit(SLOT);
+        b.observe(trap()); // Open { 30_000 }
+        assert_eq!(
+            b.admit(SLOT),
+            Admission::Proceed {
+                wait_ms: 30_000,
+                probe: true
+            }
+        );
+        assert_eq!(
+            b.state(),
+            BreakerState::HalfOpen {
+                cooldown_ms: 30_000
+            }
+        );
+    }
+
+    #[test]
+    fn probe_success_closes() {
+        let mut b = HostBreaker::new(policy());
+        b.admit(SLOT);
+        b.observe(trap());
+        b.admit(SLOT);
+        b.observe(trap());
+        b.admit(SLOT); // half-open probe
+        b.observe(None);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_traps: 0
+            }
+        );
+    }
+
+    #[test]
+    fn probe_failure_escalates_cooldown_capped() {
+        let mut b = HostBreaker::new(policy());
+        b.admit(SLOT);
+        b.observe(trap());
+        b.admit(SLOT);
+        b.observe(trap()); // Open { 30_000 }
+        b.admit(SLOT); // probe
+        b.observe(trap()); // escalate: 30_000 * 4 capped at 100_000
+        assert_eq!(
+            b.state(),
+            BreakerState::Open {
+                remaining_ms: 100_000,
+                cooldown_ms: 100_000
+            }
+        );
+    }
+
+    #[test]
+    fn unaffordable_cooldown_skips_and_pays_the_slot() {
+        let mut b = HostBreaker::new(policy());
+        b.admit(SLOT);
+        b.observe(trap());
+        b.admit(SLOT);
+        b.observe(trap());
+        b.admit(SLOT); // probe
+        b.observe(trap()); // Open { 100_000 }
+        assert_eq!(b.admit(SLOT), Admission::Skip); // 100_000 -> 64_000
+        assert_eq!(b.admit(SLOT), Admission::Skip); // 64_000 -> 28_000
+        assert_eq!(
+            b.admit(SLOT),
+            Admission::Proceed {
+                wait_ms: 28_000,
+                probe: true
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_policy_never_trips() {
+        let mut b = HostBreaker::new(BreakerPolicy::disabled());
+        for _ in 0..1_000 {
+            assert_eq!(
+                b.admit(SLOT),
+                Admission::Proceed {
+                    wait_ms: 0,
+                    probe: false
+                }
+            );
+            b.observe(trap());
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Crawl configuration.
 
+use crate::breaker::BreakerPolicy;
 use crate::retry::RetryPolicy;
+use bfu_browser::BrowserConfig;
 
 /// A browser configuration the survey crawls with (§4.3 / §5.7.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +80,11 @@ pub struct CrawlConfig {
     pub seed: u64,
     /// Retry policy for transient page-load failures.
     pub retry: RetryPolicy,
+    /// Per-host circuit-breaker policy for trap-class script faults.
+    pub breaker: BreakerPolicy,
+    /// Browser engine configuration (script resource budgets, subresource
+    /// caps) every worker crawls with.
+    pub browser: BrowserConfig,
 }
 
 impl Default for CrawlConfig {
@@ -91,6 +98,8 @@ impl Default for CrawlConfig {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             seed: 0xC4A11,
             retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            browser: BrowserConfig::default(),
         }
     }
 }
@@ -100,7 +109,7 @@ impl CrawlConfig {
     /// deliberately excluded: results are thread-invariant, so a dataset
     /// crawled on 2 threads resumes cleanly on 16.
     pub fn fingerprint_into(&self, f: &mut bfu_util::Fnv64) {
-        f.write(b"crawl-config-v1");
+        f.write(b"crawl-config-v2");
         f.write_u64(u64::from(self.rounds_per_profile));
         f.write_u64(self.pages_per_site as u64);
         f.write_u64(self.fanout as u64);
@@ -113,6 +122,19 @@ impl CrawlConfig {
         f.write_u64(u64::from(self.retry.max_attempts));
         f.write_u64(self.retry.base_backoff_ms);
         f.write_u64(self.retry.max_backoff_ms);
+        f.write_u64(u64::from(self.breaker.trip_threshold));
+        f.write_u64(self.breaker.cooldown_ms);
+        f.write_u64(u64::from(self.breaker.cooldown_factor));
+        f.write_u64(self.breaker.max_cooldown_ms);
+        f.write_u64(self.browser.script_fuel);
+        f.write_u64(self.browser.callback_fuel);
+        f.write_u64(self.browser.max_script_bytes as u64);
+        f.write_u64(self.browser.max_heap_cells as u64);
+        f.write_u64(self.browser.max_string_bytes);
+        f.write_u64(u64::from(self.browser.max_call_depth));
+        f.write_u64(u64::from(self.browser.max_timer_callbacks));
+        f.write_u64(u64::from(self.browser.instrument));
+        f.write_u64(self.browser.max_subresources as u64);
     }
 
     /// A scaled-down config for tests and examples: fewer rounds/pages and
@@ -127,6 +149,8 @@ impl CrawlConfig {
             threads: 2,
             seed,
             retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            browser: BrowserConfig::default(),
         }
     }
 }
@@ -169,6 +193,12 @@ mod tests {
         let mut retry = base.clone();
         retry.retry.max_attempts += 1;
         assert_ne!(digest(&base), digest(&retry));
+        let mut brk = base.clone();
+        brk.breaker.cooldown_ms += 1;
+        assert_ne!(digest(&base), digest(&brk));
+        let mut brw = base.clone();
+        brw.browser.script_fuel += 1;
+        assert_ne!(digest(&base), digest(&brw));
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct RoundMeasurement {
     pub retries: u32,
     /// Virtual ms paid in retry backoff.
     pub backoff_ms: u64,
+    /// Scripts that tripped the step budget or the script-size cap.
+    pub script_budget_errors: u32,
+    /// Scripts that tripped the heap-cell or string-byte budget.
+    pub script_heap_errors: u32,
+    /// Scripts that tripped the call-depth budget.
+    pub script_depth_errors: u32,
 }
 
 impl RoundMeasurement {
@@ -50,6 +56,9 @@ impl RoundMeasurement {
             attempts: 0,
             retries: 0,
             backoff_ms: 0,
+            script_budget_errors: 0,
+            script_heap_errors: 0,
+            script_depth_errors: 0,
         }
     }
 
@@ -282,6 +291,12 @@ impl Dataset {
                 health.total_attempts += u64::from(r.attempts);
                 health.total_retries += u64::from(r.retries);
                 health.total_backoff_ms += r.backoff_ms;
+                health.total_script_budget_errors += u64::from(r.script_budget_errors);
+                health.total_script_heap_errors += u64::from(r.script_heap_errors);
+                health.total_script_depth_errors += u64::from(r.script_depth_errors);
+                if r.error == Some(CrawlError::CircuitOpen) {
+                    health.rounds_circuit_skipped += 1;
+                }
             }
         }
         health
@@ -313,6 +328,9 @@ impl Dataset {
                     f.write_u64(r.attempts.into());
                     f.write_u64(r.retries.into());
                     f.write_u64(r.backoff_ms);
+                    f.write_u64(r.script_budget_errors.into());
+                    f.write_u64(r.script_heap_errors.into());
+                    f.write_u64(r.script_depth_errors.into());
                     for rec in r.log.records() {
                         f.write_u64(u64::from(rec.feature.raw()));
                         f.write_u64(rec.count);
@@ -343,6 +361,14 @@ pub struct CrawlHealth {
     pub total_retries: u64,
     /// Virtual ms paid in retry backoff.
     pub total_backoff_ms: u64,
+    /// Scripts that tripped the step budget or the script-size cap.
+    pub total_script_budget_errors: u64,
+    /// Scripts that tripped the heap-cell or string-byte budget.
+    pub total_script_heap_errors: u64,
+    /// Scripts that tripped the call-depth budget.
+    pub total_script_depth_errors: u64,
+    /// Rounds skipped because a host's circuit breaker was open.
+    pub rounds_circuit_skipped: u64,
 }
 
 impl CrawlHealth {
@@ -527,6 +553,30 @@ mod tests {
         let mut third = base.clone();
         third.sites[0].rounds[0].1[0].log.record(FeatureId::new(40));
         assert_ne!(base.fingerprint(), third.fingerprint());
+        let mut fourth = base.clone();
+        fourth.sites[0].rounds[0].1[0].script_heap_errors += 1;
+        assert_ne!(base.fingerprint(), fourth.fingerprint());
+    }
+
+    #[test]
+    fn health_counts_budget_trips_and_circuit_skips() {
+        let mut m = measurement();
+        m.rounds[0].1[0].script_budget_errors = 2;
+        m.rounds[0].1[0].script_heap_errors = 1;
+        m.rounds[0].1[1].script_depth_errors = 3;
+        m.rounds[1]
+            .1
+            .push(RoundMeasurement::failed_with(1, CrawlError::CircuitOpen));
+        let ds = Dataset {
+            profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
+            rounds_per_profile: 2,
+            sites: vec![m],
+        };
+        let health = ds.health();
+        assert_eq!(health.total_script_budget_errors, 2);
+        assert_eq!(health.total_script_heap_errors, 1);
+        assert_eq!(health.total_script_depth_errors, 3);
+        assert_eq!(health.rounds_circuit_skipped, 1);
     }
 
     #[test]

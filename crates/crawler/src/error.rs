@@ -13,8 +13,9 @@
 //! | `Truncated`        | response cut short / protocol garbage   | yes      |
 //! | `HttpError`        | non-success status on the document      | no       |
 //! | `ScriptSyntax`     | every home-page script failed to parse  | no       |
-//! | `ScriptBudget`     | every home-page script ran out of fuel  | no       |
+//! | `ScriptBudget`     | every home-page script tripped a budget | no       |
 //! | `WatchdogExpired`  | page watchdog fired before any page     | no       |
+//! | `CircuitOpen`      | host circuit breaker skipped the round  | no       |
 
 use bfu_browser::LoadError;
 use bfu_net::NetError;
@@ -36,15 +37,19 @@ pub enum CrawlError {
     /// Every script on the home page failed to parse (the paper's "syntax
     /// errors in their JavaScript").
     ScriptSyntax,
-    /// Every script on the home page exhausted its step budget.
+    /// Every script on the home page tripped a resource budget (steps,
+    /// heap, string, depth, or size).
     ScriptBudget,
     /// The per-round watchdog expired before a single page was measured.
     WatchdogExpired,
+    /// The per-host circuit breaker was open: the round was skipped without
+    /// touching the host (its cool-down had not yet been paid off).
+    CircuitOpen,
 }
 
 impl CrawlError {
     /// Number of classes (all `HttpError` statuses share one bucket).
-    pub const CLASS_COUNT: usize = 8;
+    pub const CLASS_COUNT: usize = 9;
 
     /// Dense index of this error's class, for histogram buckets.
     pub fn class_ix(self) -> usize {
@@ -57,6 +62,7 @@ impl CrawlError {
             CrawlError::ScriptSyntax => 5,
             CrawlError::ScriptBudget => 6,
             CrawlError::WatchdogExpired => 7,
+            CrawlError::CircuitOpen => 8,
         }
     }
 
@@ -76,6 +82,7 @@ impl CrawlError {
             "script syntax",
             "script budget",
             "watchdog",
+            "circuit open",
         ]
     }
 
@@ -101,6 +108,7 @@ impl CrawlError {
             5 => CrawlError::ScriptSyntax,
             6 => CrawlError::ScriptBudget,
             7 => CrawlError::WatchdogExpired,
+            8 => CrawlError::CircuitOpen,
             _ => return None,
         })
     }
@@ -152,6 +160,7 @@ mod tests {
             CrawlError::ScriptSyntax,
             CrawlError::ScriptBudget,
             CrawlError::WatchdogExpired,
+            CrawlError::CircuitOpen,
         ];
         let mut seen = [false; CrawlError::CLASS_COUNT];
         for e in all {
@@ -176,6 +185,7 @@ mod tests {
             CrawlError::ScriptSyntax,
             CrawlError::ScriptBudget,
             CrawlError::WatchdogExpired,
+            CrawlError::CircuitOpen,
         ];
         for e in all {
             let (class, extra) = e.to_parts();
@@ -194,6 +204,7 @@ mod tests {
         assert!(!CrawlError::ScriptSyntax.is_transient());
         assert!(!CrawlError::ScriptBudget.is_transient());
         assert!(!CrawlError::WatchdogExpired.is_transient());
+        assert!(!CrawlError::CircuitOpen.is_transient());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! - [`config`] — crawl parameters (rounds, pages, budgets, configurations).
 //! - [`error`] — the [`error::CrawlError`] fault taxonomy.
 //! - [`retry`] — deterministic bounded retry with virtual-clock backoff.
+//! - [`breaker`] — per-host circuit breakers containing trap-class hosts.
 //! - [`visit`] — one page visit: load (with retries + watchdog), instrument,
 //!   interact, harvest logs.
 //! - [`survey`] — the full study driver producing a partial-tolerant
@@ -26,6 +27,7 @@
 // latent panic that would take a whole survey down with one bad site.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod breaker;
 pub mod config;
 pub mod dataset;
 pub mod error;
@@ -34,10 +36,12 @@ pub mod retry;
 pub mod survey;
 pub mod visit;
 
+pub use bfu_browser::BrowserConfig;
+pub use breaker::{Admission, BreakerPolicy, BreakerState, HostBreaker};
 pub use config::{BrowserProfile, CrawlConfig};
 pub use dataset::{CrawlHealth, Dataset, RoundMeasurement, SiteMeasurement, SiteOutcome};
 pub use error::CrawlError;
 pub use provenance::Provenance;
 pub use retry::{load_with_retry, AttemptTrace, RetryPolicy};
 pub use survey::{survey_fingerprint, Survey, ValidationRun};
-pub use visit::{policy_for, visit_site_round, PolicyAdapter};
+pub use visit::{policy_for, visit_site_round, visit_site_round_supervised, PolicyAdapter};

@@ -13,14 +13,15 @@
 //! returned [`Dataset`] is therefore *partial by construction* — consult
 //! [`Dataset::health`] for the loss breakdown.
 
+use crate::breaker::HostBreaker;
 use crate::config::{BrowserProfile, CrawlConfig};
 use crate::dataset::{Dataset, SiteMeasurement, SiteOutcome};
-use crate::visit::{policy_for, visit_site_round, PolicyAdapter};
+use crate::visit::{policy_for, visit_site_round_supervised, PolicyAdapter};
 use bfu_browser::Browser;
 use bfu_monkey::{HumanProfile, Interactor};
 use bfu_net::{FaultPlan, SimNet, Url};
 use bfu_util::{hash_label, SimRng};
-use bfu_webgen::{SiteId, SyntheticWeb};
+use bfu_webgen::{HostilePlan, SiteId, SyntheticWeb};
 use bfu_webidl::StandardId;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,6 +35,7 @@ pub struct Survey {
     web: SyntheticWeb,
     config: CrawlConfig,
     fault_overlay: Option<FaultPlan>,
+    hostility: Option<HostilePlan>,
 }
 
 /// Outcome of [`Survey::external_validation`]: per-site standards the human
@@ -82,6 +84,7 @@ impl Survey {
             web,
             config,
             fault_overlay: None,
+            hostility: None,
         }
     }
 
@@ -89,6 +92,14 @@ impl Survey {
     /// generation stay dead; the overlay adds programs, resets, latency).
     pub fn with_faults(mut self, overlay: FaultPlan) -> Self {
         self.fault_overlay = Some(overlay);
+        self
+    }
+
+    /// Replace a seeded fraction of sites with adversarial pages (infinite
+    /// loops, allocation bombs, timer storms — see [`HostilePlan`]). The
+    /// hostile overlay is part of the survey's fingerprint.
+    pub fn with_hostility(mut self, plan: HostilePlan) -> Self {
+        self.hostility = Some(plan);
         self
     }
 
@@ -109,12 +120,25 @@ impl Survey {
     /// dataset store resume one survey's crawl from another run's shards.
     pub fn fingerprint(&self) -> u64 {
         let web_config = &self.web.core().config;
-        survey_fingerprint(
+        let base = survey_fingerprint(
             web_config.seed,
             web_config.sites,
             &self.config,
             self.fault_overlay.as_ref(),
-        )
+        );
+        // Benign surveys stay in lockstep with `survey_fingerprint` (the
+        // store keys datasets by it before generating the web); a hostile
+        // overlay folds its digest on top.
+        match &self.hostility {
+            None => base,
+            Some(plan) => {
+                let mut f = bfu_util::Fnv64::new();
+                f.write(b"bfu-survey-hostile-v1");
+                f.write_u64(base);
+                f.write_u64(plan.digest());
+                f.finish()
+            }
+        }
     }
 
     /// The effective fault plan a worker's network runs under.
@@ -134,9 +158,12 @@ impl Survey {
     fn build_world(&self) -> (SimNet, Browser, Vec<(BrowserProfile, PolicyAdapter)>) {
         let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
         self.web.install_into(&mut net);
+        if let Some(plan) = &self.hostility {
+            plan.install_into(&self.web, &mut net);
+        }
         net.set_faults(self.effective_faults(&net));
         let registry = Rc::new((**self.web.registry()).clone());
-        let browser = Browser::new(registry);
+        let browser = Browser::with_config(registry, self.config.browser.clone());
         let policies: Vec<(BrowserProfile, PolicyAdapter)> = self
             .config
             .profiles
@@ -245,11 +272,15 @@ impl Survey {
         let plan = self.web.plan(site);
         let base_rng = SimRng::new(self.config.seed).fork_idx(site_ix as u64);
         let mut rounds = Vec::new();
+        // One breaker per site crawl, threaded through every profile and
+        // round in config order: the skip/probe pattern depends only on the
+        // deterministic round sequence, never on thread scheduling.
+        let mut breaker = HostBreaker::new(self.config.breaker);
         for (profile, policy) in policies {
             let mut per_round = Vec::new();
             for round in 0..self.config.rounds_per_profile {
                 let mut rng = base_rng.fork(profile.label()).fork_idx(u64::from(round));
-                per_round.push(visit_site_round(
+                per_round.push(visit_site_round_supervised(
                     &self.web,
                     browser,
                     net,
@@ -259,6 +290,7 @@ impl Survey {
                     &self.config,
                     round,
                     &mut rng,
+                    &mut breaker,
                 ));
             }
             rounds.push((*profile, per_round));
@@ -282,9 +314,12 @@ impl Survey {
         let mut rng = SimRng::new(self.config.seed).fork("external-validation");
         let registry_arc = self.web.registry().clone();
         let registry = Rc::new((*registry_arc).clone());
-        let browser = Browser::new(registry.clone());
+        let browser = Browser::with_config(registry.clone(), self.config.browser.clone());
         let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
         self.web.install_into(&mut net);
+        if let Some(plan) = &self.hostility {
+            plan.install_into(&self.web, &mut net);
+        }
         net.set_faults(self.effective_faults(&net));
         let policy = policy_for(&self.web, BrowserProfile::Default);
 

@@ -4,6 +4,7 @@
 //! navigations, BFS to 3 structurally novel same-site pages, repeat — up to
 //! 13 pages per round — merging every page's feature log.
 
+use crate::breaker::{Admission, HostBreaker};
 use crate::config::{BrowserProfile, CrawlConfig};
 use crate::dataset::RoundMeasurement;
 use crate::error::CrawlError;
@@ -79,7 +80,7 @@ pub fn policy_for(web: &SyntheticWeb, profile: BrowserProfile) -> PolicyAdapter 
 ///   so stalls can't hang a worker — the round keeps whatever it measured.
 #[allow(clippy::too_many_arguments)]
 pub fn visit_site_round(
-    _web: &SyntheticWeb,
+    web: &SyntheticWeb,
     browser: &Browser,
     net: &mut SimNet,
     policy: &PolicyAdapter,
@@ -89,8 +90,62 @@ pub fn visit_site_round(
     round: u32,
     rng: &mut SimRng,
 ) -> RoundMeasurement {
+    let mut breaker = HostBreaker::new(config.breaker);
+    visit_site_round_supervised(
+        web,
+        browser,
+        net,
+        policy,
+        profile,
+        domain,
+        config,
+        round,
+        rng,
+        &mut breaker,
+    )
+}
+
+/// The time slot one round forfeits when its host's breaker skips it: the
+/// round watchdog allowance (nominal interaction budget with 2x headroom).
+fn round_slot_ms(config: &CrawlConfig) -> u64 {
+    config
+        .page_budget_ms
+        .saturating_mul(config.pages_per_site as u64)
+        .saturating_mul(2)
+        .max(config.page_budget_ms)
+}
+
+/// [`visit_site_round`] under an externally owned circuit breaker.
+///
+/// The survey creates one [`HostBreaker`] per site crawl and threads it
+/// through every profile and round in order, so consecutive trap-class
+/// rounds open the breaker and subsequent rounds are skipped as
+/// [`CrawlError::CircuitOpen`] losses until the cool-down — paid from the
+/// rounds' own virtual time slots — expires and a half-open probe runs.
+#[allow(clippy::too_many_arguments)]
+pub fn visit_site_round_supervised(
+    _web: &SyntheticWeb,
+    browser: &Browser,
+    net: &mut SimNet,
+    policy: &PolicyAdapter,
+    profile: BrowserProfile,
+    domain: &str,
+    config: &CrawlConfig,
+    round: u32,
+    rng: &mut SimRng,
+    breaker: &mut HostBreaker,
+) -> RoundMeasurement {
+    let wait_ms = match breaker.admit(round_slot_ms(config)) {
+        Admission::Skip => {
+            return RoundMeasurement::failed_with(round, CrawlError::CircuitOpen);
+        }
+        Admission::Proceed { wait_ms, .. } => wait_ms,
+    };
     let mut clock = VirtualClock::new();
     let start = clock.now();
+    // A half-open probe pays the residual cool-down before touching the
+    // host; the wait is part of the round's measured interaction time.
+    clock.advance(wait_ms);
     let mut merged = FeatureLog::new();
     let mut planner = CrawlPlanner::new(domain);
     let mut pages_visited = 0u32;
@@ -105,11 +160,9 @@ pub fn visit_site_round(
     };
 
     // Watchdog: the round's nominal budget with 2x headroom for page loads,
-    // retries, and stalls. Expiry keeps whatever was already measured.
-    let nominal = config
-        .page_budget_ms
-        .saturating_mul(config.pages_per_site as u64);
-    let watchdog = start.plus(nominal.saturating_mul(2).max(config.page_budget_ms));
+    // retries, and stalls. Expiry keeps whatever was already measured. Based
+    // at the post-wait clock so a half-open probe gets a full window.
+    let watchdog = clock.now().plus(round_slot_ms(config));
 
     // Breadth-first frontier, starting at the home page.
     let mut frontier = vec![home];
@@ -147,6 +200,7 @@ pub fn visit_site_round(
             if let Some(fatal) = fatal_script_class(&page.stats) {
                 // The home page "loaded" but its scripts are unusable — the
                 // paper dropped these sites alongside the unreachable ones.
+                harvest_budget_stats(&mut measurement, &page.stats);
                 error = Some(fatal);
                 break;
             }
@@ -157,6 +211,8 @@ pub fn visit_site_round(
         let report = horde.interact(&mut page, net, policy, &mut clock, config.page_budget_ms);
 
         merged.merge(&page.log.borrow());
+        // Interaction can trip callback budgets too, so harvest after it.
+        harvest_budget_stats(&mut measurement, &page.stats);
 
         // Candidates: intercepted navigations plus static links.
         let mut candidates = report.navigations;
@@ -173,7 +229,15 @@ pub fn visit_site_round(
     measurement.pages_visited = pages_visited;
     measurement.interaction_ms = clock.now().since(start);
     measurement.error = error;
+    breaker.observe(measurement.error);
     measurement
+}
+
+/// Fold one page's budget-trip counters into the round's measurement.
+fn harvest_budget_stats(m: &mut RoundMeasurement, stats: &LoadStats) {
+    m.script_budget_errors += stats.script_budget_errors + stats.script_oversize_errors;
+    m.script_heap_errors += stats.script_heap_errors;
+    m.script_depth_errors += stats.script_depth_errors;
 }
 
 /// A script failure class that makes the whole page unusable: every script
@@ -185,7 +249,7 @@ fn fatal_script_class(stats: &LoadStats) -> Option<CrawlError> {
     if stats.script_parse_errors == stats.scripts_run {
         return Some(CrawlError::ScriptSyntax);
     }
-    if stats.script_budget_errors == stats.scripts_run {
+    if stats.budget_trips() == stats.scripts_run {
         return Some(CrawlError::ScriptBudget);
     }
     None

@@ -57,6 +57,8 @@ fn config(threads: usize) -> CrawlConfig {
         threads,
         seed: 4242,
         retry: RetryPolicy::default(),
+        breaker: bfu_crawler::BreakerPolicy::default(),
+        browser: bfu_crawler::BrowserConfig::default(),
     }
 }
 

@@ -12,6 +12,7 @@
 //! API surface and the instrumentation wrappers.
 
 use crate::ast::*;
+use crate::budget::ResourceBudget;
 use crate::object::{Callable, EnvId, Heap};
 use crate::parser::{parse, ParseError};
 use crate::value::Value;
@@ -30,6 +31,25 @@ pub enum RuntimeError {
     OutOfFuel,
     /// Call stack too deep.
     StackOverflow,
+    /// Heap-cell allowance exhausted (allocation bomb).
+    HeapExhausted,
+    /// String-byte allowance exhausted (string bomb).
+    StringOverflow,
+}
+
+impl RuntimeError {
+    /// Whether this error is a resource-governor trap (as opposed to an
+    /// ordinary language error like a `TypeError`). Trap-class errors mean
+    /// the script was forcibly stopped and its feature log is partial.
+    pub fn is_budget_trap(&self) -> bool {
+        matches!(
+            self,
+            RuntimeError::OutOfFuel
+                | RuntimeError::StackOverflow
+                | RuntimeError::HeapExhausted
+                | RuntimeError::StringOverflow
+        )
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -39,6 +59,8 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ReferenceError(m) => write!(f, "ReferenceError: {m}"),
             RuntimeError::OutOfFuel => write!(f, "script exceeded its step budget"),
             RuntimeError::StackOverflow => write!(f, "call stack exceeded"),
+            RuntimeError::HeapExhausted => write!(f, "script exceeded its heap budget"),
+            RuntimeError::StringOverflow => write!(f, "script exceeded its string budget"),
         }
     }
 }
@@ -73,6 +95,12 @@ pub struct Interpreter {
     fuel: u64,
     depth: u32,
     max_depth: u32,
+    /// Absolute `heap.len()` ceiling for the current budget phase.
+    heap_ceiling: usize,
+    /// String bytes produced by concatenation this budget phase.
+    string_bytes: u64,
+    /// String-byte allowance for the current budget phase.
+    string_budget: u64,
     /// Set by `Stmt::Expr` so `run` can return the last expression value.
     last_expr_value: Option<Value>,
 }
@@ -101,6 +129,9 @@ impl Interpreter {
             fuel: DEFAULT_FUEL,
             depth: 0,
             max_depth: 64,
+            heap_ceiling: usize::MAX,
+            string_bytes: 0,
+            string_budget: u64::MAX,
             last_expr_value: None,
         };
         interp.global = interp.push_env(None, Value::Undefined);
@@ -117,7 +148,7 @@ impl Interpreter {
         id
     }
 
-    /// Set the script step budget.
+    /// Set the script step budget (other resource axes are untouched).
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
     }
@@ -127,11 +158,38 @@ impl Interpreter {
         self.fuel
     }
 
+    /// Install a full [`ResourceBudget`] for the next execution phase.
+    ///
+    /// Heap-cell and string-byte accounting restart from this call: cells
+    /// already on the heap (the embedder's API surface, earlier scripts) are
+    /// not charged against the new phase.
+    pub fn set_budget(&mut self, budget: &ResourceBudget) {
+        self.fuel = budget.max_steps;
+        self.max_depth = budget.max_call_depth;
+        self.heap_ceiling = self.heap.len().saturating_add(budget.max_heap_cells);
+        self.string_bytes = 0;
+        self.string_budget = budget.max_string_bytes;
+    }
+
+    /// String bytes produced by concatenation since the budget was set.
+    pub fn string_bytes_allocated(&self) -> u64 {
+        self.string_bytes
+    }
+
     /// Register a native function; returns a callable [`Value`].
     pub fn register_native(&mut self, f: NativeFn) -> Value {
-        let idx = u32::try_from(self.natives.len()).expect("too many natives");
+        Value::Obj(self.register_native_obj(f))
+    }
+
+    /// Register a native function; returns the callable's heap id directly
+    /// (for embedders that need to manipulate the object, e.g. to attach a
+    /// `prototype` property).
+    pub fn register_native_obj(&mut self, f: NativeFn) -> crate::object::ObjId {
+        // Native counts are embedder-bounded (a few thousand); saturating
+        // keeps this total without a panic path.
+        let idx = u32::try_from(self.natives.len()).unwrap_or(u32::MAX);
         self.natives.push(f);
-        Value::Obj(self.heap.alloc_callable(Callable::Native(idx), None))
+        self.heap.alloc_callable(Callable::Native(idx), None)
     }
 
     /// Define (or overwrite) a global variable.
@@ -257,8 +315,12 @@ impl Interpreter {
     fn hoist_functions(&mut self, stmts: &[Stmt], env: EnvId) {
         for stmt in stmts {
             if let Stmt::FunctionDecl(def) = stmt {
+                // The parser only emits named declarations; an anonymous one
+                // (impossible today) would simply not be hoisted.
+                let Some(name) = def.name.clone() else {
+                    continue;
+                };
                 let f = self.make_closure(def.clone(), env);
-                let name = def.name.clone().expect("declarations are named");
                 self.envs[env.index()].vars.insert(name, f);
             }
         }
@@ -269,6 +331,9 @@ impl Interpreter {
             return Err(RuntimeError::OutOfFuel);
         }
         self.fuel -= 1;
+        if self.heap.len() > self.heap_ceiling {
+            return Err(RuntimeError::HeapExhausted);
+        }
         Ok(())
     }
 
@@ -291,9 +356,10 @@ impl Interpreter {
                 Ok(Flow::Normal)
             }
             Stmt::FunctionDecl(def) => {
-                let f = self.make_closure(def.clone(), env);
-                let name = def.name.clone().expect("declarations are named");
-                self.envs[env.index()].vars.insert(name, f);
+                if let Some(name) = def.name.clone() {
+                    let f = self.make_closure(def.clone(), env);
+                    self.envs[env.index()].vars.insert(name, f);
+                }
                 Ok(Flow::Normal)
             }
             Stmt::Return(e) => {
@@ -618,7 +684,15 @@ impl Interpreter {
         Ok(match op {
             BinOp::Add => match (l, r) {
                 (Value::Str(_), _) | (_, Value::Str(_)) => {
-                    Value::str(format!("{}{}", l.to_display(), r.to_display()))
+                    // Concatenation is the only unbounded allocator in the
+                    // language subset — charge it against the string budget
+                    // so `s = s + s` bombs trip in O(log budget) steps.
+                    let s = format!("{}{}", l.to_display(), r.to_display());
+                    self.string_bytes = self.string_bytes.saturating_add(s.len() as u64);
+                    if self.string_bytes > self.string_budget {
+                        return Err(RuntimeError::StringOverflow);
+                    }
+                    Value::str(s)
                 }
                 _ => Value::Num(l.to_number() + r.to_number()),
             },

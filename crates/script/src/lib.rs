@@ -18,14 +18,19 @@
 //! - [`value`] — runtime values.
 //! - [`object`] — heap, objects, prototype chains, watchpoints.
 //! - [`interp`] — the interpreter and host-function registry.
+//! - [`budget`] — multi-axis execution resource budgets.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ast;
+pub mod budget;
 pub mod interp;
 pub mod object;
 pub mod parser;
 pub mod token;
 pub mod value;
 
+pub use budget::ResourceBudget;
 pub use interp::{Interpreter, NativeFn, RuntimeError, ScriptError};
 pub use object::{Heap, ObjId, PropKey};
 pub use value::Value;

@@ -32,7 +32,11 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         message: e.message,
         line: e.line,
     })?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut body = Vec::new();
     while p.peek().is_some() {
         body.push(p.statement()?);
@@ -40,12 +44,28 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     Ok(Program { body })
 }
 
+/// Maximum grammar-recursion depth. Each level costs a dozen-odd native
+/// stack frames (the full precedence chain), so this bounds parser stack use
+/// far below any thread's stack while accepting any plausible real script.
+const MAX_PARSE_DEPTH: u32 = 128;
+
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    /// Current grammar-recursion depth (statements, expressions, unary
+    /// chains). Deeply nested hostile source (`((((…`, `[[[[…`, `!!!!…`)
+    /// must fail with a [`ParseError`], not overflow the native stack.
+    depth: u32,
 }
 
 impl Parser {
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|t| &t.tok)
     }
@@ -103,6 +123,13 @@ impl Parser {
     // ---- statements ----
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let stmt = self.statement_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek() {
             Some(Tok::Kw(Keyword::Var)) => {
                 self.bump();
@@ -255,6 +282,13 @@ impl Parser {
     }
 
     fn assignment(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let expr = self.assignment_inner();
+        self.depth -= 1;
+        expr
+    }
+
+    fn assignment_inner(&mut self) -> Result<Expr, ParseError> {
         let lhs = self.conditional()?;
         let op = match self.peek() {
             Some(Tok::Op("=")) => None,
@@ -395,6 +429,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let expr = self.unary_inner();
+        self.depth -= 1;
+        expr
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         if self.eat_op("-") {
             return Ok(Expr::Unary {
                 op: UnaryOp::Neg,

@@ -1,6 +1,6 @@
 //! The per-record binary encoding of one [`SiteMeasurement`].
 //!
-//! Compact, fixed little-endian layout (format tag `v1`):
+//! Compact, fixed little-endian layout (shard format version 2):
 //!
 //! ```text
 //! u32  site index
@@ -16,6 +16,7 @@
 //!     u32 round | u32 pages | u64 interaction_ms
 //!     u8 error class (0xFF = none) | u16 error extra
 //!     u32 attempts | u32 retries | u64 backoff_ms
+//!     u32 budget trips | u32 heap trips | u32 depth trips
 //!     u32 log entries | per entry: u32 feature | u64 count
 //! ```
 //!
@@ -71,6 +72,9 @@ pub fn encode_site(m: &SiteMeasurement) -> Vec<u8> {
             w.put_u32(r.attempts);
             w.put_u32(r.retries);
             w.put_u64(r.backoff_ms);
+            w.put_u32(r.script_budget_errors);
+            w.put_u32(r.script_heap_errors);
+            w.put_u32(r.script_depth_errors);
             let records = r.log.records();
             w.put_u32(records.len() as u32);
             for rec in &records {
@@ -140,6 +144,9 @@ pub fn decode_site(bytes: &[u8]) -> Result<SiteMeasurement, CodecError> {
             let attempts = r.get_u32()?;
             let retries = r.get_u32()?;
             let backoff_ms = r.get_u64()?;
+            let script_budget_errors = r.get_u32()?;
+            let script_heap_errors = r.get_u32()?;
+            let script_depth_errors = r.get_u32()?;
             let n_log = r.get_u32()?;
             if n_log as usize > bytes.len() {
                 return Err(CodecError::BadLength {
@@ -162,6 +169,9 @@ pub fn decode_site(bytes: &[u8]) -> Result<SiteMeasurement, CodecError> {
                 attempts,
                 retries,
                 backoff_ms,
+                script_budget_errors,
+                script_heap_errors,
+                script_depth_errors,
             });
         }
         rounds.push((profile, per_round));
@@ -198,6 +208,9 @@ mod tests {
             attempts: 14,
             retries: 1,
             backoff_ms: 250,
+            script_budget_errors: 2,
+            script_heap_errors: 1,
+            script_depth_errors: 1,
         };
         let failed = RoundMeasurement {
             error: Some(CrawlError::HttpError(503)),

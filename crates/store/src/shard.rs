@@ -26,7 +26,8 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"BFUSHARD";
-const VERSION: u16 = 1;
+// v2: rounds carry script budget/heap/depth trip counters.
+const VERSION: u16 = 2;
 const SEAL_MARKER: u32 = 0xFFFF_FFFF;
 /// Upper bound on a single record; anything larger is framing corruption.
 const MAX_RECORD_LEN: u32 = 1 << 28;

@@ -17,15 +17,19 @@
 //! - [`filters`] — generates the ABP filter list and tracker DB against the
 //!   ecosystem (with imperfect coverage, like real lists).
 //! - [`web`] — materializes everything into `bfu-net` servers.
+//! - [`hostile`] — adversarial web mode: seeded hostile-page overlays for
+//!   chaos testing the crawl's resource governor.
 
 pub mod alexa;
 pub mod calibrate;
 pub mod ecosystem;
 pub mod filters;
+pub mod hostile;
 pub mod script_gen;
 pub mod site;
 pub mod web;
 
 pub use alexa::{AlexaRanking, SiteCategory, SiteId};
 pub use ecosystem::{Ecosystem, PartyKind, ThirdParty};
+pub use hostile::{HostileClass, HostilePlan};
 pub use web::{SyntheticWeb, WebConfig};

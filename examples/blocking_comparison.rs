@@ -32,6 +32,8 @@ fn main() {
         threads: 1,
         seed: 9,
         retry: bfu_crawler::RetryPolicy::default(),
+        breaker: bfu_crawler::BreakerPolicy::default(),
+        browser: bfu_crawler::BrowserConfig::default(),
     };
 
     // Pick an ad-heavy site (a news site with third parties).

@@ -4,8 +4,9 @@
 #   ./scripts/ci.sh
 #
 # Mirrors the tier-1 verification the roadmap pins (release build + tests)
-# and adds the clippy wall the crawler's supervision code is held to
-# (unwrap/expect are denied outside tests there).
+# and adds the clippy wall the supervision and engine code is held to:
+# unwrap/expect are denied outside tests in bfu-crawler, bfu-script, and
+# bfu-browser (a panic in any of them takes a whole survey down).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,12 @@ cargo test --workspace -q
 
 echo "==> store round-trip (integration)"
 cargo test -q --test store
+
+echo "==> adversarial chaos suite (hostile web, 1 vs 8 threads)"
+cargo test -q --test chaos
+
+echo "==> no-panic property tests (parser/interpreter totality)"
+cargo test -q --test proptests
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

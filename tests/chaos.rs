@@ -1,0 +1,172 @@
+//! Adversarial chaos suite: the crawl must survive a hostile web.
+//!
+//! A 200-site web where half the sites are replaced by hostile pages —
+//! infinite loops, unbounded recursion, allocation/string bombs,
+//! prototype-chain abuse, parser nesting bombs, malformed source, timer
+//! storms — is crawled under deliberately tight resource budgets. The
+//! survey must complete with zero worker panics, classify every loss with a
+//! typed [`CrawlError`], trip every governor axis, exercise the per-host
+//! circuit breaker, and fingerprint identically at 1 and 8 threads.
+
+use bfu_crawler::{
+    BreakerPolicy, BrowserConfig, BrowserProfile, CrawlConfig, CrawlError, Dataset, RetryPolicy,
+    Survey,
+};
+use bfu_webgen::{HostilePlan, SyntheticWeb, WebConfig};
+use std::sync::OnceLock;
+
+const SITES: usize = 200;
+const WEB_SEED: u64 = 0xC4A05;
+
+/// Half the web turns hostile, drawn from every [`HostileClass`] by hash.
+fn hostility() -> HostilePlan {
+    HostilePlan::new(0xBAD5EED, 500)
+}
+
+/// Budgets tight enough that every hostile class traps within a round, and
+/// a breaker tuned so trap hosts open, probe, escalate, and skip.
+fn chaos_config(threads: usize) -> CrawlConfig {
+    CrawlConfig {
+        rounds_per_profile: 6,
+        pages_per_site: 3,
+        fanout: 2,
+        page_budget_ms: 4_000, // round slot = 3 * 4_000 * 2 = 24_000 ms
+        profiles: vec![BrowserProfile::Default],
+        threads,
+        seed: 0x0DD5,
+        retry: RetryPolicy::default(),
+        breaker: BreakerPolicy {
+            trip_threshold: 2,
+            cooldown_ms: 20_000, // < slot: first re-entry is a probe
+            cooldown_factor: 4,  // escalated 80_000 > slot: then skips
+            max_cooldown_ms: 600_000,
+        },
+        browser: BrowserConfig {
+            script_fuel: 120_000,
+            callback_fuel: 20_000,
+            max_heap_cells: 4_000,
+            max_string_bytes: 64_000,
+            max_call_depth: 48,
+            max_timer_callbacks: 500,
+            ..BrowserConfig::default()
+        },
+    }
+}
+
+fn hostile_survey(threads: usize) -> Survey {
+    let web = SyntheticWeb::generate(WebConfig {
+        sites: SITES,
+        seed: WEB_SEED,
+    });
+    Survey::new(web, chaos_config(threads)).with_hostility(hostility())
+}
+
+static BASELINE: OnceLock<Dataset> = OnceLock::new();
+
+/// The single-threaded reference crawl, shared across assertions.
+fn baseline() -> &'static Dataset {
+    BASELINE.get_or_init(|| hostile_survey(1).run())
+}
+
+#[test]
+fn hostile_web_survives_with_zero_panics_and_typed_losses() {
+    let ds = baseline();
+    let health = ds.health();
+    assert_eq!(health.sites_total, SITES);
+    assert_eq!(health.sites_panicked, 0, "no worker may panic");
+    assert_eq!(
+        health.sites_completed + health.sites_failed,
+        SITES,
+        "every site accounted for"
+    );
+    // Benign sites still measure; hostile ones are typed losses.
+    assert!(health.sites_completed > 0, "benign half still measured");
+    assert!(health.sites_failed > 0, "hostile half classified as lost");
+    assert_eq!(
+        health.failures_by_class.iter().sum::<usize>(),
+        health.sites_failed,
+        "every lost site carries a failure class"
+    );
+    // The hostile taxonomy maps onto the fault taxonomy: budget traps from
+    // the loop/bomb/recursion classes, syntax losses from malformed and
+    // nesting-bomb sources.
+    assert!(
+        health.failures_by_class[CrawlError::ScriptBudget.class_ix()] > 0,
+        "budget-trap sites classified"
+    );
+    assert!(
+        health.failures_by_class[CrawlError::ScriptSyntax.class_ix()] > 0,
+        "parse-refused sites classified"
+    );
+}
+
+#[test]
+fn every_governor_axis_trips() {
+    let health = baseline().health();
+    assert!(
+        health.total_script_budget_errors > 0,
+        "step-budget trips observed"
+    );
+    assert!(
+        health.total_script_heap_errors > 0,
+        "heap/string-budget trips observed"
+    );
+    assert!(
+        health.total_script_depth_errors > 0,
+        "call-depth trips observed"
+    );
+}
+
+#[test]
+fn circuit_breaker_skips_trap_hosts() {
+    let health = baseline().health();
+    // threshold 2, cooldown 20s, factor 4 against a 24s slot: every
+    // persistent trap host goes open -> probe -> escalated open -> skip.
+    assert!(
+        health.rounds_circuit_skipped > 0,
+        "open breakers must skip rounds"
+    );
+    // Skips are strictly fewer than trap-host rounds: the breaker probes.
+    let trap_sites = health.failures_by_class[CrawlError::ScriptBudget.class_ix()] as u64;
+    assert!(
+        health.rounds_circuit_skipped < trap_sites * 6,
+        "breaker still probes trap hosts"
+    );
+}
+
+#[test]
+fn hostile_crawl_is_thread_invariant() {
+    let one = baseline();
+    let eight = hostile_survey(8).run();
+    assert_eq!(
+        one.fingerprint(),
+        eight.fingerprint(),
+        "1-thread and 8-thread hostile crawls must be byte-identical"
+    );
+    assert_eq!(one.health(), eight.health());
+}
+
+#[test]
+fn hostility_is_part_of_the_survey_identity() {
+    let benign = {
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: SITES,
+            seed: WEB_SEED,
+        });
+        Survey::new(web, chaos_config(1))
+    };
+    let hostile = hostile_survey(1);
+    assert_ne!(
+        benign.fingerprint(),
+        hostile.fingerprint(),
+        "a hostile overlay must change the dataset-store key"
+    );
+    let other_seed = {
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: SITES,
+            seed: WEB_SEED,
+        });
+        Survey::new(web, chaos_config(1)).with_hostility(HostilePlan::new(0x5AFE, 500))
+    };
+    assert_ne!(hostile.fingerprint(), other_seed.fingerprint());
+}

@@ -1,7 +1,9 @@
 //! Property-based tests over the core data structures: URL parsing and
 //! resolution, the HTTP codec, the filter engine (token index vs naive
 //! scan), the selector engine and HTML parser (total on arbitrary input),
-//! the mini-JS lexer, and the statistics utilities.
+//! the mini-JS lexer/parser/interpreter (total and terminating under a
+//! resource budget on arbitrary and mutated input), and the statistics
+//! utilities.
 
 use bfu_blocker::FilterEngine;
 use bfu_net::{HttpRequest, HttpResponse, Method, ResourceType, Url};
@@ -214,6 +216,102 @@ proptest! {
             .unwrap()
             .to_number();
         prop_assert_eq!(m, f64::from(a) % f64::from(b));
+    }
+}
+
+// ---------- script governor totality ----------
+//
+// The hostile-web invariant, in miniature: whatever bytes reach the script
+// engine, parsing is total (errors, never panics or unbounded recursion)
+// and execution under a [`ResourceBudget`] always terminates.
+
+/// A tight budget: any runaway program traps on some axis within ~50k steps.
+fn tight_budget() -> bfu_script::ResourceBudget {
+    bfu_script::ResourceBudget {
+        max_steps: 50_000,
+        max_heap_cells: 2_000,
+        max_string_bytes: 50_000,
+        max_call_depth: 16,
+    }
+}
+
+/// One plausible-JS token, for soup that often parses.
+fn js_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("var".to_owned()),
+        Just("function".to_owned()),
+        Just("while".to_owned()),
+        Just("if".to_owned()),
+        Just("return".to_owned()),
+        Just("true".to_owned()),
+        Just("new".to_owned()),
+        Just("{".to_owned()),
+        Just("}".to_owned()),
+        Just("(".to_owned()),
+        Just(")".to_owned()),
+        Just("[".to_owned()),
+        Just("]".to_owned()),
+        Just(";".to_owned()),
+        Just("=".to_owned()),
+        Just("+".to_owned()),
+        Just(",".to_owned()),
+        Just(".".to_owned()),
+        Just("x".to_owned()),
+        Just("f".to_owned()),
+        Just("1".to_owned()),
+        Just("'s'".to_owned()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn parser_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = bfu_script::parser::parse(&src);
+    }
+
+    #[test]
+    fn parser_depth_guard_is_an_error_not_a_crash(depth in 150usize..3000, which in 0usize..4) {
+        let bomb = match which {
+            0 => format!("var x = {}1{};", "(".repeat(depth), ")".repeat(depth)),
+            1 => format!("var a = {}1{};", "[".repeat(depth), "]".repeat(depth)),
+            2 => format!("var n = {}1;", "!".repeat(depth)),
+            _ => "{".repeat(depth),
+        };
+        prop_assert!(bfu_script::parser::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn interpreter_terminates_on_token_soup(
+        tokens in proptest::collection::vec(js_token(), 0..60),
+    ) {
+        let src = tokens.join(" ");
+        let mut interp = bfu_script::Interpreter::new();
+        interp.set_budget(&tight_budget());
+        // Parse errors and budget traps are fine; returning at all is the
+        // property (the budget makes non-termination impossible).
+        let _ = interp.run_source(&src);
+    }
+
+    #[test]
+    fn interpreter_terminates_on_mutated_valid_programs(
+        seed in any::<u64>(),
+        flips in 1usize..8,
+    ) {
+        const TEMPLATE: &str = "var a = []; var i = 0; \
+            function f(n) { if (n > 3) { return n; } return f(n + 1); } \
+            while (i < 10) { a[i] = { x: f(i), s: 'ab' + 'cd' }; i = i + 1; } \
+            a;";
+        let mut bytes = TEMPLATE.as_bytes().to_vec();
+        let mut rng = SimRng::new(seed);
+        for _ in 0..flips {
+            let ix = rng.below(bytes.len() as u64) as usize;
+            bytes[ix] = (rng.below(94) + 32) as u8; // printable ASCII
+        }
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let mut interp = bfu_script::Interpreter::new();
+        interp.set_budget(&tight_budget());
+        let _ = interp.run_source(&src);
     }
 }
 
