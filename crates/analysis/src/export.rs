@@ -174,10 +174,22 @@ pub fn provenance_json(p: &Provenance) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"rounds_circuit_skipped\": {}",
+        "    \"rounds_circuit_skipped\": {},",
         h.rounds_circuit_skipped
     );
-    out.push_str("  }\n}\n");
+    out.push_str("    \"compile_cache\": {\n");
+    let _ = writeln!(out, "      \"enabled\": {},", h.cache.enabled);
+    let _ = writeln!(out, "      \"script_hits\": {},", h.cache.script_hits);
+    let _ = writeln!(out, "      \"script_misses\": {},", h.cache.script_misses);
+    let _ = writeln!(
+        out,
+        "      \"script_negative_hits\": {},",
+        h.cache.script_negative_hits
+    );
+    let _ = writeln!(out, "      \"unique_scripts\": {},", h.cache.unique_scripts);
+    let _ = writeln!(out, "      \"unique_frames\": {},", h.cache.unique_frames);
+    let _ = writeln!(out, "      \"hit_rate\": {:.6}", h.cache.hit_rate());
+    out.push_str("    }\n  }\n}\n");
     out
 }
 
@@ -270,6 +282,8 @@ mod tests {
         assert!(json.contains("\"crawl_seed\": 7"));
         assert!(json.contains("\"profiles\": [\"default\""));
         assert!(json.contains("\"failures_by_class\""));
+        assert!(json.contains("\"compile_cache\""));
+        assert!(json.contains("\"hit_rate\""));
         // Balanced braces and brackets (cheap structural sanity check).
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());

@@ -18,6 +18,7 @@ pub fn tiny_dataset() -> (Dataset, FeatureRegistry) {
             let web = SyntheticWeb::generate(WebConfig {
                 sites: 30,
                 seed: 1234,
+                script_weight: 0,
             });
             let config = CrawlConfig {
                 rounds_per_profile: 2,
@@ -35,6 +36,7 @@ pub fn tiny_dataset() -> (Dataset, FeatureRegistry) {
                 retry: bfu_crawler::RetryPolicy::default(),
                 breaker: bfu_crawler::BreakerPolicy::default(),
                 browser: bfu_crawler::BrowserConfig::default(),
+                compile_cache: true,
             };
             let dataset = Survey::new(web, config).run();
             (dataset, FeatureRegistry::build())
@@ -48,6 +50,7 @@ pub fn tiny_survey() -> Survey {
     let web = SyntheticWeb::generate(WebConfig {
         sites: 30,
         seed: 1234,
+        script_weight: 0,
     });
     let config = CrawlConfig {
         rounds_per_profile: 2,
@@ -60,6 +63,7 @@ pub fn tiny_survey() -> Survey {
         retry: bfu_crawler::RetryPolicy::default(),
         breaker: bfu_crawler::BreakerPolicy::default(),
         browser: bfu_crawler::BrowserConfig::default(),
+        compile_cache: true,
     };
     Survey::new(web, config)
 }

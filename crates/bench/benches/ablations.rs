@@ -94,6 +94,7 @@ fn bench_instrumentation_overhead(c: &mut Criterion) {
     let web = SyntheticWeb::generate(WebConfig {
         sites: 10,
         seed: 21,
+        script_weight: 0,
     });
     let site = (0..10)
         .map(SiteId::new)
@@ -160,6 +161,7 @@ fn bench_webgen(c: &mut Criterion) {
             black_box(SyntheticWeb::generate(WebConfig {
                 sites: 1000,
                 seed: 5,
+                script_weight: 0,
             }))
         })
     });

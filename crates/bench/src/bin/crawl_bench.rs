@@ -1,0 +1,204 @@
+//! `crawl_bench` — wall-clock comparison of the same survey crawled with
+//! the content-addressed compilation cache off (scratch) and on (cached),
+//! written to `BENCH_crawl.json`:
+//!
+//! - **scratch** — every page visit re-lexes and re-parses every script;
+//! - **cached** — one shared [`bfu_browser::CompileCache`] across all
+//!   sites, rounds, profiles, and worker threads, so each distinct script
+//!   source is parsed exactly once for the whole survey.
+//!
+//! The two datasets must fingerprint identically (the cache is memoization,
+//! not measurement — the run aborts if they diverge), so the only reported
+//! difference is wall time plus the cache's own hit/miss accounting.
+//!
+//! The benchmark web is generated with a non-zero `script_weight`: every
+//! script carries an inert library bundle (parsed in full, never executed),
+//! the payload shape real pages ship and the reason production engines have
+//! compilation caches at all. `--script-weight 0` measures the generator's
+//! minimal scripts instead, where parse time is a much smaller slice.
+//!
+//! ```text
+//! cargo run -p bfu-bench --release --bin crawl_bench -- \
+//!     [--sites N] [--seed N] [--rounds N] [--threads N] \
+//!     [--script-weight N] [--out PATH]
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use bfu_crawler::{CrawlConfig, Dataset, Survey};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    sites: usize,
+    seed: u64,
+    rounds: u32,
+    threads: usize,
+    script_weight: u32,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut sites = 48usize;
+    let mut seed = 0xC4A7_BE7Cu64;
+    let mut rounds = 4u32;
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut script_weight = 400u32;
+    let mut out = std::path::PathBuf::from("BENCH_crawl.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--sites" => {
+                sites = argv
+                    .next()
+                    .ok_or("--sites needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sites: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--rounds" => {
+                rounds = argv
+                    .next()
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?;
+            }
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--script-weight" => {
+                script_weight = argv
+                    .next()
+                    .ok_or("--script-weight needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --script-weight: {e}"))?;
+            }
+            "--out" => {
+                out = std::path::PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: crawl_bench [--sites N] [--seed N] [--rounds N] [--threads N] \
+                     [--script-weight N] [--out PATH]",
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(Args {
+        sites,
+        seed,
+        rounds,
+        threads,
+        script_weight,
+        out,
+    })
+}
+
+fn config(args: &Args, compile_cache: bool) -> CrawlConfig {
+    let mut config = CrawlConfig::quick(args.seed);
+    config.rounds_per_profile = args.rounds;
+    config.threads = args.threads;
+    config.compile_cache = compile_cache;
+    config
+}
+
+/// Crawl the benchmark web once, returning the dataset and elapsed seconds.
+fn crawl(args: &Args, compile_cache: bool) -> (Dataset, f64) {
+    let web = SyntheticWeb::generate(WebConfig {
+        sites: args.sites,
+        seed: args.seed,
+        script_weight: args.script_weight,
+    });
+    let survey = Survey::new(web, config(args, compile_cache));
+    let t0 = Instant::now();
+    let dataset = survey.run();
+    (dataset, t0.elapsed().as_secs_f64())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // Untimed warmup at the cached configuration (the larger footprint of
+    // the two): the first heavy crawl in a process pays for faulting in
+    // every fresh heap page from the OS, a cost that belongs to neither
+    // configuration. After it, both timed runs recycle warm memory.
+    eprintln!(
+        "# warmup: {} sites x {} rounds, untimed…",
+        args.sites, args.rounds
+    );
+    let (warmup, _) = crawl(&args, true);
+    let fingerprint = warmup.fingerprint();
+
+    eprintln!("# scratch: same survey, cache off…");
+    let (scratch, scratch_s) = crawl(&args, false);
+    if scratch.fingerprint() != fingerprint {
+        return Err("scratch dataset fingerprint diverged from warmup run".into());
+    }
+
+    eprintln!("# cached: same survey, shared compilation cache…");
+    let (cached, cached_s) = crawl(&args, true);
+    if cached.fingerprint() != fingerprint {
+        return Err("cached dataset fingerprint diverged from scratch run".into());
+    }
+    let totals = cached.cache;
+    if !totals.enabled {
+        return Err("cached run reports the cache as disabled".into());
+    }
+
+    let speedup = scratch_s / cached_s.max(1e-9);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"sites\": {},", args.sites);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"rounds_per_profile\": {},", args.rounds);
+    let _ = writeln!(json, "  \"threads\": {},", args.threads);
+    let _ = writeln!(json, "  \"script_weight\": {},", args.script_weight);
+    let _ = writeln!(json, "  \"fingerprint\": \"{fingerprint:016x}\",");
+    let _ = writeln!(json, "  \"fingerprints_match\": true,");
+    let _ = writeln!(json, "  \"survey_scratch_s\": {scratch_s:.3},");
+    let _ = writeln!(json, "  \"survey_cached_s\": {cached_s:.3},");
+    let _ = writeln!(json, "  \"cached_speedup\": {speedup:.2},");
+    json.push_str("  \"script_cache\": {\n");
+    let _ = writeln!(json, "    \"hits\": {},", totals.script_hits);
+    let _ = writeln!(json, "    \"misses\": {},", totals.script_misses);
+    let _ = writeln!(
+        json,
+        "    \"negative_hits\": {},",
+        totals.script_negative_hits
+    );
+    let _ = writeln!(json, "    \"unique_scripts\": {},", totals.unique_scripts);
+    let _ = writeln!(json, "    \"unique_frames\": {},", totals.unique_frames);
+    let _ = writeln!(json, "    \"hit_rate\": {:.6}", totals.hit_rate());
+    json.push_str("  }\n}\n");
+    std::fs::write(&args.out, &json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# scratch {scratch_s:.2}s | cached {cached_s:.2}s ({speedup:.2}x) | \
+         {} unique scripts, {:.1}% hit rate → {}",
+        totals.unique_scripts,
+        100.0 * totals.hit_rate(),
+        args.out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! paper reports while finishing in minutes on a laptop core. The numbers in
 //! EXPERIMENTS.md were produced with `--sites 2000 --full-depth`.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use bfu_bench::{build_study, build_study_with_store, run_experiment, Experiment};
 use std::path::PathBuf;
 use std::process::ExitCode;

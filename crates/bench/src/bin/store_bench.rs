@@ -11,6 +11,8 @@
 //! cargo run -p bfu-bench --release --bin store_bench -- [--sites N] [--seed N] [--out PATH]
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use bfu_core::store::{DatasetStore, StoreMeta, DEFAULT_SHARD_CAPACITY};
 use bfu_core::{Study, StudyConfig};
 use std::fmt::Write as _;

@@ -123,11 +123,14 @@ fn render_fig2(study: &Study) -> String {
     );
     let dataset = study.dataset();
     let registry = study.registry();
-    let site = dataset
+    let Some(site) = dataset
         .sites
         .iter()
         .find(|s| s.measured(BrowserProfile::Default))
-        .expect("some measured site");
+    else {
+        out.push_str("(no site measured under the default profile)\n");
+        return out;
+    };
     for (profile, label) in [
         (BrowserProfile::Blocking, "blocking"),
         (BrowserProfile::Default, "default"),

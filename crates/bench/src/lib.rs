@@ -11,6 +11,10 @@
 //! cargo run -p bfu-bench --release --bin repro -- --all
 //! ```
 
+// Bench binaries gate CI: a panic mid-run reads as a perf regression, so
+// fallible paths must return errors instead of unwrapping.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod harness;
 
 pub use harness::{build_study, build_study_with_store, run_experiment, study_config, Experiment};

@@ -54,6 +54,10 @@ pub struct HostEnv {
     pub node_objs: HashMap<NodeId, ObjId>,
     /// Current virtual time (the page updates this before running timers).
     pub now: Instant,
+    /// Compiled-selector memo, per page load: querySelector/__listen/element
+    /// hiding re-query the same handful of selector strings many times per
+    /// page, so each is compiled at most once (`None` = known-invalid).
+    selector_cache: HashMap<String, Option<bfu_dom::Selector>>,
 }
 
 impl HostEnv {
@@ -68,6 +72,7 @@ impl HostEnv {
             pending_requests: Vec::new(),
             node_objs: HashMap::new(),
             now: Instant::ZERO,
+            selector_cache: HashMap::new(),
         }
     }
 
@@ -76,6 +81,18 @@ impl HostEnv {
         let h = u32::try_from(self.listeners.len()).unwrap_or(u32::MAX);
         self.listeners.push(callback);
         h
+    }
+
+    /// Compile a selector, memoized for the life of this page load.
+    /// Returns `None` for invalid selector syntax (also memoized, so a bad
+    /// selector queried in a loop is diagnosed once).
+    pub fn compile_selector(&mut self, src: &str) -> Option<bfu_dom::Selector> {
+        if let Some(cached) = self.selector_cache.get(src) {
+            return cached.clone();
+        }
+        let sel = bfu_dom::Selector::parse(src).ok();
+        self.selector_cache.insert(src.to_owned(), sel.clone());
+        sel
     }
 }
 
@@ -348,8 +365,8 @@ fn install_plumbing(interp: &mut Interpreter, host: &Rc<RefCell<HostEnv>>) {
         let ev_type = args.get(1).map(|v| v.to_display()).unwrap_or_default();
         let cb = args.get(2).cloned().unwrap_or(Value::Undefined);
         let mut hh = h.borrow_mut();
-        let node = bfu_dom::Selector::parse(&sel_src)
-            .ok()
+        let node = hh
+            .compile_selector(&sel_src)
             .and_then(|s| s.query_first(&hh.doc))
             .unwrap_or(hh.doc.root());
         let handle = hh.add_listener_value(cb);
@@ -421,7 +438,7 @@ fn behavior_native(
             let first_only = member == "querySelector";
             interp.register_native(Rc::new(move |i, _, args| {
                 let sel_src = args.first().map(|v| v.to_display()).unwrap_or_default();
-                let Ok(sel) = bfu_dom::Selector::parse(&sel_src) else {
+                let Some(sel) = host.borrow_mut().compile_selector(&sel_src) else {
                     return Ok(if first_only {
                         Value::Null
                     } else {

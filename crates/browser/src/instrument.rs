@@ -30,27 +30,21 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-/// Handle to the installed instrumentation.
-#[derive(Debug)]
-pub struct Instrumentation {
-    /// Shared invocation log (also held by every wrapper).
-    pub log: Rc<RefCell<FeatureLog>>,
-    /// The watch handler attached to singletons and instances.
-    watch_handler: ObjId,
-}
+/// Pre-built `(interface, member) → FeatureId` lookup for the registry's
+/// property features — the table the property-write watcher resolves against.
+///
+/// Building it walks every registry feature and clones its interface/member
+/// strings, which is far too expensive to redo on every page load (the
+/// registry never changes between loads). The browser builds one per
+/// registry and shares it across every install; [`Instrumentation::install`]
+/// builds a throwaway one for callers that don't keep a browser around.
+#[derive(Debug, Clone)]
+pub struct PropIndex(Rc<HashMap<(String, String), bfu_webidl::FeatureId>>);
 
-impl Instrumentation {
-    /// Install the measuring extension.
-    pub fn install(
-        interp: &mut Interpreter,
-        api: &ApiSurface,
-        registry: &Rc<FeatureRegistry>,
-        log: Rc<RefCell<FeatureLog>>,
-    ) -> Instrumentation {
-        // --- property-write watcher -------------------------------------
-        // Resolves (this.__iface, propName) against the registry; writes to
-        // unknown pairs and internal (`__`-prefixed) props are ignored.
-        let prop_index: Rc<HashMap<(String, String), bfu_webidl::FeatureId>> = Rc::new(
+impl PropIndex {
+    /// Index every property feature of `registry`.
+    pub fn build(registry: &FeatureRegistry) -> PropIndex {
+        PropIndex(Rc::new(
             registry
                 .features()
                 .iter()
@@ -63,8 +57,49 @@ impl Instrumentation {
                     )
                 })
                 .collect(),
-        );
+        ))
+    }
+}
+
+/// Handle to the installed instrumentation.
+#[derive(Debug)]
+pub struct Instrumentation {
+    /// Shared invocation log (also held by every wrapper).
+    pub log: Rc<RefCell<FeatureLog>>,
+    /// The watch handler attached to singletons and instances.
+    watch_handler: ObjId,
+}
+
+impl Instrumentation {
+    /// Install the measuring extension, building a fresh [`PropIndex`].
+    ///
+    /// One-shot convenience for tests and embedders without a [`crate::Browser`];
+    /// the browser's load path uses [`Instrumentation::install_with_index`]
+    /// so the index is built once per registry, not once per page.
+    pub fn install(
+        interp: &mut Interpreter,
+        api: &ApiSurface,
+        registry: &Rc<FeatureRegistry>,
+        log: Rc<RefCell<FeatureLog>>,
+    ) -> Instrumentation {
+        let index = PropIndex::build(registry);
+        Self::install_with_index(interp, api, registry, log, &index)
+    }
+
+    /// Install the measuring extension with a pre-built property index.
+    pub fn install_with_index(
+        interp: &mut Interpreter,
+        api: &ApiSurface,
+        registry: &Rc<FeatureRegistry>,
+        log: Rc<RefCell<FeatureLog>>,
+        prop_index: &PropIndex,
+    ) -> Instrumentation {
+        // --- property-write watcher -------------------------------------
+        // Resolves (this.__iface, propName) against the registry; writes to
+        // unknown pairs and internal (`__`-prefixed) props are ignored.
+        let prop_index = Rc::clone(&prop_index.0);
         let watch_log = log.clone();
+        let iface_marker = bfu_util::Atom::intern(IFACE_MARKER);
         let watch_handler = interp.register_native_obj(Rc::new(move |i, this, args| {
             let prop = args.first().map(|v| v.to_display()).unwrap_or_default();
             if prop.starts_with("__") {
@@ -77,7 +112,7 @@ impl Instrumentation {
                 let mut cur = Some(obj);
                 let mut hops = 0;
                 while let Some(o) = cur {
-                    let iface = i.heap.get(o).props.get(IFACE_MARKER).cloned();
+                    let iface = i.heap.get(o).props.get(&iface_marker).cloned();
                     if let Some(iface) = iface {
                         let key = (iface.to_display(), prop.clone());
                         if let Some(&fid) = prop_index.get(&key) {

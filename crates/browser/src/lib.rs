@@ -14,6 +14,7 @@
 //!
 //! - [`api`] — Web API bindings: every registry feature becomes a callable
 //!   method or watchable property on the right prototype object.
+//! - [`cache`] — survey-wide compilation cache (scripts + frame documents).
 //! - [`instrument`] — the measuring extension: prototype patching and
 //!   watchpoints producing [`log::FeatureLog`] records.
 //! - [`page`] — the load pipeline and interaction surface.
@@ -23,13 +24,15 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod api;
+pub mod cache;
 pub mod instrument;
 pub mod log;
 pub mod page;
 pub mod timers;
 
 pub use api::{ApiSurface, HostEnv};
-pub use instrument::Instrumentation;
+pub use cache::CompileCache;
+pub use instrument::{Instrumentation, PropIndex};
 pub use log::{FeatureLog, LogRecord};
 pub use page::{
     AllowAll, Browser, BrowserConfig, ClickOutcome, LoadError, LoadStats, Page, RequestPolicy,

@@ -12,10 +12,12 @@
 //! and script-issued network traffic.
 
 use crate::api::{self, ApiSurface, HostEnv};
-use crate::instrument::Instrumentation;
+use crate::cache::{extract_frame_scripts, CompileCache, FrameScript};
+use crate::instrument::{Instrumentation, PropIndex};
 use crate::log::FeatureLog;
-use bfu_dom::{html, NodeId, Selector};
+use bfu_dom::{html, NodeId};
 use bfu_net::{HttpRequest, NetError, ResourceType, SimNet, Url};
+use bfu_script::cache::CacheOutcome;
 use bfu_script::interp::Interpreter;
 use bfu_script::{ResourceBudget, RuntimeError, ScriptError, Value};
 use bfu_util::{Instant, VirtualClock};
@@ -23,6 +25,7 @@ use bfu_webidl::FeatureRegistry;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Decides whether requests load — the hook blockers install.
 pub trait RequestPolicy {
@@ -118,6 +121,13 @@ pub struct Browser {
     pub registry: Rc<FeatureRegistry>,
     /// Engine configuration.
     pub config: BrowserConfig,
+    /// Shared compilation cache, when the embedder opted in. `None` means
+    /// every script is parsed from scratch (identical measurements, more
+    /// CPU — see [`crate::cache`]).
+    compile_cache: Option<Arc<CompileCache>>,
+    /// Property-feature lookup for the instrumentation watcher, built once
+    /// per registry instead of once per page load.
+    prop_index: PropIndex,
 }
 
 /// Counters from one page load + interaction session.
@@ -146,6 +156,12 @@ pub struct LoadStats {
     pub script_oversize_errors: u32,
     /// Scripts executed (at least partially).
     pub scripts_run: u32,
+    /// Compilation-cache probes that reused a parsed program.
+    pub script_cache_hits: u32,
+    /// Compilation-cache probes that parsed fresh source.
+    pub script_cache_misses: u32,
+    /// Compilation-cache probes that replayed a cached parse error.
+    pub script_cache_negative_hits: u32,
 }
 
 impl LoadStats {
@@ -218,16 +234,37 @@ impl fmt::Debug for Page {
 impl Browser {
     /// A browser over the given feature registry with default config.
     pub fn new(registry: Rc<FeatureRegistry>) -> Self {
+        let prop_index = PropIndex::build(&registry);
         Browser {
             registry,
             config: BrowserConfig::default(),
+            compile_cache: None,
+            prop_index,
         }
     }
 
     /// A browser with an explicit engine configuration (crawlers route
     /// their `CrawlConfig.browser` budgets through here).
     pub fn with_config(registry: Rc<FeatureRegistry>, config: BrowserConfig) -> Self {
-        Browser { registry, config }
+        let prop_index = PropIndex::build(&registry);
+        Browser {
+            registry,
+            config,
+            compile_cache: None,
+            prop_index,
+        }
+    }
+
+    /// Share a compilation cache with this browser. The survey driver hands
+    /// every worker thread's browser the same `Arc`, so a script parsed on
+    /// any thread is never parsed again anywhere.
+    pub fn set_compile_cache(&mut self, cache: Arc<CompileCache>) {
+        self.compile_cache = Some(cache);
+    }
+
+    /// The shared compilation cache, if one is installed.
+    pub fn compile_cache(&self) -> Option<&Arc<CompileCache>> {
+        self.compile_cache.as_ref()
     }
 
     /// Load `url`, execute its resources, and return the interactive page.
@@ -260,14 +297,22 @@ impl Browser {
         let api = api::install(&mut interp, &self.registry, host.clone());
         let log = Rc::new(RefCell::new(FeatureLog::new()));
         if self.config.instrument {
-            Instrumentation::install(&mut interp, &api, &self.registry, log.clone());
+            Instrumentation::install_with_index(
+                &mut interp,
+                &api,
+                &self.registry,
+                log.clone(),
+                &self.prop_index,
+            );
         }
         Self::bind_document_tree_globals(&mut interp, &api);
 
-        // 4. Element hiding.
+        // 4. Element hiding. Selector compilation is memoized per page load
+        //    in the host env (the same memo querySelector and __listen use).
         let domain = url.registrable_domain().to_owned();
         for sel_src in policy.hiding_selectors(&domain) {
-            if let Ok(sel) = Selector::parse(&sel_src) {
+            let compiled = api.host.borrow_mut().compile_selector(&sel_src);
+            if let Some(sel) = compiled {
                 let targets = sel.query_all(&api.host.borrow().doc);
                 let mut h = api.host.borrow_mut();
                 for t in targets {
@@ -282,7 +327,13 @@ impl Browser {
             match res {
                 Resource::InlineScript(src) => {
                     host.borrow_mut().now = clock.now();
-                    run_page_script(&mut interp, &src, &self.config, &mut stats);
+                    run_page_script(
+                        &mut interp,
+                        &src,
+                        &self.config,
+                        &mut stats,
+                        self.compile_cache.as_deref(),
+                    );
                 }
                 Resource::External(target, rtype) => {
                     let Ok(res_url) = url.join(&target) else {
@@ -303,7 +354,13 @@ impl Browser {
                             ResourceType::Script => {
                                 let src = String::from_utf8_lossy(&resp.body).into_owned();
                                 host.borrow_mut().now = clock.now();
-                                run_page_script(&mut interp, &src, &self.config, &mut stats);
+                                run_page_script(
+                                    &mut interp,
+                                    &src,
+                                    &self.config,
+                                    &mut stats,
+                                    self.compile_cache.as_deref(),
+                                );
                             }
                             ResourceType::SubDocument => {
                                 let frame_body = String::from_utf8_lossy(&resp.body).into_owned();
@@ -350,27 +407,29 @@ impl Browser {
         host: &Rc<RefCell<HostEnv>>,
         stats: &mut LoadStats,
     ) {
-        let subdoc = html::parse(frame_body);
-        // Execute the frame's scripts in the same engine (features from ads
-        // in frames count toward the page, as in the paper's measurements).
-        let mut scripts: Vec<Resource> = Vec::new();
-        for node in subdoc.elements() {
-            if subdoc.tag(node) == Some("script") {
-                match subdoc.attr(node, "src") {
-                    Some(src) => {
-                        scripts.push(Resource::External(src.to_owned(), ResourceType::Script))
-                    }
-                    None => scripts.push(Resource::InlineScript(subdoc.text_content(node))),
-                }
-            }
-        }
-        for s in scripts {
+        // Ad frames are served from a small template pool, so identical
+        // frame bodies recur constantly; with a cache installed the body is
+        // HTML-parsed once per distinct content and the extracted script
+        // list is shared. Execution still happens per visit, in this
+        // engine (features from ads in frames count toward the page, as in
+        // the paper's measurements).
+        let scripts: Arc<Vec<FrameScript>> = match &self.compile_cache {
+            Some(cache) => cache.frame_scripts(frame_body),
+            None => Arc::new(extract_frame_scripts(frame_body)),
+        };
+        for s in scripts.iter() {
             match s {
-                Resource::InlineScript(src) => {
-                    run_page_script(interp, &src, &self.config, stats);
+                FrameScript::Inline(src) => {
+                    run_page_script(
+                        interp,
+                        src,
+                        &self.config,
+                        stats,
+                        self.compile_cache.as_deref(),
+                    );
                 }
-                Resource::External(target, _) => {
-                    let Ok(u) = frame_url.join(&target) else {
+                FrameScript::External(target) => {
+                    let Ok(u) = frame_url.join(target) else {
                         continue;
                     };
                     stats.requests_attempted += 1;
@@ -384,7 +443,13 @@ impl Browser {
                         Ok(r) if r.status.is_success() => {
                             let src = String::from_utf8_lossy(&r.body).into_owned();
                             host.borrow_mut().now = clock.now();
-                            run_page_script(interp, &src, &self.config, stats);
+                            run_page_script(
+                                interp,
+                                &src,
+                                &self.config,
+                                stats,
+                                self.compile_cache.as_deref(),
+                            );
                         }
                         _ => stats.requests_failed += 1,
                     }
@@ -483,20 +548,47 @@ fn run_page_script(
     src: &str,
     config: &BrowserConfig,
     stats: &mut LoadStats,
+    cache: Option<&CompileCache>,
 ) {
     stats.scripts_run += 1;
     if src.len() > config.max_script_bytes {
-        // Parse-phase budget: don't even lex a source bomb.
+        // Parse-phase budget: don't even lex a source bomb. Checked before
+        // the cache probe so oversize handling is cache-invariant.
         stats.script_errors += 1;
         stats.script_oversize_errors += 1;
         return;
     }
-    interp.set_budget(&config.run_budget());
-    if let Err(e) = interp.run_source(src) {
-        stats.script_errors += 1;
-        match e {
-            ScriptError::Parse(_) => stats.script_parse_errors += 1,
-            ScriptError::Runtime(e) => classify_runtime(stats, &e),
+    let Some(cache) = cache else {
+        interp.set_budget(&config.run_budget());
+        if let Err(e) = interp.run_source(src) {
+            stats.script_errors += 1;
+            match e {
+                ScriptError::Parse(_) => stats.script_parse_errors += 1,
+                ScriptError::Runtime(e) => classify_runtime(stats, &e),
+            }
+        }
+        return;
+    };
+    // Cached path. Parsing consumes no interpreter fuel (budgets are
+    // installed per execution phase), so replaying a cached AST — or a
+    // cached parse error — is observably identical to the scratch path.
+    let (result, outcome) = cache.scripts().lookup_or_parse_counted(src);
+    match outcome {
+        CacheOutcome::Hit => stats.script_cache_hits += 1,
+        CacheOutcome::Miss => stats.script_cache_misses += 1,
+        CacheOutcome::NegativeHit => stats.script_cache_negative_hits += 1,
+    }
+    match result {
+        Ok(program) => {
+            interp.set_budget(&config.run_budget());
+            if let Err(e) = interp.run(&program) {
+                stats.script_errors += 1;
+                classify_runtime(stats, &e);
+            }
+        }
+        Err(_) => {
+            stats.script_errors += 1;
+            stats.script_parse_errors += 1;
         }
     }
 }

@@ -82,6 +82,7 @@ impl StudyConfig {
             retry: bfu_crawler::RetryPolicy::default(),
             breaker: bfu_crawler::BreakerPolicy::default(),
             browser: bfu_crawler::BrowserConfig::default(),
+            compile_cache: true,
         }
     }
 
@@ -142,6 +143,7 @@ impl Study {
         let web = SyntheticWeb::generate(WebConfig {
             sites: config.sites,
             seed: config.seed,
+            script_weight: 0,
         });
         let survey = Survey::new(web.clone(), config.crawl_config());
         (web, survey)

@@ -85,6 +85,11 @@ pub struct CrawlConfig {
     /// Browser engine configuration (script resource budgets, subresource
     /// caps) every worker crawls with.
     pub browser: BrowserConfig,
+    /// Share one content-addressed compilation cache (parsed scripts +
+    /// frame-script lists) across every page, site, round, profile, and
+    /// worker thread. Pure memoization: measurements are identical on or
+    /// off, so — like `threads` — this is excluded from the fingerprint.
+    pub compile_cache: bool,
 }
 
 impl Default for CrawlConfig {
@@ -100,14 +105,16 @@ impl Default for CrawlConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             browser: BrowserConfig::default(),
+            compile_cache: true,
         }
     }
 }
 
 impl CrawlConfig {
-    /// Absorb every measurement-relevant field into `f`. Thread count is
-    /// deliberately excluded: results are thread-invariant, so a dataset
-    /// crawled on 2 threads resumes cleanly on 16.
+    /// Absorb every measurement-relevant field into `f`. Thread count and
+    /// the compilation-cache toggle are deliberately excluded: results are
+    /// invariant to both, so a dataset crawled on 2 threads (or with the
+    /// cache off) resumes cleanly on 16 (or with it on).
     pub fn fingerprint_into(&self, f: &mut bfu_util::Fnv64) {
         f.write(b"crawl-config-v2");
         f.write_u64(u64::from(self.rounds_per_profile));
@@ -135,6 +142,8 @@ impl CrawlConfig {
         f.write_u64(u64::from(self.browser.max_timer_callbacks));
         f.write_u64(u64::from(self.browser.instrument));
         f.write_u64(self.browser.max_subresources as u64);
+        // `threads` and `compile_cache` intentionally absent: layout and
+        // memoization, not data.
     }
 
     /// A scaled-down config for tests and examples: fewer rounds/pages and
@@ -151,6 +160,7 @@ impl CrawlConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             browser: BrowserConfig::default(),
+            compile_cache: true,
         }
     }
 }
@@ -183,6 +193,13 @@ mod tests {
             digest(&base),
             digest(&threads),
             "threads are layout, not data"
+        );
+        let mut cache = base.clone();
+        cache.compile_cache = !base.compile_cache;
+        assert_eq!(
+            digest(&base),
+            digest(&cache),
+            "the compile cache is memoization, not data"
         );
         let mut rounds = base.clone();
         rounds.rounds_per_profile += 1;

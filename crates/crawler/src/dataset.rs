@@ -202,6 +202,40 @@ impl SiteMeasurement {
     }
 }
 
+/// Survey-level compilation-cache totals, read from the shared cache's
+/// counters after the crawl. Diagnostics only: the totals are deterministic
+/// for a fixed visit plan (misses count unique sources exactly — see
+/// `bfu_script::cache`), but they describe *effort saved*, not anything
+/// measured, so they are excluded from [`Dataset::fingerprint`]. A resumed
+/// crawl that skipped already-stored sites reports smaller totals than an
+/// uninterrupted one while fingerprinting identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTotals {
+    /// Whether the survey ran with a shared compilation cache at all.
+    pub enabled: bool,
+    /// Script probes that reused a parsed program.
+    pub script_hits: u64,
+    /// Script probes that parsed fresh source.
+    pub script_misses: u64,
+    /// Script probes that replayed a cached parse error.
+    pub script_negative_hits: u64,
+    /// Distinct script sources seen (== successful + failed parses).
+    pub unique_scripts: u64,
+    /// Distinct iframe bodies whose script lists were extracted.
+    pub unique_frames: u64,
+}
+
+impl CacheTotals {
+    /// Fraction of script probes served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.script_hits + self.script_misses + self.script_negative_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.script_hits + self.script_negative_hits) as f64 / total as f64
+    }
+}
+
 /// The whole survey's output.
 #[derive(Debug, Clone)]
 pub struct Dataset {
@@ -211,6 +245,8 @@ pub struct Dataset {
     pub rounds_per_profile: u32,
     /// One entry per ranked site.
     pub sites: Vec<SiteMeasurement>,
+    /// Compilation-cache totals for the run (never fingerprinted).
+    pub cache: CacheTotals,
 }
 
 impl Dataset {
@@ -276,6 +312,7 @@ impl Dataset {
     pub fn health(&self) -> CrawlHealth {
         let mut health = CrawlHealth {
             sites_total: self.sites.len(),
+            cache: self.cache,
             ..CrawlHealth::default()
         };
         for s in &self.sites {
@@ -369,6 +406,8 @@ pub struct CrawlHealth {
     pub total_script_depth_errors: u64,
     /// Rounds skipped because a host's circuit breaker was open.
     pub rounds_circuit_skipped: u64,
+    /// Compilation-cache totals (zeroed when the cache was disabled).
+    pub cache: CacheTotals,
 }
 
 impl CrawlHealth {
@@ -436,6 +475,7 @@ mod tests {
             profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
             rounds_per_profile: 2,
             sites: vec![measurement()],
+            cache: CacheTotals::default(),
         };
         assert_eq!(ds.measured_sites(), 1);
         assert_eq!(ds.total_pages(), 39);
@@ -520,6 +560,7 @@ mod tests {
                 lost(1, "dead.test", CrawlError::DeadHost),
                 lost(2, "slow.test", CrawlError::Stall),
             ],
+            cache: CacheTotals::default(),
         };
         let health = ds.health();
         assert_eq!(health.sites_total, 3);
@@ -545,6 +586,7 @@ mod tests {
             profiles: vec![BrowserProfile::Default],
             rounds_per_profile: 1,
             sites: vec![measurement()],
+            cache: CacheTotals::default(),
         };
         let mut other = base.clone();
         assert_eq!(base.fingerprint(), other.fingerprint());
@@ -571,12 +613,38 @@ mod tests {
             profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
             rounds_per_profile: 2,
             sites: vec![m],
+            cache: CacheTotals::default(),
         };
         let health = ds.health();
         assert_eq!(health.total_script_budget_errors, 2);
         assert_eq!(health.total_script_heap_errors, 1);
         assert_eq!(health.total_script_depth_errors, 3);
         assert_eq!(health.rounds_circuit_skipped, 1);
+    }
+
+    #[test]
+    fn cache_totals_surface_in_health_but_not_fingerprint() {
+        let mut ds = Dataset {
+            profiles: vec![BrowserProfile::Default],
+            rounds_per_profile: 1,
+            sites: vec![measurement()],
+            cache: CacheTotals::default(),
+        };
+        let bare = ds.fingerprint();
+        ds.cache = CacheTotals {
+            enabled: true,
+            script_hits: 90,
+            script_misses: 10,
+            script_negative_hits: 20,
+            unique_scripts: 10,
+            unique_frames: 3,
+        };
+        assert_eq!(ds.fingerprint(), bare, "cache totals are effort, not data");
+        let health = ds.health();
+        assert!(health.cache.enabled);
+        assert_eq!(health.cache.script_hits, 90);
+        assert!((ds.cache.hit_rate() - 110.0 / 120.0).abs() < 1e-12);
+        assert_eq!(CacheTotals::default().hit_rate(), 0.0);
     }
 
     #[test]

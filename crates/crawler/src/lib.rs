@@ -39,7 +39,9 @@ pub mod visit;
 pub use bfu_browser::BrowserConfig;
 pub use breaker::{Admission, BreakerPolicy, BreakerState, HostBreaker};
 pub use config::{BrowserProfile, CrawlConfig};
-pub use dataset::{CrawlHealth, Dataset, RoundMeasurement, SiteMeasurement, SiteOutcome};
+pub use dataset::{
+    CacheTotals, CrawlHealth, Dataset, RoundMeasurement, SiteMeasurement, SiteOutcome,
+};
 pub use error::CrawlError;
 pub use provenance::Provenance;
 pub use retry::{load_with_retry, AttemptTrace, RetryPolicy};

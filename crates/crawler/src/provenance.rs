@@ -53,7 +53,11 @@ mod tests {
 
     #[test]
     fn provenance_reflects_survey_and_dataset() {
-        let web = SyntheticWeb::generate(WebConfig { sites: 6, seed: 11 });
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: 6,
+            seed: 11,
+            script_weight: 0,
+        });
         let survey = Survey::new(web, CrawlConfig::quick(3));
         let dataset = survey.run();
         let p = Provenance::of(&survey, &dataset);

@@ -15,9 +15,9 @@
 
 use crate::breaker::HostBreaker;
 use crate::config::{BrowserProfile, CrawlConfig};
-use crate::dataset::{Dataset, SiteMeasurement, SiteOutcome};
+use crate::dataset::{CacheTotals, Dataset, SiteMeasurement, SiteOutcome};
 use crate::visit::{policy_for, visit_site_round_supervised, PolicyAdapter};
-use bfu_browser::Browser;
+use bfu_browser::{Browser, CompileCache};
 use bfu_monkey::{HumanProfile, Interactor};
 use bfu_net::{FaultPlan, SimNet, Url};
 use bfu_util::{hash_label, SimRng};
@@ -27,7 +27,7 @@ use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The survey driver.
 #[derive(Debug, Clone)]
@@ -154,8 +154,12 @@ impl Survey {
     }
 
     /// Build one worker's private world: network (with faults applied),
-    /// browser, and one policy per profile.
-    fn build_world(&self) -> (SimNet, Browser, Vec<(BrowserProfile, PolicyAdapter)>) {
+    /// browser, and one policy per profile. When the survey runs with a
+    /// shared compilation cache, every worker's browser gets the same one.
+    fn build_world(
+        &self,
+        cache: Option<&Arc<CompileCache>>,
+    ) -> (SimNet, Browser, Vec<(BrowserProfile, PolicyAdapter)>) {
         let mut net = SimNet::new(SimRng::new(self.config.seed ^ 0x5EED));
         self.web.install_into(&mut net);
         if let Some(plan) = &self.hostility {
@@ -163,7 +167,10 @@ impl Survey {
         }
         net.set_faults(self.effective_faults(&net));
         let registry = Rc::new((**self.web.registry()).clone());
-        let browser = Browser::with_config(registry, self.config.browser.clone());
+        let mut browser = Browser::with_config(registry, self.config.browser.clone());
+        if let Some(cache) = cache {
+            browser.set_compile_cache(Arc::clone(cache));
+        }
         let policies: Vec<(BrowserProfile, PolicyAdapter)> = self
             .config
             .profiles
@@ -202,6 +209,16 @@ impl Survey {
         let results: Mutex<Vec<Option<SiteMeasurement>>> = Mutex::new(prefilled);
         let next = AtomicUsize::new(0);
         let threads = self.config.threads.max(1).min(n_sites.max(1));
+        // One compilation cache for the whole survey: every worker's browser
+        // shares it, so a third-party script parsed on one thread is a hit
+        // everywhere else. Purely memoization — the dataset fingerprint is
+        // identical with the cache on or off (the determinism suite asserts
+        // this), which is why `compile_cache` stays out of the config
+        // fingerprint.
+        let cache = self
+            .config
+            .compile_cache
+            .then(|| Arc::new(CompileCache::new()));
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -218,7 +235,7 @@ impl Survey {
                         // Worlds are expensive; build one only if this
                         // worker actually has sites left to crawl.
                         let (net, browser, policies) =
-                            world.get_or_insert_with(|| self.build_world());
+                            world.get_or_insert_with(|| self.build_world(cache.as_ref()));
                         // A panicking site must not take the worker (or the
                         // survey) down with it; it becomes a Panicked entry.
                         let m = catch_unwind(AssertUnwindSafe(|| {
@@ -236,6 +253,20 @@ impl Survey {
         let slots = results
             .into_inner()
             .unwrap_or_else(|poison| poison.into_inner());
+        let cache_totals = match &cache {
+            Some(cache) => {
+                let scripts = cache.script_stats();
+                CacheTotals {
+                    enabled: true,
+                    script_hits: scripts.hits,
+                    script_misses: scripts.misses,
+                    script_negative_hits: scripts.negative_hits,
+                    unique_scripts: scripts.unique_sources,
+                    unique_frames: cache.unique_frames() as u64,
+                }
+            }
+            None => CacheTotals::default(),
+        };
         Dataset {
             profiles: self.config.profiles.clone(),
             rounds_per_profile: self.config.rounds_per_profile,
@@ -244,6 +275,7 @@ impl Survey {
                 .enumerate()
                 .map(|(ix, m)| m.unwrap_or_else(|| self.panicked_site(ix)))
                 .collect(),
+            cache: cache_totals,
         }
     }
 

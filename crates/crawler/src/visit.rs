@@ -263,7 +263,11 @@ mod tests {
     use std::rc::Rc;
 
     fn rig() -> (SyntheticWeb, Browser, SimNet) {
-        let web = SyntheticWeb::generate(WebConfig { sites: 30, seed: 5 });
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: 30,
+            seed: 5,
+            script_weight: 0,
+        });
         let mut net = SimNet::new(SimRng::new(2));
         web.install_into(&mut net);
         let registry = Rc::new((**web.registry()).clone());

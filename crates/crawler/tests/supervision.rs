@@ -16,6 +16,7 @@ fn web() -> SyntheticWeb {
     SyntheticWeb::generate(WebConfig {
         sites: SITES,
         seed: WEB_SEED,
+        script_weight: 0,
     })
 }
 
@@ -59,6 +60,7 @@ fn config(threads: usize) -> CrawlConfig {
         retry: RetryPolicy::default(),
         breaker: bfu_crawler::BreakerPolicy::default(),
         browser: bfu_crawler::BrowserConfig::default(),
+        compile_cache: true,
     }
 }
 

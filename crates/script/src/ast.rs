@@ -1,6 +1,13 @@
 //! Syntax tree for the mini-JS language.
+//!
+//! Identifiers and property names are interned [`Atom`]s, so a parsed
+//! [`Program`] carries no owned identifier strings and comparisons during
+//! interpretation are `u32` equality. Function definitions are `Arc`-shared
+//! (not `Rc`): the compilation cache hands the *same* parsed program to every
+//! worker thread, so the tree must be `Send + Sync`.
 
-use std::rc::Rc;
+use bfu_util::Atom;
+use std::sync::Arc;
 
 /// Binary arithmetic/comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,9 +64,9 @@ pub enum UnaryOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Place {
     /// `x = ...`
-    Var(String),
+    Var(Atom),
     /// `obj.prop = ...`
-    Member(Box<Expr>, String),
+    Member(Box<Expr>, Atom),
     /// `obj[key] = ...`
     Index(Box<Expr>, Box<Expr>),
 }
@@ -78,11 +85,11 @@ pub enum Expr {
     /// `undefined`
     Undefined,
     /// Variable reference.
-    Ident(String),
+    Ident(Atom),
     /// `this`
     This,
     /// `obj.prop`
-    Member(Box<Expr>, String),
+    Member(Box<Expr>, Atom),
     /// `obj[key]`
     Index(Box<Expr>, Box<Expr>),
     /// Call. When the callee is a `Member`, the receiver becomes `this`.
@@ -153,9 +160,9 @@ pub enum Expr {
         otherwise: Box<Expr>,
     },
     /// Function expression (closure).
-    Function(Rc<FunctionDef>),
+    Function(Arc<FunctionDef>),
     /// Object literal.
-    ObjectLit(Vec<(String, Expr)>),
+    ObjectLit(Vec<(Atom, Expr)>),
     /// Array literal.
     ArrayLit(Vec<Expr>),
 }
@@ -164,9 +171,9 @@ pub enum Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionDef {
     /// Optional name (for declarations and recursion).
-    pub name: Option<String>,
+    pub name: Option<Atom>,
     /// Parameter names.
-    pub params: Vec<String>,
+    pub params: Vec<Atom>,
     /// Body statements.
     pub body: Vec<Stmt>,
 }
@@ -177,9 +184,9 @@ pub enum Stmt {
     /// Expression statement.
     Expr(Expr),
     /// `var name = init;`
-    Var(String, Option<Expr>),
+    Var(Atom, Option<Expr>),
     /// `function name(...) { ... }`
-    FunctionDecl(Rc<FunctionDef>),
+    FunctionDecl(Arc<FunctionDef>),
     /// `return expr;`
     Return(Option<Expr>),
     /// `if (cond) { ... } else { ... }`

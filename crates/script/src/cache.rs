@@ -1,0 +1,262 @@
+//! Content-addressed script compilation cache.
+//!
+//! A crawl executes the same script sources over and over: every page is
+//! visited once per round per browser profile, and third-party scripts are
+//! shared across thousands of sites. Lexing + parsing is pure — the output
+//! depends only on the source text — so the crawl re-derives identical ASTs
+//! millions of times. This module memoizes that work survey-wide.
+//!
+//! Design:
+//!
+//! - **Keying.** Scripts are keyed by the FNV-64 hash of their source bytes
+//!   (the same [`bfu_util::Fnv64`] the store shards use). Sources the paper's
+//!   crawl sees are generated or fetched text, not adversarially chosen to
+//!   collide a 64-bit hash; on the off chance of a collision the cache would
+//!   serve a wrong-but-valid AST, which the synthetic-web workload cannot
+//!   produce (all sources come from a finite generator).
+//! - **Negative caching.** Parse *errors* are cached alongside successes.
+//!   [`ParseError`] is a plain value (`Clone + PartialEq`), so a hostile
+//!   malformed script is diagnosed once and every later encounter replays
+//!   the identical error — hit and miss behave bit-identically.
+//! - **Striping.** The map is striped across [`STRIPES`] mutexes chosen by
+//!   hash, so worker threads parsing different scripts rarely contend.
+//!   Parsing happens *under* the stripe lock: two threads racing on the same
+//!   new script serialize, and exactly one parse per unique source ever runs.
+//!   That makes the miss counter deterministic (== unique sources seen), not
+//!   scheduling-dependent.
+//! - **Determinism.** Parsing consumes no interpreter fuel (budgets are
+//!   installed per execution phase, after parsing), so replaying a cached
+//!   AST burns exactly the fuel a fresh parse-then-run would. Cached ASTs
+//!   are immutable `Arc<Program>`s shared by all threads.
+
+use crate::ast::Program;
+use crate::parser::{parse, ParseError};
+use bfu_util::Fnv64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of lock stripes. Power of two so stripe selection is a mask; 16
+/// comfortably exceeds the crawler's worker-thread counts.
+const STRIPES: usize = 16;
+
+/// What a cache entry holds: a shared parsed program, or the diagnosed
+/// parse error replayed on every later encounter (negative caching).
+pub type ParseOutcome = Result<Arc<Program>, ParseError>;
+
+/// One lock stripe of the content-addressed map.
+type Stripe = Mutex<HashMap<u64, ParseOutcome>>;
+
+/// What one cache probe observed (for the embedder's per-page stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Source was parsed for the first time (cache filled).
+    Miss,
+    /// A previously parsed program was reused.
+    Hit,
+    /// A previously diagnosed parse error was replayed.
+    NegativeHit,
+}
+
+/// Survey-wide totals, read from atomics after a run. Hits and negative
+/// hits are deterministic given a fixed visit plan (every probe after the
+/// first for a given source is a hit, regardless of which thread gets
+/// there first); misses equal the number of unique sources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that reused a parsed program.
+    pub hits: u64,
+    /// Probes that parsed fresh source.
+    pub misses: u64,
+    /// Probes that replayed a cached parse error.
+    pub negative_hits: u64,
+    /// Distinct sources currently resident (== successful + failed parses).
+    pub unique_sources: u64,
+}
+
+impl CacheStats {
+    /// Fraction of probes served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.negative_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hits + self.negative_hits) as f64 / total as f64
+    }
+}
+
+/// A thread-safe, content-addressed map from script source to parse result.
+///
+/// Shared via `Arc` across every page, site, round, profile, and worker
+/// thread of a survey. See the module docs for the determinism argument.
+///
+/// # Examples
+///
+/// ```
+/// use bfu_script::cache::ScriptCache;
+/// let cache = ScriptCache::new();
+/// let a = cache.lookup_or_parse("var x = 1;").expect("parses");
+/// let b = cache.lookup_or_parse("var x = 1;").expect("parses");
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScriptCache {
+    stripes: [Stripe; STRIPES],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    negative_hits: AtomicU64,
+}
+
+impl ScriptCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScriptCache::default()
+    }
+
+    /// The FNV-64 content hash used as the cache key for `src`.
+    pub fn content_hash(src: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(src.as_bytes());
+        h.finish()
+    }
+
+    /// Parse `src`, or reuse the cached result for identical source.
+    ///
+    /// Returns the shared program on success, or a replay of the cached
+    /// [`ParseError`] for source already known to be malformed.
+    pub fn lookup_or_parse(&self, src: &str) -> ParseOutcome {
+        self.lookup_or_parse_counted(src).0
+    }
+
+    /// [`ScriptCache::lookup_or_parse`] plus what the probe observed.
+    pub fn lookup_or_parse_counted(&self, src: &str) -> (ParseOutcome, CacheOutcome) {
+        let key = ScriptCache::content_hash(src);
+        let stripe = &self.stripes[(key as usize) & (STRIPES - 1)];
+        let mut map = match stripe.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(cached) = map.get(&key) {
+            let outcome = match cached {
+                Ok(_) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    CacheOutcome::Hit
+                }
+                Err(_) => {
+                    self.negative_hits.fetch_add(1, Ordering::Relaxed);
+                    CacheOutcome::NegativeHit
+                }
+            };
+            return (cached.clone(), outcome);
+        }
+        // Parse under the stripe lock: a second thread racing on the same
+        // source waits here and then hits, so misses count unique sources
+        // exactly and no parse ever runs twice.
+        let result = parse(src).map(Arc::new);
+        map.insert(key, result.clone());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (result, CacheOutcome::Miss)
+    }
+
+    /// Current totals.
+    pub fn stats(&self) -> CacheStats {
+        let unique: usize = self
+            .stripes
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(m) => m.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            })
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            unique_sources: unique as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_same_program() {
+        let cache = ScriptCache::new();
+        let (a, o1) = cache.lookup_or_parse_counted("var a = 1 + 2;");
+        let (b, o2) = cache.lookup_or_parse_counted("var a = 1 + 2;");
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a.unwrap(), &b.unwrap()));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.negative_hits), (1, 1, 0));
+        assert_eq!(s.unique_sources, 1);
+    }
+
+    #[test]
+    fn negative_cache_replays_identical_error() {
+        let cache = ScriptCache::new();
+        let fresh = crate::parser::parse("var = ;").unwrap_err();
+        let (first, o1) = cache.lookup_or_parse_counted("var = ;");
+        let (second, o2) = cache.lookup_or_parse_counted("var = ;");
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::NegativeHit);
+        assert_eq!(first.unwrap_err(), fresh);
+        assert_eq!(second.unwrap_err(), fresh);
+        assert_eq!(cache.stats().negative_hits, 1);
+    }
+
+    #[test]
+    fn distinct_sources_do_not_collide() {
+        let cache = ScriptCache::new();
+        let a = cache.lookup_or_parse("var a = 1;").unwrap();
+        let b = cache.lookup_or_parse("var b = 2;").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().unique_sources, 2);
+    }
+
+    #[test]
+    fn cached_programs_match_fresh_parse() {
+        let src = "function f(x) { return x * 2; } var y = f(21);";
+        let cache = ScriptCache::new();
+        let cached = cache.lookup_or_parse(src).unwrap();
+        let fresh = crate::parser::parse(src).unwrap();
+        assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn concurrent_probes_parse_once() {
+        let cache = Arc::new(ScriptCache::new());
+        let srcs: Vec<String> = (0..8).map(|i| format!("var v{i} = {i};")).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let srcs = srcs.clone();
+                scope.spawn(move || {
+                    for s in &srcs {
+                        cache.lookup_or_parse(s).unwrap();
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.misses, 8, "one parse per unique source");
+        assert_eq!(s.hits, 4 * 8 - 8);
+        assert_eq!(s.unique_sources, 8);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats {
+            hits: 6,
+            misses: 2,
+            negative_hits: 2,
+            unique_sources: 2,
+        };
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

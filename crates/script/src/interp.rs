@@ -16,9 +16,11 @@ use crate::budget::ResourceBudget;
 use crate::object::{Callable, EnvId, Heap};
 use crate::parser::{parse, ParseError};
 use crate::value::Value;
+use bfu_util::Atom;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Errors surfaced while running a script.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,7 +74,7 @@ pub type NativeFn = Rc<dyn Fn(&mut Interpreter, Value, &[Value]) -> Result<Value
 
 #[derive(Debug, Default)]
 struct Env {
-    vars: HashMap<String, Value>,
+    vars: HashMap<Atom, Value>,
     parent: Option<EnvId>,
     this: Value,
 }
@@ -196,15 +198,14 @@ impl Interpreter {
     pub fn set_global(&mut self, name: &str, value: Value) {
         self.envs[self.global.index()]
             .vars
-            .insert(name.to_owned(), value);
+            .insert(Atom::intern(name), value);
     }
 
-    /// Read a global variable.
+    /// Read a global variable. Never grows the atom table: a name nobody
+    /// interned cannot be bound anywhere.
     pub fn get_global(&self, name: &str) -> Value {
-        self.envs[self.global.index()]
-            .vars
-            .get(name)
-            .cloned()
+        Atom::get(name)
+            .and_then(|a| self.envs[self.global.index()].vars.get(&a).cloned())
             .unwrap_or(Value::Undefined)
     }
 
@@ -270,13 +271,13 @@ impl Interpreter {
                 self.hoist_functions(&def.body, call_env);
                 for (i, p) in def.params.iter().enumerate() {
                     let v = args.get(i).cloned().unwrap_or(Value::Undefined);
-                    self.envs[call_env.index()].vars.insert(p.clone(), v);
+                    self.envs[call_env.index()].vars.insert(*p, v);
                 }
                 // Named function expressions can refer to themselves.
-                if let Some(name) = &def.name {
+                if let Some(name) = def.name {
                     self.envs[call_env.index()]
                         .vars
-                        .insert(name.clone(), callee.clone());
+                        .insert(name, callee.clone());
                 }
                 let mut out = Value::Undefined;
                 let mut err = None;
@@ -317,7 +318,7 @@ impl Interpreter {
             if let Stmt::FunctionDecl(def) = stmt {
                 // The parser only emits named declarations; an anonymous one
                 // (impossible today) would simply not be hoisted.
-                let Some(name) = def.name.clone() else {
+                let Some(name) = def.name else {
                     continue;
                 };
                 let f = self.make_closure(def.clone(), env);
@@ -352,11 +353,11 @@ impl Interpreter {
                     Some(e) => self.eval(e, env)?,
                     None => Value::Undefined,
                 };
-                self.envs[env.index()].vars.insert(name.clone(), v);
+                self.envs[env.index()].vars.insert(*name, v);
                 Ok(Flow::Normal)
             }
             Stmt::FunctionDecl(def) => {
-                if let Some(name) = def.name.clone() {
+                if let Some(name) = def.name {
                     let f = self.make_closure(def.clone(), env);
                     self.envs[env.index()].vars.insert(name, f);
                 }
@@ -447,7 +448,7 @@ impl Interpreter {
         Value::Undefined
     }
 
-    fn make_closure(&mut self, def: Rc<FunctionDef>, env: EnvId) -> Value {
+    fn make_closure(&mut self, def: Arc<FunctionDef>, env: EnvId) -> Value {
         Value::Obj(
             self.heap
                 .alloc_callable(Callable::Script { def, env }, None),
@@ -465,10 +466,10 @@ impl Interpreter {
             Expr::Null => Ok(Value::Null),
             Expr::Undefined => Ok(Value::Undefined),
             Expr::This => Ok(self.this_of(env)),
-            Expr::Ident(name) => self.lookup(name, env),
+            Expr::Ident(name) => self.lookup(*name, env),
             Expr::Member(obj, prop) => {
                 let base = self.eval(obj, env)?;
-                self.get_member(&base, prop)
+                self.get_member_atom(&base, *prop)
             }
             Expr::Index(obj, key) => {
                 let base = self.eval(obj, env)?;
@@ -480,7 +481,7 @@ impl Interpreter {
                 let (f, this) = match &**callee {
                     Expr::Member(obj, prop) => {
                         let base = self.eval(obj, env)?;
-                        let f = self.get_member(&base, prop)?;
+                        let f = self.get_member_atom(&base, *prop)?;
                         (f, base)
                     }
                     Expr::Index(obj, key) => {
@@ -564,7 +565,7 @@ impl Interpreter {
                     // typeof on an unresolved identifier yields "undefined"
                     // rather than throwing, per JS.
                     let v = match &**expr {
-                        Expr::Ident(name) => self.lookup(name, env).unwrap_or(Value::Undefined),
+                        Expr::Ident(name) => self.lookup(*name, env).unwrap_or(Value::Undefined),
                         other => self.eval(other, env)?,
                     };
                     let heap = &self.heap;
@@ -587,7 +588,7 @@ impl Interpreter {
                 let obj = self.heap.alloc(None);
                 for (k, v) in props {
                     let val = self.eval(v, env)?;
-                    self.heap.set_prop_raw(obj, k, val);
+                    self.heap.set_prop_raw_atom(obj, *k, val);
                 }
                 Ok(Value::Obj(obj))
             }
@@ -608,10 +609,10 @@ impl Interpreter {
         args.iter().map(|a| self.eval(a, env)).collect()
     }
 
-    fn lookup(&self, name: &str, env: EnvId) -> Result<Value, RuntimeError> {
+    fn lookup(&self, name: Atom, env: EnvId) -> Result<Value, RuntimeError> {
         let mut cur = Some(env);
         while let Some(e) = cur {
-            if let Some(v) = self.envs[e.index()].vars.get(name) {
+            if let Some(v) = self.envs[e.index()].vars.get(&name) {
                 return Ok(v.clone());
             }
             cur = self.envs[e.index()].parent;
@@ -621,10 +622,26 @@ impl Interpreter {
         )))
     }
 
-    /// Read a member off any value. Strings expose `length`.
+    /// Read a member by atom (the hot path: `obj.prop` in source).
+    fn get_member_atom(&mut self, base: &Value, prop: Atom) -> Result<Value, RuntimeError> {
+        match base {
+            Value::Obj(id) => Ok(self.heap.get_prop_atom(*id, prop)),
+            _ => self.member_of_primitive(base, prop.as_str()),
+        }
+    }
+
+    /// Read a member by runtime-computed string key (`obj[expr]`).
     fn get_member(&mut self, base: &Value, prop: &str) -> Result<Value, RuntimeError> {
         match base {
             Value::Obj(id) => Ok(self.heap.get_prop(*id, prop)),
+            _ => self.member_of_primitive(base, prop),
+        }
+    }
+
+    /// Member semantics shared by both key forms for non-object bases:
+    /// strings expose `length`; null/undefined throw.
+    fn member_of_primitive(&self, base: &Value, prop: &str) -> Result<Value, RuntimeError> {
+        match base {
             Value::Str(s) if prop == "length" => Ok(Value::Num(s.len() as f64)),
             Value::Str(_) => Ok(Value::Undefined),
             Value::Null | Value::Undefined => Err(RuntimeError::TypeError(format!(
@@ -637,10 +654,10 @@ impl Interpreter {
 
     fn read_place(&mut self, place: &Place, env: EnvId) -> Result<Value, RuntimeError> {
         match place {
-            Place::Var(name) => self.lookup(name, env),
+            Place::Var(name) => self.lookup(*name, env),
             Place::Member(obj, prop) => {
                 let base = self.eval(obj, env)?;
-                self.get_member(&base, prop)
+                self.get_member_atom(&base, *prop)
             }
             Place::Index(obj, key) => {
                 let base = self.eval(obj, env)?;
@@ -658,19 +675,17 @@ impl Interpreter {
                 let mut cur = Some(env);
                 while let Some(e) = cur {
                     if self.envs[e.index()].vars.contains_key(name) {
-                        self.envs[e.index()].vars.insert(name.clone(), value);
+                        self.envs[e.index()].vars.insert(*name, value);
                         return Ok(());
                     }
                     cur = self.envs[e.index()].parent;
                 }
-                self.envs[self.global.index()]
-                    .vars
-                    .insert(name.clone(), value);
+                self.envs[self.global.index()].vars.insert(*name, value);
                 Ok(())
             }
             Place::Member(obj, prop) => {
                 let base = self.eval(obj, env)?;
-                self.set_member(&base, prop, value)
+                self.set_member_atom(&base, *prop, value)
             }
             Place::Index(obj, key) => {
                 let base = self.eval(obj, env)?;
@@ -734,16 +749,31 @@ impl Interpreter {
         prop: &str,
         value: Value,
     ) -> Result<(), RuntimeError> {
+        self.set_member_atom(base, Atom::intern(prop), value)
+    }
+
+    /// Write a member by atom, firing any watch handler on the object.
+    pub fn set_member_atom(
+        &mut self,
+        base: &Value,
+        prop: Atom,
+        value: Value,
+    ) -> Result<(), RuntimeError> {
         let Some(id) = base.as_obj() else {
             return Err(RuntimeError::TypeError(format!(
-                "cannot set property {prop:?} on {}",
+                "cannot set property {:?} on {}",
+                prop.as_str(),
                 base.to_display()
             )));
         };
-        let (old, handler) = self.heap.set_prop(id, prop, value.clone());
+        let (old, handler) = self.heap.set_prop_atom(id, prop, value.clone());
         if let Some(h) = handler {
             let hv = Value::Obj(h);
-            self.call_value(&hv, Value::Obj(id), &[Value::str(prop), old, value])?;
+            self.call_value(
+                &hv,
+                Value::Obj(id),
+                &[Value::str(prop.as_str()), old, value],
+            )?;
         }
         Ok(())
     }

@@ -19,11 +19,13 @@
 //! - [`object`] — heap, objects, prototype chains, watchpoints.
 //! - [`interp`] — the interpreter and host-function registry.
 //! - [`budget`] — multi-axis execution resource budgets.
+//! - [`cache`] — survey-wide content-addressed compilation cache.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ast;
 pub mod budget;
+pub mod cache;
 pub mod interp;
 pub mod object;
 pub mod parser;
@@ -31,6 +33,7 @@ pub mod token;
 pub mod value;
 
 pub use budget::ResourceBudget;
+pub use cache::{CacheOutcome, CacheStats, ScriptCache};
 pub use interp::{Interpreter, NativeFn, RuntimeError, ScriptError};
 pub use object::{Heap, ObjId, PropKey};
 pub use value::Value;

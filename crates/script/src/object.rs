@@ -13,9 +13,9 @@
 
 use crate::ast::FunctionDef;
 use crate::value::Value;
-use bfu_util::define_id;
+use bfu_util::{define_id, Atom};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 define_id!(
     /// Heap object index.
@@ -29,8 +29,9 @@ define_id!(
     "env"
 );
 
-/// Property key (always a string, as in pre-symbol JavaScript).
-pub type PropKey = String;
+/// Property key: an interned atom (always a string in the language, as in
+/// pre-symbol JavaScript, but compared and hashed as a `u32`).
+pub type PropKey = Atom;
 
 /// How a function object is implemented.
 #[derive(Clone)]
@@ -40,7 +41,7 @@ pub enum Callable {
     /// A script closure: definition plus captured environment.
     Script {
         /// Shared function definition.
-        def: Rc<FunctionDef>,
+        def: Arc<FunctionDef>,
         /// Captured scope.
         env: EnvId,
     },
@@ -51,7 +52,11 @@ impl std::fmt::Debug for Callable {
         match self {
             Callable::Native(i) => write!(f, "Native({i})"),
             Callable::Script { def, .. } => {
-                write!(f, "Script({})", def.name.as_deref().unwrap_or("<anon>"))
+                write!(
+                    f,
+                    "Script({})",
+                    def.name.map(Atom::as_str).unwrap_or("<anon>")
+                )
             }
         }
     }
@@ -128,12 +133,14 @@ impl Heap {
         self.objects[id.index()].callable.is_some()
     }
 
-    /// Read a property, walking the prototype chain. `Undefined` if absent.
-    pub fn get_prop(&self, id: ObjId, key: &str) -> Value {
+    /// Read a property by atom, walking the prototype chain. `Undefined` if
+    /// absent. This is the interpreter's hot path: every hop is a `u32`
+    /// hash-map probe, no string comparison.
+    pub fn get_prop_atom(&self, id: ObjId, key: Atom) -> Value {
         let mut cur = Some(id);
         let mut hops = 0;
         while let Some(o) = cur {
-            if let Some(v) = self.objects[o.index()].props.get(key) {
+            if let Some(v) = self.objects[o.index()].props.get(&key) {
                 return v.clone();
             }
             cur = self.objects[o.index()].proto;
@@ -145,12 +152,22 @@ impl Heap {
         Value::Undefined
     }
 
+    /// Read a property by string, walking the prototype chain. `Undefined`
+    /// if absent. A key nobody ever interned cannot exist on any object, so
+    /// this never grows the atom table.
+    pub fn get_prop(&self, id: ObjId, key: &str) -> Value {
+        match Atom::get(key) {
+            Some(atom) => self.get_prop_atom(id, atom),
+            None => Value::Undefined,
+        }
+    }
+
     /// The object (self or ancestor) that *owns* `key`, if any.
-    pub fn owner_of_prop(&self, id: ObjId, key: &str) -> Option<ObjId> {
+    pub fn owner_of_prop_atom(&self, id: ObjId, key: Atom) -> Option<ObjId> {
         let mut cur = Some(id);
         let mut hops = 0;
         while let Some(o) = cur {
-            if self.objects[o.index()].props.contains_key(key) {
+            if self.objects[o.index()].props.contains_key(&key) {
                 return Some(o);
             }
             cur = self.objects[o.index()].proto;
@@ -162,24 +179,42 @@ impl Heap {
         None
     }
 
-    /// Write an own property **without** firing watchpoints. Returns the old
-    /// own value. Used by the embedder and by watch handlers themselves.
-    pub fn set_prop_raw(&mut self, id: ObjId, key: &str, value: Value) -> Value {
+    /// The object (self or ancestor) that *owns* `key`, if any.
+    pub fn owner_of_prop(&self, id: ObjId, key: &str) -> Option<ObjId> {
+        self.owner_of_prop_atom(id, Atom::get(key)?)
+    }
+
+    /// Write an own property by atom **without** firing watchpoints.
+    /// Returns the old own value.
+    pub fn set_prop_raw_atom(&mut self, id: ObjId, key: Atom, value: Value) -> Value {
         self.objects[id.index()]
             .props
-            .insert(key.to_owned(), value)
+            .insert(key, value)
             .unwrap_or(Value::Undefined)
     }
 
-    /// Write an own property, reporting whether a watchpoint must fire.
+    /// Write an own property **without** firing watchpoints. Returns the old
+    /// own value. Used by the embedder and by watch handlers themselves.
+    pub fn set_prop_raw(&mut self, id: ObjId, key: &str, value: Value) -> Value {
+        self.set_prop_raw_atom(id, Atom::intern(key), value)
+    }
+
+    /// Write an own property by atom, reporting whether a watchpoint must
+    /// fire.
     ///
     /// Returns `(old_value, Some(handler))` when the object is watched; the
     /// interpreter is responsible for invoking the handler (it owns the call
     /// machinery). The write itself always happens.
-    pub fn set_prop(&mut self, id: ObjId, key: &str, value: Value) -> (Value, Option<ObjId>) {
-        let old = self.set_prop_raw(id, key, value);
+    pub fn set_prop_atom(&mut self, id: ObjId, key: Atom, value: Value) -> (Value, Option<ObjId>) {
+        let old = self.set_prop_raw_atom(id, key, value);
         let handler = self.objects[id.index()].watch_all;
         (old, handler)
+    }
+
+    /// Write an own property, reporting whether a watchpoint must fire (see
+    /// [`Heap::set_prop_atom`]).
+    pub fn set_prop(&mut self, id: ObjId, key: &str, value: Value) -> (Value, Option<ObjId>) {
+        self.set_prop_atom(id, Atom::intern(key), value)
     }
 
     /// Install a watch handler on `id` (fires for every property write).
@@ -192,9 +227,14 @@ impl Heap {
         self.objects[id.index()].watch_all = None;
     }
 
-    /// Own property names (sorted, for deterministic iteration).
-    pub fn own_keys(&self, id: ObjId) -> Vec<String> {
-        let mut keys: Vec<String> = self.objects[id.index()].props.keys().cloned().collect();
+    /// Own property names (sorted by *string*, for deterministic iteration —
+    /// atom ids are scheduling-dependent and must never drive ordering).
+    pub fn own_keys(&self, id: ObjId) -> Vec<&'static str> {
+        let mut keys: Vec<&'static str> = self.objects[id.index()]
+            .props
+            .keys()
+            .map(|a| a.as_str())
+            .collect();
         keys.sort_unstable();
         keys
     }

@@ -6,8 +6,9 @@
 
 use crate::ast::*;
 use crate::token::{lex, Keyword, SpannedTok, Tok};
+use bfu_util::Atom;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,7 +114,7 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ParseError> {
+    fn expect_ident(&mut self) -> Result<Atom, ParseError> {
         match self.bump() {
             Some(Tok::Ident(s)) => Ok(s),
             other => Err(self.err(format!("expected identifier, found {other:?}"))),
@@ -146,7 +147,7 @@ impl Parser {
                 self.bump();
                 let name = self.expect_ident()?;
                 let def = self.function_rest(Some(name))?;
-                Ok(Stmt::FunctionDecl(Rc::new(def)))
+                Ok(Stmt::FunctionDecl(Arc::new(def)))
             }
             Some(Tok::Kw(Keyword::Return)) => {
                 self.bump();
@@ -259,7 +260,7 @@ impl Parser {
         }
     }
 
-    fn function_rest(&mut self, name: Option<String>) -> Result<FunctionDef, ParseError> {
+    fn function_rest(&mut self, name: Option<Atom>) -> Result<FunctionDef, ParseError> {
         self.expect_op("(")?;
         let mut params = Vec::new();
         if !self.eat_op(")") {
@@ -583,7 +584,7 @@ impl Parser {
                     None
                 };
                 let def = self.function_rest(name)?;
-                Ok(Expr::Function(Rc::new(def)))
+                Ok(Expr::Function(Arc::new(def)))
             }
             Some(Tok::Op("(")) => {
                 let e = self.expression()?;
@@ -595,9 +596,9 @@ impl Parser {
                 if !self.eat_op("}") {
                     loop {
                         let key = match self.bump() {
-                            Some(Tok::Ident(s)) => s,
-                            Some(Tok::Str(s)) => s,
-                            Some(Tok::Num(n)) => format!("{n}"),
+                            Some(Tok::Ident(a)) => a,
+                            Some(Tok::Str(s)) => Atom::intern(&s),
+                            Some(Tok::Num(n)) => Atom::intern(&format!("{n}")),
                             other => return Err(self.err(format!("bad object key {other:?}"))),
                         };
                         self.expect_op(":")?;
@@ -646,7 +647,7 @@ mod tests {
         else {
             panic!("{:?}", prog.body[0]);
         };
-        assert_eq!(name, "x");
+        assert_eq!(name.as_str(), "x");
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
@@ -657,7 +658,7 @@ mod tests {
             panic!();
         };
         assert_eq!(args.len(), 1);
-        assert!(matches!(**callee, Expr::Member(_, ref p) if p == "appendChild"));
+        assert!(matches!(**callee, Expr::Member(_, ref p) if p.as_str() == "appendChild"));
     }
 
     #[test]
@@ -680,8 +681,11 @@ mod tests {
         let Stmt::FunctionDecl(def) = &prog.body[0] else {
             panic!()
         };
-        assert_eq!(def.name.as_deref(), Some("f"));
-        assert_eq!(def.params, vec!["a", "b"]);
+        assert_eq!(def.name.map(Atom::as_str), Some("f"));
+        assert_eq!(
+            def.params.iter().map(|p| p.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
         assert!(matches!(
             &prog.body[1],
             Stmt::Var(_, Some(Expr::Function(_)))

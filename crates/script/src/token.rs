@@ -1,5 +1,10 @@
 //! Lexer for the mini-JS language.
+//!
+//! Identifiers are interned into the process-wide atom table as they are
+//! lexed, so everything downstream (parser, interpreter, heap) works with
+//! `u32` atoms instead of owned strings.
 
+use bfu_util::Atom;
 use std::fmt;
 
 /// Keywords of the language.
@@ -66,8 +71,8 @@ impl Keyword {
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tok {
-    /// Identifier.
-    Ident(String),
+    /// Identifier (interned).
+    Ident(Atom),
     /// Keyword.
     Kw(Keyword),
     /// Numeric literal.
@@ -226,7 +231,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             let word = &src[start..i];
             let tok = match Keyword::from_str(word) {
                 Some(kw) => Tok::Kw(kw),
-                None => Tok::Ident(word.to_owned()),
+                None => Tok::Ident(Atom::intern(word)),
             };
             out.push(SpannedTok { tok, line });
             continue;
@@ -263,7 +268,7 @@ mod tests {
             toks("var x = 1.5;"),
             vec![
                 Tok::Kw(Keyword::Var),
-                Tok::Ident("x".into()),
+                Tok::Ident(Atom::intern("x")),
                 Tok::Op("="),
                 Tok::Num(1.5),
                 Tok::Op(";"),
@@ -276,16 +281,19 @@ mod tests {
         assert_eq!(
             toks("a === b == c = d"),
             vec![
-                Tok::Ident("a".into()),
+                Tok::Ident(Atom::intern("a")),
                 Tok::Op("==="),
-                Tok::Ident("b".into()),
+                Tok::Ident(Atom::intern("b")),
                 Tok::Op("=="),
-                Tok::Ident("c".into()),
+                Tok::Ident(Atom::intern("c")),
                 Tok::Op("="),
-                Tok::Ident("d".into()),
+                Tok::Ident(Atom::intern("d")),
             ]
         );
-        assert_eq!(toks("i++"), vec![Tok::Ident("i".into()), Tok::Op("++")]);
+        assert_eq!(
+            toks("i++"),
+            vec![Tok::Ident(Atom::intern("i")), Tok::Op("++")]
+        );
     }
 
     #[test]
@@ -300,7 +308,7 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             toks("a // comment\n/* block */ b"),
-            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+            vec![Tok::Ident(Atom::intern("a")), Tok::Ident(Atom::intern("b"))]
         );
     }
 
@@ -320,7 +328,10 @@ mod tests {
     fn dollar_identifiers() {
         assert_eq!(
             toks("$x _y"),
-            vec![Tok::Ident("$x".into()), Tok::Ident("_y".into())]
+            vec![
+                Tok::Ident(Atom::intern("$x")),
+                Tok::Ident(Atom::intern("_y"))
+            ]
         );
     }
 

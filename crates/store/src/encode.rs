@@ -236,6 +236,7 @@ mod tests {
             profiles: vec![BrowserProfile::Default, BrowserProfile::Blocking],
             rounds_per_profile: 2,
             sites: vec![m],
+            cache: bfu_crawler::CacheTotals::default(),
         }
         .fingerprint()
     }

@@ -432,10 +432,13 @@ pub fn load_survey_dataset(survey: &Survey, dir: &Path) -> Result<LoadOutcome, S
     let scan = store.scan()?;
     if scan.recovered == scan.sites.len() {
         let sites = scan.sites.into_iter().flatten().collect();
+        // A store-recovered dataset did no parsing, so its cache totals are
+        // zero — effort stats, not measurements, and never fingerprinted.
         let dataset = Dataset {
             profiles: survey.config().profiles.clone(),
             rounds_per_profile: survey.config().rounds_per_profile,
             sites,
+            cache: bfu_crawler::CacheTotals::default(),
         };
         Ok(LoadOutcome::Complete {
             dataset,
@@ -464,7 +467,11 @@ mod tests {
     }
 
     fn tiny_survey() -> Survey {
-        let web = SyntheticWeb::generate(WebConfig { sites: 5, seed: 21 });
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: 5,
+            seed: 21,
+            script_weight: 0,
+        });
         Survey::new(web, CrawlConfig::quick(4))
     }
 

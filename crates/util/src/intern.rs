@@ -5,6 +5,110 @@
 //! comparisons into integer equality and slashes memory.
 
 use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// Handle to a string in the process-wide atom table.
+///
+/// Unlike [`Symbol`], which belongs to one [`Interner`] instance, an `Atom`
+/// is valid everywhere in the process: two `Atom`s compare equal iff their
+/// strings are equal, regardless of which thread interned them. This is what
+/// lets the script engine compile identifiers and property names down to
+/// `u32` comparisons while sharing parsed programs across worker threads.
+///
+/// Atom *ids* depend on interning order, which depends on thread scheduling.
+/// They are therefore only ever used for equality and hashing — never for
+/// ordering or output. Anything user-visible resolves back to the string
+/// (see [`Atom::as_str`]) and sorts by that.
+///
+/// # Examples
+///
+/// ```
+/// use bfu_util::Atom;
+/// let a = Atom::intern("querySelector");
+/// let b = Atom::intern("querySelector");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "querySelector");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Atom(u32);
+
+/// The process-wide atom table. Strings are leaked on first intern so
+/// resolution is a plain slice index returning `&'static str`; the table is
+/// bounded by the set of distinct identifiers/property names the workload
+/// produces (script sources are generated from a finite template pool, so
+/// this is small and stable in practice).
+struct AtomTable {
+    map: HashMap<&'static str, Atom>,
+    strings: Vec<&'static str>,
+}
+
+fn atom_table() -> &'static RwLock<AtomTable> {
+    static TABLE: OnceLock<RwLock<AtomTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(AtomTable {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Atom {
+    /// Intern a string in the global table. Read-lock fast path for strings
+    /// already present; write lock (with a re-check, since another thread may
+    /// have won the race) only for first sightings.
+    pub fn intern(s: &str) -> Atom {
+        let table = atom_table();
+        if let Ok(t) = table.read() {
+            if let Some(&atom) = t.map.get(s) {
+                return atom;
+            }
+        }
+        let mut t = match table.write() {
+            Ok(t) => t,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(&atom) = t.map.get(s) {
+            return atom;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let atom = Atom(u32::try_from(t.strings.len()).unwrap_or(u32::MAX));
+        t.strings.push(leaked);
+        t.map.insert(leaked, atom);
+        atom
+    }
+
+    /// Look up a string without interning it. `None` means no atom for this
+    /// string exists anywhere in the process — useful for read paths (e.g.
+    /// property lookups of absent keys) that must not grow the table.
+    pub fn get(s: &str) -> Option<Atom> {
+        let t = match atom_table().read() {
+            Ok(t) => t,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        t.map.get(s).copied()
+    }
+
+    /// The interned string. O(1); valid for the life of the process.
+    pub fn as_str(self) -> &'static str {
+        let t = match atom_table().read() {
+            Ok(t) => t,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        t.strings.get(self.0 as usize).copied().unwrap_or("")
+    }
+
+    /// The raw table index. For diagnostics only — ids are scheduling-
+    /// dependent and must never influence measured output.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Handle to an interned string.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -95,6 +199,26 @@ mod tests {
         assert_eq!(i.resolve(syms[0]), "foo");
         assert_eq!(i.resolve(syms[1]), "bar");
         assert_eq!(i.resolve(syms[2]), "baz");
+    }
+
+    #[test]
+    fn atoms_are_global_and_stable() {
+        let a = Atom::intern("globalAtomTest");
+        let b = Atom::intern("globalAtomTest");
+        let c = Atom::intern("globalAtomTestOther");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "globalAtomTest");
+        assert_eq!(c.as_str(), "globalAtomTestOther");
+    }
+
+    #[test]
+    fn atoms_agree_across_threads() {
+        let here = Atom::intern("crossThreadAtom");
+        let there = std::thread::spawn(|| Atom::intern("crossThreadAtom"))
+            .join()
+            .unwrap();
+        assert_eq!(here, there);
     }
 
     #[test]

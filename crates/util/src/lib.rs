@@ -20,7 +20,7 @@ pub mod stats;
 
 pub use clock::{Instant, VirtualClock};
 pub use codec::{fnv64, ByteReader, ByteWriter, CodecError, Fnv64};
-pub use intern::{Interner, Symbol};
+pub use intern::{Atom, Interner, Symbol};
 pub use rng::{hash_label, SimRng};
 pub use sample::{GeometricWeights, WeightedIndex, Zipf};
 pub use stats::{cdf_points, mean, percentile, Histogram};

@@ -226,7 +226,11 @@ mod tests {
 
     #[test]
     fn zero_fraction_converts_nothing() {
-        let web = SyntheticWeb::generate(WebConfig { sites: 20, seed: 9 });
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: 20,
+            seed: 9,
+            script_weight: 0,
+        });
         let mut net = SimNet::new(SimRng::new(1));
         web.install_into(&mut net);
         assert_eq!(HostilePlan::new(1, 0).install_into(&web, &mut net), 0);
@@ -234,7 +238,11 @@ mod tests {
 
     #[test]
     fn install_replaces_live_sites_and_spares_dead_ones() {
-        let web = SyntheticWeb::generate(WebConfig { sites: 40, seed: 9 });
+        let web = SyntheticWeb::generate(WebConfig {
+            sites: 40,
+            seed: 9,
+            script_weight: 0,
+        });
         let mut net = SimNet::new(SimRng::new(1));
         web.install_into(&mut net);
         let plan = HostilePlan::total(5);

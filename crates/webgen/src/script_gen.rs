@@ -151,6 +151,35 @@ fn literal_for(member: &str) -> &'static str {
     }
 }
 
+/// Append `weight` inert library functions to `out`, wrapped in one
+/// never-called bundle function so the engine pays parsing (the cost the
+/// compilation cache elides) but essentially zero execution: the outer
+/// declaration hoists as a single closure and nothing inside it ever runs.
+///
+/// Real pages front-load exactly this shape of payload — large vendored
+/// bundles of which a visit executes a sliver — so the crawl benchmark
+/// raises `script_weight` to give scripts production-like parse weight.
+/// Bodies vary deterministically with `seed` so every script stays unique
+/// under content addressing.
+fn emit_library_preamble(out: &mut String, seed: u64, weight: u32) {
+    let _ = writeln!(out, "function __bundle_{seed:08x}() {{");
+    for i in 0..weight {
+        // Mix the function index into the seed so bodies differ within one
+        // bundle as well as across bundles.
+        let k = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(i));
+        let (a, b, c) = (k % 97, (k >> 8) % 89, (k >> 16) % 83);
+        let _ = writeln!(
+            out,
+            "  function helper{i}(x, y) {{ var u = x * {a} + {b}; var v = y - u; \
+             if (v < {c}) {{ return u - v; }} return u + v * {a}; }}"
+        );
+    }
+    let _ = writeln!(out, "  return helper0;");
+    let _ = writeln!(out, "}}");
+}
+
 /// Generate the script a party serves on one page of one site.
 ///
 /// Empty string if the party has nothing to run there (the server then
@@ -161,6 +190,7 @@ pub fn generate_script(
     party: Party,
     party_host: Option<&str>,
     registry: &FeatureRegistry,
+    script_weight: u32,
 ) -> String {
     let placements: Vec<&Placement> = plan
         .placements
@@ -185,6 +215,22 @@ pub fn generate_script(
         plan.site.domain,
         plan.pages[page_ix].path
     );
+    if script_weight > 0 {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in plan
+            .site
+            .domain
+            .as_bytes()
+            .iter()
+            .chain(plan.pages[page_ix].path.as_bytes())
+        {
+            seed = (seed ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3);
+        }
+        if let Party::Third(ix) = party {
+            seed = (seed ^ ix as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        emit_library_preamble(&mut em.out, seed, script_weight);
+    }
 
     // On-load placements run straight-line.
     for p in &placements {
@@ -261,8 +307,8 @@ mod tests {
     #[test]
     fn first_party_script_nonempty_and_deterministic() {
         let (plan, registry) = plan_with_registry();
-        let a = generate_script(&plan, 0, Party::First, None, &registry);
-        let b = generate_script(&plan, 0, Party::First, None, &registry);
+        let a = generate_script(&plan, 0, Party::First, None, &registry, 0);
+        let b = generate_script(&plan, 0, Party::First, None, &registry, 0);
         assert!(!a.is_empty());
         assert_eq!(a, b);
     }
@@ -271,7 +317,7 @@ mod tests {
     fn generated_scripts_parse() {
         let (plan, registry) = plan_with_registry();
         for page_ix in 0..plan.pages.len().min(4) {
-            let src = generate_script(&plan, page_ix, Party::First, None, &registry);
+            let src = generate_script(&plan, page_ix, Party::First, None, &registry, 0);
             if !src.is_empty() {
                 bfu_script::parser::parse(&src)
                     .unwrap_or_else(|e| panic!("page {page_ix}: {e}\n{src}"));
@@ -283,6 +329,7 @@ mod tests {
                     Party::Third(party),
                     Some("ads.adserve.test"),
                     &registry,
+                    0,
                 );
                 if !src.is_empty() {
                     bfu_script::parser::parse(&src)
@@ -304,6 +351,7 @@ mod tests {
                 Party::Third(party),
                 Some("trk.spy.test"),
                 &registry,
+                0,
             );
             if src.contains(".open(") {
                 assert!(src.contains("http://trk.spy.test/collect"));
@@ -320,8 +368,8 @@ mod tests {
             .any(|p| matches!(p.scope, crate::site::PageScope::SubpagesOnly));
         if has_subpage_only {
             // Subpage-only placements never appear in the home script.
-            let home = generate_script(&plan, 0, Party::First, None, &registry);
-            let sub = generate_script(&plan, 1, Party::First, None, &registry);
+            let home = generate_script(&plan, 0, Party::First, None, &registry, 0);
+            let sub = generate_script(&plan, 1, Party::First, None, &registry, 0);
             assert_ne!(home, sub);
         }
     }
@@ -333,7 +381,7 @@ mod tests {
             .placements
             .iter()
             .any(|p| matches!(p.trigger, Trigger::Interaction) && p.party == Party::First);
-        let src = generate_script(&plan, 0, Party::First, None, &registry);
+        let src = generate_script(&plan, 0, Party::First, None, &registry, 0);
         if any_interaction {
             assert!(src.contains("__listen("), "{src}");
         }
@@ -343,9 +391,46 @@ mod tests {
     fn empty_for_party_without_placements() {
         let (plan, registry) = plan_with_registry();
         // Party index 104 (last CDN) is almost certainly not embedded.
-        let src = generate_script(&plan, 0, Party::Third(104), None, &registry);
+        let src = generate_script(&plan, 0, Party::Third(104), None, &registry, 0);
         if !plan.embedded_parties().contains(&104) {
             assert!(src.is_empty());
+        }
+    }
+
+    #[test]
+    fn script_weight_adds_parse_only_preamble() {
+        let (plan, registry) = plan_with_registry();
+        let light = generate_script(&plan, 0, Party::First, None, &registry, 0);
+        let heavy = generate_script(&plan, 0, Party::First, None, &registry, 120);
+        // The bundle parses, is substantial, never runs, and the script's
+        // feature-invoking tail is exactly the weight-0 script.
+        bfu_script::parser::parse(&heavy).unwrap_or_else(|e| panic!("{e}\n{heavy}"));
+        assert!(heavy.len() > light.len() + 5_000, "{} bytes", heavy.len());
+        assert!(heavy.contains("function __bundle_"));
+        assert!(
+            !heavy.contains("__bundle_()"),
+            "bundle must never be called"
+        );
+        for line in light.lines() {
+            assert!(heavy.contains(line), "weight must not drop {line:?}");
+        }
+        // Deterministic, and zero-weight output is unchanged by the knob.
+        let heavy2 = generate_script(&plan, 0, Party::First, None, &registry, 120);
+        assert_eq!(heavy, heavy2);
+    }
+
+    #[test]
+    fn preamble_differs_across_pages_and_parties() {
+        let (plan, registry) = plan_with_registry();
+        let a = generate_script(&plan, 0, Party::First, None, &registry, 16);
+        let b = generate_script(&plan, 1, Party::First, None, &registry, 16);
+        if !a.is_empty() && !b.is_empty() {
+            let bundle = |s: &str| {
+                s.lines()
+                    .find(|l| l.starts_with("function __bundle_"))
+                    .map(str::to_owned)
+            };
+            assert_ne!(bundle(&a), bundle(&b), "per-page bundle names must differ");
         }
     }
 }

@@ -27,6 +27,14 @@ pub struct WebConfig {
     pub sites: usize,
     /// Master seed: same seed → byte-identical web.
     pub seed: u64,
+    /// Number of inert library functions prepended to every non-empty
+    /// generated script, modelling the bundled library code real pages ship
+    /// (parsed in full, mostly never executed). The preamble is wrapped in a
+    /// single never-called function, so it costs the engine parsing only —
+    /// feature measurements are unaffected. `0` (the default) emits scripts
+    /// byte-identical to a web generated before this knob existed; the crawl
+    /// benchmark raises it to give scripts production-like parse weight.
+    pub script_weight: u32,
 }
 
 impl Default for WebConfig {
@@ -34,6 +42,7 @@ impl Default for WebConfig {
         WebConfig {
             sites: 10_000,
             seed: 0xB40_53ED,
+            script_weight: 0,
         }
     }
 }
@@ -163,7 +172,14 @@ fn site_server(core: &WebCore, site_ix: usize, req: &HttpRequest) -> HttpRespons
     let path = req.url.path();
     if path == "/assets/app.js" {
         let page_ix = query_param(req, "p").unwrap_or(0).min(plan.pages.len() - 1);
-        let src = script_gen::generate_script(plan, page_ix, Party::First, None, &core.registry);
+        let src = script_gen::generate_script(
+            plan,
+            page_ix,
+            Party::First,
+            None,
+            &core.registry,
+            core.config.script_weight,
+        );
         return HttpResponse::javascript(src);
     }
     if path == "/favicon.ico" {
@@ -189,6 +205,7 @@ fn party_server(core: &WebCore, party_ix: usize, req: &HttpRequest) -> HttpRespo
                 Party::Third(party_ix),
                 Some(host),
                 &core.registry,
+                core.config.script_weight,
             );
             HttpResponse::javascript(src)
         }
@@ -314,6 +331,7 @@ mod tests {
         SyntheticWeb::generate(WebConfig {
             sites: 40,
             seed: 77,
+            script_weight: 0,
         })
     }
 
@@ -339,6 +357,7 @@ mod tests {
         let web = SyntheticWeb::generate(WebConfig {
             sites: 2000,
             seed: 9,
+            script_weight: 0,
         });
         let mut net = SimNet::new(SimRng::new(1));
         web.install_into(&mut net);
@@ -445,6 +464,7 @@ mod tests {
         let web = SyntheticWeb::generate(WebConfig {
             sites: 500,
             seed: 3,
+            script_weight: 0,
         });
         let no_js = web
             .core()

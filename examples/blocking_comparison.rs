@@ -18,6 +18,7 @@ fn main() {
     let web = SyntheticWeb::generate(WebConfig {
         sites: 60,
         seed: 44,
+        script_weight: 0,
     });
     let mut net = SimNet::new(SimRng::new(1));
     web.install_into(&mut net);
@@ -34,6 +35,7 @@ fn main() {
         retry: bfu_crawler::RetryPolicy::default(),
         breaker: bfu_crawler::BreakerPolicy::default(),
         browser: bfu_crawler::BrowserConfig::default(),
+        compile_cache: true,
     };
 
     // Pick an ad-heavy site (a news site with third parties).

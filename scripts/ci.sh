@@ -28,6 +28,18 @@ cargo test -q --test chaos
 echo "==> no-panic property tests (parser/interpreter totality)"
 cargo test -q --test proptests
 
+echo "==> crawl_bench smoke (cache on/off fingerprints + non-trivial hit rate)"
+# Small scale: correctness gate, not a performance measurement. crawl_bench
+# itself errors if the cached fingerprint diverges from scratch or if the
+# cache reports itself disabled; the jq-less greps below additionally pin a
+# real hit rate so a silently dead cache cannot pass.
+CI_BENCH_OUT=$(mktemp)
+cargo run -q --release -p bfu-bench --bin crawl_bench -- \
+    --sites 10 --rounds 2 --script-weight 25 --out "$CI_BENCH_OUT"
+grep -q '"fingerprints_match": true' "$CI_BENCH_OUT"
+grep -q '"hits": 0,' "$CI_BENCH_OUT" && { echo "compile cache saw zero hits"; exit 1; }
+rm -f "$CI_BENCH_OUT"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

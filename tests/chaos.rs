@@ -50,6 +50,7 @@ fn chaos_config(threads: usize) -> CrawlConfig {
             max_timer_callbacks: 500,
             ..BrowserConfig::default()
         },
+        compile_cache: true,
     }
 }
 
@@ -57,6 +58,7 @@ fn hostile_survey(threads: usize) -> Survey {
     let web = SyntheticWeb::generate(WebConfig {
         sites: SITES,
         seed: WEB_SEED,
+        script_weight: 0,
     });
     Survey::new(web, chaos_config(threads)).with_hostility(hostility())
 }
@@ -147,11 +149,47 @@ fn hostile_crawl_is_thread_invariant() {
 }
 
 #[test]
+fn negative_cache_replays_hostile_parse_failures_identically() {
+    // Malformed and nesting-bomb sources are diagnosed once and their parse
+    // errors replayed from the negative cache on every later visit. That
+    // replay must cost the same typed losses as parsing from scratch: a
+    // cache-off crawl is byte-identical, down to the failure classes.
+    let cached = baseline();
+    let mut config = chaos_config(1);
+    config.compile_cache = false;
+    let web = SyntheticWeb::generate(WebConfig {
+        sites: SITES,
+        seed: WEB_SEED,
+        script_weight: 0,
+    });
+    let uncached = Survey::new(web, config).with_hostility(hostility()).run();
+    assert_eq!(
+        cached.fingerprint(),
+        uncached.fingerprint(),
+        "negative caching must not change what a hostile crawl measures"
+    );
+    assert_eq!(
+        cached.health().failures_by_class,
+        uncached.health().failures_by_class,
+        "cached parse errors must reproduce the same typed losses"
+    );
+    // The cached run really did replay errors rather than re-diagnose them:
+    // 6 rounds of persistent parse-refused sites guarantee repeat probes.
+    assert!(
+        cached.cache.script_negative_hits > 0,
+        "hostile web must exercise the negative cache: {:?}",
+        cached.cache
+    );
+    assert!(!uncached.cache.enabled);
+}
+
+#[test]
 fn hostility_is_part_of_the_survey_identity() {
     let benign = {
         let web = SyntheticWeb::generate(WebConfig {
             sites: SITES,
             seed: WEB_SEED,
+            script_weight: 0,
         });
         Survey::new(web, chaos_config(1))
     };
@@ -165,6 +203,7 @@ fn hostility_is_part_of_the_survey_identity() {
         let web = SyntheticWeb::generate(WebConfig {
             sites: SITES,
             seed: WEB_SEED,
+            script_weight: 0,
         });
         Survey::new(web, chaos_config(1)).with_hostility(HostilePlan::new(0x5AFE, 500))
     };

@@ -315,6 +315,53 @@ proptest! {
     }
 }
 
+// ---------- compilation-cache determinism ----------
+//
+// The survey-wide script compilation cache is memoization, not measurement:
+// for any web seed, the dataset fingerprint and Table 1 come out identical
+// with the cache on or off, and at 1 vs 8 worker threads. The only Table 1
+// difference the cache may make is its own (effort-only) health block.
+
+fn tiny_crawl(web_seed: u64, threads: usize, compile_cache: bool) -> bfu_crawler::Dataset {
+    let web = bfu_webgen::SyntheticWeb::generate(bfu_webgen::WebConfig {
+        sites: 12,
+        seed: web_seed,
+        script_weight: 0,
+    });
+    let mut config = bfu_crawler::CrawlConfig::quick(web_seed ^ 0xCAFE);
+    config.rounds_per_profile = 1;
+    config.pages_per_site = 3;
+    config.threads = threads;
+    config.compile_cache = compile_cache;
+    bfu_crawler::Survey::new(web, config).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn compile_cache_and_threads_never_change_measurements(web_seed in 0u64..1_000) {
+        let cached_1 = tiny_crawl(web_seed, 1, true);
+        let cached_8 = tiny_crawl(web_seed, 8, true);
+        let scratch = tiny_crawl(web_seed, 1, false);
+        prop_assert_eq!(cached_1.fingerprint(), cached_8.fingerprint());
+        prop_assert_eq!(cached_1.fingerprint(), scratch.fingerprint());
+        // Cache totals themselves are thread-invariant (misses == unique
+        // sources, by parse-under-lock), and the cache did real work.
+        prop_assert_eq!(cached_1.cache, cached_8.cache);
+        prop_assert!(cached_1.cache.enabled);
+        prop_assert!(cached_1.cache.script_hits > 0);
+        prop_assert!(!scratch.cache.enabled);
+        // Table 1 agrees exactly across thread counts, and across cache
+        // on/off once the effort-only cache block is normalized away.
+        let t_cached_1 = bfu_analysis::table1(&cached_1);
+        let t_cached_8 = bfu_analysis::table1(&cached_8);
+        let mut t_scratch = bfu_analysis::table1(&scratch);
+        prop_assert_eq!(t_cached_1, t_cached_8);
+        t_scratch.health.cache = cached_1.cache;
+        prop_assert_eq!(t_cached_1, t_scratch);
+    }
+}
+
 // ---------- statistics ----------
 
 proptest! {

@@ -29,6 +29,7 @@ fn fixture() -> &'static Fixture {
         let web = SyntheticWeb::generate(WebConfig {
             sites: SITES,
             seed: SEED,
+            script_weight: 0,
         });
         let survey = Survey::new(web, CrawlConfig::quick(5));
         let baseline = survey.run();
@@ -177,6 +178,7 @@ fn wrong_configuration_is_refused() {
     let other_web = SyntheticWeb::generate(WebConfig {
         sites: SITES,
         seed: SEED + 1,
+        script_weight: 0,
     });
     let other = Survey::new(other_web, CrawlConfig::quick(5));
     match bfu_store::load_survey_dataset(&other, &dir) {
