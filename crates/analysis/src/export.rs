@@ -193,6 +193,35 @@ pub fn provenance_json(p: &Provenance) -> String {
     out
 }
 
+/// [`provenance_json`] with extra top-level sections spliced in before the
+/// closing brace — each `(key, value)` pair becomes `"key": value`, where
+/// `value` is already-rendered JSON indented to nest at depth one.
+///
+/// This keeps provenance rendering in one place while letting downstream
+/// crates (the dataset store folds its scrub report in this way) attach
+/// sections the crawler layer knows nothing about.
+pub fn provenance_json_with_extra(p: &Provenance, extra: &[(&str, String)]) -> String {
+    let mut out = provenance_json(p);
+    if extra.is_empty() {
+        return out;
+    }
+    let Some(close) = out.rfind('}') else {
+        return out;
+    };
+    out.truncate(close);
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out.push_str(",\n");
+    let rendered: Vec<String> = extra
+        .iter()
+        .map(|(key, value)| format!("  \"{key}\": {value}"))
+        .collect();
+    out.push_str(&rendered.join(",\n"));
+    out.push_str("\n}\n");
+    out
+}
+
 /// Which profile columns a dataset carries (header helper for consumers).
 pub fn profile_columns(dataset: &Dataset) -> Vec<&'static str> {
     dataset

@@ -1,0 +1,273 @@
+//! `store_torture` — the crash-consistency torture harness, standalone.
+//!
+//! Enumerates every backend operation a survey-to-store run performs on the
+//! deterministic fault-injecting `FaultFs`, then re-runs the workload once
+//! per operation with a simulated power cut at exactly that point, power
+//! cycles, resumes, and verifies the recovered dataset is
+//! fingerprint-identical to the uninterrupted run's. Two workloads are
+//! swept: a fresh crawl-to-store run, and a scrub/heal pass over a
+//! fragmented store with a corrupt squatter shard.
+//!
+//! ```text
+//! cargo run -p bfu-bench --release --bin store_torture -- \
+//!     [--sites N] [--seed N] [--stride N] [--out PATH]
+//! ```
+//!
+//! `--stride 1` (the default) is the exhaustive sweep; larger strides are
+//! the CI-fast bounded mode (`scripts/ci.sh` picks the stride via
+//! `BFU_TORTURE_FULL`). Exit status is non-zero if any crash point fails to
+//! recover, loses data, or panics.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use bfu_core::store::{
+    resume_survey_on, DatasetStore, FaultFs, ResumeOutcome, StorageBackend, StoreError,
+    StoreFaultPlan, StoreMeta,
+};
+use bfu_crawler::{CrawlConfig, Dataset, Provenance, Survey};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    sites: usize,
+    seed: u64,
+    stride: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut sites = 6usize;
+    let mut seed = 91u64;
+    let mut stride = 1usize;
+    let mut out = std::path::PathBuf::from("BENCH_store_torture.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--sites" => {
+                sites = argv
+                    .next()
+                    .ok_or("--sites needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sites: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--stride" => {
+                stride = argv
+                    .next()
+                    .ok_or("--stride needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --stride: {e}"))?;
+                if stride == 0 {
+                    return Err("--stride must be >= 1".into());
+                }
+            }
+            "--out" => {
+                out = std::path::PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: store_torture [--sites N] [--seed N] [--stride N] [--out PATH]",
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(Args {
+        sites,
+        seed,
+        stride,
+        out,
+    })
+}
+
+fn survey_for(sites: usize, seed: u64) -> Survey {
+    let web = SyntheticWeb::generate(WebConfig {
+        sites,
+        seed,
+        script_weight: 0,
+    });
+    let mut config = CrawlConfig::quick(seed ^ 0x70FF);
+    // One worker makes the backend op sequence — the crash-point coordinate
+    // system — identical across runs; measurements are thread-invariant.
+    config.threads = 1;
+    config.rounds_per_profile = 1;
+    config.pages_per_site = 2;
+    config.page_budget_ms = 2_000;
+    Survey::new(web, config)
+}
+
+fn resume_on(fs: &Arc<FaultFs>, survey: &Survey) -> Result<ResumeOutcome, StoreError> {
+    let backend: Arc<dyn StorageBackend> = fs.clone();
+    resume_survey_on(survey, backend)
+}
+
+fn check_crash(err: &StoreError, k: u64) -> Result<(), String> {
+    match err {
+        StoreError::Io(e) if FaultFs::is_crash(e) => Ok(()),
+        other => Err(format!("crash point {k}: unexpected error class: {other}")),
+    }
+}
+
+/// Pre-populate `fs` with two fragmented sealed shards and a garbage
+/// squatter object, returning the ops consumed.
+fn build_fragmented(fs: &Arc<FaultFs>, survey: &Survey, baseline: &Dataset) -> Result<u64, String> {
+    let mut meta = StoreMeta::for_survey(survey);
+    meta.shard_capacity = 4;
+    for range in [0..2usize, 2..3] {
+        let backend: Arc<dyn StorageBackend> = fs.clone();
+        let store = DatasetStore::open_on(backend, meta.clone()).map_err(|e| e.to_string())?;
+        for m in &baseline.sites[range] {
+            store.append(m).map_err(|e| e.to_string())?;
+        }
+        store
+            .finish(&Provenance::of(survey, baseline))
+            .map_err(|e| e.to_string())?;
+    }
+    fs.put("shard-00031.bfu", b"squatter: not a shard")
+        .map_err(|e| e.to_string())?;
+    fs.sync_dir().map_err(|e| e.to_string())?;
+    Ok(fs.ops())
+}
+
+/// Sweep crash points `first..total` (step `stride`) over a workload that
+/// replays `setup` then resumes the survey. Returns the number of points
+/// swept, or the first failure.
+fn sweep(
+    name: &str,
+    survey: &Survey,
+    baseline_fp: u64,
+    first: u64,
+    total: u64,
+    stride: usize,
+    setup: impl Fn(&Arc<FaultFs>) -> Result<(), String>,
+) -> Result<usize, String> {
+    let mut swept = 0usize;
+    let points: Vec<u64> = (first..total).step_by(stride).collect();
+    let n = points.len();
+    for (i, k) in points.into_iter().enumerate() {
+        let plan = StoreFaultPlan::none()
+            .with_seed(0xC4A5 ^ k)
+            .with_crash_at(k);
+        let fs = Arc::new(FaultFs::new(plan));
+        setup(&fs)?;
+        let err = resume_on(&fs, survey)
+            .err()
+            .ok_or_else(|| format!("{name}: crash point {k} never fired"))?;
+        check_crash(&err, k)?;
+        fs.power_cycle();
+        let recovered = resume_on(&fs, survey)
+            .map_err(|e| format!("{name}: crash point {k}: recovery failed: {e}"))?;
+        if recovered.dataset.fingerprint() != baseline_fp {
+            return Err(format!(
+                "{name}: crash point {k}: recovered dataset diverged ({:016x} != {baseline_fp:016x})",
+                recovered.dataset.fingerprint()
+            ));
+        }
+        swept += 1;
+        if (i + 1) % 25 == 0 || i + 1 == n {
+            eprintln!("#   {name}: {}/{n} crash points recovered", i + 1);
+        }
+    }
+    Ok(swept)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let survey = survey_for(args.sites, args.seed);
+    let t0 = Instant::now();
+
+    eprintln!("# baseline: uninterrupted run ({} sites)…", args.sites);
+    let baseline = survey.run();
+    let baseline_fp = baseline.fingerprint();
+
+    // Workload A: fresh crawl-to-store run.
+    let fs = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+    let outcome = resume_on(&fs, &survey).map_err(|e| e.to_string())?;
+    if outcome.dataset.fingerprint() != baseline_fp {
+        return Err("store-backed run diverged from the direct run".into());
+    }
+    let fresh_ops = fs.ops();
+    eprintln!(
+        "# fresh-run workload: {fresh_ops} backend ops; sweeping every {} op(s)…",
+        args.stride
+    );
+    let fresh_swept = sweep(
+        "fresh",
+        &survey,
+        baseline_fp,
+        0,
+        fresh_ops,
+        args.stride,
+        |_| Ok(()),
+    )?;
+
+    // Workload B: scrub/heal over a fragmented store with a corrupt shard.
+    let fs = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+    let setup_ops = build_fragmented(&fs, &survey, &baseline)?;
+    let outcome = resume_on(&fs, &survey).map_err(|e| e.to_string())?;
+    if outcome.dataset.fingerprint() != baseline_fp {
+        return Err("scrub/heal run diverged from the direct run".into());
+    }
+    if outcome.scrub.shards_quarantined == 0 {
+        return Err("scrub workload failed to exercise quarantine".into());
+    }
+    let heal_ops = fs.ops();
+    eprintln!(
+        "# scrub/heal workload: {} backend ops after setup; sweeping…",
+        heal_ops - setup_ops
+    );
+    let heal_swept = sweep(
+        "heal",
+        &survey,
+        baseline_fp,
+        setup_ops,
+        heal_ops,
+        args.stride,
+        |fs| {
+            let built = build_fragmented(fs, &survey, &baseline)?;
+            if built != setup_ops {
+                return Err("setup op sequence not deterministic".into());
+            }
+            Ok(())
+        },
+    )?;
+
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"sites\": {},", args.sites);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"stride\": {},", args.stride);
+    let _ = writeln!(json, "  \"fingerprint\": \"{baseline_fp:016x}\",");
+    let _ = writeln!(json, "  \"fresh_run_ops\": {fresh_ops},");
+    let _ = writeln!(json, "  \"fresh_points_recovered\": {fresh_swept},");
+    let _ = writeln!(json, "  \"heal_run_ops\": {},", heal_ops - setup_ops);
+    let _ = writeln!(json, "  \"heal_points_recovered\": {heal_swept},");
+    let _ = writeln!(json, "  \"elapsed_s\": {elapsed:.3}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# all {} crash points recovered identically in {elapsed:.1}s → {}",
+        fresh_swept + heal_swept,
+        args.out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

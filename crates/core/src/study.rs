@@ -116,6 +116,9 @@ pub struct StoredStudy {
     pub crawled_sites: usize,
     /// What reading the store's shards observed.
     pub report: bfu_store::ReadReport,
+    /// What the pre-resume scrub found and repaired (`None` for
+    /// [`Study::from_store`], which never mutates the store).
+    pub scrub: Option<bfu_store::ScrubReport>,
 }
 
 impl StoredStudy {
@@ -181,6 +184,7 @@ impl Study {
             resumed_sites: outcome.resumed_sites,
             crawled_sites: outcome.crawled_sites,
             report: outcome.report,
+            scrub: Some(outcome.scrub),
         })
     }
 
@@ -200,6 +204,7 @@ impl Study {
                     resumed_sites,
                     crawled_sites: 0,
                     report,
+                    scrub: None,
                 })
             }
             bfu_store::LoadOutcome::Incomplete {

@@ -44,6 +44,6 @@ pub use dataset::{
 };
 pub use error::CrawlError;
 pub use provenance::Provenance;
-pub use retry::{load_with_retry, AttemptTrace, RetryPolicy};
+pub use retry::{load_with_retry, retry_interrupted, AttemptTrace, RetryPolicy};
 pub use survey::{survey_fingerprint, Survey, ValidationRun};
 pub use visit::{policy_for, visit_site_round, visit_site_round_supervised, PolicyAdapter};

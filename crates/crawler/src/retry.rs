@@ -11,6 +11,34 @@ use crate::error::CrawlError;
 use bfu_browser::{Browser, Page, RequestPolicy};
 use bfu_net::{SimNet, Url};
 use bfu_util::{Instant, VirtualClock};
+use std::io;
+
+/// Cap on consecutive [`io::ErrorKind::Interrupted`] retries before the
+/// error is surfaced anyway (a guard against a pathological signal storm —
+/// or a fault injector configured to fire on every operation).
+pub const MAX_INTERRUPTED_RETRIES: u32 = 64;
+
+/// Run `f`, retrying while it fails with [`io::ErrorKind::Interrupted`].
+///
+/// A spurious `EINTR` is the one I/O error that is *always* transient: the
+/// operation never started, so repeating it is both safe and the only
+/// correct response. The dataset store routes every read/write/sync through
+/// this helper so a signal landing mid-scan cannot fail a whole survey;
+/// bounded attempts keep an adversarial fault schedule from looping forever.
+pub fn retry_interrupted<T>(mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempts = 0;
+    loop {
+        match f() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                attempts += 1;
+                if attempts > MAX_INTERRUPTED_RETRIES {
+                    return Err(e);
+                }
+            }
+            other => return other,
+        }
+    }
+}
 
 /// Bounded-attempt exponential backoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +155,48 @@ mod tests {
         assert_eq!(p.backoff_ms(10), 4_000);
         assert_eq!(p.backoff_ms(63), 4_000);
         assert_eq!(p.backoff_ms(64), 4_000, "shift overflow must saturate");
+    }
+
+    #[test]
+    fn interrupted_retries_then_succeeds() {
+        let mut failures = 3;
+        let out = retry_interrupted(|| {
+            if failures > 0 {
+                failures -= 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(41)
+            }
+        });
+        assert_eq!(out.expect("recovers"), 41);
+    }
+
+    #[test]
+    fn interrupted_retries_are_bounded() {
+        let mut calls = 0u32;
+        let out: io::Result<()> = retry_interrupted(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "eintr forever"))
+        });
+        assert_eq!(
+            out.expect_err("gives up").kind(),
+            io::ErrorKind::Interrupted
+        );
+        assert_eq!(calls, MAX_INTERRUPTED_RETRIES + 1);
+    }
+
+    #[test]
+    fn non_interrupted_errors_pass_through() {
+        let mut calls = 0u32;
+        let out: io::Result<()> = retry_interrupted(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+        });
+        assert_eq!(
+            out.expect_err("not retried").kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(calls, 1);
     }
 
     #[test]

@@ -12,15 +12,17 @@
 //! - **background resets** — a global per-exchange reset probability;
 //! - **latency inflation** — extra RTT on every host.
 //!
-//! Fault sampling is derived from a hash of `(plan seed, fault context,
-//! host, per-host exchange index)` — *not* from the shared `SimNet` RNG
+//! Fault sampling is [`bfu_util::fault_sample`] over `(plan seed, fault
+//! context, host, per-host exchange index)` — *not* the shared `SimNet` RNG
 //! stream — so a given exchange faults identically no matter how sites are
-//! sharded across threads. The fault context is reset by the crawler per
+//! sharded across threads. The same sampler drives the dataset store's
+//! fault-injecting backend, so storage and network fault schedules share
+//! one audited primitive. The fault context is reset by the crawler per
 //! `(site, profile, round)` via [`SimNet::set_fault_context`]
 //! (`crate::sim::SimNet::set_fault_context`), which also clears the per-host
 //! exchange counters.
 
-use bfu_util::hash_label;
+use bfu_util::fault_sample;
 use std::collections::{HashMap, HashSet};
 
 /// What a scheduled fault does to an exchange.
@@ -260,20 +262,6 @@ fn outcome_of(program: &HostFault) -> FaultOutcome {
         FaultKind::ErrorStatus(code) => FaultOutcome::ErrorStatus(code),
         FaultKind::CorruptBody => FaultOutcome::CorruptBody,
     }
-}
-
-/// Uniform sample in `[0, 1)` derived purely from the fault coordinates.
-fn fault_sample(seed: u64, ctx: u64, host: &str, exchange_ix: u64, salt: u64) -> f64 {
-    let mut z = seed
-        .wrapping_mul(0x9E3779B97F4A7C15)
-        .wrapping_add(ctx.rotate_left(23))
-        .wrapping_add(hash_label(host))
-        .wrapping_add(exchange_ix.wrapping_mul(0xD1B54A32D192ED03))
-        .wrapping_add(salt);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^= z >> 31;
-    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 #[cfg(test)]

@@ -1,0 +1,645 @@
+//! `FaultFs`: a deterministic, seeded, fault-injecting storage backend with
+//! an explicit crash model.
+//!
+//! The torture suite needs to answer one question for *every* I/O boundary
+//! in the store: "if the power dies exactly here, does scrub + resume still
+//! reconstruct the uninterrupted dataset?" Answering it by luck (kill -9 in
+//! a loop) finds the easy windows; answering it exhaustively needs a
+//! filesystem whose crashes are programmable. `FaultFs` is that filesystem:
+//! an in-memory object store that models exactly the durability semantics a
+//! POSIX directory gives a careful writer, nothing more:
+//!
+//! - **file data** is dirty until [`StorageFile::sync_all`]; a crash keeps
+//!   the durable prefix plus a *seeded* amount of the dirty tail (a torn
+//!   write — the OS may have flushed any prefix on its own);
+//! - **namespace operations** (create/rename/remove) are pending until
+//!   [`StorageBackend::sync_dir`]; a crash applies a seeded *prefix* of the
+//!   pending operations, in order — the metadata journal commits in order,
+//!   but how far it got is the crash's choice;
+//! - neither `write` nor `flush` promises anything.
+//!
+//! Every backend operation is a named **crash point**, counted globally.
+//! [`StoreFaultPlan::crash_at`] marks the k-th operation as "power cut
+//! here": the operation takes partial effect (writes tear), the crash
+//! semantics above are applied, and every subsequent operation fails with a
+//! [`power cut error`](FaultFs::is_crash) until [`FaultFs::power_cycle`] —
+//! after which the backend serves the survivor state, fault-free, for
+//! recovery. [`FaultFs::op_trace`] enumerates the labels of every operation
+//! a workload performed, which is how the torture harness sweeps all of
+//! them.
+//!
+//! Transient faults ride the same seeded sampler ([`bfu_util::fault_sample`]
+//! — shared with the network fault plan): spurious `EINTR` on any
+//! operation, `ENOSPC` at a chosen write, and deterministic short writes.
+
+use crate::backend::{StorageBackend, StorageFile};
+use bfu_util::{fault_choice, fault_fires};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+const SALT_EINTR: u64 = 0xE14;
+const SALT_TEAR: u64 = 0x7EA2;
+const SALT_FILE: u64 = 0xF11E;
+const SALT_NS: u64 = 0x45;
+
+/// What faults a [`FaultFs`] injects, and where.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreFaultPlan {
+    /// Seed for all seeded decisions (torn-write lengths, EINTR schedule).
+    pub seed: u64,
+    /// Simulate a power cut at this global operation index.
+    pub crash_at: Option<u64>,
+    /// Probability that any single operation fails with `EINTR` first.
+    pub eintr_chance: f64,
+    /// Fail the write operation at this global index with `ENOSPC`.
+    pub enospc_at: Option<u64>,
+    /// Deterministically accept only half of every multi-byte write.
+    pub short_writes: bool,
+}
+
+impl StoreFaultPlan {
+    /// A plan injecting nothing: `FaultFs` behaves as a perfect store.
+    pub fn none() -> StoreFaultPlan {
+        StoreFaultPlan::default()
+    }
+
+    /// Builder: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: cut power at operation `ix`.
+    pub fn with_crash_at(mut self, ix: u64) -> Self {
+        self.crash_at = Some(ix);
+        self
+    }
+
+    /// Builder: set the spurious-`EINTR` probability.
+    pub fn with_eintr_chance(mut self, chance: f64) -> Self {
+        self.eintr_chance = chance.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: fail the write at operation `ix` with `ENOSPC`.
+    pub fn with_enospc_at(mut self, ix: u64) -> Self {
+        self.enospc_at = Some(ix);
+        self
+    }
+
+    /// Builder: enable deterministic short writes.
+    pub fn with_short_writes(mut self) -> Self {
+        self.short_writes = true;
+        self
+    }
+}
+
+/// Marker payload inside the simulated power-cut [`io::Error`].
+#[derive(Debug)]
+struct PowerCut {
+    label: String,
+}
+
+impl fmt::Display for PowerCut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulated power cut at {}", self.label)
+    }
+}
+
+impl Error for PowerCut {}
+
+fn power_cut_error(label: &str) -> io::Error {
+    io::Error::other(PowerCut {
+        label: label.to_owned(),
+    })
+}
+
+/// One in-memory file: full contents plus how much of them is durable.
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    data: Vec<u8>,
+    durable_len: usize,
+}
+
+/// A namespace mutation pending until the next `sync_dir`.
+#[derive(Debug, Clone)]
+enum NsOp {
+    Link(String, usize),
+    Unlink(String),
+    Rename(String, String),
+}
+
+fn apply_ns(names: &mut BTreeMap<String, usize>, op: &NsOp) {
+    match op {
+        NsOp::Link(name, id) => {
+            names.insert(name.clone(), *id);
+        }
+        NsOp::Unlink(name) => {
+            names.remove(name);
+        }
+        NsOp::Rename(from, to) => {
+            if let Some(id) = names.remove(from) {
+                names.insert(to.clone(), id);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    files: Vec<MemFile>,
+    /// Current (page-cache) view of the namespace.
+    names: BTreeMap<String, usize>,
+    /// Namespace as the journal last committed it.
+    durable_names: BTreeMap<String, usize>,
+    /// Ordered namespace ops since the last `sync_dir`.
+    pending_ns: Vec<NsOp>,
+    /// Global operation counter — the crash-point coordinate.
+    ops: u64,
+    /// Labels of every operation performed, in order.
+    trace: Vec<String>,
+    /// Whether the simulated machine is off.
+    crashed: bool,
+    /// Whether fault injection is still active (cleared by `power_cycle`).
+    armed: bool,
+}
+
+enum Decision {
+    Proceed,
+    /// Power cut *during* this operation; `u64` is its index (for seeding
+    /// the torn-write length).
+    Crash(u64),
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum OpKind {
+    Read,
+    Write,
+}
+
+/// The deterministic fault-injecting in-memory backend.
+#[derive(Debug)]
+pub struct FaultFs {
+    state: Arc<Mutex<MemState>>,
+    plan: StoreFaultPlan,
+}
+
+impl FaultFs {
+    /// An empty store governed by `plan`.
+    pub fn new(plan: StoreFaultPlan) -> FaultFs {
+        FaultFs {
+            state: Arc::new(Mutex::new(MemState {
+                armed: true,
+                ..MemState::default()
+            })),
+            plan,
+        }
+    }
+
+    /// Whether `err` is this module's simulated power cut.
+    pub fn is_crash(err: &io::Error) -> bool {
+        err.get_ref().is_some_and(|inner| inner.is::<PowerCut>())
+    }
+
+    /// Turn the machine back on after a crash: the durable survivor state
+    /// becomes the visible state and all further fault injection is
+    /// disarmed, so recovery runs against an honest, quiet disk.
+    pub fn power_cycle(&self) {
+        let mut st = self.lock();
+        st.crashed = false;
+        st.armed = false;
+    }
+
+    /// Total operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// The labels of every operation performed, in order. Index `k` in this
+    /// trace is exactly the operation `StoreFaultPlan::crash_at(k)` kills.
+    pub fn op_trace(&self) -> Vec<String> {
+        self.lock().trace.clone()
+    }
+
+    /// Names currently visible (for assertions in tests).
+    pub fn visible_names(&self) -> Vec<String> {
+        self.lock().names.keys().cloned().collect()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MemState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Gate one operation: count it, maybe inject a transient fault, maybe
+/// start the crash. Every fault decision is a pure function of
+/// `(plan.seed, label, op index)`.
+fn pre_op(
+    st: &mut MemState,
+    plan: &StoreFaultPlan,
+    label: &str,
+    kind: OpKind,
+) -> io::Result<Decision> {
+    if st.crashed {
+        return Err(power_cut_error(label));
+    }
+    let ix = st.ops;
+    st.ops += 1;
+    st.trace.push(label.to_owned());
+    if !st.armed {
+        return Ok(Decision::Proceed);
+    }
+    let crashing = plan.crash_at == Some(ix);
+    // A transient EINTR never shadows the crash point itself, so the k-th
+    // operation of an enumeration run is exactly the one the crash kills.
+    if !crashing && fault_fires(plan.seed, 0, label, ix, SALT_EINTR, plan.eintr_chance) {
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("injected EINTR at {label}"),
+        ));
+    }
+    if !crashing && kind == OpKind::Write && plan.enospc_at == Some(ix) {
+        return Err(io::Error::other(format!("injected ENOSPC at {label}")));
+    }
+    if crashing {
+        return Ok(Decision::Crash(ix));
+    }
+    Ok(Decision::Proceed)
+}
+
+/// Apply crash semantics: tear dirty file tails, commit a prefix of the
+/// pending namespace journal, and power the machine off.
+fn crash(st: &mut MemState, seed: u64) {
+    for (id, file) in st.files.iter_mut().enumerate() {
+        let dirty = file.data.len() - file.durable_len;
+        let keep = fault_choice(seed, 1, "crash:file", id as u64, SALT_FILE, dirty);
+        file.data.truncate(file.durable_len + keep);
+        file.durable_len = file.data.len();
+    }
+    let committed = fault_choice(seed, 1, "crash:ns", st.ops, SALT_NS, st.pending_ns.len());
+    let pending = std::mem::take(&mut st.pending_ns);
+    for op in &pending[..committed] {
+        apply_ns(&mut st.durable_names, op);
+    }
+    st.names = st.durable_names.clone();
+    st.crashed = true;
+}
+
+/// An open handle into a [`FaultFs`] object.
+#[derive(Debug)]
+pub struct FaultFile {
+    state: Arc<Mutex<MemState>>,
+    plan: StoreFaultPlan,
+    id: usize,
+    name: String,
+}
+
+impl StorageFile for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let label = format!("write:{}", self.name);
+        match pre_op(&mut st, &self.plan, &label, OpKind::Write)? {
+            Decision::Proceed => {
+                let n = if self.plan.short_writes && st.armed && buf.len() > 1 {
+                    buf.len() / 2
+                } else {
+                    buf.len()
+                };
+                let file = &mut st.files[self.id];
+                file.data.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            Decision::Crash(ix) => {
+                // The torn write: a seeded prefix of this buffer made it to
+                // the (dirty) page cache before the lights went out.
+                let keep = fault_choice(self.plan.seed, 0, &label, ix, SALT_TEAR, buf.len());
+                let file = &mut st.files[self.id];
+                file.data.extend_from_slice(&buf[..keep]);
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let label = format!("flush:{}", self.name);
+        match pre_op(&mut st, &self.plan, &label, OpKind::Write)? {
+            Decision::Proceed => Ok(()), // flush promises nothing
+            Decision::Crash(_) => {
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let label = format!("sync:{}", self.name);
+        match pre_op(&mut st, &self.plan, &label, OpKind::Write)? {
+            Decision::Proceed => {
+                let file = &mut st.files[self.id];
+                file.durable_len = file.data.len();
+                Ok(())
+            }
+            Decision::Crash(_) => {
+                // Power died before the sync took effect.
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+}
+
+impl StorageBackend for FaultFs {
+    fn create(&self, name: &str) -> io::Result<Box<dyn StorageFile>> {
+        let mut st = self.lock();
+        let label = format!("create:{name}");
+        match pre_op(&mut st, &self.plan, &label, OpKind::Write)? {
+            Decision::Proceed => {
+                st.files.push(MemFile::default());
+                let id = st.files.len() - 1;
+                st.names.insert(name.to_owned(), id);
+                st.pending_ns.push(NsOp::Link(name.to_owned(), id));
+                Ok(Box::new(FaultFile {
+                    state: Arc::clone(&self.state),
+                    plan: self.plan.clone(),
+                    id,
+                    name: name.to_owned(),
+                }))
+            }
+            Decision::Crash(_) => {
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        let mut st = self.lock();
+        let label = format!("get:{name}");
+        match pre_op(&mut st, &self.plan, &label, OpKind::Read)? {
+            Decision::Proceed => match st.names.get(name) {
+                Some(&id) => Ok(st.files[id].data.clone()),
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no object {name}"),
+                )),
+            },
+            Decision::Crash(_) => {
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut st = self.lock();
+        let label = format!("rename:{from}->{to}");
+        match pre_op(&mut st, &self.plan, &label, OpKind::Write)? {
+            Decision::Proceed => {
+                if !st.names.contains_key(from) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("no object {from}"),
+                    ));
+                }
+                let op = NsOp::Rename(from.to_owned(), to.to_owned());
+                apply_ns(&mut st.names, &op);
+                st.pending_ns.push(op);
+                Ok(())
+            }
+            Decision::Crash(_) => {
+                // Power died before the rename reached the journal.
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let mut st = self.lock();
+        let label = format!("remove:{name}");
+        match pre_op(&mut st, &self.plan, &label, OpKind::Write)? {
+            Decision::Proceed => {
+                if !st.names.contains_key(name) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("no object {name}"),
+                    ));
+                }
+                let op = NsOp::Unlink(name.to_owned());
+                apply_ns(&mut st.names, &op);
+                st.pending_ns.push(op);
+                Ok(())
+            }
+            Decision::Crash(_) => {
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+
+    fn exists(&self, name: &str) -> io::Result<bool> {
+        let mut st = self.lock();
+        let label = format!("exists:{name}");
+        match pre_op(&mut st, &self.plan, &label, OpKind::Read)? {
+            Decision::Proceed => Ok(st.names.contains_key(name)),
+            Decision::Crash(_) => {
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error(&label))
+            }
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut st = self.lock();
+        match pre_op(&mut st, &self.plan, "list", OpKind::Read)? {
+            Decision::Proceed => Ok(st.names.keys().cloned().collect()),
+            Decision::Crash(_) => {
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error("list"))
+            }
+        }
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        let mut st = self.lock();
+        match pre_op(&mut st, &self.plan, "syncdir", OpKind::Write)? {
+            Decision::Proceed => {
+                let pending = std::mem::take(&mut st.pending_ns);
+                for op in &pending {
+                    apply_ns(&mut st.durable_names, op);
+                }
+                Ok(())
+            }
+            Decision::Crash(_) => {
+                crash(&mut st, self.plan.seed);
+                Err(power_cut_error("syncdir"))
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("faultfs(seed={})", self.plan.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::write_all_retrying;
+    use bfu_crawler::retry_interrupted;
+
+    fn durable_write(fs: &FaultFs, name: &str, bytes: &[u8]) {
+        // Same EINTR discipline as the real store paths.
+        let mut f = retry_interrupted(|| fs.create(name)).expect("create");
+        write_all_retrying(f.as_mut(), bytes).expect("write");
+        retry_interrupted(|| f.sync_all()).expect("sync");
+        drop(f);
+        retry_interrupted(|| fs.sync_dir()).expect("sync dir");
+    }
+
+    #[test]
+    fn fault_free_roundtrip() {
+        let fs = FaultFs::new(StoreFaultPlan::none());
+        durable_write(&fs, "a", b"hello");
+        assert_eq!(fs.get("a").expect("get"), b"hello");
+        assert_eq!(fs.list().expect("list"), vec!["a".to_string()]);
+        assert!(fs.ops() > 0);
+        assert_eq!(fs.op_trace().len() as u64, fs.ops());
+    }
+
+    #[test]
+    fn crash_discards_unsynced_data_deterministically() {
+        // Write a durable object, then dirty data, then crash at a chosen
+        // later op. Recovery must see the durable bytes plus some seeded
+        // prefix of the dirty tail — identically across runs.
+        let run = |seed: u64| -> Vec<u8> {
+            // Ops: create=0 write=1 sync=2 syncdir=3 write(dirty)=4 get(crash)=5
+            let plan = StoreFaultPlan::none().with_seed(seed).with_crash_at(5);
+            let fs = FaultFs::new(plan);
+            let mut f = fs.create("a").expect("create");
+            write_all_retrying(f.as_mut(), b"durable").expect("write");
+            f.sync_all().expect("sync");
+            fs.sync_dir().expect("sync dir");
+            write_all_retrying(f.as_mut(), b"-dirty-tail").expect("dirty write");
+            let err = fs.get("a").expect_err("crash fires");
+            assert!(FaultFs::is_crash(&err));
+            fs.power_cycle();
+            fs.get("a").expect("durable object survives")
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "crash outcome is a pure function of the seed");
+        assert!(a.starts_with(b"durable"), "durable prefix always survives");
+        assert!(a.len() <= b"durable-dirty-tail".len());
+    }
+
+    #[test]
+    fn crash_before_sync_dir_can_lose_the_name() {
+        // Create + write + sync the data but crash at the dir sync: the
+        // content was durable but the name was not; whether it survives is
+        // the journal's (seeded) choice. With an empty prior namespace and
+        // a seed chosen so the journal commits nothing, the name vanishes.
+        for seed in 0..64 {
+            let fs = FaultFs::new(StoreFaultPlan::none().with_seed(seed).with_crash_at(3));
+            let mut f = fs.create("a").expect("create");
+            write_all_retrying(f.as_mut(), b"x").expect("write");
+            f.sync_all().expect("sync");
+            let err = fs.sync_dir().expect_err("crash fires");
+            assert!(FaultFs::is_crash(&err));
+            fs.power_cycle();
+            if fs.visible_names().is_empty() {
+                return; // found a seed where the create never committed
+            }
+        }
+        panic!("no seed lost the uncommitted name — journal prefix is broken");
+    }
+
+    #[test]
+    fn operations_after_crash_fail_until_power_cycle() {
+        let fs = FaultFs::new(StoreFaultPlan::none().with_crash_at(0));
+        let err = fs.list().expect_err("crash");
+        assert!(FaultFs::is_crash(&err));
+        let err = fs.get("a").expect_err("still dead");
+        assert!(FaultFs::is_crash(&err));
+        fs.power_cycle();
+        assert!(fs.list().expect("back on").is_empty());
+    }
+
+    #[test]
+    fn eintr_is_transient_and_beaten_by_retry() {
+        let plan = StoreFaultPlan::none().with_seed(3).with_eintr_chance(0.4);
+        let fs = FaultFs::new(plan);
+        for i in 0..50 {
+            durable_write(&fs, &format!("obj-{i}"), b"payload");
+        }
+        for i in 0..50 {
+            let name = format!("obj-{i}");
+            let bytes = retry_interrupted(|| fs.get(&name)).expect("get");
+            assert_eq!(bytes, b"payload");
+        }
+    }
+
+    #[test]
+    fn short_writes_still_land_every_byte() {
+        let fs = FaultFs::new(StoreFaultPlan::none().with_short_writes());
+        durable_write(&fs, "a", b"a long enough payload to split many times");
+        assert_eq!(
+            fs.get("a").expect("get"),
+            b"a long enough payload to split many times"
+        );
+    }
+
+    #[test]
+    fn enospc_fails_the_write_cleanly() {
+        let fs = FaultFs::new(StoreFaultPlan::none().with_enospc_at(1));
+        let mut f = fs.create("a").expect("create");
+        let err = f.write(b"xy").expect_err("enospc");
+        assert!(!FaultFs::is_crash(&err), "ENOSPC is an error, not a crash");
+        assert!(err.to_string().contains("ENOSPC"));
+        // The store is still alive afterwards.
+        durable_write(&fs, "b", b"fine");
+        assert_eq!(fs.get("b").expect("get"), b"fine");
+    }
+
+    #[test]
+    fn rename_is_atomic_under_crash() {
+        // Publish v1 durably, then write v2 to a tmp and rename. Crash at
+        // every op of the publish sequence: the reader must always see v1
+        // or v2 in full, never a mix and never nothing.
+        let fs0 = FaultFs::new(StoreFaultPlan::none());
+        durable_write(&fs0, "obj", b"v1");
+        let baseline_ops = fs0.ops();
+        // Publish sequence ops: create(tmp), write, sync, rename, syncdir.
+        for k in 0..5 {
+            for seed in [1, 2, 3] {
+                let plan = StoreFaultPlan::none()
+                    .with_seed(seed)
+                    .with_crash_at(baseline_ops + k);
+                let fs = FaultFs::new(plan);
+                durable_write(&fs, "obj", b"v1");
+                let publish = || -> io::Result<()> {
+                    let mut f = fs.create("obj.tmp")?;
+                    write_all_retrying(f.as_mut(), b"v2")?;
+                    f.sync_all()?;
+                    drop(f);
+                    fs.rename("obj.tmp", "obj")?;
+                    fs.sync_dir()
+                };
+                let err = publish().expect_err("crash fires");
+                assert!(FaultFs::is_crash(&err));
+                fs.power_cycle();
+                let seen = fs.get("obj").expect("obj always present");
+                assert!(
+                    seen == b"v1" || seen == b"v2",
+                    "torn object at op {k} seed {seed}: {seen:?}"
+                );
+            }
+        }
+    }
+}

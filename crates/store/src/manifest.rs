@@ -1,21 +1,28 @@
 //! The store manifest: one small text file naming what the shards hold.
 //!
-//! Line-oriented `key=value` format, rewritten atomically (temp file +
-//! rename) after every shard seal, so a reader never observes a torn
-//! manifest. The manifest is *advisory* for shard discovery — the reader
-//! globs `shard-*.bfu` itself, so a crash between sealing a shard and
-//! rewriting the manifest loses nothing — but it is *authoritative* for the
-//! dataset identity: the [`Manifest::fingerprint`] is the resume key, and a
-//! store whose fingerprint differs from the survey asking to resume is
-//! refused outright.
+//! Line-oriented `key=value` format, rewritten atomically after every shard
+//! seal, so a reader never observes a torn manifest. The rewrite follows the
+//! full POSIX publish idiom — write the temp object, sync its *data*, rename
+//! over the live name, sync the *directory* — because each half closes a
+//! different crash window: without the data sync a power cut can leave the
+//! new name pointing at unwritten bytes; without the directory sync the
+//! rename itself can vanish. The torture suite kills the store at both
+//! windows and asserts a reader sees the old manifest or the new one, never
+//! a torn or empty one.
+//!
+//! The manifest is *advisory* for shard discovery — the reader lists
+//! `shard-*.bfu` itself, so a crash between sealing a shard and rewriting
+//! the manifest loses nothing — but it is *authoritative* for the dataset
+//! identity: the [`Manifest::fingerprint`] is the resume key, and a store
+//! whose fingerprint differs from the survey asking to resume is refused
+//! outright.
 
+use crate::backend::StorageBackend;
 use crate::shard::SealedShard;
 use crate::StoreError;
-use bfu_crawler::BrowserProfile;
+use bfu_crawler::{retry_interrupted, BrowserProfile};
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
-use std::path::Path;
 
 /// Manifest file name inside a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
@@ -165,28 +172,36 @@ impl Manifest {
         })
     }
 
-    /// Write atomically into `dir` (temp file + rename).
-    pub fn write_atomic(&self, dir: &Path) -> io::Result<()> {
-        write_atomic(dir, MANIFEST_NAME, &self.render())
+    /// Durably replace the manifest on `backend` (synced temp + rename +
+    /// directory sync).
+    pub fn write_atomic(&self, backend: &dyn StorageBackend) -> io::Result<()> {
+        write_atomic(backend, MANIFEST_NAME, &self.render())
     }
 
-    /// Read the manifest from `dir`; `Ok(None)` when none exists yet.
-    pub fn read(dir: &Path) -> Result<Option<Manifest>, StoreError> {
-        let path = dir.join(MANIFEST_NAME);
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
+    /// Read the manifest from `backend`; `Ok(None)` when none exists yet.
+    pub fn read(backend: &dyn StorageBackend) -> Result<Option<Manifest>, StoreError> {
+        let bytes = match retry_interrupted(|| backend.get(MANIFEST_NAME)) {
+            Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(StoreError::Io(e)),
         };
+        let text = String::from_utf8(bytes)
+            .map_err(|_| StoreError::BadManifest("manifest is not UTF-8".into()))?;
         Manifest::parse(&text).map(Some)
     }
 }
 
-/// Atomically replace `dir/name` with `contents`.
-pub fn write_atomic(dir: &Path, name: &str, contents: &str) -> io::Result<()> {
-    let tmp = dir.join(format!("{name}.tmp"));
-    fs::write(&tmp, contents)?;
-    fs::rename(&tmp, dir.join(name))
+/// Atomically and durably replace object `name` with `contents`.
+///
+/// Sequence: `put` the temp object (which syncs its data), rename over the
+/// live name, sync the namespace. A crash anywhere leaves either the old
+/// object or the new one — never a torn hybrid, and never a name whose
+/// bytes didn't make it.
+pub fn write_atomic(backend: &dyn StorageBackend, name: &str, contents: &str) -> io::Result<()> {
+    let tmp = format!("{name}.tmp");
+    backend.put(&tmp, contents.as_bytes())?;
+    retry_interrupted(|| backend.rename(&tmp, name))?;
+    retry_interrupted(|| backend.sync_dir())
 }
 
 fn parse_int(value: &str, what: &str) -> Result<u64, StoreError> {
@@ -203,6 +218,7 @@ fn parse_hex(value: &str, what: &str) -> Result<u64, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::LocalFs;
 
     fn sample() -> Manifest {
         Manifest {
@@ -256,12 +272,12 @@ mod tests {
     #[test]
     fn atomic_write_and_read() {
         let dir = std::env::temp_dir().join(format!("bfu-manifest-test-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        fs::create_dir_all(&dir).expect("mkdir");
-        assert!(Manifest::read(&dir).expect("read empty").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = LocalFs::open(&dir).expect("open backend");
+        assert!(Manifest::read(&backend).expect("read empty").is_none());
         let m = sample();
-        m.write_atomic(&dir).expect("write");
-        assert_eq!(Manifest::read(&dir).expect("read"), Some(m));
+        m.write_atomic(&backend).expect("write");
+        assert_eq!(Manifest::read(&backend).expect("read"), Some(m));
         assert!(!dir.join("MANIFEST.tmp").exists(), "temp renamed away");
     }
 }

@@ -1,0 +1,523 @@
+//! The store scrubber: verify, quarantine, compact.
+//!
+//! A long-lived store accumulates scar tissue: shards torn by crashes,
+//! records flipped by disk rot, small tail shards left by every interrupted
+//! session, manifest entries pointing at files that no longer exist. The
+//! scan layer *tolerates* all of that (it recovers every intact record and
+//! reports the rest); the scrubber *repairs* it, so damage does not
+//! accumulate across sessions:
+//!
+//! - every shard is re-read and re-verified against its own checksums and
+//!   against the manifest's record of it;
+//! - damaged shards have their intact records salvaged, then the file is
+//!   **quarantined** — renamed aside with a `.quarantined` suffix, never
+//!   deleted, so a forensic eye can still look at what the scrubber saw;
+//! - fragmented stores (several small sealed shards, or salvage from damaged
+//!   ones) are **compacted** into fresh full shards, dropping superseded
+//!   duplicate records; a *single* small sealed tail shard is the legitimate
+//!   end of a dataset and is left alone, which makes scrubbing idempotent;
+//! - the manifest is fixed up: entries for vanished shards dropped, entries
+//!   disagreeing with an internally-valid shard corrected (the shard is
+//!   self-verifying; the manifest line is only a copy), sealed-but-unlisted
+//!   shards adopted.
+//!
+//! The repair sequence is crash-safe in the same way the writer is: new
+//! compacted shards are written and synced *before* the manifest publishes
+//! them, and originals are quarantined/removed only *after* — so a power cut
+//! mid-scrub leaves, at worst, duplicate records that first-record-wins
+//! scanning and the next scrub clean up. Nothing intact is ever lost, which
+//! the torture suite proves by killing the scrubber at every I/O boundary.
+//!
+//! Records that *are* lost (corrupt beyond salvage) simply leave their
+//! site's slot empty, and [`crate::resume_survey`] re-crawls exactly those
+//! sites: the store self-heals.
+
+use crate::backend::StorageBackend;
+use crate::shard::{read_shard, shard_file_name, SealedShard, ShardContents, ShardWriter};
+use crate::store::{shard_names, DatasetStore, StoreError};
+use bfu_crawler::retry_interrupted;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io;
+
+/// What one scrub pass found and did. Folded into the provenance sidecar so
+/// a dataset's repair history is part of its identity record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Shard objects examined.
+    pub shards_examined: usize,
+    /// Shards kept exactly as they were.
+    pub shards_kept: usize,
+    /// Damaged shards moved aside (never deleted) after salvage.
+    pub shards_quarantined: usize,
+    /// Intact small shards absorbed into compacted shards and removed.
+    pub shards_compacted: usize,
+    /// New full/tail shards written by compaction.
+    pub shards_written: usize,
+    /// Manifest entries corrected to match an internally-valid shard.
+    pub manifest_entries_fixed: usize,
+    /// Manifest entries dropped because their shard no longer exists.
+    pub manifest_entries_dropped: usize,
+    /// Sealed shards present on the backend but missing from the manifest,
+    /// adopted into it.
+    pub manifest_entries_adopted: usize,
+    /// Records carried from damaged or absorbed shards into new ones.
+    pub records_salvaged: usize,
+    /// Records discarded: checksum-bad, undecodable, or out of range.
+    pub records_dropped: usize,
+    /// Superseded duplicate records dropped during compaction.
+    pub records_deduplicated: usize,
+}
+
+impl ScrubReport {
+    /// Whether the pass found nothing to repair.
+    pub fn clean(&self) -> bool {
+        self.shards_quarantined == 0
+            && self.shards_compacted == 0
+            && self.shards_written == 0
+            && self.manifest_entries_fixed == 0
+            && self.manifest_entries_dropped == 0
+            && self.manifest_entries_adopted == 0
+            && self.records_dropped == 0
+    }
+
+    /// Render as a JSON object, each line indented by `indent` spaces (for
+    /// splicing into the provenance document).
+    pub fn render_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::from("{\n");
+        let fields: [(&str, usize); 12] = [
+            ("shards_examined", self.shards_examined),
+            ("shards_kept", self.shards_kept),
+            ("shards_quarantined", self.shards_quarantined),
+            ("shards_compacted", self.shards_compacted),
+            ("shards_written", self.shards_written),
+            ("manifest_entries_fixed", self.manifest_entries_fixed),
+            ("manifest_entries_dropped", self.manifest_entries_dropped),
+            ("manifest_entries_adopted", self.manifest_entries_adopted),
+            ("records_salvaged", self.records_salvaged),
+            ("records_dropped", self.records_dropped),
+            ("records_deduplicated", self.records_deduplicated),
+            ("clean", usize::from(self.clean())),
+        ];
+        for (i, (name, value)) in fields.iter().enumerate() {
+            let comma = if i + 1 == fields.len() { "" } else { "," };
+            if *name == "clean" {
+                let _ = writeln!(out, "{pad}  \"{name}\": {}{comma}", *value == 1);
+            } else {
+                let _ = writeln!(out, "{pad}  \"{name}\": {value}{comma}");
+            }
+        }
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+}
+
+/// How the scrubber classified one existing shard.
+enum Verdict {
+    /// Intact, full (or the only small tail): keep as-is.
+    Keep,
+    /// Intact but small/fragmented: absorb into a compacted shard, then
+    /// remove the (now superseded) original.
+    Absorb,
+    /// Damaged: salvage intact records, then move the file aside.
+    Quarantine,
+}
+
+struct Examined {
+    name: String,
+    contents: Option<ShardContents>, // None: not readable as a shard at all
+    verdict: Verdict,
+}
+
+impl DatasetStore {
+    /// Run one scrub pass: re-verify every shard, quarantine damage,
+    /// compact fragmentation, and true up the manifest. Idempotent on a
+    /// healthy store (the second pass reports [`ScrubReport::clean`]).
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        let backend = self.backend().clone();
+        let inner = &mut *self.lock();
+        // Flush any open writer first so every record is in a sealed,
+        // examinable shard (resume calls scrub before writing, so this is
+        // normally a no-op).
+        self.seal_current(inner)?;
+        let mut report = ScrubReport::default();
+        let capacity = inner.manifest.shard_capacity.max(1);
+
+        // Pass 1: examine every shard object and classify it.
+        let mut examined: Vec<Examined> = Vec::new();
+        let mut small_intact = 0usize;
+        let mut damage = false;
+        for (_, name) in shard_names(backend.as_ref())? {
+            report.shards_examined += 1;
+            match read_shard(backend.as_ref(), &name) {
+                Ok(contents) => {
+                    if contents.pristine() {
+                        // Self-verified; a disagreeing manifest line is the
+                        // manifest's problem, fixed in pass 4.
+                        if contents.seal.map(|s| s.records) < Some(capacity) {
+                            small_intact += 1;
+                        }
+                        examined.push(Examined {
+                            name,
+                            contents: Some(contents),
+                            verdict: Verdict::Keep, // may demote to Absorb below
+                        });
+                    } else {
+                        damage = true;
+                        examined.push(Examined {
+                            name,
+                            contents: Some(contents),
+                            verdict: Verdict::Quarantine,
+                        });
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // Not readable as a shard (smashed header): quarantine
+                    // with nothing to salvage.
+                    damage = true;
+                    examined.push(Examined {
+                        name,
+                        contents: None,
+                        verdict: Verdict::Quarantine,
+                    });
+                }
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
+
+        // Pass 2: decide compaction. Fragmentation alone needs ≥ 2 small
+        // shards (a single small sealed tail is the legitimate end of a
+        // dataset — leaving it alone is what makes scrubbing idempotent);
+        // any damage with salvageable records also compacts.
+        let compact = small_intact >= 2
+            || (damage
+                && examined.iter().any(|e| {
+                    matches!(e.verdict, Verdict::Quarantine)
+                        && e.contents.as_ref().is_some_and(|c| !c.payloads.is_empty())
+                }));
+        if compact {
+            for e in &mut examined {
+                let small = e
+                    .contents
+                    .as_ref()
+                    .is_some_and(|c| c.pristine() && c.seal.map(|s| s.records) < Some(capacity));
+                if matches!(e.verdict, Verdict::Keep) && small {
+                    e.verdict = Verdict::Absorb;
+                }
+            }
+        }
+
+        // Pass 3: build the salvage set (records from absorbed + damaged
+        // shards, first-record-wins against kept shards and each other) and
+        // write it into fresh shards.
+        let mut covered: BTreeSet<usize> = BTreeSet::new();
+        for e in &examined {
+            if let (Verdict::Keep, Some(c)) = (&e.verdict, &e.contents) {
+                for payload in &c.payloads {
+                    if let Ok(m) = crate::encode::decode_site(payload) {
+                        covered.insert(m.site.index());
+                    }
+                }
+            }
+        }
+        let mut salvage: Vec<Vec<u8>> = Vec::new();
+        for e in &examined {
+            let salvaging = matches!(e.verdict, Verdict::Absorb | Verdict::Quarantine);
+            let Some(c) = e.contents.as_ref().filter(|_| salvaging) else {
+                continue;
+            };
+            report.records_dropped += c.records_corrupt;
+            for payload in &c.payloads {
+                match crate::encode::decode_site(payload) {
+                    Ok(m) if m.site.index() < inner.manifest.sites => {
+                        if covered.insert(m.site.index()) {
+                            salvage.push(payload.clone());
+                        } else {
+                            report.records_deduplicated += 1;
+                        }
+                    }
+                    _ => report.records_dropped += 1,
+                }
+            }
+        }
+        let mut new_seals: Vec<SealedShard> = Vec::new();
+        for chunk in salvage.chunks(capacity as usize) {
+            let ix = inner.next_shard_ix;
+            inner.next_shard_ix += 1;
+            let mut writer = ShardWriter::create(backend.as_ref(), ix)?;
+            for payload in chunk {
+                writer.append(payload)?;
+            }
+            new_seals.push(writer.seal()?);
+            report.records_salvaged += chunk.len();
+        }
+        if !new_seals.is_empty() {
+            // Make the new shards' names durable before the manifest (whose
+            // own rewrite syncs again) references them.
+            retry_interrupted(|| backend.sync_dir())?;
+            report.shards_written = new_seals.len();
+        }
+
+        // Pass 4: true up the manifest — kept shards' own seals (fixing
+        // stale or missing entries), plus the freshly written ones — and
+        // publish it before any original is touched.
+        let old_shards = inner.manifest.shards.clone();
+        let mut shards: Vec<SealedShard> = Vec::new();
+        for e in &examined {
+            if let (Verdict::Keep, Some(c)) = (&e.verdict, &e.contents) {
+                report.shards_kept += 1;
+                if let Some(seal) = c.seal {
+                    match old_shards.iter().find(|s| s.ix == seal.ix) {
+                        Some(listed) if *listed == seal => {}
+                        Some(_) => report.manifest_entries_fixed += 1,
+                        None => report.manifest_entries_adopted += 1,
+                    }
+                    shards.push(seal);
+                }
+            }
+        }
+        shards.extend(new_seals.iter().copied());
+        report.manifest_entries_dropped = old_shards
+            .iter()
+            .filter(|s| !shards.iter().any(|n| n.ix == s.ix))
+            .filter(|s| {
+                // Dropped for a reason other than quarantine/absorption
+                // below counts as "entry pointed at nothing".
+                !examined.iter().any(|e| {
+                    e.contents.as_ref().map(|c| c.ix) == Some(s.ix)
+                        || e.name == shard_file_name(s.ix)
+                })
+            })
+            .count();
+        if shards != old_shards || !new_seals.is_empty() {
+            inner.manifest.shards = shards;
+            inner.manifest.write_atomic(backend.as_ref())?;
+        }
+
+        // Pass 5: move damaged originals aside and drop absorbed ones. Safe
+        // now — everything worth keeping is sealed, synced, and published.
+        for e in &examined {
+            match e.verdict {
+                Verdict::Keep => {}
+                Verdict::Absorb => {
+                    retry_interrupted(|| backend.remove(&e.name))?;
+                    report.shards_compacted += 1;
+                }
+                Verdict::Quarantine => {
+                    let to = quarantine_name(backend.as_ref(), &e.name)?;
+                    retry_interrupted(|| backend.rename(&e.name, &to))?;
+                    report.shards_quarantined += 1;
+                }
+            }
+        }
+        if report.shards_compacted > 0 || report.shards_quarantined > 0 {
+            retry_interrupted(|| backend.sync_dir())?;
+        }
+        Ok(report)
+    }
+}
+
+/// First unused quarantine name for `name`: `<name>.quarantined`, then
+/// numbered variants — an existing quarantine file is *evidence* and is
+/// never overwritten.
+fn quarantine_name(backend: &dyn StorageBackend, name: &str) -> io::Result<String> {
+    let base = format!("{name}.quarantined");
+    if !retry_interrupted(|| backend.exists(&base))? {
+        return Ok(base);
+    }
+    for k in 1u32.. {
+        let candidate = format!("{base}-{k}");
+        if !retry_interrupted(|| backend.exists(&candidate))? {
+            return Ok(candidate);
+        }
+    }
+    unreachable!("u32 quarantine suffixes exhausted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{DatasetStore, StoreMeta};
+    use bfu_crawler::{CrawlConfig, Provenance, Survey};
+    use bfu_webgen::{SyntheticWeb, WebConfig};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bfu-scrub-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn survey(sites: usize) -> Survey {
+        let web = SyntheticWeb::generate(WebConfig {
+            sites,
+            seed: 33,
+            script_weight: 0,
+        });
+        Survey::new(web, CrawlConfig::quick(9))
+    }
+
+    fn full_store(dir: &std::path::Path, survey: &Survey, capacity: u32) -> DatasetStore {
+        let dataset = survey.run();
+        let mut meta = StoreMeta::for_survey(survey);
+        meta.shard_capacity = capacity;
+        let store = DatasetStore::open(dir, meta).expect("open");
+        for m in &dataset.sites {
+            store.append(m).expect("append");
+        }
+        store
+            .finish(&Provenance::of(survey, &dataset))
+            .expect("finish");
+        store
+    }
+
+    #[test]
+    fn healthy_store_scrubs_clean_and_idempotent() {
+        let dir = temp_dir("clean");
+        let survey = survey(6);
+        // Capacity 4 → one full shard + one small tail: legitimate shape.
+        let store = full_store(&dir, &survey, 4);
+        let first = store.scrub().expect("scrub");
+        assert!(first.clean(), "nothing to repair: {first:?}");
+        assert_eq!(first.shards_examined, 2);
+        assert_eq!(first.shards_kept, 2);
+        let second = store.scrub().expect("scrub again");
+        assert!(second.clean(), "scrub must be idempotent: {second:?}");
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.recovered, 6);
+        assert!(!scan.report.any_loss());
+    }
+
+    #[test]
+    fn corrupt_shard_is_quarantined_not_deleted() {
+        let dir = temp_dir("quarantine");
+        let survey = survey(6);
+        let store = full_store(&dir, &survey, 3);
+        // Flip a payload byte in the first shard.
+        let name = shard_file_name(0);
+        let path = dir.join(&name);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[40] ^= 0x10;
+        std::fs::write(&path, bytes).expect("write");
+        let report = store.scrub().expect("scrub");
+        assert_eq!(report.shards_quarantined, 1);
+        assert!(report.records_dropped >= 1, "the flipped record is gone");
+        assert!(report.records_salvaged >= 1, "intact neighbours salvaged");
+        assert!(!path.exists(), "original name vacated");
+        assert!(
+            dir.join(format!("{name}.quarantined")).exists(),
+            "moved aside, not deleted"
+        );
+        // Post-scrub scan is loss-free; only the flipped record's site is
+        // missing.
+        let scan = store.scan().expect("scan");
+        assert!(!scan.report.any_loss(), "{:?}", scan.report);
+        assert_eq!(scan.recovered, 5);
+        // And the pass after repair is clean.
+        assert!(store.scrub().expect("rescrub").clean());
+    }
+
+    #[test]
+    fn fragmented_small_shards_compact_into_full_ones() {
+        let dir = temp_dir("compact");
+        let survey = survey(8);
+        let dataset = survey.run();
+        let mut meta = StoreMeta::for_survey(&survey);
+        meta.shard_capacity = 4;
+        // Simulate four interrupted sessions: 2 records each, sealed by
+        // reopening (finish seals the open shard).
+        for pair in dataset.sites.chunks(2) {
+            let store = DatasetStore::open(&dir, meta.clone()).expect("open");
+            for m in pair {
+                store.append(m).expect("append");
+            }
+            store
+                .finish(&Provenance::of(&survey, &dataset))
+                .expect("finish");
+        }
+        let store = DatasetStore::open(&dir, meta).expect("reopen");
+        let report = store.scrub().expect("scrub");
+        assert_eq!(report.shards_compacted, 4, "four fragments absorbed");
+        assert_eq!(report.shards_written, 2, "8 records / capacity 4");
+        assert_eq!(report.records_salvaged, 8);
+        assert_eq!(report.records_dropped, 0, "compaction loses nothing");
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.recovered, 8);
+        assert!(!scan.report.any_loss());
+        assert!(store.scrub().expect("rescrub").clean());
+    }
+
+    #[test]
+    fn duplicates_across_fragments_are_deduplicated() {
+        let dir = temp_dir("dedup");
+        let survey = survey(5);
+        let dataset = survey.run();
+        let mut meta = StoreMeta::for_survey(&survey);
+        meta.shard_capacity = 8;
+        // Two sessions, both writing the same first two sites.
+        for _ in 0..2 {
+            let store = DatasetStore::open(&dir, meta.clone()).expect("open");
+            store.append(&dataset.sites[0]).expect("append");
+            store.append(&dataset.sites[1]).expect("append");
+            store
+                .finish(&Provenance::of(&survey, &dataset))
+                .expect("finish");
+        }
+        let store = DatasetStore::open(&dir, meta).expect("reopen");
+        let report = store.scrub().expect("scrub");
+        assert_eq!(report.records_deduplicated, 2);
+        assert_eq!(report.records_salvaged, 2, "one copy of each site");
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.recovered, 2);
+        assert_eq!(scan.report.records_duplicate, 0, "duplicates are gone");
+    }
+
+    #[test]
+    fn unsealed_crash_artifact_is_salvaged_and_quarantined() {
+        let dir = temp_dir("unsealed");
+        let survey = survey(4);
+        let dataset = survey.run();
+        let meta = StoreMeta::for_survey(&survey);
+        let store = DatasetStore::open(&dir, meta.clone()).expect("open");
+        store.append(&dataset.sites[0]).expect("append");
+        store.append(&dataset.sites[1]).expect("append");
+        drop(store); // kill before sealing
+        let store = DatasetStore::open(&dir, meta).expect("reopen");
+        let report = store.scrub().expect("scrub");
+        assert_eq!(report.shards_quarantined, 1);
+        assert_eq!(report.records_salvaged, 2, "flushed records survive");
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.recovered, 2);
+        assert!(!scan.report.any_loss());
+    }
+
+    #[test]
+    fn manifest_entry_for_missing_shard_is_dropped() {
+        let dir = temp_dir("missing");
+        let survey = survey(4);
+        let store = full_store(&dir, &survey, 2);
+        std::fs::remove_file(dir.join(shard_file_name(0))).expect("remove");
+        let report = store.scrub().expect("scrub");
+        assert_eq!(report.manifest_entries_dropped, 1);
+        let scan = store.scan().expect("scan");
+        assert!(!scan.report.any_loss());
+        assert_eq!(scan.recovered, 2, "other shard intact");
+    }
+
+    #[test]
+    fn scrub_report_json_is_well_formed() {
+        let report = ScrubReport {
+            shards_examined: 3,
+            shards_quarantined: 1,
+            records_salvaged: 7,
+            ..ScrubReport::default()
+        };
+        let json = report.render_json(2);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"shards_quarantined\": 1,"));
+        assert!(json.contains("\"clean\": false"));
+        assert_eq!(json.matches(':').count(), 12);
+    }
+}

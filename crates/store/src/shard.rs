@@ -9,9 +9,11 @@
 //! ```
 //!
 //! The shard checksum chains the per-record checksums in write order. A
-//! writer flushes after every record, so a crash loses at most the record
-//! being written; the reader recovers every intact record from the tail and
-//! reports (rather than fails on) whatever was damaged:
+//! writer flushes after every record, so a process kill loses at most the
+//! record being written; sealing syncs the file, so once a shard is sealed
+//! even a *power cut* cannot touch it. The reader recovers every intact
+//! record from the tail and reports (rather than fails on) whatever was
+//! damaged:
 //!
 //! - payload checksum mismatch → that record is dropped, reading continues
 //!   (framing is intact);
@@ -19,11 +21,15 @@
 //!   is untrusted from that point and dropped;
 //! - missing footer → the shard is *unsealed* (a crash artifact), its
 //!   intact records still count.
+//!
+//! All I/O goes through a [`StorageBackend`], so the same reader and writer
+//! run against the local filesystem, a future object store, or the torture
+//! suite's fault-injecting [`crate::faultfs::FaultFs`].
 
+use crate::backend::{write_all_retrying, StorageBackend, StorageFile};
+use bfu_crawler::retry_interrupted;
 use bfu_util::{fnv64, Fnv64};
-use std::fs::File;
-use std::io::{self, Read, Write};
-use std::path::{Path, PathBuf};
+use std::io;
 
 const MAGIC: &[u8; 8] = b"BFUSHARD";
 // v2: rounds carry script budget/heap/depth trip counters.
@@ -37,7 +43,8 @@ pub fn shard_file_name(ix: u32) -> String {
     format!("shard-{ix:05}.bfu")
 }
 
-/// Parse a shard index back out of a file name.
+/// Parse a shard index back out of a file name. Quarantined shards
+/// (renamed aside by the scrubber) intentionally do not parse.
 pub fn parse_shard_name(name: &str) -> Option<u32> {
     name.strip_prefix("shard-")?
         .strip_suffix(".bfu")?
@@ -59,26 +66,28 @@ pub struct SealedShard {
 /// Incremental writer for one shard file.
 #[derive(Debug)]
 pub struct ShardWriter {
-    file: File,
-    path: PathBuf,
+    file: Box<dyn StorageFile>,
+    name: String,
     ix: u32,
     records: u32,
     chain: Fnv64,
 }
 
 impl ShardWriter {
-    /// Create `shard-<ix>.bfu` in `dir` and write its header.
-    pub fn create(dir: &Path, ix: u32) -> io::Result<ShardWriter> {
-        let path = dir.join(shard_file_name(ix));
-        let mut file = File::create(&path)?;
-        file.write_all(MAGIC)?;
-        file.write_all(&VERSION.to_le_bytes())?;
-        file.write_all(&0u16.to_le_bytes())?;
-        file.write_all(&ix.to_le_bytes())?;
-        file.flush()?;
+    /// Create `shard-<ix>.bfu` on `backend` and write its header.
+    pub fn create(backend: &dyn StorageBackend, ix: u32) -> io::Result<ShardWriter> {
+        let name = shard_file_name(ix);
+        let mut file = retry_interrupted(|| backend.create(&name))?;
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes());
+        header.extend_from_slice(&ix.to_le_bytes());
+        write_all_retrying(file.as_mut(), &header)?;
+        retry_interrupted(|| file.flush())?;
         Ok(ShardWriter {
             file,
-            path,
+            name,
             ix,
             records: 0,
             chain: Fnv64::new(),
@@ -95,35 +104,39 @@ impl ShardWriter {
         self.records
     }
 
-    /// Path of the shard file.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// Name of the shard file.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
-    /// Append one record and flush it to the OS, so a crash after `append`
-    /// returns never loses the record.
+    /// Append one record and flush it to the OS, so a process kill after
+    /// `append` returns never loses the record. (Only [`ShardWriter::seal`]
+    /// survives a power cut; the torture suite's recovery path re-crawls
+    /// whatever an unsealed tail lost.)
     pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
         let checksum = fnv64(payload);
         let mut frame = Vec::with_capacity(payload.len() + 12);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(payload);
         frame.extend_from_slice(&checksum.to_le_bytes());
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
+        write_all_retrying(self.file.as_mut(), &frame)?;
+        retry_interrupted(|| self.file.flush())?;
         self.records += 1;
         self.chain.write_u64(checksum);
         Ok(())
     }
 
-    /// Write the footer, sync to disk, and return the seal summary.
+    /// Write the footer, sync the file to disk, and return the seal
+    /// summary. The caller (the store) syncs the directory before any
+    /// manifest mentions this shard, completing the publish discipline.
     pub fn seal(mut self) -> io::Result<SealedShard> {
         let checksum = self.chain.finish();
         let mut footer = Vec::with_capacity(16);
         footer.extend_from_slice(&SEAL_MARKER.to_le_bytes());
         footer.extend_from_slice(&self.records.to_le_bytes());
         footer.extend_from_slice(&checksum.to_le_bytes());
-        self.file.write_all(&footer)?;
-        self.file.sync_all()?;
+        write_all_retrying(self.file.as_mut(), &footer)?;
+        retry_interrupted(|| self.file.sync_all())?;
         Ok(SealedShard {
             ix: self.ix,
             records: self.records,
@@ -150,24 +163,31 @@ pub struct ShardContents {
     pub seal_valid: bool,
 }
 
-/// Read one shard file, recovering every intact record.
+impl ShardContents {
+    /// Whether this shard is pristine: sealed, checksum-valid, nothing
+    /// dropped. Anything less is the scrubber's business.
+    pub fn pristine(&self) -> bool {
+        self.seal.is_some() && self.seal_valid && !self.truncated && self.records_corrupt == 0
+    }
+}
+
+/// Read one shard object from `backend`, recovering every intact record.
 ///
-/// Only a damaged *header* is a hard error (the file is not a shard);
+/// Only a damaged *header* is a hard error (the object is not a shard);
 /// damage past the header degrades to a partial, reported recovery.
-pub fn read_shard(path: &Path) -> io::Result<ShardContents> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+pub fn read_shard(backend: &dyn StorageBackend, name: &str) -> io::Result<ShardContents> {
+    let bytes = retry_interrupted(|| backend.get(name))?;
     if bytes.len() < 16 || &bytes[..8] != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("{} is not a bfu shard (bad magic)", path.display()),
+            format!("{name} is not a bfu shard (bad magic)"),
         ));
     }
     let version = u16::from_le_bytes([bytes[8], bytes[9]]);
     if version != VERSION {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("{}: unsupported shard version {version}", path.display()),
+            format!("{name}: unsupported shard version {version}"),
         ));
     }
     let ix = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
@@ -242,31 +262,38 @@ pub fn read_shard(path: &Path) -> io::Result<ShardContents> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::fs::OpenOptions;
+    use crate::backend::LocalFs;
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
 
-    fn temp_dir(name: &str) -> PathBuf {
+    fn temp_backend(name: &str) -> (LocalFs, PathBuf) {
         let dir =
             std::env::temp_dir().join(format!("bfu-shard-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        dir
+        (LocalFs::open(&dir).expect("open backend"), dir)
     }
 
-    fn write_shard(dir: &Path, payloads: &[&[u8]]) -> (PathBuf, SealedShard) {
-        let mut w = ShardWriter::create(dir, 3).expect("create");
+    fn write_shard(backend: &LocalFs, payloads: &[&[u8]]) -> (String, SealedShard) {
+        let mut w = ShardWriter::create(backend, 3).expect("create");
         for p in payloads {
             w.append(p).expect("append");
         }
-        let path = w.path().to_path_buf();
+        let name = w.name().to_owned();
         let seal = w.seal().expect("seal");
-        (path, seal)
+        (name, seal)
+    }
+
+    fn mangle(dir: &Path, name: &str, f: impl FnOnce(Vec<u8>) -> Vec<u8>) {
+        let path = dir.join(name);
+        let bytes = std::fs::read(&path).expect("read file");
+        std::fs::write(&path, f(bytes)).expect("rewrite");
     }
 
     #[test]
     fn sealed_roundtrip() {
-        let dir = temp_dir("roundtrip");
-        let (path, seal) = write_shard(&dir, &[b"alpha", b"beta", b"gamma"]);
-        let c = read_shard(&path).expect("read");
+        let (backend, _dir) = temp_backend("roundtrip");
+        let (name, seal) = write_shard(&backend, &[b"alpha", b"beta", b"gamma"]);
+        let c = read_shard(&backend, &name).expect("read");
         assert_eq!(c.ix, 3);
         assert_eq!(
             c.payloads,
@@ -276,32 +303,34 @@ mod tests {
         assert!(!c.truncated);
         assert_eq!(c.seal, Some(seal));
         assert!(c.seal_valid);
+        assert!(c.pristine());
     }
 
     #[test]
     fn flipped_payload_byte_drops_only_that_record() {
-        let dir = temp_dir("flip");
-        let (path, _) = write_shard(&dir, &[b"alpha", b"beta", b"gamma"]);
-        let mut bytes = std::fs::read(&path).expect("read file");
+        let (backend, dir) = temp_backend("flip");
+        let (name, _) = write_shard(&backend, &[b"alpha", b"beta", b"gamma"]);
         // Flip a byte inside "beta": header 16 + rec0 (4+5+8) = 33, then
         // 4 length bytes → payload starts at 37.
-        bytes[38] ^= 0x40;
-        std::fs::write(&path, bytes).expect("rewrite");
-        let c = read_shard(&path).expect("read");
+        mangle(&dir, &name, |mut bytes| {
+            bytes[38] ^= 0x40;
+            bytes
+        });
+        let c = read_shard(&backend, &name).expect("read");
         assert_eq!(c.payloads, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
         assert_eq!(c.records_corrupt, 1);
         assert!(!c.truncated, "framing stayed intact");
         assert!(c.seal_valid, "record checksums (stored fields) still chain");
+        assert!(!c.pristine(), "a record was dropped");
     }
 
     #[test]
     fn truncation_keeps_intact_prefix() {
-        let dir = temp_dir("truncate");
-        let (path, _) = write_shard(&dir, &[b"alpha", b"beta", b"gamma"]);
-        let bytes = std::fs::read(&path).expect("read file");
+        let (backend, dir) = temp_backend("truncate");
+        let (name, _) = write_shard(&backend, &[b"alpha", b"beta", b"gamma"]);
         // Cut mid-way through the second record's payload.
-        std::fs::write(&path, &bytes[..16 + 17 + 6]).expect("rewrite");
-        let c = read_shard(&path).expect("read");
+        mangle(&dir, &name, |bytes| bytes[..16 + 17 + 6].to_vec());
+        let c = read_shard(&backend, &name).expect("read");
         assert_eq!(c.payloads, vec![b"alpha".to_vec()]);
         assert!(c.truncated);
         assert!(c.seal.is_none());
@@ -309,13 +338,13 @@ mod tests {
 
     #[test]
     fn unsealed_shard_recovers_all_records() {
-        let dir = temp_dir("unsealed");
-        let mut w = ShardWriter::create(&dir, 0).expect("create");
+        let (backend, _dir) = temp_backend("unsealed");
+        let mut w = ShardWriter::create(&backend, 0).expect("create");
         w.append(b"one").expect("append");
         w.append(b"two").expect("append");
-        let path = w.path().to_path_buf();
+        let name = w.name().to_owned();
         drop(w); // simulated kill: no footer ever written
-        let c = read_shard(&path).expect("read");
+        let c = read_shard(&backend, &name).expect("read");
         assert_eq!(c.payloads.len(), 2);
         assert!(c.truncated, "unsealed shard is a crash artifact");
         assert!(c.seal.is_none());
@@ -323,37 +352,32 @@ mod tests {
 
     #[test]
     fn corrupt_length_prefix_abandons_tail() {
-        let dir = temp_dir("badlen");
-        let (path, _) = write_shard(&dir, &[b"alpha", b"beta"]);
-        let mut bytes = std::fs::read(&path).expect("read file");
+        let (backend, dir) = temp_backend("badlen");
+        let (name, _) = write_shard(&backend, &[b"alpha", b"beta"]);
         // Smash the second record's length prefix (offset 16 + 17 = 33).
-        bytes[33] = 0xEE;
-        bytes[36] = 0x7F; // huge length, > MAX_RECORD_LEN
-        std::fs::write(&path, bytes).expect("rewrite");
-        let c = read_shard(&path).expect("read");
+        mangle(&dir, &name, |mut bytes| {
+            bytes[33] = 0xEE;
+            bytes[36] = 0x7F; // huge length, > MAX_RECORD_LEN
+            bytes
+        });
+        let c = read_shard(&backend, &name).expect("read");
         assert_eq!(c.payloads, vec![b"alpha".to_vec()]);
         assert!(c.truncated);
     }
 
     #[test]
     fn partial_trailing_write_is_dropped() {
-        let dir = temp_dir("tail");
-        let (path, _) = write_shard(&dir, &[b"alpha"]);
+        let (backend, dir) = temp_backend("tail");
+        let (name, _) = write_shard(&backend, &[b"alpha"]);
         // Simulate a kill mid-append *after* sealing was skipped: strip the
         // footer, then add a half-written frame.
-        let bytes = std::fs::read(&path).expect("read file");
-        let without_footer = &bytes[..bytes.len() - 16];
-        let mut mangled = without_footer.to_vec();
-        mangled.extend_from_slice(&20u32.to_le_bytes());
-        mangled.extend_from_slice(b"only-six");
-        let mut f = OpenOptions::new()
-            .write(true)
-            .truncate(true)
-            .open(&path)
-            .expect("reopen");
-        f.write_all(&mangled).expect("rewrite");
-        drop(f);
-        let c = read_shard(&path).expect("read");
+        mangle(&dir, &name, |bytes| {
+            let mut mangled = bytes[..bytes.len() - 16].to_vec();
+            mangled.extend_from_slice(&20u32.to_le_bytes());
+            mangled.extend_from_slice(b"only-six");
+            mangled
+        });
+        let c = read_shard(&backend, &name).expect("read");
         assert_eq!(c.payloads, vec![b"alpha".to_vec()]);
         assert!(c.truncated);
     }
@@ -364,13 +388,19 @@ mod tests {
         assert_eq!(parse_shard_name("shard-00007.bfu"), Some(7));
         assert_eq!(parse_shard_name("shard-junk.bfu"), None);
         assert_eq!(parse_shard_name("MANIFEST"), None);
+        assert_eq!(
+            parse_shard_name("shard-00007.bfu.quarantined"),
+            None,
+            "quarantined shards must not rejoin the scan"
+        );
     }
 
     #[test]
     fn non_shard_file_is_hard_error() {
-        let dir = temp_dir("magic");
-        let path = dir.join("shard-00000.bfu");
-        std::fs::write(&path, b"definitely not a shard").expect("write");
-        assert!(read_shard(&path).is_err());
+        let (backend, dir) = temp_backend("magic");
+        std::fs::File::create(dir.join("shard-00000.bfu"))
+            .and_then(|mut f| f.write_all(b"definitely not a shard"))
+            .expect("write");
+        assert!(read_shard(&backend, "shard-00000.bfu").is_err());
     }
 }

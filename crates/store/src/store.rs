@@ -1,28 +1,35 @@
-//! The dataset store: a directory of shards plus a manifest, and the two
+//! The dataset store: a backend of shards plus a manifest, and the two
 //! consumers the store exists for — crawl resumption and memoized analysis.
 //!
 //! A [`DatasetStore`] is opened against a [`StoreMeta`] describing the survey
 //! that produces (or produced) the data. The survey fingerprint is the
-//! identity check: opening a directory written under a different
-//! configuration is refused with [`StoreError::FingerprintMismatch`] rather
-//! than silently mixing incompatible measurements.
+//! identity check: opening a store written under a different configuration is
+//! refused with [`StoreError::FingerprintMismatch`] rather than silently
+//! mixing incompatible measurements.
+//!
+//! All I/O goes through a [`StorageBackend`]: [`DatasetStore::open`] wires up
+//! the production [`LocalFs`]; [`DatasetStore::open_on`] accepts any backend,
+//! which is how the torture suite runs the *entire* store — writer, scrubber,
+//! resumption — against a deterministic fault injector.
 //!
 //! Writers are crash-safe by construction: every appended record is flushed,
-//! shards seal (with a footer checksum) at `shard_capacity` records, and the
-//! manifest is rewritten atomically after each seal. A new writer session
+//! shards seal (footer checksum + file sync) at `shard_capacity` records, the
+//! namespace is synced so a sealed shard's *name* is durable, and only then
+//! is the manifest naming it atomically rewritten. A new writer session
 //! always opens a *new* shard — it never appends to an unsealed shard left
 //! by a crash — so recovery never has to reason about a half-trusted tail it
 //! is also writing into.
 
+use crate::backend::{LocalFs, StorageBackend};
 use crate::encode::{decode_site, encode_site};
 use crate::manifest::{write_atomic, Manifest};
+use crate::scrub::ScrubReport;
 use crate::shard::{parse_shard_name, read_shard, ShardWriter};
-use bfu_crawler::{Dataset, Provenance, SiteMeasurement, Survey};
+use bfu_crawler::{retry_interrupted, Dataset, Provenance, SiteMeasurement, Survey};
 use std::fmt;
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default sites per shard before the writer seals and rolls over.
 pub const DEFAULT_SHARD_CAPACITY: u32 = 256;
@@ -33,9 +40,9 @@ pub const PROVENANCE_NAME: &str = "provenance.json";
 /// Errors surfaced by store operations.
 #[derive(Debug)]
 pub enum StoreError {
-    /// Underlying filesystem failure.
+    /// Underlying storage failure.
     Io(io::Error),
-    /// The directory holds a dataset measured under a different survey
+    /// The store holds a dataset measured under a different survey
     /// configuration; refusing to mix them.
     FingerprintMismatch {
         /// Fingerprint of the survey asking to open the store.
@@ -151,8 +158,8 @@ impl ReadReport {
     }
 }
 
-/// Result of scanning a store directory: per-site slots (in site order) plus
-/// the recovery report.
+/// Result of scanning a store: per-site slots (in site order) plus the
+/// recovery report.
 #[derive(Debug)]
 pub struct StoreScan {
     /// One slot per ranked site; `Some` where a record was recovered.
@@ -164,25 +171,34 @@ pub struct StoreScan {
 }
 
 #[derive(Debug)]
-struct Inner {
-    manifest: Manifest,
-    writer: Option<ShardWriter>,
-    next_shard_ix: u32,
+pub(crate) struct Inner {
+    pub(crate) manifest: Manifest,
+    pub(crate) writer: Option<ShardWriter>,
+    pub(crate) next_shard_ix: u32,
 }
 
-/// An open dataset store: one directory, one survey fingerprint.
+/// An open dataset store: one backend, one survey fingerprint.
 #[derive(Debug)]
 pub struct DatasetStore {
-    dir: PathBuf,
+    backend: Arc<dyn StorageBackend>,
     inner: Mutex<Inner>,
 }
 
 impl DatasetStore {
-    /// Open (creating if absent) the store at `dir` for the survey described
-    /// by `meta`. Refuses directories written under a different fingerprint.
+    /// Open (creating if absent) the store at `dir` on the local filesystem
+    /// for the survey described by `meta`.
     pub fn open(dir: &Path, meta: StoreMeta) -> Result<DatasetStore, StoreError> {
-        fs::create_dir_all(dir)?;
-        let manifest = match Manifest::read(dir)? {
+        let backend: Arc<dyn StorageBackend> = Arc::new(LocalFs::open(dir)?);
+        DatasetStore::open_on(backend, meta)
+    }
+
+    /// Open the store living on `backend`. Refuses backends written under a
+    /// different fingerprint.
+    pub fn open_on(
+        backend: Arc<dyn StorageBackend>,
+        meta: StoreMeta,
+    ) -> Result<DatasetStore, StoreError> {
+        let manifest = match Manifest::read(backend.as_ref())? {
             Some(existing) => {
                 if existing.fingerprint != meta.fingerprint {
                     return Err(StoreError::FingerprintMismatch {
@@ -204,15 +220,19 @@ impl DatasetStore {
                     complete: false,
                     shards: Vec::new(),
                 };
-                fresh.write_atomic(dir)?;
+                fresh.write_atomic(backend.as_ref())?;
                 fresh
             }
         };
         // A new session never appends to an existing (possibly unsealed)
-        // shard: it starts a fresh one past every index on disk.
-        let next_shard_ix = shard_indices(dir)?.into_iter().max().map_or(0, |ix| ix + 1);
+        // shard: it starts a fresh one past every index on the backend.
+        let next_shard_ix = shard_names(backend.as_ref())?
+            .into_iter()
+            .map(|(ix, _)| ix)
+            .max()
+            .map_or(0, |ix| ix + 1);
         Ok(DatasetStore {
-            dir: dir.to_owned(),
+            backend,
             inner: Mutex::new(Inner {
                 manifest,
                 writer: None,
@@ -221,9 +241,9 @@ impl DatasetStore {
         })
     }
 
-    /// The store directory.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// The storage backend this store reads and writes.
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
     }
 
     /// The fingerprint this store is keyed by.
@@ -231,30 +251,30 @@ impl DatasetStore {
         self.lock().manifest.fingerprint
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Append one site measurement. Safe to call from multiple crawl worker
     /// threads; records land in arrival order. The record is flushed before
-    /// this returns, so a crash afterwards cannot lose it.
+    /// this returns, so a process kill afterwards cannot lose it (a power
+    /// cut can: only sealing syncs, and resumption re-crawls the tail).
     pub fn append(&self, m: &SiteMeasurement) -> io::Result<()> {
         let payload = encode_site(m);
-        let mut inner = self.lock();
-        if inner.writer.is_none() {
-            let ix = inner.next_shard_ix;
-            inner.writer = Some(ShardWriter::create(&self.dir, ix)?);
-            inner.next_shard_ix = ix + 1;
-        }
-        let capacity = inner.manifest.shard_capacity;
-        let full = {
-            // `writer` is always Some here: installed just above when absent.
-            let writer = inner.writer.as_mut().expect("writer installed above");
-            writer.append(&payload)?;
-            writer.records() >= capacity
+        let inner = &mut *self.lock();
+        let writer = match inner.writer {
+            Some(ref mut writer) => writer,
+            None => {
+                let ix = inner.next_shard_ix;
+                inner.next_shard_ix = ix + 1;
+                inner
+                    .writer
+                    .insert(ShardWriter::create(self.backend.as_ref(), ix)?)
+            }
         };
-        if full {
-            self.seal_current(&mut inner)?;
+        writer.append(&payload)?;
+        if writer.records() >= inner.manifest.shard_capacity {
+            self.seal_current(inner)?;
         }
         Ok(())
     }
@@ -262,19 +282,38 @@ impl DatasetStore {
     /// Seal the open shard (if any), mark the store complete, and write the
     /// provenance sidecar. Call once the survey's dataset is fully recorded.
     pub fn finish(&self, provenance: &Provenance) -> io::Result<()> {
-        let mut inner = self.lock();
-        self.seal_current(&mut inner)?;
-        inner.manifest.complete = true;
-        inner.manifest.write_atomic(&self.dir)?;
-        let json = bfu_analysis::export::provenance_json(provenance);
-        write_atomic(&self.dir, PROVENANCE_NAME, &json)
+        self.finish_with_scrub(provenance, None)
     }
 
-    fn seal_current(&self, inner: &mut Inner) -> io::Result<()> {
+    /// [`DatasetStore::finish`], folding a scrub report into the provenance
+    /// sidecar when a scrub ran this session.
+    pub fn finish_with_scrub(
+        &self,
+        provenance: &Provenance,
+        scrub: Option<&ScrubReport>,
+    ) -> io::Result<()> {
+        let inner = &mut *self.lock();
+        self.seal_current(inner)?;
+        inner.manifest.complete = true;
+        inner.manifest.write_atomic(self.backend.as_ref())?;
+        let json = match scrub {
+            Some(report) => bfu_analysis::export::provenance_json_with_extra(
+                provenance,
+                &[("store_scrub", report.render_json(2))],
+            ),
+            None => bfu_analysis::export::provenance_json(provenance),
+        };
+        write_atomic(self.backend.as_ref(), PROVENANCE_NAME, &json)
+    }
+
+    pub(crate) fn seal_current(&self, inner: &mut Inner) -> io::Result<()> {
         if let Some(writer) = inner.writer.take() {
             let sealed = writer.seal()?;
+            // The shard's bytes are synced by `seal`; sync the namespace so
+            // its *name* is durable before any manifest mentions it.
+            retry_interrupted(|| self.backend.sync_dir())?;
             inner.manifest.shards.push(sealed);
-            inner.manifest.write_atomic(&self.dir)?;
+            inner.manifest.write_atomic(self.backend.as_ref())?;
         }
         Ok(())
     }
@@ -289,8 +328,8 @@ impl DatasetStore {
         let mut sites: Vec<Option<SiteMeasurement>> = Vec::new();
         sites.resize_with(n_sites, || None);
         let mut report = ReadReport::default();
-        for ix in shard_indices(&self.dir)? {
-            let contents = read_shard(&self.dir.join(crate::shard::shard_file_name(ix)))?;
+        for (_, name) in shard_names(self.backend.as_ref())? {
+            let contents = read_shard(self.backend.as_ref(), &name)?;
             report.shards_read += 1;
             report.records_corrupt += contents.records_corrupt;
             if contents.truncated {
@@ -336,15 +375,13 @@ impl DatasetStore {
     }
 }
 
-/// Sorted indices of every shard file in `dir`.
-fn shard_indices(dir: &Path) -> io::Result<Vec<u32>> {
-    let mut out = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(ix) = entry.file_name().to_str().and_then(parse_shard_name) {
-            out.push(ix);
-        }
-    }
+/// Sorted `(index, name)` of every shard object on `backend`. Quarantined
+/// shards do not parse as shard names and are invisible here.
+pub(crate) fn shard_names(backend: &dyn StorageBackend) -> io::Result<Vec<(u32, String)>> {
+    let mut out: Vec<(u32, String)> = retry_interrupted(|| backend.list())?
+        .into_iter()
+        .filter_map(|name| parse_shard_name(&name).map(|ix| (ix, name)))
+        .collect();
     out.sort_unstable();
     Ok(out)
 }
@@ -358,20 +395,38 @@ pub struct ResumeOutcome {
     pub resumed_sites: usize,
     /// Sites crawled fresh this session.
     pub crawled_sites: usize,
-    /// What reading the existing shards observed.
+    /// What reading the existing shards observed (after scrubbing).
     pub report: ReadReport,
+    /// What the pre-resume scrub found and repaired.
+    pub scrub: ScrubReport,
 }
 
 /// Run `survey`, resuming from whatever the store at `dir` already holds.
-///
-/// Recovered sites are not re-crawled; freshly crawled sites stream into new
-/// shards as they complete, so killing *this* run part-way leaves a store
-/// the next call resumes from. Because per-site measurements depend only on
-/// the survey fingerprint and the site (thread-count invariance is a tested
-/// property of the crawler), the resumed dataset fingerprints identically to
-/// an uninterrupted run.
+/// See [`resume_survey_on`].
 pub fn resume_survey(survey: &Survey, dir: &Path) -> Result<ResumeOutcome, StoreError> {
-    let store = DatasetStore::open(dir, StoreMeta::for_survey(survey))?;
+    let backend: Arc<dyn StorageBackend> = Arc::new(LocalFs::open(dir)?);
+    resume_survey_on(survey, backend)
+}
+
+/// Run `survey`, resuming from whatever the store on `backend` already
+/// holds.
+///
+/// The store is scrubbed first — corrupt shards quarantined, fragmented
+/// small shards compacted — then scanned; recovered sites are not
+/// re-crawled, and any site the scrub had to discard is simply missing from
+/// the scan, so it is re-crawled along with the never-crawled ones: the
+/// store *self-heals*. Freshly crawled sites stream into new shards as they
+/// complete, so killing *this* run part-way leaves a store the next call
+/// resumes from. Because per-site measurements depend only on the survey
+/// fingerprint and the site (thread-count invariance is a tested property of
+/// the crawler), the resumed dataset fingerprints identically to an
+/// uninterrupted run.
+pub fn resume_survey_on(
+    survey: &Survey,
+    backend: Arc<dyn StorageBackend>,
+) -> Result<ResumeOutcome, StoreError> {
+    let store = DatasetStore::open_on(backend, StoreMeta::for_survey(survey))?;
+    let scrub = store.scrub()?;
     let scan = store.scan()?;
     let resumed_sites = scan.recovered;
     let crawled_sites = scan.sites.len().saturating_sub(resumed_sites);
@@ -386,12 +441,13 @@ pub fn resume_survey(survey: &Survey, dir: &Path) -> Result<ResumeOutcome, Store
     if let Some(e) = write_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
         return Err(StoreError::Io(e));
     }
-    store.finish(&Provenance::of(survey, &dataset))?;
+    store.finish_with_scrub(&Provenance::of(survey, &dataset), Some(&scrub))?;
     Ok(ResumeOutcome {
         dataset,
         resumed_sites,
         crawled_sites,
         report: scan.report,
+        scrub,
     })
 }
 
@@ -418,17 +474,32 @@ pub enum LoadOutcome {
 }
 
 /// Load the dataset for `survey` from the store at `dir` without crawling.
+/// See [`load_survey_dataset_on`].
+pub fn load_survey_dataset(survey: &Survey, dir: &Path) -> Result<LoadOutcome, StoreError> {
+    let backend: Arc<dyn StorageBackend> = Arc::new(LocalFs::open(dir)?);
+    match load_survey_dataset_on(survey, backend) {
+        Err(StoreError::NoStore(_)) => Err(StoreError::NoStore(dir.to_owned())),
+        other => other,
+    }
+}
+
+/// Load the dataset for `survey` from the store on `backend` without
+/// crawling.
 ///
-/// Fails with [`StoreError::NoStore`] when the directory holds no manifest,
+/// Fails with [`StoreError::NoStore`] when the backend holds no manifest,
 /// and [`StoreError::FingerprintMismatch`] when it holds someone else's
 /// dataset. An interrupted or damaged store loads as
 /// [`LoadOutcome::Incomplete`] rather than erroring, so callers can decide
-/// between resuming and reporting.
-pub fn load_survey_dataset(survey: &Survey, dir: &Path) -> Result<LoadOutcome, StoreError> {
-    if Manifest::read(dir)?.is_none() {
-        return Err(StoreError::NoStore(dir.to_owned()));
+/// between resuming and reporting. Loading never mutates the store — damage
+/// is reported, and repair is [`resume_survey_on`]'s job.
+pub fn load_survey_dataset_on(
+    survey: &Survey,
+    backend: Arc<dyn StorageBackend>,
+) -> Result<LoadOutcome, StoreError> {
+    if Manifest::read(backend.as_ref())?.is_none() {
+        return Err(StoreError::NoStore(PathBuf::from(backend.describe())));
     }
-    let store = DatasetStore::open(dir, StoreMeta::for_survey(survey))?;
+    let store = DatasetStore::open_on(backend, StoreMeta::for_survey(survey))?;
     let scan = store.scan()?;
     if scan.recovered == scan.sites.len() {
         let sites = scan.sites.into_iter().flatten().collect();
@@ -458,6 +529,7 @@ mod tests {
     use super::*;
     use bfu_crawler::CrawlConfig;
     use bfu_webgen::{SyntheticWeb, WebConfig};
+    use std::fs;
 
     fn temp_dir(name: &str) -> PathBuf {
         let dir =
@@ -512,7 +584,18 @@ mod tests {
         assert_eq!(scan.recovered, dataset.sites.len());
         assert_eq!(scan.report.records_duplicate, 1);
         assert!(!scan.report.any_loss());
-        assert!(dir.join(PROVENANCE_NAME).exists());
+        // finish() (no scrub this session) must not invent a scrub entry…
+        let provenance = std::fs::read_to_string(dir.join(PROVENANCE_NAME)).expect("provenance");
+        assert!(!provenance.contains("\"store_scrub\""));
+        // …while finish_with_scrub folds the report in as a JSON member.
+        let report = ScrubReport::default();
+        store
+            .finish_with_scrub(&Provenance::of(&survey, &dataset), Some(&report))
+            .expect("finish with scrub");
+        let provenance = std::fs::read_to_string(dir.join(PROVENANCE_NAME)).expect("provenance");
+        assert!(provenance.contains("\"store_scrub\": {"));
+        assert!(provenance.contains("\"clean\": true"));
+        assert!(provenance.trim_end().ends_with('}'));
     }
 
     #[test]
@@ -530,7 +613,8 @@ mod tests {
             .finish(&Provenance::of(&survey, &dataset))
             .expect("finish");
         // 5 sites at capacity 2 → shards of 2, 2, 1.
-        let manifest = Manifest::read(&dir).expect("read").expect("present");
+        let backend = LocalFs::open(&dir).expect("backend");
+        let manifest = Manifest::read(&backend).expect("read").expect("present");
         assert_eq!(manifest.shards.len(), 3);
         assert!(manifest.complete);
         let scan = store.scan().expect("scan");

@@ -1,0 +1,119 @@
+//! Shared seeded fault sampling.
+//!
+//! Every fault injector in the workspace — the simulated network's
+//! per-exchange faults, the hostile-web overlay, and the dataset store's
+//! fault-injecting backend — needs the same primitive: a deterministic
+//! "does fault X fire at coordinate Y?" decision that is a *pure function*
+//! of its coordinates, never of shared RNG state. Purity is what makes
+//! fault schedules thread-invariant (work stealing cannot change which
+//! operations fault) and crash sweeps enumerable (the k-th operation faults
+//! identically on every run).
+//!
+//! The sampler hashes `(seed, ctx, label, index, salt)` through SplitMix64
+//! finalization:
+//!
+//! - `seed` — the injector's master seed;
+//! - `ctx` — a scoping value (fault context, crash epoch), so schedules
+//!   reset cleanly between phases;
+//! - `label` — the entity under fault (a host name, an operation site);
+//! - `index` — the per-entity event counter (exchange number, op number);
+//! - `salt` — distinguishes independent decisions at the same coordinate.
+
+use crate::rng::hash_label;
+
+/// Mix fault coordinates into a single 64-bit value.
+#[inline]
+fn fault_mix(seed: u64, ctx: u64, label: &str, index: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(ctx.rotate_left(23))
+        .wrapping_add(hash_label(label))
+        .wrapping_add(index.wrapping_mul(0xD1B54A32D192ED03))
+        .wrapping_add(salt);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sample in `[0, 1)` derived purely from the fault coordinates.
+pub fn fault_sample(seed: u64, ctx: u64, label: &str, index: u64, salt: u64) -> f64 {
+    (fault_mix(seed, ctx, label, index, salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Whether a fault with probability `chance` fires at these coordinates.
+pub fn fault_fires(seed: u64, ctx: u64, label: &str, index: u64, salt: u64, chance: f64) -> bool {
+    chance > 0.0 && fault_sample(seed, ctx, label, index, salt) < chance
+}
+
+/// Deterministic choice in `0..=bound`, uniform over the range.
+///
+/// Used where an injected fault needs a *magnitude*, not just a yes/no:
+/// how many bytes of a torn write survive a simulated power cut, how many
+/// pending directory operations a crashed filesystem managed to journal.
+pub fn fault_choice(
+    seed: u64,
+    ctx: u64,
+    label: &str,
+    index: u64,
+    salt: u64,
+    bound: usize,
+) -> usize {
+    if bound == 0 {
+        return 0;
+    }
+    // Multiply-shift reduction avoids modulo bias well past any bound a
+    // torn write can reach.
+    let z = fault_mix(seed, ctx, label, index, salt);
+    (((z as u128) * (bound as u128 + 1)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_pure_and_in_range() {
+        for i in 0..1000 {
+            let a = fault_sample(7, 3, "host-a", i, 0x5A17);
+            let b = fault_sample(7, 3, "host-a", i, 0x5A17);
+            assert_eq!(a, b, "same coordinates, same sample");
+            assert!((0.0..1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn coordinates_are_independent() {
+        let base = fault_sample(7, 3, "host-a", 5, 1);
+        assert_ne!(base, fault_sample(8, 3, "host-a", 5, 1), "seed");
+        assert_ne!(base, fault_sample(7, 4, "host-a", 5, 1), "ctx");
+        assert_ne!(base, fault_sample(7, 3, "host-b", 5, 1), "label");
+        assert_ne!(base, fault_sample(7, 3, "host-a", 6, 1), "index");
+        assert_ne!(base, fault_sample(7, 3, "host-a", 5, 2), "salt");
+    }
+
+    #[test]
+    fn fires_matches_probability() {
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|&i| fault_fires(42, 0, "op", i, 9, 0.25))
+            .count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.25).abs() < 0.01, "p = {p}");
+        assert!(
+            !fault_fires(42, 0, "op", 0, 9, 0.0),
+            "zero chance never fires"
+        );
+    }
+
+    #[test]
+    fn choice_covers_inclusive_range() {
+        let mut seen = [false; 5];
+        for i in 0..500 {
+            let c = fault_choice(1, 2, "tear", i, 3, 4);
+            assert!(c <= 4);
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..=4 reachable");
+        assert_eq!(fault_choice(1, 2, "tear", 0, 3, 0), 0, "bound 0 is 0");
+    }
+}

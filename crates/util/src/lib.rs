@@ -4,14 +4,16 @@
 //! reproduction: a deterministic, forkable random number generator, discrete
 //! samplers (Zipf, geometric, weighted), a virtual clock for simulated time,
 //! descriptive statistics (histograms, CDFs, percentiles), a string
-//! interner, and the binary codec + FNV-64 checksums backing the on-disk
-//! dataset store.
+//! interner, the binary codec + FNV-64 checksums backing the on-disk
+//! dataset store, and the shared seeded fault sampler every fault injector
+//! (network, hostile web, storage) derives its schedule from.
 //!
 //! Everything in this crate is deterministic: the same seed always produces
 //! the same sequence, on every platform. No wall-clock time, no OS entropy.
 
 pub mod clock;
 pub mod codec;
+pub mod fault;
 pub mod ids;
 pub mod intern;
 pub mod rng;
@@ -20,6 +22,7 @@ pub mod stats;
 
 pub use clock::{Instant, VirtualClock};
 pub use codec::{fnv64, ByteReader, ByteWriter, CodecError, Fnv64};
+pub use fault::{fault_choice, fault_fires, fault_sample};
 pub use intern::{Atom, Interner, Symbol};
 pub use rng::{hash_label, SimRng};
 pub use sample::{GeometricWeights, WeightedIndex, Zipf};

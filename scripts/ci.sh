@@ -4,9 +4,14 @@
 #   ./scripts/ci.sh
 #
 # Mirrors the tier-1 verification the roadmap pins (release build + tests)
-# and adds the clippy wall the supervision and engine code is held to:
-# unwrap/expect are denied outside tests in bfu-crawler, bfu-script, and
-# bfu-browser (a panic in any of them takes a whole survey down).
+# and adds the clippy wall the supervision, engine, and storage code is held
+# to: unwrap/expect are denied outside tests in bfu-crawler, bfu-script,
+# bfu-browser, and bfu-store (a panic in any of them takes a whole survey —
+# or its only on-disk copy — down).
+#
+# Set BFU_TORTURE_FULL=1 for the exhaustive crash-point sweep (every backend
+# op, both in-test and via the standalone store_torture binary) instead of
+# the bounded default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +29,18 @@ cargo test -q --test store
 
 echo "==> adversarial chaos suite (hostile web, 1 vs 8 threads)"
 cargo test -q --test chaos
+
+echo "==> store crash-consistency torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
+# The integration suite bounds its sweep to a fixed budget of crash points
+# unless BFU_TORTURE_FULL is set, in which case it kills the store at every
+# single backend op — and the standalone binary re-proves the exhaustive
+# sweep end to end in release mode.
+cargo test -q --test store_torture
+if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
+    TORTURE_OUT=$(mktemp)
+    cargo run -q --release -p bfu-bench --bin store_torture -- --out "$TORTURE_OUT"
+    rm -f "$TORTURE_OUT"
+fi
 
 echo "==> no-panic property tests (parser/interpreter totality)"
 cargo test -q --test proptests
