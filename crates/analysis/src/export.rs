@@ -189,6 +189,38 @@ pub fn provenance_json(p: &Provenance) -> String {
     let _ = writeln!(out, "      \"unique_scripts\": {},", h.cache.unique_scripts);
     let _ = writeln!(out, "      \"unique_frames\": {},", h.cache.unique_frames);
     let _ = writeln!(out, "      \"hit_rate\": {:.6}", h.cache.hit_rate());
+    out.push_str("    },\n");
+    out.push_str("    \"fabric\": {\n");
+    let _ = writeln!(out, "      \"enabled\": {},", h.fabric.enabled);
+    let _ = writeln!(out, "      \"workers\": {},", h.fabric.workers);
+    let _ = writeln!(out, "      \"leases_total\": {},", h.fabric.leases_total);
+    let _ = writeln!(out, "      \"leases_issued\": {},", h.fabric.leases_issued);
+    let _ = writeln!(
+        out,
+        "      \"leases_completed\": {},",
+        h.fabric.leases_completed
+    );
+    let _ = writeln!(
+        out,
+        "      \"leases_expired\": {},",
+        h.fabric.leases_expired
+    );
+    let _ = writeln!(
+        out,
+        "      \"leases_reclaimed\": {},",
+        h.fabric.leases_reclaimed
+    );
+    let _ = writeln!(
+        out,
+        "      \"publishes_fenced\": {},",
+        h.fabric.publishes_fenced
+    );
+    let _ = writeln!(out, "      \"workers_died\": {},", h.fabric.workers_died);
+    let _ = writeln!(
+        out,
+        "      \"records_absorbed\": {}",
+        h.fabric.records_absorbed
+    );
     out.push_str("    }\n  }\n}\n");
     out
 }
@@ -313,6 +345,8 @@ mod tests {
         assert!(json.contains("\"failures_by_class\""));
         assert!(json.contains("\"compile_cache\""));
         assert!(json.contains("\"hit_rate\""));
+        assert!(json.contains("\"fabric\""));
+        assert!(json.contains("\"publishes_fenced\""));
         // Balanced braces and brackets (cheap structural sanity check).
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());

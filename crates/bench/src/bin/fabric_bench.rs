@@ -1,0 +1,184 @@
+//! `fabric_bench` — survey throughput at 1/2/4 fabric workers.
+//!
+//! Runs the same survey single-process (the baseline) and then through
+//! the lease fabric at each worker count, reporting sites/second and
+//! cross-checking that every configuration produces the identical dataset
+//! fingerprint — the fabric's correctness contract, measured alongside
+//! its scaling.
+//!
+//! ```text
+//! cargo run -p bfu-bench --release --bin fabric_bench -- \
+//!     [--sites N] [--seed N] [--per-lease N] [--out PATH]
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use bfu_core::fabric::{run_survey_fabric, FabricConfig};
+use bfu_core::store::{FaultFs, StorageBackend, StoreFaultPlan};
+use bfu_crawler::{CrawlConfig, Survey};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    sites: usize,
+    seed: u64,
+    per_lease: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut sites = 48usize;
+    let mut seed = 61u64;
+    let mut per_lease = 4usize;
+    let mut out = std::path::PathBuf::from("BENCH_fabric.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--sites" => {
+                sites = argv
+                    .next()
+                    .ok_or("--sites needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sites: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--per-lease" => {
+                per_lease = argv
+                    .next()
+                    .ok_or("--per-lease needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --per-lease: {e}"))?;
+                if per_lease == 0 {
+                    return Err("--per-lease must be >= 1".into());
+                }
+            }
+            "--out" => {
+                out = std::path::PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: fabric_bench [--sites N] [--seed N] [--per-lease N] [--out PATH]",
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(Args {
+        sites,
+        seed,
+        per_lease,
+        out,
+    })
+}
+
+fn survey_for(sites: usize, seed: u64) -> Survey {
+    let web = SyntheticWeb::generate(WebConfig {
+        sites,
+        seed,
+        script_weight: 0,
+    });
+    let mut config = CrawlConfig::quick(seed ^ 0xBEEF);
+    // The fabric's workers are the parallelism under test; keep each
+    // worker's own crawl single-threaded so worker count is the only
+    // variable.
+    config.threads = 1;
+    config.rounds_per_profile = 1;
+    config.pages_per_site = 2;
+    config.page_budget_ms = 2_000;
+    Survey::new(web, config)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let survey = survey_for(args.sites, args.seed);
+
+    eprintln!("# baseline: single-process run ({} sites)…", args.sites);
+    let t0 = Instant::now();
+    let baseline_fp = survey.run().fingerprint();
+    let baseline_s = t0.elapsed().as_secs_f64();
+    let baseline_rate = args.sites as f64 / baseline_s.max(1e-9);
+
+    let mut rows = Vec::new();
+    let mut all_match = true;
+    for workers in [1usize, 2, 4] {
+        eprintln!("# fabric: {workers} worker(s)…");
+        let backend: Arc<dyn StorageBackend> = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+        let cfg = FabricConfig {
+            workers,
+            sites_per_lease: args.per_lease,
+            ..FabricConfig::default()
+        };
+        let t0 = Instant::now();
+        let outcome = run_survey_fabric(&survey, backend, &cfg)
+            .map_err(|e| format!("{workers}-worker fabric: {e}"))?;
+        let elapsed = t0.elapsed().as_secs_f64();
+        let fp = outcome.dataset.fingerprint();
+        let matches = fp == baseline_fp;
+        all_match &= matches;
+        rows.push((workers, elapsed, fp, matches, outcome.stats));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"sites\": {},", args.sites);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"sites_per_lease\": {},", args.per_lease);
+    let _ = writeln!(json, "  \"baseline_fingerprint\": \"{baseline_fp:016x}\",");
+    let _ = writeln!(json, "  \"baseline_elapsed_s\": {baseline_s:.3},");
+    let _ = writeln!(json, "  \"baseline_sites_per_s\": {baseline_rate:.1},");
+    let _ = writeln!(json, "  \"fingerprints_match\": {all_match},");
+    json.push_str("  \"workers\": [\n");
+    let n = rows.len();
+    for (i, (workers, elapsed, fp, matches, stats)) in rows.into_iter().enumerate() {
+        let rate = args.sites as f64 / elapsed.max(1e-9);
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"workers\": {workers},");
+        let _ = writeln!(json, "      \"elapsed_s\": {elapsed:.3},");
+        let _ = writeln!(json, "      \"sites_per_s\": {rate:.1},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_vs_baseline\": {:.2},",
+            rate / baseline_rate
+        );
+        let _ = writeln!(json, "      \"fingerprint\": \"{fp:016x}\",");
+        let _ = writeln!(json, "      \"fingerprint_matches\": {matches},");
+        let _ = writeln!(json, "      \"leases_total\": {},", stats.leases_total);
+        let _ = writeln!(
+            json,
+            "      \"leases_completed\": {},",
+            stats.leases_completed
+        );
+        let _ = writeln!(
+            json,
+            "      \"publishes_fenced\": {}",
+            stats.publishes_fenced
+        );
+        json.push_str(if i + 1 == n { "    }\n" } else { "    },\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).map_err(|e| e.to_string())?;
+    eprintln!("# fingerprints_match={all_match} → {}", args.out.display());
+    if all_match {
+        Ok(())
+    } else {
+        Err("a fabric configuration diverged from the single-process fingerprint".into())
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! `fabric_torture` — the survey-fabric crash-recovery sweep, standalone.
+//!
+//! Enumerates every step a fault-free simulated fabric run announces
+//! (worker crawl/seal/publish, coordinator issue/merge), then re-runs the
+//! whole schedule once per step with a kill at exactly that point,
+//! verifying every schedule recovers to the uninterrupted single-process
+//! fingerprint. Two dedicated schedules ride along: double-issue (every
+//! lease handed to two workers; the loser must fence) and the zombie
+//! publish replay baked into every kill at a publish step.
+//!
+//! ```text
+//! cargo run -p bfu-bench --release --bin fabric_torture -- \
+//!     [--sites N] [--seed N] [--stride N] [--out PATH]
+//! ```
+//!
+//! `--stride 1` (the default) is the exhaustive sweep; `scripts/ci.sh`
+//! bounds it unless `BFU_TORTURE_FULL=1`. Exit status is non-zero if any
+//! schedule diverges, accepts a stale publish, or panics.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use bfu_core::fabric::{run_sim, FabricConfig, FabricFaultPlan, SimOutcome};
+use bfu_core::store::{FaultFs, StorageBackend, StoreFaultPlan};
+use bfu_crawler::{CrawlConfig, Survey};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    sites: usize,
+    seed: u64,
+    stride: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut sites = 8usize;
+    let mut seed = 137u64;
+    let mut stride = 1usize;
+    let mut out = std::path::PathBuf::from("BENCH_fabric_torture.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--sites" => {
+                sites = argv
+                    .next()
+                    .ok_or("--sites needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --sites: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--stride" => {
+                stride = argv
+                    .next()
+                    .ok_or("--stride needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --stride: {e}"))?;
+                if stride == 0 {
+                    return Err("--stride must be >= 1".into());
+                }
+            }
+            "--out" => {
+                out = std::path::PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: fabric_torture [--sites N] [--seed N] [--stride N] [--out PATH]",
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(Args {
+        sites,
+        seed,
+        stride,
+        out,
+    })
+}
+
+fn survey_for(sites: usize, seed: u64) -> Survey {
+    let web = SyntheticWeb::generate(WebConfig {
+        sites,
+        seed,
+        script_weight: 0,
+    });
+    let mut config = CrawlConfig::quick(seed ^ 0xFAB);
+    config.threads = 1;
+    config.rounds_per_profile = 1;
+    config.pages_per_site = 2;
+    config.page_budget_ms = 2_000;
+    Survey::new(web, config)
+}
+
+fn torture_config() -> FabricConfig {
+    FabricConfig {
+        workers: 1,
+        sites_per_lease: 3,
+        lease_ms: 10_000,
+        site_ms: 1_000,
+        shard_capacity: 2,
+        scrub_threads: 2,
+    }
+}
+
+fn sim_with(survey: &Survey, plan: &FabricFaultPlan) -> Result<SimOutcome, String> {
+    let backend: Arc<dyn StorageBackend> = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+    run_sim(survey, backend, &torture_config(), plan).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let survey = survey_for(args.sites, args.seed);
+    let t0 = Instant::now();
+
+    eprintln!("# baseline: uninterrupted run ({} sites)…", args.sites);
+    let baseline_fp = survey.run().fingerprint();
+
+    let healthy = sim_with(&survey, &FabricFaultPlan::default())?;
+    if healthy.outcome.dataset.fingerprint() != baseline_fp {
+        return Err("healthy fabric run diverged from the direct run".into());
+    }
+    let total = healthy.steps;
+    eprintln!(
+        "# healthy schedule: {total} fabric steps; sweeping every {} …",
+        args.stride
+    );
+
+    let mut swept = 0usize;
+    let mut worker_kills = 0u64;
+    let mut coordinator_kills = 0u64;
+    let mut fenced_replays = 0u64;
+    let points: Vec<u64> = (0..total).step_by(args.stride).collect();
+    let n = points.len();
+    for (i, k) in points.into_iter().enumerate() {
+        let plan = FabricFaultPlan {
+            kill_at: Some(k),
+            ..FabricFaultPlan::default()
+        };
+        let label = healthy
+            .trace
+            .get(k as usize)
+            .map(String::as_str)
+            .unwrap_or("?");
+        let sim = sim_with(&survey, &plan).map_err(|e| format!("kill point {k} ({label}): {e}"))?;
+        if sim.outcome.dataset.fingerprint() != baseline_fp {
+            return Err(format!(
+                "kill point {k} ({label}): recovered dataset diverged ({:016x} != {baseline_fp:016x})",
+                sim.outcome.dataset.fingerprint()
+            ));
+        }
+        if sim.worker_deaths + sim.coordinator_crashes != 1 {
+            return Err(format!(
+                "kill point {k} ({label}): expected exactly one death, saw {} worker + {} coordinator",
+                sim.worker_deaths, sim.coordinator_crashes
+            ));
+        }
+        worker_kills += sim.worker_deaths;
+        coordinator_kills += sim.coordinator_crashes;
+        fenced_replays += sim.fenced_replays;
+        swept += 1;
+        if (i + 1) % 25 == 0 || i + 1 == n {
+            eprintln!("#   kill sweep: {}/{n} schedules recovered", i + 1);
+        }
+    }
+
+    eprintln!("# double-issue schedule…");
+    let plan = FabricFaultPlan {
+        double_issue: true,
+        ..FabricFaultPlan::default()
+    };
+    let doubled = sim_with(&survey, &plan)?;
+    if doubled.outcome.dataset.fingerprint() != baseline_fp {
+        return Err("double-issue schedule diverged".into());
+    }
+    let leases = doubled.outcome.stats.leases_total;
+    if doubled.outcome.stats.publishes_fenced != leases {
+        return Err(format!(
+            "double-issue: expected {leases} fenced publishes, saw {}",
+            doubled.outcome.stats.publishes_fenced
+        ));
+    }
+
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"sites\": {},", args.sites);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"stride\": {},", args.stride);
+    let _ = writeln!(json, "  \"fingerprint\": \"{baseline_fp:016x}\",");
+    let _ = writeln!(json, "  \"fabric_steps\": {total},");
+    let _ = writeln!(json, "  \"kill_points_recovered\": {swept},");
+    let _ = writeln!(json, "  \"worker_kills\": {worker_kills},");
+    let _ = writeln!(json, "  \"coordinator_kills\": {coordinator_kills},");
+    let _ = writeln!(json, "  \"fenced_replays\": {fenced_replays},");
+    let _ = writeln!(
+        json,
+        "  \"double_issue_fenced\": {},",
+        doubled.outcome.stats.publishes_fenced
+    );
+    let _ = writeln!(json, "  \"elapsed_s\": {elapsed:.3}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).map_err(|e| e.to_string())?;
+    eprintln!(
+        "# all {swept} kill points + double-issue recovered identically in {elapsed:.1}s → {}",
+        args.out.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

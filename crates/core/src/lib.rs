@@ -21,6 +21,7 @@ pub use bfu_blocker as blocker;
 pub use bfu_browser as browser;
 pub use bfu_crawler as crawler;
 pub use bfu_dom as dom;
+pub use bfu_fabric as fabric;
 pub use bfu_monkey as monkey;
 pub use bfu_net as net;
 pub use bfu_script as script;

@@ -379,6 +379,37 @@ impl Dataset {
     }
 }
 
+/// Lease accounting from a multi-worker survey fabric run. Zeroed (with
+/// `enabled: false`) for single-process surveys. Like [`CacheTotals`] these
+/// are *effort and loss* counters, not measurements: they describe how the
+/// dataset was assembled, so they live in [`CrawlHealth`] and the provenance
+/// sidecar but are excluded from [`Dataset::fingerprint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricTotals {
+    /// Whether the dataset was assembled by the survey fabric at all.
+    pub enabled: bool,
+    /// Worker slots the fabric ran with.
+    pub workers: u64,
+    /// Leases the site list was partitioned into.
+    pub leases_total: u64,
+    /// Lease issues, counting reissues after reclamation.
+    pub leases_issued: u64,
+    /// Leases completed (publish accepted at the merge point).
+    pub leases_completed: u64,
+    /// Lease deadlines that expired on the virtual clock.
+    pub leases_expired: u64,
+    /// Expired leases reclaimed and returned to the pool (epoch bumped).
+    pub leases_reclaimed: u64,
+    /// Worker publishes fenced off for carrying a stale epoch or targeting
+    /// a non-issued lease (zombie workers, duplicate issues, replays).
+    pub publishes_fenced: u64,
+    /// Workers that died mid-lease (their partial output was discarded and
+    /// the lease re-crawled — never silently dropped sites).
+    pub workers_died: u64,
+    /// Records absorbed from worker staging shards into the canonical store.
+    pub records_absorbed: u64,
+}
+
 /// Aggregate crawl-supervision statistics over a [`Dataset`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CrawlHealth {
@@ -408,6 +439,10 @@ pub struct CrawlHealth {
     pub rounds_circuit_skipped: u64,
     /// Compilation-cache totals (zeroed when the cache was disabled).
     pub cache: CacheTotals,
+    /// Survey-fabric lease totals (zeroed for single-process runs).
+    /// [`Dataset::health`] cannot know them — the coordinator that drove
+    /// the fabric fills them in before writing provenance.
+    pub fabric: FabricTotals,
 }
 
 impl CrawlHealth {

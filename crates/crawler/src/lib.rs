@@ -40,10 +40,10 @@ pub use bfu_browser::BrowserConfig;
 pub use breaker::{Admission, BreakerPolicy, BreakerState, HostBreaker};
 pub use config::{BrowserProfile, CrawlConfig};
 pub use dataset::{
-    CacheTotals, CrawlHealth, Dataset, RoundMeasurement, SiteMeasurement, SiteOutcome,
+    CacheTotals, CrawlHealth, Dataset, FabricTotals, RoundMeasurement, SiteMeasurement, SiteOutcome,
 };
 pub use error::CrawlError;
 pub use provenance::Provenance;
 pub use retry::{load_with_retry, retry_interrupted, AttemptTrace, RetryPolicy};
-pub use survey::{survey_fingerprint, Survey, ValidationRun};
+pub use survey::{survey_fingerprint, SiteCrawler, Survey, ValidationRun};
 pub use visit::{policy_for, visit_site_round, visit_site_round_supervised, PolicyAdapter};

@@ -185,6 +185,28 @@ impl Survey {
         self.run_partial(Vec::new(), &|_| {})
     }
 
+    /// Build a reusable single-site crawler over one private world — the
+    /// survey-fabric worker's crawl engine. The world (network, browser,
+    /// policies, optional compile cache) is built once and reused across
+    /// every [`SiteCrawler::crawl`] call, exactly as [`Survey::run_partial`]
+    /// reuses a worker thread's world; per-site measurements depend only on
+    /// `(survey fingerprint, site)`, so the results are identical to a full
+    /// run's. The crawler is not `Send` (the browser holds `Rc` internals):
+    /// build one per worker.
+    pub fn site_crawler(&self) -> SiteCrawler<'_> {
+        let cache = self
+            .config
+            .compile_cache
+            .then(|| Arc::new(CompileCache::new()));
+        let (net, browser, policies) = self.build_world(cache.as_ref());
+        SiteCrawler {
+            survey: self,
+            net,
+            browser,
+            policies,
+        }
+    }
+
     /// Run the crawl, skipping sites already measured and streaming each
     /// fresh measurement to `observer` as it completes.
     ///
@@ -426,5 +448,34 @@ impl Survey {
             requested: n,
             shortfall,
         }
+    }
+}
+
+/// A reusable single-site crawler over one worker-private world, built by
+/// [`Survey::site_crawler`]. Panics are contained exactly as in the full
+/// survey: a panicking site comes back as a [`SiteOutcome::Panicked`]
+/// measurement, never an unwind into the caller.
+pub struct SiteCrawler<'s> {
+    survey: &'s Survey,
+    net: SimNet,
+    browser: Browser,
+    policies: Vec<(BrowserProfile, PolicyAdapter)>,
+}
+
+impl SiteCrawler<'_> {
+    /// Measure site `site_ix` (which must be within the survey's site
+    /// count). Deterministic in `(survey fingerprint, site_ix)` — call order
+    /// and prior crawls through this world do not affect the result.
+    pub fn crawl(&mut self, site_ix: usize) -> SiteMeasurement {
+        let SiteCrawler {
+            survey,
+            net,
+            browser,
+            policies,
+        } = self;
+        catch_unwind(AssertUnwindSafe(|| {
+            survey.crawl_site(site_ix, browser, net, policies)
+        }))
+        .unwrap_or_else(|_| survey.panicked_site(site_ix))
     }
 }

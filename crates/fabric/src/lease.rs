@@ -1,0 +1,378 @@
+//! The lease table: the coordinator's one piece of durable state.
+//!
+//! A lease is a half-open site range `[start, end)` plus a **fencing
+//! epoch** and a deadline on the survey's virtual clock. Lifecycle:
+//!
+//! ```text
+//! Pending ──claim──▶ Issued ──publish accepted──▶ Completed
+//!    ▲                  │
+//!    └──reclaim (deadline passed; epoch += 1)──┘
+//! ```
+//!
+//! The epoch is the fence: a publish carries the epoch its grant was
+//! issued under, and the merge point accepts it only while the lease is
+//! *still* issued under that exact epoch. Reclaiming bumps the epoch, so
+//! the previous holder — which may still be crawling, sealing, even
+//! publishing — can never get another byte into the dataset.
+//!
+//! The table persists as one small text object (`LEASES`), rewritten with
+//! the same synced-temp + rename + directory-sync discipline as the store
+//! manifest: a crash between any two lease-table writes leaves the old
+//! table or the new one, never a torn hybrid. State transitions are
+//! persisted *before* their effects are acted on (issue before the worker
+//! starts; completion after records are absorbed), so replaying the table
+//! after a coordinator crash can only re-do idempotent work: re-issue a
+//! lease whose worker vanished, or re-absorb records the store's
+//! first-record-wins scan deduplicates.
+
+use bfu_crawler::retry_interrupted;
+use bfu_store::manifest::write_atomic;
+use bfu_store::{StorageBackend, StoreError};
+use bfu_util::Instant;
+use std::fmt::Write as _;
+use std::io;
+
+/// Object name of the persisted lease table.
+pub const LEASES_NAME: &str = "LEASES";
+const HEADER: &str = "bfu-lease-table v1";
+
+/// Where a lease is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// In the pool, claimable.
+    Pending,
+    /// Held by a worker, valid until its deadline.
+    Issued,
+    /// Its range's records were absorbed at the merge point. Terminal.
+    Completed,
+}
+
+impl LeaseState {
+    fn tag(self) -> u8 {
+        match self {
+            LeaseState::Pending => 0,
+            LeaseState::Issued => 1,
+            LeaseState::Completed => 2,
+        }
+    }
+
+    fn from_tag(tag: u64) -> Option<LeaseState> {
+        match tag {
+            0 => Some(LeaseState::Pending),
+            1 => Some(LeaseState::Issued),
+            2 => Some(LeaseState::Completed),
+            _ => None,
+        }
+    }
+}
+
+/// One lease: a site range, its fencing epoch, and its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Stable identifier (index into the table).
+    pub id: u32,
+    /// First site in the range.
+    pub start: usize,
+    /// One past the last site (half-open; `start == end` is a legal
+    /// zero-site lease).
+    pub end: usize,
+    /// Fencing epoch, bumped on every reclaim.
+    pub epoch: u32,
+    /// Lifecycle state.
+    pub state: LeaseState,
+    /// Expiry instant on the virtual clock; meaningful only while issued.
+    pub deadline: Instant,
+}
+
+impl Lease {
+    /// Sites in the range.
+    pub fn sites(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether an issued lease has expired at `now`. The deadline itself
+    /// is the first expired instant: a lease issued at `T` for `L` ms is
+    /// live through `T+L-1` and reclaimable at exactly `T+L`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.state == LeaseState::Issued && now >= self.deadline
+    }
+}
+
+/// The whole lease table, keyed (like the store manifest) by the survey
+/// fingerprint so two different surveys can never mix lease state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseTable {
+    /// Survey fingerprint the leases partition.
+    pub fingerprint: u64,
+    /// Total ranked sites (the ranges tile `0..sites`).
+    pub sites: usize,
+    /// The leases, in id order.
+    pub leases: Vec<Lease>,
+}
+
+impl LeaseTable {
+    /// Partition `sites` sites into consecutive leases of at most
+    /// `sites_per_lease` each, all pending at epoch 0. A `sites_per_lease`
+    /// at or above `sites` yields a single lease covering the whole web;
+    /// zero is clamped to one.
+    pub fn partition(fingerprint: u64, sites: usize, sites_per_lease: usize) -> LeaseTable {
+        let per = sites_per_lease.max(1);
+        let mut leases = Vec::new();
+        let mut start = 0usize;
+        while start < sites {
+            let end = (start + per).min(sites);
+            leases.push(Lease {
+                id: leases.len() as u32,
+                start,
+                end,
+                epoch: 0,
+                state: LeaseState::Pending,
+                deadline: Instant::ZERO,
+            });
+            start = end;
+        }
+        LeaseTable {
+            fingerprint,
+            sites,
+            leases,
+        }
+    }
+
+    /// Whether every lease is completed — the fabric's termination test.
+    pub fn all_completed(&self) -> bool {
+        self.leases.iter().all(|l| l.state == LeaseState::Completed)
+    }
+
+    /// The lease with `id`, if any.
+    pub fn lease(&self, id: u32) -> Option<&Lease> {
+        self.leases.iter().find(|l| l.id == id)
+    }
+
+    /// Mutable access to the lease with `id`.
+    pub fn lease_mut(&mut self, id: u32) -> Option<&mut Lease> {
+        self.leases.iter_mut().find(|l| l.id == id)
+    }
+
+    /// Earliest deadline among issued leases — how far a driver must
+    /// advance the virtual clock for an orphaned lease to expire.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.leases
+            .iter()
+            .filter(|l| l.state == LeaseState::Issued)
+            .map(|l| l.deadline)
+            .min()
+    }
+
+    /// Render to the on-disk text form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "fingerprint={:016x}", self.fingerprint);
+        let _ = writeln!(out, "sites={}", self.sites);
+        for l in &self.leases {
+            let _ = writeln!(
+                out,
+                "lease={} start={} end={} epoch={} state={} deadline={}",
+                l.id,
+                l.start,
+                l.end,
+                l.epoch,
+                l.state.tag(),
+                l.deadline.0
+            );
+        }
+        out
+    }
+
+    /// Parse the on-disk text form. Unknown keys are ignored so older
+    /// readers survive newer writers.
+    pub fn parse(text: &str) -> Result<LeaseTable, StoreError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(StoreError::BadManifest(
+                "lease table: missing header line".into(),
+            ));
+        }
+        let mut fingerprint = None;
+        let mut sites = None;
+        let mut leases = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key {
+                "fingerprint" => {
+                    fingerprint = Some(u64::from_str_radix(value, 16).map_err(|_| {
+                        StoreError::BadManifest(format!("lease table: bad fingerprint {value:?}"))
+                    })?);
+                }
+                "sites" => {
+                    sites = Some(parse_int(value, "sites")? as usize);
+                }
+                "lease" => {
+                    let rejoined = format!("lease={value}");
+                    let mut fields = [None::<u64>; 6];
+                    const NAMES: [&str; 6] =
+                        ["lease", "start", "end", "epoch", "state", "deadline"];
+                    for field in rejoined.split_whitespace() {
+                        let Some((k, v)) = field.split_once('=') else {
+                            continue;
+                        };
+                        if let Some(slot) = NAMES.iter().position(|n| *n == k) {
+                            fields[slot] = Some(parse_int(v, k)?);
+                        }
+                    }
+                    let [Some(id), Some(start), Some(end), Some(epoch), Some(state), Some(deadline)] =
+                        fields
+                    else {
+                        return Err(StoreError::BadManifest(format!(
+                            "lease table: incomplete lease line {line:?}"
+                        )));
+                    };
+                    let state = LeaseState::from_tag(state).ok_or_else(|| {
+                        StoreError::BadManifest(format!("lease table: bad state tag {state}"))
+                    })?;
+                    leases.push(Lease {
+                        id: id as u32,
+                        start: start as usize,
+                        end: end as usize,
+                        epoch: epoch as u32,
+                        state,
+                        deadline: Instant(deadline),
+                    });
+                }
+                _ => {}
+            }
+        }
+        let fingerprint = fingerprint
+            .ok_or_else(|| StoreError::BadManifest("lease table: missing fingerprint".into()))?;
+        let sites =
+            sites.ok_or_else(|| StoreError::BadManifest("lease table: missing sites".into()))?;
+        Ok(LeaseTable {
+            fingerprint,
+            sites,
+            leases,
+        })
+    }
+
+    /// Durably replace the table on `backend` (synced temp + rename +
+    /// directory sync — a crash leaves the old table or the new one).
+    pub fn write_atomic(&self, backend: &dyn StorageBackend) -> io::Result<()> {
+        write_atomic(backend, LEASES_NAME, &self.render())
+    }
+
+    /// Read the table from `backend`; `Ok(None)` when none exists yet.
+    pub fn read(backend: &dyn StorageBackend) -> Result<Option<LeaseTable>, StoreError> {
+        let bytes = match retry_interrupted(|| backend.get(LEASES_NAME)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let text = String::from_utf8(bytes)
+            .map_err(|_| StoreError::BadManifest("lease table is not UTF-8".into()))?;
+        LeaseTable::parse(&text).map(Some)
+    }
+}
+
+fn parse_int(value: &str, what: &str) -> Result<u64, StoreError> {
+    value
+        .parse()
+        .map_err(|_| StoreError::BadManifest(format!("lease table: bad {what}: {value:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_store::LocalFs;
+
+    fn sample() -> LeaseTable {
+        let mut t = LeaseTable::partition(0xABCD, 10, 4);
+        t.leases[1].state = LeaseState::Issued;
+        t.leases[1].epoch = 3;
+        t.leases[1].deadline = Instant(4_500);
+        t.leases[2].state = LeaseState::Completed;
+        t
+    }
+
+    #[test]
+    fn partition_tiles_the_site_list() {
+        let t = LeaseTable::partition(1, 10, 4);
+        assert_eq!(t.leases.len(), 3);
+        assert_eq!(
+            t.leases.iter().map(Lease::sites).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        assert_eq!(t.leases[0].start, 0);
+        assert_eq!(t.leases[2].end, 10);
+        assert!(!t.all_completed());
+    }
+
+    #[test]
+    fn single_lease_covers_the_whole_web() {
+        // `sites_per_lease` at or past the site count: one lease, all of it.
+        for per in [10, 11, usize::MAX] {
+            let t = LeaseTable::partition(1, 10, per);
+            assert_eq!(t.leases.len(), 1);
+            assert_eq!((t.leases[0].start, t.leases[0].end), (0, 10));
+        }
+    }
+
+    #[test]
+    fn zero_site_table_is_vacuously_complete() {
+        let t = LeaseTable::partition(1, 0, 4);
+        assert!(t.leases.is_empty());
+        assert!(t.all_completed(), "no leases → nothing outstanding");
+    }
+
+    #[test]
+    fn deadline_boundary_is_exact() {
+        let mut t = LeaseTable::partition(1, 4, 4);
+        let l = &mut t.leases[0];
+        l.state = LeaseState::Issued;
+        l.deadline = Instant(1_000);
+        assert!(
+            !l.expired(Instant(999)),
+            "one tick before the deadline: still live"
+        );
+        assert!(
+            l.expired(Instant(1_000)),
+            "the deadline instant itself is the first expired tick"
+        );
+        assert!(l.expired(Instant(1_001)));
+        // Non-issued leases never expire, whatever the clock says.
+        l.state = LeaseState::Completed;
+        assert!(!l.expired(Instant(u64::MAX)));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let t = sample();
+        assert_eq!(LeaseTable::parse(&t.render()).expect("parse"), t);
+    }
+
+    #[test]
+    fn missing_header_or_fingerprint_rejected() {
+        assert!(LeaseTable::parse("fingerprint=00").is_err());
+        assert!(LeaseTable::parse("bfu-lease-table v1\nsites=3\n").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_ignored() {
+        let mut text = sample().render();
+        text.push_str("future_key=whatever\n");
+        assert_eq!(LeaseTable::parse(&text).expect("parse"), sample());
+    }
+
+    #[test]
+    fn atomic_write_and_read() {
+        let dir = std::env::temp_dir().join(format!("bfu-lease-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = LocalFs::open(&dir).expect("open backend");
+        assert!(LeaseTable::read(&backend).expect("read empty").is_none());
+        let t = sample();
+        t.write_atomic(&backend).expect("write");
+        assert_eq!(LeaseTable::read(&backend).expect("read"), Some(t));
+        assert!(!dir.join("LEASES.tmp").exists(), "temp renamed away");
+    }
+}

@@ -1,0 +1,261 @@
+//! The deterministic fabric simulator — `fabric_torture`'s engine.
+//!
+//! One thread plays every role: the coordinator, each worker, and the
+//! virtual clock. Every crawl/seal/publish/issue/merge step announces
+//! itself to a [`StepProbe`], which kills the acting process at exactly
+//! one chosen step — so a sweep over `kill_at = 0..steps(healthy run)`
+//! exercises a kill at *every* step the fabric can take:
+//!
+//! - a **worker** step dying models a worker process crash: its staging
+//!   debris is orphaned, its lease expires on the virtual clock, reclaim
+//!   bumps the epoch, and the range reissues;
+//! - a **coordinator** step dying models a coordinator crash between
+//!   lease-table writes: the simulator reopens a fresh [`Coordinator`]
+//!   from durable state (exactly what a restarted process would do) and
+//!   carries on;
+//! - a kill at the *publish* step produces a zombie publish — complete,
+//!   undelivered. The simulator stashes every zombie and replays them all
+//!   after the table has drained, asserting each one is **fenced**: by
+//!   then the lease is completed (or reissued under a bumped epoch), so
+//!   acceptance would mean double-counting.
+//!
+//! The end state of every schedule must fingerprint identically to an
+//! uninterrupted single-process survey — the recovery invariant.
+
+use crate::coordinator::{Coordinator, FabricError, FabricOutcome, MergeOutcome};
+use crate::run::FabricConfig;
+use crate::worker::{run_worker, NoProbe, Probe, StepOutcome, WorkerPublish, WorkerRun};
+use bfu_crawler::{FabricTotals, Survey};
+use bfu_store::{StorageBackend, StoreMeta};
+use bfu_util::VirtualClock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Fault schedule for one simulated fabric run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricFaultPlan {
+    /// Kill the acting process (worker or coordinator) at this global
+    /// step ordinal, once. `None` runs healthy.
+    pub kill_at: Option<u64>,
+    /// Issue every lease to *two* sequential workers before merging —
+    /// the double-issue schedule. The second publish must fence.
+    pub double_issue: bool,
+}
+
+/// The counting, killing probe behind the simulator. Also records the
+/// step trace of a healthy run, which is how the torture sweep learns
+/// how many steps there are to kill at.
+#[derive(Debug, Default)]
+pub struct StepProbe {
+    count: AtomicU64,
+    kill_at: Option<u64>,
+    fired: AtomicBool,
+    trace: Mutex<Vec<String>>,
+}
+
+impl StepProbe {
+    /// A probe that kills at `kill_at` (never, when `None`).
+    pub fn new(kill_at: Option<u64>) -> StepProbe {
+        StepProbe {
+            kill_at,
+            ..StepProbe::default()
+        }
+    }
+
+    /// Steps announced so far.
+    pub fn steps(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// The labels announced so far, in order.
+    pub fn trace(&self) -> Vec<String> {
+        self.trace.lock().map(|t| t.clone()).unwrap_or_default()
+    }
+}
+
+impl Probe for StepProbe {
+    fn step(&self, label: &str) -> StepOutcome {
+        let k = self.count.fetch_add(1, Ordering::SeqCst);
+        if let Ok(mut t) = self.trace.lock() {
+            t.push(label.to_owned());
+        }
+        if Some(k) == self.kill_at && !self.fired.swap(true, Ordering::SeqCst) {
+            return StepOutcome::Die;
+        }
+        StepOutcome::Continue
+    }
+}
+
+/// What one simulated schedule did, and how it ended.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The finished fabric outcome — dataset, health, stats, scrub.
+    pub outcome: FabricOutcome,
+    /// Total steps announced (healthy runs: the sweep's kill range).
+    pub steps: u64,
+    /// The full step trace, in order.
+    pub trace: Vec<String>,
+    /// Workers killed mid-lease.
+    pub worker_deaths: u64,
+    /// Coordinator crashes (kills at `coord:` steps) recovered from.
+    pub coordinator_crashes: u64,
+    /// Stashed zombie publishes replayed at the end — every one fenced.
+    pub fenced_replays: u64,
+}
+
+/// Run one simulated fabric schedule to completion.
+///
+/// Deterministic: same survey, config, and plan → same trace, same
+/// dataset, same fingerprint. Time is a [`VirtualClock`] advanced by
+/// crawl work (`sites × site_ms` per attempt) and fast-forwarded to the
+/// next lease deadline when every remaining lease is orphaned.
+pub fn run_sim(
+    survey: &Survey,
+    backend: Arc<dyn StorageBackend>,
+    cfg: &FabricConfig,
+    plan: &FabricFaultPlan,
+) -> Result<SimOutcome, FabricError> {
+    let mut meta = StoreMeta::for_survey(survey);
+    meta.shard_capacity = cfg.shard_capacity.max(1);
+    let open = || {
+        Coordinator::open(
+            Arc::clone(&backend),
+            survey,
+            meta.clone(),
+            cfg.sites_per_lease,
+            cfg.lease_ms,
+        )
+    };
+    let probe = StepProbe::new(plan.kill_at);
+    let mut clock = VirtualClock::new();
+    let mut coordinator = open()?;
+    let mut stats = FabricTotals {
+        enabled: true,
+        workers: 1,
+        ..FabricTotals::default()
+    };
+    let mut worker_deaths = 0u64;
+    let mut coordinator_crashes = 0u64;
+    let mut zombies: Vec<WorkerPublish> = Vec::new();
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        if guard > 100_000 {
+            return Err(FabricError::Fabric(
+                "simulated fabric failed to converge".into(),
+            ));
+        }
+        // Coordinator crash model: the kill surfaces as CoordinatorKilled;
+        // the simulator "restarts the process" by reopening from durable
+        // state. In-memory table changes that were never written are lost,
+        // exactly like a real crash.
+        match coordinator.reclaim_expired(clock.now(), &probe) {
+            Ok(n) => {
+                stats.leases_expired += n as u64;
+                stats.leases_reclaimed += n as u64;
+            }
+            Err(FabricError::CoordinatorKilled(_)) => {
+                coordinator_crashes += 1;
+                coordinator = open()?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if coordinator.all_completed() {
+            break;
+        }
+        let grant = match coordinator.claim(clock.now(), &probe) {
+            Ok(g) => g,
+            Err(FabricError::CoordinatorKilled(_)) => {
+                coordinator_crashes += 1;
+                coordinator = open()?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let Some(grant) = grant else {
+            // Everything outstanding is issued to dead workers (the
+            // simulator runs them to completion synchronously, so a live
+            // holder can't exist here). Fast-forward to the next deadline.
+            let Some(deadline) = coordinator.next_deadline() else {
+                return Err(FabricError::Fabric(
+                    "no pending leases, no deadlines, not complete".into(),
+                ));
+            };
+            clock.advance_to(deadline);
+            continue;
+        };
+        stats.leases_issued += 1;
+        let attempts = if plan.double_issue { 2 } else { 1 };
+        for _ in 0..attempts {
+            let run = run_worker(
+                survey,
+                backend.as_ref(),
+                grant,
+                cfg.shard_capacity.max(1),
+                &probe,
+            )?;
+            clock.advance((grant.end.saturating_sub(grant.start) as u64) * cfg.site_ms);
+            let publish = match run {
+                WorkerRun::Published(p) => p,
+                WorkerRun::Died(orphan) => {
+                    worker_deaths += 1;
+                    stats.workers_died += 1;
+                    // A kill at the publish step leaves a zombie message;
+                    // replay it at the end to prove the fence holds.
+                    zombies.extend(orphan);
+                    continue;
+                }
+            };
+            match coordinator.merge_publish(&publish, &probe) {
+                Ok(MergeOutcome::Accepted { records }) => {
+                    stats.leases_completed += 1;
+                    stats.records_absorbed += records as u64;
+                }
+                Ok(MergeOutcome::Fenced) => stats.publishes_fenced += 1,
+                Err(FabricError::CoordinatorKilled(_)) => {
+                    // Crashed mid-merge: the publish itself is now stale
+                    // from the restarted coordinator's point of view (its
+                    // lease either completed durably or will reissue under
+                    // a new epoch). Keep it around as a zombie replay.
+                    coordinator_crashes += 1;
+                    zombies.push(publish);
+                    coordinator = open()?;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    // The table has drained. Replay every zombie publish: each one's lease
+    // is Completed (or Issued under a bumped epoch it doesn't carry), so
+    // the merge point MUST fence it — acceptance here would be the
+    // double-count the fabric exists to prevent.
+    let mut fenced_replays = 0u64;
+    for publish in &zombies {
+        match coordinator.merge_publish(publish, &NoProbe)? {
+            MergeOutcome::Fenced => {
+                fenced_replays += 1;
+                stats.publishes_fenced += 1;
+            }
+            MergeOutcome::Accepted { .. } => {
+                return Err(FabricError::Fabric(format!(
+                    "stale publish for lease {} epoch {} was accepted after drain",
+                    publish.lease, publish.epoch
+                )));
+            }
+        }
+    }
+    stats.leases_total = coordinator.table().leases.len() as u64;
+    let steps = probe.steps();
+    let trace = probe.trace();
+    let outcome = coordinator.finish(survey, stats, cfg.scrub_threads.max(1))?;
+    Ok(SimOutcome {
+        outcome,
+        steps,
+        trace,
+        worker_deaths,
+        coordinator_crashes,
+        fenced_replays,
+    })
+}

@@ -1,0 +1,256 @@
+//! The fabric worker: crawl a leased range into staging shards.
+//!
+//! A worker never touches canonical store state. It crawls its grant's
+//! sites with a [`bfu_crawler::SiteCrawler`] (one private world per
+//! worker, deterministic per site) and writes the encoded measurements
+//! into *staging* shards named `stage-l<lease>-e<epoch>-<ix>.bfu`. The
+//! staging namespace is the isolation boundary:
+//!
+//! - `parse_shard_name` rejects staging names, so the store's scan and
+//!   scrub are blind to them — a half-written staging shard from a dead
+//!   worker can never leak records into a dataset;
+//! - the name embeds the lease *and epoch*, so a zombie worker writing
+//!   under a reclaimed epoch can never collide with (or corrupt) the
+//!   reissued holder's files — same lease, different epoch, different
+//!   names;
+//! - records only enter the canonical store when the coordinator's merge
+//!   point reads the staged shards back and absorbs them — after checking
+//!   the fence.
+//!
+//! Every crawl/seal/publish step goes through a [`Probe`], the torture
+//! suite's kill switch. Production passes [`NoProbe`].
+
+use crate::coordinator::FabricError;
+use bfu_crawler::{retry_interrupted, Survey};
+use bfu_store::StorageBackend;
+use bfu_store::{encode_site, ShardWriter};
+use std::io;
+
+/// One issued lease, as handed to a worker: the range to crawl and the
+/// fencing epoch its publish must carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseGrant {
+    /// Lease id.
+    pub lease: u32,
+    /// First site (inclusive).
+    pub start: usize,
+    /// One past the last site.
+    pub end: usize,
+    /// Epoch the lease was issued under.
+    pub epoch: u32,
+}
+
+/// A worker's publish message: which sealed staging shards hold its
+/// lease's records, under which epoch. The coordinator's merge point is
+/// the only consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPublish {
+    /// Lease id the shards belong to.
+    pub lease: u32,
+    /// Epoch the lease was held under — the fence token.
+    pub epoch: u32,
+    /// Sealed staging shard names, in write order.
+    pub shards: Vec<String>,
+    /// Sites crawled for this publish.
+    pub sites_crawled: usize,
+}
+
+/// Whether a fabric actor survives the step it just announced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Keep going.
+    Continue,
+    /// Die right here — the torture harness's simulated kill.
+    Die,
+}
+
+/// The torture hook every fabric step passes through. Step labels are
+/// stable strings (`worker:crawl:l0:e1:s7`, `coord:merge-commit:l2`, …)
+/// so a sweep can enumerate and target every one.
+pub trait Probe: Sync {
+    /// Announce a step; the probe decides whether the actor survives it.
+    fn step(&self, label: &str) -> StepOutcome;
+}
+
+/// The production probe: nobody ever dies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    fn step(&self, _label: &str) -> StepOutcome {
+        StepOutcome::Continue
+    }
+}
+
+/// Staging-shard object name for `(lease, epoch, ix)`. Deliberately does
+/// not parse as a canonical shard name.
+pub fn stage_name(lease: u32, epoch: u32, ix: u32) -> String {
+    format!("stage-l{lease:04}-e{epoch:04}-{ix:05}.bfu")
+}
+
+/// How a worker run ended.
+#[derive(Debug)]
+pub enum WorkerRun {
+    /// The worker finished and handed over its publish.
+    Published(WorkerPublish),
+    /// The worker died mid-lease. If it died at the very publish step —
+    /// work complete, message never delivered — the orphaned publish is
+    /// carried here so a torture driver can replay it later as the
+    /// zombie message the merge point must fence.
+    Died(Option<WorkerPublish>),
+}
+
+/// Crawl `grant`'s range into sealed staging shards on `backend`.
+///
+/// Shards roll over at `shard_capacity` records. The crawl world is built
+/// lazily (a zero-site lease never pays for one) and each measurement is
+/// appended as it completes, so a kill at any step leaves only staging
+/// debris — cleaned up by the coordinator, invisible to the store.
+/// Returns [`WorkerRun::Died`] when `probe` kills the worker; real I/O
+/// errors surface as [`FabricError`].
+pub fn run_worker(
+    survey: &Survey,
+    backend: &dyn StorageBackend,
+    grant: LeaseGrant,
+    shard_capacity: u32,
+    probe: &dyn Probe,
+) -> Result<WorkerRun, FabricError> {
+    let capacity = shard_capacity.max(1);
+    let mut shards: Vec<String> = Vec::new();
+    let mut writer: Option<ShardWriter> = None;
+    let mut next_ix = 0u32;
+    let mut crawler = None;
+    let seal_step =
+        |shards: &mut Vec<String>, writer: &mut Option<ShardWriter>| -> io::Result<()> {
+            if let Some(w) = writer.take() {
+                let name = w.name().to_owned();
+                w.seal()?;
+                shards.push(name);
+            }
+            Ok(())
+        };
+    for site_ix in grant.start..grant.end {
+        let label = format!("worker:crawl:l{}:e{}:s{site_ix}", grant.lease, grant.epoch);
+        if probe.step(&label) == StepOutcome::Die {
+            return Ok(WorkerRun::Died(None));
+        }
+        let crawler = crawler.get_or_insert_with(|| survey.site_crawler());
+        let m = crawler.crawl(site_ix);
+        let payload = encode_site(&m);
+        let w = match writer {
+            Some(ref mut w) => w,
+            None => {
+                let name = stage_name(grant.lease, grant.epoch, next_ix);
+                next_ix += 1;
+                writer.insert(ShardWriter::create_named(backend, &name, next_ix - 1)?)
+            }
+        };
+        w.append(&payload)?;
+        if w.records() >= capacity {
+            let label = format!("worker:seal:l{}:e{}", grant.lease, grant.epoch);
+            if probe.step(&label) == StepOutcome::Die {
+                return Ok(WorkerRun::Died(None));
+            }
+            seal_step(&mut shards, &mut writer)?;
+        }
+    }
+    if writer.is_some() {
+        let label = format!("worker:seal:l{}:e{}", grant.lease, grant.epoch);
+        if probe.step(&label) == StepOutcome::Die {
+            return Ok(WorkerRun::Died(None));
+        }
+        seal_step(&mut shards, &mut writer)?;
+    }
+    // Make the staged names durable in one pass before handing them to the
+    // coordinator (each seal already synced its own bytes).
+    retry_interrupted(|| backend.sync_dir()).map_err(FabricError::from)?;
+    let publish = WorkerPublish {
+        lease: grant.lease,
+        epoch: grant.epoch,
+        shards,
+        sites_crawled: grant.end.saturating_sub(grant.start),
+    };
+    let label = format!("worker:publish:l{}:e{}", grant.lease, grant.epoch);
+    if probe.step(&label) == StepOutcome::Die {
+        // Died with the publish in hand: the torture driver replays this
+        // exact message later to prove the fence holds.
+        return Ok(WorkerRun::Died(Some(publish)));
+    }
+    Ok(WorkerRun::Published(publish))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_crawler::{CrawlConfig, Survey};
+    use bfu_store::shard::parse_shard_name;
+    use bfu_store::{read_shard, FaultFs, StoreFaultPlan};
+    use bfu_webgen::{SyntheticWeb, WebConfig};
+    use std::sync::Arc;
+
+    fn tiny_survey(sites: usize) -> Survey {
+        let web = SyntheticWeb::generate(WebConfig {
+            sites,
+            seed: 5,
+            script_weight: 0,
+        });
+        let mut config = CrawlConfig::quick(7);
+        config.threads = 1;
+        config.rounds_per_profile = 1;
+        config.pages_per_site = 2;
+        config.page_budget_ms = 2_000;
+        Survey::new(web, config)
+    }
+
+    #[test]
+    fn stage_names_are_invisible_to_the_store() {
+        let name = stage_name(3, 1, 0);
+        assert_eq!(name, "stage-l0003-e0001-00000.bfu");
+        assert_eq!(parse_shard_name(&name), None);
+    }
+
+    #[test]
+    fn worker_stages_sealed_shards_and_publishes() {
+        let survey = tiny_survey(5);
+        let fs = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+        let grant = LeaseGrant {
+            lease: 0,
+            start: 1,
+            end: 4,
+            epoch: 2,
+        };
+        let run = run_worker(&survey, fs.as_ref(), grant, 2, &NoProbe).expect("run");
+        let WorkerRun::Published(p) = run else {
+            panic!("NoProbe must publish");
+        };
+        assert_eq!(p.lease, 0);
+        assert_eq!(p.epoch, 2);
+        assert_eq!(p.sites_crawled, 3);
+        assert_eq!(p.shards.len(), 2, "3 records at capacity 2");
+        let mut records = 0;
+        for name in &p.shards {
+            let c = read_shard(fs.as_ref(), name).expect("read staged");
+            assert!(c.pristine(), "staged shards are sealed and intact");
+            records += c.payloads.len();
+        }
+        assert_eq!(records, 3);
+    }
+
+    #[test]
+    fn zero_site_grant_publishes_nothing() {
+        let survey = tiny_survey(3);
+        let fs = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+        let grant = LeaseGrant {
+            lease: 1,
+            start: 2,
+            end: 2,
+            epoch: 0,
+        };
+        let run = run_worker(&survey, fs.as_ref(), grant, 4, &NoProbe).expect("run");
+        let WorkerRun::Published(p) = run else {
+            panic!("zero-site grant still publishes (empty)");
+        };
+        assert!(p.shards.is_empty());
+        assert_eq!(p.sites_crawled, 0);
+    }
+}

@@ -39,6 +39,14 @@ use bfu_crawler::retry_interrupted;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default scrubber fan-out: the machine's parallelism, capped — per-shard
+/// verification is read + checksum work that saturates a handful of cores.
+pub fn default_scrub_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
+}
 
 /// What one scrub pass found and did. Folded into the provenance sidecar so
 /// a dataset's repair history is part of its identity record.
@@ -127,62 +135,151 @@ enum Verdict {
 struct Examined {
     name: String,
     contents: Option<ShardContents>, // None: not readable as a shard at all
+    /// Decoded site index per intact payload (`None`: undecodable record),
+    /// computed during the parallel examine so the sequential passes never
+    /// re-parse a payload.
+    decoded: Vec<Option<usize>>,
     verdict: Verdict,
 }
 
+/// Read and classify one shard object — the per-shard unit of work the
+/// scrubber fans out across its thread pool. Pure with respect to store
+/// state: touches the backend only, never the store lock.
+fn examine_one(backend: &dyn StorageBackend, name: &str) -> Result<Examined, StoreError> {
+    match read_shard(backend, name) {
+        Ok(contents) => {
+            let decoded = contents
+                .payloads
+                .iter()
+                .map(|p| crate::encode::decode_site(p).ok().map(|m| m.site.index()))
+                .collect();
+            let verdict = if contents.pristine() {
+                // Self-verified; a disagreeing manifest line is the
+                // manifest's problem, fixed in the true-up pass.
+                Verdict::Keep // may demote to Absorb during compaction
+            } else {
+                Verdict::Quarantine
+            };
+            Ok(Examined {
+                name: name.to_owned(),
+                contents: Some(contents),
+                decoded,
+                verdict,
+            })
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // Not readable as a shard (smashed header): quarantine with
+            // nothing to salvage.
+            Ok(Examined {
+                name: name.to_owned(),
+                contents: None,
+                decoded: Vec::new(),
+                verdict: Verdict::Quarantine,
+            })
+        }
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+/// Examine `names` across up to `threads` workers. Results land in
+/// name-order slots, so the merged output — and every report counter
+/// derived from it — is identical whatever the thread count or scheduling.
+fn examine_shards(
+    backend: &dyn StorageBackend,
+    names: &[(u32, String)],
+    threads: usize,
+) -> Result<Vec<Examined>, StoreError> {
+    let threads = threads.max(1).min(names.len().max(1));
+    let slots: Vec<Mutex<Option<Result<Examined, StoreError>>>> =
+        names.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, name)) = names.get(i) else {
+                    break;
+                };
+                let result = examine_one(backend, name);
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_else(|| {
+                    Err(StoreError::Io(io::Error::other(
+                        "scrub examine slot never filled",
+                    )))
+                })
+        })
+        .collect()
+}
+
 impl DatasetStore {
+    /// Run one scrub pass with the default thread-pool width. See
+    /// [`DatasetStore::scrub_with_threads`].
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        self.scrub_with_threads(default_scrub_threads())
+    }
+
     /// Run one scrub pass: re-verify every shard, quarantine damage,
     /// compact fragmentation, and true up the manifest. Idempotent on a
     /// healthy store (the second pass reports [`ScrubReport::clean`]).
-    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+    ///
+    /// Per-shard verification fans out across up to `threads` workers and —
+    /// deliberately — runs *outside* the store lock: appenders keep making
+    /// progress while the scrubber reads, which matters when a resuming
+    /// survey scrubs a store other workers are already writing into. The
+    /// lock is taken only for four short critical sections (seal + snapshot,
+    /// index reservation, manifest true-up), and the report is deterministic
+    /// in everything but `threads` (1 thread and 8 produce identical
+    /// reports, quarantine sets, and compaction output — a tested
+    /// property).
+    ///
+    /// Shards created after the opening snapshot (a concurrent appender's
+    /// live output) are left untouched: only shards that existed when the
+    /// scrub began are verified, repaired, or quarantined.
+    pub fn scrub_with_threads(&self, threads: usize) -> Result<ScrubReport, StoreError> {
         let backend = self.backend().clone();
-        let inner = &mut *self.lock();
-        // Flush any open writer first so every record is in a sealed,
-        // examinable shard (resume calls scrub before writing, so this is
-        // normally a no-op).
-        self.seal_current(inner)?;
+        // Short lock: flush any open writer so every record this pass can
+        // see is in a sealed, examinable shard (resume calls scrub before
+        // writing, so this is normally a no-op), and snapshot the bounds.
+        // `ix_floor` fences this pass off from concurrent appenders: any
+        // shard index at or above it was created after the snapshot and
+        // belongs to a live writer, not to us.
+        let (capacity, sites_limit, ix_floor) = {
+            let inner = &mut *self.lock();
+            self.seal_current(inner)?;
+            (
+                inner.manifest.shard_capacity.max(1),
+                inner.manifest.sites,
+                inner.next_shard_ix,
+            )
+        };
         let mut report = ScrubReport::default();
-        let capacity = inner.manifest.shard_capacity.max(1);
 
-        // Pass 1: examine every shard object and classify it.
-        let mut examined: Vec<Examined> = Vec::new();
+        // Pass 1 (unlocked, parallel): examine every shard object and
+        // classify it.
+        let names: Vec<(u32, String)> = shard_names(backend.as_ref())?
+            .into_iter()
+            .filter(|(ix, _)| *ix < ix_floor)
+            .collect();
+        report.shards_examined = names.len();
+        let mut examined = examine_shards(backend.as_ref(), &names, threads)?;
         let mut small_intact = 0usize;
         let mut damage = false;
-        for (_, name) in shard_names(backend.as_ref())? {
-            report.shards_examined += 1;
-            match read_shard(backend.as_ref(), &name) {
-                Ok(contents) => {
-                    if contents.pristine() {
-                        // Self-verified; a disagreeing manifest line is the
-                        // manifest's problem, fixed in pass 4.
-                        if contents.seal.map(|s| s.records) < Some(capacity) {
-                            small_intact += 1;
-                        }
-                        examined.push(Examined {
-                            name,
-                            contents: Some(contents),
-                            verdict: Verdict::Keep, // may demote to Absorb below
-                        });
-                    } else {
-                        damage = true;
-                        examined.push(Examined {
-                            name,
-                            contents: Some(contents),
-                            verdict: Verdict::Quarantine,
-                        });
+        for e in &examined {
+            match (&e.verdict, &e.contents) {
+                (Verdict::Keep, Some(c)) => {
+                    if c.seal.map(|s| s.records) < Some(capacity) {
+                        small_intact += 1;
                     }
                 }
-                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                    // Not readable as a shard (smashed header): quarantine
-                    // with nothing to salvage.
-                    damage = true;
-                    examined.push(Examined {
-                        name,
-                        contents: None,
-                        verdict: Verdict::Quarantine,
-                    });
-                }
-                Err(e) => return Err(StoreError::Io(e)),
+                _ => damage = true,
             }
         }
 
@@ -208,17 +305,15 @@ impl DatasetStore {
             }
         }
 
-        // Pass 3: build the salvage set (records from absorbed + damaged
-        // shards, first-record-wins against kept shards and each other) and
-        // write it into fresh shards.
+        // Pass 3 (unlocked): build the salvage set (records from absorbed +
+        // damaged shards, first-record-wins against kept shards and each
+        // other), then write it into fresh shards whose indices are
+        // reserved under one brief lock — the writing itself happens with
+        // the lock released.
         let mut covered: BTreeSet<usize> = BTreeSet::new();
         for e in &examined {
-            if let (Verdict::Keep, Some(c)) = (&e.verdict, &e.contents) {
-                for payload in &c.payloads {
-                    if let Ok(m) = crate::encode::decode_site(payload) {
-                        covered.insert(m.site.index());
-                    }
-                }
+            if let (Verdict::Keep, Some(_)) = (&e.verdict, &e.contents) {
+                covered.extend(e.decoded.iter().flatten());
             }
         }
         let mut salvage: Vec<Vec<u8>> = Vec::new();
@@ -228,10 +323,10 @@ impl DatasetStore {
                 continue;
             };
             report.records_dropped += c.records_corrupt;
-            for payload in &c.payloads {
-                match crate::encode::decode_site(payload) {
-                    Ok(m) if m.site.index() < inner.manifest.sites => {
-                        if covered.insert(m.site.index()) {
+            for (payload, site_ix) in c.payloads.iter().zip(&e.decoded) {
+                match site_ix {
+                    Some(site_ix) if *site_ix < sites_limit => {
+                        if covered.insert(*site_ix) {
                             salvage.push(payload.clone());
                         } else {
                             report.records_deduplicated += 1;
@@ -241,58 +336,77 @@ impl DatasetStore {
                 }
             }
         }
+        let chunks: Vec<&[Vec<u8>]> = salvage.chunks(capacity as usize).collect();
         let mut new_seals: Vec<SealedShard> = Vec::new();
-        for chunk in salvage.chunks(capacity as usize) {
-            let ix = inner.next_shard_ix;
-            inner.next_shard_ix += 1;
-            let mut writer = ShardWriter::create(backend.as_ref(), ix)?;
-            for payload in chunk {
-                writer.append(payload)?;
+        if !chunks.is_empty() {
+            let base_ix = {
+                let inner = &mut *self.lock();
+                let base = inner.next_shard_ix;
+                inner.next_shard_ix = base + chunks.len() as u32;
+                base
+            };
+            for (i, chunk) in chunks.iter().enumerate() {
+                let mut writer = ShardWriter::create(backend.as_ref(), base_ix + i as u32)?;
+                for payload in *chunk {
+                    writer.append(payload)?;
+                }
+                new_seals.push(writer.seal()?);
+                report.records_salvaged += chunk.len();
             }
-            new_seals.push(writer.seal()?);
-            report.records_salvaged += chunk.len();
-        }
-        if !new_seals.is_empty() {
             // Make the new shards' names durable before the manifest (whose
             // own rewrite syncs again) references them.
             retry_interrupted(|| backend.sync_dir())?;
             report.shards_written = new_seals.len();
         }
 
-        // Pass 4: true up the manifest — kept shards' own seals (fixing
-        // stale or missing entries), plus the freshly written ones — and
-        // publish it before any original is touched.
-        let old_shards = inner.manifest.shards.clone();
-        let mut shards: Vec<SealedShard> = Vec::new();
+        // Pass 4 (short lock): true up the manifest — kept shards' own
+        // seals (fixing stale or missing entries), plus the freshly written
+        // ones — and publish it before any original is touched. Entries a
+        // concurrent appender sealed since the snapshot (ix at or above the
+        // floor) are carried over untouched.
+        let mut kept_seals: Vec<SealedShard> = Vec::new();
         for e in &examined {
             if let (Verdict::Keep, Some(c)) = (&e.verdict, &e.contents) {
                 report.shards_kept += 1;
                 if let Some(seal) = c.seal {
-                    match old_shards.iter().find(|s| s.ix == seal.ix) {
-                        Some(listed) if *listed == seal => {}
-                        Some(_) => report.manifest_entries_fixed += 1,
-                        None => report.manifest_entries_adopted += 1,
-                    }
-                    shards.push(seal);
+                    kept_seals.push(seal);
                 }
             }
         }
-        shards.extend(new_seals.iter().copied());
-        report.manifest_entries_dropped = old_shards
-            .iter()
-            .filter(|s| !shards.iter().any(|n| n.ix == s.ix))
-            .filter(|s| {
-                // Dropped for a reason other than quarantine/absorption
-                // below counts as "entry pointed at nothing".
-                !examined.iter().any(|e| {
-                    e.contents.as_ref().map(|c| c.ix) == Some(s.ix)
-                        || e.name == shard_file_name(s.ix)
+        {
+            let inner = &mut *self.lock();
+            let old_shards = inner.manifest.shards.clone();
+            let mut shards: Vec<SealedShard> = Vec::new();
+            for seal in &kept_seals {
+                match old_shards.iter().find(|s| s.ix == seal.ix) {
+                    Some(listed) if *listed == *seal => {}
+                    Some(_) => report.manifest_entries_fixed += 1,
+                    None => report.manifest_entries_adopted += 1,
+                }
+                shards.push(*seal);
+            }
+            shards.extend(new_seals.iter().copied());
+            for s in &old_shards {
+                if s.ix >= ix_floor && !shards.iter().any(|n| n.ix == s.ix) {
+                    shards.push(*s);
+                }
+            }
+            report.manifest_entries_dropped = old_shards
+                .iter()
+                .filter(|s| !shards.iter().any(|n| n.ix == s.ix))
+                .filter(|s| {
+                    // Dropped for a reason other than quarantine/absorption
+                    // below counts as "entry pointed at nothing".
+                    !examined.iter().any(|e| {
+                        e.contents.as_ref().map(|c| c.ix) == Some(s.ix)
+                            || e.name == shard_file_name(s.ix)
+                    })
                 })
-            })
-            .count();
-        if shards != old_shards || !new_seals.is_empty() {
-            inner.manifest.shards = shards;
-            inner.manifest.write_atomic(backend.as_ref())?;
+                .count();
+            if shards != old_shards || !new_seals.is_empty() {
+                inner.manifest.shards = shards;
+                inner.manifest.write_atomic(backend.as_ref())?;
+            }
         }
 
         // Pass 5: move damaged originals aside and drop absorbed ones. Safe
@@ -504,6 +618,171 @@ mod tests {
         let scan = store.scan().expect("scan");
         assert!(!scan.report.any_loss());
         assert_eq!(scan.recovered, 2, "other shard intact");
+    }
+
+    /// Build two byte-identical damaged stores and prove scrubbing one with
+    /// 1 thread and the other with 8 produces the same report, the same
+    /// surviving/quarantined object names, and the same recovered records.
+    #[test]
+    fn scrub_is_thread_count_invariant() {
+        let survey = survey(8);
+        let dataset = survey.run();
+        let mut meta = StoreMeta::for_survey(&survey);
+        meta.shard_capacity = 3;
+        let mut dirs = Vec::new();
+        for tag in ["t1", "t8"] {
+            let dir = temp_dir(&format!("threads-{tag}"));
+            // Fragmented sessions plus one corrupt shard and one unsealed
+            // crash artifact: every verdict class is on the table.
+            for pair in dataset.sites.chunks(2) {
+                let store = DatasetStore::open(&dir, meta.clone()).expect("open");
+                for m in pair {
+                    store.append(m).expect("append");
+                }
+                store
+                    .finish(&Provenance::of(&survey, &dataset))
+                    .expect("finish");
+            }
+            let shard0 = dir.join(shard_file_name(0));
+            let mut bytes = std::fs::read(&shard0).expect("read shard");
+            bytes[40] ^= 0x08;
+            std::fs::write(&shard0, bytes).expect("corrupt shard");
+            let store = DatasetStore::open(&dir, meta.clone()).expect("reopen");
+            store.append(&dataset.sites[0]).expect("append dup");
+            drop(store); // unsealed crash artifact
+            dirs.push(dir);
+        }
+        let open = |dir: &std::path::Path| DatasetStore::open(dir, meta.clone()).expect("open");
+        let r1 = open(&dirs[0]).scrub_with_threads(1).expect("scrub 1");
+        let r8 = open(&dirs[1]).scrub_with_threads(8).expect("scrub 8");
+        assert_eq!(r1, r8, "reports must not depend on thread count");
+        assert!(!r1.clean(), "the damage must actually exercise repair");
+        let names = |dir: &std::path::Path| {
+            let mut v: Vec<String> = std::fs::read_dir(dir)
+                .expect("read dir")
+                .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(names(&dirs[0]), names(&dirs[1]));
+        let scan1 = open(&dirs[0]).scan().expect("scan 1");
+        let scan8 = open(&dirs[1]).scan().expect("scan 8");
+        assert_eq!(scan1.recovered, scan8.recovered);
+        assert_eq!(scan1.report, scan8.report);
+    }
+
+    /// The narrowed-lock regression: while the scrubber is mid-verification
+    /// (blocked inside a shard read), an `append` on another thread must
+    /// complete — the store lock is not held across shard verification.
+    #[test]
+    fn scrub_verification_runs_outside_the_store_lock() {
+        use crate::backend::{LocalFs, StorageFile};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+        #[derive(Debug)]
+        struct GatedFs {
+            inner: LocalFs,
+            armed: AtomicBool,
+            entered: Mutex<Option<mpsc::Sender<()>>>,
+            release: Mutex<bool>,
+            cv: Condvar,
+        }
+        impl StorageBackend for GatedFs {
+            fn create(&self, name: &str) -> std::io::Result<Box<dyn StorageFile>> {
+                self.inner.create(name)
+            }
+            fn get(&self, name: &str) -> std::io::Result<Vec<u8>> {
+                // First shard read while armed: announce entry, then block
+                // until the appender has made progress.
+                if name.starts_with("shard-") && self.armed.swap(false, Ordering::SeqCst) {
+                    if let Some(tx) = self.entered.lock().expect("entered lock").take() {
+                        let _ = tx.send(());
+                    }
+                    let mut released = self.release.lock().expect("release lock");
+                    while !*released {
+                        released = self.cv.wait(released).expect("cv wait");
+                    }
+                }
+                self.inner.get(name)
+            }
+            fn rename(&self, from: &str, to: &str) -> std::io::Result<()> {
+                self.inner.rename(from, to)
+            }
+            fn remove(&self, name: &str) -> std::io::Result<()> {
+                self.inner.remove(name)
+            }
+            fn exists(&self, name: &str) -> std::io::Result<bool> {
+                self.inner.exists(name)
+            }
+            fn list(&self) -> std::io::Result<Vec<String>> {
+                self.inner.list()
+            }
+            fn sync_dir(&self) -> std::io::Result<()> {
+                self.inner.sync_dir()
+            }
+            fn describe(&self) -> String {
+                self.inner.describe()
+            }
+        }
+
+        let dir = temp_dir("lock-narrow");
+        let survey = survey(6);
+        let dataset = survey.run();
+        let mut meta = StoreMeta::for_survey(&survey);
+        meta.shard_capacity = 2;
+        let seed_store = DatasetStore::open(&dir, meta.clone()).expect("open");
+        for m in &dataset.sites[..4] {
+            seed_store.append(m).expect("append");
+        }
+        seed_store
+            .finish(&Provenance::of(&survey, &dataset))
+            .expect("finish");
+        drop(seed_store);
+
+        let (tx, entered_rx) = mpsc::channel();
+        let gated = Arc::new(GatedFs {
+            inner: LocalFs::open(&dir).expect("open backend"),
+            armed: AtomicBool::new(false),
+            entered: Mutex::new(Some(tx)),
+            release: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let backend: Arc<dyn StorageBackend> = gated.clone();
+        let store = Arc::new(DatasetStore::open_on(backend, meta).expect("open on gated"));
+        gated.armed.store(true, Ordering::SeqCst);
+
+        let scrub_store = store.clone();
+        let scrubber = std::thread::spawn(move || scrub_store.scrub_with_threads(2));
+        entered_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("scrubber never reached shard verification");
+
+        // Scrubber is now parked inside a shard read. If it held the store
+        // lock across verification (the old behaviour), this append would
+        // deadlock until the gate opens; the watchdog channel catches that.
+        let (done_tx, done_rx) = mpsc::channel();
+        let append_store = store.clone();
+        let m = dataset.sites[4].clone();
+        let appender = std::thread::spawn(move || {
+            let r = append_store.append(&m);
+            let _ = done_tx.send(());
+            r
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("append blocked behind the scrubber: store lock held across verification");
+
+        *gated.release.lock().expect("release lock") = true;
+        gated.cv.notify_all();
+        appender.join().expect("appender").expect("append ok");
+        let report = scrubber.join().expect("scrubber").expect("scrub ok");
+        assert_eq!(report.shards_examined, 2, "only pre-snapshot shards");
+        // The concurrently appended record (an unsealed post-snapshot
+        // shard) must have survived the scrub untouched.
+        let scan = store.scan().expect("scan");
+        assert_eq!(scan.recovered, 5);
     }
 
     #[test]

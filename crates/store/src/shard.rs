@@ -76,7 +76,19 @@ pub struct ShardWriter {
 impl ShardWriter {
     /// Create `shard-<ix>.bfu` on `backend` and write its header.
     pub fn create(backend: &dyn StorageBackend, ix: u32) -> io::Result<ShardWriter> {
-        let name = shard_file_name(ix);
+        ShardWriter::create_named(backend, &shard_file_name(ix), ix)
+    }
+
+    /// Create shard object `name` with header index `ix` — the staging path
+    /// used by survey-fabric workers, whose shards live *outside* the
+    /// canonical `shard-NNNNN.bfu` namespace (so scan and scrub never see
+    /// them) until the coordinator absorbs their records at the merge point.
+    pub fn create_named(
+        backend: &dyn StorageBackend,
+        name: &str,
+        ix: u32,
+    ) -> io::Result<ShardWriter> {
+        let name = name.to_owned();
         let mut file = retry_interrupted(|| backend.create(&name))?;
         let mut header = Vec::with_capacity(16);
         header.extend_from_slice(MAGIC);

@@ -42,6 +42,17 @@ if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     rm -f "$TORTURE_OUT"
 fi
 
+echo "==> fabric crash-mid-lease torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
+# Kill the survey fabric at every worker/coordinator step and prove the
+# recovered dataset fingerprints identically to a single-process run; the
+# standalone binary re-proves the exhaustive sweep end to end in release.
+cargo test -q --test fabric_torture
+if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
+    TORTURE_OUT=$(mktemp)
+    cargo run -q --release -p bfu-bench --bin fabric_torture -- --out "$TORTURE_OUT"
+    rm -f "$TORTURE_OUT"
+fi
+
 echo "==> no-panic property tests (parser/interpreter totality)"
 cargo test -q --test proptests
 
@@ -56,6 +67,16 @@ cargo run -q --release -p bfu-bench --bin crawl_bench -- \
 grep -q '"fingerprints_match": true' "$CI_BENCH_OUT"
 grep -q '"hits": 0,' "$CI_BENCH_OUT" && { echo "compile cache saw zero hits"; exit 1; }
 rm -f "$CI_BENCH_OUT"
+
+echo "==> fabric_bench smoke (1/2/4-worker fingerprints identical to single-process)"
+# Small scale: the gate is the fingerprint cross-check, not throughput.
+# fabric_bench exits non-zero itself on divergence; the grep pins the flag
+# in the emitted JSON so a silently skipped check cannot pass.
+CI_FABRIC_OUT=$(mktemp)
+cargo run -q --release -p bfu-bench --bin fabric_bench -- \
+    --sites 12 --per-lease 2 --out "$CI_FABRIC_OUT"
+grep -q '"fingerprints_match": true' "$CI_FABRIC_OUT"
+rm -f "$CI_FABRIC_OUT"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,317 @@
+//! Fabric torture: kill the survey fabric at every step and prove the
+//! finished dataset always fingerprints identically to a single-process
+//! run.
+//!
+//! The harness mirrors `store_torture`, one layer up: where that suite
+//! power-cuts the *storage backend* at every I/O boundary, this one kills
+//! the *fabric actors* — workers mid-crawl, mid-seal, at the very publish
+//! step; the coordinator between lease-table writes, mid-merge — via the
+//! deterministic step simulator in `bfu_fabric::sim`. A fault-free run
+//! enumerates the step trace; the sweep re-runs the whole schedule once
+//! per step with a kill at exactly that point.
+//!
+//! Beyond the kill sweep, the dedicated schedules: the double-issue run
+//! (every lease handed to two workers — the loser must fence), and the
+//! zombie-publish replay baked into every sim (a publish orphaned by a
+//! kill is replayed after the table drains and must be fenced).
+//!
+//! Default is a bounded deterministic subset (CI-fast); set
+//! `BFU_TORTURE_FULL=1` to sweep every step. The `fabric_torture` binary
+//! in `bfu-bench` runs the full sweep standalone with progress output.
+
+use bfu_crawler::{CrawlConfig, Survey};
+use bfu_fabric::{
+    run_sim, run_survey_fabric, FabricConfig, FabricError, FabricFaultPlan, SimOutcome,
+};
+use bfu_store::{FaultFs, StorageBackend, StoreFaultPlan, PROVENANCE_NAME};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use std::sync::{Arc, OnceLock};
+
+const SITES: usize = 8;
+const SEED: u64 = 137;
+
+struct Fixture {
+    survey: Survey,
+    /// Fingerprint of the uninterrupted single-process dataset — the bar
+    /// every tortured schedule must clear.
+    baseline_fingerprint: u64,
+    /// Step trace of one fault-free simulated fabric run.
+    trace: Vec<String>,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn survey_for(sites: usize, seed: u64) -> Survey {
+    let web = SyntheticWeb::generate(WebConfig {
+        sites,
+        seed,
+        script_weight: 0,
+    });
+    let mut config = CrawlConfig::quick(seed ^ 0xFAB);
+    // One crawl thread: measurements are thread-invariant (a tested
+    // crawler property), and it keeps each simulated schedule cheap —
+    // the sweep runs the whole survey once per kill point.
+    config.threads = 1;
+    config.rounds_per_profile = 1;
+    config.pages_per_site = 2;
+    config.page_budget_ms = 2_000;
+    Survey::new(web, config)
+}
+
+/// Small leases + tiny shards: every lifecycle edge (multi-shard leases,
+/// mid-lease seals, multiple merges) shows up even at 8 sites.
+fn torture_config() -> FabricConfig {
+    FabricConfig {
+        workers: 1,
+        sites_per_lease: 3,
+        lease_ms: 10_000,
+        site_ms: 1_000,
+        shard_capacity: 2,
+        scrub_threads: 2,
+    }
+}
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let survey = survey_for(SITES, SEED);
+        let baseline = survey.run();
+        let sim = sim_with(&survey, &FabricFaultPlan::default()).expect("fault-free sim");
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            baseline.fingerprint(),
+            "fabric must match the direct run before any torture"
+        );
+        assert!(sim.steps > 0, "a healthy run announces steps to kill at");
+        Fixture {
+            survey,
+            baseline_fingerprint: baseline.fingerprint(),
+            trace: sim.trace,
+        }
+    })
+}
+
+fn sim_with(survey: &Survey, plan: &FabricFaultPlan) -> Result<SimOutcome, FabricError> {
+    let backend: Arc<dyn StorageBackend> = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+    run_sim(survey, backend, &torture_config(), plan)
+}
+
+/// The kill points to sweep: every step under `BFU_TORTURE_FULL=1` (or
+/// when the schedule is small), a deterministic stride subset otherwise.
+fn sweep_points(total: u64) -> Vec<u64> {
+    const BUDGET: u64 = 48;
+    let full = std::env::var("BFU_TORTURE_FULL").is_ok_and(|v| v == "1");
+    if full || total <= BUDGET {
+        return (0..total).collect();
+    }
+    let stride = total.div_ceil(BUDGET);
+    let mut points: Vec<u64> = (0..total).step_by(stride as usize).collect();
+    // Always include the last step: the final merge-commit/clean edge.
+    if points.last() != Some(&(total - 1)) {
+        points.push(total - 1);
+    }
+    points
+}
+
+#[test]
+fn healthy_fabric_matches_single_process() {
+    let fx = fixture();
+    let sim = sim_with(&fx.survey, &FabricFaultPlan::default()).expect("healthy sim");
+    assert_eq!(sim.outcome.dataset.fingerprint(), fx.baseline_fingerprint);
+    assert_eq!(sim.worker_deaths, 0);
+    assert_eq!(sim.coordinator_crashes, 0);
+    assert_eq!(sim.fenced_replays, 0);
+    let stats = sim.outcome.stats;
+    assert!(stats.enabled);
+    assert_eq!(stats.leases_total, SITES.div_ceil(3) as u64);
+    assert_eq!(stats.leases_completed, stats.leases_total);
+    assert_eq!(stats.leases_expired, 0);
+    assert_eq!(stats.records_absorbed as usize, SITES);
+    assert_eq!(sim.outcome.health.fabric, stats, "stats land in health");
+}
+
+#[test]
+fn kill_at_every_step_recovers_to_identical_fingerprint() {
+    let fx = fixture();
+    let total = fx.trace.len() as u64;
+    for k in sweep_points(total) {
+        let plan = FabricFaultPlan {
+            kill_at: Some(k),
+            ..FabricFaultPlan::default()
+        };
+        let sim = sim_with(&fx.survey, &plan)
+            .unwrap_or_else(|e| panic!("kill point {k} ({}): {e}", fx.trace[k as usize]));
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "kill point {k} ({}) diverged",
+            fx.trace[k as usize]
+        );
+        assert!(
+            sim.worker_deaths + sim.coordinator_crashes == 1,
+            "kill point {k} ({}) must kill exactly one actor",
+            fx.trace[k as usize]
+        );
+        // Losses are typed, not silent: a worker death shows up in the
+        // health counters, a coordinator crash in recovered lease churn.
+        let stats = sim.outcome.stats;
+        if sim.worker_deaths > 0 {
+            assert_eq!(stats.workers_died, sim.worker_deaths);
+        }
+        // The single kill can cost at most one lease's *accounting* (a
+        // coordinator crash after the completion write but before the
+        // counter bump); the table itself always drains — `run_sim` only
+        // returns once every lease is durably completed.
+        assert!(stats.leases_completed + sim.coordinator_crashes >= stats.leases_total);
+    }
+}
+
+#[test]
+fn stale_publish_after_worker_death_is_fenced() {
+    let fx = fixture();
+    // Kill exactly at a publish step: the worker dies with its publish in
+    // hand, the lease expires and reissues, and the zombie message replays
+    // after the drain — where the fence must reject it.
+    let k = fx
+        .trace
+        .iter()
+        .position(|l| l.starts_with("worker:publish:"))
+        .expect("healthy trace has publish steps") as u64;
+    let plan = FabricFaultPlan {
+        kill_at: Some(k),
+        ..FabricFaultPlan::default()
+    };
+    let sim = sim_with(&fx.survey, &plan).expect("publish-kill schedule");
+    assert_eq!(sim.worker_deaths, 1);
+    assert_eq!(sim.fenced_replays, 1, "the zombie publish must be fenced");
+    assert!(sim.outcome.stats.publishes_fenced >= 1);
+    assert!(sim.outcome.stats.leases_expired >= 1, "the lease expired");
+    assert_eq!(
+        sim.outcome.dataset.fingerprint(),
+        fx.baseline_fingerprint,
+        "fenced replay must not perturb the dataset"
+    );
+}
+
+#[test]
+fn double_issued_lease_never_double_counts() {
+    let fx = fixture();
+    let plan = FabricFaultPlan {
+        double_issue: true,
+        ..FabricFaultPlan::default()
+    };
+    let sim = sim_with(&fx.survey, &plan).expect("double-issue schedule");
+    let leases = sim.outcome.stats.leases_total;
+    assert_eq!(
+        sim.outcome.stats.publishes_fenced, leases,
+        "every lease's second publish must fence"
+    );
+    assert_eq!(sim.outcome.stats.leases_completed, leases);
+    assert_eq!(
+        sim.outcome.dataset.fingerprint(),
+        fx.baseline_fingerprint,
+        "double issue must not double count"
+    );
+}
+
+#[test]
+fn coordinator_crash_between_lease_table_writes_recovers() {
+    let fx = fixture();
+    for prefix in ["coord:issue:", "coord:merge-absorb:", "coord:merge-commit:"] {
+        let k = fx
+            .trace
+            .iter()
+            .position(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("healthy trace has {prefix} steps")) as u64;
+        let plan = FabricFaultPlan {
+            kill_at: Some(k),
+            ..FabricFaultPlan::default()
+        };
+        let sim = sim_with(&fx.survey, &plan)
+            .unwrap_or_else(|e| panic!("coordinator kill at {prefix}: {e}"));
+        assert_eq!(sim.coordinator_crashes, 1, "{prefix} kills the coordinator");
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "coordinator crash at {prefix} diverged"
+        );
+    }
+}
+
+#[test]
+fn multi_worker_fabric_matches_single_process() {
+    // The real thing: four worker threads racing over one coordinator.
+    let survey = survey_for(12, SEED ^ 0x4D);
+    let baseline_fp = survey.run().fingerprint();
+    let fs = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+    let backend: Arc<dyn StorageBackend> = fs.clone();
+    let cfg = FabricConfig {
+        workers: 4,
+        sites_per_lease: 2,
+        shard_capacity: 2,
+        scrub_threads: 2,
+        ..FabricConfig::default()
+    };
+    let outcome = run_survey_fabric(&survey, backend, &cfg).expect("4-worker fabric");
+    assert_eq!(outcome.dataset.fingerprint(), baseline_fp);
+    let stats = outcome.stats;
+    assert!(stats.enabled);
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.leases_total, 6);
+    assert_eq!(stats.leases_completed, 6);
+    assert_eq!(stats.records_absorbed, 12);
+    // The provenance sidecar carries the fabric block.
+    let provenance = String::from_utf8(fs.get(PROVENANCE_NAME).expect("provenance written"))
+        .expect("provenance is UTF-8");
+    assert!(provenance.contains("\"fabric\""));
+    assert!(provenance.contains("\"workers\": 4"));
+    assert!(provenance.contains("\"publishes_fenced\": 0"));
+    // No staging debris survives the merge + finish sweep.
+    assert!(
+        fs.visible_names().iter().all(|n| !n.starts_with("stage-")),
+        "staging namespace must be empty after finish"
+    );
+}
+
+#[test]
+fn restarted_fabric_adopts_orphaned_leases() {
+    // A "crashed run": issue every lease durably, crawl nothing, drop the
+    // coordinator. A fresh fabric over the same backend must reclaim the
+    // orphans (fast-forwarding its clock past their deadlines) and finish.
+    let survey = survey_for(6, SEED ^ 0x2E);
+    let baseline_fp = survey.run().fingerprint();
+    let fs = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+    let backend: Arc<dyn StorageBackend> = fs.clone();
+    let cfg = FabricConfig {
+        workers: 2,
+        sites_per_lease: 2,
+        shard_capacity: 2,
+        scrub_threads: 2,
+        ..FabricConfig::default()
+    };
+    {
+        use bfu_fabric::{Coordinator, NoProbe};
+        use bfu_store::StoreMeta;
+        use bfu_util::Instant;
+        let mut meta = StoreMeta::for_survey(&survey);
+        meta.shard_capacity = cfg.shard_capacity;
+        let mut coord = Coordinator::open(
+            fs.clone() as Arc<dyn StorageBackend>,
+            &survey,
+            meta,
+            cfg.sites_per_lease,
+            cfg.lease_ms,
+        )
+        .expect("first fabric opens");
+        while coord
+            .claim(Instant::ZERO, &NoProbe)
+            .expect("claim")
+            .is_some()
+        {}
+        // Dropped here: every lease is Issued, none completed, no worker
+        // will ever publish.
+    }
+    let outcome = run_survey_fabric(&survey, backend, &cfg).expect("restarted fabric");
+    assert_eq!(outcome.dataset.fingerprint(), baseline_fp);
+    assert_eq!(outcome.stats.leases_reclaimed, 3, "all orphans reclaimed");
+    assert_eq!(outcome.stats.leases_completed, 3);
+}

@@ -392,3 +392,102 @@ proptest! {
         }
     }
 }
+
+// ---------- store scrub ----------
+
+/// Shared survey + dataset for the scrub invariance property: built once,
+/// re-persisted (cheap) per case — only the *damage* varies with the seed.
+fn scrub_fixture() -> &'static (bfu_crawler::Survey, bfu_crawler::Dataset) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(bfu_crawler::Survey, bfu_crawler::Dataset)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let web = bfu_webgen::SyntheticWeb::generate(bfu_webgen::WebConfig {
+            sites: 6,
+            seed: 0x5C,
+            script_weight: 0,
+        });
+        let mut config = bfu_crawler::CrawlConfig::quick(0x5C0B);
+        config.threads = 1;
+        config.rounds_per_profile = 1;
+        config.pages_per_site = 2;
+        config.page_budget_ms = 2_000;
+        let survey = bfu_crawler::Survey::new(web, config);
+        let dataset = survey.run();
+        (survey, dataset)
+    })
+}
+
+/// A freshly persisted store with seed-derived damage: fragmented writer
+/// sessions, one byte-flip somewhere in one shard (possibly its header),
+/// and — on odd seeds — an unsealed duplicate-append crash artifact.
+/// Same seed → byte-identical store.
+fn damaged_store(seed: u64) -> std::sync::Arc<bfu_store::FaultFs> {
+    use bfu_store::{DatasetStore, FaultFs, StorageBackend, StoreFaultPlan, StoreMeta};
+    use std::sync::Arc;
+    let (survey, dataset) = scrub_fixture();
+    let fs = Arc::new(FaultFs::new(StoreFaultPlan::none()));
+    let mut meta = StoreMeta::for_survey(survey);
+    meta.shard_capacity = 3;
+    let fragment = 1 + (seed % 3) as usize;
+    for chunk in dataset.sites.chunks(fragment) {
+        let store = DatasetStore::open_on(fs.clone() as Arc<dyn StorageBackend>, meta.clone())
+            .expect("open session");
+        for m in chunk {
+            store.append(m).expect("append");
+        }
+        store
+            .finish(&bfu_crawler::Provenance::of(survey, dataset))
+            .expect("finish session");
+    }
+    let shards: Vec<String> = fs
+        .visible_names()
+        .into_iter()
+        .filter(|n| n.starts_with("shard-") && n.ends_with(".bfu"))
+        .collect();
+    let victim = &shards[(seed / 3) as usize % shards.len()];
+    let mut bytes = fs.get(victim).expect("read victim shard");
+    let pos = (seed / 7) as usize % bytes.len();
+    bytes[pos] ^= 1 << (seed % 8).max(1);
+    fs.put(victim, &bytes).expect("write damage");
+    if seed % 2 == 1 {
+        let store =
+            DatasetStore::open_on(fs.clone() as Arc<dyn StorageBackend>, meta).expect("reopen");
+        store.append(&dataset.sites[0]).expect("duplicate append");
+        drop(store); // unsealed crash artifact
+    }
+    fs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn scrub_report_and_repair_are_thread_count_invariant(seed in any::<u64>()) {
+        use bfu_store::{DatasetStore, StorageBackend, StoreMeta};
+        use std::sync::Arc;
+        let (survey, _) = scrub_fixture();
+        let mut meta = StoreMeta::for_survey(survey);
+        meta.shard_capacity = 3;
+        let fs1 = damaged_store(seed);
+        let fs8 = damaged_store(seed);
+        prop_assert_eq!(fs1.visible_names(), fs8.visible_names(),
+            "identical seeds must build identical stores");
+        let open = |fs: &Arc<bfu_store::FaultFs>| {
+            DatasetStore::open_on(fs.clone() as Arc<dyn StorageBackend>, meta.clone())
+                .expect("open damaged store")
+        };
+        let r1 = open(&fs1).scrub_with_threads(1).expect("scrub with 1 thread");
+        let r8 = open(&fs8).scrub_with_threads(8).expect("scrub with 8 threads");
+        prop_assert_eq!(&r1, &r8, "scrub reports must not depend on thread count");
+        // Repair output — surviving objects, quarantine set, compaction —
+        // must be identical too, not just the report.
+        let mut names1 = fs1.visible_names();
+        let mut names8 = fs8.visible_names();
+        names1.sort();
+        names8.sort();
+        prop_assert_eq!(names1, names8);
+        let scan1 = open(&fs1).scan().expect("scan 1");
+        let scan8 = open(&fs8).scan().expect("scan 8");
+        prop_assert_eq!(scan1.recovered, scan8.recovered);
+        prop_assert_eq!(scan1.report, scan8.report);
+    }
+}
