@@ -221,6 +221,21 @@ pub fn provenance_json(p: &Provenance) -> String {
         "      \"records_absorbed\": {}",
         h.fabric.records_absorbed
     );
+    out.push_str("    },\n");
+    out.push_str("    \"backend\": {\n");
+    let _ = writeln!(out, "      \"enabled\": {},", h.backend.enabled);
+    let _ = writeln!(out, "      \"puts\": {},", h.backend.puts);
+    let _ = writeln!(out, "      \"gets\": {},", h.backend.gets);
+    let _ = writeln!(out, "      \"deletes\": {},", h.backend.deletes);
+    let _ = writeln!(out, "      \"lists\": {},", h.backend.lists);
+    let _ = writeln!(out, "      \"bytes_in\": {},", h.backend.bytes_in);
+    let _ = writeln!(out, "      \"bytes_out\": {},", h.backend.bytes_out);
+    let _ = writeln!(out, "      \"retries\": {},", h.backend.retries);
+    let _ = writeln!(
+        out,
+        "      \"visibility_failures\": {}",
+        h.backend.visibility_failures
+    );
     out.push_str("    }\n  }\n}\n");
     out
 }
@@ -347,6 +362,8 @@ mod tests {
         assert!(json.contains("\"hit_rate\""));
         assert!(json.contains("\"fabric\""));
         assert!(json.contains("\"publishes_fenced\""));
+        assert!(json.contains("\"backend\""));
+        assert!(json.contains("\"visibility_failures\""));
         // Balanced braces and brackets (cheap structural sanity check).
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());

@@ -1,10 +1,12 @@
-//! `fabric_bench` — survey throughput at 1/2/4 fabric workers.
+//! `fabric_bench` — survey throughput across workers × storage backends.
 //!
 //! Runs the same survey single-process (the baseline) and then through
-//! the lease fabric at each worker count, reporting sites/second and
-//! cross-checking that every configuration produces the identical dataset
-//! fingerprint — the fabric's correctness contract, measured alongside
-//! its scaling.
+//! the lease fabric at each worker count over each backend — the POSIX
+//! in-memory backend and the whole-object store (`bfu-objstore`'s adapter
+//! over the simulated object store, fault-free) — reporting sites/second
+//! and cross-checking that every cell of the grid produces the identical
+//! dataset fingerprint: the fabric's correctness contract, measured
+//! alongside its scaling and its storage-semantics portability.
 //!
 //! ```text
 //! cargo run -p bfu-bench --release --bin fabric_bench -- \
@@ -14,6 +16,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use bfu_core::fabric::{run_survey_fabric, FabricConfig};
+use bfu_core::objstore::{ObjFaultPlan, ObjectBackend, SimObjectStore};
 use bfu_core::store::{FaultFs, StorageBackend, StoreFaultPlan};
 use bfu_crawler::{CrawlConfig, Survey};
 use bfu_webgen::{SyntheticWeb, WebConfig};
@@ -110,21 +113,28 @@ fn run() -> Result<(), String> {
     let mut rows = Vec::new();
     let mut all_match = true;
     for workers in [1usize, 2, 4] {
-        eprintln!("# fabric: {workers} worker(s)…");
-        let backend: Arc<dyn StorageBackend> = Arc::new(FaultFs::new(StoreFaultPlan::none()));
-        let cfg = FabricConfig {
-            workers,
-            sites_per_lease: args.per_lease,
-            ..FabricConfig::default()
-        };
-        let t0 = Instant::now();
-        let outcome = run_survey_fabric(&survey, backend, &cfg)
-            .map_err(|e| format!("{workers}-worker fabric: {e}"))?;
-        let elapsed = t0.elapsed().as_secs_f64();
-        let fp = outcome.dataset.fingerprint();
-        let matches = fp == baseline_fp;
-        all_match &= matches;
-        rows.push((workers, elapsed, fp, matches, outcome.stats));
+        for backend_kind in ["posix", "objstore"] {
+            eprintln!("# fabric: {workers} worker(s) × {backend_kind}…");
+            let backend: Arc<dyn StorageBackend> = match backend_kind {
+                "posix" => Arc::new(FaultFs::new(StoreFaultPlan::none())),
+                _ => Arc::new(ObjectBackend::new(Arc::new(SimObjectStore::new(
+                    ObjFaultPlan::none(),
+                )))),
+            };
+            let cfg = FabricConfig {
+                workers,
+                sites_per_lease: args.per_lease,
+                ..FabricConfig::default()
+            };
+            let t0 = Instant::now();
+            let outcome = run_survey_fabric(&survey, backend, &cfg)
+                .map_err(|e| format!("{workers}-worker {backend_kind} fabric: {e}"))?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            let fp = outcome.dataset.fingerprint();
+            let matches = fp == baseline_fp;
+            all_match &= matches;
+            rows.push((workers, backend_kind, elapsed, fp, matches, outcome.stats));
+        }
     }
 
     let mut json = String::from("{\n");
@@ -137,10 +147,11 @@ fn run() -> Result<(), String> {
     let _ = writeln!(json, "  \"fingerprints_match\": {all_match},");
     json.push_str("  \"workers\": [\n");
     let n = rows.len();
-    for (i, (workers, elapsed, fp, matches, stats)) in rows.into_iter().enumerate() {
+    for (i, (workers, backend_kind, elapsed, fp, matches, stats)) in rows.into_iter().enumerate() {
         let rate = args.sites as f64 / elapsed.max(1e-9);
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"workers\": {workers},");
+        let _ = writeln!(json, "      \"backend\": \"{backend_kind}\",");
         let _ = writeln!(json, "      \"elapsed_s\": {elapsed:.3},");
         let _ = writeln!(json, "      \"sites_per_s\": {rate:.1},");
         let _ = writeln!(

@@ -8,6 +8,12 @@
 //! lease handed to two workers; the loser must fence) and the zombie
 //! publish replay baked into every kill at a publish step.
 //!
+//! The second half runs the same fabric over the whole-object backend
+//! (`bfu-objstore`): every backend op partitioned (delayed visibility,
+//! stale reads/listings), the kill × partition diagonal, and seeded chaos
+//! schedules (lost-then-replayed puts included) — all required to recover
+//! the identical fingerprint.
+//!
 //! ```text
 //! cargo run -p bfu-bench --release --bin fabric_torture -- \
 //!     [--sites N] [--seed N] [--stride N] [--out PATH]
@@ -20,6 +26,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use bfu_core::fabric::{run_sim, FabricConfig, FabricFaultPlan, SimOutcome};
+use bfu_core::objstore::{ObjFaultPlan, ObjectBackend, SimObjectStore};
 use bfu_core::store::{FaultFs, StorageBackend, StoreFaultPlan};
 use bfu_crawler::{CrawlConfig, Survey};
 use bfu_webgen::{SyntheticWeb, WebConfig};
@@ -116,6 +123,19 @@ fn sim_with(survey: &Survey, plan: &FabricFaultPlan) -> Result<SimOutcome, Strin
     run_sim(survey, backend, &torture_config(), plan).map_err(|e| e.to_string())
 }
 
+fn obj_sim_with(
+    survey: &Survey,
+    plan: &FabricFaultPlan,
+    obj_plan: ObjFaultPlan,
+) -> (Result<SimOutcome, String>, Arc<SimObjectStore>) {
+    let store = Arc::new(SimObjectStore::new(obj_plan));
+    let backend: Arc<dyn StorageBackend> = Arc::new(ObjectBackend::new(store.clone()));
+    (
+        run_sim(survey, backend, &torture_config(), plan).map_err(|e| e.to_string()),
+        store,
+    )
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
     let survey = survey_for(args.sites, args.seed);
@@ -189,6 +209,72 @@ fn run() -> Result<(), String> {
         ));
     }
 
+    eprintln!("# object-store: healthy fabric run over the whole-object backend…");
+    let (obj_healthy, obj_store) =
+        obj_sim_with(&survey, &FabricFaultPlan::default(), ObjFaultPlan::none());
+    let obj_healthy = obj_healthy?;
+    if obj_healthy.outcome.dataset.fingerprint() != baseline_fp {
+        return Err("healthy object-store fabric run diverged".into());
+    }
+    let total_ops = obj_store.ops().max(1);
+    eprintln!(
+        "# object-store schedule: {total_ops} backend ops; partitioning every {} …",
+        args.stride
+    );
+    let mut partitions_swept = 0usize;
+    let op_points: Vec<u64> = (0..total_ops).step_by(args.stride).collect();
+    let m = op_points.len();
+    for (i, p) in op_points.into_iter().enumerate() {
+        let (sim, store) = obj_sim_with(
+            &survey,
+            &FabricFaultPlan::default(),
+            ObjFaultPlan::none().with_partition_at(p),
+        );
+        let sim = sim.map_err(|e| format!("partition at op {p}: {e}"))?;
+        if sim.outcome.dataset.fingerprint() != baseline_fp {
+            return Err(format!(
+                "partition at op {p} ({:?}): recovered dataset diverged",
+                store.op_trace().get(p as usize)
+            ));
+        }
+        partitions_swept += 1;
+        if (i + 1) % 25 == 0 || i + 1 == m {
+            eprintln!("#   partition sweep: {}/{m} schedules recovered", i + 1);
+        }
+    }
+
+    eprintln!("# kill × partition diagonal…");
+    let mut diagonal_swept = 0usize;
+    for k in (0..total).step_by(args.stride) {
+        let p = (k.wrapping_mul(7) + 3) % total_ops;
+        let plan = FabricFaultPlan {
+            kill_at: Some(k),
+            ..FabricFaultPlan::default()
+        };
+        let (sim, _) = obj_sim_with(&survey, &plan, ObjFaultPlan::none().with_partition_at(p));
+        let sim = sim.map_err(|e| format!("kill {k} + partition {p}: {e}"))?;
+        if sim.outcome.dataset.fingerprint() != baseline_fp {
+            return Err(format!(
+                "kill {k} + partition {p}: recovered dataset diverged"
+            ));
+        }
+        diagonal_swept += 1;
+    }
+
+    eprintln!("# seeded chaos schedules (lost replays, stale reads, shuffled lists)…");
+    let chaos_seeds: [u64; 3] = [1, 0xC4A05, 0xDEAD_BEEF];
+    for seed in chaos_seeds {
+        let (sim, _) = obj_sim_with(
+            &survey,
+            &FabricFaultPlan::default(),
+            ObjFaultPlan::chaos(seed),
+        );
+        let sim = sim.map_err(|e| format!("chaos seed {seed:#x}: {e}"))?;
+        if sim.outcome.dataset.fingerprint() != baseline_fp {
+            return Err(format!("chaos seed {seed:#x}: recovered dataset diverged"));
+        }
+    }
+
     let elapsed = t0.elapsed().as_secs_f64();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"sites\": {},", args.sites);
@@ -205,11 +291,21 @@ fn run() -> Result<(), String> {
         "  \"double_issue_fenced\": {},",
         doubled.outcome.stats.publishes_fenced
     );
+    let _ = writeln!(json, "  \"backend_ops\": {total_ops},");
+    let _ = writeln!(
+        json,
+        "  \"partition_points_recovered\": {partitions_swept},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"kill_partition_pairs_recovered\": {diagonal_swept},"
+    );
+    let _ = writeln!(json, "  \"chaos_seeds_recovered\": {},", chaos_seeds.len());
     let _ = writeln!(json, "  \"elapsed_s\": {elapsed:.3}");
     json.push_str("}\n");
     std::fs::write(&args.out, &json).map_err(|e| e.to_string())?;
     eprintln!(
-        "# all {swept} kill points + double-issue recovered identically in {elapsed:.1}s → {}",
+        "# all {swept} kill points, {partitions_swept} partitions, {diagonal_swept} kill×partition pairs + double-issue and chaos recovered identically in {elapsed:.1}s → {}",
         args.out.display()
     );
     Ok(())

@@ -24,6 +24,7 @@ pub use bfu_dom as dom;
 pub use bfu_fabric as fabric;
 pub use bfu_monkey as monkey;
 pub use bfu_net as net;
+pub use bfu_objstore as objstore;
 pub use bfu_script as script;
 pub use bfu_store as store;
 pub use bfu_util as util;

@@ -410,6 +410,36 @@ pub struct FabricTotals {
     pub records_absorbed: u64,
 }
 
+/// Storage-backend op accounting for the run that assembled a dataset.
+/// Zeroed (with `enabled: false`) for backends that don't count — LocalFs
+/// and FaultFs report nothing; the object-store adapter fills every field.
+/// Like [`FabricTotals`] these are effort counters describing *how* the
+/// bytes moved, so they live in [`CrawlHealth`] and the provenance sidecar
+/// but are excluded from [`Dataset::fingerprint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendTotals {
+    /// Whether the backend reported op counters at all.
+    pub enabled: bool,
+    /// Whole-object puts acknowledged (every durable publish is one put).
+    pub puts: u64,
+    /// Whole-object gets served, counting visibility-retry re-reads.
+    pub gets: u64,
+    /// Object deletes issued.
+    pub deletes: u64,
+    /// Listings taken.
+    pub lists: u64,
+    /// Bytes written into the backend across all puts.
+    pub bytes_in: u64,
+    /// Bytes read out of the backend across all gets.
+    pub bytes_out: u64,
+    /// Extra attempts spent waiting out delayed visibility — a get/list
+    /// that contradicted our own acknowledged writes and was re-issued.
+    pub retries: u64,
+    /// Read-after-write visibility checks that exhausted their retry
+    /// budget without the backend converging.
+    pub visibility_failures: u64,
+}
+
 /// Aggregate crawl-supervision statistics over a [`Dataset`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CrawlHealth {
@@ -443,6 +473,9 @@ pub struct CrawlHealth {
     /// [`Dataset::health`] cannot know them — the coordinator that drove
     /// the fabric fills them in before writing provenance.
     pub fabric: FabricTotals,
+    /// Storage-backend op totals (zeroed for backends that don't count).
+    /// Filled in by whoever holds the backend before writing provenance.
+    pub backend: BackendTotals,
 }
 
 impl CrawlHealth {

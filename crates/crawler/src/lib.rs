@@ -40,7 +40,8 @@ pub use bfu_browser::BrowserConfig;
 pub use breaker::{Admission, BreakerPolicy, BreakerState, HostBreaker};
 pub use config::{BrowserProfile, CrawlConfig};
 pub use dataset::{
-    CacheTotals, CrawlHealth, Dataset, FabricTotals, RoundMeasurement, SiteMeasurement, SiteOutcome,
+    BackendTotals, CacheTotals, CrawlHealth, Dataset, FabricTotals, RoundMeasurement,
+    SiteMeasurement, SiteOutcome,
 };
 pub use error::CrawlError;
 pub use provenance::Provenance;

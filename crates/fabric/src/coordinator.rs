@@ -233,6 +233,18 @@ impl Coordinator {
         now: Instant,
         probe: &dyn Probe,
     ) -> Result<Option<LeaseGrant>, FabricError> {
+        self.claim_for(now, 0, probe)
+    }
+
+    /// [`Coordinator::claim`], routing the lease to worker `owner` (the
+    /// process-mode scheduler's primitive; `0` = any worker). The owner is
+    /// advisory routing state — the epoch stays the only fence.
+    pub fn claim_for(
+        &mut self,
+        now: Instant,
+        owner: u32,
+        probe: &dyn Probe,
+    ) -> Result<Option<LeaseGrant>, FabricError> {
         let Some(pos) = self
             .table
             .leases
@@ -251,6 +263,7 @@ impl Coordinator {
             let l = &mut self.table.leases[pos];
             l.state = LeaseState::Issued;
             l.deadline = deadline;
+            l.owner = owner;
             LeaseGrant {
                 lease: l.id,
                 start: l.start,
@@ -260,6 +273,42 @@ impl Coordinator {
         };
         self.table.write_atomic(self.backend.as_ref())?;
         Ok(Some(grant))
+    }
+
+    /// Force-expire every issued lease owned by `owner` — the process-mode
+    /// response to a worker known dead (its process exited). The epoch
+    /// bump in the same durable write fences anything it left behind, so
+    /// this is reclaim without waiting out the deadline. Returns how many
+    /// leases were reclaimed.
+    pub fn reclaim_owner(&mut self, owner: u32, probe: &dyn Probe) -> Result<usize, FabricError> {
+        let held: Vec<u32> = self
+            .table
+            .leases
+            .iter()
+            .filter(|l| l.state == LeaseState::Issued && l.owner == owner)
+            .map(|l| l.id)
+            .collect();
+        if held.is_empty() {
+            return Ok(0);
+        }
+        let label = format!(
+            "coord:reclaim-owner:w{owner}:{}",
+            held.iter()
+                .map(|id| format!("l{id}"))
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        coord_step(probe, &label)?;
+        for id in &held {
+            if let Some(l) = self.table.lease_mut(*id) {
+                l.state = LeaseState::Pending;
+                l.epoch += 1;
+                l.deadline = Instant::ZERO;
+                l.owner = 0;
+            }
+        }
+        self.table.write_atomic(self.backend.as_ref())?;
+        Ok(held.len())
     }
 
     /// The merge point: absorb a worker's publish into the canonical
@@ -350,13 +399,17 @@ impl Coordinator {
         scrub_threads: usize,
     ) -> Result<FabricOutcome, FabricError> {
         // Sweep every staging object, including debris from dead workers
-        // whose publish never arrived.
-        let mut swept = false;
-        for name in retry_interrupted(|| self.backend.list())? {
-            if name.starts_with("stage-") {
-                let _ = retry_interrupted(|| self.backend.remove(&name));
-                swept = true;
-            }
+        // whose publish never arrived. Listings come back in unspecified
+        // (possibly backend-shuffled) order — sort before folding so the
+        // sweep's op sequence is identical whatever the backend served.
+        let mut staged: Vec<String> = retry_interrupted(|| self.backend.list())?
+            .into_iter()
+            .filter(|name| name.starts_with("stage-"))
+            .collect();
+        staged.sort_unstable();
+        let swept = !staged.is_empty();
+        for name in &staged {
+            let _ = retry_interrupted(|| self.backend.remove(name));
         }
         if swept {
             retry_interrupted(|| self.backend.sync_dir())?;
@@ -389,6 +442,7 @@ impl Coordinator {
         };
         let mut provenance = Provenance::of(survey, &dataset);
         provenance.health.fabric = stats;
+        provenance.health.backend = self.backend.op_totals().unwrap_or_default();
         self.store.finish_with_scrub(&provenance, Some(&scrub))?;
         Ok(FabricOutcome {
             dataset,

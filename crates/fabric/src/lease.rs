@@ -82,6 +82,10 @@ pub struct Lease {
     pub state: LeaseState,
     /// Expiry instant on the virtual clock; meaningful only while issued.
     pub deadline: Instant,
+    /// Worker the lease is assigned to (process-mode routing; `0` means
+    /// unassigned / any worker). Purely advisory: the fence is the epoch,
+    /// never the owner.
+    pub owner: u32,
 }
 
 impl Lease {
@@ -128,6 +132,7 @@ impl LeaseTable {
                 epoch: 0,
                 state: LeaseState::Pending,
                 deadline: Instant::ZERO,
+                owner: 0,
             });
             start = end;
         }
@@ -172,13 +177,14 @@ impl LeaseTable {
         for l in &self.leases {
             let _ = writeln!(
                 out,
-                "lease={} start={} end={} epoch={} state={} deadline={}",
+                "lease={} start={} end={} epoch={} state={} deadline={} owner={}",
                 l.id,
                 l.start,
                 l.end,
                 l.epoch,
                 l.state.tag(),
-                l.deadline.0
+                l.deadline.0,
+                l.owner
             );
         }
         out
@@ -212,9 +218,12 @@ impl LeaseTable {
                 }
                 "lease" => {
                     let rejoined = format!("lease={value}");
-                    let mut fields = [None::<u64>; 6];
-                    const NAMES: [&str; 6] =
-                        ["lease", "start", "end", "epoch", "state", "deadline"];
+                    // `owner` is optional (older tables lack it) and
+                    // defaults to 0 — unassigned.
+                    let mut fields = [None::<u64>; 7];
+                    const NAMES: [&str; 7] = [
+                        "lease", "start", "end", "epoch", "state", "deadline", "owner",
+                    ];
                     for field in rejoined.split_whitespace() {
                         let Some((k, v)) = field.split_once('=') else {
                             continue;
@@ -223,7 +232,8 @@ impl LeaseTable {
                             fields[slot] = Some(parse_int(v, k)?);
                         }
                     }
-                    let [Some(id), Some(start), Some(end), Some(epoch), Some(state), Some(deadline)] =
+                    let owner = fields[6].unwrap_or(0);
+                    let [Some(id), Some(start), Some(end), Some(epoch), Some(state), Some(deadline), _] =
                         fields
                     else {
                         return Err(StoreError::BadManifest(format!(
@@ -240,6 +250,7 @@ impl LeaseTable {
                         epoch: epoch as u32,
                         state,
                         deadline: Instant(deadline),
+                        owner: owner as u32,
                     });
                 }
                 _ => {}
@@ -355,6 +366,23 @@ mod tests {
     fn missing_header_or_fingerprint_rejected() {
         assert!(LeaseTable::parse("fingerprint=00").is_err());
         assert!(LeaseTable::parse("bfu-lease-table v1\nsites=3\n").is_err());
+    }
+
+    #[test]
+    fn ownerless_lease_lines_parse_as_unassigned() {
+        // Tables written before process-mode routing carry no owner key.
+        let text = "bfu-lease-table v1\nfingerprint=00ab\nsites=4\n\
+                    lease=0 start=0 end=4 epoch=2 state=1 deadline=77\n";
+        let t = LeaseTable::parse(text).expect("parse");
+        assert_eq!(t.leases[0].owner, 0);
+        assert_eq!(t.leases[0].epoch, 2);
+    }
+
+    #[test]
+    fn owner_roundtrips() {
+        let mut t = sample();
+        t.leases[1].owner = 3;
+        assert_eq!(LeaseTable::parse(&t.render()).expect("parse"), t);
     }
 
     #[test]

@@ -38,12 +38,17 @@
 
 pub mod coordinator;
 pub mod lease;
+pub mod proc;
 pub mod run;
 pub mod sim;
 pub mod worker;
 
 pub use coordinator::{Coordinator, FabricError, FabricOutcome, MergeOutcome};
 pub use lease::{Lease, LeaseState, LeaseTable, LEASES_NAME};
+pub use proc::{
+    publish_name, run_fabric_coordinator, run_fabric_worker, run_survey_fabric_processes,
+    ProcConfig, WorkerExit, DONE_NAME, PUBLISH_PREFIX,
+};
 pub use run::{run_survey_fabric, FabricConfig};
 pub use sim::{run_sim, FabricFaultPlan, SimOutcome, StepProbe};
 pub use worker::WorkerPublish;

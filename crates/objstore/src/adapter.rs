@@ -1,0 +1,502 @@
+//! [`ObjectBackend`]: the [`bfu_store::StorageBackend`] adapter over any
+//! [`ObjectStore`].
+//!
+//! The impedance mismatches, and how each is absorbed:
+//!
+//! - **No append, no partial files.** `create` hands out a buffering
+//!   [`StorageFile`]; `write` accumulates in memory, `flush` is a no-op,
+//!   and `sync_all` performs one whole-object put. Until that put, nothing
+//!   exists remotely — exactly the store's durability contract ("unsynced
+//!   bytes may vanish"), just with a coarser grain.
+//! - **No rename.** `rename` is copy+delete: a visibility-checked get of
+//!   `from`, a put of `to`, a delete of `from`. A crash between copy and
+//!   delete leaves *both* names, which the store layer already tolerates
+//!   (scrub re-quarantines, sweeps re-sweep). For the manifest-publish
+//!   path the adapter overrides [`StorageBackend::replace`] with a single
+//!   versioned put, so old-or-new-never-torn holds without any rename.
+//! - **No directory sync.** `sync_dir` is a no-op *plus a read-after-write
+//!   visibility check*: every name this adapter has put since the last
+//!   check is re-read until the store serves the acknowledged content.
+//! - **Eventual visibility.** The adapter remembers the checksum of every
+//!   object it wrote that has not yet been observed, and re-issues gets and
+//!   lists that contradict those expectations (bounded retries). A backend
+//!   whose partition outlasts the retry budget is recorded in
+//!   `visibility_failures` and the last observation is served — layers
+//!   above see a slow backend, never a lying one.
+//!
+//! Every op lands in atomic counters surfaced as
+//! [`bfu_crawler::BackendTotals`] via [`StorageBackend::op_totals`], which
+//! the fabric coordinator folds into the provenance sidecar's `"backend"`
+//! block.
+
+use crate::object::ObjectStore;
+use bfu_crawler::BackendTotals;
+use bfu_store::{StorageBackend, StorageFile};
+use bfu_util::fnv64;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Re-reads allowed for a get/list that contradicts our own acknowledged
+/// writes. Each retry is itself a backend op, so this must comfortably
+/// exceed the simulator's worst-case visibility lag (2 × partition window).
+const VIS_RETRY_CAP: u32 = 32;
+
+#[derive(Debug, Default)]
+struct OpCounters {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    deletes: AtomicU64,
+    lists: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    retries: AtomicU64,
+    visibility_failures: AtomicU64,
+}
+
+struct Inner {
+    store: Arc<dyn ObjectStore>,
+    counters: OpCounters,
+    /// Read-your-write expectations: object name → FNV-64 of the content
+    /// this adapter last put, *until a read confirms the store serves it*.
+    /// `sync_dir` drains this set — it is the "what have I published but
+    /// never seen back" work list.
+    expected: Mutex<BTreeMap<String, u64>>,
+    /// Long-lived record of the last content this adapter wrote per name,
+    /// cleared when the adapter itself removes or renames the name away
+    /// (or gives up after a visibility-retry exhaustion). This is what
+    /// keeps *later* reads honest: a confirmed object that a partition
+    /// subsequently hides (stale get, lost-then-replayed overwrite) is
+    /// still detected and retried, long after the `expected` entry drained.
+    written: Mutex<BTreeMap<String, u64>>,
+}
+
+impl fmt::Debug for Inner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectBackend")
+            .field("store", &self.store.describe())
+            .finish()
+    }
+}
+
+impl Inner {
+    fn expectation(&self, name: &str) -> Option<u64> {
+        self.expected
+            .lock()
+            .ok()
+            .and_then(|e| e.get(name).copied())
+            .or_else(|| self.written.lock().ok().and_then(|w| w.get(name).copied()))
+    }
+
+    /// Drop the pending-visibility entry; the long-lived `written` record
+    /// survives (a confirmed object must *stay* readable).
+    fn clear_expectation(&self, name: &str) {
+        if let Ok(mut e) = self.expected.lock() {
+            e.remove(name);
+        }
+    }
+
+    /// Forget everything about `name` — it left our custody (removed or
+    /// renamed away) or the backend won out (retry exhaustion).
+    fn forget(&self, name: &str) {
+        if let Ok(mut e) = self.expected.lock() {
+            e.remove(name);
+        }
+        if let Ok(mut w) = self.written.lock() {
+            w.remove(name);
+        }
+    }
+
+    fn put_object(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.store.put(name, bytes)?;
+        self.counters.puts.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_in
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let sum = fnv64(bytes);
+        if let Ok(mut e) = self.expected.lock() {
+            e.insert(name.to_owned(), sum);
+        }
+        if let Ok(mut w) = self.written.lock() {
+            w.insert(name.to_owned(), sum);
+        }
+        Ok(())
+    }
+
+    /// Get with read-your-write enforcement: while an expectation for
+    /// `name` is outstanding, a missing or checksum-mismatched read is
+    /// retried (each retry is a backend op, which is what lets a bounded
+    /// partition heal *during* the retries). Convergence clears the
+    /// expectation; exhaustion counts a visibility failure, clears it, and
+    /// serves the last observation.
+    fn get_checked(&self, name: &str) -> io::Result<Vec<u8>> {
+        let expect = self.expectation(name);
+        let mut last: Option<io::Result<Vec<u8>>> = None;
+        for attempt in 0..=VIS_RETRY_CAP {
+            let res = self.store.get(name);
+            self.counters.gets.fetch_add(1, Ordering::Relaxed);
+            let converged = match (&res, expect) {
+                (Ok(bytes), Some(want)) => fnv64(bytes) == want,
+                (Ok(_), None) => true,
+                (Err(e), _) if e.kind() != io::ErrorKind::NotFound => true,
+                (Err(_), None) => true,
+                (Err(_), Some(_)) => false,
+            };
+            if converged {
+                if expect.is_some() {
+                    self.clear_expectation(name);
+                }
+                if let Ok(bytes) = &res {
+                    self.counters
+                        .bytes_out
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                }
+                return res;
+            }
+            last = Some(res);
+            if attempt < VIS_RETRY_CAP {
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters
+            .visibility_failures
+            .fetch_add(1, Ordering::Relaxed);
+        self.forget(name);
+        let res = last.unwrap_or_else(|| {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} never became visible"),
+            ))
+        });
+        if let Ok(bytes) = &res {
+            self.counters
+                .bytes_out
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        }
+        res
+    }
+}
+
+/// Adapts whole-object semantics to the store's backend contract.
+#[derive(Debug, Clone)]
+pub struct ObjectBackend {
+    inner: Arc<Inner>,
+}
+
+impl ObjectBackend {
+    /// Wrap `store` as a [`StorageBackend`].
+    pub fn new(store: Arc<dyn ObjectStore>) -> ObjectBackend {
+        ObjectBackend {
+            inner: Arc::new(Inner {
+                store,
+                counters: OpCounters::default(),
+                expected: Mutex::new(BTreeMap::new()),
+                written: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The wrapped object store.
+    pub fn object_store(&self) -> &Arc<dyn ObjectStore> {
+        &self.inner.store
+    }
+}
+
+/// A buffering [`StorageFile`]: bytes accumulate locally and become one
+/// whole-object put at `sync_all`.
+struct ObjectWriter {
+    inner: Arc<Inner>,
+    name: String,
+    buf: Vec<u8>,
+}
+
+impl fmt::Debug for ObjectWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectWriter")
+            .field("name", &self.name)
+            .field("buffered", &self.buf.len())
+            .finish()
+    }
+}
+
+impl StorageFile for ObjectWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.inner.put_object(&self.name, &self.buf)
+    }
+}
+
+impl StorageBackend for ObjectBackend {
+    fn create(&self, name: &str) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(ObjectWriter {
+            inner: Arc::clone(&self.inner),
+            name: name.to_owned(),
+            buf: Vec::new(),
+        }))
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner.get_checked(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        // Copy + delete. The copy reads through the visibility check, so a
+        // rename right after a put (the tmp-file publish idiom) cannot copy
+        // a stale version.
+        let bytes = self.inner.get_checked(from)?;
+        self.inner.put_object(to, &bytes)?;
+        match self.inner.store.delete(from) {
+            Ok(()) => {
+                self.inner.counters.deletes.fetch_add(1, Ordering::Relaxed);
+            }
+            // A replayed delete or a concurrent sweep got there first; the
+            // rename's postcondition (`to` has the bytes) already holds.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.inner.forget(from);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let res = self.inner.store.delete(name);
+        if res.is_ok() {
+            self.inner.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.forget(name);
+        res
+    }
+
+    fn exists(&self, name: &str) -> io::Result<bool> {
+        match self.inner.get_checked(name) {
+            Ok(_) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        // Listings pass through in the store's (unspecified, possibly
+        // shuffled) order — consumers sort. A listing that omits a name we
+        // wrote and never deleted is stale and re-taken — whether the name
+        // is freshly put or long since confirmed.
+        let expected: Vec<String> = self
+            .inner
+            .written
+            .lock()
+            .map(|w| w.keys().cloned().collect())
+            .unwrap_or_default();
+        let mut last: Vec<String> = Vec::new();
+        for attempt in 0..=VIS_RETRY_CAP {
+            let names = self.inner.store.list()?;
+            self.inner.counters.lists.fetch_add(1, Ordering::Relaxed);
+            if expected.iter().all(|e| names.contains(e)) {
+                return Ok(names);
+            }
+            last = names;
+            if attempt < VIS_RETRY_CAP {
+                self.inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inner
+            .counters
+            .visibility_failures
+            .fetch_add(1, Ordering::Relaxed);
+        // Force convergence: we hold acknowledgements for these names.
+        for e in expected {
+            if !last.contains(&e) {
+                last.push(e);
+            }
+        }
+        Ok(last)
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        // No namespace to sync — acknowledged puts are already durable.
+        // Instead: read-after-write visibility check over every name put
+        // since the last check, so the "names are published" postcondition
+        // callers rely on holds before we return.
+        let pending: Vec<String> = self
+            .inner
+            .expected
+            .lock()
+            .map(|e| e.keys().cloned().collect())
+            .unwrap_or_default();
+        for name in pending {
+            // NotFound after retries is counted by get_checked; the name's
+            // put was acknowledged, so the store will serve it eventually —
+            // later reads retry again. Anything else is a real error.
+            match self.inner.get_checked(&name) {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("objstore:{}", self.inner.store.describe())
+    }
+
+    fn put(&self, name: &str, contents: &[u8]) -> io::Result<()> {
+        self.inner.put_object(name, contents)
+    }
+
+    /// Atomic replace is native here: one versioned put, no tmp, no rename.
+    /// The follow-up read is the publish's read-after-write check.
+    fn replace(&self, name: &str, contents: &[u8]) -> io::Result<()> {
+        self.inner.put_object(name, contents)?;
+        match self.inner.get_checked(name) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn op_totals(&self) -> Option<BackendTotals> {
+        let c = &self.inner.counters;
+        Some(BackendTotals {
+            enabled: true,
+            puts: c.puts.load(Ordering::Relaxed),
+            gets: c.gets.load(Ordering::Relaxed),
+            deletes: c.deletes.load(Ordering::Relaxed),
+            lists: c.lists.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            visibility_failures: c.visibility_failures.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ObjFaultPlan, SimObjectStore};
+
+    fn sim_backend(plan: ObjFaultPlan) -> ObjectBackend {
+        ObjectBackend::new(Arc::new(SimObjectStore::new(plan)))
+    }
+
+    #[test]
+    fn buffered_file_becomes_one_put() {
+        let b = sim_backend(ObjFaultPlan::none());
+        let mut f = b.create("obj").unwrap();
+        f.write(b"hello ").unwrap();
+        f.write(b"world").unwrap();
+        f.flush().unwrap();
+        assert!(
+            b.get("obj").is_err(),
+            "nothing exists before sync_all publishes the buffer"
+        );
+        f.sync_all().unwrap();
+        assert_eq!(b.get("obj").unwrap(), b"hello world");
+        let t = b.op_totals().unwrap();
+        assert_eq!(t.puts, 1);
+        assert_eq!(t.bytes_in, 11);
+    }
+
+    #[test]
+    fn rename_is_copy_plus_delete() {
+        let b = sim_backend(ObjFaultPlan::none());
+        b.put("a.tmp", b"payload").unwrap();
+        b.rename("a.tmp", "a").unwrap();
+        assert_eq!(b.get("a").unwrap(), b"payload");
+        assert!(!b.exists("a.tmp").unwrap());
+        assert_eq!(b.op_totals().unwrap().deletes, 1);
+    }
+
+    #[test]
+    fn get_heals_delayed_visibility() {
+        // Partition the put itself: its effect is delayed a full window.
+        // The adapter's read retries until the store converges.
+        let b = sim_backend(ObjFaultPlan::none().with_partition_at(0));
+        b.put("m", b"v1").unwrap();
+        assert_eq!(b.get("m").unwrap(), b"v1", "read-your-write healed");
+        let t = b.op_totals().unwrap();
+        assert!(t.retries > 0, "healing took retries: {t:?}");
+        assert_eq!(t.visibility_failures, 0);
+    }
+
+    #[test]
+    fn get_heals_stale_read_your_writes() {
+        let b = sim_backend(ObjFaultPlan::none().with_partition_at(2));
+        b.put("m", b"v1").unwrap();
+        b.put("m", b"v2").unwrap();
+        // Op 2 is the get: the store serves v1, the adapter rejects it
+        // against its own acknowledged v2 and retries.
+        assert_eq!(b.get("m").unwrap(), b"v2");
+        assert!(b.op_totals().unwrap().retries > 0);
+    }
+
+    #[test]
+    fn list_heals_stale_listings_and_stays_unsorted() {
+        let b = sim_backend(
+            ObjFaultPlan::none()
+                .with_shuffled_lists()
+                .with_partition_at(2),
+        );
+        b.put("b", b"2").unwrap();
+        b.put("a", b"1").unwrap();
+        // Op 2 is the list: stale (misses a recent name) → retried.
+        let names = b.list().unwrap();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["a".to_owned(), "b".to_owned()]);
+        assert!(b.op_totals().unwrap().retries > 0);
+    }
+
+    #[test]
+    fn replace_is_old_or_new_under_chaos() {
+        let b = sim_backend(ObjFaultPlan::chaos(41));
+        b.replace("MANIFEST", b"old").unwrap();
+        b.replace("MANIFEST", b"new").unwrap();
+        for _ in 0..32 {
+            let bytes = b.get("MANIFEST").unwrap();
+            assert!(
+                bytes == b"old" || bytes == b"new",
+                "torn manifest: {bytes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removed_names_never_cause_retry_storms() {
+        // Once the adapter itself removes a name, all expectations about
+        // it are forgotten — later probes see plain store behavior.
+        let b = sim_backend(ObjFaultPlan::none());
+        b.put("x", b"1").unwrap();
+        assert_eq!(b.get("x").unwrap(), b"1");
+        b.remove("x").unwrap();
+        assert!(!b.exists("x").unwrap(), "no expectation, no retries");
+        assert_eq!(b.op_totals().unwrap().retries, 0);
+    }
+
+    #[test]
+    fn confirmed_objects_stay_protected_from_later_partitions() {
+        // The long-lived written record: confirm a write, then hit a later
+        // get with a partition — the stale/missing read must still be
+        // retried to the acknowledged content, not served as truth.
+        let b = sim_backend(ObjFaultPlan::none().with_partition_at(2));
+        b.put("shard", b"records").unwrap();
+        assert_eq!(b.get("shard").unwrap(), b"records", "confirmed");
+        // Op 2 is this get: partitioned. With only one version in history
+        // the stale read serves nothing — indistinguishable from a lost
+        // object — and must heal against the written record.
+        assert_eq!(b.get("shard").unwrap(), b"records");
+        let t = b.op_totals().unwrap();
+        assert!(t.retries > 0, "healing took retries: {t:?}");
+        assert_eq!(t.visibility_failures, 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! The production-shaped object store: immutable generation blobs over a
+//! local directory.
+//!
+//! Every `put` writes a *new file* — `name#g<counter>` — framed with a
+//! magic, a length, and an FNV-64 checksum, then fsyncs the file and the
+//! directory. Nothing is ever renamed and no file is ever appended to after
+//! creation: a crash mid-put leaves at worst a torn generation that fails
+//! frame validation and is invisible to readers, while every previously
+//! acknowledged generation is untouched. `get` serves the newest *valid*
+//! generation, which is exactly the "versioned put" publish the manifest
+//! and lease table need: old-or-new, never torn, with no rename.
+//!
+//! The generation counter is process-local (seeded from the directory's
+//! current maximum at open, and bumped past any on-disk generation at each
+//! put). Two processes concurrently putting the *same* name could race a
+//! generation number, which is why mutable names are single-writer by
+//! fabric discipline — the coordinator owns the manifest and lease table;
+//! workers only put fresh lease-and-epoch-scoped names.
+
+use crate::object::ObjectStore;
+use bfu_crawler::retry_interrupted;
+use bfu_util::fnv64;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Frame magic: torn or foreign files can never validate.
+const FRAME_MAGIC: &[u8; 8] = b"BFUOBJ1\n";
+/// Separator between the object name and its generation suffix. Never
+/// appears in object names (the store layer's names are `[A-Za-z0-9._-]`).
+const GEN_SEP: char = '#';
+
+/// Objects as immutable checksummed generation files in one directory.
+pub struct DirObjectStore {
+    root: PathBuf,
+    counter: AtomicU64,
+}
+
+impl fmt::Debug for DirObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DirObjectStore")
+            .field("root", &self.root)
+            .finish()
+    }
+}
+
+/// `name#g<gen>` → `(name, gen)`.
+fn parse_gen_file(file: &str) -> Option<(&str, u64)> {
+    let (name, suffix) = file.rsplit_once(GEN_SEP)?;
+    let hex = suffix.strip_prefix('g')?;
+    let gen = u64::from_str_radix(hex, 16).ok()?;
+    if name.is_empty() {
+        return None;
+    }
+    Some((name, gen))
+}
+
+fn gen_file(name: &str, gen: u64) -> String {
+    format!("{name}{GEN_SEP}g{gen:016x}")
+}
+
+/// Frame: magic, LE payload length, LE FNV-64 of the payload, payload.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_MAGIC.len() + 16 + payload.len());
+    out.extend_from_slice(FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate a frame, returning the payload. `None` for torn/foreign bytes.
+fn unframe(bytes: &[u8]) -> Option<Vec<u8>> {
+    let rest = bytes.strip_prefix(FRAME_MAGIC.as_slice())?;
+    let (len_bytes, rest) = rest.split_first_chunk::<8>()?;
+    let (sum_bytes, payload) = rest.split_first_chunk::<8>()?;
+    if u64::from_le_bytes(*len_bytes) != payload.len() as u64 {
+        return None;
+    }
+    if u64::from_le_bytes(*sum_bytes) != fnv64(payload) {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+impl DirObjectStore {
+    /// Open (creating if absent) `root` as an object store.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<DirObjectStore> {
+        let root = root.into();
+        retry_interrupted(|| fs::create_dir_all(&root))?;
+        let store = DirObjectStore {
+            root,
+            counter: AtomicU64::new(1),
+        };
+        let max = store
+            .scan_generations()?
+            .values()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        store.counter.store(max + 1, Ordering::SeqCst);
+        Ok(store)
+    }
+
+    /// The backing directory.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    /// name → ascending generation numbers present on disk (valid or not).
+    fn scan_generations(&self) -> io::Result<BTreeMap<String, Vec<u64>>> {
+        let mut out: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for entry in retry_interrupted(|| fs::read_dir(&self.root))? {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            let Some(file) = file_name.to_str() else {
+                continue;
+            };
+            if let Some((name, gen)) = parse_gen_file(file) {
+                out.entry(name.to_owned()).or_default().push(gen);
+            }
+        }
+        for gens in out.values_mut() {
+            gens.sort_unstable();
+        }
+        Ok(out)
+    }
+
+    /// Ascending generations of one name.
+    fn generations(&self, name: &str) -> io::Result<Vec<u64>> {
+        Ok(self.scan_generations()?.remove(name).unwrap_or_default())
+    }
+
+    fn read_generation(&self, name: &str, gen: u64) -> Option<Vec<u8>> {
+        let path = self.root.join(gen_file(name, gen));
+        let mut file = retry_interrupted(|| File::open(&path)).ok()?;
+        let mut bytes = Vec::new();
+        retry_interrupted(|| file.read_to_end(&mut bytes)).ok()?;
+        unframe(&bytes)
+    }
+
+    fn sync_root(&self) -> io::Result<()> {
+        match retry_interrupted(|| File::open(&self.root)) {
+            Ok(dir) => retry_interrupted(|| dir.sync_all()),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+impl ObjectStore for DirObjectStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        if name.contains(GEN_SEP) || name.contains('/') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("object name {name:?} contains a reserved character"),
+            ));
+        }
+        let prior = self.generations(name)?;
+        let mut gen = self.counter.fetch_add(1, Ordering::SeqCst);
+        if let Some(&max) = prior.last() {
+            if gen <= max {
+                gen = max + 1;
+                self.counter.fetch_max(gen + 1, Ordering::SeqCst);
+            }
+        }
+        let path = self.root.join(gen_file(name, gen));
+        let framed = frame(bytes);
+        let mut file = retry_interrupted(|| File::create(&path))?;
+        let mut rest: &[u8] = &framed;
+        while !rest.is_empty() {
+            let n = retry_interrupted(|| file.write(rest))?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "object store accepted zero bytes",
+                ));
+            }
+            rest = &rest[n..];
+        }
+        retry_interrupted(|| file.sync_all())?;
+        self.sync_root()?;
+        // The new generation is durable and visible; older generations are
+        // garbage. Collection is best-effort — a leftover older generation
+        // only costs disk, readers always pick the newest valid one.
+        for old in prior {
+            let _ = fs::remove_file(self.root.join(gen_file(name, old)));
+        }
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        for gen in self.generations(name)?.into_iter().rev() {
+            if let Some(payload) = self.read_generation(name, gen) {
+                return Ok(payload);
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no valid generation of object {name:?}"),
+        ))
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        let gens = self.generations(name)?;
+        if gens.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} not found"),
+            ));
+        }
+        for gen in gens {
+            retry_interrupted(|| fs::remove_file(self.root.join(gen_file(name, gen))))?;
+        }
+        self.sync_root()
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        // A name is visible only if at least one of its generations holds a
+        // complete frame: a torn put must not list a name whose every get
+        // would fail.
+        let mut out = Vec::new();
+        for (name, gens) in self.scan_generations()? {
+            if gens
+                .iter()
+                .rev()
+                .any(|&g| self.read_generation(&name, g).is_some())
+            {
+                out.push(name);
+            }
+        }
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        format!("dirobj:{}", self.root.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DirObjectStore {
+        let dir = std::env::temp_dir().join(format!("bfu-dirobj-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DirObjectStore::open(dir).expect("open dir store")
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_versioning() {
+        let s = temp_store("roundtrip");
+        s.put("a", b"one").unwrap();
+        assert_eq!(s.get("a").unwrap(), b"one");
+        s.put("a", b"two").unwrap();
+        assert_eq!(s.get("a").unwrap(), b"two", "newest generation wins");
+        assert_eq!(s.list().unwrap(), vec!["a".to_owned()]);
+        s.delete("a").unwrap();
+        assert_eq!(s.get("a").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert!(s.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_generation_is_invisible() {
+        let s = temp_store("torn");
+        s.put("m", b"good").unwrap();
+        // Fake a crash mid-put: a newer generation file with a torn frame.
+        let torn = gen_file("m", 0xFFFF);
+        fs::write(s.root().join(&torn), b"BFUOBJ1\n\x99garbage").unwrap();
+        assert_eq!(s.get("m").unwrap(), b"good", "falls back to valid gen");
+        assert_eq!(s.list().unwrap(), vec!["m".to_owned()]);
+        // A name with ONLY torn generations is not listed and not gettable.
+        fs::write(s.root().join(gen_file("t", 1)), b"junk").unwrap();
+        assert_eq!(s.get("t").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(s.list().unwrap(), vec!["m".to_owned()]);
+    }
+
+    #[test]
+    fn counter_resumes_past_existing_generations() {
+        let dir = std::env::temp_dir().join(format!("bfu-dirobj-{}-resume", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let s = DirObjectStore::open(&dir).unwrap();
+            s.put("k", b"first").unwrap();
+            s.put("k", b"second").unwrap();
+        }
+        let s = DirObjectStore::open(&dir).unwrap();
+        s.put("k", b"third").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"third");
+    }
+
+    #[test]
+    fn reserved_names_rejected() {
+        let s = temp_store("reserved");
+        assert!(s.put("a#b", b"x").is_err());
+        assert!(s.put("a/b", b"x").is_err());
+    }
+
+    #[test]
+    fn frame_validation() {
+        let f = frame(b"payload");
+        assert_eq!(unframe(&f).unwrap(), b"payload");
+        assert!(unframe(&f[..f.len() - 1]).is_none(), "truncated payload");
+        let mut flipped = f.clone();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        assert!(unframe(&flipped).is_none(), "flipped byte");
+        assert!(unframe(b"short").is_none());
+    }
+}

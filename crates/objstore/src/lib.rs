@@ -1,0 +1,49 @@
+//! `bfu-objstore` — an object-store-semantics storage backend.
+//!
+//! The dataset store and the survey fabric speak [`bfu_store::StorageBackend`],
+//! whose contract was written for a POSIX directory: open files appended in
+//! place, atomic `rename`, `fsync` of the parent directory. An object store
+//! offers none of that. What it offers instead is *whole objects*: a `put`
+//! is atomic and durable on acknowledgement, a `get` returns a complete
+//! object or nothing, `list` enumerates names — possibly stale, in no
+//! particular order. This crate maps the first contract onto the second:
+//!
+//! - [`ObjectStore`] — the narrow object contract: `put` / `get` / `delete`
+//!   / `list` of whole named blobs.
+//! - [`DirObjectStore`] — the production-shaped impl: every put lands as an
+//!   immutable generation blob (`name#g<counter>`) with a checksummed frame,
+//!   readers pick the newest valid generation, so a "versioned put" to a
+//!   mutable name (the manifest, the lease table) is old-or-new by
+//!   construction with no rename anywhere.
+//! - [`SimObjectStore`] — the deterministic partition injector: a seeded
+//!   [`ObjFaultPlan`] delays put visibility, loses-then-replays puts,
+//!   violates read-your-writes, serves stale or shuffled listings, and
+//!   power-cuts at a chosen op — the torture suite's backend-level twin of
+//!   `FaultFs`.
+//! - [`ObjectBackend`] — the adapter implementing `StorageBackend` on top of
+//!   any `ObjectStore`: created files buffer in memory and become one put at
+//!   `sync_all`; `rename` is copy+delete; `sync_dir` is a no-op plus a
+//!   read-after-write visibility check over everything put since the last
+//!   sync; `replace` (the manifest-publish primitive) is a single versioned
+//!   put. Every op is counted into [`bfu_crawler::BackendTotals`] for the
+//!   provenance sidecar's `"backend"` block.
+//!
+//! The adapter is where eventual consistency is absorbed: it remembers the
+//! checksum of every object *it* wrote and re-issues gets/lists that
+//! contradict its own acknowledged writes (bounded retries, counted), so
+//! layers above see a backend that merely has slow moments, never one that
+//! lies. Multi-writer safety comes from the fabric's discipline — mutable
+//! names are single-writer (the coordinator), workers only ever put fresh
+//! immutable names — and from fencing epochs at the merge point.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod adapter;
+mod dir;
+mod object;
+mod sim;
+
+pub use adapter::ObjectBackend;
+pub use dir::DirObjectStore;
+pub use object::ObjectStore;
+pub use sim::{ObjFaultPlan, SimObjectStore};

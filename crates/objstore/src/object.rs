@@ -1,0 +1,41 @@
+//! The narrow object contract every object store implements.
+
+use std::fmt;
+use std::io;
+
+/// A flat namespace of whole, immutable-once-written byte objects.
+///
+/// Semantics (the contract [`crate::ObjectBackend`] builds on):
+///
+/// - [`ObjectStore::put`] is **atomic and durable on acknowledgement**:
+///   after `Ok`, a reader sees either the complete new object or an older
+///   complete version — never a prefix, never a mixture — and the new
+///   version survives a crash. Visibility may lag acknowledgement.
+/// - [`ObjectStore::get`] returns one complete version of the object.
+///   It is *allowed* to be stale: an acknowledged put may take bounded time
+///   to become visible, and a reader may briefly see an older version.
+/// - [`ObjectStore::list`] enumerates names in **no particular order** and
+///   may reflect a slightly stale view of the namespace.
+/// - [`ObjectStore::delete`] removes the object; like puts, tombstones may
+///   take bounded time to become visible.
+///
+/// There is no rename, no partial write, no directory sync. Anything the
+/// store layer needs beyond this is synthesized by the adapter.
+pub trait ObjectStore: fmt::Debug + Send + Sync {
+    /// Atomically write the whole object `name`. Durable on `Ok`.
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Read one complete (possibly stale) version of object `name`.
+    /// [`io::ErrorKind::NotFound`] if no version is visible.
+    fn get(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Delete object `name`. [`io::ErrorKind::NotFound`] if no version is
+    /// visible.
+    fn delete(&self, name: &str) -> io::Result<()>;
+
+    /// All visible object names, in unspecified order, possibly stale.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Human-readable location for error messages and provenance.
+    fn describe(&self) -> String;
+}

@@ -1,0 +1,563 @@
+//! The deterministic partition injector — `FaultFs`'s object-store twin.
+//!
+//! Where `FaultFs` models a *local disk* dying (torn tails, lost directory
+//! ops, power cuts), [`SimObjectStore`] models a *remote object store*
+//! misbehaving while staying up: every acknowledged write is durable, but
+//! visibility is allowed to lag, regress, and reorder. The seeded
+//! [`ObjFaultPlan`] injects, per op:
+//!
+//! - **delayed visibility** — an acknowledged put (or delete) stays
+//!   invisible for a bounded number of subsequent ops;
+//! - **lost-then-replayed puts** — an acknowledged put vanishes and is
+//!   replayed later by a dumb internal queue that assigns it a *fresh*
+//!   version, so it can clobber newer content and resurrect deleted names
+//!   (the nastiest real object-store failure mode; fencing epochs and
+//!   first-record-wins dedup are what make it survivable);
+//! - **read-your-writes violations** — a get serves the previous version
+//!   (or nothing) even though the latest write was applied;
+//! - **stale / unordered listings** — list() reflects an earlier namespace
+//!   and is deterministically shuffled;
+//! - **power cuts** — `crash_at` fails op `k` and every later op until
+//!   [`SimObjectStore::power_cycle`], with all acknowledged effects flushed
+//!   (acknowledged = durable, the object-store contract).
+//!
+//! `partition_at` forces the worst-case fault for whatever op happens to be
+//! the `k`-th, which is what lets a torture sweep partition *every* backend
+//! op of a schedule one at a time. All decisions are pure functions of
+//! `(seed, label, op index)` via [`bfu_util::fault_fires`], so identical
+//! runs produce identical fault schedules.
+
+use crate::object::ObjectStore;
+use bfu_util::{fault_choice, fault_fires, fnv64};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+const SALT_DELAY: u64 = 0xDE1A;
+const SALT_REPLAY: u64 = 0x4EB1;
+const SALT_RYW: u64 = 0x0A57;
+const SALT_LIST: u64 = 0x115A;
+const SALT_SPAN: u64 = 0x57A2;
+
+/// Versions of one name kept for stale reads (older history is trimmed).
+const HISTORY_CAP: usize = 8;
+
+/// Seeded fault schedule for one [`SimObjectStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ObjFaultPlan {
+    /// Master seed for every per-op fault decision.
+    pub seed: u64,
+    /// Power-cut at this global op ordinal: the op fails without effect and
+    /// every later op fails until [`SimObjectStore::power_cycle`].
+    pub crash_at: Option<u64>,
+    /// Force the worst-case partition fault on this global op ordinal:
+    /// puts/deletes get delayed visibility, gets violate read-your-writes,
+    /// lists go stale and shuffled.
+    pub partition_at: Option<u64>,
+    /// Maximum ops an effect stays invisible (replays take up to twice
+    /// this). Kept small so the adapter's bounded visibility retries always
+    /// outlast a partition.
+    pub partition_window: u64,
+    /// Chance a put/delete's effect is delayed `1..=partition_window` ops.
+    pub delayed_put_chance: f64,
+    /// Chance a put is lost then replayed with a fresh version.
+    pub lost_replay_chance: f64,
+    /// Chance a get serves the previous version of the object.
+    pub ryw_chance: f64,
+    /// Chance a listing reflects an earlier namespace.
+    pub stale_list_chance: f64,
+    /// Deterministically shuffle every listing (stale ones always are).
+    pub shuffle_lists: bool,
+}
+
+impl Default for ObjFaultPlan {
+    fn default() -> ObjFaultPlan {
+        ObjFaultPlan::none()
+    }
+}
+
+impl ObjFaultPlan {
+    /// No faults: a perfectly consistent in-memory object store.
+    pub fn none() -> ObjFaultPlan {
+        ObjFaultPlan {
+            seed: 0,
+            crash_at: None,
+            partition_at: None,
+            partition_window: 4,
+            delayed_put_chance: 0.0,
+            lost_replay_chance: 0.0,
+            ryw_chance: 0.0,
+            stale_list_chance: 0.0,
+            shuffle_lists: false,
+        }
+    }
+
+    /// Every partition class active at once, seeded — the chaos preset.
+    pub fn chaos(seed: u64) -> ObjFaultPlan {
+        ObjFaultPlan {
+            seed,
+            delayed_put_chance: 0.15,
+            lost_replay_chance: 0.08,
+            ryw_chance: 0.15,
+            stale_list_chance: 0.20,
+            shuffle_lists: true,
+            ..ObjFaultPlan::none()
+        }
+    }
+
+    /// This plan, power-cutting at op `k`.
+    pub fn with_crash_at(mut self, k: u64) -> ObjFaultPlan {
+        self.crash_at = Some(k);
+        self
+    }
+
+    /// This plan, forcing the worst-case partition on op `k`.
+    pub fn with_partition_at(mut self, k: u64) -> ObjFaultPlan {
+        self.partition_at = Some(k);
+        self
+    }
+
+    /// This plan, with every listing deterministically shuffled.
+    pub fn with_shuffled_lists(mut self) -> ObjFaultPlan {
+        self.shuffle_lists = true;
+        self
+    }
+
+    fn window(&self) -> u64 {
+        self.partition_window.max(1)
+    }
+}
+
+/// An acknowledged-but-not-yet-visible effect.
+#[derive(Debug)]
+struct Pending {
+    name: String,
+    version: u64,
+    /// `None` is a tombstone (a delayed delete).
+    data: Option<Arc<Vec<u8>>>,
+    /// Becomes visible when the global op counter reaches this.
+    apply_at: u64,
+    /// Replayed effects take a fresh version at apply time, so they clobber.
+    fresh_version: bool,
+}
+
+/// One applied version of an object; `None` data = tombstone.
+type VersionEntry = (u64, Option<Arc<Vec<u8>>>);
+
+#[derive(Debug, Default)]
+struct ObjState {
+    version: u64,
+    ops: u64,
+    crashed: bool,
+    trace: Vec<String>,
+    /// Applied history per name, ascending version; `None` = tombstone.
+    names: BTreeMap<String, Vec<VersionEntry>>,
+    pending: Vec<Pending>,
+}
+
+impl ObjState {
+    fn apply(&mut self, name: &str, version: u64, data: Option<Arc<Vec<u8>>>) {
+        let hist = self.names.entry(name.to_owned()).or_default();
+        let pos = hist.partition_point(|(v, _)| *v <= version);
+        hist.insert(pos, (version, data));
+        if hist.len() > HISTORY_CAP {
+            let drop = hist.len() - HISTORY_CAP;
+            hist.drain(..drop);
+        }
+    }
+
+    /// Apply every pending effect whose time has come.
+    fn apply_due(&mut self) {
+        let now = self.ops;
+        let due: Vec<Pending> = {
+            let mut rest = Vec::new();
+            let mut due = Vec::new();
+            for p in self.pending.drain(..) {
+                if p.apply_at <= now {
+                    due.push(p);
+                } else {
+                    rest.push(p);
+                }
+            }
+            self.pending = rest;
+            due
+        };
+        for p in due {
+            let version = if p.fresh_version {
+                self.version += 1;
+                self.version
+            } else {
+                p.version
+            };
+            self.apply(&p.name, version, p.data);
+        }
+    }
+
+    /// Flush everything pending: acknowledged means durable, so a crash (or
+    /// a power cycle) makes every acknowledged effect visible.
+    fn flush_pending(&mut self) {
+        for p in std::mem::take(&mut self.pending) {
+            let version = if p.fresh_version {
+                self.version += 1;
+                self.version
+            } else {
+                p.version
+            };
+            self.apply(&p.name, version, p.data);
+        }
+    }
+
+    fn visible(&self, name: &str) -> Option<&Arc<Vec<u8>>> {
+        self.names
+            .get(name)
+            .and_then(|h| h.last())
+            .and_then(|(_, d)| d.as_ref())
+    }
+}
+
+/// Marker payload inside the crash error, so the torture harness can tell a
+/// simulated power cut from a real failure.
+#[derive(Debug)]
+struct ObjPowerCut;
+
+impl fmt::Display for ObjPowerCut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulated object-store power cut")
+    }
+}
+
+impl std::error::Error for ObjPowerCut {}
+
+fn power_cut_error() -> io::Error {
+    io::Error::other(ObjPowerCut)
+}
+
+/// The deterministic in-memory object store with partition injection.
+#[derive(Debug)]
+pub struct SimObjectStore {
+    plan: ObjFaultPlan,
+    state: Mutex<ObjState>,
+}
+
+impl SimObjectStore {
+    /// A store faulting per `plan`.
+    pub fn new(plan: ObjFaultPlan) -> SimObjectStore {
+        SimObjectStore {
+            plan,
+            state: Mutex::new(ObjState::default()),
+        }
+    }
+
+    /// Whether `err` is this store's simulated power cut.
+    pub fn is_crash(err: &io::Error) -> bool {
+        err.get_ref().is_some_and(|e| e.is::<ObjPowerCut>())
+    }
+
+    /// Recover from a power cut: every acknowledged effect becomes visible
+    /// (acknowledged = durable), and ops flow again.
+    pub fn power_cycle(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.crashed = false;
+            st.flush_pending();
+        }
+    }
+
+    /// Global ops served so far — the crash/partition sweep's coordinate
+    /// space.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().map(|st| st.ops).unwrap_or(0)
+    }
+
+    /// The labels of every op served, in order.
+    pub fn op_trace(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .map(|st| st.trace.clone())
+            .unwrap_or_default()
+    }
+
+    fn lock(&self) -> io::Result<std::sync::MutexGuard<'_, ObjState>> {
+        self.state
+            .lock()
+            .map_err(|_| io::Error::other("object store lock poisoned"))
+    }
+
+    /// Gate every op: count it, trace it, apply due effects, crash on cue.
+    /// Returns the op's ordinal, the coordinate every fault decision keys on.
+    fn pre_op(&self, st: &mut ObjState, label: String) -> io::Result<u64> {
+        if st.crashed {
+            return Err(power_cut_error());
+        }
+        let ix = st.ops;
+        st.ops += 1;
+        st.trace.push(label);
+        st.apply_due();
+        if self.plan.crash_at == Some(ix) {
+            st.crashed = true;
+            st.flush_pending();
+            return Err(power_cut_error());
+        }
+        Ok(ix)
+    }
+
+    fn partitioned(&self, ix: u64) -> bool {
+        self.plan.partition_at == Some(ix)
+    }
+}
+
+impl ObjectStore for SimObjectStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let p = self.plan;
+        let mut st = self.lock()?;
+        let ix = self.pre_op(&mut st, format!("obj:put:{name}"))?;
+        st.version += 1;
+        let version = st.version;
+        let data = Some(Arc::new(bytes.to_vec()));
+        let delayed = self.partitioned(ix)
+            || fault_fires(p.seed, 0, name, ix, SALT_DELAY, p.delayed_put_chance);
+        let replayed =
+            !delayed && fault_fires(p.seed, 0, name, ix, SALT_REPLAY, p.lost_replay_chance);
+        if delayed {
+            // A forced partition imposes the worst case — the full window —
+            // so the sweep deterministically exercises invisible reads.
+            let span = if self.partitioned(ix) {
+                p.window()
+            } else {
+                1 + fault_choice(p.seed, 0, name, ix, SALT_SPAN, p.window() as usize - 1) as u64
+            };
+            let apply_at = st.ops + span;
+            st.pending.push(Pending {
+                name: name.to_owned(),
+                version,
+                data,
+                apply_at,
+                fresh_version: false,
+            });
+        } else if replayed {
+            let span = p.window()
+                + fault_choice(p.seed, 0, name, ix, SALT_SPAN, p.window() as usize) as u64;
+            let apply_at = st.ops + span;
+            st.pending.push(Pending {
+                name: name.to_owned(),
+                version,
+                data,
+                apply_at,
+                fresh_version: true,
+            });
+        } else {
+            st.apply(name, version, data);
+        }
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        let p = self.plan;
+        let mut st = self.lock()?;
+        let ix = self.pre_op(&mut st, format!("obj:get:{name}"))?;
+        let stale =
+            self.partitioned(ix) || fault_fires(p.seed, 0, name, ix, SALT_RYW, p.ryw_chance);
+        let hist = st.names.get(name);
+        let entry = match hist {
+            None => None,
+            Some(h) if stale => {
+                // The latest applied write is exactly what this reader
+                // fails to see: serve the version before it, or nothing.
+                (h.len() >= 2).then(|| &h[h.len() - 2])
+            }
+            Some(h) => h.last(),
+        };
+        match entry.and_then(|(_, d)| d.clone()) {
+            Some(d) => Ok(d.as_ref().clone()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} not visible"),
+            )),
+        }
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        let p = self.plan;
+        let mut st = self.lock()?;
+        let ix = self.pre_op(&mut st, format!("obj:delete:{name}"))?;
+        if st.visible(name).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} not found"),
+            ));
+        }
+        st.version += 1;
+        let version = st.version;
+        let delayed = self.partitioned(ix)
+            || fault_fires(p.seed, 0, name, ix, SALT_DELAY, p.delayed_put_chance);
+        if delayed {
+            let span = if self.partitioned(ix) {
+                p.window()
+            } else {
+                1 + fault_choice(p.seed, 0, name, ix, SALT_SPAN, p.window() as usize - 1) as u64
+            };
+            let apply_at = st.ops + span;
+            st.pending.push(Pending {
+                name: name.to_owned(),
+                version,
+                data: None,
+                apply_at,
+                fresh_version: false,
+            });
+        } else {
+            st.apply(name, version, None);
+        }
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let p = self.plan;
+        let mut st = self.lock()?;
+        let ix = self.pre_op(&mut st, "obj:list".to_owned())?;
+        let stale = self.partitioned(ix)
+            || fault_fires(p.seed, 0, "list", ix, SALT_LIST, p.stale_list_chance);
+        let mut names: Vec<String> = if stale {
+            // An earlier namespace: pretend the last few versions of the
+            // world haven't happened yet.
+            let back =
+                1 + fault_choice(p.seed, 0, "list", ix, SALT_SPAN, p.window() as usize) as u64;
+            let horizon = st.version.saturating_sub(back);
+            st.names
+                .iter()
+                .filter(|(_, h)| {
+                    h.iter()
+                        .rev()
+                        .find(|(v, _)| *v <= horizon)
+                        .is_some_and(|(_, d)| d.is_some())
+                })
+                .map(|(n, _)| n.clone())
+                .collect()
+        } else {
+            st.names
+                .iter()
+                .filter(|(_, h)| h.last().is_some_and(|(_, d)| d.is_some()))
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        if p.shuffle_lists || stale {
+            names.sort_by_key(|n| fnv64(format!("{ix}:{n}").as_bytes()));
+        }
+        Ok(names)
+    }
+
+    fn describe(&self) -> String {
+        format!("simobj(seed={})", self.plan.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_when_unfaulted() {
+        let s = SimObjectStore::new(ObjFaultPlan::none());
+        s.put("a", b"1").unwrap();
+        assert_eq!(s.get("a").unwrap(), b"1");
+        s.put("a", b"2").unwrap();
+        assert_eq!(s.get("a").unwrap(), b"2");
+        assert_eq!(s.list().unwrap(), vec!["a".to_owned()]);
+        s.delete("a").unwrap();
+        assert_eq!(s.get("a").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(s.delete("a").unwrap_err().kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn partitioned_put_is_delayed_then_visible() {
+        // Op 0 is the put: its effect must not be visible to the very next
+        // get, but must appear within the partition window.
+        let s = SimObjectStore::new(ObjFaultPlan::none().with_partition_at(0));
+        s.put("x", b"v").unwrap();
+        assert_eq!(
+            s.get("x").unwrap_err().kind(),
+            io::ErrorKind::NotFound,
+            "delayed visibility hides the acknowledged put"
+        );
+        let healed = (0..8).any(|_| s.get("x").is_ok());
+        assert!(healed, "the partition heals within the window");
+    }
+
+    #[test]
+    fn partitioned_get_violates_read_your_writes() {
+        let s = SimObjectStore::new(ObjFaultPlan::none().with_partition_at(2));
+        s.put("x", b"old").unwrap();
+        s.put("x", b"new").unwrap();
+        assert_eq!(s.get("x").unwrap(), b"old", "op 2 serves the stale version");
+        assert_eq!(s.get("x").unwrap(), b"new", "later gets converge");
+    }
+
+    #[test]
+    fn partitioned_list_is_stale() {
+        let s = SimObjectStore::new(ObjFaultPlan::none().with_partition_at(2));
+        s.put("a", b"1").unwrap();
+        s.put("b", b"2").unwrap();
+        let stale = s.list().unwrap();
+        assert!(
+            stale.len() < 2,
+            "stale listing misses a recent put: {stale:?}"
+        );
+        let fresh = s.list().unwrap();
+        assert_eq!(fresh.len(), 2, "later listings converge");
+    }
+
+    #[test]
+    fn crash_fails_everything_until_power_cycle() {
+        let s = SimObjectStore::new(ObjFaultPlan::none().with_crash_at(1));
+        s.put("a", b"1").unwrap();
+        let err = s.put("b", b"2").unwrap_err();
+        assert!(SimObjectStore::is_crash(&err));
+        let err = s.get("a").unwrap_err();
+        assert!(SimObjectStore::is_crash(&err), "dark until power cycle");
+        s.power_cycle();
+        assert_eq!(s.get("a").unwrap(), b"1", "acknowledged put survived");
+        assert_eq!(
+            s.get("b").unwrap_err().kind(),
+            io::ErrorKind::NotFound,
+            "the crashed op itself took no effect"
+        );
+    }
+
+    #[test]
+    fn lost_replay_resurrects_with_fresh_version() {
+        // Force a replayed put by cranking the chance to certainty.
+        let plan = ObjFaultPlan {
+            lost_replay_chance: 1.0,
+            ..ObjFaultPlan::none()
+        };
+        let s = SimObjectStore::new(plan);
+        s.put("x", b"v").unwrap();
+        assert_eq!(
+            s.get("x").unwrap_err().kind(),
+            io::ErrorKind::NotFound,
+            "lost: acknowledged but invisible"
+        );
+        let mut seen = false;
+        for _ in 0..16 {
+            if let Ok(b) = s.get("x") {
+                assert_eq!(b, b"v");
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "replayed eventually");
+    }
+
+    #[test]
+    fn deterministic_chaos_schedule() {
+        let run = |n: u64| {
+            let s = SimObjectStore::new(ObjFaultPlan::chaos(9));
+            for i in 0..n {
+                let _ = s.put(&format!("k{}", i % 3), &[i as u8]);
+                let _ = s.get(&format!("k{}", i % 3));
+                let _ = s.list();
+            }
+            s.op_trace()
+        };
+        assert_eq!(run(20), run(20), "same plan, same trace");
+    }
+}

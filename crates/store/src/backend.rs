@@ -85,6 +85,31 @@ pub trait StorageBackend: fmt::Debug + Send + Sync {
         write_all_retrying(file.as_mut(), contents)?;
         retry_interrupted(|| file.sync_all())
     }
+
+    /// Atomically replace the whole object `name` with `contents`: after
+    /// `replace` returns, readers see either the old object or the new one,
+    /// never a mixture — even across a crash. This is the publish primitive
+    /// behind every manifest/lease-table/provenance write.
+    ///
+    /// The default is the POSIX idiom (durable put of `name.tmp`, atomic
+    /// rename over `name`, directory sync); backends with stronger
+    /// whole-object semantics (an object store's versioned put) override it
+    /// with a single atomic put.
+    fn replace(&self, name: &str, contents: &[u8]) -> io::Result<()> {
+        let tmp = format!("{name}.tmp");
+        self.put(&tmp, contents)?;
+        retry_interrupted(|| self.rename(&tmp, name))?;
+        retry_interrupted(|| self.sync_dir())
+    }
+
+    /// Backend op accounting, if this backend counts its traffic.
+    ///
+    /// `None` means "not instrumented" (LocalFs, FaultFs); counting
+    /// backends return totals that land in the provenance sidecar's
+    /// `"backend"` block.
+    fn op_totals(&self) -> Option<bfu_crawler::BackendTotals> {
+        None
+    }
 }
 
 /// Write all of `buf`, resuming short writes and retrying `EINTR`.

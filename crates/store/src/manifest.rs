@@ -193,15 +193,13 @@ impl Manifest {
 
 /// Atomically and durably replace object `name` with `contents`.
 ///
-/// Sequence: `put` the temp object (which syncs its data), rename over the
-/// live name, sync the namespace. A crash anywhere leaves either the old
-/// object or the new one — never a torn hybrid, and never a name whose
-/// bytes didn't make it.
+/// Thin text-typed wrapper over [`StorageBackend::replace`]: on filesystem
+/// backends that is the put-tmp / rename / sync-dir publish idiom, on
+/// object-store backends a single versioned put. Either way a crash leaves
+/// the old object or the new one — never a torn hybrid, and never a name
+/// whose bytes didn't make it.
 pub fn write_atomic(backend: &dyn StorageBackend, name: &str, contents: &str) -> io::Result<()> {
-    let tmp = format!("{name}.tmp");
-    backend.put(&tmp, contents.as_bytes())?;
-    retry_interrupted(|| backend.rename(&tmp, name))?;
-    retry_interrupted(|| backend.sync_dir())
+    backend.replace(name, contents.as_bytes())
 }
 
 fn parse_int(value: &str, what: &str) -> Result<u64, StoreError> {

@@ -441,7 +441,9 @@ pub fn resume_survey_on(
     if let Some(e) = write_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
         return Err(StoreError::Io(e));
     }
-    store.finish_with_scrub(&Provenance::of(survey, &dataset), Some(&scrub))?;
+    let mut provenance = Provenance::of(survey, &dataset);
+    provenance.health.backend = store.backend().op_totals().unwrap_or_default();
+    store.finish_with_scrub(&provenance, Some(&scrub))?;
     Ok(ResumeOutcome {
         dataset,
         resumed_sites,

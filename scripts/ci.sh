@@ -6,8 +6,8 @@
 # Mirrors the tier-1 verification the roadmap pins (release build + tests)
 # and adds the clippy wall the supervision, engine, and storage code is held
 # to: unwrap/expect are denied outside tests in bfu-crawler, bfu-script,
-# bfu-browser, and bfu-store (a panic in any of them takes a whole survey —
-# or its only on-disk copy — down).
+# bfu-browser, bfu-store, bfu-objstore, and bfu-fabric (a panic in any of
+# them takes a whole survey — or its only on-disk copy — down).
 #
 # Set BFU_TORTURE_FULL=1 for the exhaustive crash-point sweep (every backend
 # op, both in-test and via the standalone store_torture binary) instead of
@@ -42,16 +42,31 @@ if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     rm -f "$TORTURE_OUT"
 fi
 
-echo "==> fabric crash-mid-lease torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
-# Kill the survey fabric at every worker/coordinator step and prove the
-# recovered dataset fingerprints identically to a single-process run; the
-# standalone binary re-proves the exhaustive sweep end to end in release.
+echo "==> fabric crash-mid-lease + partition torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
+# Kill the survey fabric at every worker/coordinator step AND partition the
+# whole-object backend at every op (delayed visibility, stale reads/lists,
+# lost replays under chaos), proving every schedule recovers to the
+# single-process fingerprint; the standalone binary re-proves the
+# exhaustive kill, partition, and kill×partition sweeps in release.
 cargo test -q --test fabric_torture
 if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     TORTURE_OUT=$(mktemp)
     cargo run -q --release -p bfu-bench --bin fabric_torture -- --out "$TORTURE_OUT"
     rm -f "$TORTURE_OUT"
 fi
+
+echo "==> object-store torture (crash sweep, publish windows, listing order)"
+# The whole-object backend: every-op crash sweep with process-restart
+# recovery, manifest old-or-new on both publish lowerings (versioned put
+# and copy+delete rename, including the window between copy and delete),
+# chaos-partitioned store runs, and the shuffled-listing regression.
+cargo test -q --test objstore_torture
+
+echo "==> cross-process fabric (real worker processes over DirObjectStore)"
+# Two real OS worker processes coordinating only through the object store
+# must fingerprint identically to a single-process LocalFs run, and a
+# worker process dying mid-run must be fenced and its leases reassigned.
+cargo test -q --test fabric_proc
 
 echo "==> no-panic property tests (parser/interpreter totality)"
 cargo test -q --test proptests
@@ -68,14 +83,17 @@ grep -q '"fingerprints_match": true' "$CI_BENCH_OUT"
 grep -q '"hits": 0,' "$CI_BENCH_OUT" && { echo "compile cache saw zero hits"; exit 1; }
 rm -f "$CI_BENCH_OUT"
 
-echo "==> fabric_bench smoke (1/2/4-worker fingerprints identical to single-process)"
+echo "==> fabric_bench smoke (workers × backend fingerprints identical to single-process)"
 # Small scale: the gate is the fingerprint cross-check, not throughput.
-# fabric_bench exits non-zero itself on divergence; the grep pins the flag
-# in the emitted JSON so a silently skipped check cannot pass.
+# fabric_bench exits non-zero itself on divergence; the greps pin the flag
+# and the presence of both backend columns in the emitted JSON so a
+# silently skipped check or a dropped grid dimension cannot pass.
 CI_FABRIC_OUT=$(mktemp)
 cargo run -q --release -p bfu-bench --bin fabric_bench -- \
     --sites 12 --per-lease 2 --out "$CI_FABRIC_OUT"
 grep -q '"fingerprints_match": true' "$CI_FABRIC_OUT"
+grep -q '"backend": "objstore"' "$CI_FABRIC_OUT"
+grep -q '"backend": "posix"' "$CI_FABRIC_OUT"
 rm -f "$CI_FABRIC_OUT"
 
 echo "==> cargo clippy --workspace -- -D warnings"

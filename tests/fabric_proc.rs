@@ -1,0 +1,192 @@
+//! Cross-process fabric: a real coordinator process driving real worker
+//! OS processes that coordinate only through a `DirObjectStore` directory —
+//! no shared memory, no pipes, just whole-object puts and gets.
+//!
+//! The worker side re-enters this same test binary: `worker_entry` is a
+//! no-op under normal `cargo test`, but when spawned with
+//! `BFU_FABRIC_WORKER=1` it reconstructs the survey from env parameters
+//! and runs [`bfu_fabric::run_fabric_worker`] against the shared store
+//! directory. The parent asserts the merged dataset fingerprints
+//! identically to a single-process run — the fabric's core contract, now
+//! across process boundaries — and that a worker dying after a capped
+//! number of leases has its remaining leases fenced and reassigned.
+
+use bfu_crawler::{CrawlConfig, Survey};
+use bfu_fabric::{run_fabric_worker, run_survey_fabric_processes, ProcConfig, WorkerExit};
+use bfu_objstore::{DirObjectStore, ObjectBackend};
+use bfu_store::{resume_survey_on, LocalFs, StorageBackend, PROVENANCE_NAME};
+use bfu_webgen::{SyntheticWeb, WebConfig};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+fn survey_for(sites: usize, seed: u64) -> Survey {
+    let web = SyntheticWeb::generate(WebConfig {
+        sites,
+        seed,
+        script_weight: 0,
+    });
+    let mut config = CrawlConfig::quick(seed ^ 0xFAB);
+    config.threads = 1;
+    config.rounds_per_profile = 1;
+    config.pages_per_site = 2;
+    config.page_budget_ms = 2_000;
+    Survey::new(web, config)
+}
+
+fn proc_config() -> ProcConfig {
+    ProcConfig {
+        workers: 2,
+        sites_per_lease: 2,
+        lease_ms: 600_000,
+        poll_ms: 5,
+        shard_capacity: 2,
+        scrub_threads: 2,
+    }
+}
+
+fn dir_backend(root: &Path) -> Arc<dyn StorageBackend> {
+    let store = Arc::new(DirObjectStore::open(root).expect("open dir store"));
+    Arc::new(ObjectBackend::new(store as Arc<_>))
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("bfu-fabric-proc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// Spawn this test binary back into itself as fabric worker `id`.
+fn spawn_worker(
+    root: &Path,
+    sites: usize,
+    seed: u64,
+    id: u32,
+    max_leases: Option<usize>,
+) -> std::io::Result<std::process::Child> {
+    let exe = std::env::current_exe().expect("current test binary");
+    let mut cmd = Command::new(exe);
+    cmd.args(["worker_entry", "--exact", "--nocapture"])
+        .env("BFU_FABRIC_WORKER", "1")
+        .env("BFU_FABRIC_DIR", root)
+        .env("BFU_FABRIC_WORKER_ID", id.to_string())
+        .env("BFU_FABRIC_SITES", sites.to_string())
+        .env("BFU_FABRIC_SEED", seed.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if let Some(cap) = max_leases {
+        cmd.env("BFU_FABRIC_MAX_LEASES", cap.to_string());
+    }
+    cmd.spawn()
+}
+
+/// The worker process body. Under plain `cargo test` (no env) this is an
+/// instant pass; spawned by the tests below it polls the shared store
+/// directory and crawls whatever leases are routed to it.
+#[test]
+fn worker_entry() {
+    if std::env::var("BFU_FABRIC_WORKER").as_deref() != Ok("1") {
+        return;
+    }
+    let root = PathBuf::from(std::env::var("BFU_FABRIC_DIR").expect("BFU_FABRIC_DIR"));
+    let id: u32 = std::env::var("BFU_FABRIC_WORKER_ID")
+        .expect("BFU_FABRIC_WORKER_ID")
+        .parse()
+        .expect("worker id");
+    let sites: usize = std::env::var("BFU_FABRIC_SITES")
+        .expect("BFU_FABRIC_SITES")
+        .parse()
+        .expect("sites");
+    let seed: u64 = std::env::var("BFU_FABRIC_SEED")
+        .expect("BFU_FABRIC_SEED")
+        .parse()
+        .expect("seed");
+    let max_leases: Option<usize> = std::env::var("BFU_FABRIC_MAX_LEASES")
+        .ok()
+        .map(|v| v.parse().expect("max leases"));
+    let survey = survey_for(sites, seed);
+    let backend = dir_backend(&root);
+    let exit = run_fabric_worker(&survey, backend, id, &proc_config(), max_leases, 20_000)
+        .expect("worker run");
+    assert_ne!(exit, WorkerExit::Orphaned, "worker never saw completion");
+}
+
+#[test]
+fn two_worker_processes_match_single_process() {
+    const SITES: usize = 10;
+    const SEED: u64 = 211;
+    let survey = survey_for(SITES, SEED);
+    // The bar: an uninterrupted single-process LocalFs run.
+    let local_root = temp_root("local");
+    let local: Arc<dyn StorageBackend> = Arc::new(LocalFs::open(&local_root).expect("local fs"));
+    let baseline = resume_survey_on(&survey, local)
+        .expect("single-process LocalFs run")
+        .dataset
+        .fingerprint();
+    let _ = std::fs::remove_dir_all(&local_root);
+
+    let root = temp_root("two");
+    let backend = dir_backend(&root);
+    let cfg = proc_config();
+    let outcome = run_survey_fabric_processes(&survey, backend.clone(), &cfg, &mut |id| {
+        spawn_worker(&root, SITES, SEED, id, None)
+    })
+    .expect("cross-process fabric");
+    assert_eq!(
+        outcome.dataset.fingerprint(),
+        baseline,
+        "cross-process fabric must fingerprint identically to one process"
+    );
+    let stats = outcome.stats;
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.leases_total, (SITES as u64).div_ceil(2));
+    assert_eq!(stats.leases_completed, stats.leases_total);
+    assert_eq!(stats.records_absorbed, SITES as u64);
+    // The provenance sidecar proves which backend did the work.
+    let provenance =
+        String::from_utf8(backend.get(PROVENANCE_NAME).expect("provenance")).expect("UTF-8");
+    assert!(provenance.contains("\"backend\""));
+    assert!(provenance.contains("\"enabled\": true"));
+    assert!(provenance.contains("\"workers\": 2"));
+    // No staging or publish debris outlives the run.
+    let names = backend.list().expect("list");
+    assert!(
+        names
+            .iter()
+            .all(|n| !n.starts_with("stage-") && !n.starts_with("publish-")),
+        "debris survived: {names:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dead_worker_process_is_fenced_and_its_leases_reassigned() {
+    const SITES: usize = 12;
+    const SEED: u64 = 223;
+    let survey = survey_for(SITES, SEED);
+    let baseline = survey.run().fingerprint();
+
+    let root = temp_root("dead");
+    let backend = dir_backend(&root);
+    let cfg = proc_config();
+    // Worker 1 exits after a single lease — a crash with work still
+    // routed to it. Worker 2 runs to completion.
+    let outcome = run_survey_fabric_processes(&survey, backend, &cfg, &mut |id| {
+        spawn_worker(&root, SITES, SEED, id, if id == 1 { Some(1) } else { None })
+    })
+    .expect("fabric with a dying worker");
+    assert_eq!(
+        outcome.dataset.fingerprint(),
+        baseline,
+        "a dead worker must never change the dataset"
+    );
+    let stats = outcome.stats;
+    assert_eq!(stats.leases_total, (SITES as u64).div_ceil(2));
+    assert_eq!(stats.leases_completed, stats.leases_total);
+    assert_eq!(stats.records_absorbed, SITES as u64);
+    assert!(
+        stats.leases_reclaimed >= 1,
+        "the dead worker's remaining leases were force-reclaimed: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -23,6 +23,7 @@ use bfu_crawler::{CrawlConfig, Survey};
 use bfu_fabric::{
     run_sim, run_survey_fabric, FabricConfig, FabricError, FabricFaultPlan, SimOutcome,
 };
+use bfu_objstore::{ObjFaultPlan, ObjectBackend, SimObjectStore};
 use bfu_store::{FaultFs, StorageBackend, StoreFaultPlan, PROVENANCE_NAME};
 use bfu_webgen::{SyntheticWeb, WebConfig};
 use std::sync::{Arc, OnceLock};
@@ -270,6 +271,179 @@ fn multi_worker_fabric_matches_single_process() {
         fs.visible_names().iter().all(|n| !n.starts_with("stage-")),
         "staging namespace must be empty after finish"
     );
+}
+
+// ---------------------------------------------------------------------
+// Object-store partition torture: the same fabric schedules, but the
+// backend is `ObjectBackend<SimObjectStore>` — whole-object puts with
+// delayed visibility, read-your-writes violations, lost-then-replayed
+// puts, and stale/shuffled listings. The adapter's visibility retries
+// must heal every partition, and the fabric's fences must absorb what
+// retries can't, so every schedule still lands on the baseline
+// fingerprint.
+// ---------------------------------------------------------------------
+
+/// Run the simulated fabric over a faulted object store; hand back the
+/// sim outcome plus the store (for op counts and traces).
+fn obj_sim_with(
+    survey: &Survey,
+    plan: &FabricFaultPlan,
+    obj_plan: ObjFaultPlan,
+) -> (Result<SimOutcome, FabricError>, Arc<SimObjectStore>) {
+    let store = Arc::new(SimObjectStore::new(obj_plan));
+    let backend: Arc<dyn StorageBackend> = Arc::new(ObjectBackend::new(store.clone()));
+    (run_sim(survey, backend, &torture_config(), plan), store)
+}
+
+#[test]
+fn healthy_fabric_over_object_store_matches_single_process() {
+    let fx = fixture();
+    let (sim, store) = obj_sim_with(
+        &fx.survey,
+        &FabricFaultPlan::default(),
+        ObjFaultPlan::none(),
+    );
+    let sim = sim.expect("healthy object-store sim");
+    assert_eq!(sim.outcome.dataset.fingerprint(), fx.baseline_fingerprint);
+    assert!(store.ops() > 0, "the fabric drove backend ops");
+    // The coordinator's finish fills health.backend from the adapter's
+    // counters: an object-store run is visibly an object-store run.
+    let backend = sim.outcome.health.backend;
+    assert!(backend.enabled);
+    assert!(backend.puts > 0 && backend.gets > 0 && backend.lists > 0);
+    assert!(backend.bytes_out > 0);
+    assert_eq!(
+        backend.visibility_failures, 0,
+        "no partitions injected, so nothing may time out healing"
+    );
+}
+
+#[test]
+fn partition_at_every_backend_op_recovers_to_identical_fingerprint() {
+    let fx = fixture();
+    // A fault-free run enumerates the backend op schedule; the sweep
+    // partitions each op (worst-case full-window delayed visibility for
+    // puts/deletes, stale reads and listings in the window).
+    let (healthy, store) = obj_sim_with(
+        &fx.survey,
+        &FabricFaultPlan::default(),
+        ObjFaultPlan::none(),
+    );
+    healthy.expect("healthy object-store sim");
+    let total_ops = store.ops();
+    for p in sweep_points(total_ops) {
+        let (sim, store) = obj_sim_with(
+            &fx.survey,
+            &FabricFaultPlan::default(),
+            ObjFaultPlan::none().with_partition_at(p),
+        );
+        let sim = sim.unwrap_or_else(|e| panic!("partition at op {p}: {e}"));
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "partition at op {p} ({:?}) diverged",
+            store.op_trace().get(p as usize)
+        );
+    }
+}
+
+#[test]
+fn kill_and_partition_together_recover() {
+    // The diagonal: every fabric kill point paired with a backend
+    // partition at a derived op — a worker dies *while* the store is
+    // serving stale views. Exhaustive under `BFU_TORTURE_FULL=1`.
+    let fx = fixture();
+    let (healthy, store) = obj_sim_with(
+        &fx.survey,
+        &FabricFaultPlan::default(),
+        ObjFaultPlan::none(),
+    );
+    healthy.expect("healthy object-store sim");
+    let total_ops = store.ops().max(1);
+    let total_steps = fx.trace.len() as u64;
+    for k in sweep_points(total_steps) {
+        // Derived, deterministic, and spread across the op schedule so
+        // the pairing isn't always "partition right at the start".
+        let p = (k.wrapping_mul(7) + 3) % total_ops;
+        let plan = FabricFaultPlan {
+            kill_at: Some(k),
+            ..FabricFaultPlan::default()
+        };
+        let (sim, _) = obj_sim_with(&fx.survey, &plan, ObjFaultPlan::none().with_partition_at(p));
+        let sim = sim.unwrap_or_else(|e| panic!("kill {k} + partition {p}: {e}"));
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "kill {k} ({}) + partition {p} diverged",
+            fx.trace[k as usize]
+        );
+        assert_eq!(sim.worker_deaths + sim.coordinator_crashes, 1);
+    }
+}
+
+#[test]
+fn chaos_partitions_converge_to_identical_fingerprint() {
+    // Seeded chaos: delayed puts, lost-then-replayed puts (resurrecting
+    // stale LEASES/MANIFEST versions), read-your-writes violations, and
+    // stale shuffled listings, all at once, across several seeds.
+    let fx = fixture();
+    for seed in [1u64, 0xC4A05, 0xDEAD_BEEF] {
+        let (sim, _) = obj_sim_with(
+            &fx.survey,
+            &FabricFaultPlan::default(),
+            ObjFaultPlan::chaos(seed),
+        );
+        let sim = sim.unwrap_or_else(|e| panic!("chaos seed {seed:#x}: {e}"));
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "chaos seed {seed:#x} diverged"
+        );
+        let backend = sim.outcome.health.backend;
+        assert!(
+            backend.enabled && backend.retries > 0,
+            "chaos forced retries"
+        );
+    }
+}
+
+#[test]
+fn chaos_partitions_plus_kill_converge() {
+    // Worst of both worlds: a worker killed at a publish step while the
+    // backend is under full chaos, zombie replay included.
+    let fx = fixture();
+    let k = fx
+        .trace
+        .iter()
+        .position(|l| l.starts_with("worker:publish:"))
+        .expect("healthy trace has publish steps") as u64;
+    let plan = FabricFaultPlan {
+        kill_at: Some(k),
+        ..FabricFaultPlan::default()
+    };
+    let (sim, _) = obj_sim_with(&fx.survey, &plan, ObjFaultPlan::chaos(0x0B5));
+    let sim = sim.expect("chaos + publish-kill schedule");
+    assert_eq!(sim.worker_deaths, 1);
+    assert_eq!(
+        sim.outcome.dataset.fingerprint(),
+        fx.baseline_fingerprint,
+        "chaos + kill diverged"
+    );
+}
+
+#[test]
+fn shuffled_listings_never_change_the_dataset() {
+    // Satellite regression: every list() consumer must sort before
+    // folding. The sim store shuffles each listing deterministically;
+    // any order-sensitive fold shows up as a fingerprint change.
+    let fx = fixture();
+    let (sim, _) = obj_sim_with(
+        &fx.survey,
+        &FabricFaultPlan::default(),
+        ObjFaultPlan::none().with_shuffled_lists(),
+    );
+    let sim = sim.expect("shuffled-listing sim");
+    assert_eq!(sim.outcome.dataset.fingerprint(), fx.baseline_fingerprint);
 }
 
 #[test]
