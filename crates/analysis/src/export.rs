@@ -218,8 +218,14 @@ pub fn provenance_json(p: &Provenance) -> String {
     let _ = writeln!(out, "      \"workers_died\": {},", h.fabric.workers_died);
     let _ = writeln!(
         out,
-        "      \"records_absorbed\": {}",
+        "      \"records_absorbed\": {},",
         h.fabric.records_absorbed
+    );
+    let _ = writeln!(out, "      \"elections_won\": {},", h.fabric.elections_won);
+    let _ = writeln!(
+        out,
+        "      \"coordinators_deposed\": {}",
+        h.fabric.coordinators_deposed
     );
     out.push_str("    },\n");
     out.push_str("    \"backend\": {\n");
@@ -233,8 +239,21 @@ pub fn provenance_json(p: &Provenance) -> String {
     let _ = writeln!(out, "      \"retries\": {},", h.backend.retries);
     let _ = writeln!(
         out,
-        "      \"visibility_failures\": {}",
+        "      \"visibility_failures\": {},",
         h.backend.visibility_failures
+    );
+    let _ = writeln!(out, "      \"cas_puts\": {},", h.backend.cas_puts);
+    let _ = writeln!(out, "      \"cas_conflicts\": {},", h.backend.cas_conflicts);
+    let _ = writeln!(out, "      \"remote_ops\": {},", h.backend.remote_ops);
+    let _ = writeln!(
+        out,
+        "      \"remote_retries\": {},",
+        h.backend.remote_retries
+    );
+    let _ = writeln!(
+        out,
+        "      \"remote_reconnects\": {}",
+        h.backend.remote_reconnects
     );
     out.push_str("    }\n  }\n}\n");
     out
@@ -364,6 +383,11 @@ mod tests {
         assert!(json.contains("\"publishes_fenced\""));
         assert!(json.contains("\"backend\""));
         assert!(json.contains("\"visibility_failures\""));
+        assert!(json.contains("\"elections_won\""));
+        assert!(json.contains("\"coordinators_deposed\""));
+        assert!(json.contains("\"cas_puts\""));
+        assert!(json.contains("\"remote_ops\""));
+        assert!(json.contains("\"remote_reconnects\""));
         // Balanced braces and brackets (cheap structural sanity check).
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());

@@ -2,9 +2,11 @@
 //!
 //! Runs the same survey single-process (the baseline) and then through
 //! the lease fabric at each worker count over each backend — the POSIX
-//! in-memory backend and the whole-object store (`bfu-objstore`'s adapter
-//! over the simulated object store, fault-free) — reporting sites/second
-//! and cross-checking that every cell of the grid produces the identical
+//! in-memory backend, the whole-object store (`bfu-objstore`'s adapter
+//! over the simulated object store, fault-free), and the **remote** stack
+//! (`RemoteObjectStore` → framed wire protocol → `ObjectServer`, over a
+//! clean simulated connection) — reporting sites/second and
+//! cross-checking that every cell of the grid produces the identical
 //! dataset fingerprint: the fabric's correctness contract, measured
 //! alongside its scaling and its storage-semantics portability.
 //!
@@ -16,9 +18,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use bfu_core::fabric::{run_survey_fabric, FabricConfig};
-use bfu_core::objstore::{ObjFaultPlan, ObjectBackend, SimObjectStore};
+use bfu_core::objstore::{
+    ObjFaultPlan, ObjectBackend, ObjectServer, ObjectStore, RemoteClock, RemoteObjectStore,
+    RemotePolicy, SimObjectStore, SimTransport,
+};
 use bfu_core::store::{FaultFs, StorageBackend, StoreFaultPlan};
 use bfu_crawler::{CrawlConfig, Survey};
+use bfu_net::WireFaultPlan;
+use bfu_util::VirtualClock;
 use bfu_webgen::{SyntheticWeb, WebConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -113,13 +120,38 @@ fn run() -> Result<(), String> {
     let mut rows = Vec::new();
     let mut all_match = true;
     for workers in [1usize, 2, 4] {
-        for backend_kind in ["posix", "objstore"] {
+        for backend_kind in ["posix", "objstore", "remote"] {
             eprintln!("# fabric: {workers} worker(s) × {backend_kind}…");
             let backend: Arc<dyn StorageBackend> = match backend_kind {
                 "posix" => Arc::new(FaultFs::new(StoreFaultPlan::none())),
-                _ => Arc::new(ObjectBackend::new(Arc::new(SimObjectStore::new(
+                "objstore" => Arc::new(ObjectBackend::new(Arc::new(SimObjectStore::new(
                     ObjFaultPlan::none(),
                 )))),
+                // The full wire stack on a clean connection: every op is
+                // framed, checksummed, and served by an ObjectServer; the
+                // column prices the protocol itself.
+                _ => {
+                    let server = Arc::new(ObjectServer::new(Arc::new(SimObjectStore::new(
+                        ObjFaultPlan::none(),
+                    ))
+                        as Arc<dyn ObjectStore>));
+                    let clock = Arc::new(std::sync::Mutex::new(VirtualClock::new()));
+                    let remote = Arc::new(RemoteObjectStore::new(
+                        1,
+                        Box::new(SimTransport::new(
+                            server,
+                            WireFaultPlan::none(),
+                            Arc::clone(&clock),
+                            2,
+                        )),
+                        RemoteClock::Virtual(Arc::clone(&clock)),
+                        RemotePolicy::default(),
+                    ));
+                    Arc::new(ObjectBackend::with_clock(
+                        remote as Arc<dyn ObjectStore>,
+                        clock,
+                    ))
+                }
             };
             let cfg = FabricConfig {
                 workers,
@@ -133,7 +165,15 @@ fn run() -> Result<(), String> {
             let fp = outcome.dataset.fingerprint();
             let matches = fp == baseline_fp;
             all_match &= matches;
-            rows.push((workers, backend_kind, elapsed, fp, matches, outcome.stats));
+            rows.push((
+                workers,
+                backend_kind,
+                elapsed,
+                fp,
+                matches,
+                outcome.stats,
+                outcome.health.backend,
+            ));
         }
     }
 
@@ -147,7 +187,9 @@ fn run() -> Result<(), String> {
     let _ = writeln!(json, "  \"fingerprints_match\": {all_match},");
     json.push_str("  \"workers\": [\n");
     let n = rows.len();
-    for (i, (workers, backend_kind, elapsed, fp, matches, stats)) in rows.into_iter().enumerate() {
+    for (i, (workers, backend_kind, elapsed, fp, matches, stats, backend)) in
+        rows.into_iter().enumerate()
+    {
         let rate = args.sites as f64 / elapsed.max(1e-9);
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"workers\": {workers},");
@@ -169,8 +211,19 @@ fn run() -> Result<(), String> {
         );
         let _ = writeln!(
             json,
-            "      \"publishes_fenced\": {}",
+            "      \"publishes_fenced\": {},",
             stats.publishes_fenced
+        );
+        let _ = writeln!(json, "      \"remote_ops\": {},", backend.remote_ops);
+        let _ = writeln!(
+            json,
+            "      \"remote_retries\": {},",
+            backend.remote_retries
+        );
+        let _ = writeln!(
+            json,
+            "      \"remote_reconnects\": {}",
+            backend.remote_reconnects
         );
         json.push_str(if i + 1 == n { "    }\n" } else { "    },\n" });
     }

@@ -408,6 +408,13 @@ pub struct FabricTotals {
     pub workers_died: u64,
     /// Records absorbed from worker staging shards into the canonical store.
     pub records_absorbed: u64,
+    /// Coordinator elections won (CAS on the coordinator record), counting
+    /// the initial election. Zero when the run used a static coordinator.
+    pub elections_won: u64,
+    /// Coordinator writes rejected by the generation fence — a deposed
+    /// coordinator (or a zombie replay of one) tried to write after a
+    /// standby took over.
+    pub coordinators_deposed: u64,
 }
 
 /// Storage-backend op accounting for the run that assembled a dataset.
@@ -438,6 +445,17 @@ pub struct BackendTotals {
     /// Read-after-write visibility checks that exhausted their retry
     /// budget without the backend converging.
     pub visibility_failures: u64,
+    /// Conditional (compare-and-swap) puts attempted.
+    pub cas_puts: u64,
+    /// Conditional puts that lost their race (generation mismatch).
+    pub cas_conflicts: u64,
+    /// Logical operations issued over a network wire, when the object
+    /// store was remote. Zero for local stores.
+    pub remote_ops: u64,
+    /// Wire-level request re-sends (dropped/stalled/damaged exchanges).
+    pub remote_retries: u64,
+    /// Connections (re-)established to the remote store.
+    pub remote_reconnects: u64,
 }
 
 /// Aggregate crawl-supervision statistics over a [`Dataset`].

@@ -26,6 +26,7 @@
 //! double-issued and already merged — is [`MergeOutcome::Fenced`] and its
 //! staging shards are discarded unread.
 
+use crate::election::ElectionHandle;
 use crate::lease::{LeaseState, LeaseTable};
 use crate::worker::{LeaseGrant, Probe, StepOutcome, WorkerPublish};
 use bfu_crawler::{
@@ -49,6 +50,10 @@ pub enum FabricError {
     CoordinatorKilled(String),
     /// A fabric invariant was violated (a bug, not an environment fault).
     Fabric(String),
+    /// This coordinator lost its term: a standby won an election while it
+    /// was silent, and the store's CAS fence rejected its write. The only
+    /// correct response is to stop writing — a successor owns the fabric.
+    Deposed(String),
 }
 
 impl fmt::Display for FabricError {
@@ -59,6 +64,7 @@ impl fmt::Display for FabricError {
                 write!(f, "coordinator killed at step {step}")
             }
             FabricError::Fabric(msg) => write!(f, "fabric invariant violated: {msg}"),
+            FabricError::Deposed(msg) => write!(f, "coordinator deposed: {msg}"),
         }
     }
 }
@@ -122,6 +128,10 @@ pub struct Coordinator {
     store: DatasetStore,
     table: LeaseTable,
     lease_ms: u64,
+    /// Election fence, when this coordinator holds an elected term. Every
+    /// durable table write refreshes it first; a deposed coordinator's
+    /// refresh loses its CAS and the write never happens.
+    fence: Option<ElectionHandle>,
 }
 
 impl Coordinator {
@@ -163,7 +173,55 @@ impl Coordinator {
             store,
             table,
             lease_ms,
+            fence: None,
         })
+    }
+
+    /// [`Coordinator::open`] under an elected term: the handle from a won
+    /// [`crate::election::try_elect`] becomes this coordinator's fence,
+    /// and the term is stamped into the lease table so the takeover is
+    /// durable before any lease is touched.
+    pub fn open_elected(
+        backend: Arc<dyn StorageBackend>,
+        survey: &Survey,
+        meta: StoreMeta,
+        sites_per_lease: usize,
+        lease_ms: u64,
+        handle: ElectionHandle,
+    ) -> Result<Coordinator, FabricError> {
+        let mut coord = Coordinator::open(backend, survey, meta, sites_per_lease, lease_ms)?;
+        coord.table.coord_term = handle.term();
+        coord.fence = Some(handle);
+        coord.persist_table()?;
+        Ok(coord)
+    }
+
+    /// The election handle, when this coordinator holds an elected term.
+    pub fn election(&self) -> Option<&ElectionHandle> {
+        self.fence.as_ref()
+    }
+
+    /// Advance this coordinator's heartbeat to `now` (no-op without an
+    /// elected term). Standbys take over when the heartbeat goes stale, so
+    /// the driver loop calls this every iteration.
+    pub fn heartbeat(&mut self, now: Instant) -> Result<(), FabricError> {
+        match &mut self.fence {
+            Some(h) => h.heartbeat(self.backend.as_ref(), now),
+            None => Ok(()),
+        }
+    }
+
+    /// Durably persist the lease table, fenced by the elected term when
+    /// one is held. This is the single choke point for table writes: the
+    /// fence refresh is a CAS on the `COORD` record, so a deposed
+    /// coordinator errors *before* the table write — zombie state never
+    /// reaches the store.
+    pub fn persist_table(&mut self) -> Result<(), FabricError> {
+        if let Some(h) = &mut self.fence {
+            h.refresh(self.backend.as_ref())?;
+        }
+        self.table.write_atomic(self.backend.as_ref())?;
+        Ok(())
     }
 
     /// The lease table as this coordinator sees it.
@@ -221,7 +279,7 @@ impl Coordinator {
                 l.deadline = Instant::ZERO;
             }
         }
-        self.table.write_atomic(self.backend.as_ref())?;
+        self.persist_table()?;
         Ok(expired.len())
     }
 
@@ -271,7 +329,7 @@ impl Coordinator {
                 epoch: l.epoch,
             }
         };
-        self.table.write_atomic(self.backend.as_ref())?;
+        self.persist_table()?;
         Ok(Some(grant))
     }
 
@@ -307,7 +365,7 @@ impl Coordinator {
                 l.owner = 0;
             }
         }
-        self.table.write_atomic(self.backend.as_ref())?;
+        self.persist_table()?;
         Ok(held.len())
     }
 
@@ -323,6 +381,12 @@ impl Coordinator {
         publish: &WorkerPublish,
         probe: &dyn Probe,
     ) -> Result<MergeOutcome, FabricError> {
+        // Election fence first, before a single staged byte is read: a
+        // deposed coordinator must not absorb records its successor may be
+        // re-issuing right now.
+        if let Some(h) = &mut self.fence {
+            h.refresh(self.backend.as_ref())?;
+        }
         let live = self
             .table
             .lease(publish.lease)
@@ -371,7 +435,7 @@ impl Coordinator {
         if let Some(l) = self.table.lease_mut(publish.lease) {
             l.state = LeaseState::Completed;
         }
-        self.table.write_atomic(self.backend.as_ref())?;
+        self.persist_table()?;
         coord_step(probe, &format!("coord:merge-clean:l{}", publish.lease))?;
         self.discard_staging(&publish.shards);
         Ok(MergeOutcome::Accepted { records })

@@ -1,0 +1,357 @@
+//! Coordinator election: CAS-claimed leadership with generation fencing.
+//!
+//! The fabric's coordinator was born a static role: whoever opened the
+//! [`crate::Coordinator`] *was* the coordinator, and a dead one meant a
+//! stalled survey until something restarted it. This module makes the
+//! role **electable** over any [`StorageBackend`] with native
+//! compare-and-swap ([`StorageBackend::replace_if`]): a single `COORD`
+//! record holds the current term, its owner, and the owner's last
+//! heartbeat; a standby that observes the heartbeat deadline lapsed CASes
+//! itself into the next term.
+//!
+//! The CAS generation — not the term, not the owner id — is the fence.
+//! Every durable coordinator write goes through
+//! [`ElectionHandle::refresh`] first: one conditional put of the `COORD`
+//! record at the generation this coordinator last observed. The moment a
+//! standby wins an election the generation moves, so a deposed
+//! incumbent's next refresh loses its CAS *at the store* — no message
+//! delivery, no timeout agreement, no trust in the zombie's own clock
+//! required. [`FabricError::Deposed`] is that rejection surfacing.
+//!
+//! Timing discipline matches [`crate::lease::Lease::expired`]: a
+//! heartbeat at `T` keeps the incumbent alive through the tick before
+//! `T + heartbeat_ms`; the deadline instant itself is the first tick a
+//! standby may take over.
+
+use crate::coordinator::FabricError;
+use bfu_crawler::retry_interrupted;
+use bfu_store::{as_cas_conflict, StorageBackend};
+use bfu_util::Instant;
+use std::fmt::Write as _;
+use std::io;
+
+/// Object name of the coordinator record.
+pub const COORD_NAME: &str = "COORD";
+const HEADER: &str = "bfu-coord v1";
+
+/// The durable coordinator record: who leads, under which term, and when
+/// they last proved themselves alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordRecord {
+    /// Election term, bumped by every successful takeover.
+    pub term: u64,
+    /// Owner id of the incumbent (a worker/process label, not a fence).
+    pub owner: u32,
+    /// The incumbent's last heartbeat on the fabric clock.
+    pub heartbeat: Instant,
+}
+
+impl CoordRecord {
+    /// Render to the on-disk text form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "term={}", self.term);
+        let _ = writeln!(out, "owner={}", self.owner);
+        let _ = writeln!(out, "heartbeat={}", self.heartbeat.0);
+        out
+    }
+
+    /// Parse the on-disk text form; `None` for anything torn or foreign.
+    /// Unknown keys are ignored so older readers survive newer writers.
+    pub fn parse(bytes: &[u8]) -> Option<CoordRecord> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return None;
+        }
+        let mut term = None;
+        let mut owner = None;
+        let mut heartbeat = None;
+        for line in lines {
+            let Some((key, value)) = line.trim().split_once('=') else {
+                continue;
+            };
+            match key {
+                "term" => term = value.parse::<u64>().ok(),
+                "owner" => owner = value.parse::<u32>().ok(),
+                "heartbeat" => heartbeat = value.parse::<u64>().ok(),
+                _ => {}
+            }
+        }
+        Some(CoordRecord {
+            term: term?,
+            owner: owner?,
+            heartbeat: Instant(heartbeat?),
+        })
+    }
+
+    /// Whether the incumbent's heartbeat still holds at `now`. The
+    /// deadline instant itself is the first expired tick, same as lease
+    /// expiry.
+    pub fn alive(&self, now: Instant, heartbeat_ms: u64) -> bool {
+        now < self.heartbeat.plus(heartbeat_ms)
+    }
+}
+
+/// Whether `backend` can host an election at all — it needs native
+/// conditional puts. LocalFs and FaultFs do not; the object-store
+/// adapter does.
+pub fn election_supported(backend: &dyn StorageBackend) -> bool {
+    !matches!(
+        backend.generation(COORD_NAME),
+        Err(ref e) if e.kind() == io::ErrorKind::Unsupported
+    )
+}
+
+/// Proof of a won election: the term and the CAS generation every
+/// subsequent coordinator write is fenced on.
+#[derive(Debug, Clone)]
+pub struct ElectionHandle {
+    term: u64,
+    owner: u32,
+    generation: u64,
+    last_heartbeat: Instant,
+}
+
+impl ElectionHandle {
+    /// The term this handle won.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// The owner id the term was won for.
+    pub fn owner(&self) -> u32 {
+        self.owner
+    }
+
+    /// The `COORD` generation this handle last wrote — the fence value.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Re-assert leadership at the store: one CAS of the `COORD` record
+    /// at our last observed generation. This is the fence every durable
+    /// coordinator write passes through first; losing the CAS means a
+    /// standby has taken the term and this coordinator is a zombie.
+    pub fn refresh(&mut self, backend: &dyn StorageBackend) -> Result<(), FabricError> {
+        let record = CoordRecord {
+            term: self.term,
+            owner: self.owner,
+            heartbeat: self.last_heartbeat,
+        };
+        match backend.replace_if(COORD_NAME, self.generation, record.render().as_bytes()) {
+            Ok(generation) => {
+                self.generation = generation;
+                Ok(())
+            }
+            Err(e) => match as_cas_conflict(&e) {
+                Some(c) => Err(FabricError::Deposed(format!(
+                    "term {} (owner {}) fenced at the store: expected COORD generation {}, found {}",
+                    self.term, self.owner, c.expected, c.found
+                ))),
+                None => Err(e.into()),
+            },
+        }
+    }
+
+    /// Advance the heartbeat to `now` and re-assert leadership. Standbys
+    /// watch this instant: let it go stale and they take the term.
+    pub fn heartbeat(
+        &mut self,
+        backend: &dyn StorageBackend,
+        now: Instant,
+    ) -> Result<(), FabricError> {
+        self.last_heartbeat = now;
+        self.refresh(backend)
+    }
+}
+
+/// Attempt to become coordinator at `now`.
+///
+/// Returns `Ok(Some(handle))` on a won election (no record yet, or the
+/// incumbent's heartbeat deadline has lapsed and our CAS landed first),
+/// `Ok(None)` when the incumbent is still live **or** another standby won
+/// the CAS race — either way, stand by and try again later.
+pub fn try_elect(
+    backend: &dyn StorageBackend,
+    owner: u32,
+    now: Instant,
+    heartbeat_ms: u64,
+) -> Result<Option<ElectionHandle>, FabricError> {
+    let (expected, term) = match backend.generation(COORD_NAME) {
+        Ok(generation) => {
+            let record = match retry_interrupted(|| backend.get(COORD_NAME)) {
+                Ok(bytes) => CoordRecord::parse(&bytes),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+                Err(e) => return Err(e.into()),
+            };
+            match record {
+                Some(r) if r.alive(now, heartbeat_ms) => return Ok(None),
+                Some(r) => (generation, r.term + 1),
+                // Generation exists but the content is unreadable (torn
+                // foreign write): claim over it — the CAS still guarantees
+                // exactly one claimant wins.
+                None => (generation, 1),
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => (0, 1),
+        Err(e) => return Err(e.into()),
+    };
+    let record = CoordRecord {
+        term,
+        owner,
+        heartbeat: now,
+    };
+    match backend.replace_if(COORD_NAME, expected, record.render().as_bytes()) {
+        Ok(generation) => Ok(Some(ElectionHandle {
+            term,
+            owner,
+            generation,
+            last_heartbeat: now,
+        })),
+        Err(e) => match as_cas_conflict(&e) {
+            // Lost the race: someone else's CAS moved the generation
+            // between our read and our write. They are the coordinator.
+            Some(_) => Ok(None),
+            None => Err(e.into()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfu_objstore::{ObjFaultPlan, ObjectBackend, SimObjectStore};
+    use bfu_store::LocalFs;
+    use std::sync::Arc;
+
+    fn cas_backend() -> ObjectBackend {
+        ObjectBackend::new(Arc::new(SimObjectStore::new(ObjFaultPlan::none())))
+    }
+
+    #[test]
+    fn record_roundtrips_and_ignores_unknown_keys() {
+        let r = CoordRecord {
+            term: 7,
+            owner: 3,
+            heartbeat: Instant(4_200),
+        };
+        assert_eq!(CoordRecord::parse(r.render().as_bytes()), Some(r));
+        let mut text = r.render();
+        text.push_str("future=stuff\n");
+        assert_eq!(CoordRecord::parse(text.as_bytes()), Some(r));
+        assert_eq!(CoordRecord::parse(b"not a record"), None);
+        assert_eq!(CoordRecord::parse(b"bfu-coord v1\nterm=1\n"), None);
+    }
+
+    #[test]
+    fn first_claimant_wins_term_one() {
+        let b = cas_backend();
+        let handle = try_elect(&b, 1, Instant(0), 1_000)
+            .expect("elect")
+            .expect("empty store: immediate win");
+        assert_eq!(handle.term(), 1);
+        assert_eq!(handle.owner(), 1);
+    }
+
+    #[test]
+    fn live_incumbent_blocks_standby() {
+        let b = cas_backend();
+        let _incumbent = try_elect(&b, 1, Instant(0), 1_000).unwrap().unwrap();
+        assert!(
+            try_elect(&b, 2, Instant(500), 1_000).unwrap().is_none(),
+            "heartbeat still fresh: no takeover"
+        );
+    }
+
+    /// Satellite edge case: the heartbeat deadline boundary is exact —
+    /// one tick early is a refused takeover, the deadline instant itself
+    /// is the first legal one.
+    #[test]
+    fn takeover_boundary_is_exact() {
+        let b = cas_backend();
+        let _incumbent = try_elect(&b, 1, Instant(1_000), 500).unwrap().unwrap();
+        assert!(
+            try_elect(&b, 2, Instant(1_499), 500).unwrap().is_none(),
+            "one tick before the deadline: incumbent still owns the term"
+        );
+        let usurper = try_elect(&b, 2, Instant(1_500), 500)
+            .unwrap()
+            .expect("the deadline instant is the first expired tick");
+        assert_eq!(usurper.term(), 2);
+    }
+
+    /// Satellite edge case: two standbys racing for an expired term —
+    /// exactly one may win, however the race interleaves.
+    #[test]
+    fn two_standbys_race_exactly_one_wins() {
+        // DirObjectStore: the CAS is a real filesystem hard_link race.
+        let dir = std::env::temp_dir().join(format!("bfu-elect-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = bfu_objstore::DirObjectStore::open(dir).expect("open");
+        let b = Arc::new(ObjectBackend::new(Arc::new(store)));
+        let _incumbent = try_elect(b.as_ref(), 1, Instant(0), 100).unwrap().unwrap();
+        // Heartbeat long lapsed; both standbys contend at the same instant.
+        let winners: Vec<bool> = std::thread::scope(|scope| {
+            [2u32, 3u32]
+                .map(|owner| {
+                    let b = Arc::clone(&b);
+                    scope.spawn(move || {
+                        try_elect(b.as_ref(), owner, Instant(5_000), 100)
+                            .expect("elect call")
+                            .is_some()
+                    })
+                })
+                .map(|h| h.join().expect("no panic"))
+                .to_vec()
+        });
+        assert_eq!(
+            winners.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one standby may take the term: {winners:?}"
+        );
+    }
+
+    /// Satellite edge case: a deposed incumbent replaying a fenced write.
+    #[test]
+    fn deposed_incumbent_is_fenced_at_the_store() {
+        let b = cas_backend();
+        let mut incumbent = try_elect(&b, 1, Instant(0), 1_000).unwrap().unwrap();
+        incumbent.heartbeat(&b, Instant(100)).expect("still leader");
+        // Incumbent goes silent; standby takes the term at the deadline.
+        let mut usurper = try_elect(&b, 2, Instant(1_100), 1_000)
+            .unwrap()
+            .expect("takeover");
+        assert_eq!(usurper.term(), 2);
+        // The zombie wakes up and tries to write: CAS-fenced, typed error.
+        let err = incumbent.refresh(&b).expect_err("zombie must be fenced");
+        assert!(
+            matches!(err, FabricError::Deposed(_)),
+            "wrong error class: {err}"
+        );
+        // The usurper is unaffected and keeps refreshing.
+        usurper.heartbeat(&b, Instant(1_200)).expect("new leader");
+        // And the durable record is the usurper's, untouched by the zombie.
+        let record = CoordRecord::parse(&b.get(COORD_NAME).unwrap()).unwrap();
+        assert_eq!((record.term, record.owner), (2, 2));
+    }
+
+    #[test]
+    fn reelection_after_depose_continues_the_term_sequence() {
+        let b = cas_backend();
+        let _a = try_elect(&b, 1, Instant(0), 100).unwrap().unwrap();
+        let _b2 = try_elect(&b, 2, Instant(100), 100).unwrap().unwrap();
+        let c = try_elect(&b, 3, Instant(200), 100).unwrap().unwrap();
+        assert_eq!(c.term(), 3, "terms are strictly increasing");
+    }
+
+    #[test]
+    fn localfs_does_not_support_elections() {
+        let dir = std::env::temp_dir().join(format!("bfu-elect-nofs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = LocalFs::open(&dir).expect("open");
+        assert!(!election_supported(&b));
+        assert!(election_supported(&cas_backend()));
+    }
+}

@@ -110,6 +110,11 @@ pub struct LeaseTable {
     pub fingerprint: u64,
     /// Total ranked sites (the ranges tile `0..sites`).
     pub sites: usize,
+    /// Election term of the coordinator that last wrote the table (`0`
+    /// when the fabric runs unelected). Informational — the fence is the
+    /// `COORD` record's CAS generation, never this number — but it makes
+    /// takeovers auditable from the durable state alone.
+    pub coord_term: u64,
     /// The leases, in id order.
     pub leases: Vec<Lease>,
 }
@@ -139,6 +144,7 @@ impl LeaseTable {
         LeaseTable {
             fingerprint,
             sites,
+            coord_term: 0,
             leases,
         }
     }
@@ -174,6 +180,9 @@ impl LeaseTable {
         let _ = writeln!(out, "{HEADER}");
         let _ = writeln!(out, "fingerprint={:016x}", self.fingerprint);
         let _ = writeln!(out, "sites={}", self.sites);
+        if self.coord_term != 0 {
+            let _ = writeln!(out, "coord_term={}", self.coord_term);
+        }
         for l in &self.leases {
             let _ = writeln!(
                 out,
@@ -201,6 +210,7 @@ impl LeaseTable {
         }
         let mut fingerprint = None;
         let mut sites = None;
+        let mut coord_term = 0u64;
         let mut leases = Vec::new();
         for line in lines {
             let line = line.trim();
@@ -215,6 +225,9 @@ impl LeaseTable {
                 }
                 "sites" => {
                     sites = Some(parse_int(value, "sites")? as usize);
+                }
+                "coord_term" => {
+                    coord_term = parse_int(value, "coord_term")?;
                 }
                 "lease" => {
                     let rejoined = format!("lease={value}");
@@ -263,6 +276,7 @@ impl LeaseTable {
         Ok(LeaseTable {
             fingerprint,
             sites,
+            coord_term,
             leases,
         })
     }
@@ -383,6 +397,18 @@ mod tests {
         let mut t = sample();
         t.leases[1].owner = 3;
         assert_eq!(LeaseTable::parse(&t.render()).expect("parse"), t);
+    }
+
+    #[test]
+    fn coord_term_roundtrips_and_defaults_to_zero() {
+        let mut t = sample();
+        t.coord_term = 9;
+        assert_eq!(LeaseTable::parse(&t.render()).expect("parse"), t);
+        // Unelected tables omit the line entirely, so pre-election readers
+        // and writers agree byte-for-byte.
+        t.coord_term = 0;
+        assert!(!t.render().contains("coord_term"));
+        assert_eq!(LeaseTable::parse(&t.render()).expect("parse").coord_term, 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod coordinator;
+pub mod election;
 pub mod lease;
 pub mod proc;
 pub mod run;
@@ -44,12 +45,15 @@ pub mod sim;
 pub mod worker;
 
 pub use coordinator::{Coordinator, FabricError, FabricOutcome, MergeOutcome};
+pub use election::{election_supported, try_elect, CoordRecord, ElectionHandle, COORD_NAME};
 pub use lease::{Lease, LeaseState, LeaseTable, LEASES_NAME};
 pub use proc::{
     publish_name, run_fabric_coordinator, run_fabric_worker, run_survey_fabric_processes,
     ProcConfig, WorkerExit, DONE_NAME, PUBLISH_PREFIX,
 };
 pub use run::{run_survey_fabric, FabricConfig};
-pub use sim::{run_sim, FabricFaultPlan, SimOutcome, StepProbe};
+pub use sim::{
+    run_sim, run_sim_elected, ElectedSimOutcome, FabricFaultPlan, SimOutcome, StepProbe,
+};
 pub use worker::WorkerPublish;
 pub use worker::{run_worker, stage_name, LeaseGrant, NoProbe, Probe, StepOutcome, WorkerRun};

@@ -26,6 +26,7 @@
 //! comfortably exceed a real lease's crawl time.
 
 use crate::coordinator::{Coordinator, FabricError, FabricOutcome, MergeOutcome};
+use crate::election::{election_supported, try_elect};
 use crate::worker::{run_worker, LeaseGrant, NoProbe, WorkerPublish, WorkerRun};
 use crate::{LeaseState, LeaseTable};
 use bfu_crawler::{retry_interrupted, FabricTotals, Survey};
@@ -62,6 +63,11 @@ pub struct ProcConfig {
     pub shard_capacity: u32,
     /// Threads for the final scrub pass.
     pub scrub_threads: usize,
+    /// Coordinator heartbeat window in wall-clock milliseconds. Only
+    /// meaningful on backends with native conditional puts, where the
+    /// coordinator runs under an elected, CAS-fenced term; a standby
+    /// coordinator may take over once the heartbeat goes this stale.
+    pub heartbeat_ms: u64,
 }
 
 impl Default for ProcConfig {
@@ -73,6 +79,7 @@ impl Default for ProcConfig {
             poll_ms: 10,
             shard_capacity: DEFAULT_SHARD_CAPACITY,
             scrub_threads: default_scrub_threads(),
+            heartbeat_ms: 60_000,
         }
     }
 }
@@ -249,23 +256,59 @@ pub fn run_fabric_coordinator(
 ) -> Result<FabricOutcome, FabricError> {
     let mut meta = StoreMeta::for_survey(survey);
     meta.shard_capacity = cfg.shard_capacity.max(1);
-    let mut coord = Coordinator::open(
-        Arc::clone(&backend),
-        survey,
-        meta,
-        cfg.sites_per_lease,
-        cfg.lease_ms,
-    )?;
+    let started = std::time::Instant::now();
+    // On a CAS-capable backend the coordinator runs under an elected,
+    // generation-fenced term: win it before touching any durable state.
+    // The wait is bounded — a stale COORD record from a previous process
+    // (whose wall-clock relabeling doesn't align with ours) must not wedge
+    // the run, so after one full heartbeat window we proceed unelected.
+    let mut elected = None;
+    if election_supported(backend.as_ref()) {
+        let give_up = std::time::Instant::now()
+            + Duration::from_millis(cfg.heartbeat_ms.saturating_add(cfg.poll_ms.max(1) * 4));
+        loop {
+            let now = Instant(started.elapsed().as_millis() as u64);
+            match try_elect(backend.as_ref(), 1, now, cfg.heartbeat_ms)? {
+                Some(h) => {
+                    elected = Some(h);
+                    break;
+                }
+                None if std::time::Instant::now() >= give_up => break,
+                None => std::thread::sleep(Duration::from_millis(cfg.poll_ms.max(1))),
+            }
+        }
+    }
+    let mut coord = match elected {
+        Some(handle) => Coordinator::open_elected(
+            Arc::clone(&backend),
+            survey,
+            meta,
+            cfg.sites_per_lease,
+            cfg.lease_ms,
+            handle,
+        )?,
+        None => Coordinator::open(
+            Arc::clone(&backend),
+            survey,
+            meta,
+            cfg.sites_per_lease,
+            cfg.lease_ms,
+        )?,
+    };
     let mut stats = FabricTotals {
         enabled: true,
         workers: cfg.workers.max(1) as u64,
         ..FabricTotals::default()
     };
     stats.leases_total = coord.table().leases.len() as u64;
-    let started = std::time::Instant::now();
+    stats.elections_won = u64::from(coord.election().is_some());
     let mut next_worker = 0u32;
     while !coord.all_completed() {
         let now = Instant(started.elapsed().as_millis() as u64);
+        // Prove liveness every sweep; a standby takes the term the moment
+        // this goes a heartbeat window stale. A Deposed error here is the
+        // correct way for this process to learn it lost — stop writing.
+        coord.heartbeat(now)?;
 
         // 1. Absorb every visible publish object, in sorted name order so
         //    the op sequence is identical whatever order the backend

@@ -23,6 +23,7 @@
 //! uninterrupted single-process survey — the recovery invariant.
 
 use crate::coordinator::{Coordinator, FabricError, FabricOutcome, MergeOutcome};
+use crate::election::{try_elect, ElectionHandle};
 use crate::run::FabricConfig;
 use crate::worker::{run_worker, NoProbe, Probe, StepOutcome, WorkerPublish, WorkerRun};
 use bfu_crawler::{FabricTotals, Survey};
@@ -257,5 +258,219 @@ pub fn run_sim(
         worker_deaths,
         coordinator_crashes,
         fenced_replays,
+    })
+}
+
+/// What one elected-coordinator schedule did, and how it ended.
+#[derive(Debug)]
+pub struct ElectedSimOutcome {
+    /// The finished fabric outcome — dataset, health, stats, scrub.
+    pub outcome: FabricOutcome,
+    /// Total steps announced (healthy runs: the sweep's kill range).
+    pub steps: u64,
+    /// Elections won across the schedule (≥ 1: the initial claim).
+    pub elections_won: u64,
+    /// Killed coordinators whose end-of-run replay was CAS-fenced.
+    pub coordinators_deposed: u64,
+    /// Stashed zombie publishes replayed at the end — every one fenced.
+    pub fenced_replays: u64,
+    /// Coordinator kills survived by a standby taking the term.
+    pub coordinator_crashes: u64,
+}
+
+/// Win an election or die trying: advance the clock past the incumbent's
+/// heartbeat deadline until the CAS lands.
+fn elect_or_wait(
+    backend: &dyn StorageBackend,
+    owner: u32,
+    clock: &mut VirtualClock,
+    heartbeat_ms: u64,
+) -> Result<ElectionHandle, FabricError> {
+    for _ in 0..1_000 {
+        if let Some(h) = try_elect(backend, owner, clock.now(), heartbeat_ms)? {
+            return Ok(h);
+        }
+        clock.advance(heartbeat_ms.max(1));
+    }
+    Err(FabricError::Fabric(
+        "standby failed to win an election in 1000 heartbeat windows".into(),
+    ))
+}
+
+/// [`run_sim`] under coordinator **election**: the coordinator holds an
+/// elected term, heartbeats every loop iteration, and every durable write
+/// is fenced by the `COORD` record's CAS generation.
+///
+/// When the probe kills the coordinator, the simulator does *not* reopen
+/// it — it keeps the dead incumbent around as a zombie, advances the
+/// clock past its heartbeat deadline, and has a **standby** (next owner
+/// id) win the term and finish the survey. After the table drains, every
+/// zombie coordinator replays its in-memory lease table via
+/// [`Coordinator::persist_table`] and every one must come back
+/// [`FabricError::Deposed`] — the CAS fence rejecting stale leadership at
+/// the store, with no cooperation from the zombie required.
+///
+/// Requires a backend with native conditional puts (see
+/// [`crate::election::election_supported`]).
+pub fn run_sim_elected(
+    survey: &Survey,
+    backend: Arc<dyn StorageBackend>,
+    cfg: &FabricConfig,
+    kill_at: Option<u64>,
+    heartbeat_ms: u64,
+) -> Result<ElectedSimOutcome, FabricError> {
+    let mut meta = StoreMeta::for_survey(survey);
+    meta.shard_capacity = cfg.shard_capacity.max(1);
+    let probe = StepProbe::new(kill_at);
+    let mut clock = VirtualClock::new();
+    let mut elections_won = 0u64;
+    let mut next_owner = 1u32;
+    let mut open_next = |clock: &mut VirtualClock| -> Result<Coordinator, FabricError> {
+        let owner = next_owner;
+        next_owner += 1;
+        let handle = elect_or_wait(backend.as_ref(), owner, clock, heartbeat_ms)?;
+        elections_won += 1;
+        Coordinator::open_elected(
+            Arc::clone(&backend),
+            survey,
+            meta.clone(),
+            cfg.sites_per_lease,
+            cfg.lease_ms,
+            handle,
+        )
+    };
+    let mut coordinator = open_next(&mut clock)?;
+    let mut stats = FabricTotals {
+        enabled: true,
+        workers: 1,
+        ..FabricTotals::default()
+    };
+    let mut coordinator_crashes = 0u64;
+    let mut zombie_coords: Vec<Coordinator> = Vec::new();
+    let mut zombies: Vec<WorkerPublish> = Vec::new();
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        if guard > 100_000 {
+            return Err(FabricError::Fabric(
+                "simulated elected fabric failed to converge".into(),
+            ));
+        }
+        // Failover model: the kill surfaces as CoordinatorKilled, but the
+        // dead incumbent is NOT restarted — a standby with a fresh owner id
+        // waits out the heartbeat and takes the term. The corpse is kept to
+        // prove, at the end, that the fence rejects everything it may yet
+        // write.
+        macro_rules! failover {
+            () => {{
+                coordinator_crashes += 1;
+                let successor = open_next(&mut clock)?;
+                zombie_coords.push(std::mem::replace(&mut coordinator, successor));
+                continue;
+            }};
+        }
+        coordinator.heartbeat(clock.now())?;
+        match coordinator.reclaim_expired(clock.now(), &probe) {
+            Ok(n) => {
+                stats.leases_expired += n as u64;
+                stats.leases_reclaimed += n as u64;
+            }
+            Err(FabricError::CoordinatorKilled(_)) => failover!(),
+            Err(e) => return Err(e),
+        }
+        if coordinator.all_completed() {
+            break;
+        }
+        let grant = match coordinator.claim(clock.now(), &probe) {
+            Ok(g) => g,
+            Err(FabricError::CoordinatorKilled(_)) => failover!(),
+            Err(e) => return Err(e),
+        };
+        let Some(grant) = grant else {
+            let Some(deadline) = coordinator.next_deadline() else {
+                return Err(FabricError::Fabric(
+                    "no pending leases, no deadlines, not complete".into(),
+                ));
+            };
+            clock.advance_to(deadline);
+            continue;
+        };
+        stats.leases_issued += 1;
+        let run = run_worker(
+            survey,
+            backend.as_ref(),
+            grant,
+            cfg.shard_capacity.max(1),
+            &probe,
+        )?;
+        clock.advance((grant.end.saturating_sub(grant.start) as u64) * cfg.site_ms);
+        // Crawling took virtual time; prove liveness before merging so the
+        // next standby's takeover clockwork stays honest.
+        coordinator.heartbeat(clock.now())?;
+        let publish = match run {
+            WorkerRun::Published(p) => p,
+            WorkerRun::Died(orphan) => {
+                stats.workers_died += 1;
+                zombies.extend(orphan);
+                continue;
+            }
+        };
+        match coordinator.merge_publish(&publish, &probe) {
+            Ok(MergeOutcome::Accepted { records }) => {
+                stats.leases_completed += 1;
+                stats.records_absorbed += records as u64;
+            }
+            Ok(MergeOutcome::Fenced) => stats.publishes_fenced += 1,
+            Err(FabricError::CoordinatorKilled(_)) => {
+                zombies.push(publish);
+                failover!()
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Zombie publish replays: fenced at the merge point, as in `run_sim`.
+    let mut fenced_replays = 0u64;
+    for publish in &zombies {
+        match coordinator.merge_publish(publish, &NoProbe)? {
+            MergeOutcome::Fenced => {
+                fenced_replays += 1;
+                stats.publishes_fenced += 1;
+            }
+            MergeOutcome::Accepted { .. } => {
+                return Err(FabricError::Fabric(format!(
+                    "stale publish for lease {} epoch {} was accepted after drain",
+                    publish.lease, publish.epoch
+                )));
+            }
+        }
+    }
+    // Zombie COORDINATOR replays: every killed incumbent still holds an
+    // in-memory lease table and an election handle; let each one try the
+    // durable write it would make if it woke up now. The store's CAS fence
+    // must reject every single one.
+    let mut coordinators_deposed = 0u64;
+    for zombie in &mut zombie_coords {
+        match zombie.persist_table() {
+            Err(FabricError::Deposed(_)) => coordinators_deposed += 1,
+            Err(e) => return Err(e),
+            Ok(()) => {
+                return Err(FabricError::Fabric(
+                    "deposed coordinator's table write reached the store".into(),
+                ));
+            }
+        }
+    }
+    stats.leases_total = coordinator.table().leases.len() as u64;
+    stats.elections_won = elections_won;
+    stats.coordinators_deposed = coordinators_deposed;
+    let steps = probe.steps();
+    let outcome = coordinator.finish(survey, stats, cfg.scrub_threads.max(1))?;
+    Ok(ElectedSimOutcome {
+        outcome,
+        steps,
+        elections_won,
+        coordinators_deposed,
+        fenced_replays,
+        coordinator_crashes,
     })
 }

@@ -22,14 +22,19 @@
 //!   per-host extra latency.
 //! - [`sim`] — [`sim::SimNet`]: DNS, registered virtual servers, a latency
 //!   model, statistics, and the `fetch` entry point the browser uses.
+//! - [`wire`] — fault schedules for framed request/response exchanges
+//!   (dropped/truncated/stalled/duplicated/reordered frames), consumed by
+//!   the remote object-store transport in `bfu-objstore`.
 
 pub mod conn;
 pub mod fault;
 pub mod http;
 pub mod sim;
 pub mod url;
+pub mod wire;
 
 pub use fault::{FaultKind, FaultOutcome, FaultPlan, HostFault};
 pub use http::{HttpRequest, HttpResponse, Method, ResourceType, StatusCode};
 pub use sim::{NetError, NetStats, Server, SimNet};
 pub use url::Url;
+pub use wire::{WireFault, WireFaultPlan};

@@ -1,0 +1,219 @@
+//! Wire-level fault injection for framed request/response exchanges.
+//!
+//! [`crate::fault`] models *host*-level misbehavior inside the simulated
+//! web (dead servers, slow origins). This module models the **transport
+//! itself** misbehaving under a remote object-store client: a request that
+//! never arrives, a response that is lost, truncated, stalled, delivered
+//! twice, or delivered out of order. The faults are keyed per *exchange
+//! ordinal* through [`bfu_util::fault_fires`], so a schedule is a pure
+//! function of the seed — and [`WireFaultPlan::with_fault_at`] forces one
+//! chosen fault onto one chosen exchange, which is what lets a torture
+//! sweep subject *every* wire op of a run to *every* fault class, one at a
+//! time.
+//!
+//! The plan only ever *decides*; the transport that consults it is the one
+//! that executes the fault (drops the frame, burns the stall on the virtual
+//! clock, replays the duplicate). That keeps the decision table reusable
+//! across transports.
+
+use bfu_util::{fault_choice, fault_fires};
+
+const SALT_DROP_REQ: u64 = 0xD409;
+const SALT_DROP_RESP: u64 = 0xD4E5;
+const SALT_TRUNC: u64 = 0x7124;
+const SALT_STALL: u64 = 0x57A1;
+const SALT_STALL_MS: u64 = 0x57A2;
+const SALT_DUP: u64 = 0xD0B1;
+const SALT_REORDER: u64 = 0x4E04;
+
+/// One class of wire fault, applied to one request/response exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// The request frame never reaches the server; the client sees a
+    /// broken stream. The server performed nothing.
+    DropRequest,
+    /// The server executes the request but the response frame is lost;
+    /// the client sees a broken stream. Retrying re-executes — this is the
+    /// fault idempotent request ids exist for.
+    DropResponse,
+    /// The response frame arrives with its tail cut off; the checksum
+    /// fails and the client must retry.
+    TruncateResponse,
+    /// The exchange completes, but only after a stall paid from the
+    /// clock — the fault per-op deadlines exist for.
+    Stall,
+    /// The request frame is delivered twice; the server must deduplicate
+    /// or a retried put becomes a double-apply.
+    Duplicate,
+    /// The client receives a *previous* exchange's response; request-id
+    /// matching must reject it and retry.
+    ReorderResponse,
+}
+
+impl WireFault {
+    /// Every fault class, in a fixed order — the torture sweep's axis.
+    pub const ALL: [WireFault; 6] = [
+        WireFault::DropRequest,
+        WireFault::DropResponse,
+        WireFault::TruncateResponse,
+        WireFault::Stall,
+        WireFault::Duplicate,
+        WireFault::ReorderResponse,
+    ];
+}
+
+/// Seeded fault schedule for one wire transport.
+#[derive(Debug, Clone, Copy)]
+pub struct WireFaultPlan {
+    /// Master seed for every per-exchange decision.
+    pub seed: u64,
+    /// Force exactly this fault on exactly this exchange ordinal (the
+    /// sweep's knob); chance-based faults still apply to other exchanges.
+    pub fault_at: Option<(u64, WireFault)>,
+    /// Chance the request frame is dropped.
+    pub drop_request_chance: f64,
+    /// Chance the response frame is dropped (server still executed).
+    pub drop_response_chance: f64,
+    /// Chance the response frame arrives truncated.
+    pub truncate_chance: f64,
+    /// Chance the exchange stalls.
+    pub stall_chance: f64,
+    /// Maximum stall in virtual milliseconds (uniform in `1..=max`).
+    pub stall_ms_max: u64,
+    /// Chance the request is delivered twice.
+    pub duplicate_chance: f64,
+    /// Chance the response is swapped with a stashed earlier one.
+    pub reorder_chance: f64,
+}
+
+impl Default for WireFaultPlan {
+    fn default() -> WireFaultPlan {
+        WireFaultPlan::none()
+    }
+}
+
+impl WireFaultPlan {
+    /// A perfectly healthy wire.
+    pub fn none() -> WireFaultPlan {
+        WireFaultPlan {
+            seed: 0,
+            fault_at: None,
+            drop_request_chance: 0.0,
+            drop_response_chance: 0.0,
+            truncate_chance: 0.0,
+            stall_chance: 0.0,
+            stall_ms_max: 50,
+            duplicate_chance: 0.0,
+            reorder_chance: 0.0,
+        }
+    }
+
+    /// Every fault class active at once, seeded — the chaos preset.
+    pub fn chaos(seed: u64) -> WireFaultPlan {
+        WireFaultPlan {
+            seed,
+            drop_request_chance: 0.06,
+            drop_response_chance: 0.06,
+            truncate_chance: 0.05,
+            stall_chance: 0.10,
+            duplicate_chance: 0.06,
+            reorder_chance: 0.05,
+            ..WireFaultPlan::none()
+        }
+    }
+
+    /// This plan, forcing `fault` on exchange `k`.
+    pub fn with_fault_at(mut self, k: u64, fault: WireFault) -> WireFaultPlan {
+        self.fault_at = Some((k, fault));
+        self
+    }
+
+    /// The fault (if any) for exchange ordinal `ix`, plus the stall length
+    /// when the fault is [`WireFault::Stall`]. First matching class wins,
+    /// in [`WireFault::ALL`] order, so a decision never depends on float
+    /// comparison order.
+    pub fn outcome(&self, ix: u64) -> Option<(WireFault, u64)> {
+        if let Some((k, fault)) = self.fault_at {
+            if k == ix {
+                return Some((fault, self.stall_len(ix)));
+            }
+        }
+        let s = self.seed;
+        let fired = |salt: u64, chance: f64| fault_fires(s, 0, "wire", ix, salt, chance);
+        if fired(SALT_DROP_REQ, self.drop_request_chance) {
+            Some((WireFault::DropRequest, 0))
+        } else if fired(SALT_DROP_RESP, self.drop_response_chance) {
+            Some((WireFault::DropResponse, 0))
+        } else if fired(SALT_TRUNC, self.truncate_chance) {
+            Some((WireFault::TruncateResponse, 0))
+        } else if fired(SALT_STALL, self.stall_chance) {
+            Some((WireFault::Stall, self.stall_len(ix)))
+        } else if fired(SALT_DUP, self.duplicate_chance) {
+            Some((WireFault::Duplicate, 0))
+        } else if fired(SALT_REORDER, self.reorder_chance) {
+            Some((WireFault::ReorderResponse, 0))
+        } else {
+            None
+        }
+    }
+
+    fn stall_len(&self, ix: u64) -> u64 {
+        let max = self.stall_ms_max.max(1);
+        1 + fault_choice(self.seed, 0, "wire", ix, SALT_STALL_MS, max as usize - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_never_faults() {
+        let p = WireFaultPlan::none();
+        assert!((0..1000).all(|ix| p.outcome(ix).is_none()));
+    }
+
+    #[test]
+    fn forced_fault_fires_exactly_once() {
+        let p = WireFaultPlan::none().with_fault_at(7, WireFault::Duplicate);
+        for ix in 0..20 {
+            match p.outcome(ix) {
+                Some((WireFault::Duplicate, _)) => assert_eq!(ix, 7),
+                Some(other) => panic!("unexpected fault {other:?} at {ix}"),
+                None => assert_ne!(ix, 7),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_diverse() {
+        let p = WireFaultPlan::chaos(41);
+        let a: Vec<_> = (0..4000).map(|ix| p.outcome(ix)).collect();
+        let b: Vec<_> = (0..4000).map(|ix| p.outcome(ix)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for fault in WireFault::ALL {
+            assert!(
+                a.iter().flatten().any(|(f, _)| *f == fault),
+                "chaos never produced {fault:?}"
+            );
+        }
+        assert!(
+            a.iter().filter(|o| o.is_none()).count() > 2000,
+            "most exchanges stay healthy"
+        );
+    }
+
+    #[test]
+    fn stalls_are_bounded_and_nonzero() {
+        let p = WireFaultPlan {
+            stall_chance: 1.0,
+            stall_ms_max: 10,
+            ..WireFaultPlan::none()
+        };
+        for ix in 0..200 {
+            let (fault, ms) = p.outcome(ix).expect("always stalls");
+            assert_eq!(fault, WireFault::Stall);
+            assert!((1..=10).contains(&ms), "stall {ms} out of range");
+        }
+    }
+}

@@ -32,7 +32,7 @@
 use crate::object::ObjectStore;
 use bfu_crawler::BackendTotals;
 use bfu_store::{StorageBackend, StorageFile};
-use bfu_util::fnv64;
+use bfu_util::{fnv64, VirtualClock};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
@@ -44,6 +44,11 @@ use std::sync::{Arc, Mutex};
 /// exceed the simulator's worst-case visibility lag (2 × partition window).
 const VIS_RETRY_CAP: u32 = 32;
 
+/// Virtual milliseconds each visibility retry waits before re-reading.
+/// Paid from the adapter's clock (when it has one) so the wait shows up
+/// in a run's virtual duration instead of being a free spin.
+const VIS_RETRY_DELAY_MS: u64 = 5;
+
 #[derive(Debug, Default)]
 struct OpCounters {
     puts: AtomicU64,
@@ -54,11 +59,16 @@ struct OpCounters {
     bytes_out: AtomicU64,
     retries: AtomicU64,
     visibility_failures: AtomicU64,
+    cas_puts: AtomicU64,
+    cas_conflicts: AtomicU64,
 }
 
 struct Inner {
     store: Arc<dyn ObjectStore>,
     counters: OpCounters,
+    /// Clock that visibility-retry delays are paid from; `None` means the
+    /// caller gave us no notion of time and retries are immediate.
+    clock: Option<Arc<Mutex<VirtualClock>>>,
     /// Read-your-write expectations: object name → FNV-64 of the content
     /// this adapter last put, *until a read confirms the store serves it*.
     /// `sync_dir` drains this set — it is the "what have I published but
@@ -82,6 +92,16 @@ impl fmt::Debug for Inner {
 }
 
 impl Inner {
+    /// Charge one visibility-retry delay to the clock (no-op without one).
+    /// Counted by the caller into `retries`; this only accounts the time.
+    fn pay_retry_delay(&self) {
+        if let Some(clock) = &self.clock {
+            if let Ok(mut c) = clock.lock() {
+                c.advance(VIS_RETRY_DELAY_MS);
+            }
+        }
+    }
+
     fn expectation(&self, name: &str) -> Option<u64> {
         self.expected
             .lock()
@@ -158,6 +178,7 @@ impl Inner {
             last = Some(res);
             if attempt < VIS_RETRY_CAP {
                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.pay_retry_delay();
             }
         }
         self.counters
@@ -186,12 +207,30 @@ pub struct ObjectBackend {
 }
 
 impl ObjectBackend {
-    /// Wrap `store` as a [`StorageBackend`].
+    /// Wrap `store` as a [`StorageBackend`]. Visibility retries are
+    /// immediate; prefer [`ObjectBackend::with_clock`] where a run has a
+    /// virtual clock to charge them to.
     pub fn new(store: Arc<dyn ObjectStore>) -> ObjectBackend {
+        ObjectBackend::build(store, None)
+    }
+
+    /// Wrap `store`, paying visibility-retry delays from `clock`.
+    pub fn with_clock(
+        store: Arc<dyn ObjectStore>,
+        clock: Arc<Mutex<VirtualClock>>,
+    ) -> ObjectBackend {
+        ObjectBackend::build(store, Some(clock))
+    }
+
+    fn build(
+        store: Arc<dyn ObjectStore>,
+        clock: Option<Arc<Mutex<VirtualClock>>>,
+    ) -> ObjectBackend {
         ObjectBackend {
             inner: Arc::new(Inner {
                 store,
                 counters: OpCounters::default(),
+                clock,
                 expected: Mutex::new(BTreeMap::new()),
                 written: Mutex::new(BTreeMap::new()),
             }),
@@ -306,6 +345,7 @@ impl StorageBackend for ObjectBackend {
             last = names;
             if attempt < VIS_RETRY_CAP {
                 self.inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+                self.inner.pay_retry_delay();
             }
         }
         self.inner
@@ -364,8 +404,47 @@ impl StorageBackend for ObjectBackend {
         }
     }
 
+    /// The strongly consistent generation probe, served by the store's
+    /// native `head` — the election layer's read side of the fence.
+    fn generation(&self, name: &str) -> io::Result<u64> {
+        self.inner.counters.gets.fetch_add(1, Ordering::Relaxed);
+        self.inner.store.head(name)
+    }
+
+    /// Conditional replace, served by the store's native compare-and-swap.
+    /// A lost race surfaces as a [`bfu_store::CasConflict`]-carrying error
+    /// and is counted — conflicts are the election working as designed,
+    /// not a fault.
+    fn replace_if(&self, name: &str, expected: u64, contents: &[u8]) -> io::Result<u64> {
+        self.inner.counters.cas_puts.fetch_add(1, Ordering::Relaxed);
+        match self.inner.store.put_if(name, expected, contents) {
+            Ok(generation) => {
+                self.inner
+                    .counters
+                    .bytes_in
+                    .fetch_add(contents.len() as u64, Ordering::Relaxed);
+                // The CAS is strongly consistent: no visibility lag to
+                // absorb, so record the write as already-confirmed.
+                if let Ok(mut w) = self.inner.written.lock() {
+                    w.insert(name.to_owned(), fnv64(contents));
+                }
+                Ok(generation)
+            }
+            Err(e) => {
+                if bfu_store::as_cas_conflict(&e).is_some() {
+                    self.inner
+                        .counters
+                        .cas_conflicts
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
     fn op_totals(&self) -> Option<BackendTotals> {
         let c = &self.inner.counters;
+        let remote = self.inner.store.remote_totals().unwrap_or_default();
         Some(BackendTotals {
             enabled: true,
             puts: c.puts.load(Ordering::Relaxed),
@@ -376,6 +455,11 @@ impl StorageBackend for ObjectBackend {
             bytes_out: c.bytes_out.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
             visibility_failures: c.visibility_failures.load(Ordering::Relaxed),
+            cas_puts: c.cas_puts.load(Ordering::Relaxed),
+            cas_conflicts: c.cas_conflicts.load(Ordering::Relaxed),
+            remote_ops: remote.ops,
+            remote_retries: remote.retries,
+            remote_reconnects: remote.reconnects,
         })
     }
 }
@@ -498,5 +582,65 @@ mod tests {
         let t = b.op_totals().unwrap();
         assert!(t.retries > 0, "healing took retries: {t:?}");
         assert_eq!(t.visibility_failures, 0);
+    }
+
+    #[test]
+    fn visibility_retries_pay_the_virtual_clock() {
+        // Satellite fix: the sync_dir/get visibility loop used to spin for
+        // free. With a clock attached, every counted retry advances it.
+        let clock = Arc::new(Mutex::new(VirtualClock::new()));
+        let store = Arc::new(SimObjectStore::new(
+            ObjFaultPlan::none().with_partition_at(0),
+        ));
+        let b = ObjectBackend::with_clock(store, Arc::clone(&clock));
+        b.put("m", b"v1").unwrap();
+        b.sync_dir().unwrap();
+        let t = b.op_totals().unwrap();
+        assert!(t.retries > 0, "partition must force retries: {t:?}");
+        let paid = clock.lock().unwrap().now().millis();
+        assert_eq!(
+            paid,
+            t.retries * 5,
+            "every retry pays exactly one delay from the clock"
+        );
+    }
+
+    #[test]
+    fn clockless_backend_still_converges() {
+        // Without a clock the loop degrades to the old immediate retry —
+        // correct, just unbilled.
+        let b = sim_backend(ObjFaultPlan::none().with_partition_at(0));
+        b.put("m", b"v1").unwrap();
+        b.sync_dir().unwrap();
+        assert_eq!(b.get("m").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn replace_if_and_generation_ride_native_cas() {
+        let b = sim_backend(ObjFaultPlan::none());
+        let g1 = b.replace_if("COORD", 0, b"term1").unwrap();
+        assert!(g1 > 0);
+        assert_eq!(b.generation("COORD").unwrap(), g1);
+        // Stale expected loses, with the typed conflict payload intact.
+        let err = b.replace_if("COORD", g1 + 9, b"zombie").unwrap_err();
+        let c = bfu_store::as_cas_conflict(&err).expect("typed conflict");
+        assert_eq!(c.found, g1);
+        // The winner's successor succeeds.
+        let g2 = b.replace_if("COORD", g1, b"term2").unwrap();
+        assert!(g2 > g1);
+        let t = b.op_totals().unwrap();
+        assert_eq!(t.cas_puts, 3);
+        assert_eq!(t.cas_conflicts, 1);
+    }
+
+    #[test]
+    fn local_backend_reports_zero_remote_effort() {
+        let b = sim_backend(ObjFaultPlan::none());
+        b.put("x", b"1").unwrap();
+        let t = b.op_totals().unwrap();
+        assert_eq!(
+            (t.remote_ops, t.remote_retries, t.remote_reconnects),
+            (0, 0, 0)
+        );
     }
 }

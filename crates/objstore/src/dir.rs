@@ -149,6 +149,40 @@ impl DirObjectStore {
             Err(_) => Ok(()),
         }
     }
+
+    /// Newest generation of `name` whose frame validates; 0 if none.
+    fn head_gen(&self, name: &str) -> io::Result<u64> {
+        Ok(self
+            .generations(name)?
+            .into_iter()
+            .rev()
+            .find(|&g| self.read_generation(name, g).is_some())
+            .unwrap_or(0))
+    }
+
+    /// Durably write `framed` to a fresh temp file and return its path.
+    /// Temp names use a `#t` suffix [`parse_gen_file`] rejects, so a
+    /// crashed attempt is invisible to every scan.
+    fn write_temp(&self, name: &str, framed: &[u8]) -> io::Result<PathBuf> {
+        let nonce = self.counter.fetch_add(1, Ordering::SeqCst);
+        let path = self
+            .root
+            .join(format!("{name}{GEN_SEP}t{}-{nonce:x}", std::process::id()));
+        let mut file = retry_interrupted(|| File::create(&path))?;
+        let mut rest: &[u8] = framed;
+        while !rest.is_empty() {
+            let n = retry_interrupted(|| file.write(rest))?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "object store accepted zero bytes",
+                ));
+            }
+            rest = &rest[n..];
+        }
+        retry_interrupted(|| file.sync_all())?;
+        Ok(path)
+    }
 }
 
 impl ObjectStore for DirObjectStore {
@@ -238,6 +272,75 @@ impl ObjectStore for DirObjectStore {
     fn describe(&self) -> String {
         format!("dirobj:{}", self.root.display())
     }
+
+    fn head(&self, name: &str) -> io::Result<u64> {
+        match self.head_gen(name)? {
+            0 => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no valid generation of object {name:?}"),
+            )),
+            gen => Ok(gen),
+        }
+    }
+
+    fn put_if(&self, name: &str, expected: u64, bytes: &[u8]) -> io::Result<u64> {
+        if name.contains(GEN_SEP) || name.contains('/') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("object name {name:?} contains a reserved character"),
+            ));
+        }
+        // Atomicity: the full frame lands in a synced temp file first, then
+        // `hard_link` publishes it at exactly generation `expected + 1` —
+        // link fails with AlreadyExists if any racer got there first, and
+        // the published name only ever holds a complete frame (no torn
+        // winner a loser could mistake for debris).
+        let found = self.head_gen(name)?;
+        if found != expected {
+            return Err(bfu_store::cas_conflict_error(expected, found));
+        }
+        let target = expected + 1;
+        let target_path = self.root.join(gen_file(name, target));
+        let temp = self.write_temp(name, &frame(bytes))?;
+        let mut attempts = 0u32;
+        let linked = loop {
+            match fs::hard_link(&temp, &target_path) {
+                Ok(()) => break true,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if self.read_generation(name, target).is_some() {
+                        break false; // a racer's complete frame: real conflict
+                    }
+                    // A torn file from a crashed plain `put` squats on the
+                    // slot; it is invisible to readers and its writer is
+                    // gone (live CAS writers publish complete frames only),
+                    // so clear it and retry the link.
+                    attempts += 1;
+                    if attempts > 4 {
+                        break false;
+                    }
+                    let _ = fs::remove_file(&target_path);
+                }
+                Err(e) => {
+                    let _ = fs::remove_file(&temp);
+                    return Err(e);
+                }
+            }
+        };
+        let _ = fs::remove_file(&temp);
+        if !linked {
+            let found = self.head_gen(name)?.max(target);
+            return Err(bfu_store::cas_conflict_error(expected, found));
+        }
+        self.sync_root()?;
+        self.counter.fetch_max(target + 1, Ordering::SeqCst);
+        // GC generations the new one supersedes (best-effort, like `put`).
+        for old in self.generations(name)? {
+            if old < target {
+                let _ = fs::remove_file(self.root.join(gen_file(name, old)));
+            }
+        }
+        Ok(target)
+    }
 }
 
 #[cfg(test)]
@@ -308,5 +411,81 @@ mod tests {
         *flipped.last_mut().unwrap() ^= 0x40;
         assert!(unframe(&flipped).is_none(), "flipped byte");
         assert!(unframe(b"short").is_none());
+    }
+
+    #[test]
+    fn cas_lifecycle_and_stale_writers_fenced() {
+        let s = temp_store("cas-life");
+        assert_eq!(s.head("c").unwrap_err().kind(), io::ErrorKind::NotFound);
+        let g1 = s.put_if("c", 0, b"first").unwrap();
+        assert_eq!(s.head("c").unwrap(), g1);
+        assert_eq!(s.get("c").unwrap(), b"first");
+        // Creating over an existing object must lose.
+        let err = s.put_if("c", 0, b"usurper").unwrap_err();
+        let c = bfu_store::as_cas_conflict(&err).expect("typed conflict");
+        assert_eq!((c.expected, c.found), (0, g1));
+        // A stale generation (deposed writer replaying) must lose too.
+        let g2 = s.put_if("c", g1, b"second").unwrap();
+        assert!(g2 > g1);
+        let err = s.put_if("c", g1, b"zombie").unwrap_err();
+        assert_eq!(bfu_store::as_cas_conflict(&err).expect("typed").found, g2);
+        assert_eq!(s.get("c").unwrap(), b"second", "zombie write rejected");
+    }
+
+    #[test]
+    fn cas_exactly_one_winner_under_process_contention() {
+        // The hard_link publish is the whole point: N racers CASing from
+        // the same observed generation, exactly one may win.
+        let s = std::sync::Arc::new(temp_store("cas-race"));
+        s.put_if("seat", 0, b"seed").unwrap();
+        let base = s.head("seat").unwrap();
+        let wins: Vec<bool> = std::thread::scope(|scope| {
+            (0..8u32)
+                .map(|i| {
+                    let s = std::sync::Arc::clone(&s);
+                    scope.spawn(move || {
+                        s.put_if("seat", base, format!("racer{i}").as_bytes())
+                            .is_ok()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+        assert_eq!(
+            wins.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one CAS racer may win: {wins:?}"
+        );
+        assert_eq!(s.head("seat").unwrap(), base + 1);
+    }
+
+    #[test]
+    fn cas_clears_torn_squatter_on_target_generation() {
+        // A crashed plain put can leave a torn frame exactly where the CAS
+        // wants to publish; it is invisible to readers, so the CAS must
+        // clear it and still win.
+        let s = temp_store("cas-squat");
+        let g = s.put_if("c", 0, b"base").unwrap();
+        fs::write(s.root().join(gen_file("c", g + 1)), b"BFUOBJ1\n\x07torn").unwrap();
+        let g2 = s.put_if("c", g, b"next").unwrap();
+        assert_eq!(g2, g + 1);
+        assert_eq!(s.get("c").unwrap(), b"next");
+    }
+
+    #[test]
+    fn cas_interleaves_with_plain_puts() {
+        // Plain put bumps the shared counter past the CAS target; head and
+        // a follow-up CAS must keep agreeing on the newest generation.
+        let s = temp_store("cas-mixed");
+        s.put("c", b"plain1").unwrap();
+        let g = s.head("c").unwrap();
+        let g2 = s.put_if("c", g, b"cas").unwrap();
+        assert!(g2 > g);
+        s.put("c", b"plain2").unwrap();
+        let g3 = s.head("c").unwrap();
+        assert!(g3 > g2, "plain put supersedes the CAS generation");
+        assert_eq!(s.get("c").unwrap(), b"plain2");
     }
 }

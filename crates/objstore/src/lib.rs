@@ -41,9 +41,17 @@
 mod adapter;
 mod dir;
 mod object;
+mod remote;
+mod server;
 mod sim;
+pub mod wire;
 
 pub use adapter::ObjectBackend;
 pub use dir::DirObjectStore;
-pub use object::ObjectStore;
+pub use object::{ObjectStore, RemoteTotals};
+pub use remote::{
+    RemoteClock, RemoteObjectStore, RemotePolicy, SimTransport, TcpTransport, Transport,
+};
+pub use server::{read_frame, spawn_tcp_server, ObjectServer, TcpServerHandle};
 pub use sim::{ObjFaultPlan, SimObjectStore};
+pub use wire::{RemoteError, Request, RequestOp, RespBody, Response};

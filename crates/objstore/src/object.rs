@@ -1,5 +1,7 @@
 //! The narrow object contract every object store implements.
 
+use bfu_store::cas_conflict_error;
+use bfu_util::fnv64;
 use std::fmt;
 use std::io;
 
@@ -18,6 +20,12 @@ use std::io;
 ///   may reflect a slightly stale view of the namespace.
 /// - [`ObjectStore::delete`] removes the object; like puts, tombstones may
 ///   take bounded time to become visible.
+/// - [`ObjectStore::head`] and [`ObjectStore::put_if`] speak **generations**:
+///   every visible version of a name has a generation, distinct versions
+///   never share one, and 0 is reserved for "absent". Unlike plain gets,
+///   these are the store's *strongly consistent* ops — real object stores
+///   grew exactly this split (eventual reads, linearizable conditional
+///   writes), and the coordinator-election fence depends on it.
 ///
 /// There is no rename, no partial write, no directory sync. Anything the
 /// store layer needs beyond this is synthesized by the adapter.
@@ -38,4 +46,64 @@ pub trait ObjectStore: fmt::Debug + Send + Sync {
 
     /// Human-readable location for error messages and provenance.
     fn describe(&self) -> String;
+
+    /// The current generation of `name` (never 0);
+    /// [`io::ErrorKind::NotFound`] if absent.
+    ///
+    /// The default **emulates** generations as the FNV-64 of the visible
+    /// content: good enough to detect "someone else wrote since I looked",
+    /// which is all the compare in [`ObjectStore::put_if`] needs. Native
+    /// implementations serve their real version counters and are strongly
+    /// consistent; the emulation inherits `get`'s staleness.
+    fn head(&self, name: &str) -> io::Result<u64> {
+        self.get(name).map(|bytes| fnv64(&bytes).max(1))
+    }
+
+    /// Conditional put: write `bytes` to `name` only if its current
+    /// generation equals `expected` (0 = must be absent). Returns the new
+    /// generation; a lost race is a [`bfu_store::CasConflict`]-carrying
+    /// error (recover it with [`bfu_store::as_cas_conflict`]).
+    ///
+    /// The default is an **emulation with an honest race**: it compares via
+    /// [`ObjectStore::head`] and then puts, so two emulated callers can
+    /// interleave between compare and put and both "win". Native
+    /// implementations ([`crate::DirObjectStore`], [`crate::SimObjectStore`],
+    /// the remote server) make the compare-and-write atomic, which is what
+    /// the election fence requires — never build a fence on the emulation.
+    fn put_if(&self, name: &str, expected: u64, bytes: &[u8]) -> io::Result<u64> {
+        let found = match self.head(name) {
+            Ok(gen) => gen,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        if found != expected {
+            return Err(cas_conflict_error(expected, found));
+        }
+        // The honest race: another writer can land here, between the
+        // compare above and the put below.
+        self.put(name, bytes)?;
+        Ok(fnv64(bytes).max(1))
+    }
+
+    /// Wire-level op accounting, if this store is a network client.
+    ///
+    /// `None` for local stores; [`crate::RemoteObjectStore`] reports the
+    /// requests, retries, and reconnects it spent, which the adapter folds
+    /// into [`bfu_crawler::BackendTotals`] for the provenance sidecar.
+    fn remote_totals(&self) -> Option<RemoteTotals> {
+        None
+    }
+}
+
+/// Effort counters for a store that talks over a wire: how many requests
+/// it issued and how much of that was spent re-sending.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteTotals {
+    /// Logical operations issued over the wire.
+    pub ops: u64,
+    /// Extra request attempts beyond the first (drops, stalls, truncated
+    /// or reordered responses, transient server errors).
+    pub retries: u64,
+    /// Connections re-established after a broken stream.
+    pub reconnects: u64,
 }

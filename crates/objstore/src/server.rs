@@ -1,0 +1,437 @@
+//! The object server: any [`ObjectStore`] served over the wire protocol.
+//!
+//! The core is sans-IO: [`ObjectServer::handle_frame`] maps one request
+//! frame to one response frame, so the same server logic runs under the
+//! deterministic simulated transport (torture tests) and behind real TCP
+//! sockets ([`spawn_tcp_server`], used by the cross-process fabric).
+//!
+//! The server is where retried mutations become safe. A client that never
+//! saw the response to a `put` cannot know whether the server applied it,
+//! so it re-sends the same `(client, id)`. For mutating ops the server
+//! records the response it sent under that key and *replays* it on a
+//! re-send instead of re-executing — without this, a retried `put_if`
+//! would collide with its own first attempt and report a conflict that
+//! never happened.
+
+use crate::object::ObjectStore;
+use crate::wire::{
+    decode_request, encode_response, frame_body_len, unframe, RemoteError, Request, RequestOp,
+    RespBody, Response, FRAME_HEADER_LEN,
+};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Replayed responses remembered per client. A client has at most a
+/// handful of ops in flight (in practice one), so a small window is
+/// plenty; the cap bounds memory across a long crawl.
+const REPLAY_WINDOW: usize = 128;
+
+/// Serves the wire protocol over any inner object store.
+#[derive(Debug)]
+pub struct ObjectServer {
+    inner: Arc<dyn ObjectStore>,
+    /// Recorded responses for mutating ops, keyed `(client, id)`.
+    replay: Mutex<BTreeMap<(u64, u64), Vec<u8>>>,
+    served: std::sync::atomic::AtomicU64,
+    replayed: std::sync::atomic::AtomicU64,
+}
+
+impl ObjectServer {
+    /// A server fronting `inner`.
+    pub fn new(inner: Arc<dyn ObjectStore>) -> ObjectServer {
+        ObjectServer {
+            inner,
+            replay: Mutex::new(BTreeMap::new()),
+            served: std::sync::atomic::AtomicU64::new(0),
+            replayed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Requests handled (including replays).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from the idempotency cache.
+    pub fn replayed(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Description of the store being served, for client `describe()`.
+    pub fn describe_inner(&self) -> String {
+        self.inner.describe()
+    }
+
+    /// Handle one request frame, producing exactly one response frame.
+    /// Never fails: unreadable requests get a `BadFrame` response with
+    /// id 0, which the client's id check refuses to accept as an answer
+    /// and retries.
+    pub fn handle_frame(&self, frame_bytes: &[u8]) -> Vec<u8> {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let req = match unframe(frame_bytes).and_then(decode_request) {
+            Ok(req) => req,
+            Err(err) => {
+                return encode_response(&Response {
+                    client: 0,
+                    id: 0,
+                    body: Err(err),
+                })
+            }
+        };
+        let key = (req.client, req.id);
+        if req.op.mutates() {
+            if let Ok(replay) = self.replay.lock() {
+                if let Some(recorded) = replay.get(&key) {
+                    self.replayed.fetch_add(1, Ordering::Relaxed);
+                    return recorded.clone();
+                }
+            }
+        }
+        let resp = encode_response(&self.respond(&req));
+        if req.op.mutates() {
+            if let Ok(mut replay) = self.replay.lock() {
+                replay.insert(key, resp.clone());
+                // Prune this client's oldest entries; ids grow
+                // monotonically so BTreeMap order is arrival order.
+                let client_keys: Vec<_> = replay
+                    .range((req.client, 0)..=(req.client, u64::MAX))
+                    .map(|(k, _)| *k)
+                    .collect();
+                if client_keys.len() > REPLAY_WINDOW {
+                    for k in &client_keys[..client_keys.len() - REPLAY_WINDOW] {
+                        replay.remove(k);
+                    }
+                }
+            }
+        }
+        resp
+    }
+
+    fn respond(&self, req: &Request) -> Response {
+        let body = match &req.op {
+            RequestOp::Put { name, bytes } => self.inner.put(name, bytes).map(|()| RespBody::Unit),
+            RequestOp::Get { name } => self.inner.get(name).map(RespBody::Bytes),
+            RequestOp::Delete { name } => self.inner.delete(name).map(|()| RespBody::Unit),
+            RequestOp::List => self.inner.list().map(RespBody::Names),
+            RequestOp::Head { name } => self.inner.head(name).map(RespBody::Gen),
+            RequestOp::PutIf {
+                name,
+                expected,
+                bytes,
+            } => self.inner.put_if(name, *expected, bytes).map(RespBody::Gen),
+        };
+        Response {
+            client: req.client,
+            id: req.id,
+            body: body.map_err(|e| RemoteError::from_io(&e)),
+        }
+    }
+}
+
+/// A running TCP front for an [`ObjectServer`]; dropping it (or calling
+/// [`TcpServerHandle::shutdown`]) stops the accept loop.
+#[derive(Debug)]
+pub struct TcpServerHandle {
+    /// Address the server is listening on (loopback, ephemeral port).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// Stop accepting and join the accept loop. Connection threads finish
+    /// their current exchange and exit when their peer disconnects.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve `server` on a fresh loopback TCP port, one thread per
+/// connection, one request/response exchange per frame.
+pub fn spawn_tcp_server(server: Arc<ObjectServer>) -> io::Result<TcpServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let server = Arc::clone(&server);
+            let stop_conn = Arc::clone(&stop_accept);
+            std::thread::spawn(move || serve_conn(stream, &server, &stop_conn));
+        }
+    });
+    Ok(TcpServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn serve_conn(mut stream: TcpStream, server: &ObjectServer, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    while !stop.load(Ordering::SeqCst) {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean disconnect or damaged stream: either way this
+            // connection is done; the client reconnects.
+            Ok(None) | Err(_) => return,
+        };
+        let resp = server.handle_frame(&frame);
+        if stream.write_all(&resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// Read one complete frame from a stream. `Ok(None)` is a clean EOF at a
+/// frame boundary; a bad header or short body is an error (the stream can
+/// no longer be trusted to be frame-aligned).
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut got = 0;
+    while got < header.len() {
+        match reader.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let body_len =
+        frame_body_len(&header).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + body_len);
+    frame.extend_from_slice(&header);
+    frame.resize(FRAME_HEADER_LEN + body_len, 0);
+    reader.read_exact(&mut frame[FRAME_HEADER_LEN..])?;
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dir::DirObjectStore;
+    use crate::wire::{decode_response, encode_request};
+    use bfu_store::as_cas_conflict;
+
+    fn server_tagged(tag: &str) -> ObjectServer {
+        let dir = std::env::temp_dir().join(format!("bfu-objsrv-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DirObjectStore::open(dir).expect("open dir store");
+        ObjectServer::new(Arc::new(store))
+    }
+
+    fn ask(server: &ObjectServer, client: u64, id: u64, op: RequestOp) -> Response {
+        let req = encode_request(&Request { client, id, op });
+        let resp = server.handle_frame(&req);
+        decode_response(unframe(&resp).expect("frame")).expect("decode")
+    }
+
+    #[test]
+    fn basic_ops_round_trip_through_server() {
+        let srv = server_tagged("basic");
+        let put = ask(
+            &srv,
+            1,
+            1,
+            RequestOp::Put {
+                name: "a".into(),
+                bytes: vec![1, 2],
+            },
+        );
+        assert_eq!(put.body, Ok(RespBody::Unit));
+        let get = ask(&srv, 1, 2, RequestOp::Get { name: "a".into() });
+        assert_eq!(get.body, Ok(RespBody::Bytes(vec![1, 2])));
+        let list = ask(&srv, 1, 3, RequestOp::List);
+        assert_eq!(list.body, Ok(RespBody::Names(vec!["a".into()])));
+        let missing = ask(
+            &srv,
+            1,
+            4,
+            RequestOp::Get {
+                name: "nope".into(),
+            },
+        );
+        assert_eq!(missing.body, Err(RemoteError::NotFound));
+    }
+
+    #[test]
+    fn retried_mutation_replays_not_reexecutes() {
+        let srv = server_tagged("replay");
+        let first = ask(
+            &srv,
+            7,
+            1,
+            RequestOp::PutIf {
+                name: "COORD".into(),
+                expected: 0,
+                bytes: vec![1],
+            },
+        );
+        let Ok(RespBody::Gen(generation)) = first.body else {
+            panic!("first cas-put should win: {first:?}");
+        };
+        // Same (client, id) again: the frame the server already sent,
+        // byte for byte — not a CasConflict against our own write.
+        let retry = ask(
+            &srv,
+            7,
+            1,
+            RequestOp::PutIf {
+                name: "COORD".into(),
+                expected: 0,
+                bytes: vec![1],
+            },
+        );
+        assert_eq!(retry.body, Ok(RespBody::Gen(generation)));
+        assert_eq!(srv.replayed(), 1);
+        // A *different* id is a genuinely new op and must conflict.
+        let fresh = ask(
+            &srv,
+            7,
+            2,
+            RequestOp::PutIf {
+                name: "COORD".into(),
+                expected: 0,
+                bytes: vec![2],
+            },
+        );
+        assert_eq!(
+            fresh.body,
+            Err(RemoteError::CasConflict {
+                expected: 0,
+                found: generation
+            })
+        );
+    }
+
+    #[test]
+    fn replay_cache_is_per_client() {
+        let srv = server_tagged("perclient");
+        // Two clients using the same id must not see each other's replays.
+        let a = ask(
+            &srv,
+            1,
+            1,
+            RequestOp::PutIf {
+                name: "c".into(),
+                expected: 0,
+                bytes: vec![1],
+            },
+        );
+        assert!(a.body.is_ok());
+        let b = ask(
+            &srv,
+            2,
+            1,
+            RequestOp::PutIf {
+                name: "c".into(),
+                expected: 0,
+                bytes: vec![2],
+            },
+        );
+        assert!(
+            matches!(b.body, Err(RemoteError::CasConflict { .. })),
+            "client 2's op must execute (and lose), not replay client 1's win: {b:?}"
+        );
+        assert_eq!(srv.replayed(), 0);
+    }
+
+    #[test]
+    fn malformed_frame_gets_id_zero_badframe() {
+        let srv = server_tagged("malformed");
+        let resp = srv.handle_frame(b"not a frame at all");
+        let decoded = decode_response(unframe(&resp).expect("frame")).expect("decode");
+        assert_eq!(decoded.id, 0);
+        assert_eq!(decoded.body, Err(RemoteError::BadFrame));
+    }
+
+    #[test]
+    fn tcp_round_trip_over_real_sockets() {
+        let srv = server_tagged("tcp");
+        let mut handle = spawn_tcp_server(Arc::new(srv)).expect("spawn");
+        let mut stream = TcpStream::connect(handle.addr).expect("connect");
+        stream
+            .write_all(&encode_request(&Request {
+                client: 9,
+                id: 1,
+                op: RequestOp::Put {
+                    name: "t".into(),
+                    bytes: b"over tcp".to_vec(),
+                },
+            }))
+            .expect("send");
+        let frame = read_frame(&mut stream).expect("read").expect("some");
+        let resp = decode_response(unframe(&frame).expect("frame")).expect("decode");
+        assert_eq!(resp.body, Ok(RespBody::Unit));
+        // Keep-alive: second exchange on the same stream.
+        stream
+            .write_all(&encode_request(&Request {
+                client: 9,
+                id: 2,
+                op: RequestOp::Get { name: "t".into() },
+            }))
+            .expect("send");
+        let frame = read_frame(&mut stream).expect("read").expect("some");
+        let resp = decode_response(unframe(&frame).expect("frame")).expect("decode");
+        assert_eq!(resp.body, Ok(RespBody::Bytes(b"over tcp".to_vec())));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cas_conflict_payload_survives_server_hop() {
+        let srv = server_tagged("cas");
+        let _ = ask(
+            &srv,
+            1,
+            1,
+            RequestOp::Put {
+                name: "x".into(),
+                bytes: vec![0],
+            },
+        );
+        let generation = match ask(&srv, 1, 2, RequestOp::Head { name: "x".into() }).body {
+            Ok(RespBody::Gen(g)) => g,
+            other => panic!("head failed: {other:?}"),
+        };
+        let lost = ask(
+            &srv,
+            1,
+            3,
+            RequestOp::PutIf {
+                name: "x".into(),
+                expected: generation + 5,
+                bytes: vec![1],
+            },
+        );
+        let err = lost.body.expect_err("stale expected must lose");
+        let io_err = err.into_io();
+        let c = as_cas_conflict(&io_err).expect("payload");
+        assert_eq!(c.expected, generation + 5);
+        assert_eq!(c.found, generation);
+    }
+}

@@ -208,6 +208,41 @@ impl ObjState {
         }
     }
 
+    /// Settle every pending effect for one name, whatever its due time —
+    /// the strongly consistent ops (`head`, `put_if`) see acknowledged
+    /// state, so they force the partition to heal for that name first.
+    fn settle(&mut self, name: &str) {
+        let mut rest = Vec::new();
+        let mut mine = Vec::new();
+        for p in self.pending.drain(..) {
+            if p.name == name {
+                mine.push(p);
+            } else {
+                rest.push(p);
+            }
+        }
+        self.pending = rest;
+        for p in mine {
+            let version = if p.fresh_version {
+                self.version += 1;
+                self.version
+            } else {
+                p.version
+            };
+            self.apply(&p.name, version, p.data);
+        }
+    }
+
+    /// Generation of the acknowledged newest version of `name`; 0 = absent.
+    /// Callers [`ObjState::settle`] first.
+    fn generation(&self, name: &str) -> u64 {
+        self.names
+            .get(name)
+            .and_then(|h| h.last())
+            .and_then(|(v, d)| d.as_ref().map(|_| *v))
+            .unwrap_or(0)
+    }
+
     fn visible(&self, name: &str) -> Option<&Arc<Vec<u8>>> {
         self.names
             .get(name)
@@ -448,6 +483,39 @@ impl ObjectStore for SimObjectStore {
     fn describe(&self) -> String {
         format!("simobj(seed={})", self.plan.seed)
     }
+
+    fn head(&self, name: &str) -> io::Result<u64> {
+        let mut st = self.lock()?;
+        self.pre_op(&mut st, format!("obj:head:{name}"))?;
+        // Strongly consistent: real stores serve conditional reads from the
+        // authoritative replica, so the partition cannot make `head` lie.
+        st.settle(name);
+        match st.generation(name) {
+            0 => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} not found"),
+            )),
+            gen => Ok(gen),
+        }
+    }
+
+    fn put_if(&self, name: &str, expected: u64, bytes: &[u8]) -> io::Result<u64> {
+        let mut st = self.lock()?;
+        self.pre_op(&mut st, format!("obj:casput:{name}"))?;
+        // Linearizable under the state mutex, against *acknowledged* state:
+        // compare and write are one step, the partition injector cannot
+        // wedge itself between them. This is the native CAS the election
+        // fence builds on.
+        st.settle(name);
+        let found = st.generation(name);
+        if found != expected {
+            return Err(bfu_store::cas_conflict_error(expected, found));
+        }
+        st.version += 1;
+        let version = st.version;
+        st.apply(name, version, Some(Arc::new(bytes.to_vec())));
+        Ok(version)
+    }
 }
 
 #[cfg(test)]
@@ -559,5 +627,47 @@ mod tests {
             s.op_trace()
         };
         assert_eq!(run(20), run(20), "same plan, same trace");
+    }
+
+    #[test]
+    fn cas_basic_lifecycle() {
+        let s = SimObjectStore::new(ObjFaultPlan::none());
+        assert_eq!(s.head("c").unwrap_err().kind(), io::ErrorKind::NotFound);
+        let g1 = s.put_if("c", 0, b"one").unwrap();
+        assert_eq!(s.head("c").unwrap(), g1);
+        let err = s.put_if("c", 0, b"late creator").unwrap_err();
+        assert_eq!(bfu_store::as_cas_conflict(&err).expect("typed").found, g1);
+        let g2 = s.put_if("c", g1, b"two").unwrap();
+        assert!(g2 > g1);
+        assert_eq!(s.get("c").unwrap(), b"two");
+    }
+
+    #[test]
+    fn cas_sees_through_partitions() {
+        // The put at op 0 is partitioned: its visibility is delayed, a
+        // plain get would miss it. head/put_if are strongly consistent —
+        // they settle the pending effect and must see the acknowledged
+        // write, so a CAS expecting "absent" correctly loses.
+        let s = SimObjectStore::new(ObjFaultPlan::none().with_partition_at(0));
+        s.put("c", b"hidden").unwrap();
+        let g = s.head("c").expect("head sees the acknowledged put");
+        assert!(g > 0);
+        let err = s.put_if("c", 0, b"usurper").unwrap_err();
+        assert!(bfu_store::as_cas_conflict(&err).is_some());
+        let g2 = s.put_if("c", g, b"next").unwrap();
+        assert!(g2 > g);
+        assert_eq!(s.get("c").unwrap(), b"next");
+    }
+
+    #[test]
+    fn cas_under_chaos_never_double_wins() {
+        // Sequential CAS claims from the same observed generation: the
+        // second must always conflict, whatever the fault schedule does to
+        // visibility around them.
+        let s = SimObjectStore::new(ObjFaultPlan::chaos(13));
+        let base = s.put_if("seat", 0, b"a").unwrap();
+        let win = s.put_if("seat", base, b"b").expect("fresh claim wins");
+        assert!(s.put_if("seat", base, b"c").is_err(), "stale claim fenced");
+        assert_eq!(s.head("seat").unwrap(), win);
     }
 }

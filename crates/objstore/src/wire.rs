@@ -1,0 +1,573 @@
+//! The remote object-store wire protocol: framing, ops, and error codes.
+//!
+//! One frame per message, symmetric in both directions:
+//!
+//! ```text
+//! "BFUWIRE1"            8-byte magic
+//! len:  u32 LE          payload length
+//! sum:  u64 LE          FNV-64 of the payload
+//! payload               `len` bytes
+//! ```
+//!
+//! The payload of a request is `(client, id, op)`; of a response,
+//! `(client, id, status, body)`. Request ids are **per-client** and chosen
+//! once per logical operation: a retry re-sends the *same* id, and the
+//! server's idempotency cache replays the recorded answer instead of
+//! re-executing a mutation — that is what makes "response lost after the
+//! server applied the put" safe to retry. The `(client, id)` echo in the
+//! response is what lets a client reject a reordered frame from an earlier
+//! exchange.
+//!
+//! Errors cross the wire as [`RemoteError`] codes, not strings: each code
+//! deserializes back to the same retryable-or-fatal classification it was
+//! sent with, so a client never has to parse an error message to decide
+//! whether to retry (the round-trip test below pins this for every class).
+
+use bfu_store::{as_cas_conflict, cas_conflict_error};
+use bfu_util::{fnv64, ByteReader, ByteWriter};
+use std::fmt;
+use std::io;
+
+/// Frame magic: protocol name + version, checked before anything else.
+pub const WIRE_MAGIC: &[u8; 8] = b"BFUWIRE1";
+
+/// Hard ceiling on a frame payload; anything larger is a corrupt or
+/// hostile length field, not a real message.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Bytes of frame header before the payload: magic + len + checksum.
+pub const FRAME_HEADER_LEN: usize = 8 + 4 + 8;
+
+/// One operation requested of the remote store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOp {
+    /// Atomic whole-object write.
+    Put { name: String, bytes: Vec<u8> },
+    /// Read one complete version.
+    Get { name: String },
+    /// Remove the object.
+    Delete { name: String },
+    /// Enumerate all names.
+    List,
+    /// Current generation of a name.
+    Head { name: String },
+    /// Conditional put fenced on the expected generation.
+    PutIf {
+        name: String,
+        expected: u64,
+        bytes: Vec<u8>,
+    },
+}
+
+impl RequestOp {
+    /// Whether the server must deduplicate retries of this op: replaying a
+    /// recorded answer instead of re-executing. Reads are naturally
+    /// idempotent; mutations are not ([`RequestOp::PutIf`] would see its
+    /// *own* first attempt as the conflicting writer).
+    pub fn mutates(&self) -> bool {
+        matches!(
+            self,
+            RequestOp::Put { .. } | RequestOp::Delete { .. } | RequestOp::PutIf { .. }
+        )
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            RequestOp::Put { .. } => 1,
+            RequestOp::Get { .. } => 2,
+            RequestOp::Delete { .. } => 3,
+            RequestOp::List => 4,
+            RequestOp::Head { .. } => 5,
+            RequestOp::PutIf { .. } => 6,
+        }
+    }
+}
+
+/// A client request: which client, which operation ordinal, what to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Stable client identity; the idempotency cache is keyed per client
+    /// so two clients that both start ids at 1 never collide.
+    pub client: u64,
+    /// Per-client operation id, reused verbatim across retries.
+    pub id: u64,
+    /// The operation itself.
+    pub op: RequestOp,
+}
+
+/// The successful payload of a response, shaped per op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespBody {
+    /// Put / Delete succeeded.
+    Unit,
+    /// Get result.
+    Bytes(Vec<u8>),
+    /// List result.
+    Names(Vec<String>),
+    /// Head / PutIf result: a generation.
+    Gen(u64),
+}
+
+impl RespBody {
+    fn tag(&self) -> u8 {
+        match self {
+            RespBody::Unit => 1,
+            RespBody::Bytes(_) => 2,
+            RespBody::Names(_) => 3,
+            RespBody::Gen(_) => 4,
+        }
+    }
+}
+
+/// A server response echoing the request's identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of [`Request::client`].
+    pub client: u64,
+    /// Echo of [`Request::id`] (0 when the request was unreadable).
+    pub id: u64,
+    /// Outcome.
+    pub body: Result<RespBody, RemoteError>,
+}
+
+/// Error codes a remote exchange can produce, each with a fixed
+/// retryable-or-fatal classification that survives the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The object does not exist. Fatal: retrying changes nothing.
+    NotFound,
+    /// Conditional put lost its race; carries both generations so the
+    /// caller can re-read and decide. Fatal at the transport layer.
+    CasConflict { expected: u64, found: u64 },
+    /// The request itself was malformed for the store (bad name, reserved
+    /// characters). Fatal: the same request will fail the same way.
+    InvalidInput,
+    /// Transient store or transport trouble (broken stream, server
+    /// shedding load). Retryable.
+    Unavailable,
+    /// A frame failed its magic, length, or checksum check. Retryable:
+    /// the bytes were damaged in flight, not the request.
+    BadFrame,
+    /// Any other server-side I/O failure. Fatal — without a code we must
+    /// assume the op partially applied in some unknown way.
+    Io,
+}
+
+impl RemoteError {
+    /// Whether a client should retry the same request id.
+    pub fn retryable(&self) -> bool {
+        matches!(self, RemoteError::Unavailable | RemoteError::BadFrame)
+    }
+
+    /// Classify a local [`io::Error`] for the wire. CAS conflicts keep
+    /// their payload; disconnect-shaped kinds become [`RemoteError::Unavailable`];
+    /// everything else collapses to a fatal code.
+    pub fn from_io(err: &io::Error) -> RemoteError {
+        if let Some(c) = as_cas_conflict(err) {
+            return RemoteError::CasConflict {
+                expected: c.expected,
+                found: c.found,
+            };
+        }
+        match err.kind() {
+            io::ErrorKind::NotFound => RemoteError::NotFound,
+            io::ErrorKind::InvalidInput => RemoteError::InvalidInput,
+            io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof => RemoteError::Unavailable,
+            _ => RemoteError::Io,
+        }
+    }
+
+    /// Rehydrate into an [`io::Error`] on the client side. The kind is
+    /// chosen so that [`RemoteError::from_io`] round-trips to the same
+    /// class — and deliberately *never* `Interrupted`, which lower I/O
+    /// retry loops would spin on.
+    pub fn into_io(self) -> io::Error {
+        match self {
+            RemoteError::NotFound => io::Error::new(io::ErrorKind::NotFound, "remote: not found"),
+            RemoteError::CasConflict { expected, found } => cas_conflict_error(expected, found),
+            RemoteError::InvalidInput => {
+                io::Error::new(io::ErrorKind::InvalidInput, "remote: invalid input")
+            }
+            RemoteError::Unavailable => {
+                io::Error::new(io::ErrorKind::TimedOut, "remote: unavailable")
+            }
+            RemoteError::BadFrame => io::Error::new(io::ErrorKind::TimedOut, "remote: bad frame"),
+            RemoteError::Io => io::Error::other("remote: server i/o error"),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            RemoteError::NotFound => 1,
+            RemoteError::CasConflict { .. } => 2,
+            RemoteError::InvalidInput => 3,
+            RemoteError::Unavailable => 4,
+            RemoteError::BadFrame => 5,
+            RemoteError::Io => 6,
+        }
+    }
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::NotFound => write!(f, "not found"),
+            RemoteError::CasConflict { expected, found } => {
+                write!(f, "cas conflict: expected {expected}, found {found}")
+            }
+            RemoteError::InvalidInput => write!(f, "invalid input"),
+            RemoteError::Unavailable => write!(f, "unavailable"),
+            RemoteError::BadFrame => write!(f, "bad frame"),
+            RemoteError::Io => write!(f, "server i/o error"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Wrap a payload in the checksummed frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(WIRE_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The payload length a frame header announces, or why the header is bad.
+/// Callers that read from a stream use this to size the body read.
+pub fn frame_body_len(header: &[u8]) -> Result<usize, RemoteError> {
+    if header.len() != FRAME_HEADER_LEN || &header[..8] != WIRE_MAGIC {
+        return Err(RemoteError::BadFrame);
+    }
+    let mut len4 = [0u8; 4];
+    len4.copy_from_slice(&header[8..12]);
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(RemoteError::BadFrame);
+    }
+    Ok(len)
+}
+
+/// Unwrap a complete frame, verifying magic, length, and checksum.
+pub fn unframe(frame: &[u8]) -> Result<&[u8], RemoteError> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return Err(RemoteError::BadFrame);
+    }
+    let len = frame_body_len(&frame[..FRAME_HEADER_LEN])?;
+    let payload = &frame[FRAME_HEADER_LEN..];
+    if payload.len() != len {
+        return Err(RemoteError::BadFrame);
+    }
+    let mut sum8 = [0u8; 8];
+    sum8.copy_from_slice(&frame[12..20]);
+    if fnv64(payload) != u64::from_le_bytes(sum8) {
+        return Err(RemoteError::BadFrame);
+    }
+    Ok(payload)
+}
+
+/// Encode a request as a complete frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(req.client);
+    w.put_u64(req.id);
+    w.put_u8(req.op.tag());
+    match &req.op {
+        RequestOp::Put { name, bytes } => {
+            w.put_str(name);
+            w.put_bytes(bytes);
+        }
+        RequestOp::Get { name } | RequestOp::Delete { name } | RequestOp::Head { name } => {
+            w.put_str(name);
+        }
+        RequestOp::List => {}
+        RequestOp::PutIf {
+            name,
+            expected,
+            bytes,
+        } => {
+            w.put_str(name);
+            w.put_u64(*expected);
+            w.put_bytes(bytes);
+        }
+    }
+    frame(&w.into_bytes())
+}
+
+/// Decode a request from an already-unframed payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, RemoteError> {
+    let mut r = ByteReader::new(payload);
+    let parse = |r: &mut ByteReader| -> Option<Request> {
+        let client = r.get_u64().ok()?;
+        let id = r.get_u64().ok()?;
+        let op = match r.get_u8().ok()? {
+            1 => RequestOp::Put {
+                name: r.get_str().ok()?.to_string(),
+                bytes: r.get_bytes().ok()?.to_vec(),
+            },
+            2 => RequestOp::Get {
+                name: r.get_str().ok()?.to_string(),
+            },
+            3 => RequestOp::Delete {
+                name: r.get_str().ok()?.to_string(),
+            },
+            4 => RequestOp::List,
+            5 => RequestOp::Head {
+                name: r.get_str().ok()?.to_string(),
+            },
+            6 => RequestOp::PutIf {
+                name: r.get_str().ok()?.to_string(),
+                expected: r.get_u64().ok()?,
+                bytes: r.get_bytes().ok()?.to_vec(),
+            },
+            _ => return None,
+        };
+        if !r.is_empty() {
+            return None;
+        }
+        Some(Request { client, id, op })
+    };
+    parse(&mut r).ok_or(RemoteError::BadFrame)
+}
+
+/// Encode a response as a complete frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(resp.client);
+    w.put_u64(resp.id);
+    match &resp.body {
+        Ok(body) => {
+            w.put_u8(0);
+            w.put_u8(body.tag());
+            match body {
+                RespBody::Unit => {}
+                RespBody::Bytes(b) => w.put_bytes(b),
+                RespBody::Names(names) => {
+                    w.put_u32(names.len() as u32);
+                    for n in names {
+                        w.put_str(n);
+                    }
+                }
+                RespBody::Gen(g) => w.put_u64(*g),
+            }
+        }
+        Err(err) => {
+            w.put_u8(1);
+            w.put_u8(err.tag());
+            if let RemoteError::CasConflict { expected, found } = err {
+                w.put_u64(*expected);
+                w.put_u64(*found);
+            }
+        }
+    }
+    frame(&w.into_bytes())
+}
+
+/// Decode a response from an already-unframed payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, RemoteError> {
+    let mut r = ByteReader::new(payload);
+    let parse = |r: &mut ByteReader| -> Option<Response> {
+        let client = r.get_u64().ok()?;
+        let id = r.get_u64().ok()?;
+        let body = match r.get_u8().ok()? {
+            0 => Ok(match r.get_u8().ok()? {
+                1 => RespBody::Unit,
+                2 => RespBody::Bytes(r.get_bytes().ok()?.to_vec()),
+                3 => {
+                    let n = r.get_u32().ok()? as usize;
+                    if n > MAX_FRAME_LEN / 2 {
+                        return None;
+                    }
+                    let mut names = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        names.push(r.get_str().ok()?.to_string());
+                    }
+                    RespBody::Names(names)
+                }
+                4 => RespBody::Gen(r.get_u64().ok()?),
+                _ => return None,
+            }),
+            1 => Err(match r.get_u8().ok()? {
+                1 => RemoteError::NotFound,
+                2 => RemoteError::CasConflict {
+                    expected: r.get_u64().ok()?,
+                    found: r.get_u64().ok()?,
+                },
+                3 => RemoteError::InvalidInput,
+                4 => RemoteError::Unavailable,
+                5 => RemoteError::BadFrame,
+                6 => RemoteError::Io,
+                _ => return None,
+            }),
+            _ => return None,
+        };
+        if !r.is_empty() {
+            return None;
+        }
+        Some(Response { client, id, body })
+    };
+    parse(&mut r).ok_or(RemoteError::BadFrame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_errors() -> Vec<RemoteError> {
+        vec![
+            RemoteError::NotFound,
+            RemoteError::CasConflict {
+                expected: 7,
+                found: 9,
+            },
+            RemoteError::InvalidInput,
+            RemoteError::Unavailable,
+            RemoteError::BadFrame,
+            RemoteError::Io,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let ops = vec![
+            RequestOp::Put {
+                name: "a".into(),
+                bytes: vec![1, 2, 3],
+            },
+            RequestOp::Get { name: "b/c".into() },
+            RequestOp::Delete { name: "d".into() },
+            RequestOp::List,
+            RequestOp::Head { name: "e".into() },
+            RequestOp::PutIf {
+                name: "COORD".into(),
+                expected: 41,
+                bytes: vec![],
+            },
+        ];
+        for (ix, op) in ops.into_iter().enumerate() {
+            let req = Request {
+                client: 0xC0FFEE,
+                id: ix as u64 + 1,
+                op,
+            };
+            let bytes = encode_request(&req);
+            let back = decode_request(unframe(&bytes).expect("frame ok")).expect("decode ok");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let bodies: Vec<Result<RespBody, RemoteError>> = vec![
+            Ok(RespBody::Unit),
+            Ok(RespBody::Bytes(vec![9; 300])),
+            Ok(RespBody::Names(vec!["x".into(), "y#g1".into()])),
+            Ok(RespBody::Gen(17)),
+        ]
+        .into_iter()
+        .chain(all_errors().into_iter().map(Err))
+        .collect();
+        for (ix, body) in bodies.into_iter().enumerate() {
+            let resp = Response {
+                client: 3,
+                id: ix as u64,
+                body,
+            };
+            let bytes = encode_response(&resp);
+            let back = decode_response(unframe(&bytes).expect("frame ok")).expect("decode ok");
+            assert_eq!(back, resp);
+        }
+    }
+
+    /// Satellite: every error class must survive the wire with its
+    /// classification intact — serialize, deserialize, and land on the
+    /// same retryable/fatal verdict, with no stringly-typed collapse
+    /// through `io::Error` either.
+    #[test]
+    fn error_classification_survives_round_trip() {
+        for err in all_errors() {
+            let resp = Response {
+                client: 1,
+                id: 1,
+                body: Err(err.clone()),
+            };
+            let bytes = encode_response(&resp);
+            let back = decode_response(unframe(&bytes).expect("frame ok")).expect("decode ok");
+            let got = back.body.expect_err("still an error");
+            assert_eq!(got, err, "wire round-trip changed the error");
+            assert_eq!(
+                got.retryable(),
+                err.retryable(),
+                "classification changed over the wire for {err:?}"
+            );
+        }
+    }
+
+    /// The io::Error hop on the client side must also preserve class: a
+    /// retryable RemoteError that becomes io::Error and is later
+    /// re-classified (e.g. by a nested remote) stays retryable.
+    #[test]
+    fn io_error_hop_preserves_classification() {
+        for err in all_errors() {
+            let io_err = err.clone().into_io();
+            let back = RemoteError::from_io(&io_err);
+            assert_eq!(
+                back.retryable(),
+                err.retryable(),
+                "io hop changed retryability for {err:?} -> {io_err:?} -> {back:?}"
+            );
+            // And never Interrupted: write_all_retrying-style loops treat
+            // that kind as "try again immediately", which would spin.
+            assert_ne!(io_err.kind(), io::ErrorKind::Interrupted);
+        }
+        // The CAS payload specifically must survive both hops intact.
+        let conflict = RemoteError::CasConflict {
+            expected: 4,
+            found: 6,
+        };
+        let c = as_cas_conflict(&conflict.into_io()).expect("payload survives");
+        assert_eq!((c.expected, c.found), (4, 6));
+    }
+
+    #[test]
+    fn damaged_frames_are_rejected() {
+        let good = encode_request(&Request {
+            client: 1,
+            id: 1,
+            op: RequestOp::List,
+        });
+        // Truncated tail: checksum/length mismatch.
+        assert_eq!(unframe(&good[..good.len() - 1]), Err(RemoteError::BadFrame));
+        // Flipped payload byte: checksum mismatch.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(unframe(&flipped), Err(RemoteError::BadFrame));
+        // Wrong magic.
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(unframe(&bad_magic), Err(RemoteError::BadFrame));
+        // Absurd length field.
+        let mut huge = good;
+        huge[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(unframe(&huge), Err(RemoteError::BadFrame));
+    }
+
+    #[test]
+    fn garbage_payloads_do_not_panic() {
+        for len in 0..64usize {
+            let junk: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let _ = decode_request(&junk);
+            let _ = decode_response(&junk);
+        }
+    }
+}

@@ -30,6 +30,42 @@ use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
 
+/// A conditional write lost its race: the object's current generation was
+/// not the one the caller expected. Carried as the payload of an
+/// [`io::Error`] so it survives trait boundaries that only speak
+/// `io::Result`; recover it with [`as_cas_conflict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasConflict {
+    /// Generation the caller expected (0 = expected absent).
+    pub expected: u64,
+    /// Generation actually current (0 = actually absent).
+    pub found: u64,
+}
+
+impl fmt::Display for CasConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compare-and-swap conflict: expected generation {}, found {}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for CasConflict {}
+
+/// Wrap a [`CasConflict`] as the typed payload of an [`io::Error`].
+pub fn cas_conflict_error(expected: u64, found: u64) -> io::Error {
+    io::Error::other(CasConflict { expected, found })
+}
+
+/// Recover the [`CasConflict`] payload from an error, if that is what it is.
+pub fn as_cas_conflict(err: &io::Error) -> Option<CasConflict> {
+    err.get_ref()
+        .and_then(|e| e.downcast_ref::<CasConflict>())
+        .copied()
+}
+
 /// An open, append-only object being written.
 pub trait StorageFile: fmt::Debug + Send {
     /// Append up to `buf.len()` bytes, returning how many were accepted.
@@ -109,6 +145,39 @@ pub trait StorageBackend: fmt::Debug + Send + Sync {
     /// `"backend"` block.
     fn op_totals(&self) -> Option<bfu_crawler::BackendTotals> {
         None
+    }
+
+    /// The current generation of `name`, for conditional writes.
+    ///
+    /// Generations distinguish versions: two distinct versions of a name
+    /// never share one, and 0 is reserved for "absent". Backends without a
+    /// version notion report [`io::ErrorKind::Unsupported`] — callers fall
+    /// back to unconditional [`StorageBackend::replace`], accepting that a
+    /// lone writer needs no fence. [`io::ErrorKind::NotFound`] when the
+    /// object does not exist.
+    fn generation(&self, _name: &str) -> io::Result<u64> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "backend has no object generations",
+        ))
+    }
+
+    /// Conditionally replace `name`: the write lands only if the object's
+    /// current generation equals `expected` (0 = must be absent). Returns
+    /// the new generation on success; a lost race surfaces as a
+    /// [`CasConflict`]-carrying error (see [`as_cas_conflict`]); backends
+    /// without native compare-and-swap report
+    /// [`io::ErrorKind::Unsupported`].
+    ///
+    /// This is the fencing primitive behind coordinator election: a deposed
+    /// coordinator still holds a stale generation, so its next conditional
+    /// write is rejected *at the store* — no cooperation required from the
+    /// zombie.
+    fn replace_if(&self, _name: &str, _expected: u64, _contents: &[u8]) -> io::Result<u64> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "backend has no conditional writes",
+        ))
     }
 }
 

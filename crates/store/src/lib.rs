@@ -50,7 +50,10 @@ pub mod scrub;
 pub mod shard;
 pub mod store;
 
-pub use backend::{write_all_retrying, LocalFs, StorageBackend, StorageFile};
+pub use backend::{
+    as_cas_conflict, cas_conflict_error, write_all_retrying, CasConflict, LocalFs, StorageBackend,
+    StorageFile,
+};
 pub use encode::{decode_site, encode_site};
 pub use faultfs::{FaultFs, StoreFaultPlan};
 pub use manifest::{Manifest, MANIFEST_NAME};

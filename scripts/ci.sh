@@ -42,12 +42,15 @@ if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     rm -f "$TORTURE_OUT"
 fi
 
-echo "==> fabric crash-mid-lease + partition torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
+echo "==> fabric crash-mid-lease + partition + network torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
 # Kill the survey fabric at every worker/coordinator step AND partition the
 # whole-object backend at every op (delayed visibility, stale reads/lists,
-# lost replays under chaos), proving every schedule recovers to the
-# single-process fingerprint; the standalone binary re-proves the
-# exhaustive kill, partition, and kill×partition sweeps in release.
+# lost replays under chaos), AND run the whole fabric over a hostile wire
+# (dropped/truncated/stalled/duplicated/reordered frames, elected
+# coordinator killed at every coordinator step with a standby finishing),
+# proving every schedule recovers to the single-process fingerprint; the
+# standalone binary re-proves the exhaustive kill, partition, and
+# kill×partition sweeps in release.
 cargo test -q --test fabric_torture
 if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     TORTURE_OUT=$(mktemp)
@@ -62,10 +65,14 @@ echo "==> object-store torture (crash sweep, publish windows, listing order)"
 # chaos-partitioned store runs, and the shuffled-listing regression.
 cargo test -q --test objstore_torture
 
-echo "==> cross-process fabric (real worker processes over DirObjectStore)"
+echo "==> cross-process fabric (real worker processes; DirObjectStore + real TCP)"
 # Two real OS worker processes coordinating only through the object store
-# must fingerprint identically to a single-process LocalFs run, and a
-# worker process dying mid-run must be fenced and its leases reassigned.
+# must fingerprint identically to a single-process LocalFs run, a worker
+# process dying mid-run must be fenced and its leases reassigned, and the
+# networked variant — coordinator and workers dialing an ObjectServer over
+# real localhost TCP sockets, the coordinator under an elected CAS-fenced
+# term — must land on the same fingerprint with remote-op and election
+# counters in the provenance sidecar.
 cargo test -q --test fabric_proc
 
 echo "==> no-panic property tests (parser/interpreter totality)"
@@ -94,6 +101,7 @@ cargo run -q --release -p bfu-bench --bin fabric_bench -- \
 grep -q '"fingerprints_match": true' "$CI_FABRIC_OUT"
 grep -q '"backend": "objstore"' "$CI_FABRIC_OUT"
 grep -q '"backend": "posix"' "$CI_FABRIC_OUT"
+grep -q '"backend": "remote"' "$CI_FABRIC_OUT"
 rm -f "$CI_FABRIC_OUT"
 
 echo "==> cargo clippy --workspace -- -D warnings"

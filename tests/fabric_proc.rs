@@ -13,7 +13,10 @@
 
 use bfu_crawler::{CrawlConfig, Survey};
 use bfu_fabric::{run_fabric_worker, run_survey_fabric_processes, ProcConfig, WorkerExit};
-use bfu_objstore::{DirObjectStore, ObjectBackend};
+use bfu_objstore::{
+    spawn_tcp_server, DirObjectStore, ObjectBackend, ObjectServer, ObjectStore, RemoteClock,
+    RemoteObjectStore, RemotePolicy, TcpTransport,
+};
 use bfu_store::{resume_survey_on, LocalFs, StorageBackend, PROVENANCE_NAME};
 use bfu_webgen::{SyntheticWeb, WebConfig};
 use std::path::{Path, PathBuf};
@@ -42,12 +45,28 @@ fn proc_config() -> ProcConfig {
         poll_ms: 5,
         shard_capacity: 2,
         scrub_threads: 2,
+        heartbeat_ms: 60_000,
     }
 }
 
 fn dir_backend(root: &Path) -> Arc<dyn StorageBackend> {
     let store = Arc::new(DirObjectStore::open(root).expect("open dir store"));
     Arc::new(ObjectBackend::new(store as Arc<_>))
+}
+
+/// A backend that reaches the store over a real localhost TCP socket:
+/// `RemoteObjectStore` dialing the [`spawn_tcp_server`] listener. Each
+/// process picks a distinct `client_id` — it namespaces the server's
+/// idempotent-retry cache.
+fn tcp_backend(addr: &str, client_id: u64) -> Arc<dyn StorageBackend> {
+    let addr: std::net::SocketAddr = addr.parse().expect("server address");
+    let remote = Arc::new(RemoteObjectStore::new(
+        client_id,
+        Box::new(TcpTransport::new(addr)),
+        RemoteClock::Wall,
+        RemotePolicy::default(),
+    ));
+    Arc::new(ObjectBackend::new(remote as Arc<dyn ObjectStore>))
 }
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -64,6 +83,19 @@ fn spawn_worker(
     id: u32,
     max_leases: Option<usize>,
 ) -> std::io::Result<std::process::Child> {
+    spawn_worker_on(root, None, sites, seed, id, max_leases)
+}
+
+/// [`spawn_worker`], optionally routing the worker's store traffic over a
+/// TCP socket to `addr` instead of the shared directory.
+fn spawn_worker_on(
+    root: &Path,
+    addr: Option<&str>,
+    sites: usize,
+    seed: u64,
+    id: u32,
+    max_leases: Option<usize>,
+) -> std::io::Result<std::process::Child> {
     let exe = std::env::current_exe().expect("current test binary");
     let mut cmd = Command::new(exe);
     cmd.args(["worker_entry", "--exact", "--nocapture"])
@@ -74,6 +106,9 @@ fn spawn_worker(
         .env("BFU_FABRIC_SEED", seed.to_string())
         .stdout(std::process::Stdio::null())
         .stderr(std::process::Stdio::null());
+    if let Some(addr) = addr {
+        cmd.env("BFU_FABRIC_ADDR", addr);
+    }
     if let Some(cap) = max_leases {
         cmd.env("BFU_FABRIC_MAX_LEASES", cap.to_string());
     }
@@ -105,7 +140,12 @@ fn worker_entry() {
         .ok()
         .map(|v| v.parse().expect("max leases"));
     let survey = survey_for(sites, seed);
-    let backend = dir_backend(&root);
+    // With BFU_FABRIC_ADDR set the worker never touches the directory:
+    // every byte crosses the TCP wire to the parent's object server.
+    let backend = match std::env::var("BFU_FABRIC_ADDR") {
+        Ok(addr) => tcp_backend(&addr, u64::from(id)),
+        Err(_) => dir_backend(&root),
+    };
     let exit = run_fabric_worker(&survey, backend, id, &proc_config(), max_leases, 20_000)
         .expect("worker run");
     assert_ne!(exit, WorkerExit::Orphaned, "worker never saw completion");
@@ -156,6 +196,54 @@ fn two_worker_processes_match_single_process() {
             .all(|n| !n.starts_with("stage-") && !n.starts_with("publish-")),
         "debris survived: {names:?}"
     );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn networked_fabric_over_real_tcp_matches_single_process() {
+    const SITES: usize = 8;
+    const SEED: u64 = 229;
+    let survey = survey_for(SITES, SEED);
+    let baseline = survey.run().fingerprint();
+
+    // The store lives behind a real TCP listener: an `ObjectServer`
+    // fronting a `DirObjectStore`, serving the framed wire protocol on
+    // localhost. Coordinator and workers are separate clients of it —
+    // nobody touches the directory directly.
+    let root = temp_root("tcp");
+    let inner = Arc::new(DirObjectStore::open(&root).expect("open dir store"));
+    let server = Arc::new(ObjectServer::new(inner as Arc<dyn ObjectStore>));
+    let mut handle = spawn_tcp_server(Arc::clone(&server)).expect("bind localhost");
+    let addr = handle.addr.to_string();
+
+    let backend = tcp_backend(&addr, 999);
+    let cfg = proc_config();
+    let outcome = run_survey_fabric_processes(&survey, backend.clone(), &cfg, &mut |id| {
+        spawn_worker_on(&root, Some(&addr), SITES, SEED, id, None)
+    })
+    .expect("networked cross-process fabric");
+    assert_eq!(
+        outcome.dataset.fingerprint(),
+        baseline,
+        "the TCP fabric must fingerprint identically to one process"
+    );
+    assert!(server.served() > 0, "ops actually crossed the socket");
+    let stats = outcome.stats;
+    assert_eq!(stats.leases_completed, stats.leases_total);
+    assert_eq!(stats.records_absorbed, SITES as u64);
+    assert_eq!(
+        stats.elections_won, 1,
+        "a CAS-capable backend runs the coordinator under an elected term"
+    );
+    // Remote effort is visible in the provenance sidecar: the run is
+    // auditable as a networked run from the durable record alone.
+    let health = outcome.health.backend;
+    assert!(health.remote_ops > 0, "remote ops counted: {health:?}");
+    let provenance =
+        String::from_utf8(backend.get(PROVENANCE_NAME).expect("provenance")).expect("UTF-8");
+    assert!(provenance.contains("\"remote_ops\""));
+    assert!(provenance.contains("\"elections_won\": 1"));
+    handle.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }
 
