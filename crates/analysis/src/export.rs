@@ -188,6 +188,14 @@ pub fn provenance_json(p: &Provenance) -> String {
     );
     let _ = writeln!(out, "      \"unique_scripts\": {},", h.cache.unique_scripts);
     let _ = writeln!(out, "      \"unique_frames\": {},", h.cache.unique_frames);
+    let _ = writeln!(out, "      \"chunk_hits\": {},", h.cache.chunk_hits);
+    let _ = writeln!(out, "      \"chunk_misses\": {},", h.cache.chunk_misses);
+    let _ = writeln!(
+        out,
+        "      \"chunk_negative_hits\": {},",
+        h.cache.chunk_negative_hits
+    );
+    let _ = writeln!(out, "      \"unique_chunks\": {},", h.cache.unique_chunks);
     let _ = writeln!(out, "      \"hit_rate\": {:.6}", h.cache.hit_rate());
     out.push_str("    },\n");
     out.push_str("    \"fabric\": {\n");

@@ -1,15 +1,20 @@
-//! `crawl_bench` — wall-clock comparison of the same survey crawled with
-//! the content-addressed compilation cache off (scratch) and on (cached),
-//! written to `BENCH_crawl.json`:
+//! `crawl_bench` — wall-clock comparison of the same survey across the
+//! engine × cache grid, written to `BENCH_crawl.json`:
 //!
-//! - **scratch** — every page visit re-lexes and re-parses every script;
-//! - **cached** — one shared [`bfu_browser::CompileCache`] across all
-//!   sites, rounds, profiles, and worker threads, so each distinct script
-//!   source is parsed exactly once for the whole survey.
+//! - **engine**: the tree-walk interpreter (the differential oracle) vs the
+//!   bytecode VM (the production default);
+//! - **cache**: scratch (every page visit re-lexes, re-parses, and — under
+//!   the VM — re-compiles every script) vs cached (one shared
+//!   [`bfu_browser::CompileCache`] across all sites, rounds, profiles, and
+//!   worker threads, so each distinct source is parsed/compiled exactly
+//!   once for the whole survey).
 //!
-//! The two datasets must fingerprint identically (the cache is memoization,
-//! not measurement — the run aborts if they diverge), so the only reported
-//! difference is wall time plus the cache's own hit/miss accounting.
+//! All four datasets must fingerprint identically (engine and cache are
+//! execution strategy and memoization, not measurement — the run aborts if
+//! any cell diverges), so the only reported difference is wall time plus
+//! the cache's own hit/miss accounting. The headline `vm_speedup` compares
+//! the shipped configuration (VM + chunk cache) against the original
+//! baseline (tree-walk, scratch).
 //!
 //! The benchmark web is generated with a non-zero `script_weight`: every
 //! script carries an inert library bundle (parsed in full, never executed),
@@ -25,6 +30,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use bfu_browser::Engine;
 use bfu_crawler::{CrawlConfig, Dataset, Survey};
 use bfu_webgen::{SyntheticWeb, WebConfig};
 use std::fmt::Write as _;
@@ -107,22 +113,30 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn config(args: &Args, compile_cache: bool) -> CrawlConfig {
+fn config(args: &Args, engine: Engine, compile_cache: bool) -> CrawlConfig {
     let mut config = CrawlConfig::quick(args.seed);
     config.rounds_per_profile = args.rounds;
     config.threads = args.threads;
     config.compile_cache = compile_cache;
+    config.browser.engine = engine;
     config
 }
 
+fn engine_label(engine: Engine) -> &'static str {
+    match engine {
+        Engine::TreeWalk => "treewalk",
+        Engine::Vm => "vm",
+    }
+}
+
 /// Crawl the benchmark web once, returning the dataset and elapsed seconds.
-fn crawl(args: &Args, compile_cache: bool) -> (Dataset, f64) {
+fn crawl(args: &Args, engine: Engine, compile_cache: bool) -> (Dataset, f64) {
     let web = SyntheticWeb::generate(WebConfig {
         sites: args.sites,
         seed: args.seed,
         script_weight: args.script_weight,
     });
-    let survey = Survey::new(web, config(args, compile_cache));
+    let survey = Survey::new(web, config(args, engine, compile_cache));
     let t0 = Instant::now();
     let dataset = survey.run();
     (dataset, t0.elapsed().as_secs_f64())
@@ -131,34 +145,54 @@ fn crawl(args: &Args, compile_cache: bool) -> (Dataset, f64) {
 fn run() -> Result<(), String> {
     let args = parse_args()?;
 
-    // Untimed warmup at the cached configuration (the larger footprint of
-    // the two): the first heavy crawl in a process pays for faulting in
-    // every fresh heap page from the OS, a cost that belongs to neither
-    // configuration. After it, both timed runs recycle warm memory.
+    // Untimed warmup at the heaviest configuration: the first heavy crawl
+    // in a process pays for faulting in every fresh heap page from the OS,
+    // a cost that belongs to no grid cell. After it, every timed run
+    // recycles warm memory.
     eprintln!(
         "# warmup: {} sites x {} rounds, untimed…",
         args.sites, args.rounds
     );
-    let (warmup, _) = crawl(&args, true);
+    let (warmup, _) = crawl(&args, Engine::Vm, true);
     let fingerprint = warmup.fingerprint();
 
-    eprintln!("# scratch: same survey, cache off…");
-    let (scratch, scratch_s) = crawl(&args, false);
-    if scratch.fingerprint() != fingerprint {
-        return Err("scratch dataset fingerprint diverged from warmup run".into());
+    // The full engine × cache grid, every cell checked against the warmup
+    // fingerprint before any timing is trusted.
+    let mut times = [[0f64; 2]; 2]; // [engine][cache]
+    let mut vm_cached_dataset = None;
+    for (ei, engine) in [Engine::TreeWalk, Engine::Vm].into_iter().enumerate() {
+        for (ci, cache_on) in [false, true].into_iter().enumerate() {
+            let label = engine_label(engine);
+            let mode = if cache_on { "cached" } else { "scratch" };
+            eprintln!("# {label} / {mode}: same survey…");
+            let (ds, secs) = crawl(&args, engine, cache_on);
+            if ds.fingerprint() != fingerprint {
+                return Err(format!(
+                    "{label}/{mode} dataset fingerprint diverged from warmup run"
+                ));
+            }
+            if cache_on && !ds.cache.enabled {
+                return Err(format!("{label}/{mode} run reports the cache as disabled"));
+            }
+            times[ei][ci] = secs;
+            if engine == Engine::Vm && cache_on {
+                vm_cached_dataset = Some(ds);
+            }
+        }
+    }
+    let Some(vm_cached) = vm_cached_dataset else {
+        return Err("grid did not produce a vm/cached dataset".into());
+    };
+    let totals = vm_cached.cache;
+    if totals.chunk_misses == 0 {
+        return Err("vm/cached run never compiled a chunk".into());
     }
 
-    eprintln!("# cached: same survey, shared compilation cache…");
-    let (cached, cached_s) = crawl(&args, true);
-    if cached.fingerprint() != fingerprint {
-        return Err("cached dataset fingerprint diverged from scratch run".into());
-    }
-    let totals = cached.cache;
-    if !totals.enabled {
-        return Err("cached run reports the cache as disabled".into());
-    }
-
-    let speedup = scratch_s / cached_s.max(1e-9);
+    let [[tree_scratch_s, tree_cached_s], [vm_scratch_s, vm_cached_s]] = times;
+    // Headline: the shipped configuration (VM + chunk cache) against the
+    // original baseline (tree-walk from scratch).
+    let vm_speedup = tree_scratch_s / vm_cached_s.max(1e-9);
+    let cached_speedup = tree_scratch_s / tree_cached_s.max(1e-9);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"sites\": {},", args.sites);
     let _ = writeln!(json, "  \"seed\": {},", args.seed);
@@ -167,9 +201,20 @@ fn run() -> Result<(), String> {
     let _ = writeln!(json, "  \"script_weight\": {},", args.script_weight);
     let _ = writeln!(json, "  \"fingerprint\": \"{fingerprint:016x}\",");
     let _ = writeln!(json, "  \"fingerprints_match\": true,");
-    let _ = writeln!(json, "  \"survey_scratch_s\": {scratch_s:.3},");
-    let _ = writeln!(json, "  \"survey_cached_s\": {cached_s:.3},");
-    let _ = writeln!(json, "  \"cached_speedup\": {speedup:.2},");
+    json.push_str("  \"engines\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"treewalk\": {{ \"scratch_s\": {tree_scratch_s:.3}, \"cached_s\": {tree_cached_s:.3} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"vm\": {{ \"scratch_s\": {vm_scratch_s:.3}, \"cached_s\": {vm_cached_s:.3} }}"
+    );
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"survey_scratch_s\": {tree_scratch_s:.3},");
+    let _ = writeln!(json, "  \"survey_cached_s\": {tree_cached_s:.3},");
+    let _ = writeln!(json, "  \"cached_speedup\": {cached_speedup:.2},");
+    let _ = writeln!(json, "  \"vm_speedup\": {vm_speedup:.2},");
     json.push_str("  \"script_cache\": {\n");
     let _ = writeln!(json, "    \"hits\": {},", totals.script_hits);
     let _ = writeln!(json, "    \"misses\": {},", totals.script_misses);
@@ -180,13 +225,22 @@ fn run() -> Result<(), String> {
     );
     let _ = writeln!(json, "    \"unique_scripts\": {},", totals.unique_scripts);
     let _ = writeln!(json, "    \"unique_frames\": {},", totals.unique_frames);
+    let _ = writeln!(json, "    \"chunk_hits\": {},", totals.chunk_hits);
+    let _ = writeln!(json, "    \"chunk_misses\": {},", totals.chunk_misses);
+    let _ = writeln!(
+        json,
+        "    \"chunk_negative_hits\": {},",
+        totals.chunk_negative_hits
+    );
+    let _ = writeln!(json, "    \"unique_chunks\": {},", totals.unique_chunks);
     let _ = writeln!(json, "    \"hit_rate\": {:.6}", totals.hit_rate());
     json.push_str("  }\n}\n");
     std::fs::write(&args.out, &json).map_err(|e| e.to_string())?;
     eprintln!(
-        "# scratch {scratch_s:.2}s | cached {cached_s:.2}s ({speedup:.2}x) | \
-         {} unique scripts, {:.1}% hit rate → {}",
-        totals.unique_scripts,
+        "# treewalk {tree_scratch_s:.2}s/{tree_cached_s:.2}s | \
+         vm {vm_scratch_s:.2}s/{vm_cached_s:.2}s (scratch/cached) | \
+         vm_speedup {vm_speedup:.2}x | {} unique chunks, {:.1}% hit rate → {}",
+        totals.unique_chunks,
         100.0 * totals.hit_rate(),
         args.out.display()
     );

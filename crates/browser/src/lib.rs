@@ -31,6 +31,7 @@ pub mod page;
 pub mod timers;
 
 pub use api::{ApiSurface, HostEnv};
+pub use bfu_script::Engine;
 pub use cache::CompileCache;
 pub use instrument::{Instrumentation, PropIndex};
 pub use log::{FeatureLog, LogRecord};

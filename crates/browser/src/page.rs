@@ -17,9 +17,9 @@ use crate::instrument::{Instrumentation, PropIndex};
 use crate::log::FeatureLog;
 use bfu_dom::{html, NodeId};
 use bfu_net::{HttpRequest, NetError, ResourceType, SimNet, Url};
-use bfu_script::cache::CacheOutcome;
+use bfu_script::cache::{CacheOutcome, ChunkError};
 use bfu_script::interp::Interpreter;
-use bfu_script::{ResourceBudget, RuntimeError, ScriptError, Value};
+use bfu_script::{compile, run_chunk, Engine, ResourceBudget, RuntimeError, ScriptError, Value};
 use bfu_util::{Instant, VirtualClock};
 use bfu_webidl::FeatureRegistry;
 use std::cell::RefCell;
@@ -76,6 +76,10 @@ pub struct BrowserConfig {
     pub instrument: bool,
     /// Cap on subresource fetches per page (defense against generator bugs).
     pub max_subresources: usize,
+    /// Which script engine executes page scripts. The bytecode VM is the
+    /// default; the tree-walk interpreter remains the differential oracle.
+    /// Either engine produces bit-identical feature logs and fingerprints.
+    pub engine: Engine,
 }
 
 impl Default for BrowserConfig {
@@ -90,6 +94,7 @@ impl Default for BrowserConfig {
             max_timer_callbacks: 10_000,
             instrument: true,
             max_subresources: 256,
+            engine: Engine::default(),
         }
     }
 }
@@ -559,36 +564,109 @@ fn run_page_script(
         return;
     }
     let Some(cache) = cache else {
-        interp.set_budget(&config.run_budget());
-        if let Err(e) = interp.run_source(src) {
-            stats.script_errors += 1;
-            match e {
-                ScriptError::Parse(_) => stats.script_parse_errors += 1,
-                ScriptError::Runtime(e) => classify_runtime(stats, &e),
+        // Scratch path: no cache installed, compile (or parse) per script.
+        match config.engine {
+            Engine::TreeWalk => {
+                interp.set_budget(&config.run_budget());
+                if let Err(e) = interp.run_source(src) {
+                    stats.script_errors += 1;
+                    match e {
+                        ScriptError::Parse(_) => stats.script_parse_errors += 1,
+                        ScriptError::Runtime(e) => classify_runtime(stats, &e),
+                    }
+                }
+            }
+            Engine::Vm => {
+                // Parse and compile burn no fuel (budgets are per execution
+                // phase), so the VM path is observably identical to the
+                // tree-walk path for every measurement.
+                let program = match bfu_script::parser::parse(src) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        stats.script_errors += 1;
+                        stats.script_parse_errors += 1;
+                        return;
+                    }
+                };
+                interp.set_budget(&config.run_budget());
+                let run = match compile(&program) {
+                    Ok(chunk) => run_chunk(interp, &chunk),
+                    // Lowering is total over parser-accepted programs; the
+                    // fallback exists only so a compiler limit (e.g. chunk
+                    // overflow) degrades to the oracle, never to a loss.
+                    Err(_) => interp.run(&program),
+                };
+                if let Err(e) = run {
+                    stats.script_errors += 1;
+                    classify_runtime(stats, &e);
+                }
             }
         }
         return;
     };
-    // Cached path. Parsing consumes no interpreter fuel (budgets are
-    // installed per execution phase), so replaying a cached AST — or a
-    // cached parse error — is observably identical to the scratch path.
-    let (result, outcome) = cache.scripts().lookup_or_parse_counted(src);
-    match outcome {
-        CacheOutcome::Hit => stats.script_cache_hits += 1,
-        CacheOutcome::Miss => stats.script_cache_misses += 1,
-        CacheOutcome::NegativeHit => stats.script_cache_negative_hits += 1,
-    }
-    match result {
-        Ok(program) => {
-            interp.set_budget(&config.run_budget());
-            if let Err(e) = interp.run(&program) {
-                stats.script_errors += 1;
-                classify_runtime(stats, &e);
+    // Cached path. Parsing and compilation consume no interpreter fuel
+    // (budgets are installed per execution phase), so replaying a cached
+    // AST or chunk — or a cached parse error — is observably identical to
+    // the scratch path.
+    match config.engine {
+        Engine::TreeWalk => {
+            let (result, outcome) = cache.scripts().lookup_or_parse_counted(src);
+            match outcome {
+                CacheOutcome::Hit => stats.script_cache_hits += 1,
+                CacheOutcome::Miss => stats.script_cache_misses += 1,
+                CacheOutcome::NegativeHit => stats.script_cache_negative_hits += 1,
+            }
+            match result {
+                Ok(program) => {
+                    interp.set_budget(&config.run_budget());
+                    if let Err(e) = interp.run(&program) {
+                        stats.script_errors += 1;
+                        classify_runtime(stats, &e);
+                    }
+                }
+                Err(_) => {
+                    stats.script_errors += 1;
+                    stats.script_parse_errors += 1;
+                }
             }
         }
-        Err(_) => {
-            stats.script_errors += 1;
-            stats.script_parse_errors += 1;
+        Engine::Vm => {
+            let (result, outcome) = cache.scripts().lookup_or_compile_counted(src);
+            match outcome {
+                CacheOutcome::Hit => stats.script_cache_hits += 1,
+                CacheOutcome::Miss => stats.script_cache_misses += 1,
+                CacheOutcome::NegativeHit => stats.script_cache_negative_hits += 1,
+            }
+            match result {
+                Ok(chunk) => {
+                    interp.set_budget(&config.run_budget());
+                    if let Err(e) = run_chunk(interp, &chunk) {
+                        stats.script_errors += 1;
+                        classify_runtime(stats, &e);
+                    }
+                }
+                Err(ChunkError::Parse(_)) => {
+                    stats.script_errors += 1;
+                    stats.script_parse_errors += 1;
+                }
+                Err(ChunkError::Compile(_)) => {
+                    // Compiler-limit fallback: run the cached AST through the
+                    // oracle so the page still executes identically.
+                    match cache.scripts().lookup_or_parse(src) {
+                        Ok(program) => {
+                            interp.set_budget(&config.run_budget());
+                            if let Err(e) = interp.run(&program) {
+                                stats.script_errors += 1;
+                                classify_runtime(stats, &e);
+                            }
+                        }
+                        Err(_) => {
+                            stats.script_errors += 1;
+                            stats.script_parse_errors += 1;
+                        }
+                    }
+                }
+            }
         }
     }
 }

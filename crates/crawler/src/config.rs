@@ -142,8 +142,9 @@ impl CrawlConfig {
         f.write_u64(u64::from(self.browser.max_timer_callbacks));
         f.write_u64(u64::from(self.browser.instrument));
         f.write_u64(self.browser.max_subresources as u64);
-        // `threads` and `compile_cache` intentionally absent: layout and
-        // memoization, not data.
+        // `threads`, `compile_cache`, and `browser.engine` intentionally
+        // absent: layout, memoization, and execution strategy, not data —
+        // both engines produce bit-identical measurements.
     }
 
     /// A scaled-down config for tests and examples: fewer rounds/pages and
@@ -200,6 +201,16 @@ mod tests {
             digest(&base),
             digest(&cache),
             "the compile cache is memoization, not data"
+        );
+        let mut engine = base.clone();
+        engine.browser.engine = match base.browser.engine {
+            bfu_browser::Engine::TreeWalk => bfu_browser::Engine::Vm,
+            bfu_browser::Engine::Vm => bfu_browser::Engine::TreeWalk,
+        };
+        assert_eq!(
+            digest(&base),
+            digest(&engine),
+            "the engine is execution strategy, not data"
         );
         let mut rounds = base.clone();
         rounds.rounds_per_profile += 1;

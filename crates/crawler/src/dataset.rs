@@ -213,16 +213,25 @@ impl SiteMeasurement {
 pub struct CacheTotals {
     /// Whether the survey ran with a shared compilation cache at all.
     pub enabled: bool,
-    /// Script probes that reused a parsed program.
+    /// Script probes that reused a cached artifact (AST or bytecode chunk,
+    /// whichever family the engine consulted).
     pub script_hits: u64,
-    /// Script probes that parsed fresh source.
+    /// Script probes that parsed (and, under the VM, compiled) fresh source.
     pub script_misses: u64,
-    /// Script probes that replayed a cached parse error.
+    /// Script probes that replayed a cached parse or compile error.
     pub script_negative_hits: u64,
     /// Distinct script sources seen (== successful + failed parses).
     pub unique_scripts: u64,
     /// Distinct iframe bodies whose script lists were extracted.
     pub unique_frames: u64,
+    /// Bytecode-chunk probes that reused a compiled chunk.
+    pub chunk_hits: u64,
+    /// Bytecode-chunk probes that compiled fresh source.
+    pub chunk_misses: u64,
+    /// Bytecode-chunk probes that replayed a cached parse/compile error.
+    pub chunk_negative_hits: u64,
+    /// Distinct sources lowered to bytecode (== chunk compiles attempted).
+    pub unique_chunks: u64,
 }
 
 impl CacheTotals {
@@ -724,11 +733,17 @@ mod tests {
             script_negative_hits: 20,
             unique_scripts: 10,
             unique_frames: 3,
+            chunk_hits: 80,
+            chunk_misses: 9,
+            chunk_negative_hits: 18,
+            unique_chunks: 9,
         };
         assert_eq!(ds.fingerprint(), bare, "cache totals are effort, not data");
         let health = ds.health();
         assert!(health.cache.enabled);
         assert_eq!(health.cache.script_hits, 90);
+        assert_eq!(health.cache.chunk_hits, 80);
+        assert_eq!(health.cache.unique_chunks, 9);
         assert!((ds.cache.hit_rate() - 110.0 / 120.0).abs() < 1e-12);
         assert_eq!(CacheTotals::default().hit_rate(), 0.0);
     }

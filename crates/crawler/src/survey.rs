@@ -278,13 +278,20 @@ impl Survey {
         let cache_totals = match &cache {
             Some(cache) => {
                 let scripts = cache.script_stats();
+                // `script_*` are combined totals across both cache families
+                // (parsed ASTs + compiled chunks): whichever family the
+                // configured engine consulted, these count its probes.
                 CacheTotals {
                     enabled: true,
-                    script_hits: scripts.hits,
-                    script_misses: scripts.misses,
-                    script_negative_hits: scripts.negative_hits,
+                    script_hits: scripts.hits + scripts.chunk_hits,
+                    script_misses: scripts.misses + scripts.chunk_misses,
+                    script_negative_hits: scripts.negative_hits + scripts.chunk_negative_hits,
                     unique_scripts: scripts.unique_sources,
                     unique_frames: cache.unique_frames() as u64,
+                    chunk_hits: scripts.chunk_hits,
+                    chunk_misses: scripts.chunk_misses,
+                    chunk_negative_hits: scripts.chunk_negative_hits,
+                    unique_chunks: scripts.unique_chunks,
                 }
             }
             None => CacheTotals::default(),

@@ -30,9 +30,11 @@
 //!   are immutable `Arc<Program>`s shared by all threads.
 
 use crate::ast::Program;
+use crate::compile::{Chunk, CompileError};
 use crate::parser::{parse, ParseError};
 use bfu_util::Fnv64;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -44,8 +46,38 @@ const STRIPES: usize = 16;
 /// parse error replayed on every later encounter (negative caching).
 pub type ParseOutcome = Result<Arc<Program>, ParseError>;
 
+/// Why a source has no bytecode chunk: it never parsed, or it parsed but
+/// would not lower. Both are plain values cached negatively, so every later
+/// encounter replays the identical diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// The source failed to parse (same error the AST family caches).
+    Parse(ParseError),
+    /// The source parsed but the bytecode compiler rejected it; the
+    /// embedder falls back to tree-walk execution of the cached AST.
+    Compile(CompileError),
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::Parse(e) => write!(f, "{e}"),
+            ChunkError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// What a chunk-cache entry holds: a shared compiled chunk, or the cached
+/// reason there is none.
+pub type ChunkOutcome = Result<Arc<Chunk>, ChunkError>;
+
 /// One lock stripe of the content-addressed map.
 type Stripe = Mutex<HashMap<u64, ParseOutcome>>;
+
+/// One lock stripe of the chunk map.
+type ChunkStripe = Mutex<HashMap<u64, ChunkOutcome>>;
 
 /// What one cache probe observed (for the embedder's per-page stats).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,16 +104,25 @@ pub struct CacheStats {
     pub negative_hits: u64,
     /// Distinct sources currently resident (== successful + failed parses).
     pub unique_sources: u64,
+    /// Chunk probes that reused a compiled chunk.
+    pub chunk_hits: u64,
+    /// Chunk probes that compiled fresh (== unique sources probed as chunks).
+    pub chunk_misses: u64,
+    /// Chunk probes that replayed a cached parse/compile error.
+    pub chunk_negative_hits: u64,
+    /// Distinct sources resident in the chunk map.
+    pub unique_chunks: u64,
 }
 
 impl CacheStats {
-    /// Fraction of probes served from cache, in `[0, 1]`.
+    /// Fraction of probes (both families) served from cache, in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses + self.negative_hits;
+        let served = self.hits + self.negative_hits + self.chunk_hits + self.chunk_negative_hits;
+        let total = served + self.misses + self.chunk_misses;
         if total == 0 {
             return 0.0;
         }
-        (self.hits + self.negative_hits) as f64 / total as f64
+        served as f64 / total as f64
     }
 }
 
@@ -107,6 +148,10 @@ pub struct ScriptCache {
     hits: AtomicU64,
     misses: AtomicU64,
     negative_hits: AtomicU64,
+    chunk_stripes: [ChunkStripe; STRIPES],
+    chunk_hits: AtomicU64,
+    chunk_misses: AtomicU64,
+    chunk_negative_hits: AtomicU64,
 }
 
 impl ScriptCache {
@@ -160,10 +205,85 @@ impl ScriptCache {
         (result, CacheOutcome::Miss)
     }
 
+    /// Compile `src` to a bytecode chunk, or reuse the cached result for
+    /// identical source.
+    ///
+    /// The chunk family is layered over the AST family: a chunk miss first
+    /// fills the AST map (without charging AST probe counters — one probe,
+    /// one count), then lowers the program. Parse *and* compile failures are
+    /// cached negatively, so a malformed or uncompilable source is diagnosed
+    /// once and every later encounter replays the identical [`ChunkError`].
+    pub fn lookup_or_compile(&self, src: &str) -> ChunkOutcome {
+        self.lookup_or_compile_counted(src).0
+    }
+
+    /// [`ScriptCache::lookup_or_compile`] plus what the probe observed.
+    pub fn lookup_or_compile_counted(&self, src: &str) -> (ChunkOutcome, CacheOutcome) {
+        let key = ScriptCache::content_hash(src);
+        let stripe = &self.chunk_stripes[(key as usize) & (STRIPES - 1)];
+        let mut map = match stripe.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(cached) = map.get(&key) {
+            let outcome = match cached {
+                Ok(_) => {
+                    self.chunk_hits.fetch_add(1, Ordering::Relaxed);
+                    CacheOutcome::Hit
+                }
+                Err(_) => {
+                    self.chunk_negative_hits.fetch_add(1, Ordering::Relaxed);
+                    CacheOutcome::NegativeHit
+                }
+            };
+            return (cached.clone(), outcome);
+        }
+        // Compile under the chunk-stripe lock (same argument as parsing:
+        // misses == unique sources, exactly one compile each). The AST map
+        // is filled en route so a compile-error fallback — or a later
+        // tree-walk engine probing the same source — reuses the parse. Lock
+        // order is chunk stripe → AST stripe only, and the AST-only path
+        // never takes a chunk lock, so no cycle exists.
+        let result = match self.parse_for_chunk(src, key) {
+            Ok(program) => match crate::compile::compile(&program) {
+                Ok(chunk) => Ok(Arc::new(chunk)),
+                Err(e) => Err(ChunkError::Compile(e)),
+            },
+            Err(e) => Err(ChunkError::Parse(e)),
+        };
+        map.insert(key, result.clone());
+        self.chunk_misses.fetch_add(1, Ordering::Relaxed);
+        (result, CacheOutcome::Miss)
+    }
+
+    /// Probe-or-fill the AST family for the chunk path, without ticking the
+    /// AST probe counters (the chunk counters already record this probe).
+    fn parse_for_chunk(&self, src: &str, key: u64) -> ParseOutcome {
+        let stripe = &self.stripes[(key as usize) & (STRIPES - 1)];
+        let mut map = match stripe.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(cached) = map.get(&key) {
+            return cached.clone();
+        }
+        let result = parse(src).map(Arc::new);
+        map.insert(key, result.clone());
+        result
+    }
+
     /// Current totals.
     pub fn stats(&self) -> CacheStats {
         let unique: usize = self
             .stripes
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(m) => m.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            })
+            .sum();
+        let unique_chunks: usize = self
+            .chunk_stripes
             .iter()
             .map(|s| match s.lock() {
                 Ok(m) => m.len(),
@@ -175,6 +295,10 @@ impl ScriptCache {
             misses: self.misses.load(Ordering::Relaxed),
             negative_hits: self.negative_hits.load(Ordering::Relaxed),
             unique_sources: unique as u64,
+            chunk_hits: self.chunk_hits.load(Ordering::Relaxed),
+            chunk_misses: self.chunk_misses.load(Ordering::Relaxed),
+            chunk_negative_hits: self.chunk_negative_hits.load(Ordering::Relaxed),
+            unique_chunks: unique_chunks as u64,
         }
     }
 }
@@ -255,8 +379,87 @@ mod tests {
             misses: 2,
             negative_hits: 2,
             unique_sources: 2,
+            ..CacheStats::default()
         };
         assert!((s.hit_rate() - 0.8).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        // Chunk probes count into the same rate.
+        let c = CacheStats {
+            chunk_hits: 3,
+            chunk_misses: 1,
+            unique_chunks: 1,
+            ..CacheStats::default()
+        };
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_hit_returns_same_chunk() {
+        let cache = ScriptCache::new();
+        let (a, o1) = cache.lookup_or_compile_counted("var a = 1 + 2;");
+        let (b, o2) = cache.lookup_or_compile_counted("var a = 1 + 2;");
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a.unwrap(), &b.unwrap()));
+        let s = cache.stats();
+        assert_eq!(
+            (s.chunk_hits, s.chunk_misses, s.chunk_negative_hits),
+            (1, 1, 0)
+        );
+        assert_eq!(s.unique_chunks, 1);
+        // The chunk path fills the AST family without charging its probe
+        // counters: one probe, one count.
+        assert_eq!(s.unique_sources, 1);
+        assert_eq!((s.hits, s.misses, s.negative_hits), (0, 0, 0));
+    }
+
+    #[test]
+    fn negative_chunk_cache_replays_identical_parse_error() {
+        let cache = ScriptCache::new();
+        let fresh = crate::parser::parse("var = ;").unwrap_err();
+        let (first, o1) = cache.lookup_or_compile_counted("var = ;");
+        let (second, o2) = cache.lookup_or_compile_counted("var = ;");
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::NegativeHit);
+        assert_eq!(first.unwrap_err(), ChunkError::Parse(fresh.clone()));
+        assert_eq!(second.unwrap_err(), ChunkError::Parse(fresh));
+        assert_eq!(cache.stats().chunk_negative_hits, 1);
+    }
+
+    #[test]
+    fn chunk_cache_reuses_prior_ast_entry() {
+        let cache = ScriptCache::new();
+        let src = "function f(x) { return x * 2; } var y = f(21);";
+        let ast = cache.lookup_or_parse(src).unwrap();
+        cache.lookup_or_compile(src).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.unique_sources, 1, "chunk probe reused the parsed AST");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.chunk_misses, 1);
+        // And the AST family still serves the same program afterwards.
+        let again = cache.lookup_or_parse(src).unwrap();
+        assert!(Arc::ptr_eq(&ast, &again));
+    }
+
+    #[test]
+    fn concurrent_chunk_probes_compile_once() {
+        let cache = Arc::new(ScriptCache::new());
+        let srcs: Vec<String> = (0..8).map(|i| format!("var v{i} = {i};")).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let srcs = srcs.clone();
+                scope.spawn(move || {
+                    for s in &srcs {
+                        cache.lookup_or_compile(s).unwrap();
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.chunk_misses, 8, "one compile per unique source");
+        assert_eq!(s.chunk_hits, 4 * 8 - 8);
+        assert_eq!(s.unique_chunks, 8);
+        assert_eq!(s.unique_sources, 8);
     }
 }

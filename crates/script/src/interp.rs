@@ -73,10 +73,10 @@ impl std::error::Error for RuntimeError {}
 pub type NativeFn = Rc<dyn Fn(&mut Interpreter, Value, &[Value]) -> Result<Value, RuntimeError>>;
 
 #[derive(Debug, Default)]
-struct Env {
-    vars: HashMap<Atom, Value>,
-    parent: Option<EnvId>,
-    this: Value,
+pub(crate) struct Env {
+    pub(crate) vars: HashMap<Atom, Value>,
+    pub(crate) parent: Option<EnvId>,
+    pub(crate) this: Value,
 }
 
 /// Statement completion.
@@ -91,20 +91,20 @@ enum Flow {
 pub struct Interpreter {
     /// The object heap (public: the embedder builds prototypes directly).
     pub heap: Heap,
-    envs: Vec<Env>,
+    pub(crate) envs: Vec<Env>,
     natives: Vec<NativeFn>,
-    global: EnvId,
-    fuel: u64,
+    pub(crate) global: EnvId,
+    pub(crate) fuel: u64,
     depth: u32,
     max_depth: u32,
     /// Absolute `heap.len()` ceiling for the current budget phase.
-    heap_ceiling: usize,
+    pub(crate) heap_ceiling: usize,
     /// String bytes produced by concatenation this budget phase.
     string_bytes: u64,
     /// String-byte allowance for the current budget phase.
     string_budget: u64,
     /// Set by `Stmt::Expr` so `run` can return the last expression value.
-    last_expr_value: Option<Value>,
+    pub(crate) last_expr_value: Option<Value>,
 }
 
 impl fmt::Debug for Interpreter {
@@ -140,7 +140,7 @@ impl Interpreter {
         interp
     }
 
-    fn push_env(&mut self, parent: Option<EnvId>, this: Value) -> EnvId {
+    pub(crate) fn push_env(&mut self, parent: Option<EnvId>, this: Value) -> EnvId {
         let id = EnvId::from_usize(self.envs.len());
         self.envs.push(Env {
             vars: HashMap::new(),
@@ -265,6 +265,9 @@ impl Interpreter {
             Callable::Native(idx) => {
                 let f = self.natives[idx as usize].clone();
                 f(self, this, args)
+            }
+            Callable::Compiled { func, env } => {
+                crate::vm::call_compiled(self, &func, env, this, args, callee)
             }
             Callable::Script { def, env } => {
                 let call_env = self.push_env(Some(env), this);
@@ -437,7 +440,7 @@ impl Interpreter {
         Ok(Flow::Normal)
     }
 
-    fn this_of(&self, env: EnvId) -> Value {
+    pub(crate) fn this_of(&self, env: EnvId) -> Value {
         let mut cur = Some(env);
         while let Some(e) = cur {
             match &self.envs[e.index()].this {
@@ -609,7 +612,7 @@ impl Interpreter {
         args.iter().map(|a| self.eval(a, env)).collect()
     }
 
-    fn lookup(&self, name: Atom, env: EnvId) -> Result<Value, RuntimeError> {
+    pub(crate) fn lookup(&self, name: Atom, env: EnvId) -> Result<Value, RuntimeError> {
         let mut cur = Some(env);
         while let Some(e) = cur {
             if let Some(v) = self.envs[e.index()].vars.get(&name) {
@@ -623,7 +626,11 @@ impl Interpreter {
     }
 
     /// Read a member by atom (the hot path: `obj.prop` in source).
-    fn get_member_atom(&mut self, base: &Value, prop: Atom) -> Result<Value, RuntimeError> {
+    pub(crate) fn get_member_atom(
+        &mut self,
+        base: &Value,
+        prop: Atom,
+    ) -> Result<Value, RuntimeError> {
         match base {
             Value::Obj(id) => Ok(self.heap.get_prop_atom(*id, prop)),
             _ => self.member_of_primitive(base, prop.as_str()),
@@ -631,7 +638,7 @@ impl Interpreter {
     }
 
     /// Read a member by runtime-computed string key (`obj[expr]`).
-    fn get_member(&mut self, base: &Value, prop: &str) -> Result<Value, RuntimeError> {
+    pub(crate) fn get_member(&mut self, base: &Value, prop: &str) -> Result<Value, RuntimeError> {
         match base {
             Value::Obj(id) => Ok(self.heap.get_prop(*id, prop)),
             _ => self.member_of_primitive(base, prop),
@@ -667,20 +674,27 @@ impl Interpreter {
         }
     }
 
+    /// Assign `name` to the nearest scope in `env`'s chain that declares it,
+    /// else create a global (sloppy-mode JS). Shared by the tree-walk's
+    /// variable places and the VM's `StoreName`/`StorePath` fall-through.
+    pub(crate) fn assign_name(&mut self, name: Atom, env: EnvId, value: Value) {
+        let mut cur = Some(env);
+        while let Some(e) = cur {
+            if let std::collections::hash_map::Entry::Occupied(mut slot) =
+                self.envs[e.index()].vars.entry(name)
+            {
+                slot.insert(value);
+                return;
+            }
+            cur = self.envs[e.index()].parent;
+        }
+        self.envs[self.global.index()].vars.insert(name, value);
+    }
+
     fn write_place(&mut self, place: &Place, value: Value, env: EnvId) -> Result<(), RuntimeError> {
         match place {
             Place::Var(name) => {
-                // Assign to the nearest scope that declares it, else create
-                // a global (sloppy-mode JS).
-                let mut cur = Some(env);
-                while let Some(e) = cur {
-                    if self.envs[e.index()].vars.contains_key(name) {
-                        self.envs[e.index()].vars.insert(*name, value);
-                        return Ok(());
-                    }
-                    cur = self.envs[e.index()].parent;
-                }
-                self.envs[self.global.index()].vars.insert(*name, value);
+                self.assign_name(*name, env, value);
                 Ok(())
             }
             Place::Member(obj, prop) => {
@@ -695,7 +709,12 @@ impl Interpreter {
         }
     }
 
-    fn binary(&mut self, op: BinOp, l: &Value, r: &Value) -> Result<Value, RuntimeError> {
+    pub(crate) fn binary(
+        &mut self,
+        op: BinOp,
+        l: &Value,
+        r: &Value,
+    ) -> Result<Value, RuntimeError> {
         Ok(match op {
             BinOp::Add => match (l, r) {
                 (Value::Str(_), _) | (_, Value::Str(_)) => {

@@ -17,7 +17,9 @@
 //! - [`parser`] — recursive-descent parser.
 //! - [`value`] — runtime values.
 //! - [`object`] — heap, objects, prototype chains, watchpoints.
-//! - [`interp`] — the interpreter and host-function registry.
+//! - [`interp`] — the tree-walk interpreter and host-function registry.
+//! - [`compile`] — AST → bytecode chunk lowering.
+//! - [`vm`] — the bytecode dispatch loop (the production engine).
 //! - [`budget`] — multi-axis execution resource budgets.
 //! - [`cache`] — survey-wide content-addressed compilation cache.
 
@@ -26,14 +28,18 @@
 pub mod ast;
 pub mod budget;
 pub mod cache;
+pub mod compile;
 pub mod interp;
 pub mod object;
 pub mod parser;
 pub mod token;
 pub mod value;
+pub mod vm;
 
 pub use budget::ResourceBudget;
-pub use cache::{CacheOutcome, CacheStats, ScriptCache};
+pub use cache::{CacheOutcome, CacheStats, ChunkError, ChunkOutcome, ScriptCache};
+pub use compile::{compile, Chunk, CompileError, FuncChunk, LazyFunc};
 pub use interp::{Interpreter, NativeFn, RuntimeError, ScriptError};
 pub use object::{Heap, ObjId, PropKey};
 pub use value::Value;
+pub use vm::{run_chunk, Engine};

@@ -45,6 +45,15 @@ pub enum Callable {
         /// Captured scope.
         env: EnvId,
     },
+    /// A compiled closure: a lazily-lowered function plus captured
+    /// environment. Allocation is an `Arc` clone; the body is lowered to
+    /// bytecode on first call and memoized in the shared chunk.
+    Compiled {
+        /// Shared function (definition + memoized lowered body).
+        func: Arc<crate::compile::LazyFunc>,
+        /// Captured scope.
+        env: EnvId,
+    },
 }
 
 impl std::fmt::Debug for Callable {
@@ -56,6 +65,13 @@ impl std::fmt::Debug for Callable {
                     f,
                     "Script({})",
                     def.name.map(Atom::as_str).unwrap_or("<anon>")
+                )
+            }
+            Callable::Compiled { func, .. } => {
+                write!(
+                    f,
+                    "Compiled({})",
+                    func.name().map(Atom::as_str).unwrap_or("<anon>")
                 )
             }
         }

@@ -75,19 +75,30 @@ echo "==> cross-process fabric (real worker processes; DirObjectStore + real TCP
 # counters in the provenance sidecar.
 cargo test -q --test fabric_proc
 
-echo "==> no-panic property tests (parser/interpreter totality)"
+echo "==> no-panic property tests + engine differential (tree-walk vs VM)"
+# proptests include the engine differential suite: random token soup and
+# mutated programs must produce identical outcomes, fuel, heap, and string
+# accounting under the tree-walk oracle and the bytecode VM, and whole
+# random crawls must fingerprint identically engine to engine. The chaos
+# suite above extends the same gate to a 200-site hostile web.
 cargo test -q --test proptests
 
-echo "==> crawl_bench smoke (cache on/off fingerprints + non-trivial hit rate)"
+echo "==> crawl_bench smoke (engine x cache grid fingerprints + live caches)"
 # Small scale: correctness gate, not a performance measurement. crawl_bench
-# itself errors if the cached fingerprint diverges from scratch or if the
-# cache reports itself disabled; the jq-less greps below additionally pin a
-# real hit rate so a silently dead cache cannot pass.
+# itself errors if any engine x cache cell diverges from the warmup
+# fingerprint, if a cached run reports the cache disabled, or if the VM run
+# never compiled a chunk; the jq-less greps below additionally pin the grid
+# columns and a real hit rate so a silently dead cache — AST or chunk
+# family — or a dropped engine dimension cannot pass.
 CI_BENCH_OUT=$(mktemp)
 cargo run -q --release -p bfu-bench --bin crawl_bench -- \
     --sites 10 --rounds 2 --script-weight 25 --out "$CI_BENCH_OUT"
 grep -q '"fingerprints_match": true' "$CI_BENCH_OUT"
+grep -q '"treewalk": {' "$CI_BENCH_OUT"
+grep -q '"vm": {' "$CI_BENCH_OUT"
+grep -q '"vm_speedup"' "$CI_BENCH_OUT"
 grep -q '"hits": 0,' "$CI_BENCH_OUT" && { echo "compile cache saw zero hits"; exit 1; }
+grep -q '"chunk_hits": 0,' "$CI_BENCH_OUT" && { echo "chunk cache saw zero hits"; exit 1; }
 rm -f "$CI_BENCH_OUT"
 
 echo "==> fabric_bench smoke (workers × backend fingerprints identical to single-process)"

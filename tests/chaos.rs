@@ -184,6 +184,46 @@ fn negative_cache_replays_hostile_parse_failures_identically() {
 }
 
 #[test]
+fn hostile_crawl_is_engine_invariant() {
+    // The baseline runs on the default engine (the bytecode VM). The same
+    // hostile web crawled by the tree-walk oracle must be byte-identical:
+    // same fingerprint, same typed-loss breakdown, every governor axis
+    // tripping at the same sites. This is the chaos-grade differential gate
+    // for the compiler + VM.
+    let vm = baseline();
+    let mut config = chaos_config(1);
+    config.browser.engine = bfu_browser::Engine::TreeWalk;
+    let web = SyntheticWeb::generate(WebConfig {
+        sites: SITES,
+        seed: WEB_SEED,
+        script_weight: 0,
+    });
+    let tree = Survey::new(web, config).with_hostility(hostility()).run();
+    assert_eq!(
+        vm.fingerprint(),
+        tree.fingerprint(),
+        "VM and tree-walk hostile crawls must be byte-identical"
+    );
+    let mut vm_health = vm.health();
+    let mut tree_health = tree.health();
+    assert_eq!(
+        vm_health.failures_by_class, tree_health.failures_by_class,
+        "typed-loss breakdowns must agree engine to engine"
+    );
+    // Everything but the cache block (the engines consult different cache
+    // families) must agree: budget/heap/depth trip totals included.
+    let vm_cache = vm_health.cache;
+    let tree_cache = tree_health.cache;
+    vm_health.cache = Default::default();
+    tree_health.cache = Default::default();
+    assert_eq!(vm_health, tree_health);
+    // And each engine really used its own family.
+    assert!(vm_cache.chunk_negative_hits > 0, "{vm_cache:?}");
+    assert_eq!(tree_cache.chunk_hits + tree_cache.chunk_misses, 0);
+    assert!(tree_cache.script_negative_hits > 0, "{tree_cache:?}");
+}
+
+#[test]
 fn hostility_is_part_of_the_survey_identity() {
     let benign = {
         let web = SyntheticWeb::generate(WebConfig {

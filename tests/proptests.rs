@@ -315,14 +315,121 @@ proptest! {
     }
 }
 
+// ---------- engine differential: tree-walk oracle vs bytecode VM ----------
+//
+// The bytecode VM must be *observationally identical* to the tree-walk
+// interpreter on every axis a survey can measure: result value, the exact
+// typed error, fuel consumed, heap cells allocated, and string bytes
+// charged. The tree-walk engine is kept alive precisely to serve as this
+// oracle.
+
+/// Everything a survey could observe from one script execution.
+#[derive(Debug, Clone, PartialEq)]
+struct EngineTrace {
+    outcome: Result<String, bfu_script::ScriptError>,
+    fuel_left: u64,
+    heap_len: usize,
+    string_bytes: u64,
+}
+
+fn trace_treewalk(budget: &bfu_script::ResourceBudget, src: &str) -> EngineTrace {
+    let mut interp = bfu_script::Interpreter::new();
+    interp.set_budget(budget);
+    let outcome = interp.run_source(src).map(|v| v.to_display());
+    EngineTrace {
+        outcome,
+        fuel_left: interp.fuel(),
+        heap_len: interp.heap.len(),
+        string_bytes: interp.string_bytes_allocated(),
+    }
+}
+
+fn trace_vm(budget: &bfu_script::ResourceBudget, src: &str) -> EngineTrace {
+    let mut interp = bfu_script::Interpreter::new();
+    interp.set_budget(budget);
+    let outcome = match bfu_script::parser::parse(src) {
+        Err(e) => Err(bfu_script::ScriptError::Parse(e)),
+        Ok(program) => match bfu_script::compile(&program) {
+            Ok(chunk) => bfu_script::run_chunk(&mut interp, &chunk)
+                .map(|v| v.to_display())
+                .map_err(bfu_script::ScriptError::Runtime),
+            // Production falls back to the oracle on a compiler limit.
+            Err(_) => interp
+                .run(&program)
+                .map(|v| v.to_display())
+                .map_err(bfu_script::ScriptError::Runtime),
+        },
+    };
+    EngineTrace {
+        outcome,
+        fuel_left: interp.fuel(),
+        heap_len: interp.heap.len(),
+        string_bytes: interp.string_bytes_allocated(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn engines_agree_on_token_soup(
+        tokens in proptest::collection::vec(js_token(), 0..60),
+    ) {
+        let src = tokens.join(" ");
+        let budget = tight_budget();
+        prop_assert_eq!(
+            trace_treewalk(&budget, &src),
+            trace_vm(&budget, &src),
+            "engine divergence on: {}", src
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_mutated_valid_programs(
+        seed in any::<u64>(),
+        flips in 0usize..8,
+    ) {
+        const TEMPLATE: &str = "var a = []; var i = 0; \
+            function f(n) { if (n > 3) { return n; } return f(n + 1); } \
+            while (i < 10) { a[i] = { x: f(i), s: 'ab' + 'cd' }; i = i + 1; } \
+            a;";
+        let mut bytes = TEMPLATE.as_bytes().to_vec();
+        let mut rng = SimRng::new(seed);
+        for _ in 0..flips {
+            let ix = rng.below(bytes.len() as u64) as usize;
+            bytes[ix] = (rng.below(94) + 32) as u8; // printable ASCII
+        }
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let budget = tight_budget();
+        prop_assert_eq!(
+            trace_treewalk(&budget, &src),
+            trace_vm(&budget, &src),
+            "engine divergence on: {}", src
+        );
+    }
+}
+
 // ---------- compilation-cache determinism ----------
 //
 // The survey-wide script compilation cache is memoization, not measurement:
 // for any web seed, the dataset fingerprint and Table 1 come out identical
-// with the cache on or off, and at 1 vs 8 worker threads. The only Table 1
-// difference the cache may make is its own (effort-only) health block.
+// with the cache on or off, at 1 vs 8 worker threads, and under either
+// script engine. The only Table 1 difference the cache may make is its own
+// (effort-only) health block.
 
 fn tiny_crawl(web_seed: u64, threads: usize, compile_cache: bool) -> bfu_crawler::Dataset {
+    tiny_crawl_with_engine(
+        web_seed,
+        threads,
+        compile_cache,
+        bfu_browser::Engine::default(),
+    )
+}
+
+fn tiny_crawl_with_engine(
+    web_seed: u64,
+    threads: usize,
+    compile_cache: bool,
+    engine: bfu_browser::Engine,
+) -> bfu_crawler::Dataset {
     let web = bfu_webgen::SyntheticWeb::generate(bfu_webgen::WebConfig {
         sites: 12,
         seed: web_seed,
@@ -333,6 +440,7 @@ fn tiny_crawl(web_seed: u64, threads: usize, compile_cache: bool) -> bfu_crawler
     config.pages_per_site = 3;
     config.threads = threads;
     config.compile_cache = compile_cache;
+    config.browser.engine = engine;
     bfu_crawler::Survey::new(web, config).run()
 }
 
@@ -360,6 +468,39 @@ proptest! {
         t_scratch.health.cache = cached_1.cache;
         prop_assert_eq!(t_cached_1, t_scratch);
     }
+
+    #[test]
+    fn engine_never_changes_measurements(web_seed in 0u64..1_000) {
+        use bfu_browser::Engine;
+        let vm = tiny_crawl_with_engine(web_seed, 1, true, Engine::Vm);
+        let tree = tiny_crawl_with_engine(web_seed, 1, true, Engine::TreeWalk);
+        let vm_scratch = tiny_crawl_with_engine(web_seed, 1, false, Engine::Vm);
+        prop_assert_eq!(vm.fingerprint(), tree.fingerprint(),
+            "VM and tree-walk must fingerprint identically");
+        prop_assert_eq!(vm.fingerprint(), vm_scratch.fingerprint(),
+            "chunk cache must not change VM measurements");
+        // Same loss breakdown, not just the same features: typed script
+        // errors and budget trips agree site by site (cache totals are the
+        // one legitimate difference — the engines consult different cache
+        // families — so normalize that block before comparing).
+        let mut vm_health = vm.health();
+        let mut tree_health = tree.health();
+        vm_health.cache = bfu_crawler::CacheTotals::default();
+        tree_health.cache = bfu_crawler::CacheTotals::default();
+        prop_assert_eq!(vm_health, tree_health);
+        // The engines consult different cache families.
+        prop_assert!(vm.cache.chunk_misses > 0);
+        prop_assert_eq!(tree.cache.chunk_hits + tree.cache.chunk_misses, 0);
+        prop_assert_eq!(t1(&vm), t1(&tree));
+    }
+}
+
+/// Table 1 with the effort-only cache block zeroed, for cross-engine
+/// comparison (the engines consult different cache families).
+fn t1(ds: &bfu_crawler::Dataset) -> bfu_analysis::Table1 {
+    let mut t = bfu_analysis::table1(ds);
+    t.health.cache = bfu_crawler::CacheTotals::default();
+    t
 }
 
 // ---------- statistics ----------
