@@ -260,8 +260,39 @@ pub fn provenance_json(p: &Provenance) -> String {
     );
     let _ = writeln!(
         out,
-        "      \"remote_reconnects\": {}",
+        "      \"remote_reconnects\": {},",
         h.backend.remote_reconnects
+    );
+    let _ = writeln!(out, "      \"replicas\": {},", h.backend.replicas);
+    let _ = writeln!(
+        out,
+        "      \"replica_quorum_writes\": {},",
+        h.backend.replica_quorum_writes
+    );
+    let _ = writeln!(
+        out,
+        "      \"replica_quorum_reads\": {},",
+        h.backend.replica_quorum_reads
+    );
+    let _ = writeln!(
+        out,
+        "      \"replica_read_repairs\": {},",
+        h.backend.replica_read_repairs
+    );
+    let _ = writeln!(
+        out,
+        "      \"replica_errors\": {},",
+        h.backend.replica_errors
+    );
+    let _ = writeln!(
+        out,
+        "      \"replica_cas_promotions\": {},",
+        h.backend.replica_cas_promotions
+    );
+    let _ = writeln!(
+        out,
+        "      \"replica_anti_entropy_copies\": {}",
+        h.backend.replica_anti_entropy_copies
     );
     out.push_str("    }\n  }\n}\n");
     out
@@ -396,6 +427,11 @@ mod tests {
         assert!(json.contains("\"cas_puts\""));
         assert!(json.contains("\"remote_ops\""));
         assert!(json.contains("\"remote_reconnects\""));
+        assert!(json.contains("\"replicas\""));
+        assert!(json.contains("\"replica_quorum_writes\""));
+        assert!(json.contains("\"replica_read_repairs\""));
+        assert!(json.contains("\"replica_cas_promotions\""));
+        assert!(json.contains("\"replica_anti_entropy_copies\""));
         // Balanced braces and brackets (cheap structural sanity check).
         let opens = json.matches('{').count();
         assert_eq!(opens, json.matches('}').count());

@@ -3,12 +3,15 @@
 //! Runs the same survey single-process (the baseline) and then through
 //! the lease fabric at each worker count over each backend — the POSIX
 //! in-memory backend, the whole-object store (`bfu-objstore`'s adapter
-//! over the simulated object store, fault-free), and the **remote** stack
+//! over the simulated object store, fault-free), the **remote** stack
 //! (`RemoteObjectStore` → framed wire protocol → `ObjectServer`, over a
-//! clean simulated connection) — reporting sites/second and
-//! cross-checking that every cell of the grid produces the identical
-//! dataset fingerprint: the fabric's correctness contract, measured
-//! alongside its scaling and its storage-semantics portability.
+//! clean simulated connection), and the **replicated** front (quorum
+//! writes and reads over three object-store replicas — the column prices
+//! the replication protocol: every mutation probed, linearized, and
+//! fanned) — reporting sites/second and cross-checking that every cell
+//! of the grid produces the identical dataset fingerprint: the fabric's
+//! correctness contract, measured alongside its scaling and its
+//! storage-semantics portability.
 //!
 //! ```text
 //! cargo run -p bfu-bench --release --bin fabric_bench -- \
@@ -20,7 +23,7 @@
 use bfu_core::fabric::{run_survey_fabric, FabricConfig};
 use bfu_core::objstore::{
     ObjFaultPlan, ObjectBackend, ObjectServer, ObjectStore, RemoteClock, RemoteObjectStore,
-    RemotePolicy, SimObjectStore, SimTransport,
+    RemotePolicy, ReplicatedObjectStore, SimObjectStore, SimTransport,
 };
 use bfu_core::store::{FaultFs, StorageBackend, StoreFaultPlan};
 use bfu_crawler::{CrawlConfig, Survey};
@@ -120,13 +123,27 @@ fn run() -> Result<(), String> {
     let mut rows = Vec::new();
     let mut all_match = true;
     for workers in [1usize, 2, 4] {
-        for backend_kind in ["posix", "objstore", "remote"] {
+        for backend_kind in ["posix", "objstore", "remote", "replicated"] {
             eprintln!("# fabric: {workers} worker(s) × {backend_kind}…");
             let backend: Arc<dyn StorageBackend> = match backend_kind {
                 "posix" => Arc::new(FaultFs::new(StoreFaultPlan::none())),
                 "objstore" => Arc::new(ObjectBackend::new(Arc::new(SimObjectStore::new(
                     ObjFaultPlan::none(),
                 )))),
+                // Majority quorums over three healthy replicas: the
+                // column prices probe + linearize + fan-out on every
+                // mutation and quorum probes on every read.
+                "replicated" => {
+                    let replicas: Vec<Arc<dyn ObjectStore>> = (0..3)
+                        .map(|_| {
+                            Arc::new(SimObjectStore::new(ObjFaultPlan::none()))
+                                as Arc<dyn ObjectStore>
+                        })
+                        .collect();
+                    let store = ReplicatedObjectStore::majority(replicas)
+                        .map_err(|e| format!("replicated store: {e}"))?;
+                    Arc::new(ObjectBackend::new(Arc::new(store) as Arc<dyn ObjectStore>))
+                }
                 // The full wire stack on a clean connection: every op is
                 // framed, checksummed, and served by an ObjectServer; the
                 // column prices the protocol itself.
@@ -222,8 +239,24 @@ fn run() -> Result<(), String> {
         );
         let _ = writeln!(
             json,
-            "      \"remote_reconnects\": {}",
+            "      \"remote_reconnects\": {},",
             backend.remote_reconnects
+        );
+        let _ = writeln!(json, "      \"replicas\": {},", backend.replicas);
+        let _ = writeln!(
+            json,
+            "      \"replica_quorum_writes\": {},",
+            backend.replica_quorum_writes
+        );
+        let _ = writeln!(
+            json,
+            "      \"replica_quorum_reads\": {},",
+            backend.replica_quorum_reads
+        );
+        let _ = writeln!(
+            json,
+            "      \"replica_read_repairs\": {}",
+            backend.replica_read_repairs
         );
         json.push_str(if i + 1 == n { "    }\n" } else { "    },\n" });
     }

@@ -465,6 +465,23 @@ pub struct BackendTotals {
     pub remote_retries: u64,
     /// Connections (re-)established to the remote store.
     pub remote_reconnects: u64,
+    /// Replica count behind the store, when it was replicated. Zero for
+    /// single-copy stores — and the gate on every `replica_*` field below.
+    pub replicas: u64,
+    /// Mutations acknowledged at write quorum.
+    pub replica_quorum_writes: u64,
+    /// Reads that settled a generation at read quorum.
+    pub replica_quorum_reads: u64,
+    /// Lagging replicas caught up inline by a quorum read.
+    pub replica_read_repairs: u64,
+    /// Per-replica op failures absorbed by the quorum (the survived-fault
+    /// count: each is one replica down or misbehaving at one op).
+    pub replica_errors: u64,
+    /// Compare-and-swap ops routed to a promoted replica because the
+    /// deterministic primary was unreachable.
+    pub replica_cas_promotions: u64,
+    /// Objects copied by anti-entropy scrubs to heal lagging replicas.
+    pub replica_anti_entropy_copies: u64,
 }
 
 /// Aggregate crawl-supervision statistics over a [`Dataset`].

@@ -445,6 +445,7 @@ impl StorageBackend for ObjectBackend {
     fn op_totals(&self) -> Option<BackendTotals> {
         let c = &self.inner.counters;
         let remote = self.inner.store.remote_totals().unwrap_or_default();
+        let replica = self.inner.store.replica_totals().unwrap_or_default();
         Some(BackendTotals {
             enabled: true,
             puts: c.puts.load(Ordering::Relaxed),
@@ -460,6 +461,13 @@ impl StorageBackend for ObjectBackend {
             remote_ops: remote.ops,
             remote_retries: remote.retries,
             remote_reconnects: remote.reconnects,
+            replicas: replica.replicas,
+            replica_quorum_writes: replica.quorum_writes,
+            replica_quorum_reads: replica.quorum_reads,
+            replica_read_repairs: replica.read_repairs,
+            replica_errors: replica.replica_errors,
+            replica_cas_promotions: replica.cas_promotions,
+            replica_anti_entropy_copies: replica.anti_entropy_copies,
         })
     }
 }
@@ -642,5 +650,22 @@ mod tests {
             (t.remote_ops, t.remote_retries, t.remote_reconnects),
             (0, 0, 0)
         );
+        assert_eq!(t.replicas, 0, "single-copy stores report no replicas");
+    }
+
+    #[test]
+    fn replicated_store_counters_reach_op_totals() {
+        let replicas: Vec<Arc<dyn ObjectStore>> = (0..3)
+            .map(|_| Arc::new(SimObjectStore::new(ObjFaultPlan::none())) as Arc<dyn ObjectStore>)
+            .collect();
+        let store = crate::replica::ReplicatedObjectStore::majority(replicas).unwrap();
+        let b = ObjectBackend::new(Arc::new(store));
+        b.put("x", b"1").unwrap();
+        assert_eq!(b.get("x").unwrap(), b"1");
+        let t = b.op_totals().unwrap();
+        assert_eq!(t.replicas, 3);
+        assert!(t.replica_quorum_writes >= 1, "put acked at quorum: {t:?}");
+        assert!(t.replica_quorum_reads >= 1, "get settled at quorum: {t:?}");
+        assert_eq!(t.replica_errors, 0, "healthy replicas: {t:?}");
     }
 }

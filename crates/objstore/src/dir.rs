@@ -341,6 +341,73 @@ impl ObjectStore for DirObjectStore {
         }
         Ok(target)
     }
+
+    fn put_at(&self, name: &str, gen: u64, bytes: &[u8]) -> io::Result<()> {
+        if name.contains(GEN_SEP) || name.contains('/') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("object name {name:?} contains a reserved character"),
+            ));
+        }
+        if gen == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "generation 0 is reserved for absence",
+            ));
+        }
+        if self.read_generation(name, gen).is_some() {
+            return Ok(()); // generations are immutable: idempotent re-send
+        }
+        // Same publish discipline as put_if: complete synced frame in a temp
+        // file, hard_link to exactly `name#g<gen>`. AlreadyExists with a
+        // valid frame is another replication writer landing the same
+        // content; a torn squatter (crashed plain put) is cleared first.
+        let target_path = self.root.join(gen_file(name, gen));
+        let temp = self.write_temp(name, &frame(bytes))?;
+        let mut attempts = 0u32;
+        let landed = loop {
+            match fs::hard_link(&temp, &target_path) {
+                Ok(()) => break true,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if self.read_generation(name, gen).is_some() {
+                        break true; // identical content already published
+                    }
+                    attempts += 1;
+                    if attempts > 4 {
+                        break false;
+                    }
+                    let _ = fs::remove_file(&target_path);
+                }
+                Err(e) => {
+                    let _ = fs::remove_file(&temp);
+                    return Err(e);
+                }
+            }
+        };
+        let _ = fs::remove_file(&temp);
+        if !landed {
+            return Err(io::Error::other(format!(
+                "generation {gen} of object {name:?} is squatted by a torn frame"
+            )));
+        }
+        self.sync_root()?;
+        self.counter.fetch_max(gen + 1, Ordering::SeqCst);
+        for old in self.generations(name)? {
+            if old < gen {
+                let _ = fs::remove_file(self.root.join(gen_file(name, old)));
+            }
+        }
+        Ok(())
+    }
+
+    fn get_at(&self, name: &str, gen: u64) -> io::Result<Vec<u8>> {
+        self.read_generation(name, gen).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} has no generation {gen}"),
+            )
+        })
+    }
 }
 
 #[cfg(test)]

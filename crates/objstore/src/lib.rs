@@ -20,6 +20,13 @@
 //!   violates read-your-writes, serves stale or shuffled listings, and
 //!   power-cuts at a chosen op — the torture suite's backend-level twin of
 //!   `FaultFs`.
+//! - [`ReplicatedObjectStore`] — client-side replication over N inner
+//!   stores: mutations fan out and ack at write-quorum W, reads settle a
+//!   generation at quorum R with inline read-repair, CAS routes through a
+//!   deterministic per-object primary (promoted when unreachable), and an
+//!   anti-entropy scrub catches a crashed-and-rejoined replica back up —
+//!   all on the *lockstep generation* invariant (every replica stores a
+//!   given `(name, generation)` with identical content).
 //! - [`ObjectBackend`] — the adapter implementing `StorageBackend` on top of
 //!   any `ObjectStore`: created files buffer in memory and become one put at
 //!   `sync_all`; `rename` is copy+delete; `sync_dir` is a no-op plus a
@@ -42,16 +49,18 @@ mod adapter;
 mod dir;
 mod object;
 mod remote;
+mod replica;
 mod server;
 mod sim;
 pub mod wire;
 
 pub use adapter::ObjectBackend;
 pub use dir::DirObjectStore;
-pub use object::{ObjectStore, RemoteTotals};
+pub use object::{ObjectStore, RemoteTotals, ReplicaTotals};
 pub use remote::{
     RemoteClock, RemoteObjectStore, RemotePolicy, SimTransport, TcpTransport, Transport,
 };
-pub use server::{read_frame, spawn_tcp_server, ObjectServer, TcpServerHandle};
+pub use replica::{ReplicaPolicy, ReplicatedObjectStore, ScrubReport};
+pub use server::{read_frame, spawn_tcp_server, ObjectServer, TcpServerHandle, REPLAY_WINDOW};
 pub use sim::{ObjFaultPlan, SimObjectStore};
-pub use wire::{RemoteError, Request, RequestOp, RespBody, Response};
+pub use wire::{is_replay_evicted, RemoteError, Request, RequestOp, RespBody, Response};

@@ -93,6 +93,68 @@ pub trait ObjectStore: fmt::Debug + Send + Sync {
     fn remote_totals(&self) -> Option<RemoteTotals> {
         None
     }
+
+    /// Write `bytes` at **exactly** generation `gen` — the replication
+    /// primitive. Generations are immutable once written: if `gen` already
+    /// exists the call is an idempotent no-op (the replication layer only
+    /// ever re-sends the same content for the same generation). The store's
+    /// head must become at least `gen` afterwards.
+    ///
+    /// Only stores that participate in replication implement this; the
+    /// default refuses with [`io::ErrorKind::Unsupported`], the same
+    /// pattern as election support elsewhere in the stack.
+    fn put_at(&self, name: &str, gen: u64, bytes: &[u8]) -> io::Result<()> {
+        let _ = (name, gen, bytes);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "store does not support exact-generation writes",
+        ))
+    }
+
+    /// Read **exactly** generation `gen` of `name` — the verifiable read.
+    /// Because a generation's content is immutable, any replica serving
+    /// generation `gen` serves *the* content of that generation; the call
+    /// is immune to the staleness plain `get` is allowed. `NotFound` if
+    /// that generation is absent on this store.
+    fn get_at(&self, name: &str, gen: u64) -> io::Result<Vec<u8>> {
+        let _ = (name, gen);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "store does not support exact-generation reads",
+        ))
+    }
+
+    /// Replication-layer accounting, if this store is a replicated front.
+    ///
+    /// `None` for plain stores; [`crate::ReplicatedObjectStore`] reports
+    /// quorum writes/reads, read repairs, absorbed replica errors, CAS
+    /// primary promotions, and anti-entropy copies, which the adapter folds
+    /// into [`bfu_crawler::BackendTotals`] for the provenance sidecar.
+    fn replica_totals(&self) -> Option<ReplicaTotals> {
+        None
+    }
+}
+
+/// Effort counters for a replicated store front: how much quorum work it
+/// did and how much repair traffic the replica set needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaTotals {
+    /// Replicas in the set.
+    pub replicas: u64,
+    /// Mutations acknowledged at write quorum.
+    pub quorum_writes: u64,
+    /// Reads served at read quorum.
+    pub quorum_reads: u64,
+    /// Stale replicas repaired inline by a quorum read.
+    pub read_repairs: u64,
+    /// Individual replica failures absorbed by the quorum (the op still
+    /// succeeded).
+    pub replica_errors: u64,
+    /// CAS ops routed through a promoted primary because the deterministic
+    /// primary was unreachable.
+    pub cas_promotions: u64,
+    /// Object generations copied to lagging replicas by anti-entropy scrub.
+    pub anti_entropy_copies: u64,
 }
 
 /// Effort counters for a store that talks over a wire: how many requests

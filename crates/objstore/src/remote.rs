@@ -29,7 +29,9 @@
 
 use crate::object::{ObjectStore, RemoteTotals};
 use crate::server::{read_frame, ObjectServer};
-use crate::wire::{decode_response, encode_request, unframe, Request, RequestOp, RespBody};
+use crate::wire::{
+    decode_response, encode_request, unframe, RemoteError, Request, RequestOp, RespBody,
+};
 use bfu_net::conn::Connection;
 use bfu_net::WireFaultPlan;
 use bfu_util::{fault_choice, VirtualClock};
@@ -154,13 +156,23 @@ impl RemoteObjectStore {
         }
     }
 
+    /// The backoff-jitter seed: the shared policy seed with this client's
+    /// identity folded in, so no two clients share a retry schedule.
+    fn jitter_seed(&self) -> u64 {
+        self.policy.seed ^ self.client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
     fn op(&self, op: RequestOp) -> io::Result<RespBody> {
         self.ops.fetch_add(1, Ordering::Relaxed);
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let frame = encode_request(&Request {
+        // Ops that are idempotent by content may be re-issued under a fresh
+        // id if the server evicted the original id from its replay window;
+        // a CAS may not — its outcome under the old id is unknowable.
+        let refreshable = !matches!(op, RequestOp::PutIf { .. });
+        let mut id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut frame = encode_request(&Request {
             client: self.client_id,
             id,
-            op,
+            op: op.clone(),
         });
         let started = self.clock.now_ms();
         let mut attempt: u32 = 0;
@@ -176,6 +188,18 @@ impl RemoteObjectStore {
                 Ok(resp_frame) => match unframe(&resp_frame).and_then(decode_response) {
                     Ok(resp) if resp.client == self.client_id && resp.id == id => match resp.body {
                         Ok(body) => return Ok(body),
+                        Err(RemoteError::ReplayEvicted) if refreshable => {
+                            // The server can no longer dedupe this id. The
+                            // op is idempotent by content, so re-issue it
+                            // as a brand-new request.
+                            id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                            frame = encode_request(&Request {
+                                client: self.client_id,
+                                id,
+                                op: op.clone(),
+                            });
+                            true
+                        }
                         Err(err) if err.retryable() => true,
                         Err(err) => return Err(err.into_io()),
                     },
@@ -205,8 +229,11 @@ impl RemoteObjectStore {
                 .saturating_mul(1u64 << attempt.min(16))
                 .min(self.policy.max_backoff_ms)
                 .max(1);
+            // Jitter is seeded per client (the id folded into the seed), so
+            // N workers retrying the same fault spread out instead of
+            // backing off in lockstep and re-colliding.
             let jitter = fault_choice(
-                self.policy.seed,
+                self.jitter_seed(),
                 self.client_id,
                 "remote-backoff",
                 id,
@@ -291,6 +318,27 @@ impl ObjectStore for RemoteObjectStore {
         })? {
             RespBody::Gen(g) => Ok(g),
             other => Err(io::Error::other(format!("put_if: bad body {other:?}"))),
+        }
+    }
+
+    fn put_at(&self, name: &str, gen: u64, bytes: &[u8]) -> io::Result<()> {
+        match self.op(RequestOp::PutAt {
+            name: name.to_string(),
+            gen,
+            bytes: bytes.to_vec(),
+        })? {
+            RespBody::Unit => Ok(()),
+            other => Err(io::Error::other(format!("put_at: bad body {other:?}"))),
+        }
+    }
+
+    fn get_at(&self, name: &str, gen: u64) -> io::Result<Vec<u8>> {
+        match self.op(RequestOp::GetAt {
+            name: name.to_string(),
+            gen,
+        })? {
+            RespBody::Bytes(b) => Ok(b),
+            other => Err(io::Error::other(format!("get_at: bad body {other:?}"))),
         }
     }
 
@@ -667,6 +715,130 @@ mod tests {
             totals.retries,
             u64::from(RemotePolicy::default().max_attempts) - 1
         );
+    }
+
+    /// Satellite regression: two clients retrying the same fault must not
+    /// back off in lockstep. Same policy seed, same fault schedule, same
+    /// rig shape — only the client id differs — and the total backoff each
+    /// pays on its own virtual clock must diverge.
+    #[test]
+    fn retry_jitter_diverges_per_client() {
+        let paid_by = |client_id: u64| {
+            let dir = std::env::temp_dir().join(format!(
+                "bfu-remote-{}-jitter-{client_id}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = DirObjectStore::open(dir).expect("open dir store");
+            let server = Arc::new(ObjectServer::new(Arc::new(store)));
+            let clock = Arc::new(Mutex::new(VirtualClock::new()));
+            let plan = WireFaultPlan {
+                drop_request_chance: 1.0,
+                ..WireFaultPlan::none()
+            };
+            let transport = SimTransport::new(Arc::clone(&server), plan, Arc::clone(&clock), 20);
+            let client = RemoteObjectStore::new(
+                client_id,
+                Box::new(transport),
+                RemoteClock::Virtual(Arc::clone(&clock)),
+                RemotePolicy::default(),
+            );
+            client.get("x").expect_err("wire drops everything");
+            let guard = clock.lock().expect("clock");
+            guard.now().millis()
+        };
+        let a = paid_by(1);
+        let b = paid_by(2);
+        assert_ne!(a, b, "clients 1 and 2 paid identical backoff schedules");
+    }
+
+    /// A transport that answers the first exchange with `ReplayEvicted`
+    /// and forwards everything after to the real server.
+    struct EvictFirstTransport {
+        inner: SimTransport,
+        evicted_once: bool,
+    }
+
+    impl fmt::Debug for EvictFirstTransport {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("EvictFirstTransport")
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl Transport for EvictFirstTransport {
+        fn exchange(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
+            if !self.evicted_once {
+                self.evicted_once = true;
+                let req = crate::wire::decode_request(unframe(frame).expect("frame"))
+                    .expect("decode request");
+                return Ok(crate::wire::encode_response(&crate::wire::Response {
+                    client: req.client,
+                    id: req.id,
+                    body: Err(RemoteError::ReplayEvicted),
+                }));
+            }
+            self.inner.exchange(frame)
+        }
+
+        fn reconnects(&self) -> u64 {
+            self.inner.reconnects()
+        }
+
+        fn describe(&self) -> String {
+            self.inner.describe()
+        }
+    }
+
+    fn evict_first_rig(tag: &str) -> (RemoteObjectStore, Arc<ObjectServer>) {
+        let dir = std::env::temp_dir().join(format!("bfu-remote-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DirObjectStore::open(dir).expect("open dir store");
+        let server = Arc::new(ObjectServer::new(Arc::new(store)));
+        let clock = Arc::new(Mutex::new(VirtualClock::new()));
+        let inner = SimTransport::new(
+            Arc::clone(&server),
+            WireFaultPlan::none(),
+            Arc::clone(&clock),
+            20,
+        );
+        let client = RemoteObjectStore::new(
+            1,
+            Box::new(EvictFirstTransport {
+                inner,
+                evicted_once: false,
+            }),
+            RemoteClock::Virtual(clock),
+            RemotePolicy::default(),
+        );
+        (client, server)
+    }
+
+    /// Satellite: a put whose id fell out of the replay window is re-issued
+    /// under a fresh id (idempotent by content) and converges.
+    #[test]
+    fn evicted_put_reissues_under_fresh_id() {
+        let (client, _server) = evict_first_rig("evict-put");
+        client.put("k", b"v").expect("put converges via fresh id");
+        assert_eq!(client.get("k").expect("get"), b"v");
+        let totals = client.remote_totals().expect("totals");
+        assert_eq!(totals.retries, 1, "the re-issue is counted as a retry");
+    }
+
+    /// Satellite: a CAS whose id fell out of the replay window must surface
+    /// the typed eviction error — its outcome under the old id is
+    /// unknowable, so the client must not guess.
+    #[test]
+    fn evicted_cas_surfaces_typed_error() {
+        let (client, server) = evict_first_rig("evict-cas");
+        let err = client
+            .put_if("seat", 0, b"claim")
+            .expect_err("eviction must surface");
+        assert!(
+            crate::wire::is_replay_evicted(&err),
+            "error must carry the typed eviction class: {err:?}"
+        );
+        assert_eq!(server.replayed(), 0);
     }
 
     #[test]

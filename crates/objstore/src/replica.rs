@@ -1,0 +1,810 @@
+//! Client-side replication over N object stores: quorum writes, quorum
+//! reads with read-repair, CAS routed through a per-object primary, and an
+//! anti-entropy scrub for crashed-and-rejoined replicas.
+//!
+//! ## Lockstep generations
+//!
+//! The whole design rests on one invariant: **every replica stores a given
+//! `(name, generation)` with identical content**. Mutations are
+//! linearized at one *acting* replica with a native `put_if` (which lands
+//! at exactly `expected + 1` in every store implementation), then copied
+//! to the other replicas at that exact generation with
+//! [`ObjectStore::put_at`]. Because a generation's content is immutable,
+//! [`ObjectStore::get_at`] is a *verifiable read*: any replica serving
+//! generation `g` serves *the* content of `g`, so reads are immune to the
+//! staleness plain `get` is allowed — the only question a read has to
+//! quorum-settle is "what is the newest generation", which per-replica
+//! `head` answers strongly consistently.
+//!
+//! ## Quorum math
+//!
+//! With N replicas, write quorum W and read quorum R, any write
+//! acknowledged at W replicas intersects any read that probes R replicas
+//! whenever `W + R > N` — the default ([`ReplicaPolicy::majority`]) uses
+//! `W = R = N/2 + 1`, so N = 3 tolerates any single replica being down
+//! for both reads and writes. `R = 1` is a legal configuration that
+//! trades the overlap guarantee for read cheapness; the adapter's bounded
+//! visibility retries (and `visibility_failures` counter) are the safety
+//! net such a configuration leans on, and [`ReplicatedObjectStore::scrub`]
+//! is what heals it.
+//!
+//! ## CAS primary routing
+//!
+//! `put_if` fencing only works if concurrent CAS claims collide at *one*
+//! linearization point. Every name has a deterministic primary
+//! (`fnv64(name) % N`); all mutations of that name are linearized at the
+//! first **reachable** replica in the rotation starting at the primary.
+//! When the primary is unreachable the next replica in the rotation is
+//! *promoted* (counted in [`ReplicaTotals::cas_promotions`]), after the
+//! probe has quorum-confirmed that at least W replicas are reachable and
+//! the acting replica has been caught up to the highest generation the
+//! quorum has seen — a zombie claim against a stale acting replica is
+//! fenced by the generation compare exactly like a zombie coordinator.
+//! This promotion rule is safe when the primary is unreachable for *all*
+//! clients (a crashed or fully-partitioned replica — the model the
+//! torture sweeps drive); under an asymmetric partition where two clients
+//! disagree about which replicas are reachable, two acting replicas could
+//! briefly coexist and the later fan-out would surface the losing claim
+//! as a conflict rather than silently dropping it. See DESIGN.md.
+//!
+//! ## What is *not* supported
+//!
+//! Deleting a name and then re-creating it is outside the contract: a
+//! replica that slept through the delete still holds the old (higher)
+//! generation, which would win quorum reads over the re-created object
+//! and be resurrected by anti-entropy. The fabric's workload never does
+//! this — staging objects are immutable and epoch-named, and the mutable
+//! singletons (manifest, lease table, `COORD`) are never deleted.
+
+use crate::object::{ObjectStore, RemoteTotals, ReplicaTotals};
+use bfu_store::as_cas_conflict;
+use bfu_util::fnv64;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Quorum configuration for a [`ReplicatedObjectStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaPolicy {
+    /// Replicas that must acknowledge a mutation before it is acked.
+    pub write_quorum: usize,
+    /// Replicas whose heads a read consults before trusting a generation.
+    pub read_quorum: usize,
+}
+
+impl ReplicaPolicy {
+    /// Majority quorums: `W = R = n/2 + 1`. For n = 3 this tolerates any
+    /// single replica failure with reads always overlapping writes.
+    pub fn majority(n: usize) -> ReplicaPolicy {
+        ReplicaPolicy {
+            write_quorum: n / 2 + 1,
+            read_quorum: n / 2 + 1,
+        }
+    }
+}
+
+/// What one anti-entropy pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Names examined (union of every reachable replica's listing).
+    pub names: u64,
+    /// `(name, generation)` copies pushed to lagging replicas.
+    pub copies: u64,
+    /// Replica ops that failed during the pass (skipped, not fatal).
+    pub errors: u64,
+}
+
+/// A replication front over N inner stores, itself an [`ObjectStore`].
+pub struct ReplicatedObjectStore {
+    replicas: Vec<Arc<dyn ObjectStore>>,
+    policy: ReplicaPolicy,
+    quorum_writes: AtomicU64,
+    quorum_reads: AtomicU64,
+    read_repairs: AtomicU64,
+    replica_errors: AtomicU64,
+    cas_promotions: AtomicU64,
+    anti_entropy_copies: AtomicU64,
+}
+
+impl fmt::Debug for ReplicatedObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicatedObjectStore")
+            .field("replicas", &self.replicas.len())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One replica's answer to a head probe.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    /// Replica index (into the constructor's vec).
+    ix: usize,
+    /// Newest generation this replica holds; 0 = name absent.
+    gen: u64,
+}
+
+/// Whether an error means "this replica is unreachable / failing" rather
+/// than a semantic answer about the object.
+fn is_replica_failure(err: &io::Error) -> bool {
+    !matches!(
+        err.kind(),
+        io::ErrorKind::NotFound | io::ErrorKind::InvalidInput
+    ) && as_cas_conflict(err).is_none()
+}
+
+fn quorum_lost(what: &str, have: usize, need: usize, n: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        format!("replica quorum lost: {what} reached {have} of {n} replicas, need {need}"),
+    )
+}
+
+/// Attempts at the full mutation protocol before conceding. Each retry
+/// re-probes, so a replica that died mid-protocol is excluded on the next
+/// pass; one spare attempt beyond the replica count covers a die-then-
+/// retry on every member.
+const PROTOCOL_ATTEMPTS_SLACK: usize = 1;
+
+impl ReplicatedObjectStore {
+    /// A replicated front over `replicas` with quorums from `policy`.
+    pub fn new(
+        replicas: Vec<Arc<dyn ObjectStore>>,
+        policy: ReplicaPolicy,
+    ) -> io::Result<ReplicatedObjectStore> {
+        let n = replicas.len();
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "replicated store needs at least one replica",
+            ));
+        }
+        if policy.write_quorum == 0
+            || policy.read_quorum == 0
+            || policy.write_quorum > n
+            || policy.read_quorum > n
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "quorums W={} R={} invalid for {} replicas",
+                    policy.write_quorum, policy.read_quorum, n
+                ),
+            ));
+        }
+        Ok(ReplicatedObjectStore {
+            replicas,
+            policy,
+            quorum_writes: AtomicU64::new(0),
+            quorum_reads: AtomicU64::new(0),
+            read_repairs: AtomicU64::new(0),
+            replica_errors: AtomicU64::new(0),
+            cas_promotions: AtomicU64::new(0),
+            anti_entropy_copies: AtomicU64::new(0),
+        })
+    }
+
+    /// Majority-quorum front over `replicas`.
+    pub fn majority(replicas: Vec<Arc<dyn ObjectStore>>) -> io::Result<ReplicatedObjectStore> {
+        let policy = ReplicaPolicy::majority(replicas.len());
+        ReplicatedObjectStore::new(replicas, policy)
+    }
+
+    fn n(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The deterministic primary replica for `name`.
+    fn primary_of(&self, name: &str) -> usize {
+        (fnv64(name.as_bytes()) % self.n() as u64) as usize
+    }
+
+    /// Replica indices in the mutation/read rotation for `name`: the
+    /// primary first, then the rest in ring order.
+    fn rotation(&self, name: &str) -> impl Iterator<Item = usize> + '_ {
+        let n = self.n();
+        let primary = self.primary_of(name);
+        (0..n).map(move |k| (primary + k) % n)
+    }
+
+    fn count_error(&self) {
+        self.replica_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Probe up to `want` reachable replicas' heads for `name`, in
+    /// rotation order. `NotFound` is a reachable answer (generation 0);
+    /// anything else marks the replica unreachable for this pass.
+    fn probe_heads(&self, name: &str, want: usize) -> Vec<Probe> {
+        let mut probes = Vec::new();
+        for ix in self.rotation(name) {
+            if probes.len() >= want {
+                break;
+            }
+            match self.replicas[ix].head(name) {
+                Ok(gen) => probes.push(Probe { ix, gen }),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => probes.push(Probe { ix, gen: 0 }),
+                Err(_) => self.count_error(),
+            }
+        }
+        probes
+    }
+
+    /// Fetch the content of `(name, gen)` from any probed replica that
+    /// holds it (they all serve identical bytes — verifiable read).
+    fn fetch_at(&self, name: &str, gen: u64, probes: &[Probe]) -> io::Result<Vec<u8>> {
+        let mut last_err = None;
+        for p in probes.iter().filter(|p| p.gen >= gen) {
+            match self.replicas[p.ix].get_at(name, gen) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => {
+                    if is_replica_failure(&e) {
+                        self.count_error();
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| quorum_lost("generation fetch", 0, 1, self.n())))
+    }
+
+    /// Bring the acting replica's head up to `target` before it
+    /// linearizes a mutation, copying content from whichever probed
+    /// replica holds it.
+    fn catch_up(
+        &self,
+        name: &str,
+        acting: usize,
+        have: u64,
+        target: u64,
+        probes: &[Probe],
+    ) -> io::Result<()> {
+        if have >= target {
+            return Ok(());
+        }
+        let bytes = self.fetch_at(name, target, probes)?;
+        self.replicas[acting].put_at(name, target, &bytes)
+    }
+
+    /// One full mutation pass: probe, quorum-confirm, pick the acting
+    /// replica, catch it up, linearize with `commit`, fan the committed
+    /// generation out. Returns the committed generation.
+    ///
+    /// `expected`: `Some(g)` for a caller CAS (compare against the quorum
+    /// generation *before* touching the acting replica), `None` for a
+    /// plain put (write over whatever the quorum generation is).
+    fn mutate(
+        &self,
+        name: &str,
+        expected: Option<u64>,
+        bytes: &[u8],
+        is_cas: bool,
+    ) -> io::Result<u64> {
+        let w = self.policy.write_quorum;
+        let mut last_err: Option<io::Error> = None;
+        for _ in 0..self.n() + PROTOCOL_ATTEMPTS_SLACK {
+            // Probe every replica: the write fans out to all reachable
+            // members, so there is nothing to save by stopping early.
+            let probes = self.probe_heads(name, self.n());
+            if probes.len() < w {
+                return Err(quorum_lost("write probe", probes.len(), w, self.n()));
+            }
+            let quorum_gen = probes.iter().map(|p| p.gen).max().unwrap_or(0);
+            if let Some(exp) = expected {
+                if exp != quorum_gen {
+                    return Err(bfu_store::cas_conflict_error(exp, quorum_gen));
+                }
+            }
+            // Acting replica: first reachable in rotation. Reachable-first
+            // means a dead primary is skipped — a promotion, for CAS.
+            let acting = probes[0].ix;
+            if is_cas && acting != self.primary_of(name) {
+                self.cas_promotions.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Err(e) = self.catch_up(name, acting, probes[0].gen, quorum_gen, &probes) {
+                self.count_error();
+                last_err = Some(e);
+                continue; // re-probe: the acting replica may have died
+            }
+            let committed = match self.replicas[acting].put_if(name, quorum_gen, bytes) {
+                Ok(g) => g,
+                Err(e) if as_cas_conflict(&e).is_some() => {
+                    if expected.is_some() {
+                        // A real lost race: someone moved the generation
+                        // between our probe and our claim.
+                        return Err(e);
+                    }
+                    // Plain put racing another writer: take the new
+                    // generation as the base and go around.
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => {
+                    self.count_error();
+                    last_err = Some(e);
+                    continue; // acting replica failed: re-probe, next pass promotes
+                }
+            };
+            // Fan out to every other reachable replica at the exact
+            // committed generation; each success is one more ack.
+            let mut acks = 1usize;
+            for p in probes.iter().filter(|p| p.ix != acting) {
+                match self.replicas[p.ix].put_at(name, committed, bytes) {
+                    Ok(()) => acks += 1,
+                    Err(_) => self.count_error(),
+                }
+            }
+            if acks < w {
+                // Committed at the acting replica but under-replicated:
+                // the write is durable there and may win later quorum
+                // reads, but we cannot acknowledge it at quorum. Surface a
+                // retryable failure; anti-entropy will converge the set.
+                return Err(quorum_lost("write fan-out", acks, w, self.n()));
+            }
+            self.quorum_writes.fetch_add(1, Ordering::Relaxed);
+            return Ok(committed);
+        }
+        Err(last_err.unwrap_or_else(|| quorum_lost("write", 0, w, self.n())))
+    }
+
+    /// Anti-entropy: diff every replica's `(name, head)` view and copy the
+    /// newest generation of each name to every reachable replica that lags
+    /// it — the catch-up path for a replica that crashed and rejoined.
+    pub fn scrub(&self) -> io::Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        let mut reachable_lists = 0usize;
+        for r in &self.replicas {
+            match r.list() {
+                Ok(l) => {
+                    reachable_lists += 1;
+                    names.extend(l);
+                }
+                Err(_) => {
+                    report.errors += 1;
+                    self.count_error();
+                }
+            }
+        }
+        if reachable_lists == 0 {
+            return Err(quorum_lost("scrub listing", 0, 1, self.n()));
+        }
+        for name in names {
+            report.names += 1;
+            let probes = self.probe_heads(&name, self.n());
+            let newest = probes.iter().map(|p| p.gen).max().unwrap_or(0);
+            if newest == 0 {
+                continue;
+            }
+            let bytes = match self.fetch_at(&name, newest, &probes) {
+                Ok(b) => b,
+                Err(_) => {
+                    report.errors += 1;
+                    continue;
+                }
+            };
+            for p in probes.iter().filter(|p| p.gen < newest) {
+                match self.replicas[p.ix].put_at(&name, newest, &bytes) {
+                    Ok(()) => {
+                        report.copies += 1;
+                        self.anti_entropy_copies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        report.errors += 1;
+                        self.count_error();
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl ObjectStore for ReplicatedObjectStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.mutate(name, None, bytes, false).map(|_| ())
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        let r = self.policy.read_quorum;
+        let mut last_err: Option<io::Error> = None;
+        for _ in 0..self.n() + PROTOCOL_ATTEMPTS_SLACK {
+            let probes = self.probe_heads(name, r);
+            if probes.len() < r {
+                return Err(quorum_lost("read probe", probes.len(), r, self.n()));
+            }
+            let newest = probes.iter().map(|p| p.gen).max().unwrap_or(0);
+            if newest == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("object {name:?} not found at read quorum"),
+                ));
+            }
+            let bytes = match self.fetch_at(name, newest, &probes) {
+                Ok(b) => b,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue; // the holder died between probe and fetch
+                }
+            };
+            // Read-repair: push the winning generation to every probed
+            // replica that lags it, inline, so one stale read heals the
+            // staleness it observed.
+            for p in probes.iter().filter(|p| p.gen < newest) {
+                match self.replicas[p.ix].put_at(name, newest, &bytes) {
+                    Ok(()) => {
+                        self.read_repairs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => self.count_error(),
+                }
+            }
+            self.quorum_reads.fetch_add(1, Ordering::Relaxed);
+            return Ok(bytes);
+        }
+        Err(last_err.unwrap_or_else(|| quorum_lost("read", 0, r, self.n())))
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        // Deletes fan out to every replica; a replica that never saw the
+        // name answers NotFound, which still counts as an acknowledgement
+        // (the name is as-deleted there). Only if *every* reachable
+        // replica answers NotFound was the name truly absent.
+        let w = self.policy.write_quorum;
+        let mut acks = 0usize;
+        let mut existed = false;
+        for r in &self.replicas {
+            match r.delete(name) {
+                Ok(()) => {
+                    acks += 1;
+                    existed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => acks += 1,
+                Err(_) => self.count_error(),
+            }
+        }
+        if acks < w {
+            return Err(quorum_lost("delete", acks, w, self.n()));
+        }
+        if !existed {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} not found on any replica"),
+            ));
+        }
+        self.quorum_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        // Union over every reachable replica: a name acked at W is listed
+        // by at least one reachable member whenever at most N - W are
+        // down. Order is unspecified by contract; consumers sort.
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        let mut reachable = 0usize;
+        for r in &self.replicas {
+            match r.list() {
+                Ok(l) => {
+                    reachable += 1;
+                    names.extend(l);
+                }
+                Err(_) => self.count_error(),
+            }
+        }
+        if reachable == 0 {
+            return Err(quorum_lost("list", 0, 1, self.n()));
+        }
+        Ok(names.into_iter().collect())
+    }
+
+    fn describe(&self) -> String {
+        let inner = self
+            .replicas
+            .first()
+            .map(|r| r.describe())
+            .unwrap_or_default();
+        format!(
+            "replicated(n={},w={},r={};{inner},..)",
+            self.n(),
+            self.policy.write_quorum,
+            self.policy.read_quorum
+        )
+    }
+
+    fn head(&self, name: &str) -> io::Result<u64> {
+        let r = self.policy.read_quorum;
+        let probes = self.probe_heads(name, r);
+        if probes.len() < r {
+            return Err(quorum_lost("head probe", probes.len(), r, self.n()));
+        }
+        self.quorum_reads.fetch_add(1, Ordering::Relaxed);
+        match probes.iter().map(|p| p.gen).max().unwrap_or(0) {
+            0 => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} not found at read quorum"),
+            )),
+            gen => Ok(gen),
+        }
+    }
+
+    fn put_if(&self, name: &str, expected: u64, bytes: &[u8]) -> io::Result<u64> {
+        self.mutate(name, Some(expected), bytes, true)
+    }
+
+    fn remote_totals(&self) -> Option<RemoteTotals> {
+        let mut total: Option<RemoteTotals> = None;
+        for r in &self.replicas {
+            if let Some(t) = r.remote_totals() {
+                let agg = total.get_or_insert_with(RemoteTotals::default);
+                agg.ops += t.ops;
+                agg.retries += t.retries;
+                agg.reconnects += t.reconnects;
+            }
+        }
+        total
+    }
+
+    fn replica_totals(&self) -> Option<ReplicaTotals> {
+        Some(ReplicaTotals {
+            replicas: self.n() as u64,
+            quorum_writes: self.quorum_writes.load(Ordering::Relaxed),
+            quorum_reads: self.quorum_reads.load(Ordering::Relaxed),
+            read_repairs: self.read_repairs.load(Ordering::Relaxed),
+            replica_errors: self.replica_errors.load(Ordering::Relaxed),
+            cas_promotions: self.cas_promotions.load(Ordering::Relaxed),
+            anti_entropy_copies: self.anti_entropy_copies.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{ObjFaultPlan, SimObjectStore};
+
+    fn sims(n: usize) -> (Vec<Arc<SimObjectStore>>, ReplicatedObjectStore) {
+        let sims: Vec<Arc<SimObjectStore>> = (0..n)
+            .map(|_| Arc::new(SimObjectStore::new(ObjFaultPlan::none())))
+            .collect();
+        let replicas: Vec<Arc<dyn ObjectStore>> = sims
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+            .collect();
+        let rep = ReplicatedObjectStore::majority(replicas).expect("construct");
+        (sims, rep)
+    }
+
+    #[test]
+    fn full_contract_over_healthy_replicas() {
+        let (sims, rep) = sims(3);
+        rep.put("a", b"one").expect("put");
+        assert_eq!(rep.get("a").expect("get"), b"one");
+        rep.put("a", b"two").expect("put");
+        assert_eq!(rep.get("a").expect("get"), b"two");
+        assert_eq!(rep.list().expect("list"), vec!["a".to_string()]);
+        let g = rep.head("a").expect("head");
+        let g2 = rep.put_if("a", g, b"three").expect("cas");
+        assert!(g2 > g);
+        rep.delete("a").expect("delete");
+        assert_eq!(
+            rep.get("a").expect_err("gone").kind(),
+            io::ErrorKind::NotFound
+        );
+        // Every replica converged on every step (W = N here in effect:
+        // all three were reachable).
+        for s in &sims {
+            assert_eq!(
+                s.get("a").expect_err("deleted everywhere").kind(),
+                io::ErrorKind::NotFound
+            );
+        }
+        let t = rep.replica_totals().expect("totals");
+        assert_eq!(t.replicas, 3);
+        assert!(t.quorum_writes >= 4);
+        assert!(t.quorum_reads >= 3);
+        assert_eq!(t.cas_promotions, 0);
+    }
+
+    #[test]
+    fn lockstep_generations_across_replicas() {
+        let (sims, rep) = sims(3);
+        rep.put("obj", b"v1").expect("put");
+        rep.put("obj", b"v2").expect("put");
+        let g = rep.head("obj").expect("head");
+        for s in &sims {
+            assert_eq!(s.head("obj").expect("replica head"), g, "lockstep");
+            assert_eq!(s.get_at("obj", g).expect("replica get_at"), b"v2");
+        }
+    }
+
+    #[test]
+    fn survives_any_single_dead_replica() {
+        for dead in 0..3usize {
+            let sims: Vec<Arc<SimObjectStore>> = (0..3)
+                .map(|i| {
+                    let plan = if i == dead {
+                        ObjFaultPlan::none().with_crash_at(0)
+                    } else {
+                        ObjFaultPlan::none()
+                    };
+                    Arc::new(SimObjectStore::new(plan))
+                })
+                .collect();
+            let replicas: Vec<Arc<dyn ObjectStore>> = sims
+                .iter()
+                .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+                .collect();
+            let rep = ReplicatedObjectStore::majority(replicas).expect("construct");
+            rep.put("k", b"v").expect("put with one replica down");
+            assert_eq!(rep.get("k").expect("get"), b"v");
+            let g = rep.head("k").expect("head");
+            let g2 = rep
+                .put_if("k", g, b"v2")
+                .expect("cas with one replica down");
+            assert!(g2 > g);
+            assert_eq!(rep.get("k").expect("get"), b"v2");
+            rep.delete("k").expect("delete with one replica down");
+            assert_eq!(
+                rep.get("k").expect_err("gone").kind(),
+                io::ErrorKind::NotFound
+            );
+        }
+    }
+
+    #[test]
+    fn cas_promotion_when_primary_is_dead() {
+        // Find a name whose primary is replica 0, kill replica 0 from the
+        // start, and check the CAS still fences correctly via promotion.
+        let name = (0..100)
+            .map(|i| format!("seat{i}"))
+            .find(|n| fnv64(n.as_bytes()).is_multiple_of(3))
+            .expect("some name maps to replica 0");
+        let sims: Vec<Arc<SimObjectStore>> = (0..3)
+            .map(|i| {
+                let plan = if i == 0 {
+                    ObjFaultPlan::none().with_crash_at(0)
+                } else {
+                    ObjFaultPlan::none()
+                };
+                Arc::new(SimObjectStore::new(plan))
+            })
+            .collect();
+        let replicas: Vec<Arc<dyn ObjectStore>> = sims
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+            .collect();
+        let rep = ReplicatedObjectStore::majority(replicas).expect("construct");
+        let g1 = rep.put_if(&name, 0, b"claimant a").expect("promoted cas");
+        let t = rep.replica_totals().expect("totals");
+        assert!(t.cas_promotions >= 1, "the claim went through a promotion");
+        // Fencing semantics survive the promotion: a stale claim loses.
+        let err = rep.put_if(&name, 0, b"zombie").expect_err("fenced");
+        assert!(as_cas_conflict(&err).is_some());
+        let g2 = rep.put_if(&name, g1, b"claimant b").expect("fresh claim");
+        assert!(g2 > g1);
+    }
+
+    #[test]
+    fn read_repair_heals_a_lagging_replica() {
+        let (sims, rep) = sims(3);
+        rep.put("x", b"new").expect("put");
+        // Manually wind one replica back by wiping it: a fresh sim that
+        // knows nothing stands in for a rejoined empty replica.
+        let stale = Arc::new(SimObjectStore::new(ObjFaultPlan::none()));
+        let mut replicas: Vec<Arc<dyn ObjectStore>> = sims
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+            .collect();
+        replicas[0] = Arc::clone(&stale) as Arc<dyn ObjectStore>;
+        let rep2 = ReplicatedObjectStore::new(
+            replicas,
+            ReplicaPolicy {
+                write_quorum: 2,
+                read_quorum: 3, // probe everyone so the stale member is seen
+            },
+        )
+        .expect("construct");
+        assert_eq!(rep2.get("x").expect("quorum read"), b"new");
+        let t = rep2.replica_totals().expect("totals");
+        assert!(t.read_repairs >= 1, "the stale replica was repaired");
+        assert_eq!(
+            stale
+                .get_at("x", rep2.head("x").expect("head"))
+                .expect("repaired"),
+            b"new"
+        );
+    }
+
+    #[test]
+    fn anti_entropy_scrub_catches_up_a_rejoined_replica() {
+        let (sims, rep) = sims(3);
+        for i in 0..5 {
+            rep.put(&format!("obj{i}"), format!("v{i}").as_bytes())
+                .expect("put");
+        }
+        // Replica 0 "crashes and rejoins empty".
+        let rejoined = Arc::new(SimObjectStore::new(ObjFaultPlan::none()));
+        let mut replicas: Vec<Arc<dyn ObjectStore>> = sims
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+            .collect();
+        replicas[0] = Arc::clone(&rejoined) as Arc<dyn ObjectStore>;
+        let rep2 = ReplicatedObjectStore::majority(replicas).expect("construct");
+        let report = rep2.scrub().expect("scrub");
+        assert_eq!(report.names, 5);
+        assert!(
+            report.copies >= 5,
+            "every object was copied to the rejoiner"
+        );
+        for i in 0..5 {
+            let name = format!("obj{i}");
+            assert_eq!(
+                rejoined
+                    .get(&name)
+                    .expect("rejoined replica has the object"),
+                format!("v{i}").as_bytes()
+            );
+        }
+        // A second pass finds nothing to do.
+        let report2 = rep2.scrub().expect("scrub");
+        assert_eq!(report2.copies, 0, "converged set needs no copies");
+    }
+
+    #[test]
+    fn quorum_loss_is_a_typed_timeout() {
+        // Two of three replicas dead: W = 2 is unreachable.
+        let sims: Vec<Arc<SimObjectStore>> = (0..3)
+            .map(|i| {
+                let plan = if i > 0 {
+                    ObjFaultPlan::none().with_crash_at(0)
+                } else {
+                    ObjFaultPlan::none()
+                };
+                Arc::new(SimObjectStore::new(plan))
+            })
+            .collect();
+        let replicas: Vec<Arc<dyn ObjectStore>> = sims
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+            .collect();
+        let rep = ReplicatedObjectStore::majority(replicas).expect("construct");
+        let err = rep.put("k", b"v").expect_err("no write quorum");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let err = rep.head("k").expect_err("no read quorum");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn stale_read_quorum_one_misses_then_scrub_heals() {
+        // R = 1 probes only the primary; an empty rejoined primary serves
+        // a stale NotFound that a scrub pass must heal.
+        let name = (0..100)
+            .map(|i| format!("n{i}"))
+            .find(|n| fnv64(n.as_bytes()).is_multiple_of(3))
+            .expect("some name maps to replica 0");
+        let (sims, rep) = sims(3);
+        rep.put(&name, b"data").expect("put");
+        let rejoined = Arc::new(SimObjectStore::new(ObjFaultPlan::none()));
+        let mut replicas: Vec<Arc<dyn ObjectStore>> = sims
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+            .collect();
+        replicas[0] = Arc::clone(&rejoined) as Arc<dyn ObjectStore>;
+        let rep2 = ReplicatedObjectStore::new(
+            replicas,
+            ReplicaPolicy {
+                write_quorum: 2,
+                read_quorum: 1,
+            },
+        )
+        .expect("construct");
+        assert_eq!(
+            rep2.get(&name)
+                .expect_err("R=1 hits the empty primary")
+                .kind(),
+            io::ErrorKind::NotFound
+        );
+        rep2.scrub().expect("scrub");
+        assert_eq!(rep2.get(&name).expect("healed"), b"data");
+    }
+}

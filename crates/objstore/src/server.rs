@@ -28,7 +28,7 @@ use std::thread::JoinHandle;
 /// Replayed responses remembered per client. A client has at most a
 /// handful of ops in flight (in practice one), so a small window is
 /// plenty; the cap bounds memory across a long crawl.
-const REPLAY_WINDOW: usize = 128;
+pub const REPLAY_WINDOW: usize = 128;
 
 /// Serves the wire protocol over any inner object store.
 #[derive(Debug)]
@@ -36,6 +36,11 @@ pub struct ObjectServer {
     inner: Arc<dyn ObjectStore>,
     /// Recorded responses for mutating ops, keyed `(client, id)`.
     replay: Mutex<BTreeMap<(u64, u64), Vec<u8>>>,
+    /// Per-client highest request id pruned out of the replay window. A
+    /// mutation retried under an id at or below this floor cannot be
+    /// deduplicated any more — the server refuses it typed
+    /// ([`RemoteError::ReplayEvicted`]) instead of silently re-executing.
+    evicted: Mutex<BTreeMap<u64, u64>>,
     served: std::sync::atomic::AtomicU64,
     replayed: std::sync::atomic::AtomicU64,
 }
@@ -46,6 +51,7 @@ impl ObjectServer {
         ObjectServer {
             inner,
             replay: Mutex::new(BTreeMap::new()),
+            evicted: Mutex::new(BTreeMap::new()),
             served: std::sync::atomic::AtomicU64::new(0),
             replayed: std::sync::atomic::AtomicU64::new(0),
         }
@@ -90,6 +96,25 @@ impl ObjectServer {
                     return recorded.clone();
                 }
             }
+            // Replay-cache miss: if this id was already pruned out of the
+            // window, the original attempt may or may not have executed and
+            // we can no longer replay its answer. Refuse typed rather than
+            // re-execute — a re-executed CAS would conflict with its own
+            // first attempt, a re-executed delete would report NotFound.
+            // Client ids are monotone, so a genuinely new op is always
+            // above the floor.
+            if let Ok(evicted) = self.evicted.lock() {
+                if evicted
+                    .get(&req.client)
+                    .is_some_and(|&floor| req.id <= floor)
+                {
+                    return encode_response(&Response {
+                        client: req.client,
+                        id: req.id,
+                        body: Err(RemoteError::ReplayEvicted),
+                    });
+                }
+            }
         }
         let resp = encode_response(&self.respond(&req));
         if req.op.mutates() {
@@ -102,8 +127,15 @@ impl ObjectServer {
                     .map(|(k, _)| *k)
                     .collect();
                 if client_keys.len() > REPLAY_WINDOW {
-                    for k in &client_keys[..client_keys.len() - REPLAY_WINDOW] {
+                    let pruned = &client_keys[..client_keys.len() - REPLAY_WINDOW];
+                    for k in pruned {
                         replay.remove(k);
+                    }
+                    if let Some(&(_, max_pruned)) = pruned.last() {
+                        if let Ok(mut evicted) = self.evicted.lock() {
+                            let floor = evicted.entry(req.client).or_insert(0);
+                            *floor = (*floor).max(max_pruned);
+                        }
                     }
                 }
             }
@@ -123,6 +155,11 @@ impl ObjectServer {
                 expected,
                 bytes,
             } => self.inner.put_if(name, *expected, bytes).map(RespBody::Gen),
+            RequestOp::PutAt { name, gen, bytes } => self
+                .inner
+                .put_at(name, *gen, bytes)
+                .map(|()| RespBody::Unit),
+            RequestOp::GetAt { name, gen } => self.inner.get_at(name, *gen).map(RespBody::Bytes),
         };
         Response {
             client: req.client,
@@ -400,6 +437,111 @@ mod tests {
         let resp = decode_response(unframe(&frame).expect("frame")).expect("decode");
         assert_eq!(resp.body, Ok(RespBody::Bytes(b"over tcp".to_vec())));
         handle.shutdown();
+    }
+
+    #[test]
+    fn exact_generation_ops_round_trip_through_server() {
+        let srv = server_tagged("putat");
+        let put = ask(
+            &srv,
+            3,
+            1,
+            RequestOp::PutAt {
+                name: "r".into(),
+                gen: 9,
+                bytes: vec![7, 8],
+            },
+        );
+        assert_eq!(put.body, Ok(RespBody::Unit));
+        let get = ask(
+            &srv,
+            3,
+            2,
+            RequestOp::GetAt {
+                name: "r".into(),
+                gen: 9,
+            },
+        );
+        assert_eq!(get.body, Ok(RespBody::Bytes(vec![7, 8])));
+        let missing = ask(
+            &srv,
+            3,
+            3,
+            RequestOp::GetAt {
+                name: "r".into(),
+                gen: 8,
+            },
+        );
+        assert_eq!(missing.body, Err(RemoteError::NotFound));
+        // Idempotent re-send at the same generation (fresh id, same slot).
+        let again = ask(
+            &srv,
+            3,
+            4,
+            RequestOp::PutAt {
+                name: "r".into(),
+                gen: 9,
+                bytes: vec![7, 8],
+            },
+        );
+        assert_eq!(again.body, Ok(RespBody::Unit));
+        let head = ask(&srv, 3, 5, RequestOp::Head { name: "r".into() });
+        assert_eq!(head.body, Ok(RespBody::Gen(9)));
+    }
+
+    #[test]
+    fn evicted_replay_id_is_refused_not_reexecuted() {
+        let srv = server_tagged("evict");
+        // Id 1: a CAS that wins.
+        let first = ask(
+            &srv,
+            5,
+            1,
+            RequestOp::PutIf {
+                name: "seat".into(),
+                expected: 0,
+                bytes: vec![1],
+            },
+        );
+        assert!(matches!(first.body, Ok(RespBody::Gen(_))));
+        // Push id 1 out of the replay window with > REPLAY_WINDOW more
+        // mutations.
+        for i in 0..(REPLAY_WINDOW as u64 + 8) {
+            let r = ask(
+                &srv,
+                5,
+                2 + i,
+                RequestOp::Put {
+                    name: "filler".into(),
+                    bytes: vec![i as u8],
+                },
+            );
+            assert!(r.body.is_ok());
+        }
+        // Retrying id 1 now cannot be replayed; it must be refused typed,
+        // not re-executed (re-execution would report a CasConflict against
+        // its own first attempt).
+        let retry = ask(
+            &srv,
+            5,
+            1,
+            RequestOp::PutIf {
+                name: "seat".into(),
+                expected: 0,
+                bytes: vec![1],
+            },
+        );
+        assert_eq!(retry.body, Err(RemoteError::ReplayEvicted));
+        // The seat is untouched: still generation 1.
+        let head = ask(
+            &srv,
+            5,
+            9999,
+            RequestOp::Head {
+                name: "seat".into(),
+            },
+        );
+        assert_eq!(head.body, Ok(RespBody::Gen(1)));
     }
 
     #[test]

@@ -511,10 +511,57 @@ impl ObjectStore for SimObjectStore {
         if found != expected {
             return Err(bfu_store::cas_conflict_error(expected, found));
         }
-        st.version += 1;
-        let version = st.version;
+        // Land at exactly `expected + 1` (max-bumping the global counter),
+        // mirroring DirObjectStore's hard_link target: replicas holding the
+        // same history then agree on every generation number, which is what
+        // the lockstep-generation replication layer requires.
+        let version = expected + 1;
+        st.version = st.version.max(version);
         st.apply(name, version, Some(Arc::new(bytes.to_vec())));
         Ok(version)
+    }
+
+    fn put_at(&self, name: &str, gen: u64, bytes: &[u8]) -> io::Result<()> {
+        if gen == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "generation 0 is reserved for absence",
+            ));
+        }
+        let mut st = self.lock()?;
+        self.pre_op(&mut st, format!("obj:putat:{name}"))?;
+        // Replication-internal write: strongly consistent like put_if, so
+        // settle the name first and apply immediately.
+        st.settle(name);
+        let exists = st
+            .names
+            .get(name)
+            .is_some_and(|h| h.iter().any(|(v, d)| *v == gen && d.is_some()));
+        if exists {
+            return Ok(()); // generations are immutable: idempotent re-send
+        }
+        st.version = st.version.max(gen);
+        st.apply(name, gen, Some(Arc::new(bytes.to_vec())));
+        Ok(())
+    }
+
+    fn get_at(&self, name: &str, gen: u64) -> io::Result<Vec<u8>> {
+        let mut st = self.lock()?;
+        self.pre_op(&mut st, format!("obj:getat:{name}"))?;
+        // Verifiable read: settle, then serve exactly the asked generation.
+        st.settle(name);
+        let found = st
+            .names
+            .get(name)
+            .and_then(|h| h.iter().find(|(v, _)| *v == gen))
+            .and_then(|(_, d)| d.clone());
+        match found {
+            Some(d) => Ok(d.as_ref().clone()),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("object {name:?} has no generation {gen}"),
+            )),
+        }
     }
 }
 

@@ -57,6 +57,15 @@ pub enum RequestOp {
         expected: u64,
         bytes: Vec<u8>,
     },
+    /// Replication primitive: write at exactly this generation (idempotent
+    /// if it already exists — generations are immutable).
+    PutAt {
+        name: String,
+        gen: u64,
+        bytes: Vec<u8>,
+    },
+    /// Replication primitive: read exactly this generation.
+    GetAt { name: String, gen: u64 },
 }
 
 impl RequestOp {
@@ -67,7 +76,10 @@ impl RequestOp {
     pub fn mutates(&self) -> bool {
         matches!(
             self,
-            RequestOp::Put { .. } | RequestOp::Delete { .. } | RequestOp::PutIf { .. }
+            RequestOp::Put { .. }
+                | RequestOp::Delete { .. }
+                | RequestOp::PutIf { .. }
+                | RequestOp::PutAt { .. }
         )
     }
 
@@ -79,6 +91,8 @@ impl RequestOp {
             RequestOp::List => 4,
             RequestOp::Head { .. } => 5,
             RequestOp::PutIf { .. } => 6,
+            RequestOp::PutAt { .. } => 7,
+            RequestOp::GetAt { .. } => 8,
         }
     }
 }
@@ -151,6 +165,13 @@ pub enum RemoteError {
     /// Any other server-side I/O failure. Fatal — without a code we must
     /// assume the op partially applied in some unknown way.
     Io,
+    /// A retried mutation arrived after its request id was evicted from the
+    /// server's replay window: the server can no longer tell whether the
+    /// original attempt executed, so it refuses rather than risk silently
+    /// re-executing a CAS. Fatal for the *same id* (re-sending it can never
+    /// succeed); idempotent-by-content ops (put, delete) are safely
+    /// re-issued under a fresh id, which the client does itself.
+    ReplayEvicted,
 }
 
 impl RemoteError {
@@ -168,6 +189,13 @@ impl RemoteError {
                 expected: c.expected,
                 found: c.found,
             };
+        }
+        if err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<RemoteError>())
+            .is_some_and(|e| matches!(e, RemoteError::ReplayEvicted))
+        {
+            return RemoteError::ReplayEvicted;
         }
         match err.kind() {
             io::ErrorKind::NotFound => RemoteError::NotFound,
@@ -200,6 +228,9 @@ impl RemoteError {
             }
             RemoteError::BadFrame => io::Error::new(io::ErrorKind::TimedOut, "remote: bad frame"),
             RemoteError::Io => io::Error::other("remote: server i/o error"),
+            // Carried as a typed payload so `from_io` round-trips it and
+            // callers can recover the class with `is_replay_evicted`.
+            RemoteError::ReplayEvicted => io::Error::other(RemoteError::ReplayEvicted),
         }
     }
 
@@ -211,8 +242,16 @@ impl RemoteError {
             RemoteError::Unavailable => 4,
             RemoteError::BadFrame => 5,
             RemoteError::Io => 6,
+            RemoteError::ReplayEvicted => 7,
         }
     }
+}
+
+/// Whether `err` carries [`RemoteError::ReplayEvicted`] — the typed marker
+/// for "this mutation's id fell out of the server's replay window, its
+/// outcome is unknowable under that id".
+pub fn is_replay_evicted(err: &io::Error) -> bool {
+    RemoteError::from_io(err) == RemoteError::ReplayEvicted
 }
 
 impl fmt::Display for RemoteError {
@@ -226,6 +265,7 @@ impl fmt::Display for RemoteError {
             RemoteError::Unavailable => write!(f, "unavailable"),
             RemoteError::BadFrame => write!(f, "bad frame"),
             RemoteError::Io => write!(f, "server i/o error"),
+            RemoteError::ReplayEvicted => write!(f, "replay window evicted"),
         }
     }
 }
@@ -299,6 +339,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_u64(*expected);
             w.put_bytes(bytes);
         }
+        RequestOp::PutAt { name, gen, bytes } => {
+            w.put_str(name);
+            w.put_u64(*gen);
+            w.put_bytes(bytes);
+        }
+        RequestOp::GetAt { name, gen } => {
+            w.put_str(name);
+            w.put_u64(*gen);
+        }
     }
     frame(&w.into_bytes())
 }
@@ -328,6 +377,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, RemoteError> {
                 name: r.get_str().ok()?.to_string(),
                 expected: r.get_u64().ok()?,
                 bytes: r.get_bytes().ok()?.to_vec(),
+            },
+            7 => RequestOp::PutAt {
+                name: r.get_str().ok()?.to_string(),
+                gen: r.get_u64().ok()?,
+                bytes: r.get_bytes().ok()?.to_vec(),
+            },
+            8 => RequestOp::GetAt {
+                name: r.get_str().ok()?.to_string(),
+                gen: r.get_u64().ok()?,
             },
             _ => return None,
         };
@@ -406,6 +464,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, RemoteError> {
                 4 => RemoteError::Unavailable,
                 5 => RemoteError::BadFrame,
                 6 => RemoteError::Io,
+                7 => RemoteError::ReplayEvicted,
                 _ => return None,
             }),
             _ => return None,
@@ -433,6 +492,7 @@ mod tests {
             RemoteError::Unavailable,
             RemoteError::BadFrame,
             RemoteError::Io,
+            RemoteError::ReplayEvicted,
         ]
     }
 
@@ -451,6 +511,15 @@ mod tests {
                 name: "COORD".into(),
                 expected: 41,
                 bytes: vec![],
+            },
+            RequestOp::PutAt {
+                name: "rep".into(),
+                gen: 12,
+                bytes: vec![4, 5],
+            },
+            RequestOp::GetAt {
+                name: "rep".into(),
+                gen: 12,
             },
         ];
         for (ix, op) in ops.into_iter().enumerate() {

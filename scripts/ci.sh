@@ -42,15 +42,18 @@ if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     rm -f "$TORTURE_OUT"
 fi
 
-echo "==> fabric crash-mid-lease + partition + network torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
+echo "==> fabric crash-mid-lease + partition + network + replica torture (bounded; BFU_TORTURE_FULL=1 = exhaustive)"
 # Kill the survey fabric at every worker/coordinator step AND partition the
 # whole-object backend at every op (delayed visibility, stale reads/lists,
 # lost replays under chaos), AND run the whole fabric over a hostile wire
 # (dropped/truncated/stalled/duplicated/reordered frames, elected
 # coordinator killed at every coordinator step with a standby finishing),
-# proving every schedule recovers to the single-process fingerprint; the
-# standalone binary re-proves the exhaustive kill, partition, and
-# kill×partition sweeps in release.
+# AND over a 3-replica quorum store — any one replica killed at every one
+# of its ops, partitioned for every window, killed together with a worker,
+# rejoining empty and caught up by anti-entropy, the CAS primary dead from
+# the start — proving every schedule recovers to the single-process
+# fingerprint; the standalone binary re-proves the exhaustive kill,
+# partition, and kill×partition sweeps in release.
 cargo test -q --test fabric_torture
 if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     TORTURE_OUT=$(mktemp)
@@ -58,11 +61,15 @@ if [[ "${BFU_TORTURE_FULL:-0}" == "1" ]]; then
     rm -f "$TORTURE_OUT"
 fi
 
-echo "==> object-store torture (crash sweep, publish windows, listing order)"
+echo "==> object-store torture (crash sweep, publish windows, listing order, replica quorums)"
 # The whole-object backend: every-op crash sweep with process-restart
 # recovery, manifest old-or-new on both publish lowerings (versioned put
 # and copy+delete rename, including the window between copy and delete),
-# chaos-partitioned store runs, and the shuffled-listing regression.
+# chaos-partitioned store runs, the shuffled-listing regression, plus the
+# replica dimension — any single replica killed at any of its ops with no
+# error surfacing, stale R=1 reads caught by visibility retries and healed
+# by scrub, and a replayed mutation past the server's replay window
+# refused typed instead of silently re-executed.
 cargo test -q --test objstore_torture
 
 echo "==> cross-process fabric (real worker processes; DirObjectStore + real TCP)"
@@ -113,6 +120,12 @@ grep -q '"fingerprints_match": true' "$CI_FABRIC_OUT"
 grep -q '"backend": "objstore"' "$CI_FABRIC_OUT"
 grep -q '"backend": "posix"' "$CI_FABRIC_OUT"
 grep -q '"backend": "remote"' "$CI_FABRIC_OUT"
+grep -q '"backend": "replicated"' "$CI_FABRIC_OUT"
+# The replicated column must show real quorum effort, not a dead front:
+# some row carries 3 replicas with non-zero quorum write and read counts.
+grep -q '"replicas": 3' "$CI_FABRIC_OUT"
+grep -qE '"replica_quorum_writes": [1-9]' "$CI_FABRIC_OUT"
+grep -qE '"replica_quorum_reads": [1-9]' "$CI_FABRIC_OUT"
 rm -f "$CI_FABRIC_OUT"
 
 echo "==> cargo clippy --workspace -- -D warnings"

@@ -15,7 +15,7 @@ use bfu_crawler::{CrawlConfig, Survey};
 use bfu_fabric::{run_fabric_worker, run_survey_fabric_processes, ProcConfig, WorkerExit};
 use bfu_objstore::{
     spawn_tcp_server, DirObjectStore, ObjectBackend, ObjectServer, ObjectStore, RemoteClock,
-    RemoteObjectStore, RemotePolicy, TcpTransport,
+    RemoteObjectStore, RemotePolicy, ReplicatedObjectStore, TcpTransport,
 };
 use bfu_store::{resume_survey_on, LocalFs, StorageBackend, PROVENANCE_NAME};
 use bfu_webgen::{SyntheticWeb, WebConfig};
@@ -67,6 +67,34 @@ fn tcp_backend(addr: &str, client_id: u64) -> Arc<dyn StorageBackend> {
         RemotePolicy::default(),
     ));
     Arc::new(ObjectBackend::new(remote as Arc<dyn ObjectStore>))
+}
+
+/// A backend over *replicated* TCP object servers: one `RemoteObjectStore`
+/// per comma-separated address, fronted by a majority-quorum
+/// `ReplicatedObjectStore`. The wire policy fails fast — a dead replica is
+/// the replication layer's problem (absorbed by the quorum), not something
+/// worth a full wall-clock backoff schedule per op.
+fn replicated_tcp_backend(addrs: &str, client_id: u64) -> Arc<dyn StorageBackend> {
+    let policy = RemotePolicy {
+        max_attempts: 2,
+        base_backoff_ms: 1,
+        max_backoff_ms: 2,
+        ..RemotePolicy::default()
+    };
+    let replicas: Vec<Arc<dyn ObjectStore>> = addrs
+        .split(',')
+        .map(|a| {
+            let addr: std::net::SocketAddr = a.parse().expect("replica address");
+            Arc::new(RemoteObjectStore::new(
+                client_id,
+                Box::new(TcpTransport::new(addr)),
+                RemoteClock::Wall,
+                policy,
+            )) as Arc<dyn ObjectStore>
+        })
+        .collect();
+    let store = Arc::new(ReplicatedObjectStore::majority(replicas).expect("replicated store"));
+    Arc::new(ObjectBackend::new(store as Arc<dyn ObjectStore>))
 }
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -141,8 +169,10 @@ fn worker_entry() {
         .map(|v| v.parse().expect("max leases"));
     let survey = survey_for(sites, seed);
     // With BFU_FABRIC_ADDR set the worker never touches the directory:
-    // every byte crosses the TCP wire to the parent's object server.
+    // every byte crosses the TCP wire to the parent's object server(s) —
+    // a comma-separated list means a quorum over replicated servers.
     let backend = match std::env::var("BFU_FABRIC_ADDR") {
+        Ok(addrs) if addrs.contains(',') => replicated_tcp_backend(&addrs, u64::from(id)),
         Ok(addr) => tcp_backend(&addr, u64::from(id)),
         Err(_) => dir_backend(&root),
     };
@@ -245,6 +275,81 @@ fn networked_fabric_over_real_tcp_matches_single_process() {
     assert!(provenance.contains("\"elections_won\": 1"));
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn replicated_tcp_fabric_completes_with_one_replica_down_the_entire_run() {
+    const SITES: usize = 8;
+    const SEED: u64 = 233;
+    let survey = survey_for(SITES, SEED);
+    let baseline = survey.run().fingerprint();
+
+    // Three independent object servers, each fronting its own directory —
+    // three genuinely separate failure domains on localhost TCP.
+    let roots: Vec<PathBuf> = (0..3).map(|i| temp_root(&format!("rep{i}"))).collect();
+    let mut servers = Vec::new();
+    let mut handles = Vec::new();
+    for root in &roots {
+        let inner = Arc::new(DirObjectStore::open(root).expect("open dir store"));
+        let server = Arc::new(ObjectServer::new(inner as Arc<dyn ObjectStore>));
+        let handle = spawn_tcp_server(Arc::clone(&server)).expect("bind localhost");
+        servers.push(server);
+        handles.push(handle);
+    }
+    let addrs = handles
+        .iter()
+        .map(|h| h.addr.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    // Kill the third replica before a single byte is written: the entire
+    // survey — election, leases, publishes, merge, seal — must complete
+    // over the surviving write/read majority.
+    let mut dead = handles.pop().expect("three handles");
+    dead.shutdown();
+
+    let backend = replicated_tcp_backend(&addrs, 999);
+    let cfg = proc_config();
+    let outcome = run_survey_fabric_processes(&survey, backend.clone(), &cfg, &mut |id| {
+        spawn_worker_on(&roots[0], Some(&addrs), SITES, SEED, id, None)
+    })
+    .expect("replicated fabric with one replica down");
+    assert_eq!(
+        outcome.dataset.fingerprint(),
+        baseline,
+        "a dead replica must never change the dataset"
+    );
+    assert!(servers[0].served() > 0 && servers[1].served() > 0);
+    assert_eq!(servers[2].served(), 0, "the dead replica served nothing");
+    let stats = outcome.stats;
+    assert_eq!(stats.leases_completed, stats.leases_total);
+    assert_eq!(stats.records_absorbed, SITES as u64);
+    assert_eq!(
+        stats.elections_won, 1,
+        "the coordinator still runs under an elected term over replicas"
+    );
+    // The replication effort is auditable from the run's durable record.
+    let health = outcome.health.backend;
+    assert_eq!(health.replicas, 3, "replica count in health: {health:?}");
+    assert!(
+        health.replica_quorum_writes > 0,
+        "quorum writes: {health:?}"
+    );
+    assert!(health.replica_quorum_reads > 0, "quorum reads: {health:?}");
+    assert!(
+        health.replica_errors > 0,
+        "the dead replica's failures are counted, not hidden: {health:?}"
+    );
+    let provenance =
+        String::from_utf8(backend.get(PROVENANCE_NAME).expect("provenance")).expect("UTF-8");
+    assert!(provenance.contains("\"replicas\": 3"));
+    assert!(provenance.contains("\"replica_quorum_writes\""));
+    for mut handle in handles {
+        handle.shutdown();
+    }
+    for root in &roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
 }
 
 #[test]

@@ -23,8 +23,10 @@ use bfu_crawler::{CrawlConfig, Survey};
 use bfu_fabric::{
     run_sim, run_survey_fabric, FabricConfig, FabricError, FabricFaultPlan, SimOutcome,
 };
-use bfu_objstore::{ObjFaultPlan, ObjectBackend, SimObjectStore};
-use bfu_store::{FaultFs, StorageBackend, StoreFaultPlan, PROVENANCE_NAME};
+use bfu_objstore::{ObjFaultPlan, ObjectBackend, ReplicatedObjectStore, SimObjectStore};
+use bfu_store::{
+    load_survey_dataset_on, FaultFs, LoadOutcome, StorageBackend, StoreFaultPlan, PROVENANCE_NAME,
+};
 use bfu_webgen::{SyntheticWeb, WebConfig};
 use std::sync::{Arc, OnceLock};
 
@@ -754,6 +756,352 @@ fn coordinator_killed_at_every_step_standby_wins_and_finishes() {
         );
         assert_eq!(sim.outcome.stats.coordinators_deposed, 1);
     }
+}
+
+// ---------------------------------------------------------------------
+// Replica torture: the backend is an `ObjectBackend` over a
+// `ReplicatedObjectStore` spanning three `SimObjectStore` replicas with
+// majority quorums (W = R = 2). The replication layer must absorb any
+// single replica dying at any of its ops — quorum continues, nothing
+// resumes, no error ever reaches the fabric — and an anti-entropy scrub
+// must catch a crashed-and-rejoined replica back up to a state that can
+// serve the complete dataset alone.
+// ---------------------------------------------------------------------
+
+use bfu_util::fnv64;
+
+struct ReplicaRig {
+    backend: Arc<dyn StorageBackend>,
+    store: Arc<ReplicatedObjectStore>,
+    sims: Vec<Arc<SimObjectStore>>,
+}
+
+fn replica_rig(plans: [ObjFaultPlan; 3]) -> ReplicaRig {
+    let sims: Vec<Arc<SimObjectStore>> = plans
+        .iter()
+        .map(|p| Arc::new(SimObjectStore::new(*p)))
+        .collect();
+    let replicas: Vec<Arc<dyn ObjectStore>> = sims
+        .iter()
+        .map(|s| Arc::clone(s) as Arc<dyn ObjectStore>)
+        .collect();
+    let store = Arc::new(ReplicatedObjectStore::majority(replicas).expect("replicated store"));
+    let backend: Arc<dyn StorageBackend> = Arc::new(ObjectBackend::new(
+        Arc::clone(&store) as Arc<dyn ObjectStore>
+    ));
+    ReplicaRig {
+        backend,
+        store,
+        sims,
+    }
+}
+
+/// Per-replica op counts of one fault-free replicated fabric run — each
+/// replica's own coordinate space for the kill/partition sweeps.
+fn healthy_replica_ops() -> &'static Vec<u64> {
+    static OPS: OnceLock<Vec<u64>> = OnceLock::new();
+    OPS.get_or_init(|| {
+        let fx = fixture();
+        let rig = replica_rig([ObjFaultPlan::none(); 3]);
+        let sim = run_sim(
+            &fx.survey,
+            Arc::clone(&rig.backend),
+            &torture_config(),
+            &FabricFaultPlan::default(),
+        )
+        .expect("healthy replicated sim");
+        assert_eq!(sim.outcome.dataset.fingerprint(), fx.baseline_fingerprint);
+        rig.sims.iter().map(|s| s.ops()).collect()
+    })
+}
+
+/// Sweep points over one replica's op space, `budget` per replica in the
+/// bounded run, exhaustive under `BFU_TORTURE_FULL=1`.
+fn replica_sweep_points(total: u64, budget: u64) -> Vec<u64> {
+    let full = std::env::var("BFU_TORTURE_FULL").is_ok_and(|v| v == "1");
+    if full || total <= budget {
+        return (0..total).collect();
+    }
+    let stride = total.div_ceil(budget);
+    let mut points: Vec<u64> = (0..total).step_by(stride as usize).collect();
+    if points.last() != Some(&(total - 1)) {
+        points.push(total - 1);
+    }
+    points
+}
+
+#[test]
+fn healthy_fabric_over_replicated_store_matches_single_process() {
+    let fx = fixture();
+    let rig = replica_rig([ObjFaultPlan::none(); 3]);
+    let sim = run_sim(
+        &fx.survey,
+        Arc::clone(&rig.backend),
+        &torture_config(),
+        &FabricFaultPlan::default(),
+    )
+    .expect("healthy replicated sim");
+    assert_eq!(sim.outcome.dataset.fingerprint(), fx.baseline_fingerprint);
+    for (i, s) in rig.sims.iter().enumerate() {
+        assert!(s.ops() > 0, "replica {i} saw traffic");
+    }
+    // The replication counters reach the provenance health block.
+    let backend = sim.outcome.health.backend;
+    assert!(backend.enabled);
+    assert_eq!(backend.replicas, 3);
+    assert!(backend.replica_quorum_writes > 0, "writes acked at quorum");
+    assert!(backend.replica_quorum_reads > 0, "reads settled at quorum");
+    assert_eq!(
+        backend.replica_errors, 0,
+        "healthy replicas, no absorbed failures: {backend:?}"
+    );
+    assert_eq!(backend.replica_cas_promotions, 0, "primaries never skipped");
+}
+
+#[test]
+fn full_survey_completes_with_any_one_replica_down_the_entire_run() {
+    // The acceptance bar: for each choice of victim, the whole survey runs
+    // with that replica dead from the very first op. No resume, no retry
+    // loop at the fabric layer — the quorum just keeps answering.
+    let fx = fixture();
+    for dead in 0..3usize {
+        let mut plans = [ObjFaultPlan::none(); 3];
+        plans[dead] = ObjFaultPlan::none().with_crash_at(0);
+        let rig = replica_rig(plans);
+        let sim = run_sim(
+            &fx.survey,
+            Arc::clone(&rig.backend),
+            &torture_config(),
+            &FabricFaultPlan::default(),
+        )
+        .unwrap_or_else(|e| panic!("replica {dead} down for the whole run: {e}"));
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "replica {dead} down diverged"
+        );
+        let backend = sim.outcome.health.backend;
+        assert!(
+            backend.replica_errors > 0,
+            "replica {dead}'s failures are counted, not hidden: {backend:?}"
+        );
+        assert!(backend.replica_quorum_writes > 0);
+    }
+}
+
+#[test]
+fn kill_any_one_replica_at_any_of_its_ops_quorum_continues() {
+    // The tentpole sweep: for every replica, kill it at (a sweep of) its
+    // own globally-numbered ops. It stays dead for the rest of the run.
+    // The schedule must complete to the identical fingerprint with the
+    // deaths absorbed inside the replication layer — the fabric never
+    // sees an error, nothing is resumed.
+    let fx = fixture();
+    let ops = healthy_replica_ops();
+    for (r, &total) in ops.iter().enumerate() {
+        assert!(total > 10, "replica {r} workload too small: {total} ops");
+        for k in replica_sweep_points(total, 16) {
+            let mut plans = [ObjFaultPlan::none(); 3];
+            plans[r] = ObjFaultPlan::none().with_crash_at(k);
+            let rig = replica_rig(plans);
+            let sim = run_sim(
+                &fx.survey,
+                Arc::clone(&rig.backend),
+                &torture_config(),
+                &FabricFaultPlan::default(),
+            )
+            .unwrap_or_else(|e| panic!("replica {r} killed at its op {k}: {e}"));
+            assert_eq!(
+                sim.outcome.dataset.fingerprint(),
+                fx.baseline_fingerprint,
+                "replica {r} killed at its op {k} diverged"
+            );
+            let t = rig.store.replica_totals().expect("totals");
+            assert!(
+                t.replica_errors > 0,
+                "replica {r} op {k}: the death left a counted trace"
+            );
+        }
+    }
+}
+
+#[test]
+fn partition_any_one_replica_at_any_of_its_ops_recovers() {
+    // The partition dimension: one replica serves its worst-case stale
+    // view at a swept op (delayed put/delete visibility, stale reads and
+    // listings for the full window) while the other two stay honest. The
+    // replicated read path settles generations via per-replica `head`
+    // (strongly consistent) and verifiable `get_at`, and listings union
+    // across replicas — so staleness on one member must never surface.
+    let fx = fixture();
+    let ops = healthy_replica_ops();
+    for (r, &total) in ops.iter().enumerate() {
+        for p in replica_sweep_points(total, 8) {
+            let mut plans = [ObjFaultPlan::none(); 3];
+            plans[r] = ObjFaultPlan::none().with_partition_at(p);
+            let rig = replica_rig(plans);
+            let sim = run_sim(
+                &fx.survey,
+                Arc::clone(&rig.backend),
+                &torture_config(),
+                &FabricFaultPlan::default(),
+            )
+            .unwrap_or_else(|e| panic!("replica {r} partitioned at its op {p}: {e}"));
+            assert_eq!(
+                sim.outcome.dataset.fingerprint(),
+                fx.baseline_fingerprint,
+                "replica {r} partitioned at its op {p} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_replica_and_kill_worker_together_recover() {
+    // The diagonal: every fabric kill point paired with one replica dying
+    // at a derived op — a worker death and a replica death in the same
+    // schedule, the replica staying down through the recovery.
+    let fx = fixture();
+    let ops = healthy_replica_ops();
+    let total_steps = fx.trace.len() as u64;
+    for k in sweep_points(total_steps) {
+        let r = (k % 3) as usize;
+        let p = (k.wrapping_mul(7) + 3) % ops[r].max(1);
+        let mut plans = [ObjFaultPlan::none(); 3];
+        plans[r] = ObjFaultPlan::none().with_crash_at(p);
+        let rig = replica_rig(plans);
+        let plan = FabricFaultPlan {
+            kill_at: Some(k),
+            ..FabricFaultPlan::default()
+        };
+        let sim = run_sim(
+            &fx.survey,
+            Arc::clone(&rig.backend),
+            &torture_config(),
+            &plan,
+        )
+        .unwrap_or_else(|e| panic!("fabric kill {k} + replica {r} dead at {p}: {e}"));
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "fabric kill {k} ({}) + replica {r} dead at {p} diverged",
+            fx.trace[k as usize]
+        );
+        assert_eq!(sim.worker_deaths + sim.coordinator_crashes, 1);
+    }
+}
+
+#[test]
+fn replica_chaos_on_every_member_converges() {
+    // Every replica under its own seeded chaos plan at once: stale and
+    // shuffled listings, delayed plain-op visibility, the works. The
+    // replicated protocol leans only on the strongly consistent per-
+    // replica ops (`head`, `put_if`, `put_at`, `get_at`) plus unioned
+    // listings, so chaos on the eventually-consistent surface must not
+    // perturb anything.
+    let fx = fixture();
+    for base in [5u64, 0x3E9, 0xCAFE_D00D] {
+        let plans = [
+            ObjFaultPlan::chaos(base),
+            ObjFaultPlan::chaos(base ^ 0x1111),
+            ObjFaultPlan::chaos(base ^ 0x2222),
+        ];
+        let rig = replica_rig(plans);
+        let sim = run_sim(
+            &fx.survey,
+            Arc::clone(&rig.backend),
+            &torture_config(),
+            &FabricFaultPlan::default(),
+        )
+        .unwrap_or_else(|e| panic!("replica chaos base {base:#x}: {e}"));
+        assert_eq!(
+            sim.outcome.dataset.fingerprint(),
+            fx.baseline_fingerprint,
+            "replica chaos base {base:#x} diverged"
+        );
+    }
+}
+
+#[test]
+fn killed_replica_rejoins_and_anti_entropy_catches_it_up() {
+    // Crash one replica mid-run, finish on the surviving majority, then
+    // power-cycle the corpse and run the anti-entropy scrub. The healed
+    // replica must be able to serve the *complete* dataset entirely by
+    // itself — the real contract behind "caught up".
+    let fx = fixture();
+    let ops = healthy_replica_ops();
+    for r in 0..3usize {
+        let k = ops[r] / 2;
+        let mut plans = [ObjFaultPlan::none(); 3];
+        plans[r] = ObjFaultPlan::none().with_crash_at(k);
+        let rig = replica_rig(plans);
+        let sim = run_sim(
+            &fx.survey,
+            Arc::clone(&rig.backend),
+            &torture_config(),
+            &FabricFaultPlan::default(),
+        )
+        .unwrap_or_else(|e| panic!("replica {r} crashed at {k}: {e}"));
+        assert_eq!(sim.outcome.dataset.fingerprint(), fx.baseline_fingerprint);
+
+        rig.sims[r].power_cycle();
+        let report = rig.store.scrub().expect("anti-entropy scrub");
+        assert!(
+            report.copies > 0,
+            "replica {r}: the rejoiner missed writes the scrub must copy"
+        );
+        assert!(report.names > 0);
+        let t = rig.store.replica_totals().expect("totals");
+        assert!(t.anti_entropy_copies >= report.copies);
+
+        // The healed replica alone — no quorum, no peers — holds the
+        // complete canonical dataset.
+        let solo: Arc<dyn StorageBackend> = Arc::new(ObjectBackend::new(
+            Arc::clone(&rig.sims[r]) as Arc<dyn ObjectStore>
+        ));
+        match load_survey_dataset_on(&fx.survey, solo).expect("load from healed replica") {
+            LoadOutcome::Complete { dataset, .. } => {
+                assert_eq!(
+                    dataset.fingerprint(),
+                    fx.baseline_fingerprint,
+                    "replica {r}: healed replica serves a diverged dataset"
+                );
+            }
+            LoadOutcome::Incomplete {
+                present, missing, ..
+            } => panic!("replica {r}: healed replica incomplete {present}/{missing}"),
+        }
+    }
+}
+
+#[test]
+fn elected_fabric_over_replicated_store_with_dead_cas_primary() {
+    // The election's CAS fence over replicas, with the COORD record's
+    // deterministic primary dead the whole run: every claim and heartbeat
+    // must route through a promoted acting replica, and the fencing
+    // semantics (exactly one elected term, zero depositions) must hold.
+    let fx = fixture();
+    let primary = (fnv64(bfu_fabric::COORD_NAME.as_bytes()) % 3) as usize;
+    let mut plans = [ObjFaultPlan::none(); 3];
+    plans[primary] = ObjFaultPlan::none().with_crash_at(0);
+    let rig = replica_rig(plans);
+    let sim = run_sim_elected(
+        &fx.survey,
+        Arc::clone(&rig.backend),
+        &torture_config(),
+        None,
+        HEARTBEAT_MS,
+    )
+    .expect("elected sim over replicas with dead primary");
+    assert_eq!(sim.outcome.dataset.fingerprint(), fx.baseline_fingerprint);
+    assert_eq!(sim.elections_won, 1);
+    assert_eq!(sim.coordinators_deposed, 0);
+    let backend = sim.outcome.health.backend;
+    assert_eq!(backend.replicas, 3);
+    assert!(
+        backend.replica_cas_promotions > 0,
+        "the dead primary forced CAS promotions: {backend:?}"
+    );
 }
 
 #[test]

@@ -339,6 +339,251 @@ impl StorageBackend for ShuffledListing {
     }
 }
 
+// ---------------------------------------------------------------------
+// Replica dimension: the same survey over a ReplicatedObjectStore front.
+// Quorum writes must absorb the death of any single replica *without an
+// error ever reaching the store layer*, stale sub-quorum reads must be
+// caught by the adapter's visibility bookkeeping, and a replayed mutation
+// that outlived the server's replay window must be refused typed.
+// ---------------------------------------------------------------------
+
+use bfu_objstore::{
+    ObjectServer, ObjectStore, RemoteError, ReplicaPolicy, ReplicatedObjectStore, Request,
+    RequestOp, RespBody, Response, ScrubReport, REPLAY_WINDOW,
+};
+
+fn replica_sims(plans: [ObjFaultPlan; 3]) -> Vec<Arc<SimObjectStore>> {
+    plans
+        .into_iter()
+        .map(|p| Arc::new(SimObjectStore::new(p)))
+        .collect()
+}
+
+fn replicated_over(sims: &[Arc<SimObjectStore>]) -> Arc<ReplicatedObjectStore> {
+    let replicas: Vec<Arc<dyn ObjectStore>> = sims
+        .iter()
+        .map(|s| s.clone() as Arc<dyn ObjectStore>)
+        .collect();
+    Arc::new(ReplicatedObjectStore::majority(replicas).expect("replicated store"))
+}
+
+/// Per-replica op counts from one healthy replicated run — the sweep
+/// coordinates for the kill tests below.
+fn healthy_replica_op_counts() -> &'static Vec<u64> {
+    static COUNTS: OnceLock<Vec<u64>> = OnceLock::new();
+    COUNTS.get_or_init(|| {
+        let f = fixture();
+        let sims = replica_sims([
+            ObjFaultPlan::none(),
+            ObjFaultPlan::none(),
+            ObjFaultPlan::none(),
+        ]);
+        let rep = replicated_over(&sims);
+        let backend: Arc<dyn StorageBackend> =
+            Arc::new(ObjectBackend::new(rep as Arc<dyn ObjectStore>));
+        let outcome = resume_survey_on(&f.survey, backend).expect("healthy replicated run");
+        assert_eq!(
+            outcome.dataset.fingerprint(),
+            f.baseline_fingerprint,
+            "replicated run must match the direct run before any torture"
+        );
+        sims.iter().map(|s| s.ops()).collect()
+    })
+}
+
+/// Stride-bounded subset of `0..total` (`budget` points in CI, exhaustive
+/// under `BFU_TORTURE_FULL=1`), always including the last op.
+fn bounded_points(total: u64, budget: u64) -> Vec<u64> {
+    if total == 0 {
+        return Vec::new();
+    }
+    if std::env::var_os("BFU_TORTURE_FULL").is_some() || total <= budget {
+        return (0..total).collect();
+    }
+    let stride = total.div_ceil(budget) as usize;
+    let mut points: Vec<u64> = (0..total).step_by(stride).collect();
+    if points.last() != Some(&(total - 1)) {
+        points.push(total - 1);
+    }
+    points
+}
+
+/// Kill any one replica at any of its ops: the survey must complete with
+/// *no error surfacing at all* — W = R = 2 of 3 absorbs a single death —
+/// and fingerprint identically to the direct run.
+#[test]
+fn survey_survives_killing_any_one_replica_at_any_of_its_ops() {
+    let f = fixture();
+    let counts = healthy_replica_op_counts();
+    for (r, &total) in counts.iter().enumerate() {
+        assert!(total > 10, "replica {r} saw only {total} ops");
+        for k in bounded_points(total, 12) {
+            let mut plans = [
+                ObjFaultPlan::none(),
+                ObjFaultPlan::none(),
+                ObjFaultPlan::none(),
+            ];
+            plans[r] = ObjFaultPlan::none().with_crash_at(k);
+            let sims = replica_sims(plans);
+            let rep = replicated_over(&sims);
+            let backend: Arc<dyn StorageBackend> =
+                Arc::new(ObjectBackend::new(rep.clone() as Arc<dyn ObjectStore>));
+            let outcome = resume_survey_on(&f.survey, backend)
+                .unwrap_or_else(|e| panic!("replica {r} killed at its op {k}: survey failed: {e}"));
+            assert_eq!(
+                outcome.dataset.fingerprint(),
+                f.baseline_fingerprint,
+                "replica {r} killed at its op {k}: dataset diverged"
+            );
+            let totals = rep.replica_totals().expect("replica totals");
+            assert!(
+                totals.replica_errors > 0,
+                "replica {r} killed at its op {k}: the quorum never noticed the death"
+            );
+            assert!(totals.quorum_writes > 0);
+        }
+    }
+}
+
+/// Satellite: sub-quorum read staleness is the adapter's problem, and the
+/// adapter solves it. W=2 R=1 deliberately breaks read/write overlap; a
+/// replica that revives empty serves NotFound for objects the quorum
+/// holds. The adapter's read-your-write expectation retries, exhausts,
+/// and counts a `visibility_failures` — then anti-entropy scrub heals the
+/// member and a fresh process resumes the whole survey from the store.
+#[test]
+fn stale_r1_reads_exhaust_visibility_retries_and_scrub_heals() {
+    let f = fixture();
+    // Replica 0 is dead from its first op: it acknowledges nothing, so a
+    // power cycle revives it *empty* — the worst rejoin.
+    let sims = replica_sims([
+        ObjFaultPlan::none().with_crash_at(0),
+        ObjFaultPlan::none(),
+        ObjFaultPlan::none(),
+    ]);
+    let replicas: Vec<Arc<dyn ObjectStore>> = sims
+        .iter()
+        .map(|s| s.clone() as Arc<dyn ObjectStore>)
+        .collect();
+    let policy = ReplicaPolicy {
+        write_quorum: 2,
+        read_quorum: 1,
+    };
+    let rep = Arc::new(ReplicatedObjectStore::new(replicas, policy).expect("W=2 R=1 store"));
+    let survey_backend: Arc<dyn StorageBackend> =
+        Arc::new(ObjectBackend::new(rep.clone() as Arc<dyn ObjectStore>));
+    // The survey completes with the replica down: R=1 probes rotate past
+    // the dead member, writes ack at W=2.
+    let outcome = resume_survey_on(&f.survey, survey_backend).expect("survey with replica 0 dead");
+    assert_eq!(outcome.dataset.fingerprint(), f.baseline_fingerprint);
+    // Write an object whose read probe *starts at* replica 0 (rotation
+    // order begins at the name's deterministic primary).
+    let name = (0..u64::MAX)
+        .map(|i| format!("stale-probe-{i}"))
+        .find(|n| fnv64(n.as_bytes()).is_multiple_of(3))
+        .expect("a name with primary 0 exists");
+    let backend = ObjectBackend::new(rep.clone() as Arc<dyn ObjectStore>);
+    backend
+        .put(&name, b"payload")
+        .expect("put acks at W=2 with the primary dead");
+    // The member revives empty and reachable: an R=1 probe of `name` now
+    // *succeeds* at replica 0 and reports the object does not exist.
+    sims[0].power_cycle();
+    let err = backend
+        .get(&name)
+        .expect_err("stale R=1 read must surface as NotFound after retries");
+    assert_eq!(err.kind(), io::ErrorKind::NotFound, "got {err}");
+    let totals = backend.op_totals().expect("totals");
+    assert_eq!(
+        totals.visibility_failures, 1,
+        "retry exhaustion must be counted: {totals:?}"
+    );
+    assert!(
+        totals.retries > 8,
+        "the adapter must have fought before conceding: {totals:?}"
+    );
+    // Anti-entropy catches the member up on everything it slept through.
+    let report: ScrubReport = rep.scrub().expect("scrub");
+    assert!(report.copies > 0, "scrub found nothing to copy: {report:?}");
+    assert_eq!(report.errors, 0, "all replicas reachable: {report:?}");
+    assert_eq!(backend.get(&name).expect("healed read"), b"payload");
+    // The macro bar: a fresh process resumes the survey over the healed
+    // R=1 store entirely from disk.
+    let resumed_backend: Arc<dyn StorageBackend> =
+        Arc::new(ObjectBackend::new(rep.clone() as Arc<dyn ObjectStore>));
+    let resumed = resume_survey_on(&f.survey, resumed_backend).expect("resume over healed store");
+    assert_eq!(resumed.dataset.fingerprint(), f.baseline_fingerprint);
+    assert_eq!(resumed.resumed_sites, SITES, "nothing may be re-crawled");
+}
+
+/// Satellite: a retried mutation whose request id was pruned from the
+/// server's replay window is refused with a *typed* `ReplayEvicted` — not
+/// silently re-executed. Re-executing the CAS below would return
+/// `CasConflict{expected: 0, found: 1}`: the client would conclude it
+/// lost a race it actually won.
+#[test]
+fn replayed_mutation_past_the_replay_window_is_refused_not_reexecuted() {
+    let store = Arc::new(SimObjectStore::new(ObjFaultPlan::none()));
+    let server = ObjectServer::new(store.clone() as Arc<dyn ObjectStore>);
+    let exchange = |req: &Request| -> Response {
+        let resp = server.handle_frame(&bfu_objstore::wire::encode_request(req));
+        bfu_objstore::wire::decode_response(bfu_objstore::wire::unframe(&resp).expect("frame"))
+            .expect("decode")
+    };
+    // A CAS that wins: generation 0 -> 1.
+    let cas = Request {
+        client: 7,
+        id: 1,
+        op: RequestOp::PutIf {
+            name: "seat".into(),
+            expected: 0,
+            bytes: b"v1".to_vec(),
+        },
+    };
+    let first = exchange(&cas);
+    assert!(
+        matches!(first.body, Ok(RespBody::Gen(1))),
+        "CAS must win: {:?}",
+        first.body
+    );
+    // More in-flight mutations than the replay window holds: id 1 falls
+    // off the back of the cache and onto the eviction floor.
+    let depth = REPLAY_WINDOW as u64 + 8;
+    for i in 0..depth {
+        let put = Request {
+            client: 7,
+            id: 2 + i,
+            op: RequestOp::Put {
+                name: format!("fill-{i}"),
+                bytes: b"x".to_vec(),
+            },
+        };
+        assert!(matches!(exchange(&put).body, Ok(RespBody::Unit)));
+    }
+    // The network delivers a duplicate of the original CAS frame late.
+    let replay = exchange(&cas);
+    assert!(
+        matches!(replay.body, Err(RemoteError::ReplayEvicted)),
+        "evicted replay must be refused typed, got {:?}",
+        replay.body
+    );
+    // Refused means *not executed*: the seat is untouched.
+    assert_eq!(store.head("seat").expect("head"), 1);
+    assert_eq!(store.get("seat").expect("get"), b"v1");
+    // An id still inside the window replays from cache, byte-identical.
+    let last = Request {
+        client: 7,
+        id: 1 + depth,
+        op: RequestOp::Put {
+            name: format!("fill-{}", depth - 1),
+            bytes: b"x".to_vec(),
+        },
+    };
+    let replayed_before = server.replayed();
+    assert!(matches!(exchange(&last).body, Ok(RespBody::Unit)));
+    assert_eq!(server.replayed(), replayed_before + 1, "cache must answer");
+}
+
 #[test]
 fn shuffled_listings_on_a_posix_backend_never_change_the_dataset() {
     let f = fixture();
